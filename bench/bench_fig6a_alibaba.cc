@@ -1,0 +1,88 @@
+// Figure 6a: accuracy on the production-trace dataset vs load multiple.
+// 15 synthesized call-graph classes stand in for the Alibaba dataset (see
+// DESIGN.md); each class's trace population is compressed by the paper's
+// load-multiple transformation and reconstructed. Box-plot percentiles of
+// per-graph accuracy are reported per algorithm.
+#include <cstdio>
+
+#include "baselines/fcfs.h"
+#include "baselines/vpath.h"
+#include "baselines/wap5.h"
+#include "callgraph/inference.h"
+#include "common.h"
+#include "core/accuracy.h"
+#include "sim/alibaba.h"
+#include "sim/workload.h"
+#include "util/summary.h"
+#include "util/table.h"
+
+namespace traceweaver::bench {
+namespace {
+
+void Run() {
+  sim::AlibabaOptions opts;
+  opts.num_graphs = 15;
+  opts.requests_per_graph = 200;
+  auto graphs = sim::SynthesizeAlibaba(opts);
+
+  // Learn each graph's call structure once from isolated replay.
+  std::vector<CallGraph> learned;
+  for (const auto& g : graphs) {
+    sim::IsolatedReplayOptions iso;
+    iso.requests_per_root = 15;
+    learned.push_back(
+        InferCallGraph(sim::RunIsolatedReplay(g.app, iso).spans));
+  }
+
+  const double multiples[] = {1, 10, 100, 1000, 4000, 15000};
+  TextTable table;
+  table.SetHeader({"load multiple", "algo", "p5", "p25", "p50", "p75",
+                   "p95"});
+  for (double multiple : multiples) {
+    struct Algo {
+      const char* name;
+      std::vector<double> accs;
+    };
+    std::vector<Algo> algos{
+        {"TraceWeaver", {}}, {"WAP5", {}}, {"vPath", {}}, {"FCFS", {}}};
+    for (std::size_t g = 0; g < graphs.size(); ++g) {
+      auto spans = sim::CompressLoad(graphs[g].baseline.spans, multiple);
+      // Production capture: no thread ids available (vPath degenerates to
+      // most-recent-request matching, as in the paper).
+      for (Span& s : spans) {
+        s.caller_thread = 0;
+        s.handler_thread = 0;
+      }
+      MapperInput input{&spans, &learned[g]};
+      TraceWeaver tw(learned[g]);
+      Wap5Mapper wap5;
+      VPathMapper vpath;
+      FcfsMapper fcfs;
+      Mapper* mappers[] = {&tw, &wap5, &vpath, &fcfs};
+      for (std::size_t a = 0; a < 4; ++a) {
+        algos[a].accs.push_back(
+            Evaluate(spans, mappers[a]->Map(input)).TraceAccuracy());
+      }
+    }
+    for (auto& algo : algos) {
+      Summary s(std::move(algo.accs));
+      table.AddRow({Fmt(multiple, 0), algo.name, FmtPct(s.Percentile(5)),
+                    FmtPct(s.Percentile(25)), FmtPct(s.Percentile(50)),
+                    FmtPct(s.Percentile(75)), FmtPct(s.Percentile(95))});
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+}
+
+}  // namespace
+}  // namespace traceweaver::bench
+
+int main() {
+  traceweaver::bench::PrintHeader(
+      "Figure 6a: accuracy vs load multiple (production-style dataset, "
+      "15 call graphs)",
+      "Accuracy drops for every algorithm as the load multiple compounds, "
+      "but TraceWeaver's median remains practically usable far longer.");
+  traceweaver::bench::Run();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 6b: per-service confidence score vs actual per-service accuracy.
+// The confidence score needs no ground truth (fraction of incoming spans
+// given their top-ranked mapping), yet correlates strongly with accuracy
+// (paper: Pearson r = 0.89), letting operators pick which services to
+// instrument if partial instrumentation is possible.
+#include <cstdio>
+
+#include "callgraph/inference.h"
+#include "common.h"
+#include "core/accuracy.h"
+#include "sim/alibaba.h"
+#include "sim/workload.h"
+#include "stats/pearson.h"
+#include "util/table.h"
+
+namespace traceweaver::bench {
+namespace {
+
+void Run() {
+  sim::AlibabaOptions opts;
+  opts.num_graphs = 12;
+  opts.requests_per_graph = 200;
+  auto graphs = sim::SynthesizeAlibaba(opts);
+
+  std::vector<double> confidences, accuracies;
+  TextTable table;
+  table.SetHeader({"graph", "service", "confidence", "accuracy"});
+
+  for (const auto& g : graphs) {
+    sim::IsolatedReplayOptions iso;
+    iso.requests_per_root = 15;
+    CallGraph graph =
+        InferCallGraph(sim::RunIsolatedReplay(g.app, iso).spans);
+    // Compress to a load where mistakes actually happen.
+    auto spans = sim::CompressLoad(g.baseline.spans, 1500.0);
+
+    TraceWeaver weaver(graph);
+    const TraceWeaverOutput out = weaver.Reconstruct(spans);
+    const auto confidence = out.ConfidenceByService();
+    const auto accuracy = PerServiceAccuracy(spans, out.assignment);
+
+    for (const auto& [service, conf] : confidence) {
+      auto it = accuracy.find(service);
+      if (it == accuracy.end()) continue;  // Leaf-only service.
+      confidences.push_back(conf);
+      accuracies.push_back(it->second);
+      if (table.Render().size() < 4000) {  // Keep the sample table short.
+        table.AddRow({g.app.name, service, FmtPct(conf),
+                      FmtPct(it->second)});
+      }
+    }
+  }
+
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("services measured: %zu\n", confidences.size());
+  std::printf("Pearson correlation (confidence vs accuracy): %.3f\n",
+              PearsonCorrelation(confidences, accuracies));
+  std::printf("(paper reports r = 0.89)\n");
+}
+
+}  // namespace
+}  // namespace traceweaver::bench
+
+int main() {
+  traceweaver::bench::PrintHeader(
+      "Figure 6b: confidence score vs per-service accuracy",
+      "Confidence (computable without ground truth) correlates strongly "
+      "with accuracy; paper reports Pearson r = 0.89.");
+  traceweaver::bench::Run();
+  return 0;
+}

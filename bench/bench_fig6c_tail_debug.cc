@@ -1,0 +1,130 @@
+// Figure 6c: troubleshooting delays for slow requests. A 40 ms anomaly is
+// injected at the reservation and profile services for 10% of requests
+// each. The operator wants the per-service latency profile of the slowest
+// 2% of *traces*. Without request traces only per-service span filtering is
+// possible, which implicates every service; with TraceWeaver's
+// (approximate) traces the two true culprits stand out, closely matching
+// ground truth.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "callgraph/inference.h"
+#include "collector/capture.h"
+#include "common.h"
+#include "core/trace_weaver.h"
+#include "sim/apps.h"
+#include "sim/workload.h"
+#include "util/summary.h"
+#include "util/table.h"
+
+namespace traceweaver::bench {
+namespace {
+
+/// Per-service server-side latencies of spans belonging to the top-2%
+/// slowest traces under `parents`.
+std::map<std::string, Summary> TailProfile(
+    const std::vector<Span>& spans, const ParentAssignment& parents) {
+  TraceForest forest(spans, parents);
+
+  std::vector<std::pair<DurationNs, std::size_t>> roots;
+  for (std::size_t r : forest.roots()) {
+    const Span& s = forest.span_of(forest.nodes()[r]);
+    if (s.IsRoot() && s.endpoint == "/hotels") {
+      roots.push_back({forest.EndToEndLatency(r), r});
+    }
+  }
+  std::sort(roots.rbegin(), roots.rend());
+  const std::size_t keep = std::max<std::size_t>(1, roots.size() / 50);
+
+  std::map<std::string, std::vector<double>> samples;
+  for (std::size_t i = 0; i < keep; ++i) {
+    for (SpanId id : forest.SubtreeSpanIds(roots[i].second)) {
+      const Span& s = forest.span_by_id(id);
+      samples[s.callee].push_back(ToMillis(s.ServerDuration()));
+    }
+  }
+  std::map<std::string, Summary> out;
+  for (auto& [svc, xs] : samples) out.emplace(svc, Summary(std::move(xs)));
+  return out;
+}
+
+/// The "no traces" view: per service, the slowest 2% of its own spans.
+std::map<std::string, Summary> SpanOnlyProfile(
+    const std::vector<Span>& spans) {
+  std::map<std::string, std::vector<double>> all;
+  for (const Span& s : spans) {
+    all[s.callee].push_back(ToMillis(s.ServerDuration()));
+  }
+  std::map<std::string, Summary> out;
+  for (auto& [svc, xs] : all) {
+    std::sort(xs.begin(), xs.end());
+    const std::size_t lo = xs.size() * 98 / 100;
+    out.emplace(svc,
+                Summary({xs.begin() + static_cast<long>(lo), xs.end()}));
+  }
+  return out;
+}
+
+void PrintProfile(const char* label,
+                  const std::map<std::string, Summary>& profile) {
+  TextTable table;
+  table.SetHeader({"service", "p5(ms)", "p25", "p50", "p75", "p95"});
+  for (const auto& [svc, s] : profile) {
+    table.AddRow({svc, Fmt(s.Percentile(5)), Fmt(s.Percentile(25)),
+                  Fmt(s.Percentile(50)), Fmt(s.Percentile(75)),
+                  Fmt(s.Percentile(95))});
+  }
+  std::printf("--- %s ---\n%s\n", label, table.Render().c_str());
+}
+
+void Run() {
+  sim::AppSpec app = sim::MakeHotelReservationApp();
+  // 40 ms for 10% of requests at each culprit service (both endpoints of
+  // reservation).
+  for (auto& [ep, handler] : app.services["reservation"].handlers) {
+    handler.anomaly = {0.1, Millis(40)};
+  }
+  app.services["profile"].handlers["/get_profiles"].anomaly = {0.1,
+                                                               Millis(40)};
+
+  sim::IsolatedReplayOptions iso;
+  iso.requests_per_root = 20;
+  CallGraph graph = InferCallGraph(
+      collector::CaptureRoundTrip(sim::RunIsolatedReplay(app, iso).spans));
+  sim::OpenLoopOptions load;
+  load.requests_per_sec = 500;
+  load.duration = Seconds(6);
+  load.seed = 77;
+  auto spans =
+      collector::CaptureRoundTrip(sim::RunOpenLoop(app, load).spans);
+
+  PrintProfile("Ground-truth traces, top-2% e2e",
+               TailProfile(spans, TrueParents(spans)));
+
+  TraceWeaver weaver(graph);
+  PrintProfile("TraceWeaver traces, top-2% e2e",
+               TailProfile(spans, weaver.Reconstruct(spans).assignment));
+
+  PrintProfile("No traces: per-service span tail (top-2% spans)",
+               SpanOnlyProfile(spans));
+
+  std::printf(
+      "Reading: with (reconstructed) traces, only reservation/profile show "
+      "inflated medians in the top-2%% bracket, matching ground truth. The "
+      "span-only view shows inflated tails at *every* service, leading "
+      "debugging astray.\n");
+}
+
+}  // namespace
+}  // namespace traceweaver::bench
+
+int main() {
+  traceweaver::bench::PrintHeader(
+      "Figure 6c: localizing tail-latency culprits with approximate traces",
+      "TraceWeaver's trace-filtered latency profile matches ground truth "
+      "(reservation + profile elevated); the span-filtered view implicates "
+      "all services.");
+  traceweaver::bench::Run();
+  return 0;
+}

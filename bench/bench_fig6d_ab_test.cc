@@ -1,0 +1,130 @@
+// Figure 6d: A/B testing a recommendation engine. x% of requests are
+// canaried to version B (a second replica of the recommend service), which
+// improves per-request user satisfaction. Without request traces the
+// operator can only compare the aggregate satisfaction of the mixed
+// population against the all-A baseline, which needs a large x to reach
+// significance; with (approximate) traces the A and B request groups can be
+// separated and a two-sample t-test detects the improvement at small x.
+#include <cstdio>
+#include <map>
+
+#include "callgraph/inference.h"
+#include "collector/capture.h"
+#include "common.h"
+#include "core/trace_weaver.h"
+#include "sim/apps.h"
+#include "sim/workload.h"
+#include "stats/ttest.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace traceweaver::bench {
+namespace {
+
+struct Population {
+  std::vector<Span> spans;
+  /// Ground-truth satisfaction per trace; +kLift when served by B.
+  std::map<TraceId, double> satisfaction;
+  std::map<TraceId, bool> true_b;  ///< Which traces truly hit version B.
+};
+
+constexpr double kBaseSatisfaction = 70.0;
+constexpr double kNoise = 10.0;
+constexpr double kLift = 4.0;
+
+Population MakePopulation(double b_fraction, std::uint64_t seed) {
+  Population pop;
+  sim::OpenLoopOptions load;
+  load.requests_per_sec = 300;
+  load.duration = Seconds(10);
+  load.seed = seed;
+  pop.spans = collector::CaptureRoundTrip(
+      sim::RunOpenLoop(sim::MakeAbTestApp(b_fraction), load).spans);
+
+  Rng rng(seed * 13 + 7);
+  for (const Span& s : pop.spans) {
+    if (s.callee == "recommend") {
+      pop.true_b[s.true_trace] = (s.callee_replica == 1);
+    }
+  }
+  for (const Span& s : pop.spans) {
+    if (!s.IsRoot()) continue;
+    const bool b = pop.true_b.count(s.true_trace) > 0 &&
+                   pop.true_b.at(s.true_trace);
+    pop.satisfaction[s.true_trace] =
+        rng.Normal(kBaseSatisfaction + (b ? kLift : 0.0), kNoise);
+  }
+  return pop;
+}
+
+/// Without traces: t-test of the mixed population's satisfaction against
+/// an equally sized all-A reference population.
+double PValueWithoutTraces(const Population& mixed,
+                           const Population& reference) {
+  std::vector<double> a, b;
+  for (const auto& [trace, s] : reference.satisfaction) a.push_back(s);
+  for (const auto& [trace, s] : mixed.satisfaction) b.push_back(s);
+  return WelchTTest(a, b).p_value;
+}
+
+/// With traces: separate requests by which recommend replica their
+/// (reconstructed) trace used, then t-test the two groups.
+double PValueWithTraces(const Population& pop, const CallGraph& graph) {
+  TraceWeaver weaver(graph);
+  const auto assignment = weaver.Reconstruct(pop.spans).assignment;
+  TraceForest forest(pop.spans, assignment);
+
+  std::vector<double> group_a, group_b;
+  for (std::size_t r : forest.roots()) {
+    const Span& root = forest.span_of(forest.nodes()[r]);
+    if (!root.IsRoot()) continue;
+    bool used_b = false;
+    for (SpanId id : forest.SubtreeSpanIds(r)) {
+      const Span& s = forest.span_by_id(id);
+      if (s.callee == "recommend" && s.callee_replica == 1) used_b = true;
+    }
+    auto it = pop.satisfaction.find(root.true_trace);
+    if (it == pop.satisfaction.end()) continue;
+    (used_b ? group_b : group_a).push_back(it->second);
+  }
+  return WelchTTest(group_a, group_b).p_value;
+}
+
+void Run() {
+  // Learn the call graph once (identical across b fractions).
+  sim::IsolatedReplayOptions iso;
+  iso.requests_per_root = 20;
+  CallGraph graph = InferCallGraph(
+      sim::RunIsolatedReplay(sim::MakeAbTestApp(0.5), iso).spans);
+
+  const Population reference = MakePopulation(0.0, 1001);
+
+  TextTable table;
+  table.SetHeader({"x% to B", "p-value w/o traces", "p-value w/ traces",
+                   "significant w/o", "significant w/"});
+  for (double x : {0.005, 0.01, 0.02, 0.05, 0.10, 0.20, 0.30}) {
+    const Population mixed = MakePopulation(x, 2000 + static_cast<int>(x * 1000));
+    const double p_without = PValueWithoutTraces(mixed, reference);
+    const double p_with = PValueWithTraces(mixed, graph);
+    table.AddRow({FmtPct(x, 1), Fmt(p_without, 4), Fmt(p_with, 4),
+                  p_without < 0.05 ? "yes" : "no",
+                  p_with < 0.05 ? "yes" : "no"});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Reading: with reconstructed traces the improvement is detected "
+      "(p < 0.05) at a far smaller canary fraction than the aggregate "
+      "comparison allows (paper: ~2%% vs ~20%%).\n");
+}
+
+}  // namespace
+}  // namespace traceweaver::bench
+
+int main() {
+  traceweaver::bench::PrintHeader(
+      "Figure 6d: A/B testing a recommendation engine",
+      "p-value drops below 0.05 at much smaller redirect fractions when "
+      "requests can be attributed to version A or B via request traces.");
+  traceweaver::bench::Run();
+  return 0;
+}

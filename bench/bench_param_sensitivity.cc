@@ -1,0 +1,107 @@
+// Parameter-sensitivity ablations for the Table 1 design choices: batch
+// size B, candidate count K, refinement iterations, and the GMM component
+// cap C. Not a paper figure; this backs the DESIGN.md discussion of why
+// the defaults are what they are.
+#include <chrono>
+#include <cstdio>
+
+#include "common.h"
+#include "core/accuracy.h"
+#include "sim/apps.h"
+#include "util/table.h"
+
+namespace traceweaver::bench {
+namespace {
+
+struct Sample {
+  double accuracy = 0.0;
+  double seconds = 0.0;
+};
+
+Sample Measure(const Dataset& data, const TraceWeaverOptions& opts) {
+  TraceWeaver weaver(data.graph, opts);
+  const auto start = std::chrono::steady_clock::now();
+  const auto out = weaver.Reconstruct(data.spans);
+  const auto stop = std::chrono::steady_clock::now();
+  Sample s;
+  s.accuracy = Evaluate(data.spans, out.assignment).TraceAccuracy();
+  s.seconds = std::chrono::duration<double>(stop - start).count();
+  return s;
+}
+
+void Run() {
+  Dataset data = Prepare(sim::MakeHotelReservationApp(), 1200, 2);
+  std::printf("population: %zu spans\n\n", data.spans.size());
+
+  {
+    TextTable table;
+    table.SetHeader({"batch size B", "trace acc", "runtime"});
+    for (std::size_t b : {5u, 15u, 30u, 60u, 100u}) {
+      TraceWeaverOptions opts;
+      opts.optimizer.params.max_batch_size = b;
+      const Sample s = Measure(data, opts);
+      table.AddRow({std::to_string(b), FmtPct(s.accuracy),
+                    Fmt(s.seconds, 2) + "s"});
+    }
+    std::printf("--- max batch size (Table 1: B = 30) ---\n%s\n",
+                table.Render().c_str());
+  }
+  {
+    TextTable table;
+    table.SetHeader({"top-K", "trace acc", "top-K acc", "runtime"});
+    for (std::size_t k : {1u, 3u, 5u, 10u}) {
+      TraceWeaverOptions opts;
+      opts.optimizer.params.max_candidates_per_span = k;
+      TraceWeaver weaver(data.graph, opts);
+      const auto start = std::chrono::steady_clock::now();
+      const auto out = weaver.Reconstruct(data.spans);
+      const auto stop = std::chrono::steady_clock::now();
+      table.AddRow(
+          {std::to_string(k),
+           FmtPct(Evaluate(data.spans, out.assignment).TraceAccuracy()),
+           FmtPct(TopKTraceAccuracy(data.spans, out, k)),
+           Fmt(std::chrono::duration<double>(stop - start).count(), 2) +
+               "s"});
+    }
+    std::printf("--- candidates per span (Table 1: K = 5) ---\n%s\n",
+                table.Render().c_str());
+  }
+  {
+    TextTable table;
+    table.SetHeader({"iterations", "trace acc", "runtime"});
+    for (std::size_t iters : {1u, 2u, 3u, 5u}) {
+      TraceWeaverOptions opts;
+      opts.optimizer.params.iterations = iters;
+      const Sample s = Measure(data, opts);
+      table.AddRow({std::to_string(iters), FmtPct(s.accuracy),
+                    Fmt(s.seconds, 2) + "s"});
+    }
+    std::printf("--- refinement iterations (§4.1 step 6) ---\n%s\n",
+                table.Render().c_str());
+  }
+  {
+    TextTable table;
+    table.SetHeader({"GMM cap C", "trace acc", "runtime"});
+    for (std::size_t c : {1u, 2u, 5u, 10u}) {
+      TraceWeaverOptions opts;
+      opts.optimizer.params.max_gmm_components = c;
+      const Sample s = Measure(data, opts);
+      table.AddRow({std::to_string(c), FmtPct(s.accuracy),
+                    Fmt(s.seconds, 2) + "s"});
+    }
+    std::printf("--- GMM component cap (Table 1: C = 5) ---\n%s\n",
+                table.Render().c_str());
+  }
+}
+
+}  // namespace
+}  // namespace traceweaver::bench
+
+int main() {
+  traceweaver::bench::PrintHeader(
+      "Parameter sensitivity (Table 1 design choices)",
+      "Accuracy saturates near the paper defaults (B=30, K=5, C=5, a few "
+      "iterations); larger values mostly cost runtime.");
+  traceweaver::bench::Run();
+  return 0;
+}

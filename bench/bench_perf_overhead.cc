@@ -1,0 +1,125 @@
+// §6.5 performance overhead: google-benchmark microbenchmarks of the
+// reconstruction pipeline. The paper reports a single TraceWeaver instance
+// mapping 1000 spans in under 5 seconds (~200 RPS per container); this
+// binary measures end-to-end reconstruction throughput plus the major
+// stages (enumeration+ranking via single iteration, GMM fitting, MWIS).
+#include <benchmark/benchmark.h>
+
+#include "callgraph/inference.h"
+#include "common.h"
+#include "core/mis_solver.h"
+#include "sim/apps.h"
+#include "sim/workload.h"
+#include "stats/gmm.h"
+#include "util/rng.h"
+
+namespace traceweaver::bench {
+namespace {
+
+const Dataset& HotelDataset(double rps) {
+  static std::map<double, Dataset> cache;
+  auto it = cache.find(rps);
+  if (it == cache.end()) {
+    it = cache.emplace(rps,
+                       Prepare(sim::MakeHotelReservationApp(), rps, 2.0))
+             .first;
+  }
+  return it->second;
+}
+
+void BM_ReconstructHotel(benchmark::State& state) {
+  const double rps = static_cast<double>(state.range(0));
+  const Dataset& data = HotelDataset(rps);
+  TraceWeaver weaver(data.graph);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(weaver.Reconstruct(data.spans));
+  }
+  state.counters["spans"] =
+      static_cast<double>(data.spans.size());
+  state.counters["spans/s"] = benchmark::Counter(
+      static_cast<double>(data.spans.size() * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ReconstructHotel)
+    ->Arg(200)
+    ->Arg(600)
+    ->Arg(1200)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SingleIteration(benchmark::State& state) {
+  const Dataset& data = HotelDataset(600);
+  TraceWeaverOptions opts;
+  opts.optimizer.iterate = false;
+  TraceWeaver weaver(data.graph, opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(weaver.Reconstruct(data.spans));
+  }
+  state.counters["spans/s"] = benchmark::Counter(
+      static_cast<double>(data.spans.size() * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SingleIteration)->Unit(benchmark::kMillisecond);
+
+void BM_GmmBicSweep(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<double> samples;
+  for (int i = 0; i < state.range(0); ++i) {
+    samples.push_back(rng.Bernoulli(0.5) ? rng.Normal(0, 1)
+                                         : rng.Normal(20, 3));
+  }
+  GmmFitOptions opts;
+  opts.max_components = 5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FitGmmBicSweep(samples, opts));
+  }
+}
+BENCHMARK(BM_GmmBicSweep)->Arg(200)->Arg(1000)->Arg(5000);
+
+void BM_MwisBatch(benchmark::State& state) {
+  // A batch-shaped conflict graph: `spans` cliques of K=5 candidates plus
+  // sparse cross-clique conflict edges.
+  const int spans = static_cast<int>(state.range(0));
+  constexpr int kK = 5;
+  Rng rng(7);
+  MisProblem p;
+  p.weights.resize(static_cast<std::size_t>(spans * kK));
+  p.adjacency.assign(p.weights.size(), {});
+  for (auto& w : p.weights) w = rng.Uniform(1.0, 100.0);
+  auto add_edge = [&p](int a, int b) {
+    p.adjacency[static_cast<std::size_t>(a)].push_back(b);
+    p.adjacency[static_cast<std::size_t>(b)].push_back(a);
+  };
+  for (int s = 0; s < spans; ++s) {
+    for (int i = 0; i < kK; ++i) {
+      for (int j = i + 1; j < kK; ++j) add_edge(s * kK + i, s * kK + j);
+    }
+  }
+  for (int e = 0; e < spans * 2; ++e) {
+    const int a = static_cast<int>(
+        rng.UniformInt(0, spans * kK - 1));
+    const int b = static_cast<int>(
+        rng.UniformInt(0, spans * kK - 1));
+    if (a / kK != b / kK) add_edge(a, b);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveMwis(p, 200000));
+  }
+}
+BENCHMARK(BM_MwisBatch)->Arg(10)->Arg(30)->Arg(100);
+
+void BM_CallGraphInference(benchmark::State& state) {
+  sim::IsolatedReplayOptions iso;
+  iso.requests_per_root = static_cast<std::size_t>(state.range(0));
+  auto spans =
+      sim::RunIsolatedReplay(sim::MakeHotelReservationApp(), iso).spans;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(InferCallGraph(spans));
+  }
+}
+BENCHMARK(BM_CallGraphInference)->Arg(10)->Arg(40)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace traceweaver::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+#include "common.h"
+
+#include <cstdio>
+
+#include "baselines/fcfs.h"
+#include "baselines/vpath.h"
+#include "baselines/wap5.h"
+#include "callgraph/inference.h"
+#include "collector/capture.h"
+#include "core/accuracy.h"
+#include "sim/workload.h"
+
+namespace traceweaver::bench {
+
+Dataset Prepare(const sim::AppSpec& app, double rps, double seconds,
+                std::uint64_t seed) {
+  Dataset data;
+  sim::IsolatedReplayOptions iso;
+  iso.requests_per_root = 20;
+  data.graph = InferCallGraph(
+      collector::CaptureRoundTrip(sim::RunIsolatedReplay(app, iso).spans));
+
+  sim::OpenLoopOptions load;
+  load.requests_per_sec = rps;
+  load.duration = Seconds(seconds);
+  load.seed = seed;
+  data.spans =
+      collector::CaptureRoundTrip(sim::RunOpenLoop(app, load).spans);
+  return data;
+}
+
+std::vector<std::unique_ptr<Mapper>> AllMappers(const CallGraph& graph) {
+  std::vector<std::unique_ptr<Mapper>> mappers;
+  mappers.push_back(std::make_unique<TraceWeaver>(graph));
+  mappers.push_back(std::make_unique<Wap5Mapper>());
+  mappers.push_back(std::make_unique<VPathMapper>());
+  mappers.push_back(std::make_unique<FcfsMapper>());
+  return mappers;
+}
+
+double TraceAccuracyOf(Mapper& mapper, const Dataset& data) {
+  MapperInput input;
+  input.spans = &data.spans;
+  input.call_graph = &data.graph;
+  return Evaluate(data.spans, mapper.Map(input)).TraceAccuracy();
+}
+
+void PrintHeader(const std::string& title, const std::string& paper_shape) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf("Paper shape: %s\n\n", paper_shape.c_str());
+}
+
+}  // namespace traceweaver::bench

@@ -1,0 +1,38 @@
+// Shared plumbing for the per-figure benchmark binaries: build an app,
+// learn its call graph from isolated replay, run an open-loop load through
+// the capture pipeline, and score every algorithm.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/mapper.h"
+#include "callgraph/call_graph.h"
+#include "core/trace_weaver.h"
+#include "sim/spec.h"
+#include "trace/span.h"
+
+namespace traceweaver::bench {
+
+struct Dataset {
+  std::vector<Span> spans;
+  CallGraph graph;
+};
+
+/// Full pipeline: isolated replay -> call-graph inference; open-loop load
+/// -> capture round trip -> span population.
+Dataset Prepare(const sim::AppSpec& app, double rps, double seconds,
+                std::uint64_t seed = 31);
+
+/// All four algorithms (TraceWeaver + the three baselines), in the order
+/// the paper plots them.
+std::vector<std::unique_ptr<Mapper>> AllMappers(const CallGraph& graph);
+
+/// End-to-end trace accuracy of a mapper on a dataset.
+double TraceAccuracyOf(Mapper& mapper, const Dataset& data);
+
+/// Convenience header printed at the top of every bench binary.
+void PrintHeader(const std::string& title, const std::string& paper_shape);
+
+}  // namespace traceweaver::bench

@@ -1,0 +1,89 @@
+// Use case (§6.4.2): A/B-testing a canary deployment with request traces.
+//
+// 2% of requests are served by version B of the recommendation service (a
+// second replica). B improves user satisfaction slightly. The operator
+// cannot tell which user request hit B without request traces -- user
+// satisfaction is an end-to-end signal, not visible at span level. With
+// TraceWeaver's reconstructed traces the A/B populations can be separated
+// and a two-sample t-test detects the improvement at this small canary
+// fraction.
+#include <cstdio>
+#include <map>
+
+#include "callgraph/inference.h"
+#include "collector/capture.h"
+#include "core/trace_weaver.h"
+#include "sim/apps.h"
+#include "sim/workload.h"
+#include "stats/ttest.h"
+#include "util/rng.h"
+
+using namespace traceweaver;
+
+int main() {
+  constexpr double kCanaryFraction = 0.02;
+  sim::AppSpec app = sim::MakeAbTestApp(kCanaryFraction);
+
+  sim::IsolatedReplayOptions iso;
+  iso.requests_per_root = 20;
+  CallGraph graph = InferCallGraph(sim::RunIsolatedReplay(app, iso).spans);
+
+  sim::OpenLoopOptions load;
+  load.requests_per_sec = 300;
+  load.duration = Seconds(10);
+  const std::vector<Span> spans =
+      collector::CaptureRoundTrip(sim::RunOpenLoop(app, load).spans);
+
+  // Ground truth satisfaction per request: +4 points when served by B.
+  // (In production this comes from the product's engagement metrics.)
+  Rng rng(99);
+  std::map<TraceId, bool> truly_b;
+  for (const Span& s : spans) {
+    if (s.callee == "recommend") {
+      truly_b[s.true_trace] = (s.callee_replica == 1);
+    }
+  }
+  std::map<TraceId, double> satisfaction;
+  for (const Span& s : spans) {
+    if (!s.IsRoot()) continue;
+    const bool b = truly_b.count(s.true_trace) > 0 && truly_b[s.true_trace];
+    satisfaction[s.true_trace] = rng.Normal(70.0 + (b ? 4.0 : 0.0), 10.0);
+  }
+
+  // Reconstruct traces, then attribute each root request to A or B by
+  // which recommend replica its trace used.
+  TraceWeaver weaver(graph);
+  TraceForest forest(spans, weaver.Reconstruct(spans).assignment);
+
+  std::vector<double> group_a, group_b;
+  for (std::size_t r : forest.roots()) {
+    const Span& root = forest.span_of(forest.nodes()[r]);
+    if (!root.IsRoot()) continue;
+    bool used_b = false;
+    for (SpanId id : forest.SubtreeSpanIds(r)) {
+      const Span& s = forest.span_by_id(id);
+      if (s.callee == "recommend" && s.callee_replica == 1) used_b = true;
+    }
+    auto it = satisfaction.find(root.true_trace);
+    if (it == satisfaction.end()) continue;
+    (used_b ? group_b : group_a).push_back(it->second);
+  }
+
+  const TTestResult result = WelchTTest(group_a, group_b);
+  std::printf("Canary fraction: %.1f%% of requests to version B\n",
+              kCanaryFraction * 100.0);
+  std::printf("Group sizes via reconstructed traces: A=%zu  B=%zu\n",
+              group_a.size(), group_b.size());
+  std::printf("Welch t-test: t=%.3f  df=%.1f  p=%.5f\n", result.t_statistic,
+              result.degrees_of_freedom, result.p_value);
+  if (result.p_value < 0.05) {
+    std::printf("=> statistically significant at p<0.05: ship version B.\n");
+  } else {
+    std::printf("=> inconclusive at this canary fraction.\n");
+  }
+  std::printf(
+      "Without traces, only the aggregate satisfaction shift is visible -- "
+      "at a 2%% canary that shift is ~0.08 points against a stddev of 10, "
+      "far below detectability (the paper needed ~20%% redirected).\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Use case (§6.4.1): which services make my slowest requests slow?
+//
+// A latency anomaly (40 ms on 10% of requests) is injected at two
+// HotelReservation services. Without request traces, filtering each
+// service's own spans by tail latency implicates *every* service. With
+// TraceWeaver's reconstructed traces, the operator filters whole traces in
+// the top-2% end-to-end bracket and the two true culprits stand out.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "callgraph/inference.h"
+#include "collector/capture.h"
+#include "core/trace_weaver.h"
+#include "sim/apps.h"
+#include "sim/workload.h"
+#include "util/summary.h"
+
+using namespace traceweaver;
+
+int main() {
+  sim::AppSpec app = sim::MakeHotelReservationApp();
+  // Inject the anomaly the operator will be hunting for.
+  for (auto& [ep, handler] : app.services["reservation"].handlers) {
+    handler.anomaly = {0.1, Millis(40)};
+  }
+  app.services["profile"].handlers["/get_profiles"].anomaly = {0.1,
+                                                               Millis(40)};
+
+  sim::IsolatedReplayOptions iso;
+  iso.requests_per_root = 20;
+  CallGraph graph = InferCallGraph(sim::RunIsolatedReplay(app, iso).spans);
+
+  sim::OpenLoopOptions load;
+  load.requests_per_sec = 400;
+  load.duration = Seconds(5);
+  const std::vector<Span> spans =
+      collector::CaptureRoundTrip(sim::RunOpenLoop(app, load).spans);
+
+  // Reconstruct traces and pick the slowest 2% of /hotels requests.
+  TraceWeaver weaver(graph);
+  TraceForest forest(spans, weaver.Reconstruct(spans).assignment);
+
+  std::vector<std::pair<DurationNs, std::size_t>> roots;
+  for (std::size_t r : forest.roots()) {
+    const Span& s = forest.span_of(forest.nodes()[r]);
+    if (s.IsRoot() && s.endpoint == "/hotels") {
+      roots.push_back({forest.EndToEndLatency(r), r});
+    }
+  }
+  std::sort(roots.rbegin(), roots.rend());
+  const std::size_t keep = std::max<std::size_t>(1, roots.size() / 50);
+  std::printf("Analyzing the slowest %zu of %zu /hotels traces...\n\n", keep,
+              roots.size());
+
+  // Time spent per service inside those traces.
+  std::map<std::string, std::vector<double>> per_service;
+  for (std::size_t i = 0; i < keep; ++i) {
+    for (SpanId id : forest.SubtreeSpanIds(roots[i].second)) {
+      const Span& s = forest.span_by_id(id);
+      per_service[s.callee].push_back(ToMillis(s.ServerDuration()));
+    }
+  }
+
+  std::printf("%-18s %8s %8s\n", "service", "median", "p95");
+  std::printf("------------------------------------\n");
+  for (auto& [service, samples] : per_service) {
+    Summary summary(std::move(samples));
+    std::printf("%-18s %6.2fms %6.2fms\n", service.c_str(),
+                summary.Median(), summary.Percentile(95));
+  }
+  std::printf(
+      "\nThe injected culprits (reservation, profile) show inflated "
+      "medians; the rest do not. The same query on raw spans, without "
+      "traces, would show a fat tail at every service.\n");
+  return 0;
+}

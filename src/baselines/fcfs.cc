@@ -1,0 +1,60 @@
+#include "baselines/fcfs.h"
+
+#include <deque>
+
+#include "trace/trace_store.h"
+
+namespace traceweaver {
+namespace {
+
+/// Number of calls to backend `service` in `plan` (0 when plan is null,
+/// 1 as a fallback when no call graph was provided at all).
+std::size_t ExpectedCalls(const InvocationPlan* plan,
+                          const std::string& service, bool have_graph) {
+  if (!have_graph) return 1;
+  if (plan == nullptr) return 0;
+  std::size_t n = 0;
+  for (const Stage& st : plan->stages) {
+    for (const BackendCall& c : st.calls) {
+      if (c.service == service) ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+ParentAssignment FcfsMapper::Map(const MapperInput& input) {
+  ParentAssignment out;
+  const std::vector<Span>& spans = *input.spans;
+  for (const Span& s : spans) out[s.id] = kInvalidSpanId;
+
+  SpanStore store(spans);
+  const bool have_graph = input.call_graph != nullptr;
+
+  for (const ServiceInstance& inst : store.Containers()) {
+    const ContainerView view = store.ViewOf(inst);
+    for (const auto& [callee, outgoing] : view.outgoing_by_callee) {
+      // Parents that are expected to call `callee`, in arrival order, each
+      // with its expected call multiplicity.
+      std::deque<std::pair<SpanId, std::size_t>> queue;
+      for (const Span* parent : view.incoming) {
+        const InvocationPlan* plan =
+            have_graph ? input.call_graph->PlanFor(
+                             HandlerKey{parent->callee, parent->endpoint})
+                       : nullptr;
+        const std::size_t expected =
+            ExpectedCalls(plan, callee, have_graph);
+        if (expected > 0) queue.emplace_back(parent->id, expected);
+      }
+      for (const Span* child : outgoing) {
+        if (queue.empty()) break;
+        out[child->id] = queue.front().first;
+        if (--queue.front().second == 0) queue.pop_front();
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace traceweaver

@@ -1,0 +1,20 @@
+// FCFS strawman baseline (§6.1(iii)).
+//
+// At each container, incoming requests are matched to outgoing requests per
+// backend service purely by order: the i-th incoming span that (per the
+// call graph) should call backend B is assigned the i-th outgoing span to
+// B. Works when requests are processed strictly in order with no
+// parallelism; collapses as concurrency reorders requests.
+#pragma once
+
+#include "baselines/mapper.h"
+
+namespace traceweaver {
+
+class FcfsMapper : public Mapper {
+ public:
+  std::string name() const override { return "FCFS"; }
+  ParentAssignment Map(const MapperInput& input) override;
+};
+
+}  // namespace traceweaver

@@ -1,0 +1,36 @@
+// Common interface for request-trace mappers: given a span population (and
+// shared context such as the call graph), produce a parent assignment.
+//
+// TraceWeaver itself (core/trace_weaver.h) and the three baselines the
+// paper compares against (§6.1) all implement this interface, which is what
+// lets the benchmark harness sweep algorithms uniformly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "callgraph/call_graph.h"
+#include "trace/trace.h"
+
+namespace traceweaver {
+
+struct MapperInput {
+  const std::vector<Span>* spans = nullptr;
+  /// Call graph with dependency order; some baselines ignore it.
+  const CallGraph* call_graph = nullptr;
+};
+
+/// A request-trace reconstruction algorithm.
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+
+  /// Name used in benchmark output ("TraceWeaver", "WAP5", ...).
+  virtual std::string name() const = 0;
+
+  /// Maps every non-root span to an inferred parent (kInvalidSpanId when
+  /// the algorithm leaves it unassigned). Root spans map to kInvalidSpanId.
+  virtual ParentAssignment Map(const MapperInput& input) = 0;
+};
+
+}  // namespace traceweaver

@@ -1,0 +1,31 @@
+#include "baselines/vpath.h"
+
+#include "trace/trace_store.h"
+
+namespace traceweaver {
+
+ParentAssignment VPathMapper::Map(const MapperInput& input) {
+  ParentAssignment out;
+  const std::vector<Span>& spans = *input.spans;
+  for (const Span& s : spans) out[s.id] = kInvalidSpanId;
+
+  SpanStore store(spans);
+  for (const ServiceInstance& inst : store.Containers()) {
+    const ContainerView view = store.ViewOf(inst);
+    for (const auto& [callee, outgoing] : view.outgoing_by_callee) {
+      for (const Span* child : outgoing) {
+        // Most recent pickup on the sending thread before the send.
+        const Span* best = nullptr;
+        for (const Span* parent : view.incoming) {
+          if (parent->server_recv > child->client_send) break;  // Sorted.
+          if (parent->handler_thread != child->caller_thread) continue;
+          best = parent;  // Latest so far wins.
+        }
+        if (best != nullptr) out[child->id] = best->id;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace traceweaver

@@ -1,0 +1,23 @@
+// vPath / DeepFlow baseline (§6.1(ii)).
+//
+// vPath assumes a synchronous threading model: the thread that picked up a
+// request issues all of its backend calls before touching another request.
+// Under that assumption, each outgoing request maps to the most recent
+// incoming request picked up by the same thread. The assumption breaks
+// under RPC-framework thread handoff (gRPC/Thrift) and async I/O -- exactly
+// the regimes Figs. 4a/4d probe. When thread ids are unavailable (the
+// production dataset), every span carries thread 0 and vPath degenerates to
+// most-recent-request matching.
+#pragma once
+
+#include "baselines/mapper.h"
+
+namespace traceweaver {
+
+class VPathMapper : public Mapper {
+ public:
+  std::string name() const override { return "vPath"; }
+  ParentAssignment Map(const MapperInput& input) override;
+};
+
+}  // namespace traceweaver

@@ -1,0 +1,114 @@
+#include "baselines/wap5.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/trace_store.h"
+#include "util/summary.h"
+
+namespace traceweaver {
+namespace {
+
+std::size_t PlanCalls(const CallGraph* graph, const Span& parent,
+                      const std::string& callee) {
+  if (graph == nullptr) return 1;
+  const InvocationPlan* plan =
+      graph->PlanFor(HandlerKey{parent.callee, parent.endpoint});
+  if (plan == nullptr) return 0;
+  std::size_t n = 0;
+  for (const Stage& st : plan->stages) {
+    for (const BackendCall& c : st.calls) {
+      if (c.service == callee) ++n;
+    }
+  }
+  return n;
+}
+
+/// Mean gap between each outgoing request and the most recent incoming
+/// request's arrival; WAP5's exponential delay-model parameter.
+double MostRecentParentMeanGap(const std::vector<const Span*>& incoming,
+                               const std::vector<const Span*>& outgoing) {
+  std::vector<double> gaps;
+  gaps.reserve(outgoing.size());
+  for (const Span* child : outgoing) {
+    const Span* best = nullptr;
+    for (const Span* parent : incoming) {
+      if (parent->server_recv > child->client_send) break;  // Sorted.
+      best = parent;
+    }
+    if (best != nullptr) {
+      gaps.push_back(
+          static_cast<double>(child->client_send - best->server_recv));
+    }
+  }
+  const double mean = Mean(gaps);
+  return mean > 1.0 ? mean : 1.0;
+}
+
+}  // namespace
+
+ParentAssignment Wap5Mapper::Map(const MapperInput& input) {
+  ParentAssignment out;
+  const std::vector<Span>& spans = *input.spans;
+  for (const Span& s : spans) out[s.id] = kInvalidSpanId;
+
+  SpanStore store(spans);
+  for (const ServiceInstance& inst : store.Containers()) {
+    const ContainerView view = store.ViewOf(inst);
+    for (const auto& [callee, outgoing] : view.outgoing_by_callee) {
+      const double mean_gap =
+          MostRecentParentMeanGap(view.incoming, outgoing);
+
+      // Remaining call quota per live parent.
+      std::unordered_map<SpanId, std::size_t> quota;
+      for (const Span* parent : view.incoming) {
+        const std::size_t q = PlanCalls(input.call_graph, *parent, callee);
+        if (q > 0) quota[parent->id] = q;
+      }
+
+      for (const Span* child : outgoing) {
+        const Span* best = nullptr;
+        double best_score = -std::numeric_limits<double>::infinity();
+        for (const Span* parent : view.incoming) {
+          if (parent->server_recv > child->client_send) break;  // Sorted.
+          if (parent->server_send < child->client_recv) continue;  // Dead.
+          auto it = quota.find(parent->id);
+          if (it == quota.end() || it->second == 0) continue;
+          const double gap =
+              static_cast<double>(child->client_send - parent->server_recv);
+          // Exponential log-likelihood; ties broken toward the most recent
+          // parent (larger server_recv == smaller gap wins anyway).
+          const double score = -std::log(mean_gap) - gap / mean_gap;
+          if (score >= best_score) {
+            best_score = score;
+            best = parent;
+          }
+        }
+        if (best != nullptr) {
+          out[child->id] = best->id;
+          --quota[best->id];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::map<std::pair<std::string, std::string>, double> Wap5DelayMeans(
+    const MapperInput& input) {
+  std::map<std::pair<std::string, std::string>, double> means;
+  SpanStore store(*input.spans);
+  for (const ServiceInstance& inst : store.Containers()) {
+    const ContainerView view = store.ViewOf(inst);
+    for (const auto& [callee, outgoing] : view.outgoing_by_callee) {
+      means[{inst.service, callee}] =
+          MostRecentParentMeanGap(view.incoming, outgoing);
+    }
+  }
+  return means;
+}
+
+}  // namespace traceweaver

@@ -1,0 +1,37 @@
+// WAP5 baseline (§6.1(i)), re-purposed for request tracing as in the paper.
+//
+// WAP5 models the delay between a parent request's arrival and a child
+// request's departure with an exponential distribution and links each child
+// to its most probable parent. Our re-purposed version walks outgoing
+// requests in send order and assigns each to the live parent (arrival
+// before send, response after send) with the highest exponential-delay
+// likelihood, subject to per-parent call quotas from the call graph when
+// available. No joint optimization, no constraint pruning beyond liveness
+// -- the gap to TraceWeaver in the evaluation comes from exactly those
+// missing pieces.
+//
+// The same delay-model pass doubles as the seed distribution source for
+// TraceWeaver's dynamism mode (§4.2 step 4), exposed via
+// EstimateDelayMeans.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "baselines/mapper.h"
+
+namespace traceweaver {
+
+class Wap5Mapper : public Mapper {
+ public:
+  std::string name() const override { return "WAP5"; }
+  ParentAssignment Map(const MapperInput& input) override;
+};
+
+/// Mean parent-arrival -> child-send delay per (service, callee) edge, as
+/// estimated by the WAP5 most-recent-parent heuristic. Used to seed
+/// TraceWeaver's first iteration under dynamism (§4.2).
+std::map<std::pair<std::string, std::string>, double> Wap5DelayMeans(
+    const MapperInput& input);
+
+}  // namespace traceweaver

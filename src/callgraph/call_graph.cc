@@ -1,0 +1,68 @@
+#include "callgraph/call_graph.h"
+
+#include <set>
+#include <sstream>
+
+namespace traceweaver {
+
+std::size_t InvocationPlan::TotalCalls() const {
+  std::size_t n = 0;
+  for (const Stage& s : stages) n += s.calls.size();
+  return n;
+}
+
+std::vector<InvocationPlan::Position> InvocationPlan::Positions() const {
+  std::vector<Position> out;
+  out.reserve(TotalCalls());
+  for (std::size_t si = 0; si < stages.size(); ++si) {
+    for (std::size_t ci = 0; ci < stages[si].calls.size(); ++ci) {
+      out.push_back(Position{si, ci});
+    }
+  }
+  return out;
+}
+
+void CallGraph::SetPlan(const HandlerKey& key, InvocationPlan plan) {
+  plans_[key] = std::move(plan);
+}
+
+const InvocationPlan* CallGraph::PlanFor(const HandlerKey& key) const {
+  auto it = plans_.find(key);
+  if (it == plans_.end()) return nullptr;
+  return &it->second;
+}
+
+std::vector<std::string> CallGraph::Services() const {
+  std::set<std::string> names;
+  for (const auto& [key, plan] : plans_) {
+    names.insert(key.service);
+    for (const Stage& st : plan.stages) {
+      for (const BackendCall& c : st.calls) names.insert(c.service);
+    }
+  }
+  return {names.begin(), names.end()};
+}
+
+std::string CallGraph::ToString() const {
+  std::ostringstream out;
+  for (const auto& [key, plan] : plans_) {
+    out << key.service << " [" << key.endpoint << "] ->";
+    if (plan.Empty()) {
+      out << " (leaf)";
+    } else {
+      for (const Stage& st : plan.stages) {
+        out << " {";
+        for (std::size_t i = 0; i < st.calls.size(); ++i) {
+          if (i > 0) out << " || ";
+          out << st.calls[i].service << ":" << st.calls[i].endpoint;
+          if (st.calls[i].optional) out << "?";
+        }
+        out << "}";
+      }
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace traceweaver

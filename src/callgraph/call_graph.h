@@ -1,0 +1,94 @@
+// Call-graph and dependency-order model (§2.1, §4.1 inputs).
+//
+// For each (service, endpoint) handler, the InvocationPlan describes which
+// backend calls the handler makes and in what order: a sequence of *stages*
+// executed sequentially, each stage a set of calls issued in parallel. This
+// captures both the call graph (which backends) and the dependency order
+// (sequential vs parallel structure) that TraceWeaver turns into feasibility
+// constraints.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace traceweaver {
+
+/// One backend invocation made by a handler.
+struct BackendCall {
+  std::string service;   ///< Callee service name.
+  std::string endpoint;  ///< Endpoint invoked on the callee.
+  /// True if this call may be skipped at runtime (caching, failures,
+  /// semantic reasons) -- the §4.2 dynamism class.
+  bool optional = false;
+
+  bool operator==(const BackendCall& o) const {
+    return service == o.service && endpoint == o.endpoint &&
+           optional == o.optional;
+  }
+};
+
+/// A set of calls issued concurrently.
+struct Stage {
+  std::vector<BackendCall> calls;
+};
+
+/// The full backend-invocation structure of one handler: stages run
+/// sequentially, calls within a stage run in parallel.
+struct InvocationPlan {
+  std::vector<Stage> stages;
+
+  std::size_t TotalCalls() const;
+  bool Empty() const { return stages.empty(); }
+
+  /// Flattened (stage, call) positions in execution order.
+  struct Position {
+    std::size_t stage = 0;
+    std::size_t call = 0;
+  };
+  std::vector<Position> Positions() const;
+
+  const BackendCall& At(const Position& p) const {
+    return stages[p.stage].calls[p.call];
+  }
+};
+
+/// Key identifying a handler.
+struct HandlerKey {
+  std::string service;
+  std::string endpoint;
+
+  bool operator<(const HandlerKey& o) const {
+    if (service != o.service) return service < o.service;
+    return endpoint < o.endpoint;
+  }
+  bool operator==(const HandlerKey& o) const {
+    return service == o.service && endpoint == o.endpoint;
+  }
+};
+
+/// The application-wide call graph: one InvocationPlan per handler.
+/// Handlers that make no backend calls (leaf services) simply have an empty
+/// plan.
+class CallGraph {
+ public:
+  void SetPlan(const HandlerKey& key, InvocationPlan plan);
+
+  /// Returns the plan for a handler, or nullptr for unknown/leaf handlers.
+  const InvocationPlan* PlanFor(const HandlerKey& key) const;
+
+  const std::map<HandlerKey, InvocationPlan>& plans() const { return plans_; }
+
+  /// All services appearing anywhere in the graph (as caller or callee).
+  std::vector<std::string> Services() const;
+
+  /// Human-readable rendering, for docs/debugging.
+  std::string ToString() const;
+
+ private:
+  std::map<HandlerKey, InvocationPlan> plans_;
+};
+
+}  // namespace traceweaver

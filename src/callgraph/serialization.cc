@@ -1,0 +1,115 @@
+#include "callgraph/serialization.h"
+
+#include <cctype>
+#include <ostream>
+#include <sstream>
+
+namespace traceweaver {
+namespace {
+
+/// Trims ASCII whitespace from both ends.
+std::string Trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+/// Parses one "service:/endpoint[?]" call token.
+std::optional<BackendCall> ParseCall(const std::string& token) {
+  std::string t = Trim(token);
+  if (t.empty()) return std::nullopt;
+  BackendCall call;
+  if (t.back() == '?') {
+    call.optional = true;
+    t.pop_back();
+  }
+  const std::size_t colon = t.find(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= t.size()) {
+    return std::nullopt;
+  }
+  call.service = Trim(t.substr(0, colon));
+  call.endpoint = Trim(t.substr(colon + 1));
+  if (call.service.empty() || call.endpoint.empty()) return std::nullopt;
+  return call;
+}
+
+/// Parses one "{a:/x || b:/y}" stage body (braces already stripped).
+std::optional<Stage> ParseStage(const std::string& body) {
+  Stage stage;
+  std::size_t pos = 0;
+  while (pos <= body.size()) {
+    const std::size_t sep = body.find("||", pos);
+    const std::string token =
+        body.substr(pos, sep == std::string::npos ? std::string::npos
+                                                  : sep - pos);
+    auto call = ParseCall(token);
+    if (!call) return std::nullopt;
+    stage.calls.push_back(std::move(*call));
+    if (sep == std::string::npos) break;
+    pos = sep + 2;
+  }
+  if (stage.calls.empty()) return std::nullopt;
+  return stage;
+}
+
+}  // namespace
+
+std::optional<std::pair<HandlerKey, InvocationPlan>> ParseHandlerLine(
+    const std::string& line) {
+  // "<service> [<endpoint>] -> <stages or (leaf)>"
+  const std::size_t lb = line.find('[');
+  const std::size_t rb = line.find(']', lb == std::string::npos ? 0 : lb);
+  const std::size_t arrow = line.find("->");
+  if (lb == std::string::npos || rb == std::string::npos ||
+      arrow == std::string::npos || arrow < rb) {
+    return std::nullopt;
+  }
+  HandlerKey key;
+  key.service = Trim(line.substr(0, lb));
+  key.endpoint = Trim(line.substr(lb + 1, rb - lb - 1));
+  if (key.service.empty() || key.endpoint.empty()) return std::nullopt;
+
+  InvocationPlan plan;
+  const std::string rest = Trim(line.substr(arrow + 2));
+  if (rest == "(leaf)" || rest.empty()) {
+    return std::make_pair(std::move(key), std::move(plan));
+  }
+
+  std::size_t pos = 0;
+  while (pos < rest.size()) {
+    const std::size_t open = rest.find('{', pos);
+    if (open == std::string::npos) break;
+    const std::size_t close = rest.find('}', open);
+    if (close == std::string::npos) return std::nullopt;
+    auto stage = ParseStage(rest.substr(open + 1, close - open - 1));
+    if (!stage) return std::nullopt;
+    plan.stages.push_back(std::move(*stage));
+    pos = close + 1;
+  }
+  if (plan.stages.empty()) return std::nullopt;
+  return std::make_pair(std::move(key), std::move(plan));
+}
+
+void WriteCallGraph(std::ostream& out, const CallGraph& graph) {
+  out << graph.ToString();
+}
+
+CallGraph ReadCallGraph(std::istream& in, std::size_t* dropped) {
+  CallGraph graph;
+  std::size_t bad = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    if (auto parsed = ParseHandlerLine(trimmed)) {
+      graph.SetPlan(parsed->first, std::move(parsed->second));
+    } else {
+      ++bad;
+    }
+  }
+  if (dropped != nullptr) *dropped = bad;
+  return graph;
+}
+
+}  // namespace traceweaver

@@ -1,0 +1,269 @@
+#include "collector/capture.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <tuple>
+
+namespace traceweaver::collector {
+namespace {
+
+/// Key for a connection pool: one pool per (caller container, callee
+/// container) pair.
+using PoolKey = std::tuple<std::string, int, std::string, int>;
+
+struct Connection {
+  std::uint64_t id = 0;
+  TimeNs busy_until = 0;  ///< Last response time on this connection.
+};
+
+}  // namespace
+
+std::map<SpanId, std::uint64_t> AssignSpanConnections(
+    const std::vector<Span>& spans) {
+  std::vector<const Span*> ordered;
+  ordered.reserve(spans.size());
+  for (const Span& s : spans) ordered.push_back(&s);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const Span* a, const Span* b) {
+              return SpanClientSendOrder{}(*a, *b);
+            });
+
+  std::map<PoolKey, std::vector<Connection>> pools;
+  std::map<SpanId, std::uint64_t> assignment;
+  std::uint64_t next_conn = 1;
+  for (const Span* s : ordered) {
+    PoolKey key{s->caller, s->caller_replica, s->callee, s->callee_replica};
+    auto& pool = pools[key];
+    Connection* chosen = nullptr;
+    for (Connection& c : pool) {
+      if (c.busy_until <= s->client_send) {
+        chosen = &c;
+        break;
+      }
+    }
+    if (chosen == nullptr) {
+      pool.push_back(Connection{next_conn++, 0});
+      chosen = &pool.back();
+    }
+    chosen->busy_until = s->client_recv;
+    assignment[s->id] = chosen->id;
+  }
+  return assignment;
+}
+
+namespace {
+
+NetEvent MakeEvent(const Span& s, std::uint64_t conn, EventKind kind,
+                   Vantage vantage, TimeNs ts) {
+  NetEvent e;
+  e.connection_id = conn;
+  e.kind = kind;
+  e.vantage = vantage;
+  e.timestamp = ts;
+  e.src_service = s.caller;
+  e.src_replica = s.caller_replica;
+  e.dst_service = s.callee;
+  e.dst_replica = s.callee_replica;
+  e.endpoint = s.endpoint;
+  e.thread = (vantage == Vantage::kCallerSide) ? s.caller_thread
+                                               : s.handler_thread;
+  e.truth_span = s.id;
+  e.truth_parent = s.true_parent;
+  e.truth_trace = s.true_trace;
+  return e;
+}
+
+}  // namespace
+
+std::vector<NetEvent> ExplodeSpans(const std::vector<Span>& spans,
+                                   const CaptureFaults& faults) {
+  const auto assignment = AssignSpanConnections(spans);
+  Rng rng(faults.seed);
+
+  std::vector<NetEvent> events;
+  std::vector<TimeNs> true_ts;  // Pre-jitter timestamps, parallel to events.
+  events.reserve(spans.size() * 4);
+  true_ts.reserve(spans.size() * 4);
+  for (const Span& s : spans) {
+    const std::uint64_t conn = assignment.at(s.id);
+    const NetEvent all[4] = {
+        MakeEvent(s, conn, EventKind::kRequest, Vantage::kCallerSide,
+                  s.client_send),
+        MakeEvent(s, conn, EventKind::kRequest, Vantage::kCalleeSide,
+                  s.server_recv),
+        MakeEvent(s, conn, EventKind::kResponse, Vantage::kCalleeSide,
+                  s.server_send),
+        MakeEvent(s, conn, EventKind::kResponse, Vantage::kCallerSide,
+                  s.client_recv),
+    };
+    for (NetEvent e : all) {
+      if (faults.drop_probability > 0.0 &&
+          rng.Bernoulli(faults.drop_probability)) {
+        continue;
+      }
+      true_ts.push_back(e.timestamp);
+      if (faults.jitter_stddev > 0) {
+        e.timestamp += static_cast<DurationNs>(
+            rng.Normal(0.0, static_cast<double>(faults.jitter_stddev)));
+      }
+      events.push_back(std::move(e));
+    }
+  }
+
+  if (faults.jitter_stddev > 0) {
+    // A capture point's local clock is monotonic: jitter skews timestamps
+    // but never reorders events observed at the same vantage on the same
+    // connection. Enforce per-(connection, vantage) monotonicity by
+    // clamping along each stream in true (pre-jitter) emission order.
+    std::map<std::pair<std::uint64_t, int>, std::vector<std::size_t>> streams;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      streams[{events[i].connection_id,
+               static_cast<int>(events[i].vantage)}]
+          .push_back(i);
+    }
+    for (auto& [key, indices] : streams) {
+      std::sort(indices.begin(), indices.end(),
+                [&true_ts](std::size_t a, std::size_t b) {
+                  return true_ts[a] < true_ts[b];
+                });
+      TimeNs floor_ts = std::numeric_limits<TimeNs>::min();
+      for (std::size_t i : indices) {
+        // Strictly increasing: equal timestamps would leave request vs
+        // response ordering within the stream to sort tie-breaking.
+        events[i].timestamp =
+            std::max(events[i].timestamp,
+                     floor_ts == std::numeric_limits<TimeNs>::min()
+                         ? floor_ts
+                         : floor_ts + 1);
+        floor_ts = events[i].timestamp;
+      }
+    }
+  }
+  std::sort(events.begin(), events.end(), NetEventOrder{});
+  return events;
+}
+
+std::vector<Span> AssembleSpans(std::vector<NetEvent> events,
+                                AssemblyStats* stats) {
+  std::sort(events.begin(), events.end(), NetEventOrder{});
+
+  // Per (connection, vantage): FIFO pairing of requests and responses.
+  struct HalfSpan {
+    TimeNs request_ts = 0;
+    TimeNs response_ts = 0;
+    const NetEvent* request = nullptr;
+  };
+  struct ConnState {
+    std::vector<HalfSpan> caller_halves;
+    std::vector<HalfSpan> callee_halves;
+    // At most one outstanding request per connection and vantage
+    // (HTTP/1.1 keep-alive semantics enforced by the connection pooler).
+    const NetEvent* open_caller = nullptr;
+    const NetEvent* open_callee = nullptr;
+  };
+  std::map<std::uint64_t, ConnState> conns;
+
+  AssemblyStats local;
+  for (const NetEvent& e : events) {
+    ConnState& st = conns[e.connection_id];
+    const NetEvent*& open = (e.vantage == Vantage::kCallerSide)
+                                ? st.open_caller
+                                : st.open_callee;
+    auto& halves = (e.vantage == Vantage::kCallerSide) ? st.caller_halves
+                                                       : st.callee_halves;
+    if (e.kind == EventKind::kRequest) {
+      if (open != nullptr) {
+        // A new request while another is outstanding means the previous
+        // response event was lost: close the stale request as unmatched
+        // instead of letting every later pairing shift by one.
+        ++local.unmatched_requests;
+      }
+      open = &e;
+    } else {
+      if (open == nullptr) {
+        ++local.unmatched_responses;
+        continue;
+      }
+      halves.push_back(HalfSpan{open->timestamp, e.timestamp, open});
+      open = nullptr;
+    }
+  }
+
+  std::vector<Span> out;
+  for (auto& [conn_id, st] : conns) {
+    local.unmatched_requests += (st.open_caller != nullptr ? 1u : 0u) +
+                                (st.open_callee != nullptr ? 1u : 0u);
+    if (st.caller_halves.size() != st.callee_halves.size()) {
+      ++local.misaligned_connections;
+    }
+    // Align the two vantage points' half-spans by nesting, not by index:
+    // a callee half belongs to the caller half whose window contains it.
+    // Event loss then drops individual spans instead of shifting every
+    // later pair on the connection.
+    std::vector<std::pair<const HalfSpan*, const HalfSpan*>> pairs;
+    {
+      // A connection serializes its RPCs, so a caller half and a callee
+      // half belong to the same RPC exactly when their windows overlap
+      // (callee nested in caller, modulo vantage clock skew).
+      constexpr DurationNs kAlignSlack = Micros(500);
+      std::size_t i = 0, j = 0;
+      while (i < st.caller_halves.size() && j < st.callee_halves.size()) {
+        const HalfSpan& caller = st.caller_halves[i];
+        const HalfSpan& callee = st.callee_halves[j];
+        if (callee.response_ts < caller.request_ts - kAlignSlack) {
+          // Callee window lies entirely before the caller window: the
+          // matching caller record was lost.
+          ++j;
+          continue;
+        }
+        if (callee.request_ts > caller.response_ts + kAlignSlack) {
+          // Callee window entirely after: this caller's callee events were
+          // lost.
+          ++i;
+          continue;
+        }
+        pairs.emplace_back(&caller, &callee);
+        ++i;
+        ++j;
+      }
+    }
+    for (const auto& [caller_half, callee_half] : pairs) {
+      const HalfSpan& caller = *caller_half;
+      const HalfSpan& callee = *callee_half;
+      const NetEvent* req = caller.request;
+      const NetEvent* srv_req = callee.request;
+
+      Span s;
+      s.id = req->truth_span;
+      s.caller = req->src_service;
+      s.caller_replica = req->src_replica;
+      s.callee = req->dst_service;
+      s.callee_replica = req->dst_replica;
+      s.endpoint = req->endpoint;
+      s.true_parent = req->truth_parent;
+      s.true_trace = req->truth_trace;
+      s.caller_thread = req->thread;
+      s.handler_thread = srv_req->thread;
+
+      // Sanitize ordering under jitter: each timestamp is clamped to be no
+      // earlier than its predecessor.
+      s.client_send = caller.request_ts;
+      s.server_recv = std::max(callee.request_ts, s.client_send);
+      s.server_send = std::max(callee.response_ts, s.server_recv);
+      s.client_recv = std::max(caller.response_ts, s.server_send);
+      out.push_back(std::move(s));
+      ++local.spans_assembled;
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+std::vector<Span> CaptureRoundTrip(const std::vector<Span>& spans,
+                                   const CaptureFaults& faults,
+                                   AssemblyStats* stats) {
+  return AssembleSpans(ExplodeSpans(spans, faults), stats);
+}
+
+}  // namespace traceweaver::collector

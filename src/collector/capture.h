@@ -1,0 +1,66 @@
+// Span assembly from network events (§5.1.2).
+//
+// ExplodeSpans turns a simulated span population into the four network
+// events per RPC a capture layer would log, assigning RPCs to HTTP/1.1-
+// style connections (at most one outstanding request per connection, with
+// per-container-pair connection pooling). CaptureFaults optionally injects
+// clock jitter, event drops, and delivery reordering.
+//
+// AssembleSpans inverts the process: it pairs requests with responses per
+// (connection, vantage) in FIFO order, zips the caller-side and callee-side
+// halves of each connection, and emits reconstructed spans. This is the
+// ingestion path every experiment runs through, so capture imperfections
+// propagate into reconstruction exactly as they would in production.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "collector/net_event.h"
+#include "trace/span.h"
+#include "util/rng.h"
+
+namespace traceweaver::collector {
+
+struct CaptureFaults {
+  /// Gaussian clock jitter applied independently to each event timestamp.
+  DurationNs jitter_stddev = 0;
+  /// Probability an individual event is lost.
+  double drop_probability = 0.0;
+  std::uint64_t seed = 99;
+};
+
+/// Explodes spans into a time-sorted network event stream.
+std::vector<NetEvent> ExplodeSpans(const std::vector<Span>& spans,
+                                   const CaptureFaults& faults = {});
+
+/// Assigns each span to an HTTP/1.1-style connection (one outstanding
+/// request per connection, per-container-pair pooling). Shared by the
+/// event-level and wire-level capture paths.
+std::map<SpanId, std::uint64_t> AssignSpanConnections(
+    const std::vector<Span>& spans);
+
+struct AssemblyStats {
+  std::size_t spans_assembled = 0;
+  /// Requests with no matching response (dropped events, in-flight at
+  /// capture end).
+  std::size_t unmatched_requests = 0;
+  std::size_t unmatched_responses = 0;
+  /// Connections whose caller-side and callee-side halves disagreed in
+  /// length (possible under event loss).
+  std::size_t misaligned_connections = 0;
+};
+
+/// Reassembles spans from an event stream (any order; sorted internally).
+/// Timestamps are sanitized so client_send <= server_recv <= server_send <=
+/// client_recv even under jitter.
+std::vector<Span> AssembleSpans(std::vector<NetEvent> events,
+                                AssemblyStats* stats = nullptr);
+
+/// Convenience: spans -> events -> spans, the full ingestion round trip.
+std::vector<Span> CaptureRoundTrip(const std::vector<Span>& spans,
+                                   const CaptureFaults& faults = {},
+                                   AssemblyStats* stats = nullptr);
+
+}  // namespace traceweaver::collector

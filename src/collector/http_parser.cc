@@ -1,0 +1,230 @@
+#include "collector/http_parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+namespace traceweaver::collector {
+namespace {
+
+bool IEquals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string_view Strip(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+void HttpStreamParser::Feed(std::string_view bytes, TimeNs timestamp) {
+  if (error_) return;
+  buffer_.append(bytes);
+  byte_times_.insert(byte_times_.end(), bytes.size(), timestamp);
+  Process();
+}
+
+std::vector<HttpMessage> HttpStreamParser::TakeMessages() {
+  std::vector<HttpMessage> out;
+  out.swap(done_);
+  return out;
+}
+
+bool HttpStreamParser::ParseStartLine(std::string_view line) {
+  // Either "METHOD /path HTTP/1.1" or "HTTP/1.1 200 OK".
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) return false;
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  const std::string_view first = line.substr(0, sp1);
+
+  if (first.rfind("HTTP/", 0) == 0) {
+    current_.is_request = false;
+    const std::string_view code =
+        sp2 == std::string_view::npos ? line.substr(sp1 + 1)
+                                      : line.substr(sp1 + 1, sp2 - sp1 - 1);
+    int status = 0;
+    const auto [ptr, ec] =
+        std::from_chars(code.data(), code.data() + code.size(), status);
+    if (ec != std::errc{} || status < 100 || status > 599) return false;
+    current_.status = status;
+    return true;
+  }
+
+  if (sp2 == std::string_view::npos) return false;
+  const std::string_view version = line.substr(sp2 + 1);
+  if (version.rfind("HTTP/", 0) != 0) return false;
+  current_.is_request = true;
+  current_.method = std::string(first);
+  current_.path = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  return !current_.method.empty() && !current_.path.empty();
+}
+
+void HttpStreamParser::ParseHeaderLine(std::string_view line) {
+  const std::size_t colon = line.find(':');
+  if (colon == std::string_view::npos) return;  // Tolerate odd headers.
+  const std::string_view name = Strip(line.substr(0, colon));
+  const std::string_view value = Strip(line.substr(colon + 1));
+  if (IEquals(name, "content-length")) {
+    std::size_t n = 0;
+    const auto [ptr, ec] =
+        std::from_chars(value.data(), value.data() + value.size(), n);
+    if (ec == std::errc{}) {
+      body_remaining_ = n;
+    } else {
+      error_ = true;
+    }
+  } else if (IEquals(name, "transfer-encoding") &&
+             value.find("chunked") != std::string_view::npos) {
+    chunked_ = true;
+  }
+}
+
+void HttpStreamParser::Process() {
+  // Consume the buffer as far as possible; `cut` tracks consumed bytes.
+  std::size_t cut = 0;
+  auto remaining = [&]() {
+    return std::string_view(buffer_).substr(cut);
+  };
+  auto take_line = [&]() -> std::optional<std::string_view> {
+    const std::string_view rest = remaining();
+    const std::size_t eol = rest.find("\r\n");
+    if (eol == std::string_view::npos) return std::nullopt;
+    const std::string_view line = rest.substr(0, eol);
+    cut += eol + 2;
+    return line;
+  };
+
+  bool progress = true;
+  while (progress && !error_) {
+    progress = false;
+    switch (state_) {
+      case State::kStartLine: {
+        // Skip stray CRLFs between pipelined messages.
+        while (remaining().rfind("\r\n", 0) == 0) cut += 2;
+        const std::size_t first_byte_index = cut;
+        auto line = take_line();
+        if (!line) break;
+        current_ = HttpMessage{};
+        current_.first_byte = byte_times_[first_byte_index];
+        current_.header_bytes = line->size() + 2;
+        body_remaining_ = 0;
+        chunked_ = false;
+        if (!ParseStartLine(*line)) {
+          error_ = true;
+          break;
+        }
+        state_ = State::kHeaders;
+        progress = true;
+        break;
+      }
+      case State::kHeaders: {
+        auto line = take_line();
+        if (!line) break;
+        current_.header_bytes += line->size() + 2;
+        if (line->empty()) {
+          if (chunked_) {
+            state_ = State::kChunkSize;
+          } else if (body_remaining_ > 0) {
+            state_ = State::kBody;
+          } else {
+            done_.push_back(current_);
+            state_ = State::kStartLine;
+          }
+        } else {
+          ParseHeaderLine(*line);
+        }
+        progress = true;
+        break;
+      }
+      case State::kBody: {
+        const std::size_t available = remaining().size();
+        const std::size_t consume = std::min(available, body_remaining_);
+        cut += consume;
+        body_remaining_ -= consume;
+        current_.body_bytes += consume;
+        if (body_remaining_ == 0) {
+          done_.push_back(current_);
+          state_ = State::kStartLine;
+          progress = true;
+        }
+        break;
+      }
+      case State::kChunkSize: {
+        auto line = take_line();
+        if (!line) break;
+        std::size_t size = 0;
+        const std::string_view hex = Strip(*line);
+        const auto [ptr, ec] = std::from_chars(
+            hex.data(), hex.data() + hex.size(), size, 16);
+        if (ec != std::errc{}) {
+          error_ = true;
+          break;
+        }
+        chunk_remaining_ = size;
+        state_ = size == 0 ? State::kChunkTrailer : State::kChunkData;
+        progress = true;
+        break;
+      }
+      case State::kChunkData: {
+        // Chunk data plus its trailing CRLF.
+        const std::size_t needed = chunk_remaining_ + 2;
+        if (remaining().size() < needed) break;
+        cut += needed;
+        current_.body_bytes += chunk_remaining_;
+        state_ = State::kChunkSize;
+        progress = true;
+        break;
+      }
+      case State::kChunkTrailer: {
+        auto line = take_line();
+        if (!line) break;
+        if (line->empty()) {
+          done_.push_back(current_);
+          state_ = State::kStartLine;
+        }
+        progress = true;
+        break;
+      }
+    }
+  }
+
+  if (cut > 0) {
+    buffer_.erase(0, cut);
+    byte_times_.erase(byte_times_.begin(),
+                      byte_times_.begin() + static_cast<long>(cut));
+  }
+}
+
+std::string RenderHttpRequest(const std::string& method,
+                              const std::string& path,
+                              const std::string& host,
+                              std::size_t body_bytes) {
+  std::string out = method + " " + path + " HTTP/1.1\r\n";
+  out += "Host: " + host + "\r\n";
+  out += "Content-Length: " + std::to_string(body_bytes) + "\r\n\r\n";
+  out.append(body_bytes, 'x');
+  return out;
+}
+
+std::string RenderHttpResponse(int status, std::size_t body_bytes) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) +
+                    (status == 200 ? " OK" : " ERR") + "\r\n";
+  out += "Content-Length: " + std::to_string(body_bytes) + "\r\n\r\n";
+  out.append(body_bytes, 'y');
+  return out;
+}
+
+}  // namespace traceweaver::collector

@@ -1,0 +1,79 @@
+// Incremental HTTP/1.1 message-framing parser (§5.1.2 "parsing and mapping
+// requests/responses").
+//
+// A real eBPF/sidecar capture layer sees raw socket payloads, fragmented
+// arbitrarily across read/write syscalls. This parser consumes one
+// direction of one connection's byte stream chunk by chunk and emits
+// message records (request line or status line, headers, body length) with
+// the timestamp of each message's first byte -- exactly what the span
+// assembler needs to build NetEvents. Supports pipelined messages,
+// Content-Length and chunked bodies; headers are case-insensitive.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/time_types.h"
+
+namespace traceweaver::collector {
+
+struct HttpMessage {
+  bool is_request = true;
+  /// Request fields (is_request == true).
+  std::string method;
+  std::string path;
+  /// Response field (is_request == false).
+  int status = 0;
+
+  TimeNs first_byte = 0;  ///< Timestamp of the message's first byte.
+  std::size_t header_bytes = 0;
+  std::size_t body_bytes = 0;
+};
+
+/// Parses one direction of one connection. Feed() may be called with any
+/// fragmentation; completed messages accumulate until TakeMessages().
+/// Malformed framing puts the parser into a sticky error state (a real
+/// capture pipeline would resynchronize on a new connection).
+class HttpStreamParser {
+ public:
+  void Feed(std::string_view bytes, TimeNs timestamp);
+
+  /// Returns and clears the completed messages, in stream order.
+  std::vector<HttpMessage> TakeMessages();
+
+  bool in_error() const { return error_; }
+  /// Bytes buffered awaiting more input.
+  std::size_t pending_bytes() const { return buffer_.size(); }
+
+ private:
+  enum class State { kStartLine, kHeaders, kBody, kChunkSize, kChunkData,
+                     kChunkTrailer };
+
+  void Process();
+  bool ParseStartLine(std::string_view line);
+  void ParseHeaderLine(std::string_view line);
+
+  State state_ = State::kStartLine;
+  std::string buffer_;
+  std::vector<TimeNs> byte_times_;  ///< Arrival time per buffered byte.
+  bool error_ = false;
+
+  HttpMessage current_;
+  std::size_t body_remaining_ = 0;
+  bool chunked_ = false;
+  std::size_t chunk_remaining_ = 0;
+  std::vector<HttpMessage> done_;
+};
+
+/// Renders a span's request or response as HTTP/1.1 bytes, for tests and
+/// the simulated capture path.
+std::string RenderHttpRequest(const std::string& method,
+                              const std::string& path,
+                              const std::string& host,
+                              std::size_t body_bytes);
+std::string RenderHttpResponse(int status, std::size_t body_bytes);
+
+}  // namespace traceweaver::collector

@@ -1,0 +1,61 @@
+// Network-layer events as an eBPF/sidecar capture layer would see them
+// (§5.1): request and response observations on connections, at both the
+// caller and callee vantage points.
+//
+// The collector consumes a time-ordered stream of these events and
+// reassembles spans -- the span-ingestion half of TraceWeaver. In a real
+// deployment the events come from hooks on accept/recv/send/close syscalls;
+// here the simulator explodes its spans into the equivalent event stream
+// (optionally with clock jitter, reordering, and drops for failure
+// injection).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/span.h"
+#include "util/time_types.h"
+
+namespace traceweaver::collector {
+
+enum class EventKind { kRequest, kResponse };
+
+/// Where the observation was made: at the caller's egress or the callee's
+/// ingress. Both sides are needed to recover all four span timestamps.
+enum class Vantage { kCallerSide, kCalleeSide };
+
+struct NetEvent {
+  std::uint64_t connection_id = 0;
+  EventKind kind = EventKind::kRequest;
+  Vantage vantage = Vantage::kCallerSide;
+  TimeNs timestamp = 0;
+
+  std::string src_service;
+  int src_replica = 0;
+  std::string dst_service;
+  int dst_replica = 0;
+  std::string endpoint;
+
+  /// Thread id of the observed syscall at the vantage point (vPath input).
+  int thread = 0;
+
+  // Ground-truth linkage riding along for evaluation; the assembler copies
+  // it onto reassembled spans but never uses it for pairing decisions.
+  SpanId truth_span = kInvalidSpanId;
+  SpanId truth_parent = kInvalidSpanId;
+  TraceId truth_trace = kInvalidTraceId;
+};
+
+/// Time order with deterministic tie-breaking.
+struct NetEventOrder {
+  bool operator()(const NetEvent& a, const NetEvent& b) const {
+    if (a.timestamp != b.timestamp) return a.timestamp < b.timestamp;
+    if (a.connection_id != b.connection_id) {
+      return a.connection_id < b.connection_id;
+    }
+    return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+  }
+};
+
+}  // namespace traceweaver::collector

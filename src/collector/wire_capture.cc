@@ -1,0 +1,118 @@
+#include "collector/wire_capture.h"
+
+#include <algorithm>
+
+#include "collector/capture.h"
+
+namespace traceweaver::collector {
+namespace {
+
+/// Identifies one parse stream: a connection direction at a vantage.
+struct StreamKey {
+  std::uint64_t connection = 0;
+  Vantage vantage = Vantage::kCallerSide;
+  bool client_to_server = true;
+
+  bool operator<(const StreamKey& o) const {
+    if (connection != o.connection) return connection < o.connection;
+    if (vantage != o.vantage) {
+      return static_cast<int>(vantage) < static_cast<int>(o.vantage);
+    }
+    return client_to_server < o.client_to_server;
+  }
+};
+
+}  // namespace
+
+std::vector<NetEvent> WireToEvents(
+    std::vector<WireChunk> chunks,
+    const std::map<std::uint64_t, ConnectionMeta>& meta,
+    WireParseStats* stats) {
+  // Group chunks per stream and sort by time (stable for same-timestamp
+  // fragments, preserving input order).
+  std::map<StreamKey, std::vector<const WireChunk*>> streams;
+  for (const WireChunk& c : chunks) {
+    streams[StreamKey{c.connection_id, c.vantage, c.client_to_server}]
+        .push_back(&c);
+  }
+
+  WireParseStats local;
+  std::vector<NetEvent> events;
+  for (auto& [key, parts] : streams) {
+    auto mit = meta.find(key.connection);
+    if (mit == meta.end()) {
+      ++local.unknown_connections;
+      continue;
+    }
+    const ConnectionMeta& cm = mit->second;
+
+    std::stable_sort(parts.begin(), parts.end(),
+                     [](const WireChunk* a, const WireChunk* b) {
+                       return a->timestamp < b->timestamp;
+                     });
+    HttpStreamParser parser;
+    for (const WireChunk* c : parts) {
+      parser.Feed(c->bytes, c->timestamp);
+    }
+    if (parser.in_error()) ++local.parser_errors;
+
+    for (const HttpMessage& m : parser.TakeMessages()) {
+      ++local.messages;
+      NetEvent e;
+      e.connection_id = key.connection;
+      e.vantage = key.vantage;
+      // Direction determines kind: client->server bytes carry requests.
+      e.kind = m.is_request ? EventKind::kRequest : EventKind::kResponse;
+      e.timestamp = m.first_byte;
+      e.src_service = cm.src_service;
+      e.src_replica = cm.src_replica;
+      e.dst_service = cm.dst_service;
+      e.dst_replica = cm.dst_replica;
+      e.endpoint = m.is_request ? m.path : "";
+      events.push_back(std::move(e));
+    }
+  }
+
+  // Responses carry no endpoint on the wire; propagate it from the
+  // request they answer so AssembleSpans sees uniform metadata. (The
+  // assembler takes the endpoint from the request event anyway.)
+  std::sort(events.begin(), events.end(), NetEventOrder{});
+  if (stats != nullptr) *stats = local;
+  return events;
+}
+
+WireRendering RenderSpansToWire(const std::vector<Span>& spans) {
+  WireRendering out;
+  const auto assignment = AssignSpanConnections(spans);
+
+  // Truth order per connection (by request time) for test scoring.
+  std::vector<const Span*> ordered;
+  for (const Span& s : spans) ordered.push_back(&s);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const Span* a, const Span* b) {
+              return SpanClientSendOrder{}(*a, *b);
+            });
+
+  for (const Span* s : ordered) {
+    const std::uint64_t conn = assignment.at(s->id);
+    out.meta[conn] = ConnectionMeta{s->caller, s->caller_replica, s->callee,
+                                    s->callee_replica};
+    out.truth_order[conn].push_back(s->id);
+
+    const std::string request =
+        RenderHttpRequest("POST", s->endpoint, s->callee, 64);
+    const std::string response = RenderHttpResponse(200, 128);
+
+    out.chunks.push_back(WireChunk{conn, Vantage::kCallerSide, true,
+                                   s->client_send, request});
+    out.chunks.push_back(WireChunk{conn, Vantage::kCalleeSide, true,
+                                   s->server_recv, request});
+    out.chunks.push_back(WireChunk{conn, Vantage::kCalleeSide, false,
+                                   s->server_send, response});
+    out.chunks.push_back(WireChunk{conn, Vantage::kCallerSide, false,
+                                   s->client_recv, response});
+  }
+  return out;
+}
+
+}  // namespace traceweaver::collector

@@ -1,0 +1,69 @@
+// Wire-level capture: from raw, timed payload chunks to NetEvents.
+//
+// This is the most realistic ingestion path in the repository: an eBPF
+// payload hook delivers (connection, vantage, direction, timestamp, bytes)
+// tuples with arbitrary fragmentation; HttpStreamParser recovers message
+// boundaries; and connection metadata (known from socket addresses)
+// supplies the caller/callee identities. The resulting NetEvents feed the
+// same AssembleSpans pipeline as the event-level path.
+//
+// Wire-derived spans carry no ground-truth linkage (the bytes don't either)
+// -- which is precisely the situation TraceWeaver exists for.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "collector/http_parser.h"
+#include "collector/net_event.h"
+#include "trace/span.h"
+
+namespace traceweaver::collector {
+
+/// One captured payload fragment.
+struct WireChunk {
+  std::uint64_t connection_id = 0;
+  Vantage vantage = Vantage::kCallerSide;
+  /// True for client->server bytes (requests), false for server->client.
+  bool client_to_server = true;
+  TimeNs timestamp = 0;
+  std::string bytes;
+};
+
+/// Socket-level identity of a connection (from accept()/connect() addrs).
+struct ConnectionMeta {
+  std::string src_service;
+  int src_replica = 0;
+  std::string dst_service;
+  int dst_replica = 0;
+};
+
+struct WireParseStats {
+  std::size_t messages = 0;
+  std::size_t parser_errors = 0;  ///< Streams that hit a framing error.
+  std::size_t unknown_connections = 0;
+};
+
+/// Parses all chunks (any order; sorted internally per stream) into
+/// NetEvents. Connections missing from `meta` are dropped and counted.
+std::vector<NetEvent> WireToEvents(
+    std::vector<WireChunk> chunks,
+    const std::map<std::uint64_t, ConnectionMeta>& meta,
+    WireParseStats* stats = nullptr);
+
+struct WireRendering {
+  std::vector<WireChunk> chunks;
+  std::map<std::uint64_t, ConnectionMeta> meta;
+  /// Per connection, the span ids in request order -- ground truth the
+  /// wire itself does not carry, used only by tests to score the pipeline.
+  std::map<std::uint64_t, std::vector<SpanId>> truth_order;
+};
+
+/// Renders a span population as HTTP/1.1 wire traffic: four chunks per
+/// span (request and response at both vantages), with connections assigned
+/// exactly as ExplodeSpans would.
+WireRendering RenderSpansToWire(const std::vector<Span>& spans);
+
+}  // namespace traceweaver::collector

@@ -1,0 +1,164 @@
+#include "core/accuracy.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace traceweaver {
+namespace {
+
+/// True children per parent span id (only spans present in the population).
+std::unordered_map<SpanId, std::set<SpanId>> TrueChildren(
+    const std::vector<Span>& spans) {
+  std::unordered_set<SpanId> known;
+  known.reserve(spans.size());
+  for (const Span& s : spans) known.insert(s.id);
+
+  std::unordered_map<SpanId, std::set<SpanId>> children;
+  for (const Span& s : spans) {
+    if (s.true_parent != kInvalidSpanId && known.count(s.true_parent) > 0) {
+      children[s.true_parent].insert(s.id);
+    }
+  }
+  return children;
+}
+
+std::set<SpanId> MappedChildren(const CandidateMapping& m) {
+  std::set<SpanId> out;
+  for (SpanId id : m.children) {
+    if (id != kSkippedChild) out.insert(id);
+  }
+  return out;
+}
+
+}  // namespace
+
+AccuracyReport Evaluate(const std::vector<Span>& spans,
+                        const ParentAssignment& predicted) {
+  AccuracyReport report;
+
+  std::unordered_set<SpanId> known;
+  known.reserve(spans.size());
+  for (const Span& s : spans) known.insert(s.id);
+
+  std::unordered_map<TraceId, bool> trace_ok;
+  for (const Span& s : spans) {
+    if (s.IsRoot()) {
+      trace_ok.emplace(s.true_trace, true);
+      continue;
+    }
+    if (s.true_parent == kInvalidSpanId || known.count(s.true_parent) == 0) {
+      continue;  // Parent outside the captured population.
+    }
+    ++report.spans_considered;
+    SpanId pred = kInvalidSpanId;
+    if (auto it = predicted.find(s.id); it != predicted.end()) {
+      pred = it->second;
+    }
+    const bool correct = pred == s.true_parent;
+    if (correct) {
+      ++report.spans_correct;
+    } else {
+      trace_ok[s.true_trace] = false;
+    }
+  }
+
+  for (const auto& [trace, ok] : trace_ok) {
+    ++report.traces_considered;
+    if (ok) ++report.traces_correct;
+  }
+  return report;
+}
+
+double TopKParentAccuracy(const std::vector<Span>& spans,
+                          const TraceWeaverOutput& output, std::size_t k) {
+  const auto truth = TrueChildren(spans);
+
+  std::size_t considered = 0;
+  std::size_t hit = 0;
+  for (const ContainerResult& c : output.containers) {
+    for (const ParentResult& p : c.parents) {
+      auto it = truth.find(p.parent);
+      if (it == truth.end()) continue;  // Parent with no true children.
+      ++considered;
+      const std::size_t limit = std::min(k, p.ranked.size());
+      for (std::size_t i = 0; i < limit; ++i) {
+        if (MappedChildren(p.ranked[i]) == it->second) {
+          ++hit;
+          break;
+        }
+      }
+    }
+  }
+  return considered == 0 ? 1.0
+                         : static_cast<double>(hit) /
+                               static_cast<double>(considered);
+}
+
+double TopKTraceAccuracy(const std::vector<Span>& spans,
+                         const TraceWeaverOutput& output, std::size_t k) {
+  const auto truth = TrueChildren(spans);
+
+  std::unordered_map<SpanId, TraceId> trace_of;
+  for (const Span& s : spans) trace_of[s.id] = s.true_trace;
+
+  std::unordered_map<TraceId, bool> trace_ok;
+  for (const Span& s : spans) trace_ok.emplace(s.true_trace, true);
+
+  for (const ContainerResult& c : output.containers) {
+    for (const ParentResult& p : c.parents) {
+      auto it = truth.find(p.parent);
+      if (it == truth.end()) continue;
+      bool hit = false;
+      const std::size_t limit = std::min(k, p.ranked.size());
+      for (std::size_t i = 0; i < limit; ++i) {
+        if (MappedChildren(p.ranked[i]) == it->second) {
+          hit = true;
+          break;
+        }
+      }
+      if (!hit) trace_ok[trace_of[p.parent]] = false;
+    }
+  }
+
+  std::size_t ok = 0;
+  for (const auto& [trace, good] : trace_ok) {
+    if (good) ++ok;
+  }
+  return trace_ok.empty() ? 1.0
+                          : static_cast<double>(ok) /
+                                static_cast<double>(trace_ok.size());
+}
+
+std::map<std::string, double> PerServiceAccuracy(
+    const std::vector<Span>& spans, const ParentAssignment& predicted) {
+  std::unordered_set<SpanId> known;
+  for (const Span& s : spans) known.insert(s.id);
+
+  struct Tally {
+    std::size_t total = 0;
+    std::size_t correct = 0;
+  };
+  std::map<std::string, Tally> tallies;
+  for (const Span& s : spans) {
+    if (s.IsRoot() || s.true_parent == kInvalidSpanId ||
+        known.count(s.true_parent) == 0) {
+      continue;
+    }
+    Tally& t = tallies[s.caller];
+    ++t.total;
+    if (auto it = predicted.find(s.id);
+        it != predicted.end() && it->second == s.true_parent) {
+      ++t.correct;
+    }
+  }
+  std::map<std::string, double> out;
+  for (const auto& [service, t] : tallies) {
+    out[service] =
+        static_cast<double>(t.correct) / static_cast<double>(t.total);
+  }
+  return out;
+}
+
+}  // namespace traceweaver

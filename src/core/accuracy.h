@@ -1,0 +1,62 @@
+// Evaluation metrics: span-level, end-to-end, top-K, and per-service
+// reconstruction accuracy against simulator ground truth (§6 methodology).
+//
+// The algorithms never see ground truth; these functions compare their
+// output against the true_parent links the simulator carried out-of-band.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/trace_weaver.h"
+#include "trace/trace.h"
+
+namespace traceweaver {
+
+struct AccuracyReport {
+  /// Non-root spans whose true parent exists in the population.
+  std::size_t spans_considered = 0;
+  std::size_t spans_correct = 0;
+
+  /// Traces (root spans) whose every descendant link was reconstructed.
+  std::size_t traces_considered = 0;
+  std::size_t traces_correct = 0;
+
+  double SpanAccuracy() const {
+    return spans_considered == 0
+               ? 1.0
+               : static_cast<double>(spans_correct) /
+                     static_cast<double>(spans_considered);
+  }
+  /// End-to-end tracing accuracy as reported in Figs. 4 and 6.
+  double TraceAccuracy() const {
+    return traces_considered == 0
+               ? 1.0
+               : static_cast<double>(traces_correct) /
+                     static_cast<double>(traces_considered);
+  }
+};
+
+/// Compares a predicted parent assignment against ground truth.
+AccuracyReport Evaluate(const std::vector<Span>& spans,
+                        const ParentAssignment& predicted);
+
+/// Fraction of parent spans (with at least one true child) whose full true
+/// child set appears among their top-K ranked candidate mappings
+/// (§6.2.1 "Top K accuracy").
+double TopKParentAccuracy(const std::vector<Span>& spans,
+                          const TraceWeaverOutput& output, std::size_t k);
+
+/// End-to-end top-K: fraction of traces where every parent span's true
+/// child set is within its top-K candidates.
+double TopKTraceAccuracy(const std::vector<Span>& spans,
+                         const TraceWeaverOutput& output, std::size_t k);
+
+/// Span-level accuracy per mapping service (the service whose optimizer
+/// assigned the child, i.e. the child's caller). Input to Fig. 6b.
+std::map<std::string, double> PerServiceAccuracy(
+    const std::vector<Span>& spans, const ParentAssignment& predicted);
+
+}  // namespace traceweaver

@@ -1,0 +1,35 @@
+#include "core/batching.h"
+
+#include <algorithm>
+
+namespace traceweaver {
+
+std::vector<Batch> MakeBatches(const std::vector<const Span*>& parents,
+                               std::size_t max_batch_size) {
+  std::vector<Batch> batches;
+  if (parents.empty()) return batches;
+  if (max_batch_size == 0) max_batch_size = 1;
+
+  std::size_t begin = 0;
+  // Latest end time over ALL spans before index i (Theorem A.1's span j is
+  // taken over the whole prefix, not just the current batch, so a forced
+  // imperfect cut must not reset it).
+  TimeNs latest_end = parents[0]->server_send;
+  for (std::size_t i = 1; i <= parents.size(); ++i) {
+    if (i == parents.size()) {
+      batches.push_back(Batch{begin, i, true});
+      break;
+    }
+    const Span& next = *parents[i];
+    const bool perfect = latest_end <= next.server_recv;
+    const bool forced = (i - begin) >= max_batch_size;
+    if (perfect || forced) {
+      batches.push_back(Batch{begin, i, perfect});
+      begin = i;
+    }
+    latest_end = std::max(latest_end, next.server_send);
+  }
+  return batches;
+}
+
+}  // namespace traceweaver

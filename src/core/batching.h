@@ -1,0 +1,36 @@
+// Optimization batching with perfect cuts (§4.1 step 2, Theorem A.1).
+//
+// Incoming spans at a service are sorted by start time (ties by end time).
+// A cut between spans i and i+1 is *perfect* when the span j with the
+// latest end time among 0..i shares no candidate with span i+1 and j ends
+// before i+1 ends: Theorem A.1 then guarantees no span after the cut
+// shares a candidate with any span before it. Since a candidate child is
+// always nested in its parent's processing window, disjoint windows imply
+// no shared candidate -- so we cut when the running latest end time is at
+// or before the next span's start. A hard size threshold B forces a cut
+// when no perfect boundary appears.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "trace/span.h"
+
+namespace traceweaver {
+
+struct Batch {
+  std::size_t begin = 0;  ///< First index (into the sorted span list).
+  std::size_t end = 0;    ///< One past the last index.
+  /// True when the boundary at `end` is a perfect cut (or the list ended).
+  bool perfect = true;
+
+  std::size_t size() const { return end - begin; }
+};
+
+/// Splits `parents` (which MUST already be sorted by SpanStartOrder on the
+/// callee-side window) into batches. O(M).
+std::vector<Batch> MakeBatches(const std::vector<const Span*>& parents,
+                               std::size_t max_batch_size);
+
+}  // namespace traceweaver

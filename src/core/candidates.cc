@@ -1,0 +1,218 @@
+#include "core/candidates.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace traceweaver {
+namespace {
+
+struct DfsState {
+  const Span* parent = nullptr;
+  const InvocationPlan* plan = nullptr;
+  const PositionPools* pools = nullptr;
+  const EnumerationOptions* options = nullptr;
+  std::vector<InvocationPlan::Position> positions;
+
+  std::vector<SpanId> current;
+  std::unordered_set<SpanId> used;
+  std::size_t skips = 0;
+  std::vector<CandidateMapping>* results = nullptr;
+};
+
+/// DFS over plan positions. `stage_lb` is the earliest time a call in the
+/// current stage may depart (enabling-event time); `max_recv` is the latest
+/// child completion seen across all previous positions.
+void Dfs(DfsState& state, std::size_t pos_idx, TimeNs stage_lb,
+         TimeNs max_recv) {
+  if (state.results->size() >= state.options->total_cap) return;
+  if (pos_idx == state.positions.size()) {
+    CandidateMapping m;
+    m.children = state.current;
+    m.skips = state.skips;
+    state.results->push_back(std::move(m));
+    return;
+  }
+
+  const auto& pos = state.positions[pos_idx];
+  // Entering a new stage: with dependency order on, its calls may only
+  // depart after every previous stage's call has completed.
+  if (state.options->use_order_constraints && pos.call == 0 && pos_idx > 0) {
+    stage_lb = std::max(stage_lb, max_recv);
+  }
+  const TimeNs lb = state.options->use_order_constraints
+                        ? stage_lb
+                        : state.parent->server_recv;
+
+  // Pinned position (partial instrumentation): take the known child and
+  // move on -- no alternatives, no skip.
+  if (state.options->forced != nullptr &&
+      (*state.options->forced)[pos_idx] != nullptr) {
+    const Span* child = (*state.options->forced)[pos_idx];
+    state.current.push_back(child->id);
+    Dfs(state, pos_idx + 1, stage_lb,
+        std::max(max_recv, child->client_recv));
+    state.current.pop_back();
+    return;
+  }
+
+  const std::vector<const Span*>& pool = *(*state.pools)[pos_idx];
+  const DurationNs slack = state.options->slack;
+  // Children with client_send in [lb - slack, parent.server_send + slack];
+  // nearest first.
+  const auto first = std::lower_bound(
+      pool.begin(), pool.end(), lb - slack, [](const Span* s, TimeNs t) {
+        return s->client_send < t;
+      });
+  std::size_t branched = 0;
+  for (auto it = first; it != pool.end(); ++it) {
+    const Span* child = *it;
+    if (child->client_send > state.parent->server_send + slack) break;
+    if (child->client_recv > state.parent->server_send + slack) continue;
+    if (state.options->require_thread_match &&
+        child->caller_thread != state.parent->handler_thread) {
+      continue;
+    }
+    if (state.used.count(child->id) > 0) continue;
+    if (branched >= state.options->branch_cap) break;
+    ++branched;
+
+    state.current.push_back(child->id);
+    state.used.insert(child->id);
+    Dfs(state, pos_idx + 1, stage_lb,
+        std::max(max_recv, child->client_recv));
+    state.used.erase(child->id);
+    state.current.pop_back();
+    if (state.results->size() >= state.options->total_cap) return;
+  }
+
+  // Skip branch (after the real candidates, so complete mappings are
+  // explored first).
+  const BackendCall& call = state.plan->At(pos);
+  if (call.optional || state.options->allow_all_skips) {
+    state.current.push_back(kSkippedChild);
+    ++state.skips;
+    Dfs(state, pos_idx + 1, stage_lb, max_recv);
+    --state.skips;
+    state.current.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<CandidateMapping> EnumerateCandidates(
+    const Span& parent, const InvocationPlan& plan,
+    const PositionPools& pools, const EnumerationOptions& options) {
+  std::vector<CandidateMapping> results;
+  DfsState state;
+  state.parent = &parent;
+  state.plan = &plan;
+  state.pools = &pools;
+  state.options = &options;
+  state.positions = plan.Positions();
+  state.results = &results;
+  Dfs(state, 0, parent.server_recv, parent.server_recv);
+  return results;
+}
+
+double ScoreMapping(const Span& parent, const InvocationPlan& plan,
+                    const std::vector<const Span*>& resolved_children,
+                    const ScoringContext& ctx) {
+  const auto positions = plan.Positions();
+  double score = 0.0;
+
+  TimeNs stage_lb = parent.server_recv;
+  TimeNs max_recv = parent.server_recv;
+  std::size_t prev_stage = 0;
+  bool any_child = false;
+
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    if (ctx.use_order_constraints && positions[i].stage != prev_stage) {
+      stage_lb = std::max(stage_lb, max_recv);
+      prev_stage = positions[i].stage;
+    }
+    const BackendCall& call = plan.At(positions[i]);
+    double skip_lp = ctx.skip_log_prob;
+    double keep_lp = ctx.keep_log_prob;
+    if (ctx.skip_rates != nullptr) {
+      auto it = ctx.skip_rates->find({call.service, call.endpoint});
+      if (it != ctx.skip_rates->end()) {
+        const double rate = std::clamp(it->second, 1e-4, 1.0 - 1e-4);
+        skip_lp = std::log(rate);
+        keep_lp = std::log(1.0 - rate);
+      }
+    }
+    const Span* child = resolved_children[i];
+    if (child == nullptr) {
+      score += skip_lp + ctx.skip_margin;
+      continue;
+    }
+    score += keep_lp;
+    if (ctx.thread_match_bonus > 0.0 &&
+        child->caller_thread == parent.handler_thread) {
+      score += ctx.thread_match_bonus;
+    }
+    const TimeNs trigger =
+        ctx.use_order_constraints ? stage_lb : parent.server_recv;
+    const DelayKey key{parent.callee, parent.endpoint,
+                       static_cast<int>(positions[i].stage),
+                       static_cast<int>(positions[i].call)};
+    // Mode-normalized log-likelihood ratio: unit-free, <= 0, directly
+    // comparable with the discrete skip log-probabilities above.
+    score += ctx.model->LogScore(
+                 key, static_cast<double>(child->client_send - trigger)) -
+             ctx.model->MaxLogScore(key);
+    max_recv = std::max(max_recv, child->client_recv);
+    any_child = true;
+  }
+
+  // Response-gap term: last child completion -> parent response departure.
+  if (any_child) {
+    const DelayKey rkey =
+        DelayKey::ResponseGap(parent.callee, parent.endpoint);
+    score += ctx.model->LogScore(
+                 rkey, static_cast<double>(parent.server_send - max_recv)) -
+             ctx.model->MaxLogScore(rkey);
+  }
+  return score;
+}
+
+std::vector<GapSample> ExtractGaps(
+    const Span& parent, const InvocationPlan& plan,
+    const std::vector<const Span*>& resolved_children,
+    bool use_order_constraints) {
+  const auto positions = plan.Positions();
+  std::vector<GapSample> samples;
+  samples.reserve(positions.size() + 1);
+
+  TimeNs stage_lb = parent.server_recv;
+  TimeNs max_recv = parent.server_recv;
+  std::size_t prev_stage = 0;
+  bool any_child = false;
+
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    if (use_order_constraints && positions[i].stage != prev_stage) {
+      stage_lb = std::max(stage_lb, max_recv);
+      prev_stage = positions[i].stage;
+    }
+    const Span* child = resolved_children[i];
+    if (child == nullptr) continue;
+    const TimeNs trigger =
+        use_order_constraints ? stage_lb : parent.server_recv;
+    samples.push_back(GapSample{
+        DelayKey{parent.callee, parent.endpoint,
+                 static_cast<int>(positions[i].stage),
+                 static_cast<int>(positions[i].call)},
+        static_cast<double>(child->client_send - trigger)});
+    max_recv = std::max(max_recv, child->client_recv);
+    any_child = true;
+  }
+  if (any_child) {
+    samples.push_back(GapSample{
+        DelayKey::ResponseGap(parent.callee, parent.endpoint),
+        static_cast<double>(parent.server_send - max_recv)});
+  }
+  return samples;
+}
+
+}  // namespace traceweaver

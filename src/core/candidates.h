@@ -1,0 +1,122 @@
+// Candidate-mapping enumeration, scoring, and gap extraction
+// (§4.1 steps 1 and 4).
+//
+// For an incoming (parent) span with an InvocationPlan, a candidate mapping
+// assigns one outgoing (child) span -- or a skip marker, under dynamism --
+// to every plan position, subject to the §4.1 feasibility constraints:
+//   (i)  every child's request leaves after the parent's request arrived;
+//   (ii) every child's response returns before the parent's response left;
+//   (iii) with dependency order on, a stage's calls depart only after every
+//         call of the previous stage completed.
+// Enumeration is a DFS over plan positions with a per-position branch cap
+// (children nearest the enabling event first) and a total cap; the
+// optimizer then ranks the survivors with DelayModel scores and keeps the
+// top K.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "callgraph/call_graph.h"
+#include "core/delay_model.h"
+#include "trace/span.h"
+
+namespace traceweaver {
+
+/// Marker for a skipped plan position inside a candidate mapping.
+constexpr SpanId kSkippedChild = kInvalidSpanId;
+
+struct CandidateMapping {
+  /// One entry per plan position (InvocationPlan::Positions() order);
+  /// kSkippedChild where the position is skipped.
+  std::vector<SpanId> children;
+  double score = 0.0;
+  std::size_t skips = 0;
+
+  bool Complete() const { return skips == 0; }
+};
+
+struct EnumerationOptions {
+  /// Apply cross-stage sequencing constraints (ablation line 3 disables).
+  bool use_order_constraints = true;
+  /// Allow skipping *any* position (fuzzy/dynamism mode, §4.2). Optional
+  /// positions (BackendCall::optional) are always skippable.
+  bool allow_all_skips = false;
+  std::size_t branch_cap = 8;
+  std::size_t total_cap = 96;
+  /// Timing-constraint slack: tolerates capture-clock jitter between the
+  /// vantage points of the parent and child records. 0 for exact clocks.
+  DurationNs slack = 0;
+  /// Optional per-position forced children (size == plan positions), from
+  /// partial instrumentation (§2.2.6): a non-null entry pins that position
+  /// to the given span -- no alternatives, no skip -- and TraceWeaver fills
+  /// in the gaps around it. Timing feasibility is not re-checked for
+  /// pinned children; instrumentation is authoritative.
+  const std::vector<const Span*>* forced = nullptr;
+  /// Hard thread-affinity pruning (§7 future work): only children whose
+  /// sending thread matches the parent's pickup thread are feasible. Only
+  /// sound for apps that genuinely follow the vPath threading model; off
+  /// by default.
+  bool require_thread_match = false;
+};
+
+/// Pools of available children, one per plan position, each sorted by
+/// client_send (SpanClientSendOrder). Pools may be shared across positions
+/// with the same (service, endpoint); enumeration never reuses a span.
+using PositionPools = std::vector<const std::vector<const Span*>*>;
+
+/// Enumerates feasible candidate mappings for `parent` (unscored).
+std::vector<CandidateMapping> EnumerateCandidates(
+    const Span& parent, const InvocationPlan& plan,
+    const PositionPools& pools, const EnumerationOptions& options);
+
+struct ScoringContext {
+  const DelayModel* model = nullptr;
+  /// Fallback log P(position skipped) when no per-backend rate is known.
+  double skip_log_prob = -6.0;
+  /// Fallback log P(position present).
+  double keep_log_prob = 0.0;
+  /// Score timing gaps against the stage-enabling event (dependency order
+  /// on) or uniformly against the parent arrival (ablation).
+  bool use_order_constraints = true;
+  /// Per-backend skip rates keyed by (service, endpoint), estimated from
+  /// incoming/outgoing discrepancies (§4.2); overrides the fallbacks.
+  const std::map<std::pair<std::string, std::string>, double>* skip_rates =
+      nullptr;
+  /// Extra log-penalty applied to skips on top of log(rate). Timing terms
+  /// are mode-normalized likelihood ratios (<= 0), so this margin sets how
+  /// atypical a feasible child's timing must be before skipping scores
+  /// higher: with the default, fills within ~1.5 log-likelihood units of
+  /// the distribution peak beat a skip.
+  double skip_margin = -1.5;
+  /// Soft thread-affinity hint (§7 future work): log-score bonus added per
+  /// child whose sending thread matches the parent's pickup thread. 0
+  /// disables. Unlike the hard mode this only nudges ranking, so it stays
+  /// safe when the threading model is only sometimes informative.
+  double thread_match_bonus = 0.0;
+};
+
+/// Scores one candidate mapping for `parent`: sum of per-position delay
+/// log-densities plus the response-gap term and skip penalties. Needs the
+/// actual Span objects; `lookup` resolves span ids from the pools.
+double ScoreMapping(const Span& parent, const InvocationPlan& plan,
+                    const std::vector<const Span*>& resolved_children,
+                    const ScoringContext& ctx);
+
+/// A (delay key, observed gap) pair extracted from an accepted mapping;
+/// the refit input for the next iteration (§4.1 step 6).
+struct GapSample {
+  DelayKey key;
+  double gap = 0.0;
+};
+
+/// Extracts all gap samples implied by an accepted mapping.
+std::vector<GapSample> ExtractGaps(
+    const Span& parent, const InvocationPlan& plan,
+    const std::vector<const Span*>& resolved_children,
+    bool use_order_constraints);
+
+}  // namespace traceweaver

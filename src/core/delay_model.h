@@ -1,0 +1,79 @@
+// Inter-span delay distributions (§4.1 step 3).
+//
+// One distribution per "dependency edge" at a handler: the gap between the
+// event that enables a backend call (parent request arrival for stage 0,
+// completion of the previous stage otherwise) and the call's departure,
+// plus one distribution for the response gap (last child completion ->
+// parent response departure). Iteration 1 uses seed Gaussians estimated
+// without any mapping (difference of means + bucketed CLT variance);
+// later iterations refit Gaussian mixtures (EM + BIC) on the gaps implied
+// by the current mapping.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stats/gaussian.h"
+#include "stats/gmm.h"
+
+namespace traceweaver {
+
+/// Identifies one delay distribution at a handler. stage/call index the
+/// InvocationPlan position; {-1, -1} is the response-gap distribution.
+struct DelayKey {
+  std::string service;
+  std::string endpoint;
+  int stage = 0;
+  int call = 0;
+
+  static DelayKey ResponseGap(std::string service, std::string endpoint) {
+    return DelayKey{std::move(service), std::move(endpoint), -1, -1};
+  }
+
+  bool operator<(const DelayKey& o) const {
+    if (service != o.service) return service < o.service;
+    if (endpoint != o.endpoint) return endpoint < o.endpoint;
+    if (stage != o.stage) return stage < o.stage;
+    return call < o.call;
+  }
+  bool operator==(const DelayKey& o) const {
+    return service == o.service && endpoint == o.endpoint &&
+           stage == o.stage && call == o.call;
+  }
+};
+
+/// The collection of per-edge delay distributions used for scoring.
+class DelayModel {
+ public:
+  /// Installs a seed (single-Gaussian) distribution.
+  void SetSeed(const DelayKey& key, const Gaussian& seed);
+
+  /// Replaces the distribution with a BIC-selected GMM fit on `gaps`.
+  /// Empty gap sets leave the existing distribution untouched.
+  void Refit(const DelayKey& key, const std::vector<double>& gaps,
+             const GmmFitOptions& options);
+
+  /// Log-density of `gap` under the key's distribution. Unknown keys score
+  /// against a weak, wide fallback so candidates stay comparable.
+  double LogScore(const DelayKey& key, double gap) const;
+
+  /// Peak log-density of the key's distribution: the best score any gap can
+  /// achieve. `LogScore - MaxLogScore` is a unit-free likelihood ratio used
+  /// to compare timing terms against discrete skip probabilities.
+  double MaxLogScore(const DelayKey& key) const;
+
+  bool Has(const DelayKey& key) const { return dists_.count(key) > 0; }
+  std::size_t size() const { return dists_.size(); }
+
+  const GaussianMixture* Find(const DelayKey& key) const;
+
+ private:
+  struct Entry {
+    GaussianMixture mixture;
+    double max_log_pdf = 0.0;
+  };
+  std::map<DelayKey, Entry> dists_;
+};
+
+}  // namespace traceweaver

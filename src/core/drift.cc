@@ -1,0 +1,32 @@
+#include "core/drift.h"
+
+namespace traceweaver {
+
+std::vector<DriftFinding> DetectDrift(
+    const DelayModel& model,
+    const std::map<DelayKey, std::vector<double>>& recent_gaps,
+    const DriftOptions& options) {
+  std::vector<DriftFinding> findings;
+  for (const auto& [key, gaps] : recent_gaps) {
+    if (gaps.size() < options.min_samples) continue;
+    const GaussianMixture* dist = model.Find(key);
+    if (dist == nullptr) continue;
+
+    DriftFinding finding;
+    finding.key = key;
+    finding.ks = KolmogorovSmirnovTest(
+        gaps, [dist](double x) { return dist->Cdf(x); });
+    finding.drifted = finding.ks.p_value < options.alpha;
+    findings.push_back(std::move(finding));
+  }
+  return findings;
+}
+
+bool AnyDrift(const std::vector<DriftFinding>& findings) {
+  for (const DriftFinding& f : findings) {
+    if (f.drifted) return true;
+  }
+  return false;
+}
+
+}  // namespace traceweaver

@@ -1,0 +1,39 @@
+// Maximum-weight independent set solver (§4.1 step 5).
+//
+// The paper hands each batch's conflict graph to Gurobi; we implement an
+// exact branch-and-bound MWIS solver (batches are small: at most
+// B spans x K candidates vertices, sparse) with a greedy + local-search
+// fallback under a node budget so tail latency stays bounded.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace traceweaver {
+
+struct MisProblem {
+  /// Vertex weights; must be non-negative for the solver's pruning bound
+  /// to be valid (callers shift scores accordingly).
+  std::vector<double> weights;
+  /// Adjacency lists (undirected conflict edges, no self-loops).
+  std::vector<std::vector<int>> adjacency;
+
+  std::size_t size() const { return weights.size(); }
+};
+
+struct MisSolution {
+  std::vector<int> chosen;  ///< Vertex indices in the independent set.
+  double weight = 0.0;
+  bool optimal = false;  ///< True when branch and bound ran to completion.
+};
+
+/// Solves max-weight independent set. Exact within `node_budget` B&B nodes;
+/// otherwise returns the best of (B&B incumbent, greedy + 1-swap local
+/// search).
+MisSolution SolveMwis(const MisProblem& problem, std::size_t node_budget);
+
+/// Greedy weight/(degree+1) heuristic with 1-swap improvement; exposed for
+/// testing and ablation.
+MisSolution SolveMwisGreedy(const MisProblem& problem);
+
+}  // namespace traceweaver

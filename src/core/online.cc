@@ -1,0 +1,106 @@
+#include "core/online.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace traceweaver {
+
+OnlineTraceWeaver::OnlineTraceWeaver(CallGraph graph, OnlineOptions options)
+    : graph_(std::move(graph)), options_(options) {}
+
+void OnlineTraceWeaver::Ingest(const Span& span) {
+  if (!started_ || span.client_send < next_window_start_) {
+    // First span (or an earlier-than-expected one) anchors the window grid.
+    if (!started_) {
+      next_window_start_ = span.client_send;
+      started_ = true;
+    }
+  }
+  buffer_.push_back(span);
+}
+
+WindowResult OnlineTraceWeaver::CloseWindow(TimeNs window_start,
+                                            TimeNs window_end) {
+  WindowResult result;
+  result.window_start = window_start;
+  result.window_end = window_end;
+
+  if (buffer_.empty()) return result;
+
+  // Reconstruct over the full buffer (children of closing parents may have
+  // been buffered in earlier windows' tails), then commit only the parents
+  // whose processing window lies within the closed window.
+  TraceWeaver weaver(graph_, options_.weaver);
+  const TraceWeaverOutput out = weaver.Reconstruct(buffer_);
+
+  std::unordered_set<SpanId> closing;
+  for (const Span& s : buffer_) {
+    if (s.server_recv >= window_start && s.server_recv < window_end &&
+        s.client_recv <= window_end + options_.margin) {
+      closing.insert(s.id);
+    }
+  }
+
+  std::unordered_set<SpanId> consumed;
+  for (const ContainerResult& c : out.containers) {
+    for (const ParentResult& p : c.parents) {
+      if (closing.count(p.parent) == 0 || !p.Mapped()) continue;
+      ++result.parents_committed;
+      const CandidateMapping& m =
+          p.ranked[static_cast<std::size_t>(p.chosen)];
+      for (SpanId child : m.children) {
+        if (child == kSkippedChild) continue;
+        result.assignment[child] = p.parent;
+        committed_[child] = p.parent;
+        consumed.insert(child);
+      }
+    }
+  }
+
+  // Drop consumed children and fully-expired closing parents from the
+  // buffer; keep spans that may still serve later windows.
+  std::vector<Span> remaining;
+  remaining.reserve(buffer_.size());
+  for (Span& s : buffer_) {
+    const bool expired =
+        closing.count(s.id) > 0 || consumed.count(s.id) > 0 ||
+        s.client_recv + options_.margin < window_start;
+    if (!expired) remaining.push_back(std::move(s));
+  }
+  buffer_ = std::move(remaining);
+  return result;
+}
+
+std::vector<WindowResult> OnlineTraceWeaver::Advance(TimeNs watermark) {
+  std::vector<WindowResult> results;
+  if (!started_) return results;
+  while (next_window_start_ + options_.window + options_.margin <=
+         watermark) {
+    const TimeNs start = next_window_start_;
+    const TimeNs end = start + options_.window;
+    results.push_back(CloseWindow(start, end));
+    next_window_start_ = end;
+  }
+  return results;
+}
+
+std::vector<WindowResult> OnlineTraceWeaver::Flush() {
+  std::vector<WindowResult> results;
+  if (!started_) return results;
+  while (!buffer_.empty()) {
+    TimeNs max_recv = buffer_.front().client_recv;
+    for (const Span& s : buffer_) max_recv = std::max(max_recv, s.client_recv);
+    const TimeNs start = next_window_start_;
+    const TimeNs end = std::max(start + options_.window, max_recv + 1);
+    results.push_back(CloseWindow(start, end));
+    next_window_start_ = end;
+    if (results.back().parents_committed == 0 &&
+        results.back().assignment.empty()) {
+      // Nothing more can make progress (e.g. only orphan children remain).
+      break;
+    }
+  }
+  return results;
+}
+
+}  // namespace traceweaver

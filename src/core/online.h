@@ -1,0 +1,67 @@
+// Online deployment mode (§5.3): streaming reconstruction over tumbling
+// windows, enabling tail-based sampling.
+//
+// Spans are ingested as they complete. When the watermark (latest observed
+// completion time) passes a window boundary plus a safety margin, the
+// window is closed: all spans buffered so far form the candidate
+// population, parents whose processing window lies inside the closed
+// window are committed, and committed children leave the buffer so later
+// windows cannot reuse them. The margin must exceed the app's worst-case
+// response latency so every plausible candidate for a closing parent has
+// arrived (the paper's guidance for window sizing).
+#pragma once
+
+#include <vector>
+
+#include "core/trace_weaver.h"
+#include "trace/span.h"
+
+namespace traceweaver {
+
+struct OnlineOptions {
+  DurationNs window = Seconds(2);
+  /// Extra wait beyond the window end before closing it; should exceed the
+  /// maximum span duration.
+  DurationNs margin = Millis(500);
+  TraceWeaverOptions weaver;
+};
+
+struct WindowResult {
+  TimeNs window_start = 0;
+  TimeNs window_end = 0;
+  /// Assignments committed by this window (child -> parent).
+  ParentAssignment assignment;
+  std::size_t parents_committed = 0;
+};
+
+class OnlineTraceWeaver {
+ public:
+  OnlineTraceWeaver(CallGraph graph, OnlineOptions options = {});
+
+  /// Adds a completed span to the buffer.
+  void Ingest(const Span& span);
+
+  /// Advances the watermark; closes and returns every window whose end +
+  /// margin is at or before `watermark`.
+  std::vector<WindowResult> Advance(TimeNs watermark);
+
+  /// Closes all remaining windows regardless of watermark.
+  std::vector<WindowResult> Flush();
+
+  /// Union of all assignments committed so far.
+  const ParentAssignment& assignment() const { return committed_; }
+
+  std::size_t buffered() const { return buffer_.size(); }
+
+ private:
+  WindowResult CloseWindow(TimeNs window_start, TimeNs window_end);
+
+  CallGraph graph_;
+  OnlineOptions options_;
+  std::vector<Span> buffer_;
+  ParentAssignment committed_;
+  TimeNs next_window_start_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace traceweaver

@@ -1,0 +1,608 @@
+#include "core/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/batching.h"
+#include "core/mis_solver.h"
+#include "stats/water_filling.h"
+#include "util/summary.h"
+
+namespace traceweaver {
+namespace {
+
+using PoolKey = std::pair<std::string, std::string>;  // (service, endpoint)
+
+/// One incoming span to be mapped, with its plan and per-position pools.
+struct ParentTask {
+  const Span* span = nullptr;
+  const InvocationPlan* plan = nullptr;
+  std::vector<InvocationPlan::Position> positions;
+  std::vector<PoolKey> position_keys;
+  PositionPools pools;
+  /// Per-position pinned children from partial instrumentation (empty when
+  /// nothing is pinned for this parent).
+  std::vector<const Span*> forced;
+  std::vector<CandidateMapping> all_candidates;  ///< Enumerated once.
+};
+
+const std::vector<const Span*>& EmptyPool() {
+  static const std::vector<const Span*> empty;
+  return empty;
+}
+
+/// Everything shared across the pipeline stages for one container.
+struct Workspace {
+  const ContainerView* view = nullptr;
+  const CallGraph* graph = nullptr;
+  const OptimizerOptions* opts = nullptr;
+
+  std::map<PoolKey, std::vector<const Span*>> pools;
+  std::unordered_map<SpanId, const Span*> span_by_id;
+  std::vector<ParentTask> tasks;       ///< Sorted by SpanStartOrder.
+  std::vector<const Span*> task_spans; ///< Parallel to tasks, for batching.
+
+  /// Pinned children by parent span id (§2.2.6 partial instrumentation).
+  std::map<SpanId, std::vector<const Span*>> pinned_children;
+  std::map<PoolKey, std::size_t> expected_calls;  ///< X_p per pool.
+  std::map<PoolKey, std::size_t> skip_budget;     ///< max(0, X_p - |pool|).
+  std::map<PoolKey, double> skip_rate;            ///< budget / expected.
+  bool dynamism_active = false;
+  std::size_t leaf_parents = 0;
+};
+
+void BuildPools(Workspace& ws) {
+  const ParentAssignment* pinned = ws.opts->pinned;
+  for (const auto& [callee, spans] : ws.view->outgoing_by_callee) {
+    for (const Span* s : spans) {
+      ws.span_by_id[s->id] = s;
+      // Children pinned by instrumentation are withheld from the shared
+      // pools; only their pinned parent may use them (via ParentTask::
+      // forced).
+      if (pinned != nullptr) {
+        auto it = pinned->find(s->id);
+        if (it != pinned->end() && it->second != kInvalidSpanId) {
+          ws.pinned_children[it->second].push_back(s);
+          continue;
+        }
+      }
+      ws.pools[{callee, s->endpoint}].push_back(s);  // Order preserved.
+    }
+  }
+}
+
+void BuildTasks(Workspace& ws) {
+  for (const Span* parent : ws.view->incoming) {
+    const InvocationPlan* plan = ws.graph->PlanFor(
+        HandlerKey{parent->callee, parent->endpoint});
+    if (plan == nullptr || plan->Empty()) {
+      ++ws.leaf_parents;
+      continue;
+    }
+    ParentTask task;
+    task.span = parent;
+    task.plan = plan;
+    task.positions = plan->Positions();
+    for (const auto& pos : task.positions) {
+      const BackendCall& call = plan->At(pos);
+      const PoolKey key{call.service, call.endpoint};
+      task.position_keys.push_back(key);
+      auto it = ws.pools.find(key);
+      task.pools.push_back(it == ws.pools.end() ? &EmptyPool()
+                                                : &it->second);
+    }
+    // Slot pinned children into their plan positions (first matching free
+    // position, in child send order).
+    if (auto pit = ws.pinned_children.find(parent->id);
+        pit != ws.pinned_children.end()) {
+      task.forced.assign(task.positions.size(), nullptr);
+      for (const Span* child : pit->second) {
+        for (std::size_t i = 0; i < task.positions.size(); ++i) {
+          if (task.forced[i] == nullptr &&
+              task.position_keys[i] ==
+                  PoolKey{child->callee, child->endpoint}) {
+            task.forced[i] = child;
+            break;
+          }
+        }
+      }
+    }
+    // Pinned positions no longer draw on the shared pools.
+    for (std::size_t i = 0; i < task.positions.size(); ++i) {
+      if (task.forced.empty() || task.forced[i] == nullptr) {
+        ++ws.expected_calls[task.position_keys[i]];
+      }
+    }
+    ws.tasks.push_back(std::move(task));
+    ws.task_spans.push_back(parent);
+  }
+}
+
+void DetectDynamism(Workspace& ws) {
+  bool any_optional = false;
+  for (const ParentTask& t : ws.tasks) {
+    for (const auto& pos : t.positions) {
+      if (t.plan->At(pos).optional) any_optional = true;
+    }
+  }
+  for (const auto& [key, expected] : ws.expected_calls) {
+    const std::size_t observed =
+        ws.pools.count(key) > 0 ? ws.pools.at(key).size() : 0;
+    const std::size_t budget = expected > observed ? expected - observed : 0;
+    ws.skip_budget[key] = budget;
+    ws.skip_rate[key] =
+        expected > 0 ? static_cast<double>(budget) /
+                           static_cast<double>(expected)
+                     : 0.0;
+    if (budget > 0) ws.dynamism_active = true;
+  }
+  if (any_optional) ws.dynamism_active = true;
+  if (!ws.opts->enable_dynamism) ws.dynamism_active = false;
+}
+
+void EnumerateAll(Workspace& ws) {
+  EnumerationOptions eopts;
+  eopts.use_order_constraints = ws.opts->use_order_constraints;
+  eopts.allow_all_skips = ws.dynamism_active;
+  eopts.branch_cap = ws.opts->params.enumeration_branch_cap;
+  eopts.total_cap = ws.opts->params.enumeration_total_cap;
+  eopts.slack = ws.opts->params.constraint_slack_ns;
+  eopts.require_thread_match =
+      ws.opts->thread_affinity == OptimizerOptions::ThreadAffinity::kHard;
+  for (ParentTask& task : ws.tasks) {
+    EnumerationOptions task_opts = eopts;
+    if (!task.forced.empty()) task_opts.forced = &task.forced;
+    task.all_candidates =
+        EnumerateCandidates(*task.span, *task.plan, task.pools, task_opts);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Seed distributions (§4.1 step 3 first iteration; §4.2 step 4 under
+// dynamism).
+// ---------------------------------------------------------------------------
+
+/// Series of enabling-event proxies per position: the parents' request
+/// arrivals for stage 0, the previous stage's first pool completions for
+/// later stages.
+std::vector<double> TriggerSeries(const ParentTask& sample_task,
+                                  std::size_t pos_idx,
+                                  const std::vector<const Span*>& handler_parents) {
+  const auto& pos = sample_task.positions[pos_idx];
+  if (pos.stage == 0) {
+    std::vector<double> out;
+    out.reserve(handler_parents.size());
+    for (const Span* p : handler_parents) {
+      out.push_back(static_cast<double>(p->server_recv));
+    }
+    return out;
+  }
+  // Find the first position of the previous stage and use its pool's
+  // completion times as the enabling-event proxy.
+  for (std::size_t i = 0; i < sample_task.positions.size(); ++i) {
+    if (sample_task.positions[i].stage == pos.stage - 1) {
+      std::vector<double> out;
+      for (const Span* c : *sample_task.pools[i]) {
+        out.push_back(static_cast<double>(c->client_recv));
+      }
+      return out;
+    }
+  }
+  return {};
+}
+
+/// Paper-style seeds: mean by difference of means, stddev via R bucket
+/// means scaled by sqrt(R) (central limit theorem).
+void SeedFromUnmatched(const Workspace& ws, DelayModel& model) {
+  // Group parents by handler.
+  std::map<PoolKey, std::vector<const Span*>> handler_parents;
+  std::map<PoolKey, const ParentTask*> handler_task;
+  for (const ParentTask& t : ws.tasks) {
+    const PoolKey key{t.span->callee, t.span->endpoint};
+    handler_parents[key].push_back(t.span);
+    handler_task[key] = &t;
+  }
+
+  const std::size_t buckets = ws.opts->params.seed_buckets;
+  for (const auto& [hkey, parents] : handler_parents) {
+    const ParentTask& task = *handler_task.at(hkey);
+    for (std::size_t i = 0; i < task.positions.size(); ++i) {
+      const auto& pos = task.positions[i];
+      std::vector<double> a = TriggerSeries(task, i, parents);
+      std::vector<double> b;
+      for (const Span* c : *task.pools[i]) {
+        b.push_back(static_cast<double>(c->client_send));
+      }
+      if (a.empty() || b.empty()) continue;
+      const DelayKey key{hkey.first, hkey.second,
+                         static_cast<int>(pos.stage),
+                         static_cast<int>(pos.call)};
+      model.SetSeed(key, Gaussian::SeedFromUnmatched(a, b, buckets));
+    }
+    // Response gap: last stage's completions -> parent response sends.
+    if (!task.positions.empty()) {
+      const std::size_t last_stage = task.positions.back().stage;
+      for (std::size_t i = 0; i < task.positions.size(); ++i) {
+        if (task.positions[i].stage != last_stage ||
+            task.positions[i].call != 0) {
+          continue;
+        }
+        std::vector<double> a;
+        for (const Span* c : *task.pools[i]) {
+          a.push_back(static_cast<double>(c->client_recv));
+        }
+        std::vector<double> b;
+        for (const Span* p : parents) {
+          b.push_back(static_cast<double>(p->server_send));
+        }
+        if (a.empty() || b.empty()) break;
+        model.SetSeed(DelayKey::ResponseGap(hkey.first, hkey.second),
+                      Gaussian::SeedFromUnmatched(a, b, buckets));
+        break;
+      }
+    }
+  }
+}
+
+/// WAP5-style seeds for dynamism (§4.2 step 4): pair each child with the
+/// most recent parent whose arrival precedes the child's departure, fit
+/// Gaussians on the resulting gaps.
+void SeedFromWap5(const Workspace& ws, DelayModel& model) {
+  // Gap samples per delay key, via most-recent-parent attribution.
+  std::map<DelayKey, std::vector<double>> samples;
+  for (const auto& [pkey, pool] : ws.pools) {
+    for (const Span* child : pool) {
+      // Most recent parent (across handlers) that could have issued this
+      // child.
+      const Span* best = nullptr;
+      const ParentTask* best_task = nullptr;
+      for (const ParentTask& t : ws.tasks) {
+        if (t.span->server_recv > child->client_send) break;  // Sorted.
+        if (t.span->server_send < child->client_recv) continue;
+        // Handler must actually call this backend.
+        bool calls = false;
+        for (const PoolKey& k : t.position_keys) {
+          if (k == pkey) {
+            calls = true;
+            break;
+          }
+        }
+        if (!calls) continue;
+        best = t.span;
+        best_task = &t;
+      }
+      if (best == nullptr) continue;
+      // Attribute the gap to the first matching position of the handler.
+      for (std::size_t i = 0; i < best_task->position_keys.size(); ++i) {
+        if (best_task->position_keys[i] == pkey) {
+          const auto& pos = best_task->positions[i];
+          samples[DelayKey{best->callee, best->endpoint,
+                           static_cast<int>(pos.stage),
+                           static_cast<int>(pos.call)}]
+              .push_back(
+                  static_cast<double>(child->client_send - best->server_recv));
+          break;
+        }
+      }
+    }
+  }
+  for (const auto& [key, gaps] : samples) {
+    model.SetSeed(key, Gaussian::Fit(gaps));
+  }
+}
+
+DelayModel BuildSeeds(const Workspace& ws) {
+  DelayModel model;
+  // Unmatched (difference-of-means) seeds everywhere first; under dynamism
+  // the WAP5-style most-recent-parent fits then overwrite the per-position
+  // seeds, which the unmatched estimator skews when pools are depleted by
+  // skipped calls (§4.2 step 4). Response-gap seeds stay unmatched-based.
+  SeedFromUnmatched(ws, model);
+  if (ws.dynamism_active) {
+    SeedFromWap5(ws, model);
+  }
+  return model;
+}
+
+// ---------------------------------------------------------------------------
+// Ranking, joint optimization, iteration.
+// ---------------------------------------------------------------------------
+
+std::vector<const Span*> Resolve(const Workspace& ws,
+                                 const CandidateMapping& m) {
+  std::vector<const Span*> out;
+  out.reserve(m.children.size());
+  for (SpanId id : m.children) {
+    out.push_back(id == kSkippedChild ? nullptr : ws.span_by_id.at(id));
+  }
+  return out;
+}
+
+/// Scores and ranks each task's candidates, keeping the top K. Skip rates
+/// come from the task's batch allocation when water-filling granted that
+/// batch budget, falling back to the container-wide rates.
+void RankCandidates(const Workspace& ws, const DelayModel& model,
+                    const std::vector<std::size_t>& batch_of_task,
+                    const std::vector<std::map<PoolKey, double>>& batch_rates,
+                    std::vector<ParentResult>& results) {
+  ScoringContext ctx;
+  ctx.model = &model;
+  ctx.use_order_constraints = ws.opts->use_order_constraints;
+  if (ws.opts->thread_affinity == OptimizerOptions::ThreadAffinity::kSoft) {
+    ctx.thread_match_bonus = ws.opts->thread_match_bonus;
+  }
+
+  const std::size_t top_k = ws.opts->params.max_candidates_per_span;
+  for (std::size_t t = 0; t < ws.tasks.size(); ++t) {
+    const auto& rates = batch_rates[batch_of_task[t]];
+    ctx.skip_rates = rates.empty() ? &ws.skip_rate : &rates;
+    const ParentTask& task = ws.tasks[t];
+    std::vector<CandidateMapping> scored = task.all_candidates;
+    for (CandidateMapping& m : scored) {
+      m.score = ScoreMapping(*task.span, *task.plan, Resolve(ws, m), ctx);
+    }
+    std::sort(scored.begin(), scored.end(),
+              [](const CandidateMapping& a, const CandidateMapping& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.children < b.children;  // Deterministic ties.
+              });
+    if (scored.size() > top_k) scored.resize(top_k);
+    results[t].ranked = std::move(scored);
+    results[t].chosen = -1;
+  }
+}
+
+/// Per-batch skip-budget allocation by water-filling (§4.2 steps 2-3),
+/// turned into per-batch skip rates used during scoring. Returns one rate
+/// map per batch (empty map = use global rates).
+std::vector<std::map<PoolKey, double>> AllocateSkips(
+    const Workspace& ws, const std::vector<Batch>& batches) {
+  std::vector<std::map<PoolKey, double>> rates(batches.size());
+  if (!ws.dynamism_active) return rates;
+
+  for (const auto& [pkey, budget] : ws.skip_budget) {
+    if (budget == 0) continue;
+    // Per-batch max quota Q = X - Y: positions needing the pool minus pool
+    // spans confined to the batch's time window.
+    std::vector<std::size_t> quotas(batches.size(), 0);
+    std::vector<std::size_t> demand(batches.size(), 0);
+    for (std::size_t b = 0; b < batches.size(); ++b) {
+      const Batch& batch = batches[b];
+      TimeNs lo = std::numeric_limits<TimeNs>::max();
+      TimeNs hi = std::numeric_limits<TimeNs>::min();
+      std::size_t x = 0;
+      for (std::size_t t = batch.begin; t < batch.end; ++t) {
+        const ParentTask& task = ws.tasks[t];
+        lo = std::min(lo, task.span->server_recv);
+        hi = std::max(hi, task.span->server_send);
+        for (const PoolKey& k : task.position_keys) {
+          if (k == pkey) ++x;
+        }
+      }
+      std::size_t y = 0;
+      auto it = ws.pools.find(pkey);
+      if (it != ws.pools.end()) {
+        for (const Span* s : it->second) {
+          if (s->client_send >= lo && s->client_recv <= hi) ++y;
+        }
+      }
+      demand[b] = x;
+      quotas[b] = x > y ? x - y : 0;
+    }
+    const std::vector<std::size_t> alloc = WaterFill(budget, quotas);
+    for (std::size_t b = 0; b < batches.size(); ++b) {
+      if (demand[b] == 0) continue;
+      rates[b][pkey] = static_cast<double>(alloc[b]) /
+                       static_cast<double>(demand[b]);
+    }
+  }
+  return rates;
+}
+
+/// Joint optimization of one batch via max-weight independent set
+/// (§4.1 step 5). Candidates touching already-used children are excluded;
+/// chosen children are added to `used`.
+void SolveBatch(const Workspace& ws, const Batch& batch,
+                std::vector<ParentResult>& results,
+                std::unordered_set<SpanId>& used, ContainerResult& stats) {
+  struct Vertex {
+    std::size_t task;
+    std::size_t cand;
+    double score;
+  };
+  std::vector<Vertex> vertices;
+  for (std::size_t t = batch.begin; t < batch.end; ++t) {
+    const auto& ranked = results[t].ranked;
+    for (std::size_t c = 0; c < ranked.size(); ++c) {
+      bool conflict = false;
+      for (SpanId id : ranked[c].children) {
+        if (id != kSkippedChild && used.count(id) > 0) {
+          conflict = true;
+          break;
+        }
+      }
+      if (!conflict) vertices.push_back({t, c, ranked[c].score});
+    }
+  }
+  if (vertices.empty()) return;
+
+  double min_s = vertices[0].score, max_s = vertices[0].score;
+  for (const Vertex& v : vertices) {
+    min_s = std::min(min_s, v.score);
+    max_s = std::max(max_s, v.score);
+  }
+  // Weights are dominated by the number of *filled* positions so the joint
+  // optimization maximizes the children consumed across the batch (the
+  // role the paper's phantom skip spans play in its MIS encoding); the
+  // normalized timing scores only break ties among equal-fill solutions.
+  const double range = max_s - min_s;
+  const double big = (range + 1.0) * static_cast<double>(batch.size() + 1);
+
+  MisProblem problem;
+  problem.weights.reserve(vertices.size());
+  for (const Vertex& v : vertices) {
+    const CandidateMapping& m = results[v.task].ranked[v.cand];
+    const double filled =
+        static_cast<double>(m.children.size() - m.skips);
+    problem.weights.push_back((filled + 1.0) * big + (v.score - min_s) +
+                              1.0);
+  }
+  problem.adjacency.assign(vertices.size(), {});
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    const auto& ci = results[vertices[i].task].ranked[vertices[i].cand];
+    for (std::size_t j = i + 1; j < vertices.size(); ++j) {
+      const auto& cj = results[vertices[j].task].ranked[vertices[j].cand];
+      bool edge = vertices[i].task == vertices[j].task;
+      if (!edge) {
+        for (SpanId a : ci.children) {
+          if (a == kSkippedChild) continue;
+          for (SpanId b : cj.children) {
+            if (a == b) {
+              edge = true;
+              break;
+            }
+          }
+          if (edge) break;
+        }
+      }
+      if (edge) {
+        problem.adjacency[i].push_back(static_cast<int>(j));
+        problem.adjacency[j].push_back(static_cast<int>(i));
+      }
+    }
+  }
+
+  const MisSolution sol = SolveMwis(problem, ws.opts->params.mis_node_budget);
+  if (!sol.optimal) ++stats.mis_fallbacks;
+  for (int vi : sol.chosen) {
+    const Vertex& v = vertices[static_cast<std::size_t>(vi)];
+    results[v.task].chosen = static_cast<int>(v.cand);
+    for (SpanId id : results[v.task].ranked[v.cand].children) {
+      if (id != kSkippedChild) used.insert(id);
+    }
+  }
+}
+
+/// Greedy assignment (ablation: no joint optimization): each span takes its
+/// best-ranked conflict-free candidate, in arrival order.
+void SolveGreedy(const Workspace& ws, std::vector<ParentResult>& results) {
+  std::unordered_set<SpanId> used;
+  for (std::size_t t = 0; t < ws.tasks.size(); ++t) {
+    auto& r = results[t];
+    for (std::size_t c = 0; c < r.ranked.size(); ++c) {
+      bool conflict = false;
+      for (SpanId id : r.ranked[c].children) {
+        if (id != kSkippedChild && used.count(id) > 0) {
+          conflict = true;
+          break;
+        }
+      }
+      if (conflict) continue;
+      r.chosen = static_cast<int>(c);
+      for (SpanId id : r.ranked[c].children) {
+        if (id != kSkippedChild) used.insert(id);
+      }
+      break;
+    }
+  }
+}
+
+/// Refits the delay model from the current chosen mappings (§4.1 step 6).
+void RefitModel(const Workspace& ws, const std::vector<ParentResult>& results,
+                DelayModel& model) {
+  std::map<DelayKey, std::vector<double>> gaps;
+  for (std::size_t t = 0; t < ws.tasks.size(); ++t) {
+    const ParentResult& r = results[t];
+    if (!r.Mapped()) continue;
+    const CandidateMapping& m = r.ranked[static_cast<std::size_t>(r.chosen)];
+    const auto samples =
+        ExtractGaps(*ws.tasks[t].span, *ws.tasks[t].plan, Resolve(ws, m),
+                    ws.opts->use_order_constraints);
+    for (const GapSample& s : samples) gaps[s.key].push_back(s.gap);
+  }
+  GmmFitOptions fit = ws.opts->gmm;
+  fit.max_components = ws.opts->params.max_gmm_components;
+  for (const auto& [key, samples] : gaps) {
+    if (samples.size() >= 8) model.Refit(key, samples, fit);
+  }
+}
+
+}  // namespace
+
+void ContainerResult::AppendAssignment(ParentAssignment& out) const {
+  for (const ParentResult& r : parents) {
+    if (!r.Mapped()) continue;
+    const CandidateMapping& m = r.ranked[static_cast<std::size_t>(r.chosen)];
+    for (SpanId child : m.children) {
+      if (child != kSkippedChild) out[child] = r.parent;
+    }
+  }
+}
+
+ContainerResult OptimizeContainer(const ContainerView& view,
+                                  const CallGraph& graph,
+                                  const OptimizerOptions& options) {
+  Workspace ws;
+  ws.view = &view;
+  ws.graph = &graph;
+  ws.opts = &options;
+
+  ContainerResult result;
+  result.instance = view.instance;
+
+  BuildPools(ws);
+  BuildTasks(ws);
+  result.leaf_parents = ws.leaf_parents;
+  if (ws.tasks.empty()) return result;
+
+  DetectDynamism(ws);
+  EnumerateAll(ws);
+
+  const std::vector<Batch> batches =
+      MakeBatches(ws.task_spans, options.params.max_batch_size);
+  result.batches = batches.size();
+  for (const Batch& b : batches) {
+    if (!b.perfect) ++result.imperfect_batches;
+  }
+
+  DelayModel model = BuildSeeds(ws);
+
+  // Per-batch skip budgets (water-filling, §4.2) and task->batch lookup.
+  const auto batch_rates = AllocateSkips(ws, batches);
+  std::vector<std::size_t> batch_of_task(ws.tasks.size(), 0);
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    for (std::size_t t = batches[b].begin; t < batches[b].end; ++t) {
+      batch_of_task[t] = b;
+    }
+  }
+
+  std::vector<ParentResult> results(ws.tasks.size());
+  for (std::size_t t = 0; t < ws.tasks.size(); ++t) {
+    results[t].parent = ws.tasks[t].span->id;
+  }
+
+  const std::size_t iterations =
+      options.iterate ? std::max<std::size_t>(options.params.iterations, 1)
+                      : 1;
+  for (std::size_t iter = 0; iter < iterations; ++iter) {
+    RankCandidates(ws, model, batch_of_task, batch_rates, results);
+    if (options.use_joint_optimization) {
+      std::unordered_set<SpanId> used;
+      for (const Batch& batch : batches) {
+        SolveBatch(ws, batch, results, used, result);
+      }
+    } else {
+      SolveGreedy(ws, results);
+    }
+    if (iter + 1 < iterations) RefitModel(ws, results, model);
+  }
+
+  result.parents = std::move(results);
+  return result;
+}
+
+}  // namespace traceweaver

@@ -1,0 +1,94 @@
+// The per-container optimization pipeline (§4.1 steps 1-6, §4.2).
+//
+// For one service container, the optimizer:
+//   1. enumerates feasible candidate mappings per incoming span,
+//   2. splits incoming spans into batches at perfect cuts,
+//   3. builds delay distributions (seed Gaussians, later GMMs; WAP5-seeded
+//      under dynamism),
+//   4. ranks candidates with the distributions,
+//   5. solves each batch's conflict graph as max-weight independent set,
+//   6. iterates 3-5 with the inferred mappings refining the distributions.
+// Skip-span budgets for dynamism are sized from per-backend discrepancies
+// and spread across batches by water-filling (§4.2).
+//
+// The ablation toggles in OptimizerOptions correspond to Fig. 5's lines:
+// dependency-order constraints, iteration, and joint (batched) optimization
+// can each be disabled independently.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "callgraph/call_graph.h"
+#include "core/candidates.h"
+#include "core/parameters.h"
+#include "stats/gmm.h"
+#include "trace/trace.h"
+#include "trace/trace_store.h"
+
+namespace traceweaver {
+
+struct OptimizerOptions {
+  Parameters params;
+
+  /// Ablation toggles (Fig. 5).
+  bool use_order_constraints = true;  ///< Line 3: invocation-order pruning.
+  bool iterate = true;                ///< Line 4: GMM refinement iterations.
+  bool use_joint_optimization = true; ///< Line 5: batched MIS vs greedy.
+
+  /// Enable §4.2 skip-span handling when discrepancies are observed.
+  bool enable_dynamism = true;
+
+  /// Thread-affinity hints (§7 future work). kSoft adds a ranking bonus to
+  /// children sent from the parent's pickup thread; kHard prunes all other
+  /// children (only sound under the vPath threading model).
+  enum class ThreadAffinity { kIgnore, kSoft, kHard };
+  ThreadAffinity thread_affinity = ThreadAffinity::kIgnore;
+  /// Log-score bonus used by kSoft.
+  double thread_match_bonus = 1.5;
+
+  /// Known child->parent links from partially instrumented services
+  /// (§2.2.6). Pinned children are withheld from every other parent's
+  /// candidate pools and their positions are fixed during enumeration;
+  /// TraceWeaver reconstructs only the gaps. Not owned; must outlive the
+  /// optimization.
+  const ParentAssignment* pinned = nullptr;
+
+  GmmFitOptions gmm;
+};
+
+/// Reconstruction output for one incoming span.
+struct ParentResult {
+  SpanId parent = kInvalidSpanId;
+  /// Ranked candidate mappings, best first (top K).
+  std::vector<CandidateMapping> ranked;
+  /// Index into `ranked` of the mapping the joint optimization selected;
+  /// -1 if the span could not be mapped.
+  int chosen = -1;
+
+  bool Mapped() const { return chosen >= 0; }
+  /// True when the selected mapping was also the top-ranked one (input to
+  /// the §6.3.2 confidence score).
+  bool ChoseTop() const { return chosen == 0; }
+};
+
+struct ContainerResult {
+  ServiceInstance instance;
+  /// One entry per incoming span that has a non-empty plan.
+  std::vector<ParentResult> parents;
+  /// Incoming spans that are leaves (no backend calls) -- trivially done.
+  std::size_t leaf_parents = 0;
+  std::size_t batches = 0;
+  std::size_t imperfect_batches = 0;
+  std::size_t mis_fallbacks = 0;  ///< Batches where B&B hit its budget.
+
+  /// Merges the chosen mappings into `out` (child id -> parent id).
+  void AppendAssignment(ParentAssignment& out) const;
+};
+
+/// Runs the full pipeline for one container view.
+ContainerResult OptimizeContainer(const ContainerView& view,
+                                  const CallGraph& graph,
+                                  const OptimizerOptions& options);
+
+}  // namespace traceweaver

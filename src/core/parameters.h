@@ -1,0 +1,52 @@
+// TraceWeaver's tunable parameters (paper Table 1) plus implementation
+// knobs with conservative defaults.
+#pragma once
+
+#include <cstddef>
+
+namespace traceweaver {
+
+struct Parameters {
+  /// Max size of an optimization batch (Table 1: B = 30; §4.1 step 2 uses
+  /// 100 as the hard threshold -- we expose the Table 1 default).
+  std::size_t max_batch_size = 30;
+
+  /// Max candidate mappings kept per incoming span (Table 1: K = 5).
+  std::size_t max_candidates_per_span = 5;
+
+  /// Max GMM components for delay modeling (Table 1: C = 5). The paper
+  /// sweeps 1..20 with BIC; C caps the sweep.
+  std::size_t max_gmm_components = 5;
+
+  /// Buckets used for the seed variance estimate (Table 1: R = 10).
+  std::size_t seed_buckets = 10;
+
+  /// Iterations of the joint distribution/mapping refinement (§4.1 step 6).
+  /// The paper reports quick convergence; 3 is enough in practice.
+  std::size_t iterations = 3;
+
+  // ------- implementation knobs (not in Table 1) -------
+
+  /// Per-position branching cap during candidate enumeration; feasible
+  /// children closest in time are explored first.
+  std::size_t enumeration_branch_cap = 8;
+
+  /// Cap on complete candidate mappings enumerated per incoming span
+  /// before ranking to top K.
+  std::size_t enumeration_total_cap = 96;
+
+  /// Node budget for the exact branch-and-bound MWIS solver before falling
+  /// back to greedy + local search.
+  std::size_t mis_node_budget = 200000;
+
+  /// Window (ns) over which outgoing/incoming discrepancies are totaled to
+  /// size the skip-span budget (§4.2 step 1; paper: ~10 s).
+  long long dynamism_window_ns = 10'000'000'000LL;
+
+  /// Feasibility-constraint slack (ns) tolerating capture-clock jitter
+  /// between vantage points; raise to ~4x the expected jitter stddev when
+  /// capture clocks are noisy.
+  long long constraint_slack_ns = 0;
+};
+
+}  // namespace traceweaver

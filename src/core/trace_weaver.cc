@@ -1,0 +1,90 @@
+#include "core/trace_weaver.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "trace/trace_store.h"
+
+namespace traceweaver {
+
+std::map<std::string, double> TraceWeaverOutput::ConfidenceByService() const {
+  struct Tally {
+    std::size_t total = 0;
+    std::size_t top = 0;
+  };
+  std::map<std::string, Tally> tallies;
+  for (const ContainerResult& c : containers) {
+    Tally& t = tallies[c.instance.service];
+    for (const ParentResult& p : c.parents) {
+      ++t.total;
+      if (p.Mapped() && p.ChoseTop()) ++t.top;
+    }
+  }
+  std::map<std::string, double> out;
+  for (const auto& [service, t] : tallies) {
+    if (t.total == 0) continue;
+    out[service] =
+        static_cast<double>(t.top) / static_cast<double>(t.total);
+  }
+  return out;
+}
+
+TraceWeaver::TraceWeaver(CallGraph graph, TraceWeaverOptions options)
+    : graph_(std::move(graph)), options_(options) {}
+
+TraceWeaverOutput TraceWeaver::Reconstruct(
+    const std::vector<Span>& spans) const {
+  TraceWeaverOutput out;
+  for (const Span& s : spans) out.assignment[s.id] = kInvalidSpanId;
+
+  SpanStore store(spans);
+  const std::vector<ServiceInstance> containers = store.Containers();
+  out.containers.resize(containers.size());
+
+  if (options_.num_threads <= 1 || containers.size() <= 1) {
+    for (std::size_t i = 0; i < containers.size(); ++i) {
+      out.containers[i] = OptimizeContainer(store.ViewOf(containers[i]),
+                                            graph_, options_.optimizer);
+    }
+  } else {
+    // Containers are independent; shard them across workers. Results land
+    // in per-container slots, so output is identical to the serial order.
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+      for (std::size_t i = next.fetch_add(1); i < containers.size();
+           i = next.fetch_add(1)) {
+        out.containers[i] = OptimizeContainer(store.ViewOf(containers[i]),
+                                              graph_, options_.optimizer);
+      }
+    };
+    std::vector<std::thread> threads;
+    const std::size_t n =
+        std::min(options_.num_threads, containers.size());
+    threads.reserve(n);
+    for (std::size_t t = 0; t < n; ++t) threads.emplace_back(worker);
+    for (std::thread& t : threads) t.join();
+  }
+  for (const ContainerResult& result : out.containers) {
+    result.AppendAssignment(out.assignment);
+  }
+
+  // Instrumented links are authoritative: they override whatever the
+  // optimization produced and cover parents outside any container view.
+  if (options_.optimizer.pinned != nullptr) {
+    for (const auto& [child, parent] : *options_.optimizer.pinned) {
+      if (parent != kInvalidSpanId) out.assignment[child] = parent;
+    }
+  }
+  return out;
+}
+
+ParentAssignment TraceWeaver::Map(const MapperInput& input) {
+  if (input.call_graph != nullptr) {
+    TraceWeaver scoped(*input.call_graph, options_);
+    return scoped.Reconstruct(*input.spans).assignment;
+  }
+  return Reconstruct(*input.spans).assignment;
+}
+
+}  // namespace traceweaver

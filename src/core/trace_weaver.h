@@ -1,0 +1,70 @@
+// Public facade: the TraceWeaver reconstruction system (§3).
+//
+// Construct with a CallGraph (operator-provided or inferred from test
+// traces via callgraph/inference.h), then feed a span population captured
+// non-intrusively; out come reconstructed request traces: a parent
+// assignment, per-span ranked candidate mappings (top-K), and per-service
+// confidence scores.
+//
+// Typical use:
+//   CallGraph graph = InferCallGraph(test_spans);
+//   TraceWeaver weaver(graph);
+//   TraceWeaverOutput out = weaver.Reconstruct(production_spans);
+//   TraceForest forest(production_spans, out.assignment);
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baselines/mapper.h"
+#include "callgraph/call_graph.h"
+#include "core/optimizer.h"
+#include "trace/trace.h"
+
+namespace traceweaver {
+
+struct TraceWeaverOptions {
+  OptimizerOptions optimizer;
+  /// Worker threads for reconstruction. Containers are independent
+  /// optimization problems (§6.5: disjoint span sets can be handled by
+  /// parallel TraceWeaver instances), so they parallelize trivially.
+  /// 1 = fully serial.
+  std::size_t num_threads = 1;
+};
+
+struct TraceWeaverOutput {
+  /// child span id -> inferred parent span id (kInvalidSpanId: unmapped or
+  /// root).
+  ParentAssignment assignment;
+  /// Per-container reconstruction detail (ranked candidates, statistics).
+  std::vector<ContainerResult> containers;
+
+  /// Per-service confidence score (§6.3.2): 1 minus the fraction of
+  /// incoming spans that were unmapped or not given their top-ranked
+  /// mapping.
+  std::map<std::string, double> ConfidenceByService() const;
+};
+
+class TraceWeaver : public Mapper {
+ public:
+  explicit TraceWeaver(CallGraph graph, TraceWeaverOptions options = {});
+
+  std::string name() const override { return "TraceWeaver"; }
+
+  /// Mapper interface: uses input.call_graph when provided, else the
+  /// constructor-supplied graph.
+  ParentAssignment Map(const MapperInput& input) override;
+
+  /// Full reconstruction with ranked candidates and statistics.
+  TraceWeaverOutput Reconstruct(const std::vector<Span>& spans) const;
+
+  const CallGraph& call_graph() const { return graph_; }
+  const TraceWeaverOptions& options() const { return options_; }
+
+ private:
+  CallGraph graph_;
+  TraceWeaverOptions options_;
+};
+
+}  // namespace traceweaver

@@ -1,0 +1,133 @@
+#include "sim/alibaba.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <string>
+
+#include "sim/workload.h"
+
+namespace traceweaver::sim {
+namespace {
+
+std::string SvcName(int graph, int id) {
+  return "g" + std::to_string(graph) + "-s" + std::to_string(id);
+}
+
+/// Recursively builds a service and its subtree; returns the service name.
+/// `depth_left` bounds recursion; `next_id` allocates service ids.
+/// `force_branch` guarantees the service makes at least one backend call
+/// (used for roots so no call-graph class degenerates to single-span
+/// traces).
+std::string BuildService(AppSpec& app, Rng& rng, int graph, int& next_id,
+                         int depth_left, int max_services,
+                         bool force_branch = false) {
+  const int id = next_id++;
+  const std::string name = SvcName(graph, id);
+
+  ServiceSpec svc;
+  svc.name = name;
+  svc.worker_threads = static_cast<int>(rng.UniformInt(8, 32));
+  // Production services run many replicas; the paper normalizes its load
+  // multiple by the replica count, which is what keeps multiples in the
+  // thousands tractable per container (§6.3.1).
+  svc.replicas = static_cast<int>(rng.UniformInt(8, 32));
+  svc.model = rng.Bernoulli(0.3) ? ExecutionModel::kRpcHandoff
+                                 : ExecutionModel::kThreadPool;
+
+  HandlerSpec handler;
+  handler.endpoint = "/api";
+  const bool is_leaf =
+      !force_branch && (depth_left <= 0 || rng.Bernoulli(0.25));
+  if (!is_leaf) {
+    const int num_stages = static_cast<int>(rng.UniformInt(1, 3));
+    for (int s = 0; s < num_stages && next_id < max_services; ++s) {
+      SimStage stage;
+      stage.pre_delay = DelaySpec::LogNormal(
+          Micros(static_cast<double>(rng.UniformInt(80, 300))), 0.5);
+      const int fanout = static_cast<int>(rng.UniformInt(1, 3));
+      for (int f = 0; f < fanout && next_id < max_services; ++f) {
+        const std::string child = BuildService(app, rng, graph, next_id,
+                                               depth_left - 1, max_services);
+        stage.calls.push_back({child, "/api", 0.0});
+      }
+      if (!stage.calls.empty()) handler.stages.push_back(std::move(stage));
+    }
+  }
+  handler.post_delay = DelaySpec::LogNormal(
+      Micros(static_cast<double>(rng.UniformInt(150, 600))), 0.6);
+  svc.handlers["/api"] = std::move(handler);
+  app.services[name] = std::move(svc);
+  return name;
+}
+
+}  // namespace
+
+AppSpec RandomProductionApp(Rng& rng, int index) {
+  AppSpec app;
+  app.name = "alibaba-g" + std::to_string(index);
+  int next_id = 0;
+  const int depth = static_cast<int>(rng.UniformInt(2, 4));
+  // Per-class size budget: production call-graph classes range from small
+  // (a frontend and a couple of backends) to double-digit service counts.
+  const int max_services = static_cast<int>(rng.UniformInt(4, 14));
+  const std::string root =
+      BuildService(app, rng, index, next_id, depth, max_services,
+                   /*force_branch=*/true);
+  app.roots = {{root, "/api", 1.0}};
+  return app;
+}
+
+std::vector<AlibabaGraph> SynthesizeAlibaba(const AlibabaOptions& options) {
+  Rng rng(options.seed);
+  std::vector<AlibabaGraph> graphs;
+  graphs.reserve(static_cast<std::size_t>(options.num_graphs));
+  for (int g = 0; g < options.num_graphs; ++g) {
+    AlibabaGraph item;
+    item.app = RandomProductionApp(rng, g);
+
+    OpenLoopOptions load;
+    load.requests_per_sec = options.base_rps;
+    load.duration = Seconds(static_cast<double>(options.requests_per_graph) /
+                            options.base_rps);
+    load.seed = options.seed + static_cast<std::uint64_t>(g) * 101;
+    item.baseline = RunOpenLoop(item.app, load);
+    graphs.push_back(std::move(item));
+  }
+  return graphs;
+}
+
+std::vector<Span> CompressLoad(const std::vector<Span>& spans,
+                               double load_multiple) {
+  if (load_multiple <= 1.0) return spans;
+
+  // Trace start = earliest client_send within the trace.
+  std::map<TraceId, TimeNs> trace_start;
+  for (const Span& s : spans) {
+    auto [it, inserted] = trace_start.emplace(s.true_trace, s.client_send);
+    if (!inserted) it->second = std::min(it->second, s.client_send);
+  }
+  TimeNs origin = std::numeric_limits<TimeNs>::max();
+  for (const auto& [id, start] : trace_start) {
+    origin = std::min(origin, start);
+  }
+
+  std::vector<Span> out;
+  out.reserve(spans.size());
+  for (const Span& s : spans) {
+    const TimeNs start = trace_start.at(s.true_trace);
+    const TimeNs new_start =
+        origin + static_cast<TimeNs>(
+                     static_cast<double>(start - origin) / load_multiple);
+    const DurationNs shift = new_start - start;
+    Span t = s;
+    t.client_send += shift;
+    t.server_recv += shift;
+    t.server_send += shift;
+    t.client_recv += shift;
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace traceweaver::sim

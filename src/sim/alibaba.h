@@ -1,0 +1,49 @@
+// Synthetic stand-in for the Alibaba cluster production dataset (§6.3).
+//
+// The paper replays 15 customer-facing call graphs from the Alibaba trace
+// dataset and stresses reconstruction by compressing inter-trace spacing by
+// a "load multiple" (normalized by replica count). The dataset itself is
+// not redistributable, so we synthesize 15 heterogeneous call-graph classes
+// with production-like shape (depth 2-5, fan-out 1-4, heavy-tailed delays,
+// mixed sequential/parallel structure) and apply the paper's own load-
+// multiple transformation to the resulting trace populations. The
+// reconstruction algorithm sees exactly the same observable surface either
+// way: span timestamps under controllable concurrency.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/spec.h"
+
+namespace traceweaver::sim {
+
+struct AlibabaOptions {
+  int num_graphs = 15;
+  std::size_t requests_per_graph = 250;
+  /// Base arrival rate before load-multiple compression; low enough that
+  /// traces barely overlap at multiple 1.
+  double base_rps = 15.0;
+  std::uint64_t seed = 1234;
+};
+
+struct AlibabaGraph {
+  AppSpec app;
+  SimResult baseline;  ///< Span population at the base (uncompressed) load.
+};
+
+/// Generates a random production-like application topology. `index` selects
+/// deterministic per-graph structure given the rng stream.
+AppSpec RandomProductionApp(Rng& rng, int index);
+
+/// Synthesizes all call-graph classes and their baseline trace populations.
+std::vector<AlibabaGraph> SynthesizeAlibaba(const AlibabaOptions& options);
+
+/// The paper's load-multiple transformation: compresses the spacing between
+/// trace start times by `load_multiple` while keeping every span's offset
+/// within its trace unchanged. load_multiple == 1 returns the input.
+std::vector<Span> CompressLoad(const std::vector<Span>& spans,
+                               double load_multiple);
+
+}  // namespace traceweaver::sim

@@ -1,0 +1,673 @@
+#include "sim/apps.h"
+
+#include <map>
+#include <string>
+
+namespace traceweaver::sim {
+namespace {
+
+/// A leaf service (cache / datastore / terminal microservice) with one
+/// endpoint and no backend calls.
+ServiceSpec Leaf(const std::string& name, const std::string& endpoint,
+                 DelaySpec delay, int workers = 16) {
+  ServiceSpec svc;
+  svc.name = name;
+  svc.worker_threads = workers;
+  HandlerSpec h;
+  h.endpoint = endpoint;
+  h.post_delay = delay;
+  svc.handlers[endpoint] = std::move(h);
+  return svc;
+}
+
+SimStage StageOf(std::vector<SimCall> calls, DelaySpec pre) {
+  SimStage st;
+  st.calls = std::move(calls);
+  st.pre_delay = pre;
+  return st;
+}
+
+}  // namespace
+
+AppSpec MakeHotelReservationApp(double search_cache_hit_prob) {
+  AppSpec app;
+  app.name = "hotel-reservation";
+
+  // frontend: /hotels -> search, then profile; /reservation -> reservation.
+  {
+    ServiceSpec frontend;
+    frontend.name = "frontend";
+    frontend.worker_threads = 16;
+    frontend.model = ExecutionModel::kRpcHandoff;
+    frontend.io_threads = 2;
+
+    HandlerSpec hotels;
+    hotels.endpoint = "/hotels";
+    hotels.stages.push_back(StageOf({{"search", "/nearby", 0.0}},
+                                    DelaySpec::LogNormal(Micros(250), 0.4)));
+    hotels.stages.push_back(
+        StageOf({{"reservation", "/check_availability", 0.0}},
+                DelaySpec::LogNormal(Micros(160), 0.4)));
+    hotels.stages.push_back(
+        StageOf({{"profile", "/get_profiles", 0.0}},
+                DelaySpec::LogNormal(Micros(180), 0.4)));
+    hotels.post_delay = DelaySpec::LogNormal(Micros(200), 0.4);
+    frontend.handlers["/hotels"] = std::move(hotels);
+
+    HandlerSpec reservation;
+    reservation.endpoint = "/reservation";
+    reservation.stages.push_back(
+        StageOf({{"user", "/check_user", 0.0}},
+                DelaySpec::LogNormal(Micros(200), 0.4)));
+    reservation.stages.push_back(
+        StageOf({{"reservation", "/make", 0.0}},
+                DelaySpec::LogNormal(Micros(150), 0.4)));
+    reservation.post_delay = DelaySpec::LogNormal(Micros(150), 0.4);
+    frontend.handlers["/reservation"] = std::move(reservation);
+
+    app.services["frontend"] = std::move(frontend);
+  }
+
+  // search: geo then rate, sequentially. The rate call can be skipped when
+  // the (injected) cache answers -- the Fig. 4c dynamism knob.
+  {
+    ServiceSpec search;
+    search.name = "search";
+    search.worker_threads = 16;
+    search.model = ExecutionModel::kRpcHandoff;
+
+    HandlerSpec nearby;
+    nearby.endpoint = "/nearby";
+    nearby.stages.push_back(StageOf({{"geo", "/near", 0.0}},
+                                    DelaySpec::LogNormal(Micros(150), 0.4)));
+    nearby.stages.push_back(
+        StageOf({{"rate", "/get_rates", search_cache_hit_prob}},
+                DelaySpec::LogNormal(Micros(120), 0.4)));
+    nearby.post_delay = DelaySpec::LogNormal(Micros(150), 0.4);
+    search.handlers["/nearby"] = std::move(nearby);
+    app.services["search"] = std::move(search);
+  }
+
+  // geo and rate consult their stores.
+  {
+    ServiceSpec geo;
+    geo.name = "geo";
+    geo.worker_threads = 16;
+    HandlerSpec near;
+    near.endpoint = "/near";
+    near.stages.push_back(StageOf({{"memcached-geo", "/get", 0.0}},
+                                  DelaySpec::LogNormal(Micros(100), 0.4)));
+    near.post_delay = DelaySpec::LogNormal(Micros(180), 0.5);
+    geo.handlers["/near"] = std::move(near);
+    app.services["geo"] = std::move(geo);
+  }
+  {
+    ServiceSpec rate;
+    rate.name = "rate";
+    rate.worker_threads = 16;
+    HandlerSpec rates;
+    rates.endpoint = "/get_rates";
+    rates.stages.push_back(StageOf({{"memcached-rate", "/get", 0.0}},
+                                   DelaySpec::LogNormal(Micros(90), 0.4)));
+    rates.post_delay = DelaySpec::LogNormal(Micros(150), 0.5);
+    rate.handlers["/get_rates"] = std::move(rates);
+    app.services["rate"] = std::move(rate);
+  }
+
+  // profile: memcached first, mongo on (simulated occasional) miss path is
+  // folded into post-delay variance to keep its call graph static.
+  {
+    ServiceSpec profile;
+    profile.name = "profile";
+    profile.worker_threads = 16;
+    HandlerSpec get;
+    get.endpoint = "/get_profiles";
+    get.stages.push_back(StageOf({{"memcached-profile", "/get", 0.0}},
+                                 DelaySpec::LogNormal(Micros(110), 0.4)));
+    get.stages.push_back(StageOf({{"mongo-profile", "/query", 0.0}},
+                                 DelaySpec::LogNormal(Micros(100), 0.4)));
+    get.post_delay = DelaySpec::LogNormal(Micros(160), 0.5);
+    profile.handlers["/get_profiles"] = std::move(get);
+    app.services["profile"] = std::move(profile);
+  }
+
+  // reservation + user services.
+  {
+    ServiceSpec resv;
+    resv.name = "reservation";
+    resv.worker_threads = 16;
+    HandlerSpec make;
+    make.endpoint = "/make";
+    make.stages.push_back(StageOf({{"mongo-reservation", "/update", 0.0}},
+                                  DelaySpec::LogNormal(Micros(140), 0.4)));
+    make.post_delay = DelaySpec::LogNormal(Micros(200), 0.5);
+    resv.handlers["/make"] = std::move(make);
+
+    HandlerSpec check;
+    check.endpoint = "/check_availability";
+    check.stages.push_back(StageOf({{"mongo-reservation", "/query", 0.0}},
+                                   DelaySpec::LogNormal(Micros(120), 0.4)));
+    check.post_delay = DelaySpec::LogNormal(Micros(180), 0.5);
+    resv.handlers["/check_availability"] = std::move(check);
+    app.services["reservation"] = std::move(resv);
+  }
+  app.services["user"] =
+      Leaf("user", "/check_user", DelaySpec::LogNormal(Micros(250), 0.5));
+
+  // Cache / datastore leaves.
+  app.services["memcached-geo"] =
+      Leaf("memcached-geo", "/get", DelaySpec::LogNormal(Micros(60), 0.3));
+  app.services["memcached-rate"] =
+      Leaf("memcached-rate", "/get", DelaySpec::LogNormal(Micros(60), 0.3));
+  app.services["memcached-profile"] = Leaf("memcached-profile", "/get",
+                                           DelaySpec::LogNormal(Micros(60), 0.3));
+  app.services["mongo-profile"] =
+      Leaf("mongo-profile", "/query", DelaySpec::LogNormal(Micros(350), 0.6));
+  app.services["mongo-reservation"] = [] {
+    ServiceSpec svc;
+    svc.name = "mongo-reservation";
+    svc.worker_threads = 16;
+    for (const char* ep : {"/update", "/query"}) {
+      HandlerSpec h;
+      h.endpoint = ep;
+      h.post_delay = DelaySpec::LogNormal(Micros(400), 0.6);
+      svc.handlers[ep] = std::move(h);
+    }
+    return svc;
+  }();
+
+  app.roots = {{"frontend", "/hotels", 0.7}, {"frontend", "/reservation", 0.3}};
+  return app;
+}
+
+AppSpec MakeMediaMicroservicesApp() {
+  AppSpec app;
+  app.name = "media-microservices";
+
+  // Compose-review flow:
+  // nginx /compose -> compose-review, which gathers unique-id, movie-id,
+  // text, user in parallel, then stores to review-storage, user-review,
+  // movie-review in parallel.
+  {
+    ServiceSpec nginx;
+    nginx.name = "nginx";
+    nginx.worker_threads = 32;
+    nginx.model = ExecutionModel::kRpcHandoff;
+    nginx.io_threads = 4;
+
+    HandlerSpec compose;
+    compose.endpoint = "/compose";
+    compose.stages.push_back(StageOf({{"compose-review", "/upload", 0.0}},
+                                     DelaySpec::LogNormal(Micros(200), 0.4)));
+    compose.post_delay = DelaySpec::LogNormal(Micros(150), 0.4);
+    nginx.handlers["/compose"] = std::move(compose);
+
+    HandlerSpec page;
+    page.endpoint = "/read_page";
+    page.stages.push_back(StageOf({{"page", "/render", 0.0}},
+                                  DelaySpec::LogNormal(Micros(180), 0.4)));
+    page.post_delay = DelaySpec::LogNormal(Micros(150), 0.4);
+    nginx.handlers["/read_page"] = std::move(page);
+
+    app.services["nginx"] = std::move(nginx);
+  }
+  {
+    ServiceSpec compose;
+    compose.name = "compose-review";
+    compose.worker_threads = 24;
+    compose.model = ExecutionModel::kRpcHandoff;
+
+    HandlerSpec upload;
+    upload.endpoint = "/upload";
+    upload.stages.push_back(StageOf(
+        {{"unique-id", "/get", 0.0},
+         {"movie-id", "/lookup", 0.0},
+         {"text", "/process", 0.0},
+         {"user-service", "/auth", 0.0}},
+        DelaySpec::LogNormal(Micros(180), 0.4)));
+    upload.stages.push_back(StageOf(
+        {{"review-storage", "/store", 0.0},
+         {"user-review", "/store", 0.0},
+         {"movie-review", "/store", 0.0}},
+        DelaySpec::LogNormal(Micros(150), 0.4)));
+    upload.post_delay = DelaySpec::LogNormal(Micros(180), 0.4);
+    compose.handlers["/upload"] = std::move(upload);
+    app.services["compose-review"] = std::move(compose);
+  }
+  // Read-page flow: page -> movie-info, plot, cast-info in parallel, then
+  // movie-review -> review-storage.
+  {
+    ServiceSpec page;
+    page.name = "page";
+    page.worker_threads = 24;
+    page.model = ExecutionModel::kRpcHandoff;
+    HandlerSpec render;
+    render.endpoint = "/render";
+    render.stages.push_back(StageOf({{"movie-info", "/get", 0.0},
+                                     {"plot", "/get", 0.0},
+                                     {"cast-info", "/get", 0.0}},
+                                    DelaySpec::LogNormal(Micros(150), 0.4)));
+    render.stages.push_back(StageOf({{"movie-review", "/list", 0.0}},
+                                    DelaySpec::LogNormal(Micros(140), 0.4)));
+    render.post_delay = DelaySpec::LogNormal(Micros(170), 0.4);
+    page.handlers["/render"] = std::move(render);
+    app.services["page"] = std::move(page);
+  }
+  {
+    ServiceSpec movie_review;
+    movie_review.name = "movie-review";
+    movie_review.worker_threads = 24;
+    movie_review.model = ExecutionModel::kRpcHandoff;
+    HandlerSpec store;
+    store.endpoint = "/store";
+    store.stages.push_back(StageOf({{"mongo-review", "/update", 0.0}},
+                                   DelaySpec::LogNormal(Micros(120), 0.4)));
+    store.post_delay = DelaySpec::LogNormal(Micros(140), 0.4);
+    movie_review.handlers["/store"] = std::move(store);
+
+    HandlerSpec list;
+    list.endpoint = "/list";
+    list.stages.push_back(StageOf({{"review-storage", "/read", 0.0}},
+                                  DelaySpec::LogNormal(Micros(130), 0.4)));
+    list.post_delay = DelaySpec::LogNormal(Micros(140), 0.4);
+    movie_review.handlers["/list"] = std::move(list);
+    app.services["movie-review"] = std::move(movie_review);
+  }
+  {
+    ServiceSpec review_storage;
+    review_storage.name = "review-storage";
+    review_storage.worker_threads = 24;
+    review_storage.model = ExecutionModel::kRpcHandoff;
+    HandlerSpec store;
+    store.endpoint = "/store";
+    store.stages.push_back(StageOf({{"mongo-review", "/update", 0.0}},
+                                   DelaySpec::LogNormal(Micros(110), 0.4)));
+    store.post_delay = DelaySpec::LogNormal(Micros(130), 0.4);
+    review_storage.handlers["/store"] = std::move(store);
+
+    HandlerSpec read;
+    read.endpoint = "/read";
+    read.stages.push_back(StageOf({{"mongo-review", "/query", 0.0}},
+                                  DelaySpec::LogNormal(Micros(110), 0.4)));
+    read.post_delay = DelaySpec::LogNormal(Micros(130), 0.4);
+    review_storage.handlers["/read"] = std::move(read);
+    app.services["review-storage"] = std::move(review_storage);
+  }
+
+  // Leaves.
+  app.services["unique-id"] =
+      Leaf("unique-id", "/get", DelaySpec::LogNormal(Micros(90), 0.4));
+  app.services["movie-id"] =
+      Leaf("movie-id", "/lookup", DelaySpec::LogNormal(Micros(160), 0.5));
+  app.services["text"] =
+      Leaf("text", "/process", DelaySpec::LogNormal(Micros(220), 0.5));
+  app.services["user-service"] =
+      Leaf("user-service", "/auth", DelaySpec::LogNormal(Micros(180), 0.5));
+  app.services["user-review"] =
+      Leaf("user-review", "/store", DelaySpec::LogNormal(Micros(170), 0.5));
+  app.services["movie-info"] =
+      Leaf("movie-info", "/get", DelaySpec::LogNormal(Micros(200), 0.5));
+  app.services["plot"] =
+      Leaf("plot", "/get", DelaySpec::LogNormal(Micros(190), 0.5));
+  app.services["cast-info"] =
+      Leaf("cast-info", "/get", DelaySpec::LogNormal(Micros(210), 0.5));
+  app.services["mongo-review"] = [] {
+    ServiceSpec svc;
+    svc.name = "mongo-review";
+    svc.worker_threads = 32;
+    for (const char* ep : {"/update", "/query"}) {
+      HandlerSpec h;
+      h.endpoint = ep;
+      h.post_delay = DelaySpec::LogNormal(Micros(300), 0.6);
+      svc.handlers[ep] = std::move(h);
+    }
+    return svc;
+  }();
+
+  app.roots = {{"nginx", "/compose", 0.5}, {"nginx", "/read_page", 0.5}};
+  return app;
+}
+
+AppSpec MakeSocialNetworkApp() {
+  AppSpec app;
+  app.name = "social-network";
+
+  // compose-post: nginx -> compose-post, which gathers six inputs in
+  // parallel (the widest fan-out of the benchmark suite), persists the
+  // post, then fans out to the timelines.
+  {
+    ServiceSpec nginx;
+    nginx.name = "nginx";
+    nginx.worker_threads = 32;
+    nginx.model = ExecutionModel::kRpcHandoff;
+    nginx.io_threads = 4;
+
+    HandlerSpec compose;
+    compose.endpoint = "/compose_post";
+    compose.stages.push_back(StageOf({{"compose-post", "/compose", 0.0}},
+                                     DelaySpec::LogNormal(Micros(180), 0.4)));
+    compose.post_delay = DelaySpec::LogNormal(Micros(150), 0.4);
+    nginx.handlers["/compose_post"] = std::move(compose);
+
+    HandlerSpec home;
+    home.endpoint = "/read_home_timeline";
+    home.stages.push_back(StageOf({{"home-timeline", "/read", 0.0}},
+                                  DelaySpec::LogNormal(Micros(160), 0.4)));
+    home.post_delay = DelaySpec::LogNormal(Micros(140), 0.4);
+    nginx.handlers["/read_home_timeline"] = std::move(home);
+
+    app.services["nginx"] = std::move(nginx);
+  }
+  {
+    ServiceSpec compose;
+    compose.name = "compose-post";
+    compose.worker_threads = 32;
+    compose.model = ExecutionModel::kRpcHandoff;
+
+    HandlerSpec h;
+    h.endpoint = "/compose";
+    h.stages.push_back(StageOf(
+        {{"unique-id", "/get", 0.0},
+         {"media", "/upload", 0.0},
+         {"user", "/lookup", 0.0},
+         {"url-shorten", "/shorten", 0.0},
+         {"user-mention", "/resolve", 0.0},
+         {"text", "/filter", 0.0}},
+        DelaySpec::LogNormal(Micros(160), 0.4)));
+    h.stages.push_back(StageOf({{"post-storage", "/store", 0.0}},
+                               DelaySpec::LogNormal(Micros(150), 0.4)));
+    h.stages.push_back(StageOf({{"user-timeline", "/append", 0.0},
+                                {"home-timeline", "/fanout", 0.0}},
+                               DelaySpec::LogNormal(Micros(140), 0.4)));
+    h.post_delay = DelaySpec::LogNormal(Micros(170), 0.4);
+    compose.handlers["/compose"] = std::move(h);
+    app.services["compose-post"] = std::move(compose);
+  }
+  {
+    ServiceSpec home;
+    home.name = "home-timeline";
+    home.worker_threads = 32;
+    home.model = ExecutionModel::kRpcHandoff;
+
+    HandlerSpec read;
+    read.endpoint = "/read";
+    read.stages.push_back(StageOf({{"post-storage", "/read", 0.0}},
+                                  DelaySpec::LogNormal(Micros(130), 0.4)));
+    read.post_delay = DelaySpec::LogNormal(Micros(150), 0.4);
+    home.handlers["/read"] = std::move(read);
+
+    HandlerSpec fanout;
+    fanout.endpoint = "/fanout";
+    fanout.stages.push_back(StageOf({{"social-graph", "/followers", 0.0}},
+                                    DelaySpec::LogNormal(Micros(120), 0.4)));
+    fanout.stages.push_back(StageOf({{"redis-home", "/set", 0.0}},
+                                    DelaySpec::LogNormal(Micros(110), 0.4)));
+    fanout.post_delay = DelaySpec::LogNormal(Micros(140), 0.4);
+    home.handlers["/fanout"] = std::move(fanout);
+    app.services["home-timeline"] = std::move(home);
+  }
+  {
+    ServiceSpec storage;
+    storage.name = "post-storage";
+    storage.worker_threads = 32;
+    storage.model = ExecutionModel::kRpcHandoff;
+    for (const auto& [ep, store_ep] :
+         std::map<std::string, std::string>{{"/store", "/update"},
+                                            {"/read", "/query"}}) {
+      HandlerSpec h;
+      h.endpoint = ep;
+      h.stages.push_back(StageOf({{"mongo-post", store_ep, 0.0}},
+                                 DelaySpec::LogNormal(Micros(120), 0.4)));
+      h.post_delay = DelaySpec::LogNormal(Micros(140), 0.4);
+      storage.handlers[ep] = std::move(h);
+    }
+    app.services["post-storage"] = std::move(storage);
+  }
+  {
+    ServiceSpec social;
+    social.name = "social-graph";
+    social.worker_threads = 32;
+    HandlerSpec followers;
+    followers.endpoint = "/followers";
+    followers.stages.push_back(StageOf({{"redis-social", "/get", 0.0}},
+                                       DelaySpec::LogNormal(Micros(90), 0.4)));
+    followers.post_delay = DelaySpec::LogNormal(Micros(140), 0.5);
+    social.handlers["/followers"] = std::move(followers);
+    app.services["social-graph"] = std::move(social);
+  }
+  {
+    ServiceSpec user_timeline;
+    user_timeline.name = "user-timeline";
+    user_timeline.worker_threads = 32;
+    HandlerSpec append;
+    append.endpoint = "/append";
+    append.stages.push_back(StageOf({{"mongo-timeline", "/update", 0.0}},
+                                    DelaySpec::LogNormal(Micros(110), 0.4)));
+    append.post_delay = DelaySpec::LogNormal(Micros(150), 0.5);
+    user_timeline.handlers["/append"] = std::move(append);
+    app.services["user-timeline"] = std::move(user_timeline);
+  }
+
+  app.services["unique-id"] =
+      Leaf("unique-id", "/get", DelaySpec::LogNormal(Micros(80), 0.4));
+  app.services["media"] =
+      Leaf("media", "/upload", DelaySpec::LogNormal(Micros(300), 0.6));
+  app.services["user"] =
+      Leaf("user", "/lookup", DelaySpec::LogNormal(Micros(150), 0.5));
+  app.services["url-shorten"] =
+      Leaf("url-shorten", "/shorten", DelaySpec::LogNormal(Micros(120), 0.5));
+  app.services["user-mention"] = Leaf("user-mention", "/resolve",
+                                      DelaySpec::LogNormal(Micros(170), 0.5));
+  app.services["text"] =
+      Leaf("text", "/filter", DelaySpec::LogNormal(Micros(200), 0.5));
+  app.services["redis-home"] =
+      Leaf("redis-home", "/set", DelaySpec::LogNormal(Micros(60), 0.3));
+  app.services["redis-social"] =
+      Leaf("redis-social", "/get", DelaySpec::LogNormal(Micros(60), 0.3));
+  app.services["mongo-post"] = [] {
+    ServiceSpec svc;
+    svc.name = "mongo-post";
+    svc.worker_threads = 32;
+    for (const char* ep : {"/update", "/query"}) {
+      HandlerSpec h;
+      h.endpoint = ep;
+      h.post_delay = DelaySpec::LogNormal(Micros(320), 0.6);
+      svc.handlers[ep] = std::move(h);
+    }
+    return svc;
+  }();
+  app.services["mongo-timeline"] =
+      Leaf("mongo-timeline", "/update", DelaySpec::LogNormal(Micros(300), 0.6));
+
+  app.roots = {{"nginx", "/compose_post", 0.4},
+               {"nginx", "/read_home_timeline", 0.6}};
+  return app;
+}
+
+AppSpec MakeNodejsApp() {
+  AppSpec app;
+  app.name = "nodejs-demo";
+
+  auto async_leaf = [](const std::string& name, const std::string& endpoint,
+                       DelaySpec delay) {
+    ServiceSpec svc;
+    svc.name = name;
+    svc.model = ExecutionModel::kAsyncEventLoop;
+    HandlerSpec h;
+    h.endpoint = endpoint;
+    h.post_delay = delay;
+    svc.handlers[endpoint] = std::move(h);
+    return svc;
+  };
+
+  {
+    ServiceSpec gateway;
+    gateway.name = "gateway";
+    gateway.model = ExecutionModel::kAsyncEventLoop;
+
+    HandlerSpec checkout;
+    checkout.endpoint = "/checkout";
+    checkout.stages.push_back(StageOf({{"auth", "/verify", 0.0}},
+                                      DelaySpec::LogNormal(Micros(200), 0.6)));
+    checkout.stages.push_back(StageOf({{"cart", "/get", 0.0}},
+                                      DelaySpec::LogNormal(Micros(180), 0.6)));
+    checkout.stages.push_back(StageOf({{"orders", "/create", 0.0}},
+                                      DelaySpec::LogNormal(Micros(160), 0.6)));
+    checkout.post_delay = DelaySpec::LogNormal(Micros(220), 0.6);
+    gateway.handlers["/checkout"] = std::move(checkout);
+
+    HandlerSpec browse;
+    browse.endpoint = "/browse";
+    browse.stages.push_back(StageOf({{"auth", "/verify", 0.0}},
+                                    DelaySpec::LogNormal(Micros(190), 0.6)));
+    browse.stages.push_back(StageOf({{"catalog", "/list", 0.0}},
+                                    DelaySpec::LogNormal(Micros(170), 0.6)));
+    browse.post_delay = DelaySpec::LogNormal(Micros(200), 0.6);
+    gateway.handlers["/browse"] = std::move(browse);
+
+    app.services["gateway"] = std::move(gateway);
+  }
+  {
+    ServiceSpec orders;
+    orders.name = "orders";
+    orders.model = ExecutionModel::kAsyncEventLoop;
+    HandlerSpec create;
+    create.endpoint = "/create";
+    create.stages.push_back(StageOf({{"payment", "/charge", 0.0},
+                                     {"shipping", "/quote", 0.0}},
+                                    DelaySpec::LogNormal(Micros(200), 0.6)));
+    create.post_delay = DelaySpec::LogNormal(Micros(250), 0.6);
+    orders.handlers["/create"] = std::move(create);
+    app.services["orders"] = std::move(orders);
+  }
+
+  app.services["auth"] =
+      async_leaf("auth", "/verify", DelaySpec::LogNormal(Micros(240), 0.7));
+  app.services["catalog"] =
+      async_leaf("catalog", "/list", DelaySpec::LogNormal(Micros(320), 0.7));
+  app.services["cart"] =
+      async_leaf("cart", "/get", DelaySpec::LogNormal(Micros(260), 0.7));
+  app.services["payment"] =
+      async_leaf("payment", "/charge", DelaySpec::LogNormal(Micros(400), 0.7));
+  app.services["shipping"] =
+      async_leaf("shipping", "/quote", DelaySpec::LogNormal(Micros(350), 0.7));
+
+  app.roots = {{"gateway", "/checkout", 0.5}, {"gateway", "/browse", 0.5}};
+  return app;
+}
+
+AppSpec MakeAsyncIoApp(DurationNs read_mean, DurationNs read_stddev) {
+  AppSpec app;
+  app.name = "async-io";
+
+  ServiceSpec frontend;
+  frontend.name = "frontend";
+  frontend.model = ExecutionModel::kAsyncEventLoop;
+  HandlerSpec fetch;
+  fetch.endpoint = "/fetch";
+  // The variable-size disk read happens before the backend request is
+  // issued; a large stddev lets later requests overtake earlier ones on the
+  // same event-loop thread (Fig. 2b).
+  fetch.stages.push_back(StageOf({{"backend", "/query", 0.0}},
+                                 DelaySpec::Normal(read_mean, read_stddev)));
+  fetch.post_delay = DelaySpec::LogNormal(Micros(120), 0.3);
+  frontend.handlers["/fetch"] = std::move(fetch);
+  app.services["frontend"] = std::move(frontend);
+
+  app.services["backend"] =
+      Leaf("backend", "/query", DelaySpec::LogNormal(Micros(300), 0.4));
+
+  app.roots = {{"frontend", "/fetch", 1.0}};
+  return app;
+}
+
+AppSpec MakeLinearChainApp() {
+  AppSpec app;
+  app.name = "linear-chain";
+
+  ServiceSpec a;
+  a.name = "svc-a";
+  a.worker_threads = 8;
+  HandlerSpec ha;
+  ha.endpoint = "/a";
+  ha.stages.push_back(StageOf({{"svc-b", "/b", 0.0}},
+                              DelaySpec::LogNormal(Micros(150), 0.4)));
+  ha.post_delay = DelaySpec::LogNormal(Micros(150), 0.4);
+  a.handlers["/a"] = std::move(ha);
+  app.services["svc-a"] = std::move(a);
+
+  ServiceSpec b;
+  b.name = "svc-b";
+  b.worker_threads = 8;
+  HandlerSpec hb;
+  hb.endpoint = "/b";
+  hb.stages.push_back(StageOf({{"svc-c", "/c", 0.0}},
+                              DelaySpec::LogNormal(Micros(140), 0.4)));
+  hb.post_delay = DelaySpec::LogNormal(Micros(140), 0.4);
+  b.handlers["/b"] = std::move(hb);
+  app.services["svc-b"] = std::move(b);
+
+  app.services["svc-c"] =
+      Leaf("svc-c", "/c", DelaySpec::LogNormal(Micros(200), 0.5));
+
+  app.roots = {{"svc-a", "/a", 1.0}};
+  return app;
+}
+
+AppSpec MakeAbTestApp(double b_fraction) {
+  AppSpec app;
+  app.name = "ab-test";
+
+  ServiceSpec frontend;
+  frontend.name = "frontend";
+  frontend.worker_threads = 32;
+  HandlerSpec page;
+  page.endpoint = "/page";
+  page.stages.push_back(StageOf({{"auth", "/check", 0.0}},
+                                DelaySpec::LogNormal(Micros(150), 0.4)));
+  page.stages.push_back(StageOf({{"recommend", "/rec", 0.0}},
+                                DelaySpec::LogNormal(Micros(130), 0.4)));
+  page.post_delay = DelaySpec::LogNormal(Micros(180), 0.4);
+  frontend.handlers["/page"] = std::move(page);
+  app.services["frontend"] = std::move(frontend);
+
+  app.services["auth"] =
+      Leaf("auth", "/check", DelaySpec::LogNormal(Micros(200), 0.5));
+
+  ServiceSpec recommend =
+      Leaf("recommend", "/rec", DelaySpec::LogNormal(Micros(350), 0.5));
+  recommend.replicas = 2;
+  recommend.replica_weights = {1.0 - b_fraction, b_fraction};
+  app.services["recommend"] = std::move(recommend);
+
+  app.roots = {{"frontend", "/page", 1.0}};
+  return app;
+}
+
+AppSpec MakeFanoutApp(int fanout) {
+  AppSpec app;
+  app.name = "fanout";
+
+  ServiceSpec frontend;
+  frontend.name = "frontend";
+  frontend.worker_threads = 32;
+  HandlerSpec h;
+  h.endpoint = "/fan";
+  SimStage st;
+  st.pre_delay = DelaySpec::LogNormal(Micros(120), 0.4);
+  for (int i = 0; i < fanout; ++i) {
+    const std::string leaf = "leaf-" + std::to_string(i);
+    st.calls.push_back({leaf, "/work", 0.0});
+    app.services[leaf] =
+        Leaf(leaf, "/work", DelaySpec::LogNormal(Micros(200 + 40 * i), 0.5));
+  }
+  h.stages.push_back(std::move(st));
+  h.post_delay = DelaySpec::LogNormal(Micros(150), 0.4);
+  frontend.handlers["/fan"] = std::move(h);
+  app.services["frontend"] = std::move(frontend);
+
+  app.roots = {{"frontend", "/fan", 1.0}};
+  return app;
+}
+
+}  // namespace traceweaver::sim

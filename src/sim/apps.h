@@ -1,0 +1,51 @@
+// Benchmark application topologies mirroring the paper's evaluation apps
+// (§6.1): DeathStarBench HotelReservation (6 services plus cache/DB
+// leaves), DeathStarBench Media Microservices (14 services), a Node.js-style
+// async microservice demo (7 services), plus two synthetic apps used by
+// specific experiments (async-I/O interleaving for Fig. 4d, and a small
+// linear chain used by unit tests).
+#pragma once
+
+#include "sim/spec.h"
+
+namespace traceweaver::sim {
+
+/// DeathStarBench HotelReservation: frontend, search, geo, rate, profile,
+/// reservation + memcached/mongo leaf components. Roots: /hotels and
+/// /reservation.
+/// `search_cache_hit_prob` inserts cache-style call skipping into the
+/// search path (Fig. 4c's dynamism knob); 0 disables it.
+AppSpec MakeHotelReservationApp(double search_cache_hit_prob = 0.0);
+
+/// DeathStarBench Media Microservices: 14 services across a compose-review
+/// flow and a read-page flow.
+AppSpec MakeMediaMicroservicesApp();
+
+/// DeathStarBench SocialNetwork (extension; the paper evaluates the other
+/// two DSB apps): compose-post and read-home-timeline flows over ~15
+/// services with wide parallel fan-out -- the hardest topology here.
+AppSpec MakeSocialNetworkApp();
+
+/// Node.js-style microservice demo: 7 services, all on single-threaded
+/// async event loops (unbounded concurrency, thread ids useless to vPath).
+AppSpec MakeNodejsApp();
+
+/// Two-service app where the frontend performs a variable-size async disk
+/// read before contacting the backend (Fig. 2b / Fig. 4d). The stddev of
+/// the read time controls how often responses overtake each other.
+AppSpec MakeAsyncIoApp(DurationNs read_mean, DurationNs read_stddev);
+
+/// Minimal A -> B -> C chain for unit tests.
+AppSpec MakeLinearChainApp();
+
+/// A/B-testing app (§6.4.2): frontend -> auth -> recommend, where
+/// `recommend` runs two replicas -- replica 0 is version A, replica 1 the
+/// canary version B receiving `b_fraction` of traffic. Which replica served
+/// a request is only attributable per-request with request traces.
+AppSpec MakeAbTestApp(double b_fraction);
+
+/// Fan-out app: frontend calls `fanout` leaves in parallel. For tests and
+/// microbenchmarks.
+AppSpec MakeFanoutApp(int fanout);
+
+}  // namespace traceweaver::sim

@@ -1,0 +1,38 @@
+#include "sim/des.h"
+
+namespace traceweaver::sim {
+
+void EventQueue::ScheduleAt(TimeNs when, Action action) {
+  if (when < now_) when = now_;
+  heap_.push(Event{when, next_seq_++, std::move(action)});
+}
+
+std::size_t EventQueue::RunUntil(TimeNs until) {
+  std::size_t executed = 0;
+  while (!heap_.empty() && heap_.top().when <= until) {
+    // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+    // so copy the action handle instead (std::function copy is cheap enough
+    // at simulation scale).
+    Event ev = heap_.top();
+    heap_.pop();
+    now_ = ev.when;
+    ev.action();
+    ++executed;
+  }
+  if (heap_.empty() && now_ < until) now_ = until;
+  return executed;
+}
+
+std::size_t EventQueue::RunAll() {
+  std::size_t executed = 0;
+  while (!heap_.empty()) {
+    Event ev = heap_.top();
+    heap_.pop();
+    now_ = ev.when;
+    ev.action();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace traceweaver::sim

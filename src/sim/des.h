@@ -1,0 +1,60 @@
+// Minimal discrete-event simulation core: a time-ordered event queue.
+//
+// Events are closures scheduled at absolute simulated times; ties are broken
+// by insertion order so runs are fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "util/time_types.h"
+
+namespace traceweaver::sim {
+
+/// Deterministic event queue. Not thread-safe; the simulation is
+/// single-threaded by design (determinism beats parallelism here).
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `action` at absolute time `when` (clamped to now).
+  void ScheduleAt(TimeNs when, Action action);
+
+  /// Schedules `action` `delay` after the current time.
+  void ScheduleAfter(DurationNs delay, Action action) {
+    ScheduleAt(now_ + (delay < 0 ? 0 : delay), std::move(action));
+  }
+
+  /// Runs events in order until the queue drains or `until` is passed.
+  /// Returns the number of events executed.
+  std::size_t RunUntil(TimeNs until);
+
+  /// Drains the queue completely.
+  std::size_t RunAll();
+
+  TimeNs now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+ private:
+  struct Event {
+    TimeNs when;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  TimeNs now_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace traceweaver::sim

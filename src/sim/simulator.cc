@@ -1,0 +1,283 @@
+#include "sim/simulator.h"
+
+#include <limits>
+#include <utility>
+
+namespace traceweaver::sim {
+
+/// Tracks one request being handled by a replica: which stage it is in, how
+/// many child responses are outstanding, and how to answer the caller.
+struct Simulator::RequestContext {
+  std::shared_ptr<Span> span;  ///< The incoming (parent) span.
+  const ServiceSpec* svc = nullptr;
+  const HandlerSpec* handler = nullptr;
+  int replica = 0;
+  int slot = -1;  ///< Worker slot held for the duration (or -1 if async).
+  std::size_t stage_idx = 0;
+  std::size_t outstanding = 0;
+  std::function<void()> on_response;
+};
+
+Simulator::Simulator(AppSpec app, std::uint64_t seed)
+    : app_(std::move(app)), rng_(seed) {}
+
+Simulator::ReplicaState& Simulator::StateOf(const std::string& service,
+                                            int replica) {
+  auto key = std::make_pair(service, replica);
+  auto it = replicas_.find(key);
+  if (it == replicas_.end()) {
+    const ServiceSpec& svc = app_.ServiceOrDie(service);
+    ReplicaState state;
+    const int conc = ConcurrencyOf(svc);
+    // Async loops are unbounded; don't materialize slot bitmaps for them.
+    if (conc != std::numeric_limits<int>::max()) {
+      state.slot_busy.assign(static_cast<std::size_t>(conc), false);
+    }
+    it = replicas_.emplace(key, std::move(state)).first;
+  }
+  return it->second;
+}
+
+int Simulator::PickReplica(const std::string& service) {
+  const ServiceSpec& svc = app_.ServiceOrDie(service);
+  if (!svc.replica_weights.empty()) {
+    return static_cast<int>(rng_.WeightedIndex(svc.replica_weights));
+  }
+  int& rr = replica_rr_[service];
+  const int r = rr;
+  rr = (rr + 1) % std::max(svc.replicas, 1);
+  return r;
+}
+
+int Simulator::ConcurrencyOf(const ServiceSpec& svc) const {
+  if (svc.model == ExecutionModel::kAsyncEventLoop) {
+    return std::numeric_limits<int>::max();
+  }
+  return std::max(svc.worker_threads, 1);
+}
+
+void Simulator::InjectRoot(const std::string& service,
+                           const std::string& endpoint, TimeNs at) {
+  auto span = std::make_shared<Span>();
+  span->id = next_span_id_++;
+  span->caller = kClientCaller;
+  span->callee = service;
+  span->endpoint = endpoint;
+  span->true_parent = kInvalidSpanId;
+  span->true_trace = next_trace_id_++;
+  span->caller_replica = 0;
+  ++result_.injected;
+
+  queue_.ScheduleAt(at, [this, span] {
+    span->client_send = queue_.now();
+    SendRequest(span, [] {});
+  });
+}
+
+void Simulator::SendRequest(const std::shared_ptr<Span>& span,
+                            std::function<void()> on_response) {
+  const int replica = PickReplica(span->callee);
+  span->callee_replica = replica;
+  const DurationNs net = app_.network_delay.Sample(rng_);
+  queue_.ScheduleAfter(net, [this, span, on_response = std::move(on_response),
+                             replica]() mutable {
+    ReplicaState& state = StateOf(span->callee, replica);
+    state.waiting.push_back(
+        [this, span, on_response = std::move(on_response)](int slot) {
+          BeginHandling(span, std::move(on_response), slot);
+        });
+    Dispatch(span->callee, replica);
+  });
+}
+
+void Simulator::Dispatch(const std::string& service, int replica) {
+  ReplicaState& state = StateOf(service, replica);
+  const ServiceSpec& svc = app_.ServiceOrDie(service);
+  const int conc = ConcurrencyOf(svc);
+
+  while (!state.waiting.empty() && state.busy < conc) {
+    int slot = -1;
+    if (!state.slot_busy.empty()) {
+      for (std::size_t i = 0; i < state.slot_busy.size(); ++i) {
+        if (!state.slot_busy[i]) {
+          slot = static_cast<int>(i);
+          state.slot_busy[i] = true;
+          break;
+        }
+      }
+    }
+    ++state.busy;
+    auto start = std::move(state.waiting.front());
+    state.waiting.pop_front();
+    start(slot);
+  }
+}
+
+void Simulator::BeginHandling(const std::shared_ptr<Span>& span,
+                              std::function<void()> on_response, int slot) {
+  const ServiceSpec& svc = app_.ServiceOrDie(span->callee);
+  const HandlerSpec& handler =
+      app_.HandlerOrDie(span->callee, span->endpoint);
+
+  span->server_recv = queue_.now();
+
+  // Thread-id bookkeeping for the vPath baseline.
+  ReplicaState& state = StateOf(span->callee, span->callee_replica);
+  int handler_thread = 0;
+  switch (svc.model) {
+    case ExecutionModel::kThreadPool:
+      handler_thread = slot;
+      break;
+    case ExecutionModel::kRpcHandoff:
+      handler_thread = state.io_pickup_rr;
+      state.io_pickup_rr = (state.io_pickup_rr + 1) % std::max(svc.io_threads, 1);
+      break;
+    case ExecutionModel::kAsyncEventLoop:
+      handler_thread = 0;
+      break;
+  }
+  span->handler_thread = handler_thread;
+
+  auto ctx = std::make_shared<RequestContext>();
+  ctx->span = span;
+  ctx->svc = &svc;
+  ctx->handler = &handler;
+  ctx->replica = span->callee_replica;
+  ctx->slot = slot;
+  ctx->on_response = std::move(on_response);
+  EnterStage(ctx);
+}
+
+void Simulator::EnterStage(const CtxPtr& ctx) {
+  if (ctx->stage_idx >= ctx->handler->stages.size()) {
+    // All stages done: final processing, then respond.
+    DurationNs post = ctx->handler->post_delay.Sample(rng_);
+    const AnomalySpec& anomaly = ctx->handler->anomaly;
+    if (anomaly.probability > 0.0 && rng_.Bernoulli(anomaly.probability)) {
+      post += anomaly.extra;
+    }
+    queue_.ScheduleAfter(post, [this, ctx] { FinishHandling(ctx); });
+    return;
+  }
+  const SimStage& stage = ctx->handler->stages[ctx->stage_idx];
+  const DurationNs pre = stage.pre_delay.Sample(rng_);
+  queue_.ScheduleAfter(pre, [this, ctx] { IssueStage(ctx); });
+}
+
+void Simulator::IssueStage(const CtxPtr& ctx) {
+  const SimStage& stage = ctx->handler->stages[ctx->stage_idx];
+
+  // Decide skips up front so we know whether the stage is empty.
+  std::vector<const SimCall*> issued;
+  for (const SimCall& call : stage.calls) {
+    if (call.skip_probability > 0.0 && rng_.Bernoulli(call.skip_probability)) {
+      continue;  // Cache hit / failure path: backend not contacted.
+    }
+    issued.push_back(&call);
+  }
+  if (issued.empty()) {
+    ++ctx->stage_idx;
+    EnterStage(ctx);
+    return;
+  }
+
+  ctx->outstanding = issued.size();
+  DurationNs stagger = 0;
+  for (const SimCall* call : issued) {
+    IssueCall(ctx, *call, stagger, /*is_retry=*/false);
+    stagger += rng_.UniformInt(Micros(1), Micros(8));
+  }
+}
+
+void Simulator::IssueCall(const CtxPtr& ctx, const SimCall& call,
+                          DurationNs send_offset, bool is_retry) {
+  auto child = std::make_shared<Span>();
+  child->id = next_span_id_++;
+  child->caller = ctx->span->callee;
+  child->caller_replica = ctx->replica;
+  child->callee = call.service;
+  child->endpoint = call.endpoint;
+  child->true_parent = ctx->span->id;
+  child->true_trace = ctx->span->true_trace;
+
+  // Parallel sends leave the caller back to back, not at the same instant.
+  child->client_send = queue_.now() + send_offset;
+
+  // Thread id of the sending syscall, per threading model.
+  int caller_thread = 0;
+  switch (ctx->svc->model) {
+    case ExecutionModel::kThreadPool:
+      caller_thread = ctx->slot;
+      break;
+    case ExecutionModel::kRpcHandoff:
+      // The send continuation runs on the completion-queue (I/O) thread
+      // that picked the parent up. At low load that thread's most recent
+      // pickup is still this parent, so vPath happens to be right; under
+      // load the thread has multiplexed other requests in between and the
+      // attribution silently goes stale -- the paper's Fig. 4a failure
+      // mode.
+      caller_thread = ctx->span->handler_thread;
+      break;
+    case ExecutionModel::kAsyncEventLoop:
+      caller_thread = 0;
+      break;
+  }
+  child->caller_thread = caller_thread;
+
+  const double retry_prob = is_retry ? 0.0 : call.retry_probability;
+  queue_.ScheduleAt(child->client_send,
+                    [this, child, ctx, call, retry_prob] {
+    SendRequest(child, [this, child, ctx, call, retry_prob] {
+      // Response is back at the caller.
+      child->client_recv = queue_.now();
+      Complete(child);
+      if (retry_prob > 0.0 && rng_.Bernoulli(retry_prob)) {
+        // Failed attempt: reissue once. The stage stays open until the
+        // retry completes (outstanding is unchanged -- the retry inherits
+        // this attempt's slot).
+        IssueCall(ctx, call, rng_.UniformInt(Micros(1), Micros(20)),
+                  /*is_retry=*/true);
+        return;
+      }
+      if (--ctx->outstanding == 0) {
+        ++ctx->stage_idx;
+        EnterStage(ctx);
+      }
+    });
+  });
+}
+
+void Simulator::FinishHandling(const CtxPtr& ctx) {
+  ctx->span->server_send = queue_.now();
+
+  // Release the worker slot before the response travels back.
+  ReplicaState& state = StateOf(ctx->span->callee, ctx->replica);
+  --state.busy;
+  if (ctx->slot >= 0 &&
+      static_cast<std::size_t>(ctx->slot) < state.slot_busy.size()) {
+    state.slot_busy[static_cast<std::size_t>(ctx->slot)] = false;
+  }
+  Dispatch(ctx->span->callee, ctx->replica);
+
+  const DurationNs net = app_.network_delay.Sample(rng_);
+  auto span = ctx->span;
+  auto on_response = ctx->on_response;
+  queue_.ScheduleAfter(net, [this, span, on_response] {
+    if (span->IsRoot()) {
+      span->client_recv = queue_.now();
+      Complete(span);
+    }
+    on_response();
+  });
+}
+
+void Simulator::Complete(const std::shared_ptr<Span>& span) {
+  result_.spans.push_back(*span);
+}
+
+SimResult Simulator::Run() {
+  queue_.RunAll();
+  return std::move(result_);
+}
+
+}  // namespace traceweaver::sim

@@ -1,0 +1,90 @@
+// Discrete-event execution of an AppSpec under a workload.
+//
+// The simulator plays the role of the paper's Docker/Kubernetes testbed: it
+// runs requests through the service topology with realistic queueing
+// (bounded worker pools), network delays, parallel fan-out, cache skipping,
+// and three threading models, and emits the span population that a
+// non-intrusive capture layer (eBPF/sidecar) would observe. Ground-truth
+// parent links ride along for evaluation only.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/des.h"
+#include "sim/spec.h"
+#include "trace/span.h"
+#include "util/rng.h"
+
+namespace traceweaver::sim {
+
+/// Result of a simulation run.
+struct SimResult {
+  std::vector<Span> spans;
+  /// Requests injected (== number of root spans when all complete).
+  std::size_t injected = 0;
+};
+
+class Simulator {
+ public:
+  Simulator(AppSpec app, std::uint64_t seed);
+
+  /// Injects one external request at absolute simulated time `at`.
+  void InjectRoot(const std::string& service, const std::string& endpoint,
+                  TimeNs at);
+
+  /// Runs the event loop to completion and returns all completed spans.
+  SimResult Run();
+
+  EventQueue& queue() { return queue_; }
+  const AppSpec& app() const { return app_; }
+
+ private:
+  struct ReplicaState {
+    int busy = 0;  ///< Occupied worker slots.
+    std::vector<bool> slot_busy;
+    std::deque<std::function<void(int /*slot*/)>> waiting;
+    int io_pickup_rr = 0;
+  };
+
+  struct RequestContext;
+  using CtxPtr = std::shared_ptr<RequestContext>;
+
+  ReplicaState& StateOf(const std::string& service, int replica);
+  int PickReplica(const std::string& service);
+  int ConcurrencyOf(const ServiceSpec& svc) const;
+
+  /// Sends an in-flight span to its callee; `on_response` runs at the caller
+  /// when the response arrives back (with the response arrival time).
+  void SendRequest(const std::shared_ptr<Span>& span,
+                   std::function<void()> on_response);
+
+  void Dispatch(const std::string& service, int replica);
+  void BeginHandling(const std::shared_ptr<Span>& span,
+                     std::function<void()> on_response, int slot);
+  void EnterStage(const CtxPtr& ctx);
+  void IssueStage(const CtxPtr& ctx);
+  /// Issues one backend call of the current stage; retries reissue once on
+  /// simulated failure without re-counting toward `outstanding`.
+  void IssueCall(const CtxPtr& ctx, const SimCall& call,
+                 DurationNs send_offset, bool is_retry);
+  void FinishHandling(const CtxPtr& ctx);
+
+  void Complete(const std::shared_ptr<Span>& span);
+
+  AppSpec app_;
+  Rng rng_;
+  EventQueue queue_;
+  SimResult result_;
+  SpanId next_span_id_ = 1;
+  TraceId next_trace_id_ = 1;
+  std::map<std::string, int> replica_rr_;
+  std::map<std::pair<std::string, int>, ReplicaState> replicas_;
+};
+
+}  // namespace traceweaver::sim

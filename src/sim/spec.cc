@@ -1,0 +1,46 @@
+#include "sim/spec.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace traceweaver::sim {
+
+DurationNs DelaySpec::Sample(Rng& rng) const {
+  switch (kind) {
+    case Kind::kConstant:
+      return a;
+    case Kind::kNormal:
+      return rng.NormalDuration(a, b);
+    case Kind::kLogNormal: {
+      // `a` is the median: exp(mu) == a.
+      const double mu = std::log(std::max<double>(static_cast<double>(a), 1.0));
+      return static_cast<DurationNs>(rng.LogNormal(mu, sigma));
+    }
+    case Kind::kExponential:
+      return static_cast<DurationNs>(
+          rng.ExpWithMean(static_cast<double>(a)));
+    case Kind::kUniform:
+      return rng.UniformInt(a, b);
+  }
+  return 0;
+}
+
+const ServiceSpec& AppSpec::ServiceOrDie(const std::string& svc) const {
+  auto it = services.find(svc);
+  if (it == services.end()) {
+    throw std::out_of_range("unknown service: " + svc);
+  }
+  return it->second;
+}
+
+const HandlerSpec& AppSpec::HandlerOrDie(const std::string& svc,
+                                         const std::string& endpoint) const {
+  const ServiceSpec& s = ServiceOrDie(svc);
+  auto it = s.handlers.find(endpoint);
+  if (it == s.handlers.end()) {
+    throw std::out_of_range("unknown handler: " + svc + "/" + endpoint);
+  }
+  return it->second;
+}
+
+}  // namespace traceweaver::sim

@@ -1,0 +1,141 @@
+// Declarative specification of a simulated microservice application.
+//
+// An AppSpec plays the role DeathStarBench plays in the paper: a topology of
+// services with handlers, processing delays, threading models, replica
+// counts, and (optionally) cache-style call skipping and latency anomalies.
+// The Simulator (simulator.h) executes an AppSpec under a workload and emits
+// the span population an eBPF/sidecar capture layer would observe, plus
+// ground-truth parent links used only for evaluation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/time_types.h"
+
+namespace traceweaver::sim {
+
+/// A parametric delay distribution, sampled per occurrence.
+struct DelaySpec {
+  enum class Kind { kConstant, kNormal, kLogNormal, kExponential, kUniform };
+
+  Kind kind = Kind::kConstant;
+  /// kConstant: value; kNormal: mean; kLogNormal: median (scale);
+  /// kExponential: mean; kUniform: low.
+  DurationNs a = 0;
+  /// kNormal: stddev; kLogNormal: sigma of underlying normal, in 1e-3 units
+  /// carried via `sigma_milli`; kUniform: high. Unused otherwise.
+  DurationNs b = 0;
+  /// Only for kLogNormal: sigma of the underlying normal.
+  double sigma = 0.5;
+
+  DurationNs Sample(Rng& rng) const;
+
+  static DelaySpec Constant(DurationNs v) {
+    return {Kind::kConstant, v, 0, 0.0};
+  }
+  static DelaySpec Normal(DurationNs mean, DurationNs stddev) {
+    return {Kind::kNormal, mean, stddev, 0.0};
+  }
+  static DelaySpec LogNormal(DurationNs median, double sigma) {
+    return {Kind::kLogNormal, median, 0, sigma};
+  }
+  static DelaySpec Exponential(DurationNs mean) {
+    return {Kind::kExponential, mean, 0, 0.0};
+  }
+  static DelaySpec Uniform(DurationNs lo, DurationNs hi) {
+    return {Kind::kUniform, lo, hi, 0.0};
+  }
+};
+
+/// One backend call a handler makes.
+struct SimCall {
+  std::string service;
+  std::string endpoint;
+  /// Probability the call is skipped at runtime (cache hit, failure path);
+  /// drives the §4.2 dynamism experiments.
+  double skip_probability = 0.0;
+  /// Probability the first attempt is retried once (an extra span to the
+  /// same backend). The paper defers retry-style dynamism to future work
+  /// (§7); the simulator supports it so that behavior under unexpected
+  /// extra spans can be measured.
+  double retry_probability = 0.0;
+};
+
+/// Calls within a stage are issued in parallel; stages run sequentially.
+struct SimStage {
+  std::vector<SimCall> calls;
+  /// Local processing before this stage's calls are issued (after the
+  /// previous stage completed).
+  DelaySpec pre_delay = DelaySpec::Constant(0);
+};
+
+/// Latency-anomaly injection (Fig. 6c): with `probability`, `extra` is added
+/// to the handler's final processing delay.
+struct AnomalySpec {
+  double probability = 0.0;
+  DurationNs extra = 0;
+};
+
+/// One endpoint handler on a service.
+struct HandlerSpec {
+  std::string endpoint;
+  std::vector<SimStage> stages;
+  /// Processing after the last stage, before the response is sent.
+  DelaySpec post_delay = DelaySpec::Constant(0);
+  AnomalySpec anomaly;
+};
+
+/// How a service schedules request handling; determines concurrency and the
+/// thread ids the capture layer sees (which is what vPath/DeepFlow key on).
+enum class ExecutionModel {
+  /// A fixed pool of worker threads; each request is handled start-to-finish
+  /// by one thread (vPath's assumption holds).
+  kThreadPool,
+  /// gRPC/Thrift style: I/O threads pick up requests and hand them to
+  /// workers; outgoing requests are multiplexed over the I/O threads, so
+  /// observed thread ids do not follow the request.
+  kRpcHandoff,
+  /// Node.js style single-threaded event loop with non-blocking I/O:
+  /// unbounded concurrency, every event on thread 0.
+  kAsyncEventLoop,
+};
+
+struct ServiceSpec {
+  std::string name;
+  int replicas = 1;
+  /// Optional traffic weights per replica (size == replicas). Empty means
+  /// round-robin. Weighted routing models canary deployments where a small
+  /// replica subset runs a new version (the §6.4.2 A/B-testing setup).
+  std::vector<double> replica_weights;
+  ExecutionModel model = ExecutionModel::kThreadPool;
+  /// Worker threads per replica (kThreadPool/kRpcHandoff); concurrency cap.
+  int worker_threads = 8;
+  /// I/O threads per replica (kRpcHandoff only).
+  int io_threads = 2;
+  std::map<std::string, HandlerSpec> handlers;  // by endpoint
+};
+
+/// A root API exposed to external clients.
+struct RootEndpoint {
+  std::string service;
+  std::string endpoint;
+  double weight = 1.0;  ///< Relative traffic share.
+};
+
+struct AppSpec {
+  std::string name;
+  std::map<std::string, ServiceSpec> services;  // by name
+  std::vector<RootEndpoint> roots;
+  /// One-way network delay between any two containers.
+  DelaySpec network_delay = DelaySpec::LogNormal(Micros(150), 0.3);
+
+  const ServiceSpec& ServiceOrDie(const std::string& name) const;
+  const HandlerSpec& HandlerOrDie(const std::string& service,
+                                  const std::string& endpoint) const;
+};
+
+}  // namespace traceweaver::sim

@@ -1,0 +1,50 @@
+#include "sim/workload.h"
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace traceweaver::sim {
+
+std::size_t GenerateOpenLoop(Simulator& sim, const OpenLoopOptions& options) {
+  const AppSpec& app = sim.app();
+  Rng rng(options.seed);
+
+  std::vector<double> weights;
+  weights.reserve(app.roots.size());
+  for (const RootEndpoint& r : app.roots) weights.push_back(r.weight);
+
+  std::size_t injected = 0;
+  TimeNs t = 0;
+  const auto fixed_gap = static_cast<DurationNs>(
+      static_cast<double>(kNsPerSec) / options.requests_per_sec);
+  while (t < options.duration) {
+    const RootEndpoint& root = app.roots[rng.WeightedIndex(weights)];
+    sim.InjectRoot(root.service, root.endpoint, t);
+    ++injected;
+    t += options.poisson ? rng.PoissonGap(options.requests_per_sec)
+                         : fixed_gap;
+  }
+  return injected;
+}
+
+SimResult RunOpenLoop(const AppSpec& app, const OpenLoopOptions& options) {
+  Simulator sim(app, options.seed);
+  GenerateOpenLoop(sim, options);
+  return sim.Run();
+}
+
+SimResult RunIsolatedReplay(const AppSpec& app,
+                            const IsolatedReplayOptions& options) {
+  Simulator sim(app, options.seed);
+  TimeNs t = 0;
+  for (const RootEndpoint& root : app.roots) {
+    for (std::size_t i = 0; i < options.requests_per_root; ++i) {
+      sim.InjectRoot(root.service, root.endpoint, t);
+      t += options.gap;
+    }
+  }
+  return sim.Run();
+}
+
+}  // namespace traceweaver::sim

@@ -1,0 +1,42 @@
+// Workload generation: open-loop load (the wrk2 role) and isolated replay
+// (the test-environment role, §5.2.1).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/simulator.h"
+#include "sim/spec.h"
+
+namespace traceweaver::sim {
+
+struct OpenLoopOptions {
+  double requests_per_sec = 100.0;
+  DurationNs duration = Seconds(10);
+  /// Poisson arrivals when true; fixed-rate (wrk2-style) otherwise.
+  bool poisson = true;
+  std::uint64_t seed = 1;
+};
+
+/// Schedules root-request injections on `sim` across all of the app's root
+/// endpoints (weighted). Returns the number of injected requests.
+std::size_t GenerateOpenLoop(Simulator& sim, const OpenLoopOptions& options);
+
+struct IsolatedReplayOptions {
+  /// Requests injected per root endpoint, one at a time.
+  std::size_t requests_per_root = 20;
+  /// Gap between consecutive injections; must exceed the worst-case
+  /// response time so only one request is ever in flight.
+  DurationNs gap = Seconds(2);
+  std::uint64_t seed = 7;
+};
+
+/// Runs the app in "test environment" mode: one request at a time, so
+/// parent-child relationships are unambiguous from timing alone. The
+/// resulting spans feed call-graph inference (callgraph/inference.h).
+SimResult RunIsolatedReplay(const AppSpec& app,
+                            const IsolatedReplayOptions& options);
+
+/// Convenience: run an open-loop load against an app and return the spans.
+SimResult RunOpenLoop(const AppSpec& app, const OpenLoopOptions& options);
+
+}  // namespace traceweaver::sim

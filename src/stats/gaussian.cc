@@ -1,0 +1,71 @@
+#include "stats/gaussian.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/summary.h"
+
+namespace traceweaver {
+namespace {
+constexpr double kLogTwoPi = 1.8378770664093454836;
+}  // namespace
+
+double Gaussian::LogPdf(double x) const {
+  const double s = std::max(stddev, kMinGaussianStddev);
+  const double z = (x - mean) / s;
+  return -0.5 * (kLogTwoPi + z * z) - std::log(s);
+}
+
+double Gaussian::Pdf(double x) const { return std::exp(LogPdf(x)); }
+
+double Gaussian::Cdf(double x) const {
+  const double s = std::max(stddev, kMinGaussianStddev);
+  return 0.5 * (1.0 + std::erf((x - mean) / (s * std::sqrt(2.0))));
+}
+
+Gaussian Gaussian::Fit(const std::vector<double>& samples) {
+  if (samples.empty()) return Gaussian{};
+  Gaussian g;
+  g.mean = Mean(samples);
+  g.stddev = std::max(SampleStddev(samples), kMinGaussianStddev);
+  return g;
+}
+
+Gaussian Gaussian::SeedFromUnmatched(const std::vector<double>& a,
+                                     const std::vector<double>& b,
+                                     std::size_t num_buckets) {
+  Gaussian g;
+  g.mean = Mean(b) - Mean(a);
+
+  // Estimate the population stddev of the (unobserved) pairwise differences
+  // by bucketing the child-side series: the empirical stddev across R bucket
+  // means underestimates the population stddev by a factor of sqrt(n) where
+  // n is the bucket size; equivalently, scale by sqrt(R) relative to the
+  // full series (per the paper's CLT argument). We bucket the *gap proxy*
+  // series b[i] - a[i'] where i' indexes a proportionally, which preserves
+  // the variance structure when the two series have similar length.
+  const std::size_t n = std::min(a.size(), b.size());
+  if (n < 2 || num_buckets < 2) {
+    g.stddev = kMinGaussianStddev;
+    return g;
+  }
+  const std::size_t buckets = std::min(num_buckets, n);
+  std::vector<double> bucket_means;
+  bucket_means.reserve(buckets);
+  const std::size_t per = n / buckets;
+  for (std::size_t r = 0; r < buckets; ++r) {
+    const std::size_t lo = r * per;
+    const std::size_t hi = (r + 1 == buckets) ? n : lo + per;
+    if (hi <= lo) continue;
+    double s = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) s += b[i] - a[i];
+    bucket_means.push_back(s / static_cast<double>(hi - lo));
+  }
+  const double sd_of_means = SampleStddev(bucket_means);
+  g.stddev = std::max(
+      sd_of_means * std::sqrt(static_cast<double>(bucket_means.size())),
+      kMinGaussianStddev);
+  return g;
+}
+
+}  // namespace traceweaver

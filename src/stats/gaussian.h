@@ -1,0 +1,42 @@
+// Univariate Gaussian density used for delay modeling.
+//
+// TraceWeaver's first-iteration "seed" delay distribution is a single
+// Gaussian whose mean is estimated exactly from unmatched span populations
+// and whose variance is estimated via bucket means (§4.1 step 3). Later
+// iterations upgrade to a GaussianMixture (see gmm.h).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace traceweaver {
+
+/// Variance floor applied everywhere a Gaussian is fitted, to keep log-pdf
+/// scores finite when a delay population is (near-)degenerate.
+constexpr double kMinGaussianStddev = 1e-6;
+
+struct Gaussian {
+  double mean = 0.0;
+  double stddev = 1.0;
+
+  /// Log probability density at x. stddev is floored.
+  double LogPdf(double x) const;
+  double Pdf(double x) const;
+  /// Cumulative distribution at x.
+  double Cdf(double x) const;
+
+  /// Maximum-likelihood fit from samples; an empty set yields a standard
+  /// normal, a singleton gets the floor stddev.
+  static Gaussian Fit(const std::vector<double>& samples);
+
+  /// The paper's seed estimator: mean = mean(b) - mean(a) (difference of
+  /// means equals mean of differences even without the pairing), and
+  /// stddev = sqrt(R) * stddev of R bucket means (central limit theorem
+  /// back-scaling). `a` are parent-side event times, `b` child-side event
+  /// times; the two need not be the same length.
+  static Gaussian SeedFromUnmatched(const std::vector<double>& a,
+                                    const std::vector<double>& b,
+                                    std::size_t num_buckets);
+};
+
+}  // namespace traceweaver

@@ -1,0 +1,204 @@
+#include "stats/gmm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/rng.h"
+
+namespace traceweaver {
+namespace {
+
+constexpr double kMinWeight = 1e-9;
+
+/// Numerically stable log-sum-exp over a small fixed array.
+double LogSumExp(const std::vector<double>& xs) {
+  double mx = -std::numeric_limits<double>::infinity();
+  for (double x : xs) mx = std::max(mx, x);
+  if (!std::isfinite(mx)) return mx;
+  double s = 0.0;
+  for (double x : xs) s += std::exp(x - mx);
+  return mx + std::log(s);
+}
+
+/// k-means++-style initialization: pick means spread across the data, then
+/// set uniform weights and a shared stddev.
+std::vector<GmmComponent> InitComponents(const std::vector<double>& samples,
+                                         std::size_t k, Rng& rng) {
+  std::vector<double> means;
+  means.reserve(k);
+  means.push_back(
+      samples[static_cast<std::size_t>(rng.UniformInt(
+          0, static_cast<std::int64_t>(samples.size()) - 1))]);
+  std::vector<double> d2(samples.size());
+  while (means.size() < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (double m : means) {
+        best = std::min(best, (samples[i] - m) * (samples[i] - m));
+      }
+      d2[i] = best;
+      total += best;
+    }
+    if (total <= 0.0) {
+      // All remaining mass is on already-chosen points; duplicate one.
+      means.push_back(means.back());
+      continue;
+    }
+    double r = rng.Uniform(0.0, total);
+    std::size_t pick = samples.size() - 1;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      r -= d2[i];
+      if (r <= 0.0) {
+        pick = i;
+        break;
+      }
+    }
+    means.push_back(samples[pick]);
+  }
+
+  double lo = samples.front(), hi = samples.front();
+  for (double s : samples) {
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+  }
+  const double spread =
+      std::max((hi - lo) / (2.0 * static_cast<double>(k)),
+               kMinGaussianStddev);
+  std::vector<GmmComponent> comps(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    comps[c].weight = 1.0 / static_cast<double>(k);
+    comps[c].mean = means[c];
+    comps[c].stddev = spread;
+  }
+  return comps;
+}
+
+}  // namespace
+
+GaussianMixture GaussianMixture::FromGaussian(const Gaussian& g) {
+  return GaussianMixture({GmmComponent{1.0, g.mean,
+                                       std::max(g.stddev,
+                                                kMinGaussianStddev)}});
+}
+
+double GaussianMixture::LogPdf(double x) const {
+  if (components_.empty()) return Gaussian{}.LogPdf(x);
+  std::vector<double> terms;
+  terms.reserve(components_.size());
+  for (const auto& c : components_) {
+    Gaussian g{c.mean, c.stddev};
+    terms.push_back(std::log(std::max(c.weight, kMinWeight)) + g.LogPdf(x));
+  }
+  return LogSumExp(terms);
+}
+
+double GaussianMixture::Pdf(double x) const { return std::exp(LogPdf(x)); }
+
+double GaussianMixture::Cdf(double x) const {
+  if (components_.empty()) return Gaussian{}.Cdf(x);
+  double total = 0.0;
+  for (const auto& c : components_) {
+    total += c.weight * Gaussian{c.mean, c.stddev}.Cdf(x);
+  }
+  return std::clamp(total, 0.0, 1.0);
+}
+
+double GaussianMixture::LogLikelihood(
+    const std::vector<double>& samples) const {
+  double ll = 0.0;
+  for (double s : samples) ll += LogPdf(s);
+  return ll;
+}
+
+double GaussianMixture::Bic(const std::vector<double>& samples) const {
+  const double n = static_cast<double>(samples.size());
+  const double k = 3.0 * static_cast<double>(components_.size()) - 1.0;
+  return k * std::log(std::max(n, 1.0)) - 2.0 * LogLikelihood(samples);
+}
+
+GaussianMixture FitGmm(const std::vector<double>& samples,
+                       std::size_t num_components,
+                       const GmmFitOptions& options) {
+  if (samples.empty()) {
+    return GaussianMixture::FromGaussian(Gaussian{});
+  }
+  const std::size_t k = std::min(num_components, samples.size());
+  if (k <= 1) {
+    return GaussianMixture::FromGaussian(Gaussian::Fit(samples));
+  }
+
+  Rng rng(options.seed);
+  std::vector<GmmComponent> comps = InitComponents(samples, k, rng);
+
+  const std::size_t n = samples.size();
+  // resp[i*k + c] = P(component c | sample i)
+  std::vector<double> resp(n * k);
+  double prev_ll = -std::numeric_limits<double>::infinity();
+
+  for (std::size_t iter = 0; iter < options.em_iterations; ++iter) {
+    // E step.
+    double ll = 0.0;
+    std::vector<double> logterms(k);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t c = 0; c < k; ++c) {
+        Gaussian g{comps[c].mean, comps[c].stddev};
+        logterms[c] =
+            std::log(std::max(comps[c].weight, kMinWeight)) +
+            g.LogPdf(samples[i]);
+      }
+      const double lse = LogSumExp(logterms);
+      ll += lse;
+      for (std::size_t c = 0; c < k; ++c) {
+        resp[i * k + c] = std::exp(logterms[c] - lse);
+      }
+    }
+
+    // M step.
+    for (std::size_t c = 0; c < k; ++c) {
+      double nc = 0.0, mu = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        nc += resp[i * k + c];
+        mu += resp[i * k + c] * samples[i];
+      }
+      nc = std::max(nc, kMinWeight);
+      mu /= nc;
+      double var = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double d = samples[i] - mu;
+        var += resp[i * k + c] * d * d;
+      }
+      var /= nc;
+      comps[c].weight = nc / static_cast<double>(n);
+      comps[c].mean = mu;
+      comps[c].stddev =
+          std::max(std::sqrt(var), kMinGaussianStddev);
+    }
+
+    if (ll - prev_ll < options.tolerance && iter > 0) break;
+    prev_ll = ll;
+  }
+
+  return GaussianMixture(std::move(comps));
+}
+
+GaussianMixture FitGmmBicSweep(const std::vector<double>& samples,
+                               const GmmFitOptions& options) {
+  if (samples.empty()) {
+    return GaussianMixture::FromGaussian(Gaussian{});
+  }
+  GaussianMixture best;
+  double best_bic = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 1; c <= options.max_components; ++c) {
+    GaussianMixture m = FitGmm(samples, c, options);
+    const double bic = m.Bic(samples);
+    if (bic < best_bic) {
+      best_bic = bic;
+      best = std::move(m);
+    }
+  }
+  return best;
+}
+
+}  // namespace traceweaver

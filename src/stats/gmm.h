@@ -1,0 +1,76 @@
+// Gaussian Mixture Model fitted by Expectation-Maximization, with BIC-based
+// model selection (§4.1 step 3, later iterations).
+//
+// GMMs are universal density approximators; TraceWeaver sweeps the component
+// count and keeps the model minimizing the Bayesian Information Criterion to
+// avoid over-fitting the inferred delay samples.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "stats/gaussian.h"
+
+namespace traceweaver {
+
+struct GmmComponent {
+  double weight = 1.0;
+  double mean = 0.0;
+  double stddev = 1.0;
+};
+
+/// A fitted univariate Gaussian mixture.
+class GaussianMixture {
+ public:
+  GaussianMixture() = default;
+  explicit GaussianMixture(std::vector<GmmComponent> components)
+      : components_(std::move(components)) {}
+
+  /// Builds a single-component mixture from a plain Gaussian.
+  static GaussianMixture FromGaussian(const Gaussian& g);
+
+  const std::vector<GmmComponent>& components() const { return components_; }
+  std::size_t num_components() const { return components_.size(); }
+
+  /// Log density at x; -inf is never returned (weights/stddevs are floored).
+  double LogPdf(double x) const;
+  double Pdf(double x) const;
+  /// Cumulative distribution at x (weight-mixed component CDFs).
+  double Cdf(double x) const;
+
+  /// Total log likelihood of a sample set.
+  double LogLikelihood(const std::vector<double>& samples) const;
+
+  /// Bayesian Information Criterion: k*ln(n) - 2*lnL with k = 3C - 1 free
+  /// parameters (C means, C stddevs, C-1 independent weights).
+  double Bic(const std::vector<double>& samples) const;
+
+ private:
+  std::vector<GmmComponent> components_;
+};
+
+struct GmmFitOptions {
+  /// Maximum number of mixture components swept during model selection.
+  std::size_t max_components = 5;
+  /// EM iterations per candidate component count.
+  std::size_t em_iterations = 50;
+  /// EM convergence threshold on log-likelihood improvement.
+  double tolerance = 1e-6;
+  /// Seed for the k-means++-style initialization.
+  std::uint64_t seed = 42;
+};
+
+/// Fits a GMM with a fixed component count via EM (k-means++ init).
+/// Degenerate inputs (fewer samples than components) fall back to fewer
+/// components.
+GaussianMixture FitGmm(const std::vector<double>& samples,
+                       std::size_t num_components,
+                       const GmmFitOptions& options = {});
+
+/// Sweeps component counts 1..max_components and returns the fit minimizing
+/// BIC (§4.1 step 3).
+GaussianMixture FitGmmBicSweep(const std::vector<double>& samples,
+                               const GmmFitOptions& options = {});
+
+}  // namespace traceweaver

@@ -1,0 +1,44 @@
+#include "stats/ks_test.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace traceweaver {
+
+double KolmogorovSurvival(double lambda) {
+  if (lambda <= 0.0) return 1.0;
+  double total = 0.0;
+  double sign = 1.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = std::exp(-2.0 * k * k * lambda * lambda);
+    total += sign * term;
+    sign = -sign;
+    if (term < 1e-12) break;
+  }
+  return std::clamp(2.0 * total, 0.0, 1.0);
+}
+
+KsResult KolmogorovSmirnovTest(std::vector<double> samples,
+                               const std::function<double(double)>& cdf) {
+  KsResult result;
+  result.n = samples.size();
+  if (samples.size() < 8) return result;
+
+  std::sort(samples.begin(), samples.end());
+  const double n = static_cast<double>(samples.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double f = cdf(samples[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max(d, std::max(std::fabs(f - lo), std::fabs(hi - f)));
+  }
+  result.statistic = d;
+  // Stephens' finite-sample correction.
+  const double sqrt_n = std::sqrt(n);
+  const double lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d;
+  result.p_value = KolmogorovSurvival(lambda);
+  return result;
+}
+
+}  // namespace traceweaver

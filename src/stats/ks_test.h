@@ -1,0 +1,32 @@
+// One-sample Kolmogorov-Smirnov goodness-of-fit test.
+//
+// Used by the drift detector (core/drift.h) to decide whether a window of
+// freshly observed inter-span gaps still follows the learned delay
+// distribution, or the application changed and preprocessing should re-run
+// (§3: "re-run only if the application is updated").
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace traceweaver {
+
+struct KsResult {
+  /// Supremum distance between the empirical and reference CDFs.
+  double statistic = 0.0;
+  /// Asymptotic two-sided p-value (Kolmogorov distribution with the
+  /// Stephens small-sample correction).
+  double p_value = 1.0;
+  std::size_t n = 0;
+};
+
+/// Tests `samples` against the reference distribution given by `cdf`.
+/// Fewer than 8 samples returns p = 1 (not enough evidence).
+KsResult KolmogorovSmirnovTest(std::vector<double> samples,
+                               const std::function<double(double)>& cdf);
+
+/// Survival function of the Kolmogorov distribution, exposed for testing:
+/// Q(lambda) = 2 * sum_{k>=1} (-1)^{k-1} exp(-2 k^2 lambda^2).
+double KolmogorovSurvival(double lambda);
+
+}  // namespace traceweaver

@@ -1,0 +1,28 @@
+#include "stats/pearson.h"
+
+#include <cmath>
+#include <cstddef>
+
+#include "util/summary.h"
+
+namespace traceweaver {
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return 0.0;
+  const double mx = Mean({x.begin(), x.begin() + static_cast<long>(n)});
+  const double my = Mean({y.begin(), y.begin() + static_cast<long>(n)});
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace traceweaver

@@ -1,0 +1,14 @@
+// Pearson correlation coefficient (§6.3.2: confidence score vs accuracy,
+// paper reports r = 0.89).
+#pragma once
+
+#include <vector>
+
+namespace traceweaver {
+
+/// Pearson correlation between equal-length series x and y; returns 0 when
+/// either series is constant or shorter than 2.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+}  // namespace traceweaver

@@ -1,0 +1,98 @@
+#include "stats/ttest.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/summary.h"
+
+namespace traceweaver {
+namespace {
+
+/// Continued-fraction evaluation for the incomplete beta function
+/// (Lentz's algorithm, as in Numerical Recipes).
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIterations = 300;
+  constexpr double kEps = 3e-14;
+  constexpr double kFpMin = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_beta =
+      std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b);
+  const double front =
+      std::exp(ln_beta + a * std::log(x) + b * std::log(1.0 - x));
+  // Use the symmetry relation for numerical stability.
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double StudentTTwoSidedPValue(double t, double df) {
+  if (df <= 0.0 || !std::isfinite(t)) return 1.0;
+  const double x = df / (df + t * t);
+  return RegularizedIncompleteBeta(df / 2.0, 0.5, x);
+}
+
+TTestResult WelchTTest(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  TTestResult r;
+  if (a.size() < 2 || b.size() < 2) return r;
+
+  const double ma = Mean(a), mb = Mean(b);
+  const double sa = SampleStddev(a), sb = SampleStddev(b);
+  const double va = sa * sa / static_cast<double>(a.size());
+  const double vb = sb * sb / static_cast<double>(b.size());
+  const double se2 = va + vb;
+  if (se2 <= 0.0) {
+    // Zero variance in both samples: the means either coincide (p = 1) or
+    // differ with certainty (p = 0).
+    r.p_value = (ma == mb) ? 1.0 : 0.0;
+    r.t_statistic = (ma == mb)
+                        ? 0.0
+                        : std::numeric_limits<double>::infinity();
+    return r;
+  }
+  r.t_statistic = (ma - mb) / std::sqrt(se2);
+  const double na1 = static_cast<double>(a.size()) - 1.0;
+  const double nb1 = static_cast<double>(b.size()) - 1.0;
+  r.degrees_of_freedom =
+      se2 * se2 / (va * va / na1 + vb * vb / nb1);
+  r.p_value = StudentTTwoSidedPValue(r.t_statistic, r.degrees_of_freedom);
+  return r;
+}
+
+}  // namespace traceweaver

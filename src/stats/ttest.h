@@ -1,0 +1,30 @@
+// Welch's two-sample t-test (§6.4.2 A/B-testing use case).
+//
+// The paper compares user-satisfaction scores of request populations routed
+// to versions A and B and declares significance at p < 0.05. We implement
+// Welch's unequal-variance t-test with a two-sided p-value computed from the
+// Student-t CDF (via the regularized incomplete beta function).
+#pragma once
+
+#include <vector>
+
+namespace traceweaver {
+
+struct TTestResult {
+  double t_statistic = 0.0;
+  double degrees_of_freedom = 0.0;
+  /// Two-sided p-value; 1.0 when either sample is too small to test.
+  double p_value = 1.0;
+};
+
+/// Welch's two-sample t-test comparing the means of a and b.
+TTestResult WelchTTest(const std::vector<double>& a,
+                       const std::vector<double>& b);
+
+/// Regularized incomplete beta function I_x(a, b), exposed for testing.
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+/// Two-sided p-value for a t statistic with df degrees of freedom.
+double StudentTTwoSidedPValue(double t, double df);
+
+}  // namespace traceweaver

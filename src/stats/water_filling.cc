@@ -1,0 +1,35 @@
+#include "stats/water_filling.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace traceweaver {
+
+std::vector<std::size_t> WaterFill(std::size_t total_budget,
+                                   const std::vector<std::size_t>& quotas) {
+  std::vector<std::size_t> alloc(quotas.size(), 0);
+  if (quotas.empty() || total_budget == 0) return alloc;
+
+  // Repeatedly grant one unit to the batch with the largest remaining need
+  // (quota - allocation). Ties go to the earlier batch for determinism.
+  // O(budget * n) worst case, but budgets are small (discrepancy counts).
+  std::size_t remaining = total_budget;
+  while (remaining > 0) {
+    std::size_t best = quotas.size();
+    std::size_t best_need = 0;
+    for (std::size_t i = 0; i < quotas.size(); ++i) {
+      const std::size_t need =
+          quotas[i] > alloc[i] ? quotas[i] - alloc[i] : 0;
+      if (need > best_need) {
+        best_need = need;
+        best = i;
+      }
+    }
+    if (best == quotas.size()) break;  // Everyone is saturated.
+    ++alloc[best];
+    --remaining;
+  }
+  return alloc;
+}
+
+}  // namespace traceweaver

@@ -1,0 +1,21 @@
+// Water-filling allocation of the skip-span budget across optimization
+// batches (§4.2 step 3).
+//
+// Given a total budget and a per-batch maximum quota, skip spans are
+// distributed iteratively to the neediest batches (highest remaining quota)
+// until the budget runs out. This both respects per-batch need and spreads
+// estimation error in the total budget across batches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace traceweaver {
+
+/// Distributes `total_budget` units among batches with the given maximum
+/// quotas. Returns per-batch allocations, each <= its quota, summing to
+/// min(total_budget, sum(quotas)).
+std::vector<std::size_t> WaterFill(std::size_t total_budget,
+                                   const std::vector<std::size_t>& quotas);
+
+}  // namespace traceweaver

@@ -1,0 +1,29 @@
+// Export of reconstructed traces in the Jaeger UI JSON layout.
+//
+// The output can be loaded straight into the Jaeger frontend ("JSON File"
+// upload) for visual inspection, which is how operators would consume
+// TraceWeaver's output alongside conventionally-collected traces. One
+// top-level document holds one entry per reconstructed trace; span ids and
+// trace ids are hex-encoded, timestamps are microseconds, and parent links
+// are CHILD_OF references.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace traceweaver {
+
+/// Serializes all traces implied by `assignment` over `spans`. Orphan
+/// fragments (spans whose inferred parent is missing) become their own
+/// single-rooted traces, mirroring how Jaeger renders incomplete traces.
+std::string TracesToJaegerJson(const std::vector<Span>& spans,
+                               const ParentAssignment& assignment);
+
+/// Serializes a single trace (the subtree rooted at `root_node` in
+/// `forest`) as one Jaeger trace object (no {"data": ...} wrapper).
+std::string TraceToJaegerObject(const TraceForest& forest,
+                                std::size_t root_node);
+
+}  // namespace traceweaver

@@ -1,0 +1,195 @@
+#include "trace/jsonl_io.h"
+
+#include <charconv>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace traceweaver {
+namespace {
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+}
+
+void AppendField(std::string& out, const char* key, const std::string& value,
+                 bool first = false) {
+  if (!first) out += ',';
+  out += '"';
+  out += key;
+  out += "\":\"";
+  AppendEscaped(out, value);
+  out += '"';
+}
+
+void AppendField(std::string& out, const char* key, std::int64_t value) {
+  out += ",\"";
+  out += key;
+  out += "\":";
+  out += std::to_string(value);
+}
+
+void AppendField(std::string& out, const char* key, std::uint64_t value) {
+  out += ",\"";
+  out += key;
+  out += "\":";
+  out += std::to_string(value);
+}
+
+/// Finds `"key":` in `line` and returns the position just past the colon,
+/// or npos. Assumes keys are not substrings of string values containing
+/// quotes+colons, which holds for our flat writer's output.
+std::size_t FindValue(const std::string& line, const char* key) {
+  std::string needle = "\"";
+  needle += key;
+  needle += "\":";
+  const std::size_t pos = line.find(needle);
+  if (pos == std::string::npos) return std::string::npos;
+  return pos + needle.size();
+}
+
+std::optional<std::string> GetString(const std::string& line,
+                                     const char* key) {
+  std::size_t pos = FindValue(line, key);
+  if (pos == std::string::npos || pos >= line.size() || line[pos] != '"') {
+    return std::nullopt;
+  }
+  ++pos;
+  std::string out;
+  while (pos < line.size() && line[pos] != '"') {
+    if (line[pos] == '\\' && pos + 1 < line.size()) {
+      ++pos;
+      switch (line[pos]) {
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        default:
+          out += line[pos];
+      }
+    } else {
+      out += line[pos];
+    }
+    ++pos;
+  }
+  if (pos >= line.size()) return std::nullopt;  // Unterminated string.
+  return out;
+}
+
+template <typename Int>
+std::optional<Int> GetInt(const std::string& line, const char* key) {
+  const std::size_t pos = FindValue(line, key);
+  if (pos == std::string::npos) return std::nullopt;
+  std::size_t end = pos;
+  while (end < line.size() &&
+         (line[end] == '-' || (line[end] >= '0' && line[end] <= '9'))) {
+    ++end;
+  }
+  Int value{};
+  const auto [ptr, ec] =
+      std::from_chars(line.data() + pos, line.data() + end, value);
+  if (ec != std::errc{} || ptr == line.data() + pos) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+std::string SpanToJson(const Span& s, bool include_ground_truth) {
+  std::string out = "{\"id\":";
+  out += std::to_string(static_cast<std::uint64_t>(s.id));
+  AppendField(out, "caller", s.caller);
+  AppendField(out, "callee", s.callee);
+  AppendField(out, "endpoint", s.endpoint);
+  AppendField(out, "client_send", static_cast<std::int64_t>(s.client_send));
+  AppendField(out, "server_recv", static_cast<std::int64_t>(s.server_recv));
+  AppendField(out, "server_send", static_cast<std::int64_t>(s.server_send));
+  AppendField(out, "client_recv", static_cast<std::int64_t>(s.client_recv));
+  AppendField(out, "caller_replica",
+              static_cast<std::int64_t>(s.caller_replica));
+  AppendField(out, "callee_replica",
+              static_cast<std::int64_t>(s.callee_replica));
+  if (include_ground_truth) {
+    AppendField(out, "true_parent",
+                static_cast<std::uint64_t>(s.true_parent));
+    AppendField(out, "true_trace", static_cast<std::uint64_t>(s.true_trace));
+  }
+  out += '}';
+  return out;
+}
+
+std::optional<Span> SpanFromJson(const std::string& line) {
+  Span s;
+  const auto id = GetInt<std::uint64_t>(line, "id");
+  const auto caller = GetString(line, "caller");
+  const auto callee = GetString(line, "callee");
+  const auto endpoint = GetString(line, "endpoint");
+  const auto cs = GetInt<std::int64_t>(line, "client_send");
+  const auto sr = GetInt<std::int64_t>(line, "server_recv");
+  const auto ss = GetInt<std::int64_t>(line, "server_send");
+  const auto cr = GetInt<std::int64_t>(line, "client_recv");
+  if (!id || !caller || !callee || !endpoint || !cs || !sr || !ss || !cr) {
+    return std::nullopt;
+  }
+  s.id = *id;
+  s.caller = *caller;
+  s.callee = *callee;
+  s.endpoint = *endpoint;
+  s.client_send = *cs;
+  s.server_recv = *sr;
+  s.server_send = *ss;
+  s.client_recv = *cr;
+  s.caller_replica =
+      static_cast<int>(GetInt<std::int64_t>(line, "caller_replica").value_or(0));
+  s.callee_replica =
+      static_cast<int>(GetInt<std::int64_t>(line, "callee_replica").value_or(0));
+  s.true_parent =
+      GetInt<std::uint64_t>(line, "true_parent").value_or(kInvalidSpanId);
+  s.true_trace =
+      GetInt<std::uint64_t>(line, "true_trace").value_or(kInvalidTraceId);
+  return s;
+}
+
+void WriteSpansJsonl(std::ostream& out, const std::vector<Span>& spans,
+                     bool include_ground_truth) {
+  for (const Span& s : spans) {
+    out << SpanToJson(s, include_ground_truth) << '\n';
+  }
+}
+
+std::vector<Span> ReadSpansJsonl(std::istream& in, std::size_t* dropped) {
+  std::vector<Span> spans;
+  std::size_t bad = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (auto s = SpanFromJson(line)) {
+      spans.push_back(std::move(*s));
+    } else {
+      ++bad;
+    }
+  }
+  if (dropped != nullptr) *dropped = bad;
+  return spans;
+}
+
+}  // namespace traceweaver

@@ -1,0 +1,10 @@
+#include "trace/span.h"
+
+namespace traceweaver {
+
+bool TimestampsConsistent(const Span& s) {
+  return s.client_send <= s.server_recv && s.server_recv <= s.server_send &&
+         s.server_send <= s.client_recv;
+}
+
+}  // namespace traceweaver

@@ -1,0 +1,99 @@
+// The span data model.
+//
+// A span is one request-response pair (one RPC) with metadata: caller,
+// callee, API endpoint, and four network-layer timestamps that are all
+// observable without application modification (eBPF / sidecar at either
+// end of the connection):
+//
+//   client_send -- request leaves the caller
+//   server_recv -- request arrives at the callee
+//   server_send -- response leaves the callee
+//   client_recv -- response arrives back at the caller
+//
+// At a service S the reconstruction problem relates *incoming* spans
+// (callee == S, interval [server_recv, server_send]) to *outgoing* spans
+// (caller == S, interval [client_send, client_recv]).
+//
+// Ground-truth linkage (true_parent / true_trace) is carried out-of-band by
+// the simulator for accuracy evaluation only; the reconstruction algorithm
+// never reads it.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/time_types.h"
+
+namespace traceweaver {
+
+using SpanId = std::uint64_t;
+using TraceId = std::uint64_t;
+
+constexpr SpanId kInvalidSpanId = std::numeric_limits<SpanId>::max();
+constexpr TraceId kInvalidTraceId = std::numeric_limits<TraceId>::max();
+
+/// Name used as the caller of root spans (external clients).
+inline constexpr const char* kClientCaller = "client";
+
+struct Span {
+  SpanId id = kInvalidSpanId;
+
+  std::string caller;    ///< Service issuing the request (or kClientCaller).
+  std::string callee;    ///< Service handling the request.
+  std::string endpoint;  ///< API endpoint on the callee.
+
+  TimeNs client_send = 0;
+  TimeNs server_recv = 0;
+  TimeNs server_send = 0;
+  TimeNs client_recv = 0;
+
+  /// Container (replica) indices; requests observed at different replicas
+  /// can never belong to the same parent (§4.1).
+  int caller_replica = 0;
+  int callee_replica = 0;
+
+  /// Thread ids observed at the syscall layer: the thread that issued the
+  /// request at the caller, and the thread that picked it up at the callee.
+  /// Consumed only by the vPath/DeepFlow baseline (§6.1); 0 when the
+  /// capture layer cannot provide them (e.g. the production dataset).
+  int caller_thread = 0;
+  int handler_thread = 0;
+
+  // --- Ground truth, for evaluation only (never read by reconstruction) ---
+  SpanId true_parent = kInvalidSpanId;
+  TraceId true_trace = kInvalidTraceId;
+
+  /// Observed duration at the callee side.
+  DurationNs ServerDuration() const { return server_send - server_recv; }
+  /// Observed duration at the caller side (includes network time).
+  DurationNs ClientDuration() const { return client_recv - client_send; }
+
+  bool IsRoot() const { return caller == kClientCaller; }
+};
+
+/// True if the four timestamps are internally consistent
+/// (client_send <= server_recv <= server_send <= client_recv).
+bool TimestampsConsistent(const Span& s);
+
+/// Sort order used throughout the pipeline: by callee-side start time,
+/// ties by callee-side end time, then id (total order for determinism).
+struct SpanStartOrder {
+  bool operator()(const Span& a, const Span& b) const {
+    if (a.server_recv != b.server_recv) return a.server_recv < b.server_recv;
+    if (a.server_send != b.server_send) return a.server_send < b.server_send;
+    return a.id < b.id;
+  }
+};
+
+/// Sort order for outgoing spans at a service: by caller-side send time.
+struct SpanClientSendOrder {
+  bool operator()(const Span& a, const Span& b) const {
+    if (a.client_send != b.client_send) return a.client_send < b.client_send;
+    if (a.client_recv != b.client_recv) return a.client_recv < b.client_recv;
+    return a.id < b.id;
+  }
+};
+
+}  // namespace traceweaver

@@ -1,0 +1,85 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+
+namespace traceweaver {
+
+ParentAssignment TrueParents(const std::vector<Span>& spans) {
+  ParentAssignment parents;
+  parents.reserve(spans.size());
+  for (const Span& s : spans) parents[s.id] = s.true_parent;
+  return parents;
+}
+
+TraceForest::TraceForest(const std::vector<Span>& spans,
+                         const ParentAssignment& parents)
+    : spans_(&spans) {
+  index_of_.reserve(spans.size());
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    index_of_[spans[i].id] = i;
+  }
+
+  nodes_.reserve(spans.size());
+  std::unordered_map<SpanId, std::size_t> node_of;
+  node_of.reserve(spans.size());
+  for (const Span& s : spans) {
+    node_of[s.id] = nodes_.size();
+    nodes_.push_back(TraceNode{s.id, {}});
+  }
+
+  for (const Span& s : spans) {
+    SpanId parent = kInvalidSpanId;
+    if (auto it = parents.find(s.id); it != parents.end()) {
+      parent = it->second;
+    }
+    auto pit = node_of.find(parent);
+    if (parent == kInvalidSpanId || pit == node_of.end()) {
+      roots_.push_back(node_of[s.id]);
+    } else {
+      nodes_[pit->second].children.push_back(node_of[s.id]);
+    }
+  }
+
+  // Deterministic child order: by caller-side send time.
+  for (TraceNode& n : nodes_) {
+    std::sort(n.children.begin(), n.children.end(),
+              [this](std::size_t a, std::size_t b) {
+                const Span& sa = span_of(nodes_[a]);
+                const Span& sb = span_of(nodes_[b]);
+                return SpanClientSendOrder{}(sa, sb);
+              });
+  }
+}
+
+std::size_t TraceForest::SubtreeSize(std::size_t root) const {
+  std::size_t count = 0;
+  std::vector<std::size_t> stack{root};
+  while (!stack.empty()) {
+    const std::size_t i = stack.back();
+    stack.pop_back();
+    ++count;
+    for (std::size_t c : nodes_[i].children) stack.push_back(c);
+  }
+  return count;
+}
+
+DurationNs TraceForest::EndToEndLatency(std::size_t root) const {
+  const Span& s = span_of(nodes_[root]);
+  // For external roots there is no caller-side capture point, so use the
+  // callee-side duration; otherwise prefer the caller-side view.
+  return s.IsRoot() ? s.ServerDuration() : s.ClientDuration();
+}
+
+std::vector<SpanId> TraceForest::SubtreeSpanIds(std::size_t root) const {
+  std::vector<SpanId> out;
+  std::vector<std::size_t> stack{root};
+  while (!stack.empty()) {
+    const std::size_t i = stack.back();
+    stack.pop_back();
+    out.push_back(nodes_[i].span);
+    for (std::size_t c : nodes_[i].children) stack.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace traceweaver

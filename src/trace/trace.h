@@ -1,0 +1,63 @@
+// Request traces: trees of spans linked by parent pointers.
+//
+// A reconstruction (or the simulator's ground truth) is represented as a
+// parent assignment: span id -> parent span id. TraceForest materializes
+// the assignment into navigable trees rooted at external client requests.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/span.h"
+
+namespace traceweaver {
+
+/// A mapping from each span to its (inferred or true) parent span.
+/// Root spans map to kInvalidSpanId.
+using ParentAssignment = std::unordered_map<SpanId, SpanId>;
+
+/// One node of a materialized trace tree.
+struct TraceNode {
+  SpanId span = kInvalidSpanId;
+  std::vector<std::size_t> children;  ///< Indices into TraceForest::nodes.
+};
+
+/// A forest of request traces built from spans plus a parent assignment.
+class TraceForest {
+ public:
+  /// Builds trees; spans whose parent is missing from `spans` are treated
+  /// as roots. Children are ordered by caller-side send time.
+  TraceForest(const std::vector<Span>& spans,
+              const ParentAssignment& parents);
+
+  const std::vector<TraceNode>& nodes() const { return nodes_; }
+  const std::vector<std::size_t>& roots() const { return roots_; }
+  const Span& span_of(const TraceNode& n) const {
+    return spans_->at(index_of_.at(n.span));
+  }
+  const Span& span_by_id(SpanId id) const {
+    return spans_->at(index_of_.at(id));
+  }
+
+  /// Number of spans in the subtree rooted at node index `root`.
+  std::size_t SubtreeSize(std::size_t root) const;
+
+  /// End-to-end latency of the trace rooted at node index `root`
+  /// (root span's caller-side duration; callee-side for true roots).
+  DurationNs EndToEndLatency(std::size_t root) const;
+
+  /// Collects all span ids in the subtree rooted at node index `root`.
+  std::vector<SpanId> SubtreeSpanIds(std::size_t root) const;
+
+ private:
+  const std::vector<Span>* spans_;
+  std::unordered_map<SpanId, std::size_t> index_of_;  // span id -> span index
+  std::vector<TraceNode> nodes_;
+  std::vector<std::size_t> roots_;
+};
+
+/// Extracts the ground-truth parent assignment carried by simulator spans.
+ParentAssignment TrueParents(const std::vector<Span>& spans);
+
+}  // namespace traceweaver

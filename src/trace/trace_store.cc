@@ -1,0 +1,51 @@
+#include "trace/trace_store.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+namespace traceweaver {
+
+SpanStore::SpanStore(std::vector<Span> spans) : spans_(std::move(spans)) {}
+
+void SpanStore::Add(Span span) { spans_.push_back(std::move(span)); }
+
+std::vector<ServiceInstance> SpanStore::Containers() const {
+  std::set<ServiceInstance> set;
+  for (const Span& s : spans_) {
+    set.insert(ServiceInstance{s.callee, s.callee_replica});
+  }
+  return {set.begin(), set.end()};
+}
+
+ContainerView SpanStore::ViewOf(const ServiceInstance& instance) const {
+  ContainerView view;
+  view.instance = instance;
+  for (const Span& s : spans_) {
+    if (s.callee == instance.service && s.callee_replica == instance.replica) {
+      view.incoming.push_back(&s);
+    }
+    if (s.caller == instance.service && s.caller_replica == instance.replica) {
+      view.outgoing_by_callee[s.callee].push_back(&s);
+    }
+  }
+  std::sort(view.incoming.begin(), view.incoming.end(),
+            [](const Span* a, const Span* b) {
+              return SpanStartOrder{}(*a, *b);
+            });
+  for (auto& [callee, list] : view.outgoing_by_callee) {
+    std::sort(list.begin(), list.end(), [](const Span* a, const Span* b) {
+      return SpanClientSendOrder{}(*a, *b);
+    });
+  }
+  return view;
+}
+
+const Span* SpanStore::Find(SpanId id) const {
+  for (const Span& s : spans_) {
+    if (s.id == id) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace traceweaver

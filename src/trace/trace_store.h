@@ -1,0 +1,69 @@
+// Indexed storage of captured spans.
+//
+// Reconstruction runs independently per service container (§4.1): requests
+// of parent spans arriving at container X only spawn child requests leaving
+// container X. SpanStore indexes a span population by (service, replica) so
+// the per-container views needed by the algorithm are cheap to obtain.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/span.h"
+
+namespace traceweaver {
+
+/// Identifies one container of a service.
+struct ServiceInstance {
+  std::string service;
+  int replica = 0;
+
+  bool operator<(const ServiceInstance& o) const {
+    if (service != o.service) return service < o.service;
+    return replica < o.replica;
+  }
+  bool operator==(const ServiceInstance& o) const {
+    return service == o.service && replica == o.replica;
+  }
+};
+
+/// Everything the per-service optimizer needs for one container: incoming
+/// spans (handled by this container) and outgoing spans (issued by it),
+/// grouped by callee service.
+struct ContainerView {
+  ServiceInstance instance;
+  /// Spans with callee == instance (sorted by SpanStartOrder).
+  std::vector<const Span*> incoming;
+  /// Outgoing spans grouped by callee service name, each sorted by
+  /// SpanClientSendOrder.
+  std::map<std::string, std::vector<const Span*>> outgoing_by_callee;
+};
+
+/// Owns a span population and serves per-container views.
+class SpanStore {
+ public:
+  SpanStore() = default;
+  explicit SpanStore(std::vector<Span> spans);
+
+  void Add(Span span);
+
+  const std::vector<Span>& spans() const { return spans_; }
+  std::size_t size() const { return spans_.size(); }
+
+  /// All containers that handled at least one incoming span.
+  std::vector<ServiceInstance> Containers() const;
+
+  /// Builds the view for one container. Pointers are valid until the store
+  /// is mutated.
+  ContainerView ViewOf(const ServiceInstance& instance) const;
+
+  /// Looks a span up by id; nullptr if unknown.
+  const Span* Find(SpanId id) const;
+
+ private:
+  std::vector<Span> spans_;
+};
+
+}  // namespace traceweaver

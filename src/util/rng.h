@@ -1,0 +1,94 @@
+// Deterministic random number generation for simulation and statistics.
+//
+// Every stochastic component in the repository draws from an explicitly
+// seeded Rng instance; nothing touches global random state. This keeps
+// simulations, tests, and benchmark runs fully reproducible.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/time_types.h"
+
+namespace traceweaver {
+
+/// A seeded random engine with convenience draws for the distributions used
+/// by the simulator and the statistical estimators.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  std::mt19937_64& engine() { return engine_; }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    std::uniform_real_distribution<double> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    std::uniform_int_distribution<std::int64_t> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) {
+    std::bernoulli_distribution d(p);
+    return d(engine_);
+  }
+
+  /// Normal draw.
+  double Normal(double mean, double stddev) {
+    std::normal_distribution<double> d(mean, stddev);
+    return d(engine_);
+  }
+
+  /// Log-normal draw parameterized by the underlying normal's (mu, sigma).
+  double LogNormal(double mu, double sigma) {
+    std::lognormal_distribution<double> d(mu, sigma);
+    return d(engine_);
+  }
+
+  /// Exponential draw with the given mean (not rate).
+  double ExpWithMean(double mean) {
+    std::exponential_distribution<double> d(1.0 / mean);
+    return d(engine_);
+  }
+
+  /// A non-negative duration drawn from Normal(mean, stddev), clamped at
+  /// `floor`. Used for service processing times where negative durations are
+  /// meaningless.
+  DurationNs NormalDuration(DurationNs mean, DurationNs stddev,
+                            DurationNs floor = 0) {
+    const double v = Normal(static_cast<double>(mean),
+                            static_cast<double>(stddev));
+    const auto d = static_cast<DurationNs>(v);
+    return d < floor ? floor : d;
+  }
+
+  /// Next inter-arrival gap of a Poisson process with the given rate
+  /// (events per second).
+  DurationNs PoissonGap(double events_per_sec) {
+    const double gap_sec = ExpWithMean(1.0 / events_per_sec);
+    return static_cast<DurationNs>(gap_sec *
+                                   static_cast<double>(kNsPerSec));
+  }
+
+  /// Picks an index in [0, weights.size()) with probability proportional to
+  /// weights[i]. Weights must be non-negative with a positive sum.
+  std::size_t WeightedIndex(const std::vector<double>& weights) {
+    std::discrete_distribution<std::size_t> d(weights.begin(), weights.end());
+    return d(engine_);
+  }
+
+  /// Derives an independent child generator; useful for giving each
+  /// simulated component its own stream.
+  Rng Fork() { return Rng(engine_()); }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace traceweaver

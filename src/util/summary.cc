@@ -1,0 +1,44 @@
+#include "util/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace traceweaver {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double SampleStddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = Mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+Summary::Summary(std::vector<double> samples) : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+  mean_ = Mean(sorted_);
+  stddev_ = SampleStddev(sorted_);
+}
+
+double Summary::min() const { return sorted_.empty() ? 0.0 : sorted_.front(); }
+double Summary::max() const { return sorted_.empty() ? 0.0 : sorted_.back(); }
+
+double Summary::Percentile(double p) const {
+  if (sorted_.empty()) return 0.0;
+  if (p <= 0.0) return sorted_.front();
+  if (p >= 100.0) return sorted_.back();
+  const double rank =
+      p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted_.size()) return sorted_.back();
+  return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
+}
+
+}  // namespace traceweaver

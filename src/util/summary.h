@@ -1,0 +1,42 @@
+// Descriptive statistics over samples: mean/stddev/percentiles.
+//
+// Used by the evaluation harness (latency profiles, accuracy boxplots) and
+// by the delay estimators' seed computation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace traceweaver {
+
+/// Immutable summary of a sample set. Construction sorts a copy of the data
+/// once; percentile queries are then O(1).
+class Summary {
+ public:
+  /// Builds a summary; an empty sample set yields all-zero statistics.
+  explicit Summary(std::vector<double> samples);
+
+  std::size_t count() const { return sorted_.size(); }
+  double mean() const { return mean_; }
+  /// Sample standard deviation (n-1 denominator); 0 for n < 2.
+  double stddev() const { return stddev_; }
+  double min() const;
+  double max() const;
+
+  /// Linear-interpolated percentile, p in [0, 100].
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+
+ private:
+  std::vector<double> sorted_;
+  double mean_ = 0.0;
+  double stddev_ = 0.0;
+};
+
+/// Convenience: mean of a sample set (0 if empty).
+double Mean(const std::vector<double>& xs);
+
+/// Convenience: sample standard deviation (n-1); 0 for n < 2.
+double SampleStddev(const std::vector<double>& xs);
+
+}  // namespace traceweaver

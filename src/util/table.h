@@ -1,0 +1,35 @@
+// Aligned text-table printing for benchmark harness output.
+//
+// Every bench binary reproduces a paper table/figure as rows of series
+// values; this helper keeps their output uniform and readable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace traceweaver {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+class TextTable {
+ public:
+  /// Sets the header row.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row; rows may have differing cell counts.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table with column alignment and a rule under the header.
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given number of decimals.
+std::string Fmt(double v, int decimals = 2);
+
+/// Formats a fraction in [0,1] as a percentage string, e.g. "93.1%".
+std::string FmtPct(double frac, int decimals = 1);
+
+}  // namespace traceweaver

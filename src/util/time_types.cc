@@ -1,0 +1,23 @@
+#include "util/time_types.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace traceweaver {
+
+std::string FormatDuration(DurationNs d) {
+  const double abs = std::fabs(static_cast<double>(d));
+  char buf[64];
+  if (abs >= static_cast<double>(kNsPerSec)) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", ToSeconds(d));
+  } else if (abs >= static_cast<double>(kNsPerMs)) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", ToMillis(d));
+  } else if (abs >= static_cast<double>(kNsPerUs)) {
+    std::snprintf(buf, sizeof(buf), "%.3fus", ToMicros(d));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(d));
+  }
+  return buf;
+}
+
+}  // namespace traceweaver

@@ -1,0 +1,49 @@
+// Strong time primitives used throughout TraceWeaver.
+//
+// All timestamps in the system are nanoseconds on a single simulated (or
+// captured) monotonic clock. We deliberately use a plain signed 64-bit base
+// so that gaps (which can be transiently negative under clock jitter) are
+// representable without UB, and provide small helpers for construction from
+// human units.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace traceweaver {
+
+/// A point in time, nanoseconds since an arbitrary monotonic epoch.
+using TimeNs = std::int64_t;
+
+/// A signed duration in nanoseconds.
+using DurationNs = std::int64_t;
+
+constexpr DurationNs kNsPerUs = 1'000;
+constexpr DurationNs kNsPerMs = 1'000'000;
+constexpr DurationNs kNsPerSec = 1'000'000'000;
+
+constexpr DurationNs Micros(double us) {
+  return static_cast<DurationNs>(us * static_cast<double>(kNsPerUs));
+}
+constexpr DurationNs Millis(double ms) {
+  return static_cast<DurationNs>(ms * static_cast<double>(kNsPerMs));
+}
+constexpr DurationNs Seconds(double s) {
+  return static_cast<DurationNs>(s * static_cast<double>(kNsPerSec));
+}
+
+constexpr double ToMicros(DurationNs d) {
+  return static_cast<double>(d) / static_cast<double>(kNsPerUs);
+}
+constexpr double ToMillis(DurationNs d) {
+  return static_cast<double>(d) / static_cast<double>(kNsPerMs);
+}
+constexpr double ToSeconds(DurationNs d) {
+  return static_cast<double>(d) / static_cast<double>(kNsPerSec);
+}
+
+/// Formats a duration with an adaptive unit, e.g. "12.3ms", for logs and
+/// bench output.
+std::string FormatDuration(DurationNs d);
+
+}  // namespace traceweaver

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "core/accuracy.h"
+#include "test_helpers.h"
+
+namespace traceweaver {
+namespace {
+
+using ::traceweaver::testing::MakeSpan;
+
+std::vector<Span> TwoTraces() {
+  // Trace 1: root 1 -> child 2; trace 2: root 3 -> child 4.
+  std::vector<Span> spans;
+  spans.push_back(MakeSpan(1, kClientCaller, "A", "/a", 0, 1000,
+                           Micros(100), kInvalidSpanId, 100));
+  spans.push_back(MakeSpan(2, "A", "B", "/b", 100, 500, Micros(100), 1, 100));
+  spans.push_back(MakeSpan(3, kClientCaller, "A", "/a", 2000, 3000,
+                           Micros(100), kInvalidSpanId, 200));
+  spans.push_back(MakeSpan(4, "A", "B", "/b", 2100, 2500, Micros(100), 3,
+                           200));
+  return spans;
+}
+
+TEST(Evaluate, PerfectAssignment) {
+  auto spans = TwoTraces();
+  ParentAssignment pred{{1, kInvalidSpanId}, {2, 1}, {3, kInvalidSpanId},
+                        {4, 3}};
+  auto r = Evaluate(spans, pred);
+  EXPECT_EQ(r.spans_considered, 2u);
+  EXPECT_EQ(r.spans_correct, 2u);
+  EXPECT_DOUBLE_EQ(r.SpanAccuracy(), 1.0);
+  EXPECT_EQ(r.traces_considered, 2u);
+  EXPECT_DOUBLE_EQ(r.TraceAccuracy(), 1.0);
+}
+
+TEST(Evaluate, SwappedChildrenBreakBothTraces) {
+  auto spans = TwoTraces();
+  ParentAssignment pred{{2, 3}, {4, 1}};
+  auto r = Evaluate(spans, pred);
+  EXPECT_DOUBLE_EQ(r.SpanAccuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(r.TraceAccuracy(), 0.0);
+}
+
+TEST(Evaluate, OneWrongLinkBreaksOneTrace) {
+  auto spans = TwoTraces();
+  ParentAssignment pred{{2, 1}, {4, kInvalidSpanId}};  // 4 unmapped.
+  auto r = Evaluate(spans, pred);
+  EXPECT_DOUBLE_EQ(r.SpanAccuracy(), 0.5);
+  EXPECT_DOUBLE_EQ(r.TraceAccuracy(), 0.5);
+}
+
+TEST(Evaluate, SpansWithMissingTrueParentAreExcluded) {
+  auto spans = TwoTraces();
+  spans.push_back(
+      MakeSpan(9, "Z", "Y", "/y", 0, 10, Micros(1), /*true_parent=*/777));
+  ParentAssignment pred{{2, 1}, {4, 3}};
+  auto r = Evaluate(spans, pred);
+  EXPECT_EQ(r.spans_considered, 2u);  // Span 9's parent isn't captured.
+}
+
+TEST(Evaluate, EmptyPopulation) {
+  auto r = Evaluate({}, {});
+  EXPECT_DOUBLE_EQ(r.SpanAccuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(r.TraceAccuracy(), 1.0);
+}
+
+TEST(PerServiceAccuracy, GroupsByMappingService) {
+  auto spans = TwoTraces();
+  // Add a trace with a B -> C hop mapped wrongly.
+  spans.push_back(MakeSpan(5, "B", "C", "/c", 200, 400, Micros(100), 2, 100));
+  ParentAssignment pred{{2, 1}, {4, 3}, {5, kInvalidSpanId}};
+  auto per = PerServiceAccuracy(spans, pred);
+  EXPECT_DOUBLE_EQ(per.at("A"), 1.0);  // Both A-issued children correct.
+  EXPECT_DOUBLE_EQ(per.at("B"), 0.0);  // The B-issued child unmapped.
+}
+
+}  // namespace
+}  // namespace traceweaver

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/trace_query.h"
+#include "callgraph/inference.h"
+#include "core/trace_weaver.h"
+#include "sim/apps.h"
+#include "sim/workload.h"
+#include "test_helpers.h"
+
+namespace traceweaver {
+namespace {
+
+using ::traceweaver::testing::MakeSpan;
+
+/// Hand-built two-trace population with known critical paths.
+/// Trace 100: client->A [0, 10ms]; A->B [1ms, 8ms]; B->C [2ms, 6ms].
+/// Trace 200: client->A [20ms, 23ms], leaf-only.
+std::vector<Span> HandBuilt() {
+  std::vector<Span> spans;
+  spans.push_back(MakeSpan(1, kClientCaller, "A", "/a", 0, Millis(10),
+                           Micros(50), kInvalidSpanId, 100));
+  spans.push_back(MakeSpan(2, "A", "B", "/b", Millis(1), Millis(8),
+                           Micros(50), 1, 100));
+  spans.push_back(MakeSpan(3, "B", "C", "/c", Millis(2), Millis(6),
+                           Micros(50), 2, 100));
+  spans.push_back(MakeSpan(4, kClientCaller, "A", "/a", Millis(20),
+                           Millis(23), Micros(50), kInvalidSpanId, 200));
+  return spans;
+}
+
+TEST(TraceQuery, BuildsRecordsSortedByLatency) {
+  auto spans = HandBuilt();
+  TraceQuery query(spans, TrueParents(spans));
+  ASSERT_EQ(query.traces().size(), 2u);
+  EXPECT_EQ(query.traces()[0].e2e_latency, Millis(10));  // Slowest first.
+  EXPECT_EQ(query.traces()[0].span_count, 3u);
+  EXPECT_EQ(query.traces()[1].span_count, 1u);
+}
+
+TEST(TraceQuery, FiltersCompose) {
+  auto spans = HandBuilt();
+  TraceQuery query(spans, TrueParents(spans));
+  auto slow = query.Select(FilterByMinLatency(Millis(5)));
+  ASSERT_EQ(slow.size(), 1u);
+  EXPECT_EQ(slow[0].span_count, 3u);
+
+  auto both = query.Select(
+      Or(FilterByMinLatency(Millis(5)), FilterByEndpoint("A", "/a")));
+  EXPECT_EQ(both.size(), 2u);
+
+  auto none = query.Select(
+      And(FilterByMinLatency(Millis(5)), FilterByMinLatency(Millis(50))));
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(TraceQuery, SelectTailKeepsSlowest) {
+  auto spans = HandBuilt();
+  TraceQuery query(spans, TrueParents(spans));
+  auto tail = query.SelectTail(50.0);
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0].e2e_latency, Millis(10));
+}
+
+TEST(TraceQuery, ProfileByServiceAggregates) {
+  auto spans = HandBuilt();
+  TraceQuery query(spans, TrueParents(spans));
+  auto profile = query.ProfileByService(query.traces());
+  ASSERT_EQ(profile.size(), 3u);  // A, B, C.
+  EXPECT_EQ(profile.at("A").spans, 2u);
+  EXPECT_EQ(profile.at("B").spans, 1u);
+  EXPECT_NEAR(profile.at("B").server_latency_ms.mean(), 7.0, 1e-9);
+}
+
+TEST(TraceQuery, CriticalPathFollowsSlowestChild) {
+  auto spans = HandBuilt();
+  TraceQuery query(spans, TrueParents(spans));
+  const auto path = query.CriticalPath(query.traces()[0]);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[0].service, "A");
+  EXPECT_EQ(path[1].service, "B");
+  EXPECT_EQ(path[2].service, "C");
+  // C is a leaf: its self time is its whole duration (4 ms).
+  EXPECT_EQ(path[2].self_time, Millis(4));
+  // A's self time = 10ms - B's caller-side duration (7ms + 2*50us).
+  EXPECT_EQ(path[0].self_time, Millis(10) - Millis(7) - 2 * Micros(50));
+}
+
+TEST(TraceQuery, CriticalPathBreakdownSums) {
+  auto spans = HandBuilt();
+  TraceQuery query(spans, TrueParents(spans));
+  const auto breakdown = query.CriticalPathBreakdown(query.traces());
+  // Total critical-path self time across both traces == sum of e2e server
+  // durations minus network hops on the paths.
+  ASSERT_TRUE(breakdown.count("A"));
+  ASSERT_TRUE(breakdown.count("C"));
+  EXPECT_GT(breakdown.at("C"), Millis(3));
+}
+
+TEST(TraceQuery, PartitionSplitsBySpanPredicate) {
+  auto spans = HandBuilt();
+  TraceQuery query(spans, TrueParents(spans));
+  auto [with_c, without_c] = query.Partition(
+      query.traces(), [](const Span& s) { return s.callee == "C"; });
+  ASSERT_EQ(with_c.size(), 1u);
+  ASSERT_EQ(without_c.size(), 1u);
+  EXPECT_EQ(with_c[0].span_count, 3u);
+}
+
+TEST(TraceQuery, AnomalyLocalizationViaCriticalPath) {
+  // End-to-end: the §6.4.1 scenario through the analysis API. The culprit
+  // services must dominate the tail traces' critical-path breakdown.
+  sim::AppSpec app = sim::MakeHotelReservationApp();
+  for (auto& [ep, h] : app.services["reservation"].handlers) {
+    h.anomaly = {0.1, Millis(40)};
+  }
+  app.services["profile"].handlers["/get_profiles"].anomaly = {0.1,
+                                                               Millis(40)};
+  sim::IsolatedReplayOptions iso;
+  iso.requests_per_root = 15;
+  CallGraph graph = InferCallGraph(sim::RunIsolatedReplay(app, iso).spans);
+  sim::OpenLoopOptions load;
+  load.requests_per_sec = 300;
+  load.duration = Seconds(4);
+  auto spans = sim::RunOpenLoop(app, load).spans;
+
+  TraceWeaver weaver(graph);
+  TraceQuery query(spans, weaver.Reconstruct(spans).assignment);
+  const auto tail =
+      query.SelectTail(98.0, FilterByEndpoint("frontend", "/hotels"));
+  ASSERT_FALSE(tail.empty());
+  const auto breakdown = query.CriticalPathBreakdown(tail);
+
+  DurationNs culprit_time = 0, innocent_max = 0;
+  for (const auto& [service, t] : breakdown) {
+    if (service == "reservation" || service == "profile") {
+      culprit_time += t;
+    } else if (service != "frontend") {  // Frontend holds e2e time.
+      innocent_max = std::max(innocent_max, t);
+    }
+  }
+  EXPECT_GT(culprit_time, innocent_max * 4);
+}
+
+}  // namespace
+}  // namespace traceweaver

@@ -1,0 +1,110 @@
+// Consistency checks over every built-in application topology: all
+// referenced backends exist with the right endpoints, roots are valid, and
+// the simulator can actually run each app.
+#include <gtest/gtest.h>
+
+#include "sim/apps.h"
+#include "sim/workload.h"
+
+namespace traceweaver::sim {
+namespace {
+
+std::vector<AppSpec> AllApps() {
+  return {MakeHotelReservationApp(),     MakeHotelReservationApp(0.5),
+          MakeMediaMicroservicesApp(),   MakeNodejsApp(),
+          MakeAsyncIoApp(Millis(2), Millis(1)), MakeLinearChainApp(),
+          MakeAbTestApp(0.1),            MakeFanoutApp(6),
+          MakeSocialNetworkApp()};
+}
+
+class AppConsistency : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AppConsistency, AllBackendReferencesResolve) {
+  const AppSpec app = AllApps()[GetParam()];
+  for (const auto& [name, svc] : app.services) {
+    EXPECT_EQ(name, svc.name);
+    EXPECT_GE(svc.replicas, 1);
+    for (const auto& [endpoint, handler] : svc.handlers) {
+      EXPECT_EQ(endpoint, handler.endpoint);
+      for (const auto& stage : handler.stages) {
+        EXPECT_FALSE(stage.calls.empty());
+        for (const auto& call : stage.calls) {
+          // Callee service and endpoint must exist.
+          ASSERT_TRUE(app.services.count(call.service))
+              << app.name << ": " << name << " calls unknown "
+              << call.service;
+          EXPECT_TRUE(
+              app.services.at(call.service).handlers.count(call.endpoint))
+              << app.name << ": " << call.service << call.endpoint;
+          EXPECT_GE(call.skip_probability, 0.0);
+          EXPECT_LE(call.skip_probability, 1.0);
+        }
+      }
+    }
+  }
+  ASSERT_FALSE(app.roots.empty()) << app.name;
+  for (const auto& root : app.roots) {
+    ASSERT_TRUE(app.services.count(root.service)) << app.name;
+    EXPECT_TRUE(app.services.at(root.service).handlers.count(root.endpoint))
+        << app.name;
+    EXPECT_GT(root.weight, 0.0);
+  }
+}
+
+TEST_P(AppConsistency, NoCallCycles) {
+  // Each app must be a DAG at service granularity (the simulator would
+  // otherwise recurse forever).
+  const AppSpec app = AllApps()[GetParam()];
+  std::map<std::string, int> state;  // 0=unvisited 1=visiting 2=done
+  std::function<void(const std::string&)> visit =
+      [&](const std::string& name) {
+        ASSERT_NE(state[name], 1) << app.name << " has a cycle at " << name;
+        if (state[name] == 2) return;
+        state[name] = 1;
+        for (const auto& [ep, handler] : app.services.at(name).handlers) {
+          for (const auto& stage : handler.stages) {
+            for (const auto& call : stage.calls) visit(call.service);
+          }
+        }
+        state[name] = 2;
+      };
+  for (const auto& [name, svc] : app.services) visit(name);
+}
+
+TEST_P(AppConsistency, SimulationRunsAndCompletes) {
+  const AppSpec app = AllApps()[GetParam()];
+  OpenLoopOptions load;
+  load.requests_per_sec = 50;
+  load.duration = Millis(500);
+  const SimResult result = RunOpenLoop(app, load);
+  EXPECT_GT(result.injected, 0u);
+  std::size_t roots = 0;
+  for (const Span& s : result.spans) {
+    EXPECT_TRUE(TimestampsConsistent(s));
+    if (s.IsRoot()) ++roots;
+  }
+  EXPECT_EQ(roots, result.injected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, AppConsistency,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(AppCounts, MatchPaperScale) {
+  // Paper §6.1: 6 / 14 / 7 services excluding cache and DB components.
+  auto non_store = [](const AppSpec& app) {
+    std::size_t n = 0;
+    for (const auto& [name, svc] : app.services) {
+      if (name.rfind("memcached-", 0) == 0 || name.rfind("mongo-", 0) == 0) {
+        continue;
+      }
+      ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(non_store(MakeHotelReservationApp()), 7u);  // 6 + user helper.
+  EXPECT_EQ(non_store(MakeMediaMicroservicesApp()), 13u);
+  EXPECT_EQ(non_store(MakeNodejsApp()), 7u);
+}
+
+}  // namespace
+}  // namespace traceweaver::sim

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "baselines/fcfs.h"
+#include "baselines/vpath.h"
+#include "baselines/wap5.h"
+#include "callgraph/inference.h"
+#include "core/accuracy.h"
+#include "sim/apps.h"
+#include "sim/workload.h"
+#include "test_helpers.h"
+
+namespace traceweaver {
+namespace {
+
+using ::traceweaver::testing::MakeSpan;
+
+std::vector<Span> InOrderPopulation() {
+  // Requests processed strictly in order, no overlap: FCFS-friendly.
+  std::vector<Span> spans;
+  SpanId id = 1;
+  for (int i = 0; i < 5; ++i) {
+    const TimeNs base = i * Millis(10);
+    const SpanId root = id;
+    spans.push_back(MakeSpan(id++, kClientCaller, "A", "/a", base,
+                             base + Millis(5), Micros(50), kInvalidSpanId,
+                             static_cast<TraceId>(i)));
+    spans.push_back(MakeSpan(id++, "A", "B", "/b", base + Millis(1),
+                             base + Millis(3), Micros(50), root,
+                             static_cast<TraceId>(i)));
+  }
+  return spans;
+}
+
+TEST(Fcfs, PerfectOnInOrderTraffic) {
+  auto spans = InOrderPopulation();
+  CallGraph graph = ::traceweaver::testing::SimpleGraph();
+  FcfsMapper fcfs;
+  MapperInput input{&spans, &graph};
+  auto r = Evaluate(spans, fcfs.Map(input));
+  EXPECT_DOUBLE_EQ(r.SpanAccuracy(), 1.0);
+}
+
+TEST(Fcfs, BreaksUnderReordering) {
+  // Second request's child departs before the first request's child.
+  std::vector<Span> spans;
+  spans.push_back(MakeSpan(1, kClientCaller, "A", "/a", 0, Millis(6),
+                           Micros(50), kInvalidSpanId, 1));
+  spans.push_back(MakeSpan(2, kClientCaller, "A", "/a", Millis(1), Millis(5),
+                           Micros(50), kInvalidSpanId, 2));
+  spans.push_back(MakeSpan(3, "A", "B", "/b", Millis(2), Millis(3),
+                           Micros(50), 2, 2));  // Child of 2 departs first!
+  spans.push_back(MakeSpan(4, "A", "B", "/b", Millis(3) + Micros(100),
+                           Millis(4), Micros(50), 1, 1));
+  CallGraph graph = ::traceweaver::testing::SimpleGraph();
+  FcfsMapper fcfs;
+  MapperInput input{&spans, &graph};
+  auto r = Evaluate(spans, fcfs.Map(input));
+  EXPECT_DOUBLE_EQ(r.SpanAccuracy(), 0.0);  // Both swapped.
+}
+
+TEST(Fcfs, UsesCallGraphToFilterParents) {
+  // A root whose endpoint never calls B must not consume a B child.
+  std::vector<Span> spans;
+  spans.push_back(MakeSpan(1, kClientCaller, "A", "/other", 0, Millis(6),
+                           Micros(50), kInvalidSpanId, 1));
+  spans.push_back(MakeSpan(2, kClientCaller, "A", "/a", Millis(1), Millis(5),
+                           Micros(50), kInvalidSpanId, 2));
+  spans.push_back(MakeSpan(3, "A", "B", "/b", Millis(2), Millis(3),
+                           Micros(50), 2, 2));
+  CallGraph graph = ::traceweaver::testing::SimpleGraph();
+  graph.SetPlan(HandlerKey{"A", "/other"}, InvocationPlan{});
+  FcfsMapper fcfs;
+  MapperInput input{&spans, &graph};
+  auto assignment = fcfs.Map(input);
+  EXPECT_EQ(assignment.at(3), 2u);
+}
+
+TEST(Wap5, AssignsMostLikelyParent) {
+  auto spans = InOrderPopulation();
+  CallGraph graph = ::traceweaver::testing::SimpleGraph();
+  Wap5Mapper wap5;
+  MapperInput input{&spans, &graph};
+  auto r = Evaluate(spans, wap5.Map(input));
+  EXPECT_DOUBLE_EQ(r.SpanAccuracy(), 1.0);
+}
+
+TEST(Wap5, RespectsLiveness) {
+  // A parent that already responded cannot adopt a later child.
+  std::vector<Span> spans;
+  spans.push_back(MakeSpan(1, kClientCaller, "A", "/a", 0, Millis(1),
+                           Micros(50), kInvalidSpanId, 1));
+  spans.push_back(MakeSpan(2, kClientCaller, "A", "/a", Millis(2), Millis(6),
+                           Micros(50), kInvalidSpanId, 2));
+  spans.push_back(MakeSpan(3, "A", "B", "/b", Millis(3), Millis(4),
+                           Micros(50), 2, 2));
+  CallGraph graph = ::traceweaver::testing::SimpleGraph();
+  Wap5Mapper wap5;
+  MapperInput input{&spans, &graph};
+  auto assignment = wap5.Map(input);
+  EXPECT_EQ(assignment.at(3), 2u);
+}
+
+TEST(Wap5, DelayMeansArePositive) {
+  auto spans = InOrderPopulation();
+  MapperInput input{&spans, nullptr};
+  auto means = Wap5DelayMeans(input);
+  ASSERT_FALSE(means.empty());
+  for (const auto& [edge, mean] : means) EXPECT_GT(mean, 0.0);
+}
+
+TEST(VPath, CorrectWhenThreadModelHolds) {
+  // Thread-pool app: each request handled start-to-finish by one thread.
+  sim::AppSpec app = sim::MakeLinearChainApp();  // kThreadPool services.
+  sim::OpenLoopOptions load;
+  load.requests_per_sec = 150;
+  load.duration = Seconds(2);
+  auto result = sim::RunOpenLoop(app, load);
+  VPathMapper vpath;
+  MapperInput input{&result.spans, nullptr};
+  auto r = Evaluate(result.spans, vpath.Map(input));
+  EXPECT_GT(r.SpanAccuracy(), 0.95);
+}
+
+TEST(VPath, BreaksUnderRpcHandoff) {
+  sim::AppSpec app = sim::MakeHotelReservationApp();  // RpcHandoff frontend.
+  sim::OpenLoopOptions load;
+  load.requests_per_sec = 800;
+  load.duration = Seconds(2);
+  auto result = sim::RunOpenLoop(app, load);
+  VPathMapper vpath;
+  MapperInput input{&result.spans, nullptr};
+  auto r = Evaluate(result.spans, vpath.Map(input));
+  EXPECT_LT(r.SpanAccuracy(), 0.9);
+}
+
+TEST(VPath, BreaksUnderAsyncInterleaving) {
+  // High-variance async reads reorder sends on the single event-loop
+  // thread (Fig. 2b / Fig. 4d).
+  sim::AppSpec app = sim::MakeAsyncIoApp(Millis(2), Millis(2));
+  sim::OpenLoopOptions load;
+  load.requests_per_sec = 500;
+  load.duration = Seconds(2);
+  auto result = sim::RunOpenLoop(app, load);
+  VPathMapper vpath;
+  MapperInput input{&result.spans, nullptr};
+  auto r = Evaluate(result.spans, vpath.Map(input));
+  EXPECT_LT(r.SpanAccuracy(), 0.7);
+}
+
+TEST(AllBaselines, RootsNeverGetParents) {
+  auto spans = InOrderPopulation();
+  CallGraph graph = ::traceweaver::testing::SimpleGraph();
+  MapperInput input{&spans, &graph};
+  FcfsMapper fcfs;
+  Wap5Mapper wap5;
+  VPathMapper vpath;
+  for (Mapper* m : std::initializer_list<Mapper*>{&fcfs, &wap5, &vpath}) {
+    auto assignment = m->Map(input);
+    for (const Span& s : spans) {
+      if (s.IsRoot()) {
+        EXPECT_EQ(assignment.at(s.id), kInvalidSpanId) << m->name();
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace traceweaver

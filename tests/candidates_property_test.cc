@@ -1,0 +1,140 @@
+// Randomized property tests for candidate enumeration and its interaction
+// with batching: every enumerated mapping must satisfy the §4.1 feasibility
+// constraints, and parents separated by a perfect cut must never share an
+// enumerated candidate child (Theorem A.1 at the candidate level, not just
+// the window level).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/batching.h"
+#include "core/candidates.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace traceweaver {
+namespace {
+
+struct RandomPopulation {
+  std::vector<Span> parents;        // Incoming spans at service A.
+  std::vector<Span> children_b;     // Outgoing spans to B.
+  std::vector<Span> children_c;     // Outgoing spans to C.
+  std::vector<const Span*> parent_ptrs;
+  std::vector<const Span*> pool_b;
+  std::vector<const Span*> pool_c;
+};
+
+/// Builds overlapping parents with child spans scattered inside and around
+/// their windows.
+RandomPopulation MakePopulation(std::uint64_t seed, int n_parents) {
+  Rng rng(seed);
+  RandomPopulation pop;
+  SpanId id = 1;
+  TimeNs t = 0;
+  for (int i = 0; i < n_parents; ++i) {
+    t += rng.UniformInt(0, Millis(2));
+    const TimeNs dur = rng.UniformInt(Millis(1), Millis(8));
+    pop.parents.push_back(::traceweaver::testing::MakeSpan(
+        id++, kClientCaller, "A", "/a", t, t + dur));
+  }
+  // Children: some nested in parents, some stray.
+  for (int i = 0; i < n_parents * 2; ++i) {
+    const TimeNs start = rng.UniformInt(0, t + Millis(8));
+    const TimeNs dur = rng.UniformInt(Micros(50), Millis(2));
+    Span child = ::traceweaver::testing::MakeSpan(
+        id++, "A", (i % 2 == 0) ? "B" : "C", (i % 2 == 0) ? "/b" : "/c",
+        start + Micros(20), start + dur, Micros(10));
+    child.client_send = start;
+    child.client_recv = start + dur + Micros(20);
+    if (i % 2 == 0) {
+      pop.children_b.push_back(child);
+    } else {
+      pop.children_c.push_back(child);
+    }
+  }
+  auto sort_pool = [](std::vector<Span>& spans,
+                      std::vector<const Span*>& ptrs) {
+    std::sort(spans.begin(), spans.end(), SpanClientSendOrder{});
+    for (const Span& s : spans) ptrs.push_back(&s);
+  };
+  std::sort(pop.parents.begin(), pop.parents.end(), SpanStartOrder{});
+  for (const Span& s : pop.parents) pop.parent_ptrs.push_back(&s);
+  sort_pool(pop.children_b, pop.pool_b);
+  sort_pool(pop.children_c, pop.pool_c);
+  return pop;
+}
+
+InvocationPlan SequentialBC() {
+  InvocationPlan plan;
+  plan.stages.push_back(Stage{{{"B", "/b", false}}});
+  plan.stages.push_back(Stage{{{"C", "/c", false}}});
+  return plan;
+}
+
+class CandidateProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CandidateProperty, AllEnumeratedMappingsAreFeasible) {
+  RandomPopulation pop = MakePopulation(GetParam(), 40);
+  const InvocationPlan plan = SequentialBC();
+  std::map<SpanId, const Span*> by_id;
+  for (const Span& s : pop.children_b) by_id[s.id] = &s;
+  for (const Span& s : pop.children_c) by_id[s.id] = &s;
+
+  for (const Span& parent : pop.parents) {
+    const auto mappings = EnumerateCandidates(
+        parent, plan, {&pop.pool_b, &pop.pool_c}, {});
+    for (const auto& m : mappings) {
+      ASSERT_EQ(m.children.size(), 2u);
+      const Span* b = by_id.at(m.children[0]);
+      const Span* c = by_id.at(m.children[1]);
+      // (i) requests depart after the parent request arrived.
+      EXPECT_GE(b->client_send, parent.server_recv);
+      EXPECT_GE(c->client_send, parent.server_recv);
+      // (ii) responses return before the parent response left.
+      EXPECT_LE(b->client_recv, parent.server_send);
+      EXPECT_LE(c->client_recv, parent.server_send);
+      // (iii) sequential order: B completes before C departs.
+      EXPECT_LE(b->client_recv, c->client_send);
+      // Distinct children.
+      EXPECT_NE(m.children[0], m.children[1]);
+    }
+  }
+}
+
+TEST_P(CandidateProperty, PerfectCutsShareNoCandidates) {
+  RandomPopulation pop = MakePopulation(GetParam() * 31 + 5, 60);
+  const InvocationPlan plan = SequentialBC();
+
+  const auto batches = MakeBatches(pop.parent_ptrs, 12);
+
+  // Enumerate candidate children per parent.
+  std::vector<std::set<SpanId>> used_children(pop.parents.size());
+  for (std::size_t i = 0; i < pop.parents.size(); ++i) {
+    for (const auto& m : EnumerateCandidates(
+             pop.parents[i], plan, {&pop.pool_b, &pop.pool_c}, {})) {
+      for (SpanId c : m.children) used_children[i].insert(c);
+    }
+  }
+
+  // Across a perfect cut, no candidate child may be shared.
+  for (const Batch& batch : batches) {
+    if (!batch.perfect || batch.end >= pop.parents.size()) continue;
+    std::set<SpanId> before;
+    for (std::size_t i = 0; i < batch.end; ++i) {
+      before.insert(used_children[i].begin(), used_children[i].end());
+    }
+    for (std::size_t j = batch.end; j < pop.parents.size(); ++j) {
+      for (SpanId c : used_children[j]) {
+        EXPECT_EQ(before.count(c), 0u)
+            << "candidate " << c << " crosses the perfect cut at "
+            << batch.end;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CandidateProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace traceweaver

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "collector/capture.h"
+#include "sim/apps.h"
+#include "sim/workload.h"
+#include "test_helpers.h"
+
+namespace traceweaver::collector {
+namespace {
+
+using ::traceweaver::testing::MakeSpan;
+using traceweaver::Span;
+using traceweaver::kClientCaller;
+
+std::vector<Span> SimPopulation(double rps = 200.0) {
+  sim::OpenLoopOptions load;
+  load.requests_per_sec = rps;
+  load.duration = traceweaver::Seconds(2);
+  load.seed = 5;
+  return sim::RunOpenLoop(sim::MakeHotelReservationApp(), load).spans;
+}
+
+TEST(ExplodeSpans, FourEventsPerSpan) {
+  std::vector<Span> spans{MakeSpan(1, "A", "B", "/b", 100, 200)};
+  auto events = ExplodeSpans(spans);
+  ASSERT_EQ(events.size(), 4u);
+  // Sorted by time: client_send, server_recv, server_send, client_recv.
+  EXPECT_EQ(events[0].kind, EventKind::kRequest);
+  EXPECT_EQ(events[0].vantage, Vantage::kCallerSide);
+  EXPECT_EQ(events[3].kind, EventKind::kResponse);
+  EXPECT_EQ(events[3].vantage, Vantage::kCallerSide);
+}
+
+TEST(ExplodeSpans, ConnectionsNeverOverlap) {
+  auto spans = SimPopulation();
+  auto events = ExplodeSpans(spans);
+  // Per connection and vantage, requests and responses must alternate.
+  std::map<std::pair<std::uint64_t, int>, int> outstanding;
+  for (const NetEvent& e : events) {
+    auto key = std::make_pair(e.connection_id, static_cast<int>(e.vantage));
+    if (e.kind == EventKind::kRequest) {
+      EXPECT_EQ(outstanding[key], 0)
+          << "overlapping requests on one connection";
+      ++outstanding[key];
+    } else {
+      --outstanding[key];
+      EXPECT_GE(outstanding[key], 0);
+    }
+  }
+}
+
+TEST(Assemble, RoundTripIsLossless) {
+  auto spans = SimPopulation();
+  AssemblyStats stats;
+  auto rebuilt = CaptureRoundTrip(spans, {}, &stats);
+  EXPECT_EQ(rebuilt.size(), spans.size());
+  EXPECT_EQ(stats.spans_assembled, spans.size());
+  EXPECT_EQ(stats.unmatched_requests, 0u);
+  EXPECT_EQ(stats.misaligned_connections, 0u);
+
+  std::map<traceweaver::SpanId, const Span*> by_id;
+  for (const Span& s : rebuilt) by_id[s.id] = &s;
+  for (const Span& orig : spans) {
+    ASSERT_TRUE(by_id.count(orig.id));
+    const Span& r = *by_id.at(orig.id);
+    EXPECT_EQ(r.caller, orig.caller);
+    EXPECT_EQ(r.callee, orig.callee);
+    EXPECT_EQ(r.endpoint, orig.endpoint);
+    EXPECT_EQ(r.client_send, orig.client_send);
+    EXPECT_EQ(r.server_recv, orig.server_recv);
+    EXPECT_EQ(r.server_send, orig.server_send);
+    EXPECT_EQ(r.client_recv, orig.client_recv);
+    EXPECT_EQ(r.true_parent, orig.true_parent);
+    EXPECT_EQ(r.caller_thread, orig.caller_thread);
+    EXPECT_EQ(r.handler_thread, orig.handler_thread);
+  }
+}
+
+TEST(Assemble, JitteredTimestampsAreSanitized) {
+  auto spans = SimPopulation();
+  CaptureFaults faults;
+  faults.jitter_stddev = traceweaver::Micros(200);
+  auto rebuilt = CaptureRoundTrip(spans, faults);
+  // Large jitter swings on sub-millisecond RPCs can defeat the cross-
+  // vantage aligner for a handful of spans; everything else must survive
+  // and every rebuilt span must be internally consistent.
+  EXPECT_GE(rebuilt.size(), spans.size() * 995 / 1000);
+  EXPECT_LE(rebuilt.size(), spans.size());
+  for (const Span& s : rebuilt) {
+    EXPECT_TRUE(TimestampsConsistent(s)) << s.id;
+  }
+}
+
+TEST(Assemble, DropsAreAccounted) {
+  auto spans = SimPopulation();
+  CaptureFaults faults;
+  faults.drop_probability = 0.02;
+  AssemblyStats stats;
+  auto rebuilt = CaptureRoundTrip(spans, faults, &stats);
+  EXPECT_LT(rebuilt.size(), spans.size());
+  EXPECT_GT(stats.unmatched_requests + stats.unmatched_responses, 0u);
+}
+
+TEST(Assemble, OutOfOrderDeliveryIsHandled) {
+  auto spans = SimPopulation();
+  auto events = ExplodeSpans(spans);
+  // Reverse the stream; AssembleSpans must sort internally.
+  std::reverse(events.begin(), events.end());
+  auto rebuilt = AssembleSpans(std::move(events));
+  EXPECT_EQ(rebuilt.size(), spans.size());
+}
+
+TEST(Assemble, EmptyInput) {
+  AssemblyStats stats;
+  auto rebuilt = AssembleSpans({}, &stats);
+  EXPECT_TRUE(rebuilt.empty());
+  EXPECT_EQ(stats.spans_assembled, 0u);
+}
+
+TEST(Assemble, ThreadIdsSurviveRoundTrip) {
+  Span s = MakeSpan(1, "A", "B", "/b", 100, 200);
+  s.caller_thread = 3;
+  s.handler_thread = 7;
+  auto rebuilt = CaptureRoundTrip({s});
+  ASSERT_EQ(rebuilt.size(), 1u);
+  EXPECT_EQ(rebuilt[0].caller_thread, 3);
+  EXPECT_EQ(rebuilt[0].handler_thread, 7);
+}
+
+class DropRateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DropRateSweep, AssemblyDegradesGracefully) {
+  auto spans = SimPopulation(100.0);
+  CaptureFaults faults;
+  faults.drop_probability = GetParam();
+  AssemblyStats stats;
+  auto rebuilt = CaptureRoundTrip(spans, faults, &stats);
+  // Never fabricate more spans than existed, and all rebuilt spans must be
+  // internally consistent.
+  EXPECT_LE(rebuilt.size(), spans.size());
+  for (const Span& s : rebuilt) EXPECT_TRUE(TimestampsConsistent(s));
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, DropRateSweep,
+                         ::testing::Values(0.0, 0.01, 0.05, 0.2));
+
+}  // namespace
+}  // namespace traceweaver::collector

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/drift.h"
+#include "stats/ks_test.h"
+#include "util/rng.h"
+
+namespace traceweaver {
+namespace {
+
+TEST(KolmogorovSurvival, KnownValues) {
+  EXPECT_DOUBLE_EQ(KolmogorovSurvival(0.0), 1.0);
+  // Q(1.36) ~ 0.049 (the classic 5% critical value).
+  EXPECT_NEAR(KolmogorovSurvival(1.36), 0.049, 0.002);
+  EXPECT_LT(KolmogorovSurvival(2.0), 0.001);
+  EXPECT_GT(KolmogorovSurvival(0.5), 0.95);
+}
+
+TEST(KsTest, MatchingDistributionHasHighP) {
+  Rng rng(131);
+  std::vector<double> samples;
+  for (int i = 0; i < 500; ++i) samples.push_back(rng.Normal(10.0, 2.0));
+  Gaussian g{10.0, 2.0};
+  const KsResult r =
+      KolmogorovSmirnovTest(samples, [&g](double x) { return g.Cdf(x); });
+  EXPECT_GT(r.p_value, 0.05);
+  EXPECT_LT(r.statistic, 0.1);
+}
+
+TEST(KsTest, ShiftedDistributionHasLowP) {
+  Rng rng(137);
+  std::vector<double> samples;
+  for (int i = 0; i < 500; ++i) samples.push_back(rng.Normal(12.0, 2.0));
+  Gaussian g{10.0, 2.0};  // Model believes mean 10.
+  const KsResult r =
+      KolmogorovSmirnovTest(samples, [&g](double x) { return g.Cdf(x); });
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(KsTest, TooFewSamplesIsInconclusive) {
+  Gaussian g{0.0, 1.0};
+  const KsResult r = KolmogorovSmirnovTest(
+      {0.1, 0.2, 0.3}, [&g](double x) { return g.Cdf(x); });
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+TEST(GmmCdf, MonotoneAndBounded) {
+  GaussianMixture m({{0.5, 0.0, 1.0}, {0.5, 10.0, 2.0}});
+  double prev = 0.0;
+  for (double x = -10.0; x <= 25.0; x += 0.25) {
+    const double c = m.Cdf(x);
+    EXPECT_GE(c, prev - 1e-12);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+  EXPECT_NEAR(m.Cdf(5.0), 0.5, 0.02);  // Between the two modes.
+  EXPECT_LT(m.Cdf(-5.0), 0.01);
+  EXPECT_GT(m.Cdf(20.0), 0.99);
+}
+
+TEST(Drift, StableModelShowsNoDrift) {
+  DelayModel model;
+  const DelayKey key{"A", "/a", 0, 0};
+  model.SetSeed(key, Gaussian{1000.0, 100.0});
+
+  Rng rng(139);
+  std::map<DelayKey, std::vector<double>> recent;
+  for (int i = 0; i < 300; ++i) {
+    recent[key].push_back(rng.Normal(1000.0, 100.0));
+  }
+  const auto findings = DetectDrift(model, recent);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_FALSE(findings[0].drifted);
+  EXPECT_FALSE(AnyDrift(findings));
+}
+
+TEST(Drift, ShiftedDelaysAreFlagged) {
+  DelayModel model;
+  const DelayKey key{"A", "/a", 0, 0};
+  model.SetSeed(key, Gaussian{1000.0, 100.0});
+
+  Rng rng(149);
+  std::map<DelayKey, std::vector<double>> recent;
+  for (int i = 0; i < 300; ++i) {
+    // The app was redeployed: the gap doubled.
+    recent[key].push_back(rng.Normal(2000.0, 100.0));
+  }
+  const auto findings = DetectDrift(model, recent);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(findings[0].drifted);
+  EXPECT_TRUE(AnyDrift(findings));
+}
+
+TEST(Drift, UnknownKeysAndThinSamplesAreSkipped) {
+  DelayModel model;
+  model.SetSeed(DelayKey{"A", "/a", 0, 0}, Gaussian{0.0, 1.0});
+  std::map<DelayKey, std::vector<double>> recent;
+  recent[DelayKey{"B", "/b", 0, 0}] =
+      std::vector<double>(100, 5.0);               // Unknown key.
+  recent[DelayKey{"A", "/a", 0, 0}] = {1.0, 2.0};  // Too thin.
+  EXPECT_TRUE(DetectDrift(model, recent).empty());
+}
+
+TEST(Drift, MixtureModelDriftDetection) {
+  // A bimodal model; recent data collapses to one mode only -> drift.
+  DelayModel model;
+  const DelayKey key{"A", "/a", 1, 0};
+  Rng rng(151);
+  std::vector<double> fit_samples;
+  for (int i = 0; i < 2000; ++i) {
+    fit_samples.push_back(rng.Bernoulli(0.5) ? rng.Normal(100.0, 10.0)
+                                             : rng.Normal(500.0, 20.0));
+  }
+  model.Refit(key, fit_samples, {});
+
+  std::map<DelayKey, std::vector<double>> recent;
+  for (int i = 0; i < 300; ++i) {
+    recent[key].push_back(rng.Normal(100.0, 10.0));  // Cache now always hits.
+  }
+  const auto findings = DetectDrift(model, recent);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(findings[0].drifted);
+}
+
+}  // namespace
+}  // namespace traceweaver

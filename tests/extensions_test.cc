@@ -1,0 +1,192 @@
+// Tests for the extension features beyond the paper's core algorithm:
+// thread-affinity hints (§7 future work), Jaeger-format trace export, and
+// multi-threaded reconstruction (§6.5 parallel instances).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "callgraph/inference.h"
+#include "core/accuracy.h"
+#include "core/trace_weaver.h"
+#include "sim/apps.h"
+#include "sim/workload.h"
+#include "trace/jaeger_export.h"
+
+namespace traceweaver {
+namespace {
+
+struct Fixture {
+  std::vector<Span> spans;
+  CallGraph graph;
+};
+
+Fixture Make(const sim::AppSpec& app, double rps, std::uint64_t seed = 61) {
+  Fixture f;
+  sim::IsolatedReplayOptions iso;
+  iso.requests_per_root = 20;
+  f.graph = InferCallGraph(sim::RunIsolatedReplay(app, iso).spans);
+  sim::OpenLoopOptions load;
+  load.requests_per_sec = rps;
+  load.duration = Seconds(2);
+  load.seed = seed;
+  f.spans = sim::RunOpenLoop(app, load).spans;
+  return f;
+}
+
+// --- Thread affinity -------------------------------------------------------
+
+TEST(ThreadAffinity, HardModeNearPerfectWhenModelHolds) {
+  // Thread-pool app: every request handled start-to-finish by one thread,
+  // so hard affinity pruning keeps exactly the right candidates.
+  Fixture f = Make(sim::MakeLinearChainApp(), 400);
+  TraceWeaverOptions opts;
+  opts.optimizer.thread_affinity =
+      OptimizerOptions::ThreadAffinity::kHard;
+  TraceWeaver weaver(f.graph, opts);
+  const auto report =
+      Evaluate(f.spans, weaver.Reconstruct(f.spans).assignment);
+  EXPECT_GT(report.SpanAccuracy(), 0.99);
+}
+
+TEST(ThreadAffinity, SoftModeNeverWorseOnThreadPoolApp) {
+  Fixture f = Make(sim::MakeLinearChainApp(), 800);
+  TraceWeaver plain(f.graph);
+  const double base =
+      Evaluate(f.spans, plain.Reconstruct(f.spans).assignment)
+          .SpanAccuracy();
+
+  TraceWeaverOptions opts;
+  opts.optimizer.thread_affinity =
+      OptimizerOptions::ThreadAffinity::kSoft;
+  TraceWeaver weaver(f.graph, opts);
+  const double soft =
+      Evaluate(f.spans, weaver.Reconstruct(f.spans).assignment)
+          .SpanAccuracy();
+  EXPECT_GE(soft + 0.01, base);
+}
+
+TEST(ThreadAffinity, SoftModeSafeUnderHandoff) {
+  // RPC-handoff services violate the threading model under load; the soft
+  // hint must not wreck accuracy (unlike hard mode, which is documented to
+  // be unsound there).
+  Fixture f = Make(sim::MakeHotelReservationApp(), 800);
+  TraceWeaver plain(f.graph);
+  const double base =
+      Evaluate(f.spans, plain.Reconstruct(f.spans).assignment)
+          .SpanAccuracy();
+
+  TraceWeaverOptions opts;
+  opts.optimizer.thread_affinity =
+      OptimizerOptions::ThreadAffinity::kSoft;
+  TraceWeaver weaver(f.graph, opts);
+  const double soft =
+      Evaluate(f.spans, weaver.Reconstruct(f.spans).assignment)
+          .SpanAccuracy();
+  EXPECT_GT(soft, base - 0.1);
+}
+
+// --- Jaeger export ----------------------------------------------------------
+
+TEST(JaegerExport, ContainsAllSpansAndReferences) {
+  Fixture f = Make(sim::MakeLinearChainApp(), 100);
+  TraceWeaver weaver(f.graph);
+  const auto assignment = weaver.Reconstruct(f.spans).assignment;
+  const std::string json = TracesToJaegerJson(f.spans, assignment);
+
+  // Every span id appears exactly once as a "spanID".
+  for (const Span& s : f.spans) {
+    char needle[64];
+    std::snprintf(needle, sizeof(needle), "\"spanID\":\"%016llx\"",
+                  static_cast<unsigned long long>(s.id));
+    EXPECT_NE(json.find(needle), std::string::npos) << s.id;
+  }
+  // Structure markers.
+  EXPECT_EQ(json.rfind("{\"data\":[", 0), 0u);
+  EXPECT_NE(json.find("\"refType\":\"CHILD_OF\""), std::string::npos);
+  EXPECT_NE(json.find("\"serviceName\":\"svc-a\""), std::string::npos);
+  EXPECT_NE(json.find("\"serviceName\":\"svc-c\""), std::string::npos);
+}
+
+TEST(JaegerExport, ChildOfReferencesMatchAssignment) {
+  Fixture f = Make(sim::MakeLinearChainApp(), 50);
+  const auto parents = TrueParents(f.spans);
+  const std::string json = TracesToJaegerJson(f.spans, parents);
+  for (const Span& s : f.spans) {
+    if (s.true_parent == kInvalidSpanId) continue;
+    char needle[128];
+    std::snprintf(needle, sizeof(needle),
+                  "\"refType\":\"CHILD_OF\",\"traceID\":\"%016llx\","
+                  "\"spanID\":\"%016llx\"",
+                  static_cast<unsigned long long>(
+                      [&] {  // Trace id is the root span's id.
+                        SpanId cur = s.id;
+                        auto it = parents.find(cur);
+                        while (it != parents.end() &&
+                               it->second != kInvalidSpanId) {
+                          cur = it->second;
+                          it = parents.find(cur);
+                        }
+                        return cur;
+                      }()),
+                  static_cast<unsigned long long>(s.true_parent));
+    EXPECT_NE(json.find(needle), std::string::npos) << s.id;
+  }
+}
+
+TEST(JaegerExport, EmptyPopulation) {
+  EXPECT_EQ(TracesToJaegerJson({}, {}), "{\"data\":[]}");
+}
+
+TEST(JaegerExport, EscapesSpecialCharacters) {
+  Span s;
+  s.id = 1;
+  s.caller = kClientCaller;
+  s.callee = "svc\"x";
+  s.endpoint = "/e\\p";
+  s.server_recv = Micros(10);
+  s.server_send = Micros(20);
+  s.client_send = Micros(9);
+  s.client_recv = Micros(21);
+  const std::string json = TracesToJaegerJson({s}, {{1, kInvalidSpanId}});
+  EXPECT_NE(json.find("svc\\\"x"), std::string::npos);
+  EXPECT_NE(json.find("/e\\\\p"), std::string::npos);
+}
+
+// --- Parallel reconstruction -------------------------------------------------
+
+TEST(ParallelReconstruct, MatchesSerialExactly) {
+  Fixture f = Make(sim::MakeHotelReservationApp(), 600);
+
+  TraceWeaver serial(f.graph);
+  const auto a = serial.Reconstruct(f.spans);
+
+  TraceWeaverOptions opts;
+  opts.num_threads = 4;
+  TraceWeaver parallel(f.graph, opts);
+  const auto b = parallel.Reconstruct(f.spans);
+
+  ASSERT_EQ(a.assignment.size(), b.assignment.size());
+  for (const auto& [child, parent] : a.assignment) {
+    EXPECT_EQ(b.assignment.at(child), parent);
+  }
+  ASSERT_EQ(a.containers.size(), b.containers.size());
+  for (std::size_t i = 0; i < a.containers.size(); ++i) {
+    EXPECT_EQ(a.containers[i].instance.service,
+              b.containers[i].instance.service);
+    EXPECT_EQ(a.containers[i].parents.size(),
+              b.containers[i].parents.size());
+  }
+}
+
+TEST(ParallelReconstruct, MoreThreadsThanContainersIsFine) {
+  Fixture f = Make(sim::MakeLinearChainApp(), 100);
+  TraceWeaverOptions opts;
+  opts.num_threads = 64;
+  TraceWeaver weaver(f.graph, opts);
+  const auto report =
+      Evaluate(f.spans, weaver.Reconstruct(f.spans).assignment);
+  EXPECT_GT(report.SpanAccuracy(), 0.95);
+}
+
+}  // namespace
+}  // namespace traceweaver

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "collector/http_parser.h"
+#include "util/rng.h"
+
+namespace traceweaver::collector {
+namespace {
+
+TEST(HttpParser, ParsesSimpleRequest) {
+  HttpStreamParser p;
+  p.Feed(RenderHttpRequest("GET", "/hotels", "frontend", 0), 1000);
+  auto msgs = p.TakeMessages();
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_TRUE(msgs[0].is_request);
+  EXPECT_EQ(msgs[0].method, "GET");
+  EXPECT_EQ(msgs[0].path, "/hotels");
+  EXPECT_EQ(msgs[0].first_byte, 1000);
+  EXPECT_EQ(msgs[0].body_bytes, 0u);
+  EXPECT_FALSE(p.in_error());
+  EXPECT_EQ(p.pending_bytes(), 0u);
+}
+
+TEST(HttpParser, ParsesResponseWithBody) {
+  HttpStreamParser p;
+  p.Feed(RenderHttpResponse(200, 42), 5);
+  auto msgs = p.TakeMessages();
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_FALSE(msgs[0].is_request);
+  EXPECT_EQ(msgs[0].status, 200);
+  EXPECT_EQ(msgs[0].body_bytes, 42u);
+}
+
+TEST(HttpParser, HandlesArbitraryFragmentation) {
+  const std::string wire = RenderHttpRequest("POST", "/compose", "nginx", 100) +
+                           RenderHttpRequest("GET", "/page", "nginx", 0);
+  Rng rng(157);
+  for (int trial = 0; trial < 50; ++trial) {
+    HttpStreamParser p;
+    std::size_t pos = 0;
+    TimeNs t = 0;
+    while (pos < wire.size()) {
+      const std::size_t chunk = static_cast<std::size_t>(
+          rng.UniformInt(1, 40));
+      p.Feed(std::string_view(wire).substr(pos, chunk), t);
+      pos += chunk;
+      t += 10;
+    }
+    auto msgs = p.TakeMessages();
+    ASSERT_EQ(msgs.size(), 2u) << "trial " << trial;
+    EXPECT_EQ(msgs[0].method, "POST");
+    EXPECT_EQ(msgs[0].body_bytes, 100u);
+    EXPECT_EQ(msgs[1].path, "/page");
+    EXPECT_FALSE(p.in_error());
+  }
+}
+
+TEST(HttpParser, FirstByteTimestampIsPerMessage) {
+  HttpStreamParser p;
+  p.Feed(RenderHttpRequest("GET", "/a", "h", 0), 100);
+  p.Feed(RenderHttpRequest("GET", "/b", "h", 0), 900);
+  auto msgs = p.TakeMessages();
+  ASSERT_EQ(msgs.size(), 2u);
+  EXPECT_EQ(msgs[0].first_byte, 100);
+  EXPECT_EQ(msgs[1].first_byte, 900);
+}
+
+TEST(HttpParser, PipelinedMessagesInOneChunk) {
+  std::string wire;
+  for (int i = 0; i < 5; ++i) {
+    wire += RenderHttpResponse(200, static_cast<std::size_t>(i * 3));
+  }
+  HttpStreamParser p;
+  p.Feed(wire, 7);
+  auto msgs = p.TakeMessages();
+  ASSERT_EQ(msgs.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(msgs[static_cast<std::size_t>(i)].body_bytes,
+              static_cast<std::size_t>(i * 3));
+  }
+}
+
+TEST(HttpParser, ChunkedTransferEncoding) {
+  std::string wire =
+      "HTTP/1.1 200 OK\r\n"
+      "Transfer-Encoding: chunked\r\n"
+      "\r\n"
+      "4\r\nWiki\r\n"
+      "5\r\npedia\r\n"
+      "0\r\n"
+      "\r\n";
+  HttpStreamParser p;
+  p.Feed(wire, 1);
+  auto msgs = p.TakeMessages();
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_EQ(msgs[0].body_bytes, 9u);
+  EXPECT_FALSE(p.in_error());
+}
+
+TEST(HttpParser, ChunkedSurvivesFragmentation) {
+  const std::string wire =
+      "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "a\r\n0123456789\r\n0\r\n\r\n";
+  for (std::size_t split = 1; split < wire.size(); ++split) {
+    HttpStreamParser p;
+    p.Feed(std::string_view(wire).substr(0, split), 0);
+    p.Feed(std::string_view(wire).substr(split), 1);
+    auto msgs = p.TakeMessages();
+    ASSERT_EQ(msgs.size(), 1u) << "split " << split;
+    EXPECT_EQ(msgs[0].body_bytes, 10u);
+  }
+}
+
+TEST(HttpParser, MalformedStartLineSetsError) {
+  HttpStreamParser p;
+  p.Feed("NOT A VALID START\r\n", 0);
+  EXPECT_TRUE(p.in_error());
+  EXPECT_TRUE(p.TakeMessages().empty());
+  // Sticky: further input is ignored.
+  p.Feed(RenderHttpRequest("GET", "/x", "h", 0), 1);
+  EXPECT_TRUE(p.TakeMessages().empty());
+}
+
+TEST(HttpParser, MalformedStatusCodeSetsError) {
+  HttpStreamParser p;
+  p.Feed("HTTP/1.1 banana OK\r\n\r\n", 0);
+  EXPECT_TRUE(p.in_error());
+}
+
+TEST(HttpParser, GarbageNeverCrashes) {
+  Rng rng(163);
+  for (int trial = 0; trial < 200; ++trial) {
+    HttpStreamParser p;
+    for (int chunk = 0; chunk < 5; ++chunk) {
+      std::string junk;
+      const int len = static_cast<int>(rng.UniformInt(0, 60));
+      for (int i = 0; i < len; ++i) {
+        junk += static_cast<char>(rng.UniformInt(9, 126));
+      }
+      p.Feed(junk, chunk);
+    }
+    p.TakeMessages();  // Must not crash; content unspecified.
+  }
+}
+
+TEST(HttpParser, HeaderCaseInsensitivity) {
+  HttpStreamParser p;
+  p.Feed("POST /x HTTP/1.1\r\ncOnTeNt-LeNgTh: 3\r\n\r\nabc", 0);
+  auto msgs = p.TakeMessages();
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_EQ(msgs[0].body_bytes, 3u);
+}
+
+}  // namespace
+}  // namespace traceweaver::collector

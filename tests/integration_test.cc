@@ -1,0 +1,165 @@
+// Cross-module integration tests: the full pipeline the benchmarks use --
+// simulate -> capture (events -> spans) -> infer call graph -> reconstruct
+// -> evaluate -- plus failure injection.
+#include <gtest/gtest.h>
+
+#include "baselines/fcfs.h"
+#include "baselines/vpath.h"
+#include "baselines/wap5.h"
+#include "callgraph/inference.h"
+#include "collector/capture.h"
+#include "core/accuracy.h"
+#include "core/trace_weaver.h"
+#include "sim/alibaba.h"
+#include "sim/apps.h"
+#include "sim/workload.h"
+
+namespace traceweaver {
+namespace {
+
+struct Pipeline {
+  std::vector<Span> spans;
+  CallGraph graph;
+};
+
+Pipeline RunPipeline(const sim::AppSpec& app, double rps, double seconds,
+                     collector::CaptureFaults faults = {},
+                     std::uint64_t seed = 31) {
+  Pipeline p;
+  sim::IsolatedReplayOptions iso;
+  iso.requests_per_root = 20;
+  p.graph = InferCallGraph(
+      collector::CaptureRoundTrip(sim::RunIsolatedReplay(app, iso).spans));
+  sim::OpenLoopOptions load;
+  load.requests_per_sec = rps;
+  load.duration = Seconds(seconds);
+  load.seed = seed;
+  p.spans = collector::CaptureRoundTrip(sim::RunOpenLoop(app, load).spans,
+                                        faults);
+  return p;
+}
+
+double TraceAccuracy(const Pipeline& p) {
+  TraceWeaver weaver(p.graph);
+  return Evaluate(p.spans, weaver.Reconstruct(p.spans).assignment)
+      .TraceAccuracy();
+}
+
+TEST(Integration, HotelReservationThroughCapturePipeline) {
+  Pipeline p = RunPipeline(sim::MakeHotelReservationApp(), 200, 3);
+  EXPECT_GT(TraceAccuracy(p), 0.9);
+}
+
+TEST(Integration, MediaMicroservicesThroughCapturePipeline) {
+  Pipeline p = RunPipeline(sim::MakeMediaMicroservicesApp(), 150, 3);
+  EXPECT_GT(TraceAccuracy(p), 0.85);
+}
+
+TEST(Integration, NodejsAppThroughCapturePipeline) {
+  Pipeline p = RunPipeline(sim::MakeNodejsApp(), 150, 3);
+  EXPECT_GT(TraceAccuracy(p), 0.85);
+}
+
+TEST(Integration, TraceWeaverBeatsBaselinesUnderLoad) {
+  Pipeline p = RunPipeline(sim::MakeHotelReservationApp(), 1200, 2);
+  MapperInput input{&p.spans, &p.graph};
+
+  TraceWeaver tw(p.graph);
+  FcfsMapper fcfs;
+  Wap5Mapper wap5;
+  VPathMapper vpath;
+
+  const double tw_acc = Evaluate(p.spans, tw.Map(input)).TraceAccuracy();
+  EXPECT_GT(tw_acc, Evaluate(p.spans, fcfs.Map(input)).TraceAccuracy());
+  EXPECT_GT(tw_acc, Evaluate(p.spans, wap5.Map(input)).TraceAccuracy());
+  EXPECT_GT(tw_acc, Evaluate(p.spans, vpath.Map(input)).TraceAccuracy());
+}
+
+TEST(Integration, ClockJitterDegradesGracefully) {
+  collector::CaptureFaults jitter;
+  jitter.jitter_stddev = Micros(100);
+  Pipeline clean = RunPipeline(sim::MakeHotelReservationApp(), 300, 2);
+  Pipeline noisy = RunPipeline(sim::MakeHotelReservationApp(), 300, 2, jitter);
+
+  // The operator widens the feasibility slack to cover the capture layer's
+  // known clock error (~4x the jitter stddev), as documented in
+  // Parameters::constraint_slack_ns.
+  TraceWeaverOptions robust;
+  robust.optimizer.params.constraint_slack_ns = 4 * Micros(100);
+  TraceWeaver weaver(noisy.graph, robust);
+  const double noisy_acc =
+      Evaluate(noisy.spans, weaver.Reconstruct(noisy.spans).assignment)
+          .TraceAccuracy();
+  const double clean_acc = TraceAccuracy(clean);
+  EXPECT_GT(noisy_acc, 0.7);
+  EXPECT_LE(noisy_acc, clean_acc + 0.05);
+}
+
+TEST(Integration, SlackWithoutJitterIsHarmless) {
+  Pipeline p = RunPipeline(sim::MakeHotelReservationApp(), 300, 2);
+  TraceWeaverOptions slack;
+  slack.optimizer.params.constraint_slack_ns = Micros(400);
+  TraceWeaver weaver(p.graph, slack);
+  const double acc =
+      Evaluate(p.spans, weaver.Reconstruct(p.spans).assignment)
+          .TraceAccuracy();
+  EXPECT_GT(acc, TraceAccuracy(p) - 0.05);
+}
+
+TEST(Integration, EventDropsDoNotCrashReconstruction) {
+  collector::CaptureFaults drops;
+  drops.drop_probability = 0.03;
+  Pipeline p = RunPipeline(sim::MakeHotelReservationApp(), 200, 2, drops);
+  // Spans are missing; dynamism handling should still map most of what
+  // remains without crashing.
+  TraceWeaver weaver(p.graph);
+  auto out = weaver.Reconstruct(p.spans);
+  auto report = Evaluate(p.spans, out.assignment);
+  EXPECT_GT(report.SpanAccuracy(), 0.5);
+}
+
+TEST(Integration, CachingDynamismEndToEnd) {
+  Pipeline p = RunPipeline(sim::MakeHotelReservationApp(0.5), 250, 3);
+  EXPECT_GT(TraceAccuracy(p), 0.6);
+}
+
+TEST(Integration, AlibabaCompressionSweepStaysOrdered) {
+  sim::AlibabaOptions opts;
+  opts.num_graphs = 3;
+  opts.requests_per_graph = 120;
+  auto graphs = sim::SynthesizeAlibaba(opts);
+
+  for (const auto& g : graphs) {
+    sim::IsolatedReplayOptions iso;
+    iso.requests_per_root = 15;
+    CallGraph graph =
+        InferCallGraph(sim::RunIsolatedReplay(g.app, iso).spans);
+    TraceWeaver weaver(graph);
+
+    double prev = 1.1;
+    for (double multiple : {1.0, 100.0, 3000.0}) {
+      auto spans = sim::CompressLoad(g.baseline.spans, multiple);
+      const double acc =
+          Evaluate(spans, weaver.Reconstruct(spans).assignment)
+              .TraceAccuracy();
+      // Accuracy must not *increase* materially as load compounds.
+      EXPECT_LE(acc, prev + 0.05) << g.app.name << " x" << multiple;
+      prev = acc;
+    }
+  }
+}
+
+TEST(Integration, DeterministicEndToEnd) {
+  Pipeline a = RunPipeline(sim::MakeHotelReservationApp(), 200, 2);
+  Pipeline b = RunPipeline(sim::MakeHotelReservationApp(), 200, 2);
+  TraceWeaver wa(a.graph), wb(b.graph);
+  auto ra = wa.Reconstruct(a.spans).assignment;
+  auto rb = wb.Reconstruct(b.spans).assignment;
+  ASSERT_EQ(ra.size(), rb.size());
+  for (const auto& [child, parent] : ra) {
+    EXPECT_EQ(rb.at(child), parent);
+  }
+}
+
+}  // namespace
+}  // namespace traceweaver

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/mis_solver.h"
+#include "util/rng.h"
+
+namespace traceweaver {
+namespace {
+
+bool IsIndependent(const MisProblem& p, const std::vector<int>& set) {
+  for (int v : set) {
+    for (int u : p.adjacency[static_cast<std::size_t>(v)]) {
+      if (std::find(set.begin(), set.end(), u) != set.end()) return false;
+    }
+  }
+  return true;
+}
+
+/// Exhaustive MWIS for small n.
+double BruteForce(const MisProblem& p) {
+  const std::size_t n = p.size();
+  double best = 0.0;
+  for (std::size_t mask = 0; mask < (1u << n); ++mask) {
+    std::vector<int> set;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (mask & (1u << v)) set.push_back(static_cast<int>(v));
+    }
+    if (!IsIndependent(p, set)) continue;
+    double w = 0.0;
+    for (int v : set) w += p.weights[static_cast<std::size_t>(v)];
+    best = std::max(best, w);
+  }
+  return best;
+}
+
+MisProblem RandomProblem(std::size_t n, double edge_prob, Rng& rng) {
+  MisProblem p;
+  p.weights.resize(n);
+  p.adjacency.assign(n, {});
+  for (std::size_t v = 0; v < n; ++v) p.weights[v] = rng.Uniform(0.1, 10.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (rng.Bernoulli(edge_prob)) {
+        p.adjacency[i].push_back(static_cast<int>(j));
+        p.adjacency[j].push_back(static_cast<int>(i));
+      }
+    }
+  }
+  return p;
+}
+
+TEST(MisSolver, EmptyProblem) {
+  MisSolution sol = SolveMwis(MisProblem{}, 1000);
+  EXPECT_TRUE(sol.chosen.empty());
+  EXPECT_TRUE(sol.optimal);
+}
+
+TEST(MisSolver, NoEdgesTakesEverything) {
+  MisProblem p;
+  p.weights = {1.0, 2.0, 3.0};
+  p.adjacency.assign(3, {});
+  MisSolution sol = SolveMwis(p, 1000);
+  EXPECT_EQ(sol.chosen.size(), 3u);
+  EXPECT_DOUBLE_EQ(sol.weight, 6.0);
+}
+
+TEST(MisSolver, TriangleTakesHeaviest) {
+  MisProblem p;
+  p.weights = {1.0, 5.0, 3.0};
+  p.adjacency = {{1, 2}, {0, 2}, {0, 1}};
+  MisSolution sol = SolveMwis(p, 1000);
+  ASSERT_EQ(sol.chosen.size(), 1u);
+  EXPECT_EQ(sol.chosen[0], 1);
+}
+
+TEST(MisSolver, PathGraphKnownOptimum) {
+  // Path 0-1-2-3 with weights 1, 10, 10, 1: optimum is {1, 3} or {0, 2} =
+  // 11.
+  MisProblem p;
+  p.weights = {1.0, 10.0, 10.0, 1.0};
+  p.adjacency = {{1}, {0, 2}, {1, 3}, {2}};
+  MisSolution sol = SolveMwis(p, 1000);
+  EXPECT_DOUBLE_EQ(sol.weight, 11.0);
+  EXPECT_TRUE(sol.optimal);
+}
+
+class MisRandomSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double, int>> {
+};
+
+TEST_P(MisRandomSweep, ExactMatchesBruteForce) {
+  const auto [n, edge_prob, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 1000 + n);
+  MisProblem p = RandomProblem(n, edge_prob, rng);
+  MisSolution sol = SolveMwis(p, 1'000'000);
+  EXPECT_TRUE(sol.optimal);
+  EXPECT_TRUE(IsIndependent(p, sol.chosen));
+  EXPECT_NEAR(sol.weight, BruteForce(p), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MisRandomSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(4, 8, 12, 16),
+                       ::testing::Values(0.1, 0.3, 0.7),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(MisSolver, GreedyIsAlwaysValid) {
+  Rng rng(91);
+  for (int trial = 0; trial < 20; ++trial) {
+    MisProblem p = RandomProblem(40, 0.2, rng);
+    MisSolution sol = SolveMwisGreedy(p);
+    EXPECT_TRUE(IsIndependent(p, sol.chosen));
+    EXPECT_GT(sol.weight, 0.0);
+  }
+}
+
+TEST(MisSolver, BudgetExhaustionStillValidAndAtLeastGreedy) {
+  Rng rng(93);
+  MisProblem p = RandomProblem(60, 0.15, rng);
+  MisSolution greedy = SolveMwisGreedy(p);
+  MisSolution sol = SolveMwis(p, /*node_budget=*/50);  // Tiny budget.
+  EXPECT_TRUE(IsIndependent(p, sol.chosen));
+  EXPECT_GE(sol.weight, greedy.weight);
+}
+
+TEST(MisSolver, LargeSparseProblemFinishesExactly) {
+  Rng rng(97);
+  MisProblem p = RandomProblem(150, 0.02, rng);
+  MisSolution sol = SolveMwis(p, 500'000);
+  EXPECT_TRUE(IsIndependent(p, sol.chosen));
+  // Sparse conflict graphs (the TraceWeaver regime) should solve exactly.
+  EXPECT_TRUE(sol.optimal);
+}
+
+TEST(MisSolver, DeterministicOutput) {
+  Rng rng(101);
+  MisProblem p = RandomProblem(30, 0.3, rng);
+  MisSolution a = SolveMwis(p, 100'000);
+  MisSolution b = SolveMwis(p, 100'000);
+  EXPECT_EQ(a.chosen, b.chosen);
+}
+
+}  // namespace
+}  // namespace traceweaver

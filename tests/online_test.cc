@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "callgraph/inference.h"
+#include "core/accuracy.h"
+#include "core/online.h"
+#include "sim/apps.h"
+#include "sim/workload.h"
+
+namespace traceweaver {
+namespace {
+
+struct Stream {
+  std::vector<Span> spans;  ///< Sorted by completion time (arrival order).
+  CallGraph graph;
+};
+
+Stream MakeStream(double rps, double seconds) {
+  Stream s;
+  sim::AppSpec app = sim::MakeHotelReservationApp();
+  sim::IsolatedReplayOptions iso;
+  iso.requests_per_root = 15;
+  s.graph = InferCallGraph(sim::RunIsolatedReplay(app, iso).spans);
+  sim::OpenLoopOptions load;
+  load.requests_per_sec = rps;
+  load.duration = Seconds(seconds);
+  load.seed = 21;
+  s.spans = sim::RunOpenLoop(app, load).spans;
+  std::sort(s.spans.begin(), s.spans.end(),
+            [](const Span& a, const Span& b) {
+              return a.client_recv < b.client_recv;
+            });
+  return s;
+}
+
+TEST(Online, NoWindowsBeforeWatermark) {
+  Stream s = MakeStream(100, 1);
+  OnlineTraceWeaver online(s.graph);
+  online.Ingest(s.spans[0]);
+  EXPECT_TRUE(online.Advance(s.spans[0].client_send + Millis(1)).empty());
+  EXPECT_EQ(online.buffered(), 1u);
+}
+
+TEST(Online, StreamingMatchesOfflineAccuracy) {
+  Stream s = MakeStream(250, 4);
+
+  OnlineOptions opts;
+  opts.window = Seconds(1);
+  opts.margin = Millis(500);
+  OnlineTraceWeaver online(s.graph, opts);
+  for (const Span& span : s.spans) {
+    online.Ingest(span);
+    online.Advance(span.client_recv);
+  }
+  online.Flush();
+
+  auto online_report = Evaluate(s.spans, online.assignment());
+
+  TraceWeaver offline(s.graph);
+  auto offline_report =
+      Evaluate(s.spans, offline.Reconstruct(s.spans).assignment);
+
+  EXPECT_GT(online_report.SpanAccuracy(), 0.9);
+  // Online must be within a few points of offline.
+  EXPECT_GT(online_report.SpanAccuracy(),
+            offline_report.SpanAccuracy() - 0.05);
+}
+
+TEST(Online, EveryParentCommittedExactlyOnce) {
+  Stream s = MakeStream(150, 3);
+  OnlineOptions opts;
+  opts.window = Millis(800);
+  OnlineTraceWeaver online(s.graph, opts);
+
+  std::size_t commits = 0;
+  for (const Span& span : s.spans) {
+    online.Ingest(span);
+    for (const auto& w : online.Advance(span.client_recv)) {
+      commits += w.parents_committed;
+    }
+  }
+  for (const auto& w : online.Flush()) commits += w.parents_committed;
+
+  // Number of spans with a non-empty plan (parents): those at frontend and
+  // mid-tier services. Count spans whose callee actually issues calls.
+  std::size_t expected = 0;
+  for (const Span& span : s.spans) {
+    const InvocationPlan* plan =
+        s.graph.PlanFor({span.callee, span.endpoint});
+    if (plan != nullptr && !plan->Empty()) ++expected;
+  }
+  // Every parent is committed at most once, and nearly all get committed.
+  EXPECT_LE(commits, expected);
+  EXPECT_GT(static_cast<double>(commits),
+            0.95 * static_cast<double>(expected));
+}
+
+TEST(Online, WindowsAreContiguous) {
+  Stream s = MakeStream(200, 2);
+  OnlineOptions opts;
+  opts.window = Millis(500);
+  OnlineTraceWeaver online(s.graph, opts);
+  std::vector<WindowResult> all;
+  for (const Span& span : s.spans) {
+    online.Ingest(span);
+    for (auto& w : online.Advance(span.client_recv)) {
+      all.push_back(std::move(w));
+    }
+  }
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].window_start, all[i - 1].window_end);
+  }
+}
+
+TEST(Online, FlushOnEmptyIsNoop) {
+  Stream s = MakeStream(100, 1);
+  OnlineTraceWeaver online(s.graph);
+  EXPECT_TRUE(online.Flush().empty());
+  EXPECT_TRUE(online.Advance(Seconds(100)).empty());
+}
+
+TEST(Online, TailSamplingSelectsCompleteTraces) {
+  // The headline use case: keep only traces above a latency threshold.
+  Stream s = MakeStream(200, 3);
+  OnlineOptions opts;
+  opts.window = Seconds(1);
+  OnlineTraceWeaver online(s.graph, opts);
+  for (const Span& span : s.spans) {
+    online.Ingest(span);
+    online.Advance(span.client_recv);
+  }
+  online.Flush();
+
+  TraceForest forest(s.spans, online.assignment());
+  // Pick the slowest 5% of traces; each sampled trace must be a proper
+  // multi-span tree (root + descendants), not an isolated span.
+  std::vector<std::pair<DurationNs, std::size_t>> latencies;
+  for (std::size_t r : forest.roots()) {
+    const Span& root = forest.span_of(forest.nodes()[r]);
+    if (!root.IsRoot()) continue;  // Unmapped fragments.
+    latencies.push_back({forest.EndToEndLatency(r), r});
+  }
+  std::sort(latencies.rbegin(), latencies.rend());
+  const std::size_t keep = std::max<std::size_t>(1, latencies.size() / 20);
+  for (std::size_t i = 0; i < keep; ++i) {
+    EXPECT_GT(forest.SubtreeSize(latencies[i].second), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace traceweaver

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "callgraph/inference.h"
+#include "core/accuracy.h"
+#include "core/optimizer.h"
+#include "core/trace_weaver.h"
+#include "sim/apps.h"
+#include "sim/workload.h"
+#include "test_helpers.h"
+#include "trace/trace_store.h"
+
+namespace traceweaver {
+namespace {
+
+using ::traceweaver::testing::MakeSpan;
+
+/// Two well-separated requests through A -> B: trivially reconstructable.
+TEST(Optimizer, MapsTrivialPopulation) {
+  std::vector<Span> spans;
+  spans.push_back(MakeSpan(1, kClientCaller, "A", "/a", 0, Millis(1),
+                           Micros(50), kInvalidSpanId, 1));
+  spans.push_back(MakeSpan(2, "A", "B", "/b", Micros(100), Micros(800),
+                           Micros(50), 1, 1));
+  spans.push_back(MakeSpan(3, kClientCaller, "A", "/a", Millis(10),
+                           Millis(11), Micros(50), kInvalidSpanId, 2));
+  spans.push_back(MakeSpan(4, "A", "B", "/b", Millis(10) + Micros(100),
+                           Millis(10) + Micros(800), Micros(50), 3, 2));
+
+  CallGraph graph = ::traceweaver::testing::SimpleGraph();
+  SpanStore store(spans);
+  ContainerView view = store.ViewOf({"A", 0});
+  ContainerResult result = OptimizeContainer(view, graph, {});
+  ASSERT_EQ(result.parents.size(), 2u);
+  ParentAssignment assignment;
+  result.AppendAssignment(assignment);
+  EXPECT_EQ(assignment.at(2), 1u);
+  EXPECT_EQ(assignment.at(4), 3u);
+  EXPECT_EQ(result.batches, 2u);
+}
+
+TEST(Optimizer, LeafHandlersAreCountedNotOptimized) {
+  std::vector<Span> spans{MakeSpan(1, "x", "B", "/b", 0, 100)};
+  CallGraph graph = ::traceweaver::testing::SimpleGraph();
+  SpanStore store(spans);
+  ContainerResult result = OptimizeContainer(store.ViewOf({"B", 0}), graph, {});
+  EXPECT_EQ(result.leaf_parents, 1u);
+  EXPECT_TRUE(result.parents.empty());
+}
+
+TEST(Optimizer, UnknownEndpointTreatedAsLeaf) {
+  std::vector<Span> spans{MakeSpan(1, "x", "A", "/mystery", 0, 100)};
+  CallGraph graph = ::traceweaver::testing::SimpleGraph();
+  SpanStore store(spans);
+  ContainerResult result = OptimizeContainer(store.ViewOf({"A", 0}), graph, {});
+  EXPECT_EQ(result.leaf_parents, 1u);
+}
+
+TEST(Optimizer, JointOptimizationResolvesCompetition) {
+  // Two overlapping parents compete for two children; the gap pattern makes
+  // the correct assignment higher-scoring jointly. Parent 1 arrives early,
+  // parent 3 late; children keep the arrival order.
+  std::vector<Span> spans;
+  spans.push_back(MakeSpan(1, kClientCaller, "A", "/a", 0, Millis(4),
+                           Micros(50), kInvalidSpanId, 1));
+  spans.push_back(MakeSpan(3, kClientCaller, "A", "/a", Millis(1), Millis(5),
+                           Micros(50), kInvalidSpanId, 2));
+  spans.push_back(MakeSpan(2, "A", "B", "/b", Micros(300), Millis(3),
+                           Micros(50), 1, 1));
+  spans.push_back(MakeSpan(4, "A", "B", "/b", Millis(1) + Micros(300),
+                           Millis(4) + Micros(500), Micros(50), 3, 2));
+
+  CallGraph graph = ::traceweaver::testing::SimpleGraph();
+  SpanStore store(spans);
+  ContainerResult result = OptimizeContainer(store.ViewOf({"A", 0}), graph, {});
+  ParentAssignment assignment;
+  result.AppendAssignment(assignment);
+  EXPECT_EQ(assignment.at(2), 1u);
+  EXPECT_EQ(assignment.at(4), 3u);
+}
+
+// --- End-to-end option toggles on a simulated app ---------------------------
+
+struct EndToEnd {
+  std::vector<Span> spans;
+  CallGraph graph;
+};
+
+EndToEnd HotelAtLoad(double rps, double cache = 0.0, std::uint64_t seed = 11) {
+  EndToEnd e;
+  sim::AppSpec app = sim::MakeHotelReservationApp(cache);
+  sim::IsolatedReplayOptions iso;
+  iso.requests_per_root = 20;
+  e.graph = InferCallGraph(sim::RunIsolatedReplay(app, iso).spans);
+  sim::OpenLoopOptions load;
+  load.requests_per_sec = rps;
+  load.duration = Seconds(3);
+  load.seed = seed;
+  e.spans = sim::RunOpenLoop(app, load).spans;
+  return e;
+}
+
+double AccuracyWith(const EndToEnd& e, const TraceWeaverOptions& opts) {
+  TraceWeaver weaver(e.graph, opts);
+  return Evaluate(e.spans, weaver.Reconstruct(e.spans).assignment)
+      .TraceAccuracy();
+}
+
+TEST(Optimizer, HighAccuracyAtModerateLoad) {
+  EndToEnd e = HotelAtLoad(300);
+  EXPECT_GT(AccuracyWith(e, {}), 0.9);
+}
+
+TEST(Optimizer, AblationsDoNotBeatFullSystem) {
+  EndToEnd e = HotelAtLoad(800);
+  const double full = AccuracyWith(e, {});
+
+  TraceWeaverOptions no_order;
+  no_order.optimizer.use_order_constraints = false;
+  TraceWeaverOptions no_iter;
+  no_iter.optimizer.iterate = false;
+  TraceWeaverOptions no_joint;
+  no_joint.optimizer.use_joint_optimization = false;
+
+  // Each ablation may tie on easy populations but must not beat the full
+  // system by a meaningful margin.
+  EXPECT_GE(full + 0.02, AccuracyWith(e, no_order));
+  EXPECT_GE(full + 0.02, AccuracyWith(e, no_iter));
+  EXPECT_GE(full + 0.02, AccuracyWith(e, no_joint));
+}
+
+TEST(Optimizer, DynamismHandlesCacheSkips) {
+  EndToEnd e = HotelAtLoad(200, /*cache=*/0.4);
+  TraceWeaverOptions opts;
+  const double with_dynamism = AccuracyWith(e, opts);
+  EXPECT_GT(with_dynamism, 0.6);
+
+  TraceWeaverOptions no_dynamism;
+  no_dynamism.optimizer.enable_dynamism = false;
+  // Without skip handling, the parents whose rate call was skipped cannot
+  // be mapped at search; accuracy must not be better.
+  EXPECT_GE(with_dynamism + 0.02, AccuracyWith(e, no_dynamism));
+}
+
+TEST(Optimizer, ConfidenceCorrelatesWithMappingQuality) {
+  EndToEnd e = HotelAtLoad(400);
+  TraceWeaver weaver(e.graph);
+  auto out = weaver.Reconstruct(e.spans);
+  auto confidence = out.ConfidenceByService();
+  ASSERT_FALSE(confidence.empty());
+  for (const auto& [service, c] : confidence) {
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+  }
+}
+
+TEST(TraceWeaverFacade, MapMatchesReconstruct) {
+  EndToEnd e = HotelAtLoad(150);
+  TraceWeaver weaver(e.graph);
+  MapperInput input;
+  input.spans = &e.spans;
+  auto mapped = weaver.Map(input);
+  auto reconstructed = weaver.Reconstruct(e.spans).assignment;
+  EXPECT_EQ(mapped.size(), reconstructed.size());
+  std::size_t diffs = 0;
+  for (const auto& [child, parent] : mapped) {
+    if (reconstructed.at(child) != parent) ++diffs;
+  }
+  EXPECT_EQ(diffs, 0u);
+}
+
+TEST(TraceWeaverFacade, TopKAccuracyAtLeastTop1) {
+  EndToEnd e = HotelAtLoad(600);
+  TraceWeaver weaver(e.graph);
+  auto out = weaver.Reconstruct(e.spans);
+  const double top1 = TopKTraceAccuracy(e.spans, out, 1);
+  const double top5 = TopKTraceAccuracy(e.spans, out, 5);
+  EXPECT_GE(top5, top1);
+  EXPECT_GT(top5, 0.9);
+}
+
+class LoadSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LoadSweep, AccuracyStaysUsable) {
+  EndToEnd e = HotelAtLoad(GetParam());
+  EXPECT_GT(AccuracyWith(e, {}), 0.55) << "rps=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, LoadSweep,
+                         ::testing::Values(100.0, 400.0, 1200.0));
+
+}  // namespace
+}  // namespace traceweaver

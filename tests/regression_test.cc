@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "analysis/regression.h"
+#include "callgraph/inference.h"
+#include "core/trace_weaver.h"
+#include "sim/apps.h"
+#include "sim/workload.h"
+
+namespace traceweaver {
+namespace {
+
+std::vector<Span> RunApp(const sim::AppSpec& app, std::uint64_t seed) {
+  sim::OpenLoopOptions load;
+  load.requests_per_sec = 200;
+  load.duration = Seconds(3);
+  load.seed = seed;
+  return sim::RunOpenLoop(app, load).spans;
+}
+
+TEST(Regression, DetectsInjectedSlowdown) {
+  sim::AppSpec before_app = sim::MakeLinearChainApp();
+  sim::AppSpec after_app = before_app;
+  // svc-b gets 5 ms slower in the "after" deployment.
+  after_app.services["svc-b"].handlers["/b"].anomaly = {1.0, Millis(5)};
+
+  auto before_spans = RunApp(before_app, 11);
+  auto after_spans = RunApp(after_app, 12);
+
+  TraceQuery before(before_spans, TrueParents(before_spans));
+  TraceQuery after(after_spans, TrueParents(after_spans));
+  const auto report = CompareServiceLatencies(before, before.traces(),
+                                              after, after.traces());
+
+  const auto regressions = report.Regressions(0.01, 1.0);
+  ASSERT_FALSE(regressions.empty());
+  EXPECT_EQ(regressions[0].service, "svc-b");
+  EXPECT_GT(regressions[0].delta_ms, 4.0);
+  EXPECT_GT(regressions[0].effect_size, 1.0);
+
+  // svc-c is untouched; it must not appear as a strong regression.
+  for (const auto& r : regressions) {
+    EXPECT_NE(r.service, "svc-c");
+  }
+}
+
+TEST(Regression, NoChangeYieldsNoRegressions) {
+  sim::AppSpec app = sim::MakeLinearChainApp();
+  auto a = RunApp(app, 21);
+  auto b = RunApp(app, 22);
+  TraceQuery qa(a, TrueParents(a));
+  TraceQuery qb(b, TrueParents(b));
+  const auto report =
+      CompareServiceLatencies(qa, qa.traces(), qb, qb.traces());
+  // With identical distributions, a strict alpha plus an effect floor must
+  // stay quiet.
+  EXPECT_TRUE(report.Regressions(0.001, 0.5).empty());
+}
+
+TEST(Regression, WorksOverReconstructedTraces) {
+  // The operational path: compare populations linked by TraceWeaver, not
+  // ground truth.
+  sim::AppSpec before_app = sim::MakeHotelReservationApp();
+  sim::AppSpec after_app = before_app;
+  after_app.services["profile"].handlers["/get_profiles"].anomaly = {
+      1.0, Millis(8)};
+
+  sim::IsolatedReplayOptions iso;
+  iso.requests_per_root = 15;
+  CallGraph graph =
+      InferCallGraph(sim::RunIsolatedReplay(before_app, iso).spans);
+  TraceWeaver weaver(graph);
+
+  auto before_spans = RunApp(before_app, 31);
+  auto after_spans = RunApp(after_app, 32);
+  TraceQuery before(before_spans,
+                    weaver.Reconstruct(before_spans).assignment);
+  TraceQuery after(after_spans, weaver.Reconstruct(after_spans).assignment);
+
+  const auto report = CompareServiceLatencies(before, before.traces(),
+                                              after, after.traces());
+  ASSERT_FALSE(report.shifts.empty());
+  EXPECT_EQ(report.shifts[0].service, "profile");
+  EXPECT_GT(report.shifts[0].delta_ms, 6.0);
+}
+
+TEST(Regression, HandlesDisjointServiceSets) {
+  // A service present only after the change (new dependency) must not
+  // crash the comparison.
+  std::vector<Span> empty;
+  sim::AppSpec app = sim::MakeLinearChainApp();
+  auto after_spans = RunApp(app, 41);
+  TraceQuery before(empty, {});
+  TraceQuery after(after_spans, TrueParents(after_spans));
+  const auto report = CompareServiceLatencies(before, before.traces(),
+                                              after, after.traces());
+  for (const auto& s : report.shifts) {
+    EXPECT_EQ(s.before_samples, 0u);
+    EXPECT_DOUBLE_EQ(s.p_value, 1.0);  // Nothing to test against.
+  }
+}
+
+}  // namespace
+}  // namespace traceweaver

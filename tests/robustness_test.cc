@@ -1,0 +1,163 @@
+// Robustness / fuzz-style tests: malformed and adversarial inputs must be
+// rejected or absorbed without crashes, and core invariants must hold on
+// random garbage.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "callgraph/serialization.h"
+#include "collector/capture.h"
+#include "core/trace_weaver.h"
+#include "test_helpers.h"
+#include "trace/jsonl_io.h"
+#include "util/rng.h"
+
+namespace traceweaver {
+namespace {
+
+std::string RandomLine(Rng& rng, std::size_t max_len) {
+  static const char kAlphabet[] =
+      "{}[]\",:0123456789abcdef_-/\\ \tspan_idcallertrue";
+  const std::size_t len =
+      static_cast<std::size_t>(rng.UniformInt(0, static_cast<long>(max_len)));
+  std::string out;
+  for (std::size_t i = 0; i < len; ++i) {
+    out += kAlphabet[rng.UniformInt(0, sizeof(kAlphabet) - 2)];
+  }
+  return out;
+}
+
+TEST(Fuzz, SpanFromJsonNeverCrashesOnGarbage) {
+  Rng rng(111);
+  for (int i = 0; i < 5000; ++i) {
+    const std::string line = RandomLine(rng, 120);
+    auto parsed = SpanFromJson(line);
+    if (parsed) {
+      // Whatever parsed must serialize back without crashing.
+      EXPECT_FALSE(SpanToJson(*parsed).empty());
+    }
+  }
+}
+
+TEST(Fuzz, MutatedValidSpanLinesParseOrReject) {
+  // Flip bytes in a valid line; parser must never crash and never produce
+  // a span whose string round trip crashes.
+  const Span valid = ::traceweaver::testing::MakeSpan(
+      42, "svc-a", "svc-b", "/endpoint", Millis(1), Millis(2));
+  const std::string base = SpanToJson(valid, true);
+  Rng rng(113);
+  for (int i = 0; i < 3000; ++i) {
+    std::string mutated = base;
+    const std::size_t n_flips =
+        static_cast<std::size_t>(rng.UniformInt(1, 5));
+    for (std::size_t f = 0; f < n_flips; ++f) {
+      const auto pos = static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<long>(mutated.size() - 1)));
+      mutated[pos] =
+          static_cast<char>(rng.UniformInt(32, 126));
+    }
+    auto parsed = SpanFromJson(mutated);
+    if (parsed) {
+      EXPECT_FALSE(SpanToJson(*parsed).empty());
+    }
+  }
+}
+
+TEST(Fuzz, CallGraphParserNeverCrashesOnGarbage) {
+  Rng rng(117);
+  for (int i = 0; i < 5000; ++i) {
+    ParseHandlerLine(RandomLine(rng, 100));
+  }
+  // Structured-ish garbage too.
+  for (const char* line :
+       {"a [", "a [] ->", "a [/x] -> {", "a [/x] -> {} {}",
+        "a [/x] -> {:/y}", "a [/x] -> {b:}", "[ ] -> { : }",
+        "a [/x] -> {b:/y || }", "a [/x] -> (leaf) {b:/y}"}) {
+    ParseHandlerLine(line);  // Must not crash; result may be anything.
+  }
+}
+
+TEST(Fuzz, AssemblerNeverCrashesOnRandomEventStreams) {
+  Rng rng(119);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<collector::NetEvent> events;
+    const int n = static_cast<int>(rng.UniformInt(0, 400));
+    for (int i = 0; i < n; ++i) {
+      collector::NetEvent e;
+      e.connection_id = static_cast<std::uint64_t>(rng.UniformInt(0, 10));
+      e.kind = rng.Bernoulli(0.5) ? collector::EventKind::kRequest
+                                  : collector::EventKind::kResponse;
+      e.vantage = rng.Bernoulli(0.5) ? collector::Vantage::kCallerSide
+                                     : collector::Vantage::kCalleeSide;
+      e.timestamp = rng.UniformInt(0, Millis(100));
+      e.src_service = "s" + std::to_string(rng.UniformInt(0, 3));
+      e.dst_service = "d" + std::to_string(rng.UniformInt(0, 3));
+      e.endpoint = "/e";
+      e.truth_span = static_cast<SpanId>(rng.UniformInt(1, 50));
+      events.push_back(std::move(e));
+    }
+    collector::AssemblyStats stats;
+    const auto spans = collector::AssembleSpans(std::move(events), &stats);
+    for (const Span& s : spans) {
+      EXPECT_TRUE(TimestampsConsistent(s));
+    }
+  }
+}
+
+TEST(Robustness, ReconstructionOnDegenerateInputs) {
+  CallGraph graph = ::traceweaver::testing::SimpleGraph();
+  TraceWeaver weaver(graph);
+
+  // Empty population.
+  EXPECT_TRUE(weaver.Reconstruct({}).assignment.empty());
+
+  // Children with no possible parents.
+  std::vector<Span> orphans{
+      ::traceweaver::testing::MakeSpan(1, "A", "B", "/b", 0, 100),
+      ::traceweaver::testing::MakeSpan(2, "A", "B", "/b", 200, 300),
+  };
+  auto out = weaver.Reconstruct(orphans);
+  for (const auto& [child, parent] : out.assignment) {
+    EXPECT_EQ(parent, kInvalidSpanId);
+  }
+
+  // Parents with empty pools (no outgoing spans at all).
+  std::vector<Span> lonely{
+      ::traceweaver::testing::MakeSpan(1, kClientCaller, "A", "/a", 0, 100),
+  };
+  auto out2 = weaver.Reconstruct(lonely);
+  EXPECT_EQ(out2.assignment.at(1), kInvalidSpanId);
+}
+
+TEST(Robustness, ZeroDurationSpansAreHandled) {
+  CallGraph graph = ::traceweaver::testing::SimpleGraph();
+  std::vector<Span> spans;
+  Span parent = ::traceweaver::testing::MakeSpan(
+      1, kClientCaller, "A", "/a", Millis(1), Millis(1));  // 0-duration.
+  Span child = ::traceweaver::testing::MakeSpan(2, "A", "B", "/b", Millis(1),
+                                                Millis(1), 0, 1);
+  spans.push_back(parent);
+  spans.push_back(child);
+  TraceWeaver weaver(graph);
+  auto out = weaver.Reconstruct(spans);  // Must not crash or hang.
+  EXPECT_EQ(out.assignment.size(), 2u);
+}
+
+TEST(Robustness, DuplicateSpanIdsDoNotCrash) {
+  CallGraph graph = ::traceweaver::testing::SimpleGraph();
+  std::vector<Span> spans{
+      ::traceweaver::testing::MakeSpan(1, kClientCaller, "A", "/a", 0,
+                                       Millis(10)),
+      ::traceweaver::testing::MakeSpan(1, kClientCaller, "A", "/a", 0,
+                                       Millis(10)),  // Same id!
+      ::traceweaver::testing::MakeSpan(2, "A", "B", "/b", Millis(1),
+                                       Millis(2), Micros(10), 1),
+  };
+  TraceWeaver weaver(graph);
+  auto out = weaver.Reconstruct(spans);
+  EXPECT_FALSE(out.assignment.empty());
+}
+
+}  // namespace
+}  // namespace traceweaver

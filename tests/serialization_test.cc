@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "callgraph/inference.h"
+#include "callgraph/serialization.h"
+#include "sim/apps.h"
+#include "sim/workload.h"
+
+namespace traceweaver {
+namespace {
+
+TEST(ParseHandlerLine, LeafHandler) {
+  auto parsed = ParseHandlerLine("svc [/ep] -> (leaf)");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->first.service, "svc");
+  EXPECT_EQ(parsed->first.endpoint, "/ep");
+  EXPECT_TRUE(parsed->second.Empty());
+}
+
+TEST(ParseHandlerLine, SequentialStages) {
+  auto parsed = ParseHandlerLine("a [/x] -> {b:/y} {c:/z}");
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->second.stages.size(), 2u);
+  EXPECT_EQ(parsed->second.stages[0].calls[0].service, "b");
+  EXPECT_EQ(parsed->second.stages[1].calls[0].endpoint, "/z");
+}
+
+TEST(ParseHandlerLine, ParallelCallsAndOptional) {
+  auto parsed = ParseHandlerLine("a [/x] -> {b:/y || c:/z?}");
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->second.stages.size(), 1u);
+  ASSERT_EQ(parsed->second.stages[0].calls.size(), 2u);
+  EXPECT_FALSE(parsed->second.stages[0].calls[0].optional);
+  EXPECT_TRUE(parsed->second.stages[0].calls[1].optional);
+}
+
+TEST(ParseHandlerLine, RejectsMalformed) {
+  EXPECT_FALSE(ParseHandlerLine("").has_value());
+  EXPECT_FALSE(ParseHandlerLine("no arrow here").has_value());
+  EXPECT_FALSE(ParseHandlerLine("svc -> {b:/y}").has_value());      // No [].
+  EXPECT_FALSE(ParseHandlerLine("svc [/e] -> {b}").has_value());    // No :.
+  EXPECT_FALSE(ParseHandlerLine("svc [/e] -> {b:/y").has_value());  // No }.
+  EXPECT_FALSE(ParseHandlerLine("[/e] -> {b:/y}").has_value());
+}
+
+TEST(CallGraphIo, RoundTripPreservesStructure) {
+  // Use the richest app's learned graph as the fixture.
+  sim::IsolatedReplayOptions iso;
+  iso.requests_per_root = 15;
+  CallGraph original = InferCallGraph(
+      sim::RunIsolatedReplay(sim::MakeMediaMicroservicesApp(), iso).spans);
+
+  std::stringstream buffer;
+  WriteCallGraph(buffer, original);
+  std::size_t dropped = 0;
+  CallGraph reloaded = ReadCallGraph(buffer, &dropped);
+  EXPECT_EQ(dropped, 0u);
+
+  ASSERT_EQ(reloaded.plans().size(), original.plans().size());
+  for (const auto& [key, plan] : original.plans()) {
+    const InvocationPlan* r = reloaded.PlanFor(key);
+    ASSERT_NE(r, nullptr) << key.service << key.endpoint;
+    ASSERT_EQ(r->stages.size(), plan.stages.size());
+    for (std::size_t s = 0; s < plan.stages.size(); ++s) {
+      ASSERT_EQ(r->stages[s].calls.size(), plan.stages[s].calls.size());
+      for (std::size_t c = 0; c < plan.stages[s].calls.size(); ++c) {
+        EXPECT_EQ(r->stages[s].calls[c], plan.stages[s].calls[c]);
+      }
+    }
+  }
+}
+
+TEST(CallGraphIo, SkipsCommentsAndBlankLines) {
+  std::stringstream in(
+      "# a comment\n"
+      "\n"
+      "a [/x] -> {b:/y}\n"
+      "garbage!!\n"
+      "b [/y] -> (leaf)\n");
+  std::size_t dropped = 0;
+  CallGraph graph = ReadCallGraph(in, &dropped);
+  EXPECT_EQ(dropped, 1u);
+  EXPECT_EQ(graph.plans().size(), 2u);
+  EXPECT_NE(graph.PlanFor({"a", "/x"}), nullptr);
+}
+
+}  // namespace
+}  // namespace traceweaver

@@ -1,0 +1,335 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "sim/alibaba.h"
+#include "sim/apps.h"
+#include "sim/des.h"
+#include "sim/simulator.h"
+#include "sim/workload.h"
+#include "trace/trace.h"
+
+namespace traceweaver::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(300, [&] { order.push_back(3); });
+  q.ScheduleAt(100, [&] { order.push_back(1); });
+  q.ScheduleAt(200, [&] { order.push_back(2); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 300);
+}
+
+TEST(EventQueue, TiesRunInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(100, [&] { order.push_back(1); });
+  q.ScheduleAt(100, [&] { order.push_back(2); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.ScheduleAt(10, [&] {
+    q.ScheduleAfter(5, [&] { ++fired; });
+  });
+  q.RunAll();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), 15);
+}
+
+TEST(EventQueue, RunUntilStopsAtDeadline) {
+  EventQueue q;
+  int fired = 0;
+  q.ScheduleAt(10, [&] { ++fired; });
+  q.ScheduleAt(100, [&] { ++fired; });
+  q.RunUntil(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, PastSchedulingClampsToNow) {
+  EventQueue q;
+  int fired = 0;
+  q.ScheduleAt(100, [&] {
+    q.ScheduleAt(10, [&] { ++fired; });  // In the past.
+  });
+  q.RunAll();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), 100);
+}
+
+TEST(DelaySpec, SamplesMatchKind) {
+  Rng rng(3);
+  EXPECT_EQ(DelaySpec::Constant(Millis(5)).Sample(rng), Millis(5));
+  for (int i = 0; i < 100; ++i) {
+    const auto u = DelaySpec::Uniform(10, 20).Sample(rng);
+    EXPECT_GE(u, 10);
+    EXPECT_LE(u, 20);
+    EXPECT_GE(DelaySpec::Exponential(Millis(1)).Sample(rng), 0);
+    EXPECT_GT(DelaySpec::LogNormal(Micros(100), 0.5).Sample(rng), 0);
+  }
+}
+
+TEST(Simulator, AllInjectedRequestsComplete) {
+  OpenLoopOptions load;
+  load.requests_per_sec = 100;
+  load.duration = Seconds(1);
+  auto result = RunOpenLoop(MakeLinearChainApp(), load);
+  std::size_t roots = 0;
+  for (const Span& s : result.spans) {
+    if (s.IsRoot()) ++roots;
+  }
+  EXPECT_EQ(roots, result.injected);
+}
+
+TEST(Simulator, TimestampsAlwaysConsistent) {
+  OpenLoopOptions load;
+  load.requests_per_sec = 400;
+  load.duration = Seconds(2);
+  auto result = RunOpenLoop(MakeHotelReservationApp(), load);
+  for (const Span& s : result.spans) {
+    EXPECT_TRUE(TimestampsConsistent(s)) << s.id;
+  }
+}
+
+TEST(Simulator, GroundTruthFormsValidTrees) {
+  OpenLoopOptions load;
+  load.requests_per_sec = 200;
+  load.duration = Seconds(2);
+  auto result = RunOpenLoop(MakeHotelReservationApp(), load);
+  TraceForest forest(result.spans, TrueParents(result.spans));
+  // Every root span is a tree root, every span appears exactly once.
+  std::size_t total = 0;
+  for (std::size_t r : forest.roots()) total += forest.SubtreeSize(r);
+  EXPECT_EQ(total, result.spans.size());
+
+  // Children are nested within their parents' processing windows.
+  std::map<SpanId, const Span*> by_id;
+  for (const Span& s : result.spans) by_id[s.id] = &s;
+  for (const Span& s : result.spans) {
+    if (s.true_parent == kInvalidSpanId) continue;
+    const Span* p = by_id.at(s.true_parent);
+    EXPECT_GE(s.client_send, p->server_recv);
+    EXPECT_LE(s.client_recv, p->server_send);
+    EXPECT_EQ(s.caller, p->callee);
+    EXPECT_EQ(s.caller_replica, p->callee_replica);
+  }
+}
+
+TEST(Simulator, ChildCountsMatchTopology) {
+  OpenLoopOptions load;
+  load.requests_per_sec = 100;
+  load.duration = Seconds(1);
+  auto result = RunOpenLoop(MakeLinearChainApp(), load);
+  // Each trace: root (svc-a) -> svc-b -> svc-c, 3 spans.
+  std::map<TraceId, std::size_t> sizes;
+  for (const Span& s : result.spans) ++sizes[s.true_trace];
+  for (const auto& [trace, n] : sizes) EXPECT_EQ(n, 3u);
+}
+
+TEST(Simulator, DeterministicGivenSeed) {
+  OpenLoopOptions load;
+  load.requests_per_sec = 150;
+  load.duration = Seconds(1);
+  auto a = RunOpenLoop(MakeHotelReservationApp(), load);
+  auto b = RunOpenLoop(MakeHotelReservationApp(), load);
+  ASSERT_EQ(a.spans.size(), b.spans.size());
+  for (std::size_t i = 0; i < a.spans.size(); ++i) {
+    EXPECT_EQ(a.spans[i].id, b.spans[i].id);
+    EXPECT_EQ(a.spans[i].client_send, b.spans[i].client_send);
+    EXPECT_EQ(a.spans[i].server_send, b.spans[i].server_send);
+  }
+}
+
+TEST(Simulator, ReplicasShareLoad) {
+  AppSpec app = MakeLinearChainApp();
+  app.services["svc-b"].replicas = 3;
+  OpenLoopOptions load;
+  load.requests_per_sec = 300;
+  load.duration = Seconds(1);
+  auto result = RunOpenLoop(app, load);
+  std::set<int> replicas;
+  for (const Span& s : result.spans) {
+    if (s.callee == "svc-b") replicas.insert(s.callee_replica);
+  }
+  EXPECT_EQ(replicas.size(), 3u);
+}
+
+TEST(Simulator, CacheSkipsSuppressCalls) {
+  AppSpec cached = MakeHotelReservationApp(/*search_cache_hit_prob=*/0.5);
+  OpenLoopOptions load;
+  load.requests_per_sec = 200;
+  load.duration = Seconds(3);
+  auto with_cache = RunOpenLoop(cached, load);
+  auto without = RunOpenLoop(MakeHotelReservationApp(0.0), load);
+
+  auto count_rate_calls = [](const SimResult& r) {
+    std::size_t n = 0;
+    for (const Span& s : r.spans) {
+      if (s.callee == "rate") ++n;
+    }
+    return n;
+  };
+  EXPECT_LT(count_rate_calls(with_cache),
+            count_rate_calls(without) * 7 / 10);
+}
+
+TEST(Simulator, AnomalyInjectionInflatesLatency) {
+  AppSpec app = MakeLinearChainApp();
+  AppSpec slow = app;
+  slow.services["svc-c"].handlers["/c"].anomaly = {1.0, Millis(40)};
+  OpenLoopOptions load;
+  load.requests_per_sec = 50;
+  load.duration = Seconds(1);
+  auto fast_spans = RunOpenLoop(app, load);
+  auto slow_spans = RunOpenLoop(slow, load);
+
+  auto mean_c = [](const SimResult& r) {
+    double total = 0;
+    std::size_t n = 0;
+    for (const Span& s : r.spans) {
+      if (s.callee == "svc-c") {
+        total += static_cast<double>(s.ServerDuration());
+        ++n;
+      }
+    }
+    return total / static_cast<double>(n);
+  };
+  EXPECT_GT(mean_c(slow_spans), mean_c(fast_spans) + Millis(30));
+}
+
+TEST(Simulator, ThreadPoolBoundsConcurrency) {
+  AppSpec app = MakeLinearChainApp();
+  app.services["svc-a"].worker_threads = 2;
+  OpenLoopOptions load;
+  load.requests_per_sec = 2000;  // Far above capacity.
+  load.duration = Millis(200);
+  auto result = RunOpenLoop(app, load);
+  // Count max overlap of svc-a processing windows.
+  std::vector<std::pair<TimeNs, int>> deltas;
+  for (const Span& s : result.spans) {
+    if (s.callee != "svc-a") continue;
+    deltas.push_back({s.server_recv, 1});
+    deltas.push_back({s.server_send, -1});
+  }
+  std::sort(deltas.begin(), deltas.end());
+  int cur = 0, peak = 0;
+  for (auto& [t, d] : deltas) {
+    cur += d;
+    peak = std::max(peak, cur);
+  }
+  EXPECT_LE(peak, 2);
+}
+
+TEST(Simulator, AsyncModelAllowsUnboundedConcurrency) {
+  AppSpec app = MakeAsyncIoApp(Millis(5), Millis(1));
+  OpenLoopOptions load;
+  load.requests_per_sec = 2000;
+  load.duration = Millis(200);
+  auto result = RunOpenLoop(app, load);
+  std::vector<std::pair<TimeNs, int>> deltas;
+  for (const Span& s : result.spans) {
+    if (s.callee != "frontend") continue;
+    deltas.push_back({s.server_recv, 1});
+    deltas.push_back({s.server_send, -1});
+  }
+  std::sort(deltas.begin(), deltas.end());
+  int cur = 0, peak = 0;
+  for (auto& [t, d] : deltas) {
+    cur += d;
+    peak = std::max(peak, cur);
+  }
+  EXPECT_GT(peak, 4);
+}
+
+TEST(IsolatedReplay, OneRequestInFlightAtATime) {
+  auto result = RunIsolatedReplay(MakeHotelReservationApp(), {});
+  std::vector<const Span*> roots;
+  for (const Span& s : result.spans) {
+    if (s.IsRoot()) roots.push_back(&s);
+  }
+  std::sort(roots.begin(), roots.end(), [](const Span* a, const Span* b) {
+    return a->server_recv < b->server_recv;
+  });
+  for (std::size_t i = 1; i < roots.size(); ++i) {
+    EXPECT_GE(roots[i]->server_recv, roots[i - 1]->server_send);
+  }
+}
+
+TEST(Alibaba, SynthesizesRequestedGraphCount) {
+  AlibabaOptions opts;
+  opts.num_graphs = 4;
+  opts.requests_per_graph = 30;
+  auto graphs = SynthesizeAlibaba(opts);
+  ASSERT_EQ(graphs.size(), 4u);
+  for (const auto& g : graphs) {
+    EXPECT_FALSE(g.baseline.spans.empty());
+    EXPECT_FALSE(g.app.roots.empty());
+  }
+}
+
+TEST(Alibaba, GraphsAreHeterogeneous) {
+  AlibabaOptions opts;
+  opts.num_graphs = 10;
+  opts.requests_per_graph = 10;
+  auto graphs = SynthesizeAlibaba(opts);
+  // Structure must differ across classes: service counts and per-trace
+  // span counts cannot all coincide.
+  std::set<std::pair<std::size_t, std::size_t>> shapes;
+  for (const auto& g : graphs) {
+    std::map<TraceId, std::size_t> sizes;
+    for (const Span& s : g.baseline.spans) ++sizes[s.true_trace];
+    shapes.insert({g.app.services.size(),
+                   sizes.empty() ? 0 : sizes.begin()->second});
+  }
+  EXPECT_GT(shapes.size(), 1u);
+}
+
+TEST(Alibaba, CompressLoadPreservesIntraTraceTiming) {
+  AlibabaOptions opts;
+  opts.num_graphs = 1;
+  opts.requests_per_graph = 50;
+  auto graphs = SynthesizeAlibaba(opts);
+  const auto& spans = graphs[0].baseline.spans;
+  auto compressed = CompressLoad(spans, 10.0);
+  ASSERT_EQ(compressed.size(), spans.size());
+
+  // Durations and within-trace offsets unchanged; total span reduced ~10x.
+  std::map<SpanId, const Span*> orig;
+  for (const Span& s : spans) orig[s.id] = &s;
+  for (const Span& s : compressed) {
+    const Span* o = orig.at(s.id);
+    EXPECT_EQ(s.ServerDuration(), o->ServerDuration());
+    EXPECT_EQ(s.ClientDuration(), o->ClientDuration());
+  }
+  auto extent = [](const std::vector<Span>& ss) {
+    TimeNs lo = ss.front().client_send, hi = ss.front().client_recv;
+    for (const Span& s : ss) {
+      lo = std::min(lo, s.client_send);
+      hi = std::max(hi, s.client_recv);
+    }
+    return hi - lo;
+  };
+  EXPECT_LT(extent(compressed), extent(spans) / 5);
+}
+
+TEST(Alibaba, CompressLoadIdentityAtOne) {
+  AlibabaOptions opts;
+  opts.num_graphs = 1;
+  opts.requests_per_graph = 10;
+  auto graphs = SynthesizeAlibaba(opts);
+  auto same = CompressLoad(graphs[0].baseline.spans, 1.0);
+  EXPECT_EQ(same.size(), graphs[0].baseline.spans.size());
+  EXPECT_EQ(same[0].client_send, graphs[0].baseline.spans[0].client_send);
+}
+
+}  // namespace
+}  // namespace traceweaver::sim

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/gaussian.h"
+#include "util/rng.h"
+
+namespace traceweaver {
+namespace {
+
+TEST(Gaussian, LogPdfMatchesClosedForm) {
+  Gaussian g{0.0, 1.0};
+  // Standard normal at 0: 1/sqrt(2*pi).
+  EXPECT_NEAR(g.Pdf(0.0), 0.3989422804, 1e-9);
+  EXPECT_NEAR(g.LogPdf(0.0), std::log(0.3989422804), 1e-9);
+  // Symmetry.
+  EXPECT_NEAR(g.Pdf(1.5), g.Pdf(-1.5), 1e-12);
+}
+
+TEST(Gaussian, LogPdfScalesWithStddev) {
+  Gaussian narrow{10.0, 1.0};
+  Gaussian wide{10.0, 100.0};
+  EXPECT_GT(narrow.LogPdf(10.0), wide.LogPdf(10.0));
+  EXPECT_LT(narrow.LogPdf(500.0), wide.LogPdf(500.0));
+}
+
+TEST(Gaussian, ZeroStddevIsFloored) {
+  Gaussian g{0.0, 0.0};
+  EXPECT_TRUE(std::isfinite(g.LogPdf(0.0)));
+  EXPECT_TRUE(std::isfinite(g.LogPdf(1.0)));
+}
+
+TEST(Gaussian, FitRecoversParameters) {
+  Rng rng(17);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) samples.push_back(rng.Normal(42.0, 7.0));
+  Gaussian g = Gaussian::Fit(samples);
+  EXPECT_NEAR(g.mean, 42.0, 0.3);
+  EXPECT_NEAR(g.stddev, 7.0, 0.3);
+}
+
+TEST(Gaussian, FitDegenerateInputs) {
+  EXPECT_DOUBLE_EQ(Gaussian::Fit({}).mean, 0.0);
+  Gaussian one = Gaussian::Fit({5.0});
+  EXPECT_DOUBLE_EQ(one.mean, 5.0);
+  EXPECT_GT(one.stddev, 0.0);
+}
+
+// The paper's seed estimator: the mean must be exact (difference of means)
+// even though the pairing is unknown; the stddev comes from bucketed means
+// scaled by sqrt(R) and should be in the right ballpark.
+TEST(GaussianSeed, MeanIsExactWithoutPairing) {
+  Rng rng(23);
+  std::vector<double> a, b;
+  double true_gap_total = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    const double arrival = i * 100.0 + rng.Uniform(0, 10);
+    const double gap = 50.0 + rng.Normal(0.0, 5.0);
+    a.push_back(arrival);
+    b.push_back(arrival + gap);
+    true_gap_total += gap;
+  }
+  Gaussian seed = Gaussian::SeedFromUnmatched(a, b, 10);
+  EXPECT_NEAR(seed.mean, true_gap_total / 1000.0, 1e-6);
+}
+
+TEST(GaussianSeed, StddevInRightBallpark) {
+  Rng rng(29);
+  std::vector<double> a, b;
+  for (int i = 0; i < 2000; ++i) {
+    const double arrival = i * 100.0;
+    a.push_back(arrival);
+    b.push_back(arrival + 500.0 + rng.Normal(0.0, 40.0));
+  }
+  Gaussian seed = Gaussian::SeedFromUnmatched(a, b, 10);
+  // The bucket estimator is approximate; accept a generous band.
+  EXPECT_GT(seed.stddev, 5.0);
+  EXPECT_LT(seed.stddev, 200.0);
+}
+
+TEST(GaussianSeed, DegenerateInputs) {
+  Gaussian seed = Gaussian::SeedFromUnmatched({1.0}, {2.0}, 10);
+  EXPECT_DOUBLE_EQ(seed.mean, 1.0);
+  EXPECT_GT(seed.stddev, 0.0);
+  Gaussian empty = Gaussian::SeedFromUnmatched({}, {}, 10);
+  EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+}
+
+class SeedBucketSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SeedBucketSweep, StddevStaysPositiveAcrossBucketCounts) {
+  Rng rng(31);
+  std::vector<double> a, b;
+  for (int i = 0; i < 500; ++i) {
+    a.push_back(i * 10.0);
+    b.push_back(i * 10.0 + rng.Uniform(5.0, 15.0));
+  }
+  Gaussian seed = Gaussian::SeedFromUnmatched(a, b, GetParam());
+  EXPECT_GT(seed.stddev, 0.0);
+  EXPECT_NEAR(seed.mean, 10.0, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Buckets, SeedBucketSweep,
+                         ::testing::Values(2, 5, 10, 50, 499));
+
+}  // namespace
+}  // namespace traceweaver

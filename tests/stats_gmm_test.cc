@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/gmm.h"
+#include "util/rng.h"
+
+namespace traceweaver {
+namespace {
+
+std::vector<double> TwoModeSample(std::size_t n, double m1, double s1,
+                                  double m2, double s2, double w1,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(rng.Bernoulli(w1) ? rng.Normal(m1, s1)
+                                    : rng.Normal(m2, s2));
+  }
+  return out;
+}
+
+TEST(Gmm, FromGaussianMatchesGaussian) {
+  Gaussian g{5.0, 2.0};
+  GaussianMixture m = GaussianMixture::FromGaussian(g);
+  EXPECT_EQ(m.num_components(), 1u);
+  for (double x : {-1.0, 0.0, 5.0, 11.0}) {
+    EXPECT_NEAR(m.LogPdf(x), g.LogPdf(x), 1e-9);
+  }
+}
+
+TEST(Gmm, PdfIntegratesToRoughlyOne) {
+  GaussianMixture m({{0.3, -5.0, 1.0}, {0.7, 5.0, 2.0}});
+  double integral = 0.0;
+  const double dx = 0.01;
+  for (double x = -20.0; x <= 20.0; x += dx) integral += m.Pdf(x) * dx;
+  EXPECT_NEAR(integral, 1.0, 0.01);
+}
+
+TEST(Gmm, EmRecoversPlantedMixture) {
+  auto samples = TwoModeSample(6000, 0.0, 1.0, 20.0, 2.0, 0.4, 37);
+  GaussianMixture m = FitGmm(samples, 2);
+  ASSERT_EQ(m.num_components(), 2u);
+  auto comps = m.components();
+  std::sort(comps.begin(), comps.end(),
+            [](const GmmComponent& a, const GmmComponent& b) {
+              return a.mean < b.mean;
+            });
+  EXPECT_NEAR(comps[0].mean, 0.0, 0.5);
+  EXPECT_NEAR(comps[1].mean, 20.0, 0.5);
+  EXPECT_NEAR(comps[0].weight, 0.4, 0.05);
+  EXPECT_NEAR(comps[1].weight, 0.6, 0.05);
+  EXPECT_NEAR(comps[0].stddev, 1.0, 0.3);
+  EXPECT_NEAR(comps[1].stddev, 2.0, 0.4);
+}
+
+TEST(Gmm, BicSweepPrefersTwoComponentsForBimodalData) {
+  auto samples = TwoModeSample(4000, 0.0, 1.0, 30.0, 1.0, 0.5, 41);
+  GmmFitOptions opts;
+  opts.max_components = 5;
+  GaussianMixture m = FitGmmBicSweep(samples, opts);
+  EXPECT_GE(m.num_components(), 2u);
+  // Density must be high near both modes.
+  EXPECT_GT(m.Pdf(0.0), 0.05);
+  EXPECT_GT(m.Pdf(30.0), 0.05);
+  EXPECT_LT(m.Pdf(15.0), 0.01);
+}
+
+TEST(Gmm, BicSweepPrefersOneComponentForUnimodalData) {
+  Rng rng(43);
+  std::vector<double> samples;
+  for (int i = 0; i < 3000; ++i) samples.push_back(rng.Normal(10.0, 2.0));
+  GmmFitOptions opts;
+  opts.max_components = 5;
+  GaussianMixture m = FitGmmBicSweep(samples, opts);
+  EXPECT_LE(m.num_components(), 2u);
+}
+
+TEST(Gmm, DegenerateInputs) {
+  GaussianMixture empty = FitGmm({}, 3);
+  EXPECT_TRUE(std::isfinite(empty.LogPdf(0.0)));
+
+  GaussianMixture one = FitGmm({7.0}, 3);
+  EXPECT_EQ(one.num_components(), 1u);
+  EXPECT_TRUE(std::isfinite(one.LogPdf(7.0)));
+
+  // All-identical samples must not produce NaNs.
+  GaussianMixture flat = FitGmm(std::vector<double>(100, 5.0), 3);
+  EXPECT_TRUE(std::isfinite(flat.LogPdf(5.0)));
+  EXPECT_TRUE(std::isfinite(flat.LogPdf(6.0)));
+}
+
+TEST(Gmm, LogLikelihoodImprovesWithBetterModel) {
+  auto samples = TwoModeSample(2000, 0.0, 1.0, 50.0, 1.0, 0.5, 47);
+  GaussianMixture one = FitGmm(samples, 1);
+  GaussianMixture two = FitGmm(samples, 2);
+  EXPECT_GT(two.LogLikelihood(samples), one.LogLikelihood(samples));
+}
+
+TEST(Gmm, BicPenalizesComplexity) {
+  Rng rng(53);
+  std::vector<double> samples;
+  for (int i = 0; i < 500; ++i) samples.push_back(rng.Normal(0.0, 1.0));
+  GaussianMixture one = FitGmm(samples, 1);
+  GaussianMixture five = FitGmm(samples, 5);
+  EXPECT_LT(one.Bic(samples), five.Bic(samples));
+}
+
+TEST(Gmm, FitIsDeterministicGivenSeed) {
+  auto samples = TwoModeSample(1000, 0.0, 1.0, 10.0, 1.0, 0.5, 59);
+  GmmFitOptions opts;
+  GaussianMixture a = FitGmm(samples, 3, opts);
+  GaussianMixture b = FitGmm(samples, 3, opts);
+  ASSERT_EQ(a.num_components(), b.num_components());
+  for (std::size_t i = 0; i < a.num_components(); ++i) {
+    EXPECT_DOUBLE_EQ(a.components()[i].mean, b.components()[i].mean);
+    EXPECT_DOUBLE_EQ(a.components()[i].stddev, b.components()[i].stddev);
+  }
+}
+
+class GmmComponentSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GmmComponentSweep, FitStaysFiniteAcrossComponentCounts) {
+  auto samples = TwoModeSample(800, 0.0, 1.0, 15.0, 3.0, 0.3, 61);
+  GaussianMixture m = FitGmm(samples, GetParam());
+  for (double x : {-5.0, 0.0, 7.5, 15.0, 30.0}) {
+    EXPECT_TRUE(std::isfinite(m.LogPdf(x))) << "x=" << x;
+  }
+  double total = 0.0;
+  for (const auto& c : m.components()) total += c.weight;
+  EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Components, GmmComponentSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 20));
+
+}  // namespace
+}  // namespace traceweaver

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "stats/pearson.h"
+#include "stats/water_filling.h"
+#include "util/rng.h"
+
+namespace traceweaver {
+namespace {
+
+TEST(Pearson, PerfectPositiveCorrelation) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {2, 4, 6, 8}), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectNegativeCorrelation) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {8, 6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(Pearson, IndependentSeriesNearZero) {
+  Rng rng(79);
+  std::vector<double> x, y;
+  for (int i = 0; i < 5000; ++i) {
+    x.push_back(rng.Normal(0, 1));
+    y.push_back(rng.Normal(0, 1));
+  }
+  EXPECT_NEAR(PearsonCorrelation(x, y), 0.0, 0.05);
+}
+
+TEST(Pearson, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1.0}, {2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(Pearson, KnownValue) {
+  // Computed by hand / numpy.corrcoef.
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4, 5}, {2, 1, 4, 3, 5}), 0.8,
+              1e-12);
+}
+
+TEST(WaterFill, RespectsQuotas) {
+  auto alloc = WaterFill(100, {3, 5, 2});
+  EXPECT_LE(alloc[0], 3u);
+  EXPECT_LE(alloc[1], 5u);
+  EXPECT_LE(alloc[2], 2u);
+  EXPECT_EQ(alloc[0] + alloc[1] + alloc[2], 10u);  // Saturated.
+}
+
+TEST(WaterFill, ExhaustsBudgetWhenQuotasAllow) {
+  auto alloc = WaterFill(7, {10, 10});
+  EXPECT_EQ(alloc[0] + alloc[1], 7u);
+}
+
+TEST(WaterFill, PrioritizesNeediestBatch) {
+  auto alloc = WaterFill(4, {10, 2, 1});
+  // The first units go to the batch with the largest remaining need.
+  EXPECT_GE(alloc[0], alloc[1]);
+  EXPECT_GE(alloc[1], alloc[2]);
+  EXPECT_EQ(alloc[0] + alloc[1] + alloc[2], 4u);
+}
+
+TEST(WaterFill, EqualQuotasSplitEvenly) {
+  auto alloc = WaterFill(9, {5, 5, 5});
+  EXPECT_EQ(std::accumulate(alloc.begin(), alloc.end(), 0u), 9u);
+  for (std::size_t a : alloc) EXPECT_NEAR(static_cast<double>(a), 3.0, 1.0);
+}
+
+TEST(WaterFill, DegenerateInputs) {
+  EXPECT_TRUE(WaterFill(5, {}).empty());
+  auto zero = WaterFill(0, {3, 3});
+  EXPECT_EQ(zero[0] + zero[1], 0u);
+  auto no_quota = WaterFill(5, {0, 0});
+  EXPECT_EQ(no_quota[0] + no_quota[1], 0u);
+}
+
+class WaterFillProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(WaterFillProperty, AllocationIsFeasibleAndMaximal) {
+  const auto [budget, seed] = GetParam();
+  Rng rng(seed);
+  std::vector<std::size_t> quotas;
+  for (int i = 0; i < 20; ++i) {
+    quotas.push_back(static_cast<std::size_t>(rng.UniformInt(0, 15)));
+  }
+  const auto alloc = WaterFill(budget, quotas);
+  ASSERT_EQ(alloc.size(), quotas.size());
+  std::size_t total = 0, quota_total = 0;
+  for (std::size_t i = 0; i < alloc.size(); ++i) {
+    EXPECT_LE(alloc[i], quotas[i]);
+    total += alloc[i];
+    quota_total += quotas[i];
+  }
+  EXPECT_EQ(total, std::min(budget, quota_total));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WaterFillProperty,
+    ::testing::Combine(::testing::Values(0, 1, 10, 50, 500),
+                       ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace traceweaver

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/ttest.h"
+#include "util/rng.h"
+
+namespace traceweaver {
+namespace {
+
+TEST(IncompleteBeta, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBeta, KnownValues) {
+  // I_x(1, 1) = x (uniform CDF).
+  EXPECT_NEAR(RegularizedIncompleteBeta(1.0, 1.0, 0.3), 0.3, 1e-10);
+  // I_x(1, b) = 1 - (1-x)^b.
+  EXPECT_NEAR(RegularizedIncompleteBeta(1.0, 4.0, 0.5),
+              1.0 - std::pow(0.5, 4.0), 1e-10);
+  // Symmetry: I_x(a, b) = 1 - I_{1-x}(b, a).
+  EXPECT_NEAR(RegularizedIncompleteBeta(2.5, 3.5, 0.4),
+              1.0 - RegularizedIncompleteBeta(3.5, 2.5, 0.6), 1e-10);
+}
+
+TEST(StudentT, ReferencePValues) {
+  // Reference two-sided p-values (scipy.stats.t.sf(t, df)*2).
+  EXPECT_NEAR(StudentTTwoSidedPValue(2.0, 10.0), 0.07338, 1e-4);
+  EXPECT_NEAR(StudentTTwoSidedPValue(1.0, 30.0), 0.32533, 1e-4);
+  EXPECT_NEAR(StudentTTwoSidedPValue(3.0, 5.0), 0.03009, 1e-4);
+  EXPECT_NEAR(StudentTTwoSidedPValue(0.0, 20.0), 1.0, 1e-10);
+}
+
+TEST(StudentT, SymmetricInT) {
+  EXPECT_DOUBLE_EQ(StudentTTwoSidedPValue(2.5, 12.0),
+                   StudentTTwoSidedPValue(-2.5, 12.0));
+}
+
+TEST(WelchTTest, IdenticalSamplesHaveHighP) {
+  std::vector<double> a{1.0, 2.0, 3.0, 4.0, 5.0};
+  TTestResult r = WelchTTest(a, a);
+  EXPECT_NEAR(r.t_statistic, 0.0, 1e-12);
+  EXPECT_GT(r.p_value, 0.99);
+}
+
+TEST(WelchTTest, ClearlyDifferentMeansHaveLowP) {
+  Rng rng(67);
+  std::vector<double> a, b;
+  for (int i = 0; i < 200; ++i) {
+    a.push_back(rng.Normal(0.0, 1.0));
+    b.push_back(rng.Normal(1.0, 1.0));
+  }
+  TTestResult r = WelchTTest(a, b);
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(WelchTTest, SmallOverlapIsInconclusive) {
+  Rng rng(71);
+  std::vector<double> a, b;
+  for (int i = 0; i < 10; ++i) {
+    a.push_back(rng.Normal(0.0, 5.0));
+    b.push_back(rng.Normal(0.3, 5.0));
+  }
+  TTestResult r = WelchTTest(a, b);
+  EXPECT_GT(r.p_value, 0.05);
+}
+
+TEST(WelchTTest, ReferenceValue) {
+  // scipy.stats.ttest_ind([1,2,3,4,5],[3,4,5,6,7], equal_var=False)
+  // -> t = -2.0, df = 8, p = 0.0805.
+  std::vector<double> a{1, 2, 3, 4, 5};
+  std::vector<double> b{3, 4, 5, 6, 7};
+  TTestResult r = WelchTTest(a, b);
+  EXPECT_NEAR(r.t_statistic, -2.0, 0.01);
+  EXPECT_NEAR(r.degrees_of_freedom, 8.0, 0.01);
+  EXPECT_NEAR(r.p_value, 0.0805, 1e-3);
+}
+
+TEST(WelchTTest, TooSmallSamplesReturnPOne) {
+  EXPECT_DOUBLE_EQ(WelchTTest({1.0}, {2.0, 3.0}).p_value, 1.0);
+  EXPECT_DOUBLE_EQ(WelchTTest({}, {}).p_value, 1.0);
+}
+
+TEST(WelchTTest, ZeroVarianceHandled) {
+  TTestResult same = WelchTTest({2.0, 2.0, 2.0}, {2.0, 2.0});
+  EXPECT_DOUBLE_EQ(same.p_value, 1.0);
+  TTestResult diff = WelchTTest({2.0, 2.0, 2.0}, {3.0, 3.0});
+  EXPECT_DOUBLE_EQ(diff.p_value, 0.0);
+}
+
+TEST(WelchTTest, MorePowerWithMoreSamples) {
+  Rng rng(73);
+  std::vector<double> a_small, b_small, a_big, b_big;
+  for (int i = 0; i < 20; ++i) {
+    a_small.push_back(rng.Normal(0.0, 2.0));
+    b_small.push_back(rng.Normal(0.5, 2.0));
+  }
+  for (int i = 0; i < 2000; ++i) {
+    a_big.push_back(rng.Normal(0.0, 2.0));
+    b_big.push_back(rng.Normal(0.5, 2.0));
+  }
+  EXPECT_LT(WelchTTest(a_big, b_big).p_value,
+            WelchTTest(a_small, b_small).p_value);
+}
+
+}  // namespace
+}  // namespace traceweaver

@@ -1,0 +1,75 @@
+// Shared helpers for the test suite: terse span construction and small
+// canned call graphs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "callgraph/call_graph.h"
+#include "trace/span.h"
+
+namespace traceweaver::testing {
+
+/// Builds a span with callee-side window [recv, send] and caller-side
+/// window padded by `net` on each side.
+inline Span MakeSpan(SpanId id, const std::string& caller,
+                     const std::string& callee, const std::string& endpoint,
+                     TimeNs recv, TimeNs send, DurationNs net = Micros(100),
+                     SpanId true_parent = kInvalidSpanId,
+                     TraceId trace = kInvalidTraceId) {
+  Span s;
+  s.id = id;
+  s.caller = caller;
+  s.callee = callee;
+  s.endpoint = endpoint;
+  s.client_send = recv - net;
+  s.server_recv = recv;
+  s.server_send = send;
+  s.client_recv = send + net;
+  s.true_parent = true_parent;
+  s.true_trace = trace;
+  return s;
+}
+
+/// A -> B call graph: one handler "/a" on service "A" calling B:/b.
+inline CallGraph SimpleGraph() {
+  CallGraph g;
+  InvocationPlan plan;
+  Stage st;
+  st.calls.push_back(BackendCall{"B", "/b", false});
+  plan.stages.push_back(st);
+  g.SetPlan(HandlerKey{"A", "/a"}, plan);
+  g.SetPlan(HandlerKey{"B", "/b"}, InvocationPlan{});
+  return g;
+}
+
+/// A calls B then C sequentially.
+inline CallGraph SequentialGraph() {
+  CallGraph g;
+  InvocationPlan plan;
+  Stage s1, s2;
+  s1.calls.push_back(BackendCall{"B", "/b", false});
+  s2.calls.push_back(BackendCall{"C", "/c", false});
+  plan.stages.push_back(s1);
+  plan.stages.push_back(s2);
+  g.SetPlan(HandlerKey{"A", "/a"}, plan);
+  g.SetPlan(HandlerKey{"B", "/b"}, InvocationPlan{});
+  g.SetPlan(HandlerKey{"C", "/c"}, InvocationPlan{});
+  return g;
+}
+
+/// A calls B and C in parallel.
+inline CallGraph ParallelGraph() {
+  CallGraph g;
+  InvocationPlan plan;
+  Stage st;
+  st.calls.push_back(BackendCall{"B", "/b", false});
+  st.calls.push_back(BackendCall{"C", "/c", false});
+  plan.stages.push_back(st);
+  g.SetPlan(HandlerKey{"A", "/a"}, plan);
+  g.SetPlan(HandlerKey{"B", "/b"}, InvocationPlan{});
+  g.SetPlan(HandlerKey{"C", "/c"}, InvocationPlan{});
+  return g;
+}
+
+}  // namespace traceweaver::testing

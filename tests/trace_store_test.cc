@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+#include "trace/trace_store.h"
+
+namespace traceweaver {
+namespace {
+
+using ::traceweaver::testing::MakeSpan;
+
+std::vector<Span> Population() {
+  std::vector<Span> spans{
+      MakeSpan(1, kClientCaller, "A", "/a", 0, 1000),
+      MakeSpan(2, "A", "B", "/b", 100, 300),
+      MakeSpan(3, "A", "B", "/b", 400, 600),
+      MakeSpan(4, "A", "C", "/c", 650, 900),
+      MakeSpan(5, "B", "D", "/d", 150, 250),
+  };
+  return spans;
+}
+
+TEST(SpanStore, ContainersListsCallees) {
+  SpanStore store(Population());
+  auto containers = store.Containers();
+  // Callee services: A, B (x2 spans, same replica), C, D.
+  ASSERT_EQ(containers.size(), 4u);
+  EXPECT_EQ(containers[0].service, "A");
+  EXPECT_EQ(containers[3].service, "D");
+}
+
+TEST(SpanStore, ViewSeparatesIncomingAndOutgoing) {
+  SpanStore store(Population());
+  ContainerView view = store.ViewOf({"A", 0});
+  ASSERT_EQ(view.incoming.size(), 1u);
+  EXPECT_EQ(view.incoming[0]->id, 1u);
+  ASSERT_EQ(view.outgoing_by_callee.size(), 2u);
+  EXPECT_EQ(view.outgoing_by_callee.at("B").size(), 2u);
+  EXPECT_EQ(view.outgoing_by_callee.at("C").size(), 1u);
+}
+
+TEST(SpanStore, ViewSortsIncomingByStart) {
+  std::vector<Span> spans{
+      MakeSpan(1, "x", "S", "/s", 500, 600),
+      MakeSpan(2, "x", "S", "/s", 100, 200),
+      MakeSpan(3, "x", "S", "/s", 300, 400),
+  };
+  SpanStore store(std::move(spans));
+  ContainerView view = store.ViewOf({"S", 0});
+  ASSERT_EQ(view.incoming.size(), 3u);
+  EXPECT_EQ(view.incoming[0]->id, 2u);
+  EXPECT_EQ(view.incoming[1]->id, 3u);
+  EXPECT_EQ(view.incoming[2]->id, 1u);
+}
+
+TEST(SpanStore, ViewSortsOutgoingBySendTime) {
+  std::vector<Span> spans{
+      MakeSpan(1, "S", "B", "/b", 500, 600),
+      MakeSpan(2, "S", "B", "/b", 100, 200),
+  };
+  SpanStore store(std::move(spans));
+  ContainerView view = store.ViewOf({"S", 0});
+  auto& outgoing = view.outgoing_by_callee.at("B");
+  ASSERT_EQ(outgoing.size(), 2u);
+  EXPECT_LT(outgoing[0]->client_send, outgoing[1]->client_send);
+}
+
+TEST(SpanStore, ReplicasAreSeparateContainers) {
+  std::vector<Span> spans;
+  Span a = MakeSpan(1, "x", "S", "/s", 0, 100);
+  a.callee_replica = 0;
+  Span b = MakeSpan(2, "x", "S", "/s", 0, 100);
+  b.callee_replica = 1;
+  spans.push_back(a);
+  spans.push_back(b);
+  SpanStore store(std::move(spans));
+  EXPECT_EQ(store.Containers().size(), 2u);
+  EXPECT_EQ(store.ViewOf({"S", 0}).incoming.size(), 1u);
+  EXPECT_EQ(store.ViewOf({"S", 1}).incoming.size(), 1u);
+}
+
+TEST(SpanStore, OutgoingFilteredByCallerReplica) {
+  std::vector<Span> spans;
+  Span a = MakeSpan(1, "S", "B", "/b", 0, 100);
+  a.caller_replica = 0;
+  Span b = MakeSpan(2, "S", "B", "/b", 0, 100);
+  b.caller_replica = 1;
+  spans.push_back(a);
+  spans.push_back(b);
+  SpanStore store(std::move(spans));
+  ContainerView v0 = store.ViewOf({"S", 0});
+  ASSERT_EQ(v0.outgoing_by_callee.at("B").size(), 1u);
+  EXPECT_EQ(v0.outgoing_by_callee.at("B")[0]->id, 1u);
+}
+
+TEST(SpanStore, FindById) {
+  SpanStore store(Population());
+  ASSERT_NE(store.Find(4), nullptr);
+  EXPECT_EQ(store.Find(4)->callee, "C");
+  EXPECT_EQ(store.Find(999), nullptr);
+}
+
+TEST(SpanStore, AddAppends) {
+  SpanStore store;
+  store.Add(MakeSpan(1, "x", "S", "/s", 0, 10));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_NE(store.Find(1), nullptr);
+}
+
+}  // namespace
+}  // namespace traceweaver

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.h"
+#include "util/summary.h"
+#include "util/table.h"
+#include "util/time_types.h"
+
+namespace traceweaver {
+namespace {
+
+TEST(TimeTypes, UnitConversions) {
+  EXPECT_EQ(Micros(1), 1'000);
+  EXPECT_EQ(Millis(1), 1'000'000);
+  EXPECT_EQ(Seconds(1), 1'000'000'000);
+  EXPECT_DOUBLE_EQ(ToMillis(Millis(2.5)), 2.5);
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(0.25)), 0.25);
+  EXPECT_DOUBLE_EQ(ToMicros(Micros(7)), 7.0);
+}
+
+TEST(TimeTypes, FormatDurationPicksUnit) {
+  EXPECT_EQ(FormatDuration(Seconds(1.5)), "1.500s");
+  EXPECT_EQ(FormatDuration(Millis(2)), "2.000ms");
+  EXPECT_EQ(FormatDuration(Micros(3)), "3.000us");
+  EXPECT_EQ(FormatDuration(42), "42ns");
+}
+
+TEST(TimeTypes, FormatDurationNegative) {
+  EXPECT_EQ(FormatDuration(-Millis(2)), "-2.000ms");
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1'000'000), b.UniformInt(0, 1'000'000));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.UniformInt(0, 1'000'000) == b.UniformInt(0, 1'000'000)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, NormalDurationRespectsFloor) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.NormalDuration(0, Millis(10), Micros(5)), Micros(5));
+  }
+}
+
+TEST(Rng, PoissonGapMeanIsRoughlyInverseRate) {
+  Rng rng(11);
+  double total = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    total += static_cast<double>(rng.PoissonGap(100.0));
+  }
+  const double mean_sec = total / kN / static_cast<double>(kNsPerSec);
+  EXPECT_NEAR(mean_sec, 0.01, 0.001);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(13);
+  std::vector<double> w{1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 4000; ++i) ++counts[rng.WeightedIndex(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_GT(counts[2], counts[0]);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.Fork();
+  // The fork must not replay the parent's stream.
+  Rng b(5);
+  b.Fork();
+  EXPECT_EQ(a.UniformInt(0, 1 << 30), b.UniformInt(0, 1 << 30));
+  (void)child;
+}
+
+TEST(Summary, BasicStats) {
+  Summary s({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.Median(), 3.0);
+  EXPECT_NEAR(s.stddev(), 1.5811, 1e-3);
+}
+
+TEST(Summary, PercentileInterpolates) {
+  Summary s({0.0, 10.0});
+  EXPECT_DOUBLE_EQ(s.Percentile(50.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(25.0), 2.5);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100.0), 10.0);
+}
+
+TEST(Summary, EmptyIsAllZero) {
+  Summary s({});
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(99.0), 0.0);
+}
+
+TEST(Summary, SingleElement) {
+  Summary s({42.0});
+  EXPECT_DOUBLE_EQ(s.Percentile(1.0), 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(SummaryHelpers, MeanAndStddev) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({2.0, 4.0}), 3.0);
+  EXPECT_DOUBLE_EQ(SampleStddev({5.0}), 0.0);
+  EXPECT_NEAR(SampleStddev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}),
+              2.138, 1e-3);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t;
+  t.SetHeader({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"long-name", "2"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  // Each data row ends without trailing spaces.
+  EXPECT_EQ(out.find(" \n"), std::string::npos);
+}
+
+TEST(TextTable, FmtHelpers) {
+  EXPECT_EQ(Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(FmtPct(0.931, 1), "93.1%");
+  EXPECT_EQ(FmtPct(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace traceweaver

@@ -1,0 +1,201 @@
+// traceweaver — command-line driver for the span-ingestion workflow (§5.3
+// offline mode).
+//
+//   traceweaver simulate <app> <rps> <seconds> [seed]   spans JSONL -> stdout
+//   traceweaver replay <app> [requests_per_root]        isolated-replay spans
+//   traceweaver infer-graph <spans.jsonl>               call graph -> stdout
+//   traceweaver reconstruct <graph.txt> <spans.jsonl>   assignment JSONL
+//   traceweaver evaluate <graph.txt> <spans.jsonl>      accuracy vs ground
+//                                                       truth in the file
+//   traceweaver export-jaeger <graph.txt> <spans.jsonl> Jaeger UI JSON
+//
+// Apps: hotel | media | nodejs | chain | ab. Spans JSONL written by
+// `simulate`/`replay` carries ground truth so `evaluate` can score
+// reconstructions; `reconstruct` never reads those fields.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "callgraph/inference.h"
+#include "callgraph/serialization.h"
+#include "collector/capture.h"
+#include "core/accuracy.h"
+#include "core/trace_weaver.h"
+#include "trace/jaeger_export.h"
+#include "sim/apps.h"
+#include "sim/workload.h"
+#include "trace/jsonl_io.h"
+
+namespace {
+
+using namespace traceweaver;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  traceweaver simulate <hotel|media|nodejs|chain|ab> <rps> "
+      "<seconds> [seed]\n"
+      "  traceweaver replay <hotel|media|nodejs|chain|ab> "
+      "[requests_per_root]\n"
+      "  traceweaver infer-graph <spans.jsonl>\n"
+      "  traceweaver reconstruct <graph.txt> <spans.jsonl>\n"
+      "  traceweaver evaluate <graph.txt> <spans.jsonl>\n"
+      "  traceweaver export-jaeger <graph.txt> <spans.jsonl>\n");
+  return 2;
+}
+
+std::optional<sim::AppSpec> AppByName(const std::string& name) {
+  if (name == "hotel") return sim::MakeHotelReservationApp();
+  if (name == "media") return sim::MakeMediaMicroservicesApp();
+  if (name == "nodejs") return sim::MakeNodejsApp();
+  if (name == "chain") return sim::MakeLinearChainApp();
+  if (name == "ab") return sim::MakeAbTestApp(0.05);
+  return std::nullopt;
+}
+
+std::optional<std::vector<Span>> LoadSpans(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open spans file: %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::size_t dropped = 0;
+  auto spans = ReadSpansJsonl(in, &dropped);
+  if (dropped > 0) {
+    std::fprintf(stderr, "warning: %zu malformed span lines skipped\n",
+                 dropped);
+  }
+  return spans;
+}
+
+std::optional<CallGraph> LoadGraph(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open call-graph file: %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::size_t dropped = 0;
+  CallGraph graph = ReadCallGraph(in, &dropped);
+  if (dropped > 0) {
+    std::fprintf(stderr, "warning: %zu malformed graph lines skipped\n",
+                 dropped);
+  }
+  return graph;
+}
+
+int CmdSimulate(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  auto app = AppByName(argv[1]);
+  if (!app) return Usage();
+  sim::OpenLoopOptions load;
+  load.requests_per_sec = std::atof(argv[2]);
+  load.duration = Seconds(std::atof(argv[3]));
+  load.seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 31;
+  if (load.requests_per_sec <= 0 || load.duration <= 0) return Usage();
+
+  const auto spans =
+      collector::CaptureRoundTrip(sim::RunOpenLoop(*app, load).spans);
+  WriteSpansJsonl(std::cout, spans, /*include_ground_truth=*/true);
+  std::fprintf(stderr, "%zu spans\n", spans.size());
+  return 0;
+}
+
+int CmdReplay(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  auto app = AppByName(argv[1]);
+  if (!app) return Usage();
+  sim::IsolatedReplayOptions options;
+  if (argc > 2) {
+    options.requests_per_root =
+        static_cast<std::size_t>(std::strtoull(argv[2], nullptr, 10));
+  }
+  const auto spans =
+      collector::CaptureRoundTrip(sim::RunIsolatedReplay(*app, options).spans);
+  WriteSpansJsonl(std::cout, spans, /*include_ground_truth=*/true);
+  std::fprintf(stderr, "%zu spans\n", spans.size());
+  return 0;
+}
+
+int CmdInferGraph(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  auto spans = LoadSpans(argv[1]);
+  if (!spans) return 1;
+  const CallGraph graph = InferCallGraph(*spans);
+  WriteCallGraph(std::cout, graph);
+  return 0;
+}
+
+int CmdReconstruct(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  auto graph = LoadGraph(argv[1]);
+  auto spans = LoadSpans(argv[2]);
+  if (!graph || !spans) return 1;
+
+  TraceWeaver weaver(*graph);
+  const TraceWeaverOutput out = weaver.Reconstruct(*spans);
+  std::size_t mapped = 0;
+  for (const Span& s : *spans) {
+    auto it = out.assignment.find(s.id);
+    const SpanId parent =
+        it == out.assignment.end() ? kInvalidSpanId : it->second;
+    std::printf("{\"span\":%llu,\"parent\":%llu}\n",
+                static_cast<unsigned long long>(s.id),
+                static_cast<unsigned long long>(parent));
+    if (parent != kInvalidSpanId) ++mapped;
+  }
+  std::fprintf(stderr, "%zu of %zu spans mapped to a parent\n", mapped,
+               spans->size());
+  return 0;
+}
+
+int CmdExportJaeger(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  auto graph = LoadGraph(argv[1]);
+  auto spans = LoadSpans(argv[2]);
+  if (!graph || !spans) return 1;
+  TraceWeaver weaver(*graph);
+  const TraceWeaverOutput out = weaver.Reconstruct(*spans);
+  std::cout << TracesToJaegerJson(*spans, out.assignment) << '\n';
+  return 0;
+}
+
+int CmdEvaluate(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  auto graph = LoadGraph(argv[1]);
+  auto spans = LoadSpans(argv[2]);
+  if (!graph || !spans) return 1;
+
+  TraceWeaver weaver(*graph);
+  const TraceWeaverOutput out = weaver.Reconstruct(*spans);
+  const AccuracyReport report = Evaluate(*spans, out.assignment);
+  std::printf("spans:   %zu considered, %zu correct (%.2f%%)\n",
+              report.spans_considered, report.spans_correct,
+              report.SpanAccuracy() * 100.0);
+  std::printf("traces:  %zu considered, %zu fully correct (%.2f%%)\n",
+              report.traces_considered, report.traces_correct,
+              report.TraceAccuracy() * 100.0);
+  std::printf("top-5 end-to-end: %.2f%%\n",
+              TopKTraceAccuracy(*spans, out, 5) * 100.0);
+  std::printf("per-service confidence:\n");
+  for (const auto& [service, confidence] : out.ConfidenceByService()) {
+    std::printf("  %-24s %.1f%%\n", service.c_str(), confidence * 100.0);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  if (cmd == "simulate") return CmdSimulate(argc - 1, argv + 1);
+  if (cmd == "replay") return CmdReplay(argc - 1, argv + 1);
+  if (cmd == "infer-graph") return CmdInferGraph(argc - 1, argv + 1);
+  if (cmd == "reconstruct") return CmdReconstruct(argc - 1, argv + 1);
+  if (cmd == "evaluate") return CmdEvaluate(argc - 1, argv + 1);
+  if (cmd == "export-jaeger") return CmdExportJaeger(argc - 1, argv + 1);
+  return Usage();
+}

@@ -3,7 +3,15 @@
 // mapping 1000 spans in under 5 seconds (~200 RPS per container); this
 // binary measures end-to-end reconstruction throughput plus the major
 // stages (enumeration+ranking via single iteration, GMM fitting, MWIS).
+//
+// After the microbenchmarks, main() runs a hand-timed thread sweep of the
+// parallel reconstruction pipeline over the multi-container hotel workload
+// and writes the results to BENCH_perf.json (see WriteBenchJson).
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <limits>
 
 #include "callgraph/inference.h"
 #include "common.h"
@@ -119,7 +127,81 @@ void BM_CallGraphInference(benchmark::State& state) {
 BENCHMARK(BM_CallGraphInference)->Arg(10)->Arg(40)
     ->Unit(benchmark::kMillisecond);
 
+/// Best-of-`reps` wall time of one call per rep, in seconds.
+template <typename Fn>
+double BestOfSeconds(int reps, Fn&& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+/// Hand-timed sweep: full reconstruction of the multi-container hotel
+/// workload at 1, 2, 4 and 8 threads plus the single-iteration
+/// (enumeration+ranking+solving) configuration, recorded to
+/// BENCH_perf.json. The parallel pipeline is bit-deterministic, so every
+/// thread count must reproduce the serial assignment exactly -- verified
+/// here on the fly.
+void RunThreadSweep() {
+  const Dataset& data = HotelDataset(600);
+  std::vector<BenchRecord> records;
+  const auto record = [&](const std::string& name, std::size_t threads,
+                          double secs) {
+    BenchRecord r;
+    r.name = name;
+    r.threads = threads;
+    r.spans = data.spans.size();
+    r.ns_per_span = secs * 1e9 / static_cast<double>(data.spans.size());
+    r.spans_per_sec = static_cast<double>(data.spans.size()) / secs;
+    records.push_back(r);
+    std::printf("%-24s threads=%zu  %8.1f ns/span  %10.0f spans/s\n",
+                name.c_str(), threads, records.back().ns_per_span,
+                records.back().spans_per_sec);
+  };
+
+  ParentAssignment serial;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}, std::size_t{8}}) {
+    TraceWeaverOptions opts;
+    opts.num_threads = threads;
+    TraceWeaver weaver(data.graph, opts);
+    ParentAssignment got;
+    const double secs =
+        BestOfSeconds(3, [&] { got = weaver.Reconstruct(data.spans).assignment; });
+    if (threads == 1) {
+      serial = got;
+    } else if (got != serial) {
+      std::fprintf(stderr,
+                   "FATAL: %zu-thread assignment differs from serial\n",
+                   threads);
+      std::exit(1);
+    }
+    record("reconstruct", threads, secs);
+  }
+  {
+    TraceWeaverOptions opts;
+    opts.optimizer.iterate = false;
+    TraceWeaver weaver(data.graph, opts);
+    const double secs =
+        BestOfSeconds(5, [&] { benchmark::DoNotOptimize(weaver.Reconstruct(data.spans)); });
+    record("single_iteration", 1, secs);
+  }
+  const std::string path = WriteBenchJson("perf", records);
+  std::printf("wrote %s\n", path.c_str());
+}
+
 }  // namespace
 }  // namespace traceweaver::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  traceweaver::bench::RunThreadSweep();
+  return 0;
+}

@@ -50,4 +50,25 @@ void PrintHeader(const std::string& title, const std::string& paper_shape) {
   std::printf("Paper shape: %s\n\n", paper_shape.c_str());
 }
 
+std::string WriteBenchJson(const std::string& tag,
+                           const std::vector<BenchRecord>& records) {
+  const std::string path = "BENCH_" + tag + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return "";
+  std::fprintf(f, "{\n  \"tag\": \"%s\",\n  \"records\": [\n", tag.c_str());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"threads\": %zu, \"spans\": %zu, "
+                 "\"ns_per_span\": %.1f, \"spans_per_sec\": %.1f, "
+                 "\"note\": \"%s\"}%s\n",
+                 r.name.c_str(), r.threads, r.spans, r.ns_per_span,
+                 r.spans_per_sec, r.note.c_str(),
+                 i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return path;
+}
+
 }  // namespace traceweaver::bench

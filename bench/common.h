@@ -35,4 +35,21 @@ double TraceAccuracyOf(Mapper& mapper, const Dataset& data);
 /// Convenience header printed at the top of every bench binary.
 void PrintHeader(const std::string& title, const std::string& paper_shape);
 
+/// One machine-readable measurement of a benchmark configuration.
+struct BenchRecord {
+  std::string name;        ///< Configuration label, e.g. "reconstruct_t8".
+  std::size_t threads = 1;
+  std::size_t spans = 0;
+  double ns_per_span = 0.0;
+  double spans_per_sec = 0.0;
+  /// Free-form annotation, e.g. the speedup over a recorded baseline.
+  std::string note;
+};
+
+/// Writes `BENCH_<tag>.json` into the working directory: a JSON object with
+/// the tag and a `records` array, one entry per BenchRecord. Returns the
+/// file name.
+std::string WriteBenchJson(const std::string& tag,
+                           const std::vector<BenchRecord>& records);
+
 }  // namespace traceweaver::bench

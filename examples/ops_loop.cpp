@@ -8,6 +8,7 @@
 //           regression report pins the shift on svc-b's self time.
 #include <cstdio>
 #include <map>
+#include <thread>
 
 #include "analysis/regression.h"
 #include "analysis/trace_query.h"
@@ -71,7 +72,12 @@ int main() {
   sim::IsolatedReplayOptions iso;
   iso.requests_per_root = 20;
   CallGraph graph = InferCallGraph(sim::RunIsolatedReplay(v1, iso).spans);
-  TraceWeaver weaver(graph);
+  // Use every hardware thread; the parallel pipeline reproduces the serial
+  // reconstruction bit-for-bit, so ops tooling can scale freely.
+  TraceWeaverOptions weaver_opts;
+  weaver_opts.num_threads =
+      std::max(1u, std::thread::hardware_concurrency());
+  TraceWeaver weaver(graph, weaver_opts);
 
   const auto day1 = Capture(v1, 501);
   const auto rec1 = weaver.Reconstruct(day1);

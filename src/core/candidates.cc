@@ -15,6 +15,7 @@ struct DfsState {
   std::vector<InvocationPlan::Position> positions;
 
   std::vector<SpanId> current;
+  std::vector<const Span*> current_spans;
   std::unordered_set<SpanId> used;
   std::size_t skips = 0;
   std::vector<CandidateMapping>* results = nullptr;
@@ -31,6 +32,11 @@ void Dfs(DfsState& state, std::size_t pos_idx, TimeNs stage_lb,
     m.children = state.current;
     m.skips = state.skips;
     state.results->push_back(std::move(m));
+    if (state.options->resolved_out != nullptr) {
+      state.options->resolved_out->insert(state.options->resolved_out->end(),
+                                          state.current_spans.begin(),
+                                          state.current_spans.end());
+    }
     return;
   }
 
@@ -50,8 +56,10 @@ void Dfs(DfsState& state, std::size_t pos_idx, TimeNs stage_lb,
       (*state.options->forced)[pos_idx] != nullptr) {
     const Span* child = (*state.options->forced)[pos_idx];
     state.current.push_back(child->id);
+    state.current_spans.push_back(child);
     Dfs(state, pos_idx + 1, stage_lb,
         std::max(max_recv, child->client_recv));
+    state.current_spans.pop_back();
     state.current.pop_back();
     return;
   }
@@ -78,10 +86,12 @@ void Dfs(DfsState& state, std::size_t pos_idx, TimeNs stage_lb,
     ++branched;
 
     state.current.push_back(child->id);
+    state.current_spans.push_back(child);
     state.used.insert(child->id);
     Dfs(state, pos_idx + 1, stage_lb,
         std::max(max_recv, child->client_recv));
     state.used.erase(child->id);
+    state.current_spans.pop_back();
     state.current.pop_back();
     if (state.results->size() >= state.options->total_cap) return;
   }
@@ -91,9 +101,11 @@ void Dfs(DfsState& state, std::size_t pos_idx, TimeNs stage_lb,
   const BackendCall& call = state.plan->At(pos);
   if (call.optional || state.options->allow_all_skips) {
     state.current.push_back(kSkippedChild);
+    state.current_spans.push_back(nullptr);
     ++state.skips;
     Dfs(state, pos_idx + 1, stage_lb, max_recv);
     --state.skips;
+    state.current_spans.pop_back();
     state.current.pop_back();
   }
 }
@@ -109,7 +121,8 @@ std::vector<CandidateMapping> EnumerateCandidates(
   state.plan = &plan;
   state.pools = &pools;
   state.options = &options;
-  state.positions = plan.Positions();
+  state.positions = options.positions != nullptr ? *options.positions
+                                                 : plan.Positions();
   state.results = &results;
   Dfs(state, 0, parent.server_recv, parent.server_recv);
   return results;
@@ -118,7 +131,16 @@ std::vector<CandidateMapping> EnumerateCandidates(
 double ScoreMapping(const Span& parent, const InvocationPlan& plan,
                     const std::vector<const Span*>& resolved_children,
                     const ScoringContext& ctx) {
-  const auto positions = plan.Positions();
+  return ScoreMappingFlat(parent, plan, resolved_children.data(), ctx);
+}
+
+double ScoreMappingFlat(const Span& parent, const InvocationPlan& plan,
+                        const Span* const* resolved_children,
+                        const ScoringContext& ctx) {
+  std::vector<InvocationPlan::Position> flat;
+  if (ctx.positions == nullptr) flat = plan.Positions();
+  const std::vector<InvocationPlan::Position>& positions =
+      ctx.positions != nullptr ? *ctx.positions : flat;
   double score = 0.0;
 
   TimeNs stage_lb = parent.server_recv;
@@ -131,15 +153,24 @@ double ScoreMapping(const Span& parent, const InvocationPlan& plan,
       stage_lb = std::max(stage_lb, max_recv);
       prev_stage = positions[i].stage;
     }
-    const BackendCall& call = plan.At(positions[i]);
-    double skip_lp = ctx.skip_log_prob;
-    double keep_lp = ctx.keep_log_prob;
-    if (ctx.skip_rates != nullptr) {
-      auto it = ctx.skip_rates->find({call.service, call.endpoint});
-      if (it != ctx.skip_rates->end()) {
-        const double rate = std::clamp(it->second, 1e-4, 1.0 - 1e-4);
-        skip_lp = std::log(rate);
-        keep_lp = std::log(1.0 - rate);
+    double skip_lp;
+    double keep_lp;
+    const ScoringContext::PositionScore* ps = nullptr;
+    if (ctx.position_scores != nullptr) {
+      ps = &(*ctx.position_scores)[i];
+      skip_lp = ps->skip_lp;
+      keep_lp = ps->keep_lp;
+    } else {
+      skip_lp = ctx.skip_log_prob;
+      keep_lp = ctx.keep_log_prob;
+      if (ctx.skip_rates != nullptr) {
+        const BackendCall& call = plan.At(positions[i]);
+        auto it = ctx.skip_rates->find({call.service, call.endpoint});
+        if (it != ctx.skip_rates->end()) {
+          const double rate = std::clamp(it->second, 1e-4, 1.0 - 1e-4);
+          skip_lp = std::log(rate);
+          keep_lp = std::log(1.0 - rate);
+        }
       }
     }
     const Span* child = resolved_children[i];
@@ -154,25 +185,36 @@ double ScoreMapping(const Span& parent, const InvocationPlan& plan,
     }
     const TimeNs trigger =
         ctx.use_order_constraints ? stage_lb : parent.server_recv;
-    const DelayKey key{parent.callee, parent.endpoint,
-                       static_cast<int>(positions[i].stage),
-                       static_cast<int>(positions[i].call)};
+    const double gap = static_cast<double>(child->client_send - trigger);
     // Mode-normalized log-likelihood ratio: unit-free, <= 0, directly
     // comparable with the discrete skip log-probabilities above.
-    score += ctx.model->LogScore(
-                 key, static_cast<double>(child->client_send - trigger)) -
-             ctx.model->MaxLogScore(key);
+    if (ps != nullptr) {
+      const double lp = ps->dist != nullptr ? ps->dist->LogPdf(gap)
+                                            : DelayModel::FallbackLogPdf(gap);
+      score += lp - ps->max_log_pdf;
+    } else {
+      const DelayKey key{parent.callee, parent.endpoint,
+                         static_cast<int>(positions[i].stage),
+                         static_cast<int>(positions[i].call)};
+      score += ctx.model->LogScore(key, gap) - ctx.model->MaxLogScore(key);
+    }
     max_recv = std::max(max_recv, child->client_recv);
     any_child = true;
   }
 
   // Response-gap term: last child completion -> parent response departure.
   if (any_child) {
-    const DelayKey rkey =
-        DelayKey::ResponseGap(parent.callee, parent.endpoint);
-    score += ctx.model->LogScore(
-                 rkey, static_cast<double>(parent.server_send - max_recv)) -
-             ctx.model->MaxLogScore(rkey);
+    const double gap = static_cast<double>(parent.server_send - max_recv);
+    if (ctx.position_scores != nullptr) {
+      const double lp = ctx.response_dist != nullptr
+                            ? ctx.response_dist->LogPdf(gap)
+                            : DelayModel::FallbackLogPdf(gap);
+      score += lp - ctx.response_max_log_pdf;
+    } else {
+      const DelayKey rkey =
+          DelayKey::ResponseGap(parent.callee, parent.endpoint);
+      score += ctx.model->LogScore(rkey, gap) - ctx.model->MaxLogScore(rkey);
+    }
   }
   return score;
 }

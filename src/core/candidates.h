@@ -61,6 +61,15 @@ struct EnumerationOptions {
   /// sound for apps that genuinely follow the vPath threading model; off
   /// by default.
   bool require_thread_match = false;
+  /// Precomputed plan positions (plan.Positions()); avoids recomputing the
+  /// flattened stage/call list per enumeration when the caller already has
+  /// it.
+  const std::vector<InvocationPlan::Position>* positions = nullptr;
+  /// When set, each emitted mapping also appends its resolved child
+  /// pointers (nullptr for skips) here, positions-count entries per
+  /// mapping. The DFS already holds the Span pointers, so this spares the
+  /// caller an id -> span lookup pass over every candidate.
+  std::vector<const Span*>* resolved_out = nullptr;
 };
 
 /// Pools of available children, one per plan position, each sorted by
@@ -97,6 +106,31 @@ struct ScoringContext {
   /// disables. Unlike the hard mode this only nudges ranking, so it stays
   /// safe when the threading model is only sometimes informative.
   double thread_match_bonus = 0.0;
+
+  // ------- precomputed hot path (optimizer-internal) -------
+  // Scoring one candidate is the innermost loop of the pipeline; resolving
+  // a DelayKey (two string copies + map lookup) and a skip-rate map lookup
+  // per position per candidate dominates it. The optimizer precomputes
+  // both per (task, batch) -- they are identical for every candidate of a
+  // task -- and ScoreMapping reads the table instead. Scores are bitwise
+  // identical to the lookup path.
+
+  /// One entry per plan position (InvocationPlan::Positions() order).
+  struct PositionScore {
+    double skip_lp = -6.0;  ///< log P(position skipped), margin excluded.
+    double keep_lp = 0.0;   ///< log P(position present).
+    const GaussianMixture* dist = nullptr;  ///< null: fallback Gaussian.
+    double max_log_pdf = 0.0;               ///< Peak log-density of `dist`.
+  };
+  /// When set, overrides `model`/`skip_rates` lookups entirely.
+  const std::vector<PositionScore>* position_scores = nullptr;
+  /// Response-gap distribution, valid when `position_scores` is set.
+  const GaussianMixture* response_dist = nullptr;  ///< null: fallback.
+  double response_max_log_pdf = 0.0;
+  /// Flattened plan positions, reused across candidates (avoids one vector
+  /// allocation per ScoreMapping call). Optional independently of the
+  /// table.
+  const std::vector<InvocationPlan::Position>* positions = nullptr;
 };
 
 /// Scores one candidate mapping for `parent`: sum of per-position delay
@@ -105,6 +139,14 @@ struct ScoringContext {
 double ScoreMapping(const Span& parent, const InvocationPlan& plan,
                     const std::vector<const Span*>& resolved_children,
                     const ScoringContext& ctx);
+
+/// Pointer flavour for callers holding resolved children in a flat buffer
+/// (one slot per plan position); identical scoring. Named distinctly so a
+/// braced-init argument ({...}) can never silently select the raw-pointer
+/// signature over the vector one.
+double ScoreMappingFlat(const Span& parent, const InvocationPlan& plan,
+                        const Span* const* resolved_children,
+                        const ScoringContext& ctx);
 
 /// A (delay key, observed gap) pair extracted from an accepted mapping;
 /// the refit input for the next iteration (§4.1 step 6).

@@ -37,8 +37,12 @@ void DelayModel::SetSeed(const DelayKey& key, const Gaussian& seed) {
 void DelayModel::Refit(const DelayKey& key, const std::vector<double>& gaps,
                        const GmmFitOptions& options) {
   if (gaps.empty()) return;
+  Install(key, FitGmmBicSweep(gaps, options));
+}
+
+void DelayModel::Install(const DelayKey& key, GaussianMixture mixture) {
   Entry e;
-  e.mixture = FitGmmBicSweep(gaps, options);
+  e.mixture = std::move(mixture);
   e.max_log_pdf = PeakLogPdf(e.mixture);
   dists_[key] = std::move(e);
 }
@@ -58,6 +62,16 @@ double DelayModel::MaxLogScore(const DelayKey& key) const {
 const GaussianMixture* DelayModel::Find(const DelayKey& key) const {
   auto it = dists_.find(key);
   return it == dists_.end() ? nullptr : &it->second.mixture;
+}
+
+DelayModel::DistView DelayModel::View(const DelayKey& key) const {
+  auto it = dists_.find(key);
+  if (it == dists_.end()) return {nullptr, FallbackGaussian().LogPdf(0.0)};
+  return {&it->second.mixture, it->second.max_log_pdf};
+}
+
+double DelayModel::FallbackLogPdf(double gap) {
+  return FallbackGaussian().LogPdf(gap);
 }
 
 }  // namespace traceweaver

@@ -63,6 +63,25 @@ class DelayModel {
   /// to compare timing terms against discrete skip probabilities.
   double MaxLogScore(const DelayKey& key) const;
 
+  /// Hot-path view of one distribution: the mixture pointer (stable across
+  /// Refit/Install -- map nodes are never moved) plus its cached peak
+  /// log-density. Unknown keys yield {nullptr, FallbackLogPdf(0)} and score
+  /// against the fallback Gaussian.
+  struct DistView {
+    const GaussianMixture* mixture = nullptr;
+    double max_log_pdf = 0.0;
+  };
+  DistView View(const DelayKey& key) const;
+
+  /// Log-density of the wide fallback distribution used for unknown keys
+  /// (mean 0, stddev 50 ms). Exposed so precomputed scoring tables can
+  /// reproduce LogScore exactly without a map lookup.
+  static double FallbackLogPdf(double gap);
+
+  /// Installs an externally fitted mixture (e.g. from a parallel refit);
+  /// equivalent to Refit with a fit that produced `mixture`.
+  void Install(const DelayKey& key, GaussianMixture mixture);
+
   bool Has(const DelayKey& key) const { return dists_.count(key) > 0; }
   std::size_t size() const { return dists_.size(); }
 

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <numeric>
-#include <unordered_set>
 
 namespace traceweaver {
 namespace {
@@ -22,6 +21,12 @@ class ComponentSolver {
   /// Solves the subproblem induced by `alive` (sorted vertex ids).
   /// Returns (weight, chosen vertices).
   std::pair<double, std::vector<int>> Solve(std::vector<int> alive) {
+    return Solve(std::move(alive), 0);
+  }
+
+ private:
+  std::pair<double, std::vector<int>> Solve(std::vector<int> alive,
+                                            std::size_t depth) {
     if (exhausted_) return Greedy(alive);
     if (++nodes_ > budget_) {
       exhausted_ = true;
@@ -29,7 +34,12 @@ class ComponentSolver {
     }
     if (alive.empty()) return {0.0, {}};
 
-    std::unordered_set<int> alive_set(alive.begin(), alive.end());
+    // Membership masks replace hash sets: subproblems are dense in practice
+    // and the masks are pooled per recursion depth, so each Solve costs one
+    // O(n) clear instead of per-element hash-node churn. Scans run in
+    // ascending vertex order.
+    std::vector<char>& in = Mask(depth, 0);
+    for (int v : alive) in[static_cast<std::size_t>(v)] = 1;
     double base_weight = 0.0;
     std::vector<int> base_chosen;
 
@@ -39,12 +49,12 @@ class ComponentSolver {
     bool reduced = true;
     while (reduced) {
       reduced = false;
-      for (int v : std::vector<int>(alive_set.begin(), alive_set.end())) {
-        if (alive_set.count(v) == 0) continue;
+      for (int v : alive) {
+        if (in[static_cast<std::size_t>(v)] == 0) continue;
         int degree = 0;
         int only_neighbor = -1;
         for (int u : p_.adjacency[static_cast<std::size_t>(v)]) {
-          if (alive_set.count(u) > 0) {
+          if (in[static_cast<std::size_t>(u)] != 0) {
             ++degree;
             only_neighbor = u;
             if (degree > 1) break;
@@ -53,36 +63,46 @@ class ComponentSolver {
         if (degree == 0) {
           base_weight += p_.weights[static_cast<std::size_t>(v)];
           base_chosen.push_back(v);
-          alive_set.erase(v);
+          in[static_cast<std::size_t>(v)] = 0;
           reduced = true;
         } else if (degree == 1 &&
                    p_.weights[static_cast<std::size_t>(v)] >=
                        p_.weights[static_cast<std::size_t>(only_neighbor)]) {
           base_weight += p_.weights[static_cast<std::size_t>(v)];
           base_chosen.push_back(v);
-          alive_set.erase(v);
-          alive_set.erase(only_neighbor);
+          in[static_cast<std::size_t>(v)] = 0;
+          in[static_cast<std::size_t>(only_neighbor)] = 0;
           reduced = true;
         }
       }
     }
-    if (alive_set.empty()) return {base_weight, std::move(base_chosen)};
+    alive.erase(std::remove_if(alive.begin(), alive.end(),
+                               [&in](int v) {
+                                 return in[static_cast<std::size_t>(v)] == 0;
+                               }),
+                alive.end());
+    if (alive.empty()) return {base_weight, std::move(base_chosen)};
 
     // Component decomposition: solve each connected component separately.
+    // `visited` doubles as the BFS frontier dedup; components come out in
+    // ascending-seed order, each sorted.
     std::vector<std::vector<int>> components;
     {
-      std::unordered_set<int> unvisited = alive_set;
-      while (!unvisited.empty()) {
+      std::vector<char>& visited = Mask(depth, 1);
+      std::vector<int> stack;
+      for (int seed : alive) {
+        if (visited[static_cast<std::size_t>(seed)] != 0) continue;
         std::vector<int> comp;
-        std::vector<int> stack{*unvisited.begin()};
-        unvisited.erase(stack.back());
+        stack.assign(1, seed);
+        visited[static_cast<std::size_t>(seed)] = 1;
         while (!stack.empty()) {
           const int v = stack.back();
           stack.pop_back();
           comp.push_back(v);
           for (int u : p_.adjacency[static_cast<std::size_t>(v)]) {
-            if (unvisited.count(u) > 0) {
-              unvisited.erase(u);
+            if (in[static_cast<std::size_t>(u)] != 0 &&
+                visited[static_cast<std::size_t>(u)] == 0) {
+              visited[static_cast<std::size_t>(u)] = 1;
               stack.push_back(u);
             }
           }
@@ -96,7 +116,7 @@ class ComponentSolver {
       double total = base_weight;
       std::vector<int> chosen = std::move(base_chosen);
       for (auto& comp : components) {
-        auto [w, c] = Solve(std::move(comp));
+        auto [w, c] = Solve(std::move(comp), depth + 1);
         total += w;
         chosen.insert(chosen.end(), c.begin(), c.end());
       }
@@ -104,14 +124,14 @@ class ComponentSolver {
     }
 
     // Single non-trivial component: branch on the highest-degree vertex.
+    // comp == alive here, so `in` doubles as the component membership mask.
     const std::vector<int>& comp = components[0];
-    std::unordered_set<int> comp_set(comp.begin(), comp.end());
     int pivot = comp[0];
     int pivot_degree = -1;
     for (int v : comp) {
       int degree = 0;
       for (int u : p_.adjacency[static_cast<std::size_t>(v)]) {
-        if (comp_set.count(u) > 0) ++degree;
+        if (in[static_cast<std::size_t>(u)] != 0) ++degree;
       }
       if (degree > pivot_degree ||
           (degree == pivot_degree && v < pivot)) {
@@ -122,13 +142,19 @@ class ComponentSolver {
 
     // Include pivot: drop it and its neighbors.
     std::vector<int> without_nbhd;
-    const auto& nbrs = p_.adjacency[static_cast<std::size_t>(pivot)];
-    std::unordered_set<int> closed(nbrs.begin(), nbrs.end());
-    closed.insert(pivot);
-    for (int v : comp) {
-      if (closed.count(v) == 0) without_nbhd.push_back(v);
+    {
+      std::vector<char>& closed = Mask(depth, 2);
+      for (int u : p_.adjacency[static_cast<std::size_t>(pivot)]) {
+        closed[static_cast<std::size_t>(u)] = 1;
+      }
+      closed[static_cast<std::size_t>(pivot)] = 1;
+      for (int v : comp) {
+        if (closed[static_cast<std::size_t>(v)] == 0) {
+          without_nbhd.push_back(v);
+        }
+      }
     }
-    auto [w_in, c_in] = Solve(std::move(without_nbhd));
+    auto [w_in, c_in] = Solve(std::move(without_nbhd), depth + 1);
     w_in += p_.weights[static_cast<std::size_t>(pivot)];
     c_in.push_back(pivot);
 
@@ -137,7 +163,7 @@ class ComponentSolver {
     for (int v : comp) {
       if (v != pivot) without_pivot.push_back(v);
     }
-    auto [w_out, c_out] = Solve(std::move(without_pivot));
+    auto [w_out, c_out] = Solve(std::move(without_pivot), depth + 1);
 
     if (w_in >= w_out) {
       c_in.insert(c_in.end(), base_chosen.begin(), base_chosen.end());
@@ -147,10 +173,20 @@ class ComponentSolver {
     return {base_weight + w_out, std::move(c_out)};
   }
 
- private:
+  /// Zeroed scratch mask for one (depth, slot) pair; pooled so recursion
+  /// reuses capacity instead of reallocating. The whole row of a depth is
+  /// allocated together so acquiring a later slot never reallocates the
+  /// pool while a reference to an earlier slot of the same depth is live
+  /// (references across recursion levels are never held across calls).
+  std::vector<char>& Mask(std::size_t depth, std::size_t slot) {
+    if ((depth + 1) * 3 > masks_.size()) masks_.resize((depth + 1) * 3);
+    std::vector<char>& mask = masks_[depth * 3 + slot];
+    mask.assign(p_.size(), 0);
+    return mask;
+  }
+
   /// Greedy solution over a subset, used once the node budget is spent.
   std::pair<double, std::vector<int>> Greedy(const std::vector<int>& alive) {
-    std::unordered_set<int> alive_set(alive.begin(), alive.end());
     std::vector<int> order = alive;
     std::sort(order.begin(), order.end(), [this](int a, int b) {
       const double wa = p_.weights[static_cast<std::size_t>(a)];
@@ -158,15 +194,17 @@ class ComponentSolver {
       if (wa != wb) return wa > wb;
       return a < b;
     });
-    std::unordered_set<int> blocked;
+    // Blocking a vertex outside `alive` is harmless: only alive vertices
+    // are ever consulted.
+    std::vector<char> blocked(p_.size(), 0);
     double weight = 0.0;
     std::vector<int> chosen;
     for (int v : order) {
-      if (blocked.count(v) > 0) continue;
+      if (blocked[static_cast<std::size_t>(v)] != 0) continue;
       chosen.push_back(v);
       weight += p_.weights[static_cast<std::size_t>(v)];
       for (int u : p_.adjacency[static_cast<std::size_t>(v)]) {
-        if (alive_set.count(u) > 0) blocked.insert(u);
+        blocked[static_cast<std::size_t>(u)] = 1;
       }
     }
     return {weight, std::move(chosen)};
@@ -176,6 +214,7 @@ class ComponentSolver {
   std::size_t budget_;
   std::size_t nodes_ = 0;
   bool exhausted_ = false;
+  std::vector<std::vector<char>> masks_;
 };
 
 }  // namespace

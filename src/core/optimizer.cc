@@ -2,32 +2,46 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <map>
+#include <set>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "core/batching.h"
 #include "core/mis_solver.h"
 #include "stats/water_filling.h"
 #include "util/summary.h"
+#include "util/thread_pool.h"
 
 namespace traceweaver {
 namespace {
 
 using PoolKey = std::pair<std::string, std::string>;  // (service, endpoint)
+using HandlerPair = std::pair<std::string, std::string>;
 
 /// One incoming span to be mapped, with its plan and per-position pools.
 struct ParentTask {
   const Span* span = nullptr;
   const InvocationPlan* plan = nullptr;
   std::vector<InvocationPlan::Position> positions;
-  std::vector<PoolKey> position_keys;
+  std::vector<int> position_pool;  ///< Interned pool id per position.
   PositionPools pools;
   /// Per-position pinned children from partial instrumentation (empty when
   /// nothing is pinned for this parent).
   std::vector<const Span*> forced;
   std::vector<CandidateMapping> all_candidates;  ///< Enumerated once.
+  /// Children of all_candidates resolved to spans, flat
+  /// [cand * positions.size() + pos]; null where skipped. Built once so
+  /// ranking never does per-candidate id lookups.
+  std::vector<const Span*> resolved;
+
+  // Reusable per-task scratch (only touched by the thread ranking this
+  // task, so parallel ranking stays race-free).
+  std::vector<std::pair<double, std::uint32_t>> order;
+  std::vector<ScoringContext::PositionScore> pos_scores;
 };
 
 const std::vector<const Span*>& EmptyPool() {
@@ -35,29 +49,64 @@ const std::vector<const Span*>& EmptyPool() {
   return empty;
 }
 
+/// Pool spans and per-pool statistics indexed by a dense interned id, so
+/// the hot paths index vectors instead of probing
+/// map<pair<string,string>, ...>. Ids are assigned in sorted key order for
+/// observed pools (so id-order iteration matches the previous map-order
+/// behaviour), then first-seen order for plan-only keys with no observed
+/// spans.
+struct PoolTable {
+  std::map<PoolKey, int> ids;
+  std::vector<std::vector<const Span*>> spans;  ///< By id; may be empty.
+
+  int Intern(const PoolKey& key) {
+    auto [it, inserted] = ids.emplace(key, static_cast<int>(spans.size()));
+    if (inserted) spans.emplace_back();
+    return it->second;
+  }
+  int Find(const PoolKey& key) const {
+    auto it = ids.find(key);
+    return it == ids.end() ? -1 : it->second;
+  }
+  std::size_t size() const { return spans.size(); }
+};
+
 /// Everything shared across the pipeline stages for one container.
 struct Workspace {
   const ContainerView* view = nullptr;
   const CallGraph* graph = nullptr;
   const OptimizerOptions* opts = nullptr;
+  ThreadPool* pool = nullptr;  ///< Null = serial.
 
-  std::map<PoolKey, std::vector<const Span*>> pools;
+  PoolTable pools;
   std::unordered_map<SpanId, const Span*> span_by_id;
   std::vector<ParentTask> tasks;       ///< Sorted by SpanStartOrder.
   std::vector<const Span*> task_spans; ///< Parallel to tasks, for batching.
 
   /// Pinned children by parent span id (§2.2.6 partial instrumentation).
   std::map<SpanId, std::vector<const Span*>> pinned_children;
-  std::map<PoolKey, std::size_t> expected_calls;  ///< X_p per pool.
-  std::map<PoolKey, std::size_t> skip_budget;     ///< max(0, X_p - |pool|).
-  std::map<PoolKey, double> skip_rate;            ///< budget / expected.
+  // Per-pool-id statistics (X_p etc.), dense.
+  std::vector<std::size_t> expected_calls;  ///< X_p per pool.
+  std::vector<std::size_t> skip_budget;     ///< max(0, X_p - |pool|).
+  std::vector<double> skip_rate;            ///< budget / expected.
+  std::vector<char> has_rate;               ///< Pool had expected calls.
   bool dynamism_active = false;
   std::size_t leaf_parents = 0;
 };
 
 void BuildPools(Workspace& ws) {
   const ParentAssignment* pinned = ws.opts->pinned;
+  std::size_t outgoing = 0;
   for (const auto& [callee, spans] : ws.view->outgoing_by_callee) {
+    outgoing += spans.size();
+  }
+  ws.span_by_id.reserve(outgoing);
+  // Pool ids are assigned in encounter order; nothing keys on the numeric
+  // order of ids (iteration that must be deterministic across runs walks
+  // the sorted ids map instead), so no sorted intermediate is needed.
+  for (const auto& [callee, spans] : ws.view->outgoing_by_callee) {
+    int pool_id = -1;
+    const std::string* pool_ep = nullptr;
     for (const Span* s : spans) {
       ws.span_by_id[s->id] = s;
       // Children pinned by instrumentation are withheld from the shared
@@ -70,7 +119,13 @@ void BuildPools(Workspace& ws) {
           continue;
         }
       }
-      ws.pools[{callee, s->endpoint}].push_back(s);  // Order preserved.
+      // Pools are endpoint-partitioned within this callee group; memoize
+      // the previous endpoint's id since spans often arrive in runs.
+      if (pool_ep == nullptr || s->endpoint != *pool_ep) {
+        pool_id = ws.pools.Intern(PoolKey{callee, s->endpoint});
+        pool_ep = &s->endpoint;
+      }
+      ws.pools.spans[static_cast<std::size_t>(pool_id)].push_back(s);
     }
   }
 }
@@ -89,11 +144,8 @@ void BuildTasks(Workspace& ws) {
     task.positions = plan->Positions();
     for (const auto& pos : task.positions) {
       const BackendCall& call = plan->At(pos);
-      const PoolKey key{call.service, call.endpoint};
-      task.position_keys.push_back(key);
-      auto it = ws.pools.find(key);
-      task.pools.push_back(it == ws.pools.end() ? &EmptyPool()
-                                                : &it->second);
+      task.position_pool.push_back(
+          ws.pools.Intern(PoolKey{call.service, call.endpoint}));
     }
     // Slot pinned children into their plan positions (first matching free
     // position, in child send order).
@@ -101,24 +153,33 @@ void BuildTasks(Workspace& ws) {
         pit != ws.pinned_children.end()) {
       task.forced.assign(task.positions.size(), nullptr);
       for (const Span* child : pit->second) {
+        const int child_pool =
+            ws.pools.Find(PoolKey{child->callee, child->endpoint});
         for (std::size_t i = 0; i < task.positions.size(); ++i) {
           if (task.forced[i] == nullptr &&
-              task.position_keys[i] ==
-                  PoolKey{child->callee, child->endpoint}) {
+              task.position_pool[i] == child_pool) {
             task.forced[i] = child;
             break;
           }
         }
       }
     }
-    // Pinned positions no longer draw on the shared pools.
-    for (std::size_t i = 0; i < task.positions.size(); ++i) {
-      if (task.forced.empty() || task.forced[i] == nullptr) {
-        ++ws.expected_calls[task.position_keys[i]];
-      }
-    }
     ws.tasks.push_back(std::move(task));
     ws.task_spans.push_back(parent);
+  }
+  // Interning is done; pool-span vectors will not move again, so position
+  // pool pointers and expected-call counters can be filled in.
+  ws.expected_calls.assign(ws.pools.size(), 0);
+  for (ParentTask& task : ws.tasks) {
+    for (std::size_t i = 0; i < task.positions.size(); ++i) {
+      const int id = task.position_pool[i];
+      const auto& pool = ws.pools.spans[static_cast<std::size_t>(id)];
+      task.pools.push_back(pool.empty() ? &EmptyPool() : &pool);
+      // Pinned positions no longer draw on the shared pools.
+      if (task.forced.empty() || task.forced[i] == nullptr) {
+        ++ws.expected_calls[static_cast<std::size_t>(id)];
+      }
+    }
   }
 }
 
@@ -129,15 +190,18 @@ void DetectDynamism(Workspace& ws) {
       if (t.plan->At(pos).optional) any_optional = true;
     }
   }
-  for (const auto& [key, expected] : ws.expected_calls) {
-    const std::size_t observed =
-        ws.pools.count(key) > 0 ? ws.pools.at(key).size() : 0;
+  ws.skip_budget.assign(ws.pools.size(), 0);
+  ws.skip_rate.assign(ws.pools.size(), 0.0);
+  ws.has_rate.assign(ws.pools.size(), 0);
+  for (std::size_t p = 0; p < ws.pools.size(); ++p) {
+    const std::size_t expected = ws.expected_calls[p];
+    if (expected == 0) continue;
+    const std::size_t observed = ws.pools.spans[p].size();
     const std::size_t budget = expected > observed ? expected - observed : 0;
-    ws.skip_budget[key] = budget;
-    ws.skip_rate[key] =
-        expected > 0 ? static_cast<double>(budget) /
-                           static_cast<double>(expected)
-                     : 0.0;
+    ws.skip_budget[p] = budget;
+    ws.skip_rate[p] =
+        static_cast<double>(budget) / static_cast<double>(expected);
+    ws.has_rate[p] = 1;
     if (budget > 0) ws.dynamism_active = true;
   }
   if (any_optional) ws.dynamism_active = true;
@@ -153,12 +217,19 @@ void EnumerateAll(Workspace& ws) {
   eopts.slack = ws.opts->params.constraint_slack_ns;
   eopts.require_thread_match =
       ws.opts->thread_affinity == OptimizerOptions::ThreadAffinity::kHard;
-  for (ParentTask& task : ws.tasks) {
+  // Tasks are independent: each writes only its own slots (concurrent
+  // reads of the shared pools and span index are safe).
+  ThreadPool::Run(ws.pool, ws.tasks.size(), [&](std::size_t t) {
+    ParentTask& task = ws.tasks[t];
     EnumerationOptions task_opts = eopts;
     if (!task.forced.empty()) task_opts.forced = &task.forced;
+    task_opts.positions = &task.positions;
+    // The DFS fills the flat resolved-pointer buffer as a side product of
+    // emitting each mapping, so no id -> span resolution pass is needed.
+    task_opts.resolved_out = &task.resolved;
     task.all_candidates =
         EnumerateCandidates(*task.span, *task.plan, task.pools, task_opts);
-  }
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -252,42 +323,64 @@ void SeedFromUnmatched(const Workspace& ws, DelayModel& model) {
 /// most recent parent whose arrival precedes the child's departure, fit
 /// Gaussians on the resulting gaps.
 void SeedFromWap5(const Workspace& ws, DelayModel& model) {
-  // Gap samples per delay key, via most-recent-parent attribution.
-  std::map<DelayKey, std::vector<double>> samples;
-  for (const auto& [pkey, pool] : ws.pools) {
-    for (const Span* child : pool) {
-      // Most recent parent (across handlers) that could have issued this
-      // child.
-      const Span* best = nullptr;
-      const ParentTask* best_task = nullptr;
-      for (const ParentTask& t : ws.tasks) {
-        if (t.span->server_recv > child->client_send) break;  // Sorted.
-        if (t.span->server_send < child->client_recv) continue;
-        // Handler must actually call this backend.
-        bool calls = false;
-        for (const PoolKey& k : t.position_keys) {
-          if (k == pkey) {
-            calls = true;
-            break;
-          }
-        }
-        if (!calls) continue;
-        best = t.span;
-        best_task = &t;
-      }
-      if (best == nullptr) continue;
-      // Attribute the gap to the first matching position of the handler.
-      for (std::size_t i = 0; i < best_task->position_keys.size(); ++i) {
-        if (best_task->position_keys[i] == pkey) {
-          const auto& pos = best_task->positions[i];
-          samples[DelayKey{best->callee, best->endpoint,
-                           static_cast<int>(pos.stage),
-                           static_cast<int>(pos.call)}]
-              .push_back(
-                  static_cast<double>(child->client_send - best->server_recv));
+  // Tasks eligible for each pool (they call that backend), with the first
+  // matching plan position; task order == start order, so each list is
+  // sorted by parent arrival.
+  struct Caller {
+    std::size_t task;
+    int stage;
+    int call;
+  };
+  std::vector<std::vector<Caller>> callers(ws.pools.size());
+  for (std::size_t t = 0; t < ws.tasks.size(); ++t) {
+    const ParentTask& task = ws.tasks[t];
+    for (std::size_t i = 0; i < task.positions.size(); ++i) {
+      const int p = task.position_pool[i];
+      bool first = true;  // Attribute to the first matching position only.
+      for (std::size_t j = 0; j < i; ++j) {
+        if (task.position_pool[j] == p) {
+          first = false;
           break;
         }
       }
+      if (!first) continue;
+      callers[static_cast<std::size_t>(p)].push_back(
+          Caller{t, static_cast<int>(task.positions[i].stage),
+                 static_cast<int>(task.positions[i].call)});
+    }
+  }
+
+  // Gap samples per delay key, via most-recent-parent attribution. Pools
+  // iterate in key order and children in send order, so sample order (and
+  // the resulting fits) match the previous full-scan implementation.
+  std::map<DelayKey, std::vector<double>> samples;
+  for (const auto& [pkey, pid] : ws.pools.ids) {
+    (void)pkey;
+    const auto& pool = ws.pools.spans[static_cast<std::size_t>(pid)];
+    const auto& cs = callers[static_cast<std::size_t>(pid)];
+    if (pool.empty() || cs.empty()) continue;
+    // Children are sorted by client_send, so the cursor over eligible
+    // parents only moves forward; the backward walk finds the most recent
+    // parent whose response window still covers the child.
+    std::size_t hi = 0;
+    for (const Span* child : pool) {
+      while (hi < cs.size() &&
+             ws.tasks[cs[hi].task].span->server_recv <= child->client_send) {
+        ++hi;
+      }
+      const Caller* best = nullptr;
+      for (std::size_t k = hi; k-- > 0;) {
+        if (ws.tasks[cs[k].task].span->server_send >= child->client_recv) {
+          best = &cs[k];
+          break;
+        }
+      }
+      if (best == nullptr) continue;
+      const Span* parent = ws.tasks[best->task].span;
+      samples[DelayKey{parent->callee, parent->endpoint, best->stage,
+                       best->call}]
+          .push_back(
+              static_cast<double>(child->client_send - parent->server_recv));
     }
   }
   for (const auto& [key, gaps] : samples) {
@@ -312,83 +405,60 @@ DelayModel BuildSeeds(const Workspace& ws) {
 // Ranking, joint optimization, iteration.
 // ---------------------------------------------------------------------------
 
-std::vector<const Span*> Resolve(const Workspace& ws,
-                                 const CandidateMapping& m) {
-  std::vector<const Span*> out;
-  out.reserve(m.children.size());
-  for (SpanId id : m.children) {
-    out.push_back(id == kSkippedChild ? nullptr : ws.span_by_id.at(id));
-  }
-  return out;
-}
-
-/// Scores and ranks each task's candidates, keeping the top K. Skip rates
-/// come from the task's batch allocation when water-filling granted that
-/// batch budget, falling back to the container-wide rates.
-void RankCandidates(const Workspace& ws, const DelayModel& model,
-                    const std::vector<std::size_t>& batch_of_task,
-                    const std::vector<std::map<PoolKey, double>>& batch_rates,
-                    std::vector<ParentResult>& results) {
-  ScoringContext ctx;
-  ctx.model = &model;
-  ctx.use_order_constraints = ws.opts->use_order_constraints;
-  if (ws.opts->thread_affinity == OptimizerOptions::ThreadAffinity::kSoft) {
-    ctx.thread_match_bonus = ws.opts->thread_match_bonus;
-  }
-
-  const std::size_t top_k = ws.opts->params.max_candidates_per_span;
-  for (std::size_t t = 0; t < ws.tasks.size(); ++t) {
-    const auto& rates = batch_rates[batch_of_task[t]];
-    ctx.skip_rates = rates.empty() ? &ws.skip_rate : &rates;
-    const ParentTask& task = ws.tasks[t];
-    std::vector<CandidateMapping> scored = task.all_candidates;
-    for (CandidateMapping& m : scored) {
-      m.score = ScoreMapping(*task.span, *task.plan, Resolve(ws, m), ctx);
-    }
-    std::sort(scored.begin(), scored.end(),
-              [](const CandidateMapping& a, const CandidateMapping& b) {
-                if (a.score != b.score) return a.score > b.score;
-                return a.children < b.children;  // Deterministic ties.
-              });
-    if (scored.size() > top_k) scored.resize(top_k);
-    results[t].ranked = std::move(scored);
-    results[t].chosen = -1;
-  }
-}
+/// Per-batch skip rates by pool id; `any` false means "use the container
+/// rates".
+struct BatchRates {
+  std::vector<double> rate;
+  std::vector<char> has;
+  bool any = false;
+};
 
 /// Per-batch skip-budget allocation by water-filling (§4.2 steps 2-3),
-/// turned into per-batch skip rates used during scoring. Returns one rate
-/// map per batch (empty map = use global rates).
-std::vector<std::map<PoolKey, double>> AllocateSkips(
-    const Workspace& ws, const std::vector<Batch>& batches) {
-  std::vector<std::map<PoolKey, double>> rates(batches.size());
+/// turned into per-batch skip rates used during scoring.
+std::vector<BatchRates> AllocateSkips(const Workspace& ws,
+                                      const std::vector<Batch>& batches) {
+  std::vector<BatchRates> rates(batches.size());
   if (!ws.dynamism_active) return rates;
 
-  for (const auto& [pkey, budget] : ws.skip_budget) {
+  // Batch time windows, hoisted out of the per-pool loop.
+  std::vector<TimeNs> win_lo(batches.size());
+  std::vector<TimeNs> win_hi(batches.size());
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    TimeNs lo = std::numeric_limits<TimeNs>::max();
+    TimeNs hi = std::numeric_limits<TimeNs>::min();
+    for (std::size_t t = batches[b].begin; t < batches[b].end; ++t) {
+      lo = std::min(lo, ws.tasks[t].span->server_recv);
+      hi = std::max(hi, ws.tasks[t].span->server_send);
+    }
+    win_lo[b] = lo;
+    win_hi[b] = hi;
+  }
+
+  for (std::size_t p = 0; p < ws.pools.size(); ++p) {
+    const std::size_t budget = ws.skip_budget[p];
     if (budget == 0) continue;
     // Per-batch max quota Q = X - Y: positions needing the pool minus pool
     // spans confined to the batch's time window.
     std::vector<std::size_t> quotas(batches.size(), 0);
     std::vector<std::size_t> demand(batches.size(), 0);
+    const auto& pool = ws.pools.spans[p];
     for (std::size_t b = 0; b < batches.size(); ++b) {
-      const Batch& batch = batches[b];
-      TimeNs lo = std::numeric_limits<TimeNs>::max();
-      TimeNs hi = std::numeric_limits<TimeNs>::min();
       std::size_t x = 0;
-      for (std::size_t t = batch.begin; t < batch.end; ++t) {
-        const ParentTask& task = ws.tasks[t];
-        lo = std::min(lo, task.span->server_recv);
-        hi = std::max(hi, task.span->server_send);
-        for (const PoolKey& k : task.position_keys) {
-          if (k == pkey) ++x;
+      for (std::size_t t = batches[b].begin; t < batches[b].end; ++t) {
+        for (const int k : ws.tasks[t].position_pool) {
+          if (k == static_cast<int>(p)) ++x;
         }
       }
       std::size_t y = 0;
-      auto it = ws.pools.find(pkey);
-      if (it != ws.pools.end()) {
-        for (const Span* s : it->second) {
-          if (s->client_send >= lo && s->client_recv <= hi) ++y;
-        }
+      // Pool spans are sorted by client_send: jump to the window start and
+      // stop once past its end (client_recv <= hi implies
+      // client_send <= hi).
+      const auto first = std::lower_bound(
+          pool.begin(), pool.end(), win_lo[b],
+          [](const Span* s, TimeNs t) { return s->client_send < t; });
+      for (auto it = first; it != pool.end(); ++it) {
+        if ((*it)->client_send > win_hi[b]) break;
+        if ((*it)->client_recv <= win_hi[b]) ++y;
       }
       demand[b] = x;
       quotas[b] = x > y ? x - y : 0;
@@ -396,27 +466,148 @@ std::vector<std::map<PoolKey, double>> AllocateSkips(
     const std::vector<std::size_t> alloc = WaterFill(budget, quotas);
     for (std::size_t b = 0; b < batches.size(); ++b) {
       if (demand[b] == 0) continue;
-      rates[b][pkey] = static_cast<double>(alloc[b]) /
-                       static_cast<double>(demand[b]);
+      BatchRates& br = rates[b];
+      if (!br.any) {
+        br.rate.assign(ws.pools.size(), 0.0);
+        br.has.assign(ws.pools.size(), 0);
+        br.any = true;
+      }
+      br.rate[p] = static_cast<double>(alloc[b]) /
+                   static_cast<double>(demand[b]);
+      br.has[p] = 1;
     }
   }
   return rates;
 }
+
+/// Fills the task's per-position scoring table for one iteration: discrete
+/// skip/keep terms from the (batch or container) rates plus the current
+/// delay distributions. O(positions) per task -- tiny next to scoring.
+void BuildPositionScores(const Workspace& ws, ParentTask& task,
+                         const BatchRates& batch, const DelayModel& model,
+                         const ScoringContext& defaults) {
+  task.pos_scores.resize(task.positions.size());
+  for (std::size_t i = 0; i < task.positions.size(); ++i) {
+    ScoringContext::PositionScore& ps = task.pos_scores[i];
+    ps.skip_lp = defaults.skip_log_prob;
+    ps.keep_lp = defaults.keep_log_prob;
+    const std::size_t p = static_cast<std::size_t>(task.position_pool[i]);
+    const bool known = batch.any ? batch.has[p] != 0 : ws.has_rate[p] != 0;
+    if (known) {
+      const double raw = batch.any ? batch.rate[p] : ws.skip_rate[p];
+      const double rate = std::clamp(raw, 1e-4, 1.0 - 1e-4);
+      ps.skip_lp = std::log(rate);
+      ps.keep_lp = std::log(1.0 - rate);
+    }
+    const DelayModel::DistView view =
+        model.View(DelayKey{task.span->callee, task.span->endpoint,
+                            static_cast<int>(task.positions[i].stage),
+                            static_cast<int>(task.positions[i].call)});
+    ps.dist = view.mixture;
+    ps.max_log_pdf = view.max_log_pdf;
+  }
+}
+
+/// Scores and ranks each task's candidates, keeping the top K. Skip rates
+/// come from the task's batch allocation when water-filling granted that
+/// batch budget, falling back to the container-wide rates. When
+/// `dirty_handlers` is non-null (iterations >= 2), only tasks whose
+/// handler owns a refitted delay key are re-scored -- every score of an
+/// untouched handler is unchanged by construction, so its ranking stands.
+void RankCandidates(Workspace& ws, const DelayModel& model,
+                    const std::vector<std::size_t>& batch_of_task,
+                    const std::vector<BatchRates>& batch_rates,
+                    const std::set<HandlerPair>* dirty_handlers,
+                    std::vector<ParentResult>& results) {
+  ScoringContext base;
+  base.model = &model;
+  base.use_order_constraints = ws.opts->use_order_constraints;
+  if (ws.opts->thread_affinity == OptimizerOptions::ThreadAffinity::kSoft) {
+    base.thread_match_bonus = ws.opts->thread_match_bonus;
+  }
+
+  const std::size_t top_k = ws.opts->params.max_candidates_per_span;
+  ThreadPool::Run(ws.pool, ws.tasks.size(), [&](std::size_t t) {
+    ParentTask& task = ws.tasks[t];
+    if (dirty_handlers != nullptr &&
+        dirty_handlers->count(
+            HandlerPair{task.span->callee, task.span->endpoint}) == 0) {
+      return;  // Scores unchanged since last iteration.
+    }
+    BuildPositionScores(ws, task, batch_rates[batch_of_task[t]], model,
+                        base);
+    ScoringContext ctx = base;
+    ctx.positions = &task.positions;
+    ctx.position_scores = &task.pos_scores;
+    const DelayModel::DistView response = model.View(
+        DelayKey::ResponseGap(task.span->callee, task.span->endpoint));
+    ctx.response_dist = response.mixture;
+    ctx.response_max_log_pdf = response.max_log_pdf;
+
+    const std::size_t npos = task.positions.size();
+    const std::size_t n = task.all_candidates.size();
+    task.order.resize(n);
+    for (std::size_t c = 0; c < n; ++c) {
+      task.order[c] = {ScoreMappingFlat(*task.span, *task.plan,
+                                        task.resolved.data() + c * npos, ctx),
+                       static_cast<std::uint32_t>(c)};
+    }
+    const std::size_t keep = std::min(top_k, n);
+    std::partial_sort(
+        task.order.begin(), task.order.begin() + static_cast<long>(keep),
+        task.order.end(),
+        [&task](const std::pair<double, std::uint32_t>& a,
+                const std::pair<double, std::uint32_t>& b) {
+          if (a.first != b.first) return a.first > b.first;
+          return task.all_candidates[a.second].children <
+                 task.all_candidates[b.second].children;  // Deterministic.
+        });
+    ParentResult& r = results[t];
+    r.ranked.clear();
+    r.ranked.reserve(keep);
+    for (std::size_t j = 0; j < keep; ++j) {
+      CandidateMapping m = task.all_candidates[task.order[j].second];
+      m.score = task.order[j].first;
+      r.ranked.push_back(std::move(m));
+    }
+  });
+}
+
+/// A candidate kept for the joint optimization: (task, ranked index).
+struct SolveVertex {
+  std::uint32_t task;
+  std::uint32_t cand;
+  double score;
+};
+
+/// Reusable per-run buffers for SolveBatch, so consecutive batches reuse
+/// heap capacity instead of reallocating every structure per batch. One
+/// instance per run keeps parallel run solving race-free.
+struct SolveScratch {
+  std::vector<SolveVertex> vertices;
+  /// Vertex ranges per task, for the same-task conflict cliques.
+  std::vector<std::pair<std::size_t, std::size_t>> task_ranges;
+  /// Inverted child index: (child span, vertex) pairs, sorted.
+  std::vector<std::pair<SpanId, std::uint32_t>> child_verts;
+  /// Conflict edges packed as (i << 32) | j with i < j.
+  std::vector<std::uint64_t> edges;
+  std::vector<std::uint32_t> degree;
+  MisProblem problem;
+};
 
 /// Joint optimization of one batch via max-weight independent set
 /// (§4.1 step 5). Candidates touching already-used children are excluded;
 /// chosen children are added to `used`.
 void SolveBatch(const Workspace& ws, const Batch& batch,
                 std::vector<ParentResult>& results,
-                std::unordered_set<SpanId>& used, ContainerResult& stats) {
-  struct Vertex {
-    std::size_t task;
-    std::size_t cand;
-    double score;
-  };
-  std::vector<Vertex> vertices;
+                std::unordered_set<SpanId>& used, SolveScratch& scratch,
+                std::size_t& mis_fallbacks) {
+  std::vector<SolveVertex>& vertices = scratch.vertices;
+  vertices.clear();
+  scratch.task_ranges.clear();
   for (std::size_t t = batch.begin; t < batch.end; ++t) {
     const auto& ranked = results[t].ranked;
+    const std::size_t start = vertices.size();
     for (std::size_t c = 0; c < ranked.size(); ++c) {
       bool conflict = false;
       for (SpanId id : ranked[c].children) {
@@ -425,13 +616,20 @@ void SolveBatch(const Workspace& ws, const Batch& batch,
           break;
         }
       }
-      if (!conflict) vertices.push_back({t, c, ranked[c].score});
+      if (!conflict) {
+        vertices.push_back({static_cast<std::uint32_t>(t),
+                            static_cast<std::uint32_t>(c),
+                            ranked[c].score});
+      }
+    }
+    if (vertices.size() > start) {
+      scratch.task_ranges.push_back({start, vertices.size()});
     }
   }
   if (vertices.empty()) return;
 
   double min_s = vertices[0].score, max_s = vertices[0].score;
-  for (const Vertex& v : vertices) {
+  for (const SolveVertex& v : vertices) {
     min_s = std::min(min_s, v.score);
     max_s = std::max(max_s, v.score);
   }
@@ -442,44 +640,85 @@ void SolveBatch(const Workspace& ws, const Batch& batch,
   const double range = max_s - min_s;
   const double big = (range + 1.0) * static_cast<double>(batch.size() + 1);
 
-  MisProblem problem;
+  MisProblem& problem = scratch.problem;
+  problem.weights.clear();
   problem.weights.reserve(vertices.size());
-  for (const Vertex& v : vertices) {
+  for (const SolveVertex& v : vertices) {
     const CandidateMapping& m = results[v.task].ranked[v.cand];
     const double filled =
         static_cast<double>(m.children.size() - m.skips);
     problem.weights.push_back((filled + 1.0) * big + (v.score - min_s) +
                               1.0);
   }
-  problem.adjacency.assign(vertices.size(), {});
-  for (std::size_t i = 0; i < vertices.size(); ++i) {
-    const auto& ci = results[vertices[i].task].ranked[vertices[i].cand];
-    for (std::size_t j = i + 1; j < vertices.size(); ++j) {
-      const auto& cj = results[vertices[j].task].ranked[vertices[j].cand];
-      bool edge = vertices[i].task == vertices[j].task;
-      if (!edge) {
-        for (SpanId a : ci.children) {
-          if (a == kSkippedChild) continue;
-          for (SpanId b : cj.children) {
-            if (a == b) {
-              edge = true;
-              break;
-            }
-          }
-          if (edge) break;
-        }
-      }
-      if (edge) {
-        problem.adjacency[i].push_back(static_cast<int>(j));
-        problem.adjacency[j].push_back(static_cast<int>(i));
+
+  // Conflict edges via an inverted child index: only vertex pairs that
+  // actually share a child generate edges, replacing the all-pairs
+  // children scan (O(V^2 * |children|^2)) with O(V * |children|) index
+  // construction plus output-sensitive edge generation. Edges are packed
+  // (i, j) with i < j, sorted and deduped in one pass.
+  std::vector<std::uint64_t>& edges = scratch.edges;
+  edges.clear();
+  const auto pack = [](std::uint32_t i, std::uint32_t j) {
+    return (static_cast<std::uint64_t>(i) << 32) | j;
+  };
+  for (const auto& [begin, end] : scratch.task_ranges) {
+    for (std::size_t i = begin; i < end; ++i) {
+      for (std::size_t j = i + 1; j < end; ++j) {
+        edges.push_back(pack(static_cast<std::uint32_t>(i),
+                             static_cast<std::uint32_t>(j)));
       }
     }
   }
+  std::vector<std::pair<SpanId, std::uint32_t>>& cv = scratch.child_verts;
+  cv.clear();
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    const CandidateMapping& m = results[vertices[i].task].ranked[vertices[i].cand];
+    for (SpanId id : m.children) {
+      if (id != kSkippedChild) cv.push_back({id, static_cast<std::uint32_t>(i)});
+    }
+  }
+  std::sort(cv.begin(), cv.end());
+  for (std::size_t lo = 0; lo < cv.size();) {
+    std::size_t hi = lo + 1;
+    while (hi < cv.size() && cv[hi].first == cv[lo].first) ++hi;
+    for (std::size_t a = lo; a < hi; ++a) {
+      for (std::size_t b = a + 1; b < hi; ++b) {
+        if (vertices[cv[a].second].task != vertices[cv[b].second].task) {
+          edges.push_back(pack(cv[a].second, cv[b].second));
+        }
+      }
+    }
+    lo = hi;
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
 
-  const MisSolution sol = SolveMwis(problem, ws.opts->params.mis_node_budget);
-  if (!sol.optimal) ++stats.mis_fallbacks;
+  // Filling adjacency from the sorted unique edge list emits every list in
+  // ascending order -- exactly what the old all-pairs scan produced, so the
+  // MWIS input (and thus the solution) is identical.
+  const std::size_t nv = vertices.size();
+  scratch.degree.assign(nv, 0);
+  for (const std::uint64_t e : edges) {
+    ++scratch.degree[e >> 32];
+    ++scratch.degree[e & 0xffffffffu];
+  }
+  problem.adjacency.resize(nv);
+  for (std::size_t v = 0; v < nv; ++v) {
+    problem.adjacency[v].clear();
+    problem.adjacency[v].reserve(scratch.degree[v]);
+  }
+  for (const std::uint64_t e : edges) {
+    const auto i = static_cast<int>(e >> 32);
+    const auto j = static_cast<int>(e & 0xffffffffu);
+    problem.adjacency[static_cast<std::size_t>(i)].push_back(j);
+    problem.adjacency[static_cast<std::size_t>(j)].push_back(i);
+  }
+
+  const MisSolution sol =
+      SolveMwis(problem, ws.opts->params.mis_node_budget);
+  if (!sol.optimal) ++mis_fallbacks;
   for (int vi : sol.chosen) {
-    const Vertex& v = vertices[static_cast<std::size_t>(vi)];
+    const SolveVertex& v = vertices[static_cast<std::size_t>(vi)];
     results[v.task].chosen = static_cast<int>(v.cand);
     for (SpanId id : results[v.task].ranked[v.cand].children) {
       if (id != kSkippedChild) used.insert(id);
@@ -511,9 +750,41 @@ void SolveGreedy(const Workspace& ws, std::vector<ParentResult>& results) {
   }
 }
 
-/// Refits the delay model from the current chosen mappings (§4.1 step 6).
-void RefitModel(const Workspace& ws, const std::vector<ParentResult>& results,
-                DelayModel& model) {
+/// Resolves a mapping's children to spans (cold paths only; the ranking
+/// hot path uses ParentTask::resolved).
+std::vector<const Span*> Resolve(const Workspace& ws,
+                                 const CandidateMapping& m) {
+  std::vector<const Span*> out;
+  out.reserve(m.children.size());
+  for (SpanId id : m.children) {
+    out.push_back(id == kSkippedChild ? nullptr : ws.span_by_id.at(id));
+  }
+  return out;
+}
+
+bool SameMixture(const GaussianMixture& a, const GaussianMixture& b) {
+  if (a.num_components() != b.num_components()) return false;
+  for (std::size_t i = 0; i < a.num_components(); ++i) {
+    const GmmComponent& ca = a.components()[i];
+    const GmmComponent& cb = b.components()[i];
+    if (ca.weight != cb.weight || ca.mean != cb.mean ||
+        ca.stddev != cb.stddev) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Refits the delay model from the current chosen mappings (§4.1 step 6)
+/// and returns the keys whose distribution actually changed. Keys whose
+/// gap samples are identical to the previous fit are skipped outright
+/// (FitGmmBicSweep is deterministic, so the fit would reproduce the
+/// installed mixture); `last_fitted` tracks the samples behind each
+/// installed fit.
+std::vector<DelayKey> RefitModel(
+    const Workspace& ws, const std::vector<ParentResult>& results,
+    DelayModel& model,
+    std::map<DelayKey, std::vector<double>>& last_fitted) {
   std::map<DelayKey, std::vector<double>> gaps;
   for (std::size_t t = 0; t < ws.tasks.size(); ++t) {
     const ParentResult& r = results[t];
@@ -524,11 +795,39 @@ void RefitModel(const Workspace& ws, const std::vector<ParentResult>& results,
                     ws.opts->use_order_constraints);
     for (const GapSample& s : samples) gaps[s.key].push_back(s.gap);
   }
+
   GmmFitOptions fit = ws.opts->gmm;
   fit.max_components = ws.opts->params.max_gmm_components;
-  for (const auto& [key, samples] : gaps) {
-    if (samples.size() >= 8) model.Refit(key, samples, fit);
+
+  struct Work {
+    const DelayKey* key;
+    std::vector<double>* samples;
+    GaussianMixture fitted;
+  };
+  std::vector<Work> work;
+  for (auto& [key, samples] : gaps) {
+    if (samples.size() < ws.opts->params.min_refit_samples) continue;
+    auto it = last_fitted.find(key);
+    if (it != last_fitted.end() && it->second == samples) continue;
+    work.push_back(Work{&key, &samples, {}});
   }
+  // Each fit is deterministic given its samples, so fitting in parallel
+  // and installing in key order gives the same model as the serial path.
+  ThreadPool::Run(ws.pool, work.size(), [&](std::size_t i) {
+    work[i].fitted = FitGmmBicSweep(*work[i].samples, fit);
+  });
+
+  std::vector<DelayKey> dirty;
+  for (Work& w : work) {
+    const GaussianMixture* prev = model.Find(*w.key);
+    const bool changed = prev == nullptr || !SameMixture(*prev, w.fitted);
+    last_fitted[*w.key] = std::move(*w.samples);
+    if (changed) {
+      model.Install(*w.key, std::move(w.fitted));
+      dirty.push_back(*w.key);
+    }
+  }
+  return dirty;
 }
 
 }  // namespace
@@ -543,6 +842,7 @@ void ContainerResult::AppendAssignment(ParentAssignment& out) const {
   }
 }
 
+
 ContainerResult OptimizeContainer(const ContainerView& view,
                                   const CallGraph& graph,
                                   const OptimizerOptions& options) {
@@ -550,6 +850,7 @@ ContainerResult OptimizeContainer(const ContainerView& view,
   ws.view = &view;
   ws.graph = &graph;
   ws.opts = &options;
+  ws.pool = options.pool;
 
   ContainerResult result;
   result.instance = view.instance;
@@ -580,6 +881,23 @@ ContainerResult OptimizeContainer(const ContainerView& view,
     }
   }
 
+  // Independent runs of batches: a trailing perfect cut ends a run, and
+  // Theorem A.1 guarantees batches across such a cut share no candidate
+  // children -- so runs can be solved concurrently against private `used`
+  // sets with no cross-run exclusions lost. Imperfect (size-forced) cuts
+  // keep their batches in one run, solved sequentially as before.
+  std::vector<std::pair<std::size_t, std::size_t>> runs;
+  std::size_t run_begin = 0;
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    if (batches[b].perfect) {
+      runs.push_back({run_begin, b + 1});
+      run_begin = b + 1;
+    }
+  }
+  if (run_begin < batches.size()) {
+    runs.push_back({run_begin, batches.size()});
+  }
+
   std::vector<ParentResult> results(ws.tasks.size());
   for (std::size_t t = 0; t < ws.tasks.size(); ++t) {
     results[t].parent = ws.tasks[t].span->id;
@@ -588,17 +906,38 @@ ContainerResult OptimizeContainer(const ContainerView& view,
   const std::size_t iterations =
       options.iterate ? std::max<std::size_t>(options.params.iterations, 1)
                       : 1;
+  std::map<DelayKey, std::vector<double>> last_fitted;
+  std::set<HandlerPair> dirty_handlers;
+  bool incremental = false;
   for (std::size_t iter = 0; iter < iterations; ++iter) {
-    RankCandidates(ws, model, batch_of_task, batch_rates, results);
+    RankCandidates(ws, model, batch_of_task, batch_rates,
+                   incremental ? &dirty_handlers : nullptr, results);
+    for (ParentResult& r : results) r.chosen = -1;
     if (options.use_joint_optimization) {
-      std::unordered_set<SpanId> used;
-      for (const Batch& batch : batches) {
-        SolveBatch(ws, batch, results, used, result);
-      }
+      std::vector<std::size_t> fallbacks(runs.size(), 0);
+      ThreadPool::Run(ws.pool, runs.size(), [&](std::size_t r) {
+        std::unordered_set<SpanId> used;
+        SolveScratch scratch;
+        for (std::size_t b = runs[r].first; b < runs[r].second; ++b) {
+          SolveBatch(ws, batches[b], results, used, scratch, fallbacks[r]);
+        }
+      });
+      for (const std::size_t f : fallbacks) result.mis_fallbacks += f;
     } else {
       SolveGreedy(ws, results);
     }
-    if (iter + 1 < iterations) RefitModel(ws, results, model);
+    if (iter + 1 < iterations) {
+      const std::vector<DelayKey> dirty =
+          RefitModel(ws, results, model, last_fitted);
+      // Convergence: an unchanged model reproduces this iteration's
+      // ranking and solution exactly, so further rounds are no-ops.
+      if (dirty.empty()) break;
+      dirty_handlers.clear();
+      for (const DelayKey& key : dirty) {
+        dirty_handlers.insert(HandlerPair{key.service, key.endpoint});
+      }
+      incremental = true;
+    }
   }
 
   result.parents = std::move(results);

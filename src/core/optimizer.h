@@ -28,8 +28,17 @@
 
 namespace traceweaver {
 
+class ThreadPool;
+
 struct OptimizerOptions {
   Parameters params;
+
+  /// Worker pool shared across the pipeline stages (per-task enumeration
+  /// and ranking, per-run batch solving, per-key GMM refits). Not owned;
+  /// must outlive the optimization. Null runs every stage serially.
+  /// Output is bit-identical for any pool size (see DESIGN.md,
+  /// "Concurrency model").
+  ThreadPool* pool = nullptr;
 
   /// Ablation toggles (Fig. 5).
   bool use_order_constraints = true;  ///< Line 3: invocation-order pruning.

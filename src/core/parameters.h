@@ -39,6 +39,10 @@ struct Parameters {
   /// back to greedy + local search.
   std::size_t mis_node_budget = 200000;
 
+  /// Minimum gap samples for a delay key before its distribution is refit
+  /// on iterations >= 2 (smaller sets keep the seed).
+  std::size_t min_refit_samples = 8;
+
   /// Window (ns) over which outgoing/incoming discrepancies are totaled to
   /// size the skip-span budget (§4.2 step 1; paper: ~10 s).
   long long dynamism_window_ns = 10'000'000'000LL;

@@ -1,10 +1,9 @@
 #include "core/trace_weaver.h"
 
-#include <algorithm>
-#include <atomic>
-#include <thread>
+#include <utility>
 
 #include "trace/trace_store.h"
+#include "util/thread_pool.h"
 
 namespace traceweaver {
 
@@ -31,7 +30,15 @@ std::map<std::string, double> TraceWeaverOutput::ConfidenceByService() const {
 }
 
 TraceWeaver::TraceWeaver(CallGraph graph, TraceWeaverOptions options)
-    : graph_(std::move(graph)), options_(options) {}
+    : graph_(std::move(graph)), options_(options) {
+  if (options_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+}
+
+TraceWeaver::~TraceWeaver() = default;
+TraceWeaver::TraceWeaver(TraceWeaver&&) noexcept = default;
+TraceWeaver& TraceWeaver::operator=(TraceWeaver&&) noexcept = default;
 
 TraceWeaverOutput TraceWeaver::Reconstruct(
     const std::vector<Span>& spans) const {
@@ -39,32 +46,19 @@ TraceWeaverOutput TraceWeaver::Reconstruct(
   for (const Span& s : spans) out.assignment[s.id] = kInvalidSpanId;
 
   SpanStore store(spans);
-  const std::vector<ServiceInstance> containers = store.Containers();
-  out.containers.resize(containers.size());
+  const std::vector<ContainerView> views = store.AllViews();
+  out.containers.resize(views.size());
 
-  if (options_.num_threads <= 1 || containers.size() <= 1) {
-    for (std::size_t i = 0; i < containers.size(); ++i) {
-      out.containers[i] = OptimizeContainer(store.ViewOf(containers[i]),
-                                            graph_, options_.optimizer);
-    }
-  } else {
-    // Containers are independent; shard them across workers. Results land
-    // in per-container slots, so output is identical to the serial order.
-    std::atomic<std::size_t> next{0};
-    auto worker = [&] {
-      for (std::size_t i = next.fetch_add(1); i < containers.size();
-           i = next.fetch_add(1)) {
-        out.containers[i] = OptimizeContainer(store.ViewOf(containers[i]),
-                                              graph_, options_.optimizer);
-      }
-    };
-    std::vector<std::thread> threads;
-    const std::size_t n =
-        std::min(options_.num_threads, containers.size());
-    threads.reserve(n);
-    for (std::size_t t = 0; t < n; ++t) threads.emplace_back(worker);
-    for (std::thread& t : threads) t.join();
-  }
+  // Containers are independent problems; the same pool also serves the
+  // stages inside each OptimizeContainer (the caller-participating
+  // ParallelFor makes the nesting deadlock-free). Results land in
+  // per-container slots and every stage is order-insensitive, so output is
+  // bit-identical to a serial run.
+  OptimizerOptions oopts = options_.optimizer;
+  oopts.pool = pool_.get();
+  ThreadPool::Run(pool_.get(), views.size(), [&](std::size_t i) {
+    out.containers[i] = OptimizeContainer(views[i], graph_, oopts);
+  });
   for (const ContainerResult& result : out.containers) {
     result.AppendAssignment(out.assignment);
   }

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -24,12 +25,15 @@
 
 namespace traceweaver {
 
+class ThreadPool;
+
 struct TraceWeaverOptions {
   OptimizerOptions optimizer;
-  /// Worker threads for reconstruction. Containers are independent
-  /// optimization problems (§6.5: disjoint span sets can be handled by
-  /// parallel TraceWeaver instances), so they parallelize trivially.
-  /// 1 = fully serial.
+  /// Worker threads for reconstruction, shared across every level of the
+  /// pipeline: independent containers (§6.5), and within a container the
+  /// per-span enumeration/ranking, per-run batch solving, and per-key GMM
+  /// refits (see DESIGN.md, "Concurrency model"). Output is bit-identical
+  /// for any thread count. 1 = fully serial, no pool is created.
   std::size_t num_threads = 1;
 };
 
@@ -49,6 +53,9 @@ struct TraceWeaverOutput {
 class TraceWeaver : public Mapper {
  public:
   explicit TraceWeaver(CallGraph graph, TraceWeaverOptions options = {});
+  ~TraceWeaver() override;
+  TraceWeaver(TraceWeaver&&) noexcept;
+  TraceWeaver& operator=(TraceWeaver&&) noexcept;
 
   std::string name() const override { return "TraceWeaver"; }
 
@@ -65,6 +72,9 @@ class TraceWeaver : public Mapper {
  private:
   CallGraph graph_;
   TraceWeaverOptions options_;
+  /// Shared worker pool (created iff num_threads > 1), reused across
+  /// Reconstruct calls and all pipeline levels within them.
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace traceweaver

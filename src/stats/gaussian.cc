@@ -7,7 +7,7 @@
 
 namespace traceweaver {
 namespace {
-constexpr double kLogTwoPi = 1.8378770664093454836;
+
 }  // namespace
 
 double Gaussian::LogPdf(double x) const {

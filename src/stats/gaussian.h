@@ -15,6 +15,9 @@ namespace traceweaver {
 /// scores finite when a delay population is (near-)degenerate.
 constexpr double kMinGaussianStddev = 1e-6;
 
+/// log(2*pi), shared by Gaussian and GaussianMixture log-densities.
+constexpr double kLogTwoPi = 1.8378770664093454836;
+
 struct Gaussian {
   double mean = 0.0;
   double stddev = 1.0;

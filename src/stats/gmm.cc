@@ -12,14 +12,22 @@ namespace {
 constexpr double kMinWeight = 1e-9;
 
 /// Numerically stable log-sum-exp over a small fixed array.
-double LogSumExp(const std::vector<double>& xs) {
+double LogSumExp(const double* xs, std::size_t n) {
   double mx = -std::numeric_limits<double>::infinity();
-  for (double x : xs) mx = std::max(mx, x);
+  for (std::size_t i = 0; i < n; ++i) mx = std::max(mx, xs[i]);
   if (!std::isfinite(mx)) return mx;
   double s = 0.0;
-  for (double x : xs) s += std::exp(x - mx);
+  for (std::size_t i = 0; i < n; ++i) s += std::exp(xs[i] - mx);
   return mx + std::log(s);
 }
+
+double LogSumExp(const std::vector<double>& xs) {
+  return LogSumExp(xs.data(), xs.size());
+}
+
+/// Stack buffer for per-component terms in the common case (C <= 16);
+/// mixtures larger than that spill to the heap.
+constexpr std::size_t kStackComponents = 16;
 
 /// k-means++-style initialization: pick means spread across the data, then
 /// set uniform weights and a shared stddev.
@@ -83,15 +91,37 @@ GaussianMixture GaussianMixture::FromGaussian(const Gaussian& g) {
                                                 kMinGaussianStddev)}});
 }
 
+void GaussianMixture::BuildCache() {
+  cache_.resize(components_.size());
+  for (std::size_t c = 0; c < components_.size(); ++c) {
+    const double s = std::max(components_[c].stddev, kMinGaussianStddev);
+    cache_[c].stddev = s;
+    cache_[c].log_stddev = std::log(s);
+    cache_[c].log_weight =
+        std::log(std::max(components_[c].weight, kMinWeight));
+  }
+}
+
 double GaussianMixture::LogPdf(double x) const {
   if (components_.empty()) return Gaussian{}.LogPdf(x);
-  std::vector<double> terms;
-  terms.reserve(components_.size());
-  for (const auto& c : components_) {
-    Gaussian g{c.mean, c.stddev};
-    terms.push_back(std::log(std::max(c.weight, kMinWeight)) + g.LogPdf(x));
+  // Same arithmetic as summing log(weight) + Gaussian::LogPdf(x) per
+  // component, with the x-independent terms read from the cache -- results
+  // are bit-identical to the uncached path.
+  const std::size_t k = components_.size();
+  double stack[kStackComponents];
+  std::vector<double> heap;
+  double* terms = stack;
+  if (k > kStackComponents) {
+    heap.resize(k);
+    terms = heap.data();
   }
-  return LogSumExp(terms);
+  for (std::size_t c = 0; c < k; ++c) {
+    const ComponentCache& cc = cache_[c];
+    const double z = (x - components_[c].mean) / cc.stddev;
+    terms[c] =
+        cc.log_weight + (-0.5 * (kLogTwoPi + z * z) - cc.log_stddev);
+  }
+  return LogSumExp(terms, k);
 }
 
 double GaussianMixture::Pdf(double x) const { return std::exp(LogPdf(x)); }
@@ -137,16 +167,24 @@ GaussianMixture FitGmm(const std::vector<double>& samples,
   std::vector<double> resp(n * k);
   double prev_ll = -std::numeric_limits<double>::infinity();
 
+  std::vector<double> logterms(k);
+  std::vector<double> log_w(k), sigma(k), log_sigma(k);
   for (std::size_t iter = 0; iter < options.em_iterations; ++iter) {
-    // E step.
+    // E step. The sample-independent terms -- log(weight), the floored
+    // stddev and its log -- are hoisted out of the sample loop; the
+    // per-sample arithmetic is unchanged, so responsibilities and the
+    // log-likelihood are bit-identical to the unhoisted form.
+    for (std::size_t c = 0; c < k; ++c) {
+      log_w[c] = std::log(std::max(comps[c].weight, kMinWeight));
+      sigma[c] = std::max(comps[c].stddev, kMinGaussianStddev);
+      log_sigma[c] = std::log(sigma[c]);
+    }
     double ll = 0.0;
-    std::vector<double> logterms(k);
     for (std::size_t i = 0; i < n; ++i) {
       for (std::size_t c = 0; c < k; ++c) {
-        Gaussian g{comps[c].mean, comps[c].stddev};
+        const double z = (samples[i] - comps[c].mean) / sigma[c];
         logterms[c] =
-            std::log(std::max(comps[c].weight, kMinWeight)) +
-            g.LogPdf(samples[i]);
+            log_w[c] + (-0.5 * (kLogTwoPi + z * z) - log_sigma[c]);
       }
       const double lse = LogSumExp(logterms);
       ll += lse;

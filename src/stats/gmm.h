@@ -21,11 +21,18 @@ struct GmmComponent {
 };
 
 /// A fitted univariate Gaussian mixture.
+///
+/// Components are immutable after construction, so the per-component terms
+/// LogPdf needs on every call -- floored stddev, log(stddev), log(weight)
+/// -- are precomputed once here. LogPdf is the innermost operation of both
+/// candidate scoring and EM/BIC fitting.
 class GaussianMixture {
  public:
   GaussianMixture() = default;
   explicit GaussianMixture(std::vector<GmmComponent> components)
-      : components_(std::move(components)) {}
+      : components_(std::move(components)) {
+    BuildCache();
+  }
 
   /// Builds a single-component mixture from a plain Gaussian.
   static GaussianMixture FromGaussian(const Gaussian& g);
@@ -47,7 +54,17 @@ class GaussianMixture {
   double Bic(const std::vector<double>& samples) const;
 
  private:
+  void BuildCache();
+
+  /// Precomputed per-component scoring terms (see class comment).
+  struct ComponentCache {
+    double stddev = 1.0;      ///< Floored.
+    double log_stddev = 0.0;  ///< log(floored stddev).
+    double log_weight = 0.0;  ///< log(max(weight, floor)).
+  };
+
   std::vector<GmmComponent> components_;
+  std::vector<ComponentCache> cache_;
 };
 
 struct GmmFitOptions {

@@ -41,6 +41,40 @@ ContainerView SpanStore::ViewOf(const ServiceInstance& instance) const {
   return view;
 }
 
+std::vector<ContainerView> SpanStore::AllViews() const {
+  // Containers exist where spans arrive (callee side); grouping the callee
+  // pass first means the caller pass can drop outgoing spans of pure
+  // clients, exactly like the per-container scans in ViewOf.
+  std::map<ServiceInstance, ContainerView> by_instance;
+  for (const Span& s : spans_) {
+    ServiceInstance key{s.callee, s.callee_replica};
+    by_instance[key].incoming.push_back(&s);
+  }
+  for (const Span& s : spans_) {
+    auto it = by_instance.find(ServiceInstance{s.caller, s.caller_replica});
+    if (it != by_instance.end()) {
+      it->second.outgoing_by_callee[s.callee].push_back(&s);
+    }
+  }
+  std::vector<ContainerView> views;
+  views.reserve(by_instance.size());
+  for (auto& [instance, view] : by_instance) {
+    view.instance = instance;
+    std::sort(view.incoming.begin(), view.incoming.end(),
+              [](const Span* a, const Span* b) {
+                return SpanStartOrder{}(*a, *b);
+              });
+    for (auto& [callee, list] : view.outgoing_by_callee) {
+      std::sort(list.begin(), list.end(),
+                [](const Span* a, const Span* b) {
+                  return SpanClientSendOrder{}(*a, *b);
+                });
+    }
+    views.push_back(std::move(view));
+  }
+  return views;
+}
+
 const Span* SpanStore::Find(SpanId id) const {
   for (const Span& s : spans_) {
     if (s.id == id) return &s;

@@ -1,0 +1,102 @@
+#include "util/thread_pool.h"
+
+namespace traceweaver {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  const std::size_t workers = num_threads > 1 ? num_threads - 1 : 0;
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::DrainJob(Job& job) {
+  for (std::size_t i = job.next.fetch_add(1); i < job.n;
+       i = job.next.fetch_add(1)) {
+    (*job.fn)(i);
+    if (job.done.fetch_add(1) + 1 == job.n) {
+      // Last index finished; wake the owner. Lock so the notify cannot
+      // slip between the owner's predicate check and its wait.
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->n = n;
+  job->fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    jobs_.push_back(job);
+  }
+  work_cv_.notify_all();
+
+  // The caller works too: even if every worker is busy (or this call came
+  // from inside a worker), the loop completes.
+  DrainJob(*job);
+
+  // All indices are claimed; drop the job from the queue if no worker has
+  // pruned it yet, then wait out stragglers still running their last index.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = jobs_.begin(); it != jobs_.end(); ++it) {
+      if (it->get() == job.get()) {
+        jobs_.erase(it);
+        break;
+      }
+    }
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return job->done.load() == job->n; });
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || !jobs_.empty(); });
+    if (stop_) return;
+    // Front job with unclaimed indices; prune exhausted ones on the way.
+    std::shared_ptr<Job> job;
+    while (!jobs_.empty()) {
+      if (jobs_.front()->next.load() >= jobs_.front()->n) {
+        jobs_.pop_front();
+        continue;
+      }
+      job = jobs_.front();
+      break;
+    }
+    if (job == nullptr) continue;
+    lock.unlock();
+    DrainJob(*job);
+    lock.lock();
+  }
+}
+
+void ThreadPool::Run(ThreadPool* pool, std::size_t n,
+                     const std::function<void(std::size_t)>& fn) {
+  if (pool == nullptr) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  pool->ParallelFor(n, fn);
+}
+
+}  // namespace traceweaver

@@ -1,0 +1,76 @@
+// A reusable worker pool for data-parallel loops.
+//
+// One pool is shared across the whole reconstruction pipeline (containers,
+// per-task enumeration/ranking, per-run batch solving, per-key GMM refits)
+// so a single thread count governs total parallelism instead of each stage
+// spawning and joining its own threads.
+//
+// ParallelFor is *caller-participating*: the invoking thread claims and
+// executes indices alongside the workers, so a ParallelFor issued from
+// inside a worker (nested parallelism) can always finish on its own even
+// when every other worker is busy -- completion never depends on pool
+// capacity, which makes nesting deadlock-free by construction.
+//
+// Determinism contract: ParallelFor(n, fn) runs fn(i) exactly once for each
+// i in [0, n), in unspecified order and possibly concurrently. Callers get
+// deterministic pipelines by writing results into per-index slots and
+// merging them in index order after the call returns.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace traceweaver {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` workers (the caller of ParallelFor is the
+  /// remaining thread). `num_threads <= 1` spawns nothing and ParallelFor
+  /// degrades to a plain serial loop.
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total threads that may execute loop bodies (workers + caller).
+  std::size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Runs fn(i) exactly once for every i in [0, n); blocks until all
+  /// indices completed. Safe to call concurrently from multiple threads
+  /// and from inside a running loop body (nested). `fn` must not throw.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Convenience wrapper: serial loop when `pool` is null, ParallelFor
+  /// otherwise. Lets pipeline stages take an optional pool pointer.
+  static void Run(ThreadPool* pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Job {
+    std::atomic<std::size_t> next{0};  ///< Next unclaimed index.
+    std::atomic<std::size_t> done{0};  ///< Completed indices.
+    std::size_t n = 0;
+    const std::function<void(std::size_t)>* fn = nullptr;
+  };
+
+  void WorkerLoop();
+  /// Claims and runs indices of `job` until none remain unclaimed.
+  void DrainJob(Job& job);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< Workers sleep here.
+  std::condition_variable done_cv_;  ///< ParallelFor callers wait here.
+  std::deque<std::shared_ptr<Job>> jobs_;  ///< Jobs with unclaimed indices.
+  bool stop_ = false;
+};
+
+}  // namespace traceweaver

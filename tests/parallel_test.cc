@@ -1,0 +1,109 @@
+// Bitwise determinism of the parallel reconstruction pipeline: any thread
+// count must reproduce the serial run exactly -- same parent assignment,
+// same ranked candidate order and scores, same chosen indices, same
+// confidence summary. Every parallel stage writes into per-index slots and
+// merges in index order, and no floating-point expression depends on
+// execution order, so equality here is exact, not approximate.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "callgraph/inference.h"
+#include "collector/capture.h"
+#include "core/trace_weaver.h"
+#include "sim/apps.h"
+#include "sim/workload.h"
+
+namespace traceweaver {
+namespace {
+
+struct Pipeline {
+  std::vector<Span> spans;
+  CallGraph graph;
+};
+
+Pipeline RunPipeline(const sim::AppSpec& app, double rps, double seconds) {
+  Pipeline p;
+  sim::IsolatedReplayOptions iso;
+  iso.requests_per_root = 20;
+  p.graph = InferCallGraph(
+      collector::CaptureRoundTrip(sim::RunIsolatedReplay(app, iso).spans));
+  sim::OpenLoopOptions load;
+  load.requests_per_sec = rps;
+  load.duration = Seconds(seconds);
+  load.seed = 31;
+  p.spans = collector::CaptureRoundTrip(sim::RunOpenLoop(app, load).spans);
+  return p;
+}
+
+TraceWeaverOutput Reconstruct(const Pipeline& p, std::size_t threads) {
+  TraceWeaverOptions opts;
+  opts.num_threads = threads;
+  TraceWeaver weaver(p.graph, opts);
+  return weaver.Reconstruct(p.spans);
+}
+
+/// Exact (bitwise, for the double scores) equality of two outputs.
+void ExpectIdentical(const TraceWeaverOutput& a, const TraceWeaverOutput& b,
+                     std::size_t threads) {
+  SCOPED_TRACE("threads=" + std::to_string(threads));
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.ConfidenceByService(), b.ConfidenceByService());
+  ASSERT_EQ(a.containers.size(), b.containers.size());
+  for (std::size_t c = 0; c < a.containers.size(); ++c) {
+    const ContainerResult& ca = a.containers[c];
+    const ContainerResult& cb = b.containers[c];
+    EXPECT_EQ(ca.instance.service, cb.instance.service);
+    EXPECT_EQ(ca.mis_fallbacks, cb.mis_fallbacks);
+    ASSERT_EQ(ca.parents.size(), cb.parents.size());
+    for (std::size_t t = 0; t < ca.parents.size(); ++t) {
+      const ParentResult& pa = ca.parents[t];
+      const ParentResult& pb = cb.parents[t];
+      ASSERT_EQ(pa.parent, pb.parent);
+      EXPECT_EQ(pa.chosen, pb.chosen);
+      ASSERT_EQ(pa.ranked.size(), pb.ranked.size());
+      for (std::size_t r = 0; r < pa.ranked.size(); ++r) {
+        EXPECT_EQ(pa.ranked[r].children, pb.ranked[r].children);
+        // Exact double equality on purpose: the contract is bitwise.
+        EXPECT_EQ(pa.ranked[r].score, pb.ranked[r].score);
+        EXPECT_EQ(pa.ranked[r].skips, pb.ranked[r].skips);
+      }
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, MultiContainerWorkload) {
+  const Pipeline p = RunPipeline(sim::MakeHotelReservationApp(), 400, 2);
+  const TraceWeaverOutput serial = Reconstruct(p, 1);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    ExpectIdentical(serial, Reconstruct(p, threads), threads);
+  }
+}
+
+TEST(ParallelDeterminismTest, DynamismActiveWorkload) {
+  // Search caching makes backend calls conditional: the skip-budget
+  // machinery (water-filling, WAP5 seeds, skip-aware scoring) is active,
+  // covering the code paths the plain workload never hits.
+  const Pipeline p = RunPipeline(sim::MakeHotelReservationApp(0.5), 400, 2);
+  const TraceWeaverOutput serial = Reconstruct(p, 1);
+
+  // Sanity: the scenario really exercises skips.
+  std::size_t skipped_mappings = 0;
+  for (const ContainerResult& c : serial.containers) {
+    for (const ParentResult& r : c.parents) {
+      if (r.Mapped() &&
+          r.ranked[static_cast<std::size_t>(r.chosen)].skips > 0) {
+        ++skipped_mappings;
+      }
+    }
+  }
+  EXPECT_GT(skipped_mappings, 0u);
+
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    ExpectIdentical(serial, Reconstruct(p, threads), threads);
+  }
+}
+
+}  // namespace
+}  // namespace traceweaver

@@ -1,0 +1,93 @@
+// Tests of the reusable worker pool: exactly-once index execution, serial
+// degradation, nesting from inside loop bodies, and concurrent callers.
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace traceweaver {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> counts(kN);
+  pool.ParallelFor(kN, [&](std::size_t i) { counts[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(counts[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, SinglethreadPoolDegeneratesToSerialLoop) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  // Serial execution is in index order; record it to prove no threading.
+  std::vector<std::size_t> order;
+  pool.ParallelFor(100, [&](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 100u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolTest, NullPoolStaticRunIsSerial) {
+  std::vector<std::size_t> order;
+  ThreadPool::Run(nullptr, 50, [&](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 50u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolTest, EmptyLoopReturnsImmediately) {
+  ThreadPool pool(4);
+  bool ran = false;
+  pool.ParallelFor(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, NestedParallelForCompletes) {
+  // Every outer body issues an inner loop on the same pool. The caller-
+  // participating design guarantees completion even with all workers busy.
+  ThreadPool pool(4);
+  constexpr std::size_t kOuter = 32;
+  constexpr std::size_t kInner = 64;
+  std::vector<std::atomic<int>> counts(kOuter * kInner);
+  pool.ParallelFor(kOuter, [&](std::size_t o) {
+    pool.ParallelFor(kInner, [&](std::size_t i) {
+      counts[o * kInner + i].fetch_add(1);
+    });
+  });
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    ASSERT_EQ(counts[i].load(), 1) << "slot " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ConcurrentCallersShareOnePool) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCallers = 6;
+  constexpr std::size_t kN = 2000;
+  std::vector<std::vector<std::atomic<int>>> counts(kCallers);
+  for (auto& c : counts) {
+    c = std::vector<std::atomic<int>>(kN);
+  }
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (std::size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      pool.ParallelFor(kN, [&, c](std::size_t i) {
+        counts[c][i].fetch_add(1);
+      });
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (std::size_t c = 0; c < kCallers; ++c) {
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(counts[c][i].load(), 1) << "caller " << c << " index " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace traceweaver

@@ -9,6 +9,9 @@
 //                                                       truth in the file
 //   traceweaver export-jaeger <graph.txt> <spans.jsonl> Jaeger UI JSON
 //
+// The reconstruction commands accept --threads=N (default: all hardware
+// threads); reconstruction output is bit-identical for every N.
+//
 // Apps: hotel | media | nodejs | chain | ab. Spans JSONL written by
 // `simulate`/`replay` carries ground truth so `evaluate` can score
 // reconstructions; `reconstruct` never reads those fields.
@@ -17,6 +20,7 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "callgraph/inference.h"
 #include "callgraph/serialization.h"
@@ -41,10 +45,36 @@ int Usage() {
       "  traceweaver replay <hotel|media|nodejs|chain|ab> "
       "[requests_per_root]\n"
       "  traceweaver infer-graph <spans.jsonl>\n"
-      "  traceweaver reconstruct <graph.txt> <spans.jsonl>\n"
-      "  traceweaver evaluate <graph.txt> <spans.jsonl>\n"
-      "  traceweaver export-jaeger <graph.txt> <spans.jsonl>\n");
+      "  traceweaver reconstruct [--threads=N] <graph.txt> <spans.jsonl>\n"
+      "  traceweaver evaluate [--threads=N] <graph.txt> <spans.jsonl>\n"
+      "  traceweaver export-jaeger [--threads=N] <graph.txt> "
+      "<spans.jsonl>\n"
+      "\n"
+      "--threads=N   worker threads for reconstruction (default: all\n"
+      "              hardware threads); output is identical for every N\n");
   return 2;
+}
+
+/// Consumes a leading --threads=N argument if present, shifting argv.
+/// Returns the thread count to use (hardware concurrency by default).
+std::size_t ParseThreadsFlag(int& argc, char**& argv) {
+  std::size_t threads =
+      std::max(1u, std::thread::hardware_concurrency());
+  if (argc > 1 && std::string(argv[1]).rfind("--threads=", 0) == 0) {
+    threads = static_cast<std::size_t>(
+        std::strtoull(argv[1] + 10, nullptr, 10));
+    if (threads == 0) threads = 1;
+    --argc;
+    ++argv;
+    argv[0] = argv[-1];  // Keep argv[0] pointing at a program name.
+  }
+  return threads;
+}
+
+TraceWeaverOptions ThreadedOptions(std::size_t threads) {
+  TraceWeaverOptions opts;
+  opts.num_threads = threads;
+  return opts;
 }
 
 std::optional<sim::AppSpec> AppByName(const std::string& name) {
@@ -129,12 +159,13 @@ int CmdInferGraph(int argc, char** argv) {
 }
 
 int CmdReconstruct(int argc, char** argv) {
+  const std::size_t threads = ParseThreadsFlag(argc, argv);
   if (argc < 3) return Usage();
   auto graph = LoadGraph(argv[1]);
   auto spans = LoadSpans(argv[2]);
   if (!graph || !spans) return 1;
 
-  TraceWeaver weaver(*graph);
+  TraceWeaver weaver(*graph, ThreadedOptions(threads));
   const TraceWeaverOutput out = weaver.Reconstruct(*spans);
   std::size_t mapped = 0;
   for (const Span& s : *spans) {
@@ -152,23 +183,25 @@ int CmdReconstruct(int argc, char** argv) {
 }
 
 int CmdExportJaeger(int argc, char** argv) {
+  const std::size_t threads = ParseThreadsFlag(argc, argv);
   if (argc < 3) return Usage();
   auto graph = LoadGraph(argv[1]);
   auto spans = LoadSpans(argv[2]);
   if (!graph || !spans) return 1;
-  TraceWeaver weaver(*graph);
+  TraceWeaver weaver(*graph, ThreadedOptions(threads));
   const TraceWeaverOutput out = weaver.Reconstruct(*spans);
   std::cout << TracesToJaegerJson(*spans, out.assignment) << '\n';
   return 0;
 }
 
 int CmdEvaluate(int argc, char** argv) {
+  const std::size_t threads = ParseThreadsFlag(argc, argv);
   if (argc < 3) return Usage();
   auto graph = LoadGraph(argv[1]);
   auto spans = LoadSpans(argv[2]);
   if (!graph || !spans) return 1;
 
-  TraceWeaver weaver(*graph);
+  TraceWeaver weaver(*graph, ThreadedOptions(threads));
   const TraceWeaverOutput out = weaver.Reconstruct(*spans);
   const AccuracyReport report = Evaluate(*spans, out.assignment);
   std::printf("spans:   %zu considered, %zu correct (%.2f%%)\n",

@@ -183,6 +183,50 @@ void RunThreadSweep() {
     record("reconstruct", threads, secs);
   }
   {
+    // Metrics-enabled serial run: the instrumentation must not change the
+    // assignment (bit-identical to the plain serial run) and its cost is
+    // recorded in the note field. Plain and instrumented reps are
+    // interleaved and compared min-to-min so machine-load drift cancels
+    // out of the overhead estimate.
+    obs::MetricsRegistry registry;
+    TraceWeaverOptions mopts;
+    mopts.num_threads = 1;
+    mopts.metrics = &registry;
+    TraceWeaver instrumented(data.graph, mopts);
+    TraceWeaverOptions popts;
+    popts.num_threads = 1;
+    TraceWeaver plain(data.graph, popts);
+
+    double best_plain = std::numeric_limits<double>::infinity();
+    double best_metrics = std::numeric_limits<double>::infinity();
+    ParentAssignment got;
+    for (int rep = 0; rep < 9; ++rep) {
+      best_plain = std::min(
+          best_plain,
+          BestOfSeconds(1, [&] {
+            benchmark::DoNotOptimize(plain.Reconstruct(data.spans));
+          }));
+      best_metrics = std::min(best_metrics, BestOfSeconds(1, [&] {
+        got = instrumented.Reconstruct(data.spans).assignment;
+      }));
+    }
+    if (got != serial) {
+      std::fprintf(stderr,
+                   "FATAL: metrics-enabled assignment differs from plain\n");
+      std::exit(1);
+    }
+    record("reconstruct_metrics", 1, best_metrics);
+    char note[128];
+    std::snprintf(note, sizeof(note),
+                  "metrics on; overhead %+.1f%% vs interleaved plain serial; "
+                  "assignment bit-identical",
+                  (best_metrics / best_plain - 1.0) * 100.0);
+    records.back().note = note;
+    std::printf("  %s\n", note);
+    const std::string report = WriteRunReportJson("perf", registry);
+    std::printf("wrote %s\n", report.c_str());
+  }
+  {
     TraceWeaverOptions opts;
     opts.optimizer.iterate = false;
     TraceWeaver weaver(data.graph, opts);

@@ -8,6 +8,7 @@
 #include "callgraph/inference.h"
 #include "collector/capture.h"
 #include "core/accuracy.h"
+#include "obs/run_report.h"
 #include "sim/workload.h"
 
 namespace traceweaver::bench {
@@ -29,9 +30,12 @@ Dataset Prepare(const sim::AppSpec& app, double rps, double seconds,
   return data;
 }
 
-std::vector<std::unique_ptr<Mapper>> AllMappers(const CallGraph& graph) {
+std::vector<std::unique_ptr<Mapper>> AllMappers(
+    const CallGraph& graph, obs::MetricsRegistry* metrics) {
   std::vector<std::unique_ptr<Mapper>> mappers;
-  mappers.push_back(std::make_unique<TraceWeaver>(graph));
+  TraceWeaverOptions opts;
+  opts.metrics = metrics;
+  mappers.push_back(std::make_unique<TraceWeaver>(graph, opts));
   mappers.push_back(std::make_unique<Wap5Mapper>());
   mappers.push_back(std::make_unique<VPathMapper>());
   mappers.push_back(std::make_unique<FcfsMapper>());
@@ -67,6 +71,18 @@ std::string WriteBenchJson(const std::string& tag,
                  i + 1 < records.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return path;
+}
+
+std::string WriteRunReportJson(const std::string& tag,
+                               const obs::MetricsRegistry& registry) {
+  const std::string path = "REPORT_" + tag + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return "";
+  const std::string json =
+      obs::RunReportJson(obs::BuildRunReport(registry.Snapshot()));
+  std::fwrite(json.data(), 1, json.size(), f);
   std::fclose(f);
   return path;
 }

@@ -10,6 +10,7 @@
 #include "baselines/mapper.h"
 #include "callgraph/call_graph.h"
 #include "core/trace_weaver.h"
+#include "obs/metrics.h"
 #include "sim/spec.h"
 #include "trace/span.h"
 
@@ -26,8 +27,11 @@ Dataset Prepare(const sim::AppSpec& app, double rps, double seconds,
                 std::uint64_t seed = 31);
 
 /// All four algorithms (TraceWeaver + the three baselines), in the order
-/// the paper plots them.
-std::vector<std::unique_ptr<Mapper>> AllMappers(const CallGraph& graph);
+/// the paper plots them. When `metrics` is non-null, the TraceWeaver
+/// instance records pipeline metrics into it (the baselines are
+/// unaffected), so benches can emit a run report next to their numbers.
+std::vector<std::unique_ptr<Mapper>> AllMappers(
+    const CallGraph& graph, obs::MetricsRegistry* metrics = nullptr);
 
 /// End-to-end trace accuracy of a mapper on a dataset.
 double TraceAccuracyOf(Mapper& mapper, const Dataset& data);
@@ -51,5 +55,12 @@ struct BenchRecord {
 /// file name.
 std::string WriteBenchJson(const std::string& tag,
                            const std::vector<BenchRecord>& records);
+
+/// Writes `REPORT_<tag>.json` into the working directory: the structured
+/// run report (schema traceweaver.run_report.v1) built from `registry`'s
+/// current snapshot -- the machine-readable companion to BENCH_<tag>.json
+/// explaining where the reconstruction time went. Returns the file name.
+std::string WriteRunReportJson(const std::string& tag,
+                               const obs::MetricsRegistry& registry);
 
 }  // namespace traceweaver::bench

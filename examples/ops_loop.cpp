@@ -6,6 +6,11 @@
 //   day 2:  a deployment makes svc-b 3 ms slower. The KS drift detector
 //           flags the model as stale; the operator re-learns and the
 //           regression report pins the shift on svc-b's self time.
+//
+// The loop also keeps a metrics registry plugged into the weaver and dumps
+// a Prometheus text snapshot (ops_metrics.prom) after every reconstruction
+// pass -- the file a node_exporter textfile collector (or any scraper)
+// would pick up in a real deployment.
 #include <cstdio>
 #include <map>
 #include <thread>
@@ -16,6 +21,8 @@
 #include "core/accuracy.h"
 #include "core/drift.h"
 #include "core/trace_weaver.h"
+#include "obs/metrics.h"
+#include "obs/prometheus.h"
 #include "sim/apps.h"
 #include "sim/workload.h"
 
@@ -63,6 +70,18 @@ std::map<DelayKey, std::vector<double>> GapsFrom(
   return gaps;
 }
 
+/// Dumps the registry as Prometheus text exposition to ops_metrics.prom,
+/// overwriting the previous snapshot (textfile-collector style).
+void DumpMetrics(const obs::MetricsRegistry& registry) {
+  const std::string text = obs::PrometheusText(registry.Snapshot());
+  if (std::FILE* f = std::fopen("ops_metrics.prom", "w")) {
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    std::printf("  [metrics snapshot -> ops_metrics.prom, %zu bytes]\n",
+                text.size());
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -73,16 +92,20 @@ int main() {
   iso.requests_per_root = 20;
   CallGraph graph = InferCallGraph(sim::RunIsolatedReplay(v1, iso).spans);
   // Use every hardware thread; the parallel pipeline reproduces the serial
-  // reconstruction bit-for-bit, so ops tooling can scale freely.
+  // reconstruction bit-for-bit, so ops tooling can scale freely. Metrics
+  // accumulate across passes in one registry that outlives the weaver.
+  obs::MetricsRegistry metrics;
   TraceWeaverOptions weaver_opts;
   weaver_opts.num_threads =
       std::max(1u, std::thread::hardware_concurrency());
+  weaver_opts.metrics = &metrics;
   TraceWeaver weaver(graph, weaver_opts);
 
   const auto day1 = Capture(v1, 501);
   const auto rec1 = weaver.Reconstruct(day1);
   std::printf("day 1: %.1f%% of traces reconstructed end-to-end\n",
               Evaluate(day1, rec1.assignment).TraceAccuracy() * 100.0);
+  DumpMetrics(metrics);
 
   // Fit a reference delay model from day-1 gaps.
   DelayModel model;
@@ -97,6 +120,7 @@ int main() {
 
   const auto day2 = Capture(v2, 502);
   const auto rec2 = weaver.Reconstruct(day2);
+  DumpMetrics(metrics);
 
   const auto findings =
       DetectDrift(model, GapsFrom(graph, day2, rec2.assignment));

@@ -5,8 +5,10 @@
 namespace traceweaver {
 
 std::vector<Batch> MakeBatches(const std::vector<const Span*>& parents,
-                               std::size_t max_batch_size) {
+                               std::size_t max_batch_size,
+                               BatchingStats* stats) {
   std::vector<Batch> batches;
+  if (stats != nullptr) *stats = BatchingStats{};
   if (parents.empty()) return batches;
   if (max_batch_size == 0) max_batch_size = 1;
 
@@ -28,6 +30,13 @@ std::vector<Batch> MakeBatches(const std::vector<const Span*>& parents,
       begin = i;
     }
     latest_end = std::max(latest_end, next.server_send);
+  }
+  if (stats != nullptr) {
+    stats->batches = batches.size();
+    for (const Batch& b : batches) {
+      if (!b.perfect) ++stats->imperfect;
+      stats->largest = std::max(stats->largest, b.size());
+    }
   }
   return batches;
 }

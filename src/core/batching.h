@@ -28,9 +28,20 @@ struct Batch {
   std::size_t size() const { return end - begin; }
 };
 
+/// Aggregate facts about one batching pass, for observability (the caller
+/// folds these into the metrics registry; batching itself stays
+/// dependency-free).
+struct BatchingStats {
+  std::size_t batches = 0;
+  std::size_t imperfect = 0;    ///< Closed by the size cap, not a cut.
+  std::size_t largest = 0;      ///< Largest batch size.
+};
+
 /// Splits `parents` (which MUST already be sorted by SpanStartOrder on the
-/// callee-side window) into batches. O(M).
+/// callee-side window) into batches. O(M). `stats`, when non-null, is
+/// overwritten with this pass's aggregates.
 std::vector<Batch> MakeBatches(const std::vector<const Span*>& parents,
-                               std::size_t max_batch_size);
+                               std::size_t max_batch_size,
+                               BatchingStats* stats = nullptr);
 
 }  // namespace traceweaver

@@ -19,6 +19,7 @@ struct DfsState {
   std::unordered_set<SpanId> used;
   std::size_t skips = 0;
   std::vector<CandidateMapping>* results = nullptr;
+  EnumerationStats stats;
 };
 
 /// DFS over plan positions. `stage_lb` is the earliest time a call in the
@@ -27,6 +28,7 @@ struct DfsState {
 void Dfs(DfsState& state, std::size_t pos_idx, TimeNs stage_lb,
          TimeNs max_recv) {
   if (state.results->size() >= state.options->total_cap) return;
+  ++state.stats.dfs_nodes;
   if (pos_idx == state.positions.size()) {
     CandidateMapping m;
     m.children = state.current;
@@ -82,7 +84,10 @@ void Dfs(DfsState& state, std::size_t pos_idx, TimeNs stage_lb,
       continue;
     }
     if (state.used.count(child->id) > 0) continue;
-    if (branched >= state.options->branch_cap) break;
+    if (branched >= state.options->branch_cap) {
+      ++state.stats.branch_limited;
+      break;
+    }
     ++branched;
 
     state.current.push_back(child->id);
@@ -125,6 +130,11 @@ std::vector<CandidateMapping> EnumerateCandidates(
                                                  : plan.Positions();
   state.results = &results;
   Dfs(state, 0, parent.server_recv, parent.server_recv);
+  if (options.stats != nullptr) {
+    options.stats->dfs_nodes += state.stats.dfs_nodes;
+    options.stats->branch_limited += state.stats.branch_limited;
+    if (results.size() >= options.total_cap) ++options.stats->total_capped;
+  }
   return results;
 }
 

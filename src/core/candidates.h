@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <string>
 #include <utility>
@@ -37,6 +38,15 @@ struct CandidateMapping {
   std::size_t skips = 0;
 
   bool Complete() const { return skips == 0; }
+};
+
+/// Aggregate facts about one enumeration, for observability. Accumulated
+/// (not reset) so one instance can span all parents of a container; the
+/// caller folds totals into the metrics registry.
+struct EnumerationStats {
+  std::uint64_t dfs_nodes = 0;       ///< DFS calls made.
+  std::uint64_t branch_limited = 0;  ///< Positions that hit the branch cap.
+  std::uint64_t total_capped = 0;    ///< Enumerations that hit total_cap.
 };
 
 struct EnumerationOptions {
@@ -70,6 +80,8 @@ struct EnumerationOptions {
   /// mapping. The DFS already holds the Span pointers, so this spares the
   /// caller an id -> span lookup pass over every candidate.
   std::vector<const Span*>* resolved_out = nullptr;
+  /// When set, enumeration work counters are accumulated here.
+  EnumerationStats* stats = nullptr;
 };
 
 /// Pools of available children, one per plan position, each sorted by

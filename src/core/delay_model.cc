@@ -74,4 +74,15 @@ double DelayModel::FallbackLogPdf(double gap) {
   return FallbackGaussian().LogPdf(gap);
 }
 
+DelayModel::Summary DelayModel::Summarize() const {
+  Summary s;
+  s.keys = dists_.size();
+  for (const auto& [key, entry] : dists_) {
+    const std::size_t c = entry.mixture.num_components();
+    s.components += c;
+    if (c > 1) ++s.mixture_keys;
+  }
+  return s;
+}
+
 }  // namespace traceweaver

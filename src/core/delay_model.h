@@ -85,6 +85,14 @@ class DelayModel {
   bool Has(const DelayKey& key) const { return dists_.count(key) > 0; }
   std::size_t size() const { return dists_.size(); }
 
+  /// Aggregate shape of the model, for observability/reports.
+  struct Summary {
+    std::size_t keys = 0;          ///< Distributions held.
+    std::size_t mixture_keys = 0;  ///< Keys with more than one component.
+    std::size_t components = 0;    ///< Total mixture components.
+  };
+  Summary Summarize() const;
+
   const GaussianMixture* Find(const DelayKey& key) const;
 
  private:

@@ -17,6 +17,7 @@ class ComponentSolver {
       : p_(problem), budget_(node_budget) {}
 
   bool exhausted() const { return exhausted_; }
+  std::size_t nodes() const { return nodes_; }
 
   /// Solves the subproblem induced by `alive` (sorted vertex ids).
   /// Returns (weight, chosen vertices).
@@ -299,13 +300,17 @@ MisSolution SolveMwis(const MisProblem& problem, std::size_t node_budget) {
   sol.weight = weight;
   sol.chosen = std::move(chosen);
   sol.optimal = !solver.exhausted();
+  sol.nodes = solver.nodes();
   std::sort(sol.chosen.begin(), sol.chosen.end());
 
   // Under budget exhaustion parts of the answer are greedy; make sure we
   // never return something worse than the plain greedy baseline.
   if (!sol.optimal) {
     MisSolution greedy = SolveMwisGreedy(problem);
-    if (greedy.weight > sol.weight) return greedy;
+    if (greedy.weight > sol.weight) {
+      greedy.nodes = sol.nodes;
+      return greedy;
+    }
   }
   return sol;
 }

@@ -25,6 +25,9 @@ struct MisSolution {
   std::vector<int> chosen;  ///< Vertex indices in the independent set.
   double weight = 0.0;
   bool optimal = false;  ///< True when branch and bound ran to completion.
+  /// Branch-and-bound nodes explored (0 for the pure greedy path); feeds
+  /// the tw_mwis_bb_nodes_total metric.
+  std::size_t nodes = 0;
 };
 
 /// Solves max-weight independent set. Exact within `node_budget` B&B nodes;

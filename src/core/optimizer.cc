@@ -12,6 +12,8 @@
 
 #include "core/batching.h"
 #include "core/mis_solver.h"
+#include "obs/pipeline_metrics.h"
+#include "obs/stage_timer.h"
 #include "stats/water_filling.h"
 #include "util/summary.h"
 #include "util/thread_pool.h"
@@ -77,6 +79,9 @@ struct Workspace {
   const CallGraph* graph = nullptr;
   const OptimizerOptions* opts = nullptr;
   ThreadPool* pool = nullptr;  ///< Null = serial.
+  /// Metric handles; points at an inert bundle when observability is off,
+  /// so recording sites never branch on configuration.
+  const obs::PipelineMetrics* pm = nullptr;
 
   PoolTable pools;
   std::unordered_map<SpanId, const Span*> span_by_id;
@@ -218,18 +223,37 @@ void EnumerateAll(Workspace& ws) {
   eopts.require_thread_match =
       ws.opts->thread_affinity == OptimizerOptions::ThreadAffinity::kHard;
   // Tasks are independent: each writes only its own slots (concurrent
-  // reads of the shared pools and span index are safe).
+  // reads of the shared pools and span index are safe). Work counters go
+  // to per-task slots and are folded into the registry afterwards, in
+  // index order, so totals are identical for any pool size.
+  std::vector<EnumerationStats> stats(ws.tasks.size());
   ThreadPool::Run(ws.pool, ws.tasks.size(), [&](std::size_t t) {
     ParentTask& task = ws.tasks[t];
     EnumerationOptions task_opts = eopts;
     if (!task.forced.empty()) task_opts.forced = &task.forced;
     task_opts.positions = &task.positions;
+    task_opts.stats = &stats[t];
     // The DFS fills the flat resolved-pointer buffer as a side product of
     // emitting each mapping, so no id -> span resolution pass is needed.
     task_opts.resolved_out = &task.resolved;
     task.all_candidates =
         EnumerateCandidates(*task.span, *task.plan, task.pools, task_opts);
   });
+
+  const obs::PipelineMetrics& pm = *ws.pm;
+  EnumerationStats total;
+  std::uint64_t candidates = 0;
+  for (std::size_t t = 0; t < ws.tasks.size(); ++t) {
+    total.dfs_nodes += stats[t].dfs_nodes;
+    total.branch_limited += stats[t].branch_limited;
+    total.total_capped += stats[t].total_capped;
+    candidates += ws.tasks[t].all_candidates.size();
+    pm.candidates_per_parent.Observe(ws.tasks[t].all_candidates.size());
+  }
+  pm.candidates.Inc(candidates);
+  pm.enum_dfs_nodes.Inc(total.dfs_nodes);
+  pm.enum_branch_limited.Inc(total.branch_limited);
+  pm.enum_total_capped.Inc(total.total_capped);
 }
 
 // ---------------------------------------------------------------------------
@@ -532,8 +556,10 @@ void RankCandidates(Workspace& ws, const DelayModel& model,
     if (dirty_handlers != nullptr &&
         dirty_handlers->count(
             HandlerPair{task.span->callee, task.span->endpoint}) == 0) {
+      ws.pm->rank_tasks_skipped.Inc();
       return;  // Scores unchanged since last iteration.
     }
+    ws.pm->rank_tasks.Inc();
     BuildPositionScores(ws, task, batch_rates[batch_of_task[t]], model,
                         base);
     ScoringContext ctx = base;
@@ -562,6 +588,13 @@ void RankCandidates(Workspace& ws, const DelayModel& model,
           return task.all_candidates[a.second].children <
                  task.all_candidates[b.second].children;  // Deterministic.
         });
+    // Score margin between the two best candidates, in milli log-likelihood
+    // units (integer so merged histogram sums stay order-independent).
+    if (keep >= 2) {
+      const double margin = task.order[0].first - task.order[1].first;
+      ws.pm->rank_margin_milli.Observe(
+          static_cast<std::uint64_t>(std::max(margin, 0.0) * 1e3));
+    }
     ParentResult& r = results[t];
     r.ranked.clear();
     r.ranked.reserve(keep);
@@ -716,7 +749,14 @@ void SolveBatch(const Workspace& ws, const Batch& batch,
 
   const MisSolution sol =
       SolveMwis(problem, ws.opts->params.mis_node_budget);
-  if (!sol.optimal) ++mis_fallbacks;
+  ws.pm->mwis_solves.Inc();
+  ws.pm->mwis_vertices.Inc(nv);
+  ws.pm->mwis_edges.Inc(edges.size());
+  ws.pm->mwis_bb_nodes.Inc(sol.nodes);
+  if (!sol.optimal) {
+    ws.pm->mwis_fallbacks.Inc();
+    ++mis_fallbacks;
+  }
   for (int vi : sol.chosen) {
     const SolveVertex& v = vertices[static_cast<std::size_t>(vi)];
     results[v.task].chosen = static_cast<int>(v.cand);
@@ -798,6 +838,7 @@ std::vector<DelayKey> RefitModel(
 
   GmmFitOptions fit = ws.opts->gmm;
   fit.max_components = ws.opts->params.max_gmm_components;
+  fit.obs = &ws.pm->gmm;
 
   struct Work {
     const DelayKey* key;
@@ -827,6 +868,7 @@ std::vector<DelayKey> RefitModel(
       dirty.push_back(*w.key);
     }
   }
+  ws.pm->delay_keys_refit.Inc(dirty.size());
   return dirty;
 }
 
@@ -851,29 +893,67 @@ ContainerResult OptimizeContainer(const ContainerView& view,
   ws.graph = &graph;
   ws.opts = &options;
   ws.pool = options.pool;
+  static const obs::PipelineMetrics kInertMetrics;
+  const obs::PipelineMetrics& pm =
+      options.metrics != nullptr ? *options.metrics : kInertMetrics;
+  ws.pm = &pm;
+  const auto timer = [&pm](obs::Stage s) {
+    const auto i = static_cast<std::size_t>(s);
+    return obs::StageTimer(pm.stage_wall_ns[i], pm.stage_cpu_ns[i]);
+  };
 
   ContainerResult result;
   result.instance = view.instance;
 
-  BuildPools(ws);
-  BuildTasks(ws);
+  {
+    auto t = timer(obs::Stage::kSetup);
+    BuildPools(ws);
+    BuildTasks(ws);
+    if (!ws.tasks.empty()) DetectDynamism(ws);
+  }
   result.leaf_parents = ws.leaf_parents;
+  pm.parents.Inc(ws.tasks.size());
+  pm.parents_leaf.Inc(ws.leaf_parents);
   if (ws.tasks.empty()) return result;
 
-  DetectDynamism(ws);
-  EnumerateAll(ws);
-
-  const std::vector<Batch> batches =
-      MakeBatches(ws.task_spans, options.params.max_batch_size);
-  result.batches = batches.size();
-  for (const Batch& b : batches) {
-    if (!b.perfect) ++result.imperfect_batches;
+  if (ws.dynamism_active) {
+    pm.dynamism_containers.Inc();
+    std::uint64_t budget = 0;
+    for (const std::size_t b : ws.skip_budget) budget += b;
+    pm.skip_budget.Inc(budget);
   }
 
-  DelayModel model = BuildSeeds(ws);
+  {
+    auto t = timer(obs::Stage::kEnumerate);
+    EnumerateAll(ws);
+  }
+
+  BatchingStats bstats;
+  std::vector<Batch> batches;
+  {
+    auto t = timer(obs::Stage::kBatch);
+    batches =
+        MakeBatches(ws.task_spans, options.params.max_batch_size, &bstats);
+  }
+  result.batches = bstats.batches;
+  result.imperfect_batches = bstats.imperfect;
+  pm.batches.Inc(bstats.batches);
+  pm.batches_imperfect.Inc(bstats.imperfect);
+  for (const Batch& b : batches) pm.batch_size.Observe(b.size());
+
+  DelayModel model;
+  {
+    auto t = timer(obs::Stage::kSeed);
+    model = BuildSeeds(ws);
+  }
+  pm.delay_keys_seeded.Inc(model.size());
 
   // Per-batch skip budgets (water-filling, §4.2) and task->batch lookup.
-  const auto batch_rates = AllocateSkips(ws, batches);
+  std::vector<BatchRates> batch_rates;
+  {
+    auto t = timer(obs::Stage::kAllocate);
+    batch_rates = AllocateSkips(ws, batches);
+  }
   std::vector<std::size_t> batch_of_task(ws.tasks.size(), 0);
   for (std::size_t b = 0; b < batches.size(); ++b) {
     for (std::size_t t = batches[b].begin; t < batches[b].end; ++t) {
@@ -897,6 +977,7 @@ ContainerResult OptimizeContainer(const ContainerView& view,
   if (run_begin < batches.size()) {
     runs.push_back({run_begin, batches.size()});
   }
+  pm.solve_runs.Inc(runs.size());
 
   std::vector<ParentResult> results(ws.tasks.size());
   for (std::size_t t = 0; t < ws.tasks.size(); ++t) {
@@ -910,34 +991,72 @@ ContainerResult OptimizeContainer(const ContainerView& view,
   std::set<HandlerPair> dirty_handlers;
   bool incremental = false;
   for (std::size_t iter = 0; iter < iterations; ++iter) {
-    RankCandidates(ws, model, batch_of_task, batch_rates,
-                   incremental ? &dirty_handlers : nullptr, results);
+    pm.iterations.Inc();
+    {
+      auto t = timer(obs::Stage::kRank);
+      RankCandidates(ws, model, batch_of_task, batch_rates,
+                     incremental ? &dirty_handlers : nullptr, results);
+    }
     for (ParentResult& r : results) r.chosen = -1;
-    if (options.use_joint_optimization) {
-      std::vector<std::size_t> fallbacks(runs.size(), 0);
-      ThreadPool::Run(ws.pool, runs.size(), [&](std::size_t r) {
-        std::unordered_set<SpanId> used;
-        SolveScratch scratch;
-        for (std::size_t b = runs[r].first; b < runs[r].second; ++b) {
-          SolveBatch(ws, batches[b], results, used, scratch, fallbacks[r]);
-        }
-      });
-      for (const std::size_t f : fallbacks) result.mis_fallbacks += f;
-    } else {
-      SolveGreedy(ws, results);
+    {
+      auto t = timer(obs::Stage::kSolve);
+      if (options.use_joint_optimization) {
+        std::vector<std::size_t> fallbacks(runs.size(), 0);
+        ThreadPool::Run(ws.pool, runs.size(), [&](std::size_t r) {
+          std::unordered_set<SpanId> used;
+          SolveScratch scratch;
+          for (std::size_t b = runs[r].first; b < runs[r].second; ++b) {
+            SolveBatch(ws, batches[b], results, used, scratch, fallbacks[r]);
+          }
+        });
+        for (const std::size_t f : fallbacks) result.mis_fallbacks += f;
+      } else {
+        SolveGreedy(ws, results);
+      }
     }
     if (iter + 1 < iterations) {
-      const std::vector<DelayKey> dirty =
-          RefitModel(ws, results, model, last_fitted);
+      std::vector<DelayKey> dirty;
+      {
+        auto t = timer(obs::Stage::kRefit);
+        dirty = RefitModel(ws, results, model, last_fitted);
+      }
       // Convergence: an unchanged model reproduces this iteration's
       // ranking and solution exactly, so further rounds are no-ops.
-      if (dirty.empty()) break;
+      if (dirty.empty()) {
+        pm.converged.Inc();
+        break;
+      }
       dirty_handlers.clear();
       for (const DelayKey& key : dirty) {
         dirty_handlers.insert(HandlerPair{key.service, key.endpoint});
       }
       incremental = true;
     }
+  }
+
+  // Final model shape and per-parent outcomes (observation only).
+  const DelayModel::Summary shape = model.Summarize();
+  pm.delay_keys_final.Inc(shape.keys);
+  pm.delay_mixture_keys.Inc(shape.mixture_keys);
+  pm.delay_components.Inc(shape.components);
+  std::uint64_t mapped = 0, top = 0, skips = 0, candidates = 0;
+  for (std::size_t t = 0; t < results.size(); ++t) {
+    candidates += ws.tasks[t].all_candidates.size();
+    const ParentResult& r = results[t];
+    if (!r.Mapped()) continue;
+    ++mapped;
+    if (r.ChoseTop()) ++top;
+    skips += r.ranked[static_cast<std::size_t>(r.chosen)].skips;
+  }
+  pm.parents_mapped.Inc(mapped);
+  pm.parents_top_choice.Inc(top);
+  pm.skips_chosen.Inc(skips);
+  if (options.metrics != nullptr) {
+    const std::string& service = view.instance.service;
+    pm.ServiceParents(service).Inc(ws.tasks.size());
+    pm.ServiceMapped(service).Inc(mapped);
+    pm.ServiceTopChoice(service).Inc(top);
+    pm.ServiceCandidates(service).Inc(candidates);
   }
 
   result.parents = std::move(results);

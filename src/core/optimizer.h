@@ -26,6 +26,10 @@
 #include "trace/trace.h"
 #include "trace/trace_store.h"
 
+namespace traceweaver::obs {
+struct PipelineMetrics;  // obs/pipeline_metrics.h
+}
+
 namespace traceweaver {
 
 class ThreadPool;
@@ -64,6 +68,14 @@ struct OptimizerOptions {
   const ParentAssignment* pinned = nullptr;
 
   GmmFitOptions gmm;
+
+  /// Observability sink: pre-registered metric handles the pipeline
+  /// records into (counts, stage timings, histograms). Null disables
+  /// recording; reconstruction output is bit-identical either way --
+  /// instrumentation only observes. Not owned; must outlive the
+  /// optimization. Handles are thread-safe, so one bundle serves all
+  /// concurrently optimized containers.
+  const obs::PipelineMetrics* metrics = nullptr;
 };
 
 /// Reconstruction output for one incoming span.

@@ -1,7 +1,11 @@
 #include "core/trace_weaver.h"
 
+#include <algorithm>
+#include <optional>
 #include <utility>
 
+#include "obs/pipeline_metrics.h"
+#include "obs/stage_timer.h"
 #include "trace/trace_store.h"
 #include "util/thread_pool.h"
 
@@ -34,6 +38,9 @@ TraceWeaver::TraceWeaver(CallGraph graph, TraceWeaverOptions options)
   if (options_.num_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(options_.num_threads);
   }
+  if (options_.metrics != nullptr) {
+    metrics_ = std::make_unique<obs::PipelineMetrics>(*options_.metrics);
+  }
 }
 
 TraceWeaver::~TraceWeaver() = default;
@@ -42,11 +49,25 @@ TraceWeaver& TraceWeaver::operator=(TraceWeaver&&) noexcept = default;
 
 TraceWeaverOutput TraceWeaver::Reconstruct(
     const std::vector<Span>& spans) const {
-  TraceWeaverOutput out;
-  for (const Span& s : spans) out.assignment[s.id] = kInvalidSpanId;
+  static const obs::PipelineMetrics kInertMetrics;
+  const obs::PipelineMetrics& pm =
+      metrics_ != nullptr ? *metrics_ : kInertMetrics;
+  const auto timer = [&pm](obs::Stage s) {
+    const auto i = static_cast<std::size_t>(s);
+    return obs::StageTimer(pm.stage_wall_ns[i], pm.stage_cpu_ns[i]);
+  };
+  const std::uint64_t run_start =
+      metrics_ != nullptr ? obs::WallNowNs() : 0;
 
-  SpanStore store(spans);
-  const std::vector<ContainerView> views = store.AllViews();
+  TraceWeaverOutput out;
+
+  std::optional<SpanStore> store;
+  std::vector<ContainerView> views;
+  {
+    auto t = timer(obs::Stage::kViews);
+    store.emplace(spans);
+    views = store->AllViews();
+  }
   out.containers.resize(views.size());
 
   // Containers are independent problems; the same pool also serves the
@@ -56,19 +77,33 @@ TraceWeaverOutput TraceWeaver::Reconstruct(
   // bit-identical to a serial run.
   OptimizerOptions oopts = options_.optimizer;
   oopts.pool = pool_.get();
+  if (oopts.metrics == nullptr) oopts.metrics = metrics_.get();
   ThreadPool::Run(pool_.get(), views.size(), [&](std::size_t i) {
     out.containers[i] = OptimizeContainer(views[i], graph_, oopts);
   });
-  for (const ContainerResult& result : out.containers) {
-    result.AppendAssignment(out.assignment);
+
+  {
+    auto t = timer(obs::Stage::kStitch);
+    for (const Span& s : spans) out.assignment[s.id] = kInvalidSpanId;
+    for (const ContainerResult& result : out.containers) {
+      result.AppendAssignment(out.assignment);
+    }
+    // Instrumented links are authoritative: they override whatever the
+    // optimization produced and cover parents outside any container view.
+    if (options_.optimizer.pinned != nullptr) {
+      for (const auto& [child, parent] : *options_.optimizer.pinned) {
+        if (parent != kInvalidSpanId) out.assignment[child] = parent;
+      }
+    }
   }
 
-  // Instrumented links are authoritative: they override whatever the
-  // optimization produced and cover parents outside any container view.
-  if (options_.optimizer.pinned != nullptr) {
-    for (const auto& [child, parent] : *options_.optimizer.pinned) {
-      if (parent != kInvalidSpanId) out.assignment[child] = parent;
-    }
+  pm.runs.Inc();
+  pm.run_spans.Inc(spans.size());
+  pm.run_containers.Inc(views.size());
+  if (metrics_ != nullptr) {
+    pm.run_wall_ns.Inc(obs::WallNowNs() - run_start);
+    pm.threads.Set(static_cast<std::int64_t>(
+        std::max<std::size_t>(options_.num_threads, 1)));
   }
   return out;
 }

@@ -23,6 +23,11 @@
 #include "core/optimizer.h"
 #include "trace/trace.h"
 
+namespace traceweaver::obs {
+class MetricsRegistry;    // obs/metrics.h
+struct PipelineMetrics;   // obs/pipeline_metrics.h
+}
+
 namespace traceweaver {
 
 class ThreadPool;
@@ -35,6 +40,12 @@ struct TraceWeaverOptions {
   /// refits (see DESIGN.md, "Concurrency model"). Output is bit-identical
   /// for any thread count. 1 = fully serial, no pool is created.
   std::size_t num_threads = 1;
+  /// Metrics registry for pipeline observability (see DESIGN.md,
+  /// "Observability model"): every Reconstruct call records stage timings,
+  /// work counters and distributions into it. Null (the default) disables
+  /// recording; reconstruction output is bit-identical either way. Not
+  /// owned; must outlive the TraceWeaver.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct TraceWeaverOutput {
@@ -75,6 +86,8 @@ class TraceWeaver : public Mapper {
   /// Shared worker pool (created iff num_threads > 1), reused across
   /// Reconstruct calls and all pipeline levels within them.
   std::unique_ptr<ThreadPool> pool_;
+  /// Pre-registered metric handles (created iff options.metrics is set).
+  std::unique_ptr<obs::PipelineMetrics> metrics_;
 };
 
 }  // namespace traceweaver

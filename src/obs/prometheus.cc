@@ -1,0 +1,75 @@
+#include "obs/prometheus.h"
+
+#include <sstream>
+
+namespace traceweaver::obs {
+namespace {
+
+const char* TypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:   return "counter";
+    case MetricType::kGauge:     return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+std::string WithLabels(const std::string& name, const std::string& labels) {
+  if (labels.empty()) return name;
+  return name + '{' + labels + '}';
+}
+
+/// `le` label appended to existing labels.
+std::string WithLe(const std::string& labels, const std::string& le) {
+  std::string body = labels;
+  if (!body.empty()) body += ',';
+  body += "le=\"" + le + '"';
+  return body;
+}
+
+}  // namespace
+
+void WritePrometheusText(std::ostream& out,
+                         const RegistrySnapshot& snapshot) {
+  // Snapshot metrics are sorted by (name, labels), so one family's label
+  // sets are contiguous: emit HELP/TYPE on each name change.
+  const std::string* current_family = nullptr;
+  for (const MetricSnapshot& m : snapshot.metrics) {
+    if (current_family == nullptr || *current_family != m.name) {
+      if (!m.help.empty()) out << "# HELP " << m.name << ' ' << m.help << '\n';
+      out << "# TYPE " << m.name << ' ' << TypeName(m.type) << '\n';
+      current_family = &m.name;
+    }
+    if (m.type == MetricType::kHistogram) {
+      // Cumulative buckets may be sparsified: emitting only the non-empty
+      // buckets (plus the mandatory +Inf) keeps the series correct -- each
+      // omitted bucket's cumulative count equals its predecessor's.
+      std::uint64_t cumulative = 0;
+      for (std::size_t b = 0; b + 1 < m.histogram.buckets.size(); ++b) {
+        if (m.histogram.buckets[b] == 0) continue;
+        cumulative += m.histogram.buckets[b];
+        out << m.name << "_bucket{"
+            << WithLe(m.labels,
+                      std::to_string(HistogramBucketUpperBound(b)))
+            << "} " << cumulative << '\n';
+      }
+      out << m.name << "_bucket{" << WithLe(m.labels, "+Inf") << "} "
+          << m.histogram.count << '\n';
+      out << m.name << "_sum" << (m.labels.empty() ? "" : "{" + m.labels + "}")
+          << ' ' << m.histogram.sum << '\n';
+      out << m.name << "_count"
+          << (m.labels.empty() ? "" : "{" + m.labels + "}") << ' '
+          << m.histogram.count << '\n';
+    } else {
+      out << WithLabels(m.name, m.labels) << ' ' << m.value << '\n';
+    }
+  }
+}
+
+std::string PrometheusText(const RegistrySnapshot& snapshot) {
+  std::ostringstream out;
+  WritePrometheusText(out, snapshot);
+  return out.str();
+}
+
+}  // namespace traceweaver::obs

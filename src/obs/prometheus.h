@@ -1,0 +1,21 @@
+// Prometheus text exposition (format version 0.0.4) for a registry
+// snapshot, so operators can scrape or dump pipeline metrics with stock
+// tooling (e.g. the ops_loop example writes a .prom file every cycle).
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace traceweaver::obs {
+
+/// Writes every metric of `snapshot` in Prometheus text format. HELP/TYPE
+/// headers are emitted once per metric family (base name); histograms are
+/// rendered as cumulative `_bucket{le=...}` series plus `_sum`/`_count`.
+void WritePrometheusText(std::ostream& out, const RegistrySnapshot& snapshot);
+
+/// Convenience: the exposition as a string.
+std::string PrometheusText(const RegistrySnapshot& snapshot);
+
+}  // namespace traceweaver::obs

@@ -1,0 +1,104 @@
+// Machine- and human-readable summary of one reconstruction run, built
+// from a MetricsRegistry snapshot: where the time went per stage, how
+// enumeration/batching/ranking/MWIS/GMM behaved, per-service outcomes,
+// and §4.2 phantom-span usage. Render as JSON (stable schema
+// `traceweaver.run_report.v1`, golden-tested) or as an aligned text
+// table for terminals.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace traceweaver::obs {
+
+struct RunReport {
+  // --- Run level. ---
+  std::int64_t runs = 0;
+  std::int64_t spans = 0;
+  std::int64_t containers = 0;
+  std::int64_t threads = 0;
+  std::int64_t wall_ns = 0;
+
+  // --- Stage timing (pipeline order; zero-time stages included so rows
+  // line up across runs). ---
+  struct StageRow {
+    std::string stage;
+    std::int64_t wall_ns = 0;
+    std::int64_t cpu_ns = 0;
+    double share = 0.0;  ///< Fraction of the summed stage wall time.
+  };
+  std::vector<StageRow> stages;
+  std::int64_t stage_wall_sum_ns = 0;
+  /// Summed stage wall / run wall. ~1 for serial runs; can exceed 1 under
+  /// parallelism because concurrent containers accumulate stage wall
+  /// simultaneously.
+  double stage_coverage = 0.0;
+
+  // --- Per-service outcomes. ---
+  struct ServiceRow {
+    std::string service;
+    std::int64_t parents = 0;
+    std::int64_t mapped = 0;
+    std::int64_t top_choice = 0;
+    std::int64_t candidates = 0;
+  };
+  std::vector<ServiceRow> services;
+
+  // --- Pipeline aggregates. ---
+  struct {
+    std::int64_t parents = 0, leaves = 0, mapped = 0, top_choice = 0;
+    std::int64_t candidates = 0, dfs_nodes = 0;
+    std::int64_t branch_limited = 0, total_capped = 0;
+    HistogramSnapshot per_parent;
+  } enumeration;
+
+  struct {
+    std::int64_t batches = 0, imperfect = 0, solve_runs = 0;
+    HistogramSnapshot size;
+  } batching;
+
+  struct {
+    std::int64_t keys_seeded = 0, keys_refit = 0, keys_final = 0;
+    std::int64_t mixture_keys = 0, components = 0;
+    std::int64_t gmm_fits = 0, em_iterations = 0;
+    HistogramSnapshot gmm_components;
+  } delay_model;
+
+  struct {
+    std::int64_t tasks = 0, tasks_skipped = 0;
+    HistogramSnapshot margin_milli;
+  } ranking;
+
+  struct {
+    std::int64_t solves = 0, vertices = 0, edges = 0;
+    std::int64_t bb_nodes = 0, fallbacks = 0;
+  } mwis;
+
+  struct {
+    std::int64_t iterations = 0, converged = 0;
+  } iteration;
+
+  struct {
+    std::int64_t containers = 0, skip_budget = 0, skips_chosen = 0;
+  } dynamism;
+};
+
+/// Builds the report from a snapshot of a registry the pipeline recorded
+/// into (see PipelineMetrics for the names consumed).
+RunReport BuildRunReport(const RegistrySnapshot& snapshot);
+
+/// Stable JSON rendering (schema `traceweaver.run_report.v1`).
+std::string RunReportJson(const RunReport& report);
+
+/// Aligned text-table rendering for terminals.
+std::string RunReportTable(const RunReport& report);
+
+/// Generic JSON dump of every metric in a snapshot (name, labels, type,
+/// value or histogram) -- the machine-readable companion to the
+/// Prometheus exposition.
+std::string SnapshotJson(const RegistrySnapshot& snapshot);
+
+}  // namespace traceweaver::obs

@@ -1,0 +1,76 @@
+// Scoped-span timing for pipeline stages: an RAII timer that adds the
+// enclosed scope's wall time and calling-thread CPU time (nanoseconds) to
+// a pair of counters on destruction.
+//
+// Wall time is steady_clock; CPU time is CLOCK_THREAD_CPUTIME_ID, i.e.
+// the *calling thread's* CPU only -- a stage that fans work out to a pool
+// reports the orchestrating thread's CPU here while the workers' cycles
+// land in their own per-thread shards via the same counters (each worker
+// runs its loop body under the stage scope of the container it is
+// helping). Inert counters make the timer a no-op, including the clock
+// reads.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <time.h>
+#define TRACEWEAVER_OBS_HAS_THREAD_CPUTIME 1
+#endif
+
+#include "obs/metrics.h"
+
+namespace traceweaver::obs {
+
+/// Nanoseconds of CPU consumed by the calling thread (0 where the platform
+/// lacks a thread cputime clock).
+inline std::uint64_t ThreadCpuNowNs() {
+#if defined(TRACEWEAVER_OBS_HAS_THREAD_CPUTIME)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+#else
+  return 0;
+#endif
+}
+
+inline std::uint64_t WallNowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Adds the scope's wall/CPU nanoseconds to the given counters. Either
+/// counter may be inert; a fully inert timer performs no clock reads.
+class StageTimer {
+ public:
+  StageTimer(Counter wall_ns, Counter cpu_ns)
+      : wall_(wall_ns), cpu_(cpu_ns), armed_(wall_ns || cpu_ns) {
+    if (armed_) {
+      wall0_ = WallNowNs();
+      cpu0_ = ThreadCpuNowNs();
+    }
+  }
+  ~StageTimer() {
+    if (!armed_) return;
+    const std::uint64_t cpu1 = ThreadCpuNowNs();
+    const std::uint64_t wall1 = WallNowNs();
+    wall_.Inc(wall1 > wall0_ ? wall1 - wall0_ : 0);
+    cpu_.Inc(cpu1 > cpu0_ ? cpu1 - cpu0_ : 0);
+  }
+
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+ private:
+  Counter wall_;
+  Counter cpu_;
+  bool armed_;
+  std::uint64_t wall0_ = 0;
+  std::uint64_t cpu0_ = 0;
+};
+
+}  // namespace traceweaver::obs

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/pipeline_metrics.h"
 #include "util/rng.h"
 
 namespace traceweaver {
@@ -169,7 +170,9 @@ GaussianMixture FitGmm(const std::vector<double>& samples,
 
   std::vector<double> logterms(k);
   std::vector<double> log_w(k), sigma(k), log_sigma(k);
+  std::size_t iters_run = 0;
   for (std::size_t iter = 0; iter < options.em_iterations; ++iter) {
+    ++iters_run;
     // E step. The sample-independent terms -- log(weight), the floored
     // stddev and its log -- are hoisted out of the sample loop; the
     // per-sample arithmetic is unchanged, so responsibilities and the
@@ -217,6 +220,7 @@ GaussianMixture FitGmm(const std::vector<double>& samples,
     if (ll - prev_ll < options.tolerance && iter > 0) break;
     prev_ll = ll;
   }
+  if (options.obs != nullptr) options.obs->em_iterations.Inc(iters_run);
 
   return GaussianMixture(std::move(comps));
 }
@@ -235,6 +239,10 @@ GaussianMixture FitGmmBicSweep(const std::vector<double>& samples,
       best_bic = bic;
       best = std::move(m);
     }
+  }
+  if (options.obs != nullptr) {
+    options.obs->fits.Inc();
+    options.obs->components.Observe(best.num_components());
   }
   return best;
 }

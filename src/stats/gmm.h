@@ -12,6 +12,10 @@
 
 #include "stats/gaussian.h"
 
+namespace traceweaver::obs {
+struct GmmCounters;  // obs/pipeline_metrics.h
+}
+
 namespace traceweaver {
 
 struct GmmComponent {
@@ -76,6 +80,10 @@ struct GmmFitOptions {
   double tolerance = 1e-6;
   /// Seed for the k-means++-style initialization.
   std::uint64_t seed = 42;
+  /// Optional observability counters (EM iterations, BIC sweeps, selected
+  /// component counts); fitting is unchanged when null. Handles are
+  /// thread-safe, so concurrent refits may share one bundle.
+  const obs::GmmCounters* obs = nullptr;
 };
 
 /// Fits a GMM with a fixed component count via EM (k-means++ init).

@@ -1,0 +1,389 @@
+// The observability layer: registry exactness under concurrency, log2
+// histogram bucket geometry, Prometheus exposition, run-report golden
+// JSON, and the central contract -- instrumentation never changes the
+// reconstruction output, and every count-type metric is bit-identical
+// across thread counts.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "callgraph/inference.h"
+#include "collector/capture.h"
+#include "core/trace_weaver.h"
+#include "obs/metrics.h"
+#include "obs/pipeline_metrics.h"
+#include "obs/prometheus.h"
+#include "obs/run_report.h"
+#include "obs/stage_timer.h"
+#include "sim/apps.h"
+#include "sim/workload.h"
+
+namespace traceweaver {
+namespace {
+
+using obs::HistogramBucket;
+using obs::HistogramBucketUpperBound;
+using obs::kHistogramBuckets;
+using obs::MetricsRegistry;
+using obs::RegistrySnapshot;
+
+// ---------------------------------------------------------------------------
+// Registry basics.
+
+TEST(MetricsRegistryTest, CounterGaugeRoundTrip) {
+  MetricsRegistry reg;
+  auto c = reg.GetCounter("tw_test_total", "", "help", "1");
+  c.Inc();
+  c.Inc(41);
+  auto g = reg.GetGauge("tw_test_gauge", "", "help", "1");
+  g.Set(7);
+  g.Add(-2);
+
+  const RegistrySnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.Value("tw_test_total"), 42);
+  EXPECT_EQ(snap.Value("tw_test_gauge"), 5);
+  EXPECT_EQ(snap.Value("tw_absent_total"), 0);
+}
+
+TEST(MetricsRegistryTest, RegistrationIsIdempotent) {
+  MetricsRegistry reg;
+  auto a = reg.GetCounter("tw_dup_total", "k=\"v\"", "help", "1");
+  auto b = reg.GetCounter("tw_dup_total", "k=\"v\"", "help", "1");
+  a.Inc(1);
+  b.Inc(2);
+  EXPECT_EQ(reg.Snapshot().Value("tw_dup_total", "k=\"v\""), 3);
+  // Same name, different labels -> distinct series.
+  reg.GetCounter("tw_dup_total", "k=\"w\"", "help", "1").Inc(9);
+  EXPECT_EQ(reg.Snapshot().Value("tw_dup_total", "k=\"v\""), 3);
+  EXPECT_EQ(reg.Snapshot().Value("tw_dup_total", "k=\"w\""), 9);
+  EXPECT_EQ(reg.Snapshot().SumAcrossLabels("tw_dup_total"), 12);
+}
+
+TEST(MetricsRegistryTest, InertHandlesAreSafe) {
+  obs::Counter c;
+  obs::Gauge g;
+  obs::Histogram h;
+  c.Inc(5);
+  g.Set(3);
+  h.Observe(1);
+  EXPECT_FALSE(static_cast<bool>(c));
+  // The whole inert bundle, including cold per-service getters.
+  obs::PipelineMetrics pm;
+  pm.runs.Inc();
+  pm.batch_size.Observe(4);
+  pm.ServiceParents("svc").Inc();
+  EXPECT_FALSE(static_cast<bool>(pm.ServiceMapped("svc")));
+}
+
+TEST(MetricsRegistryTest, ResetZeroesValuesKeepsDescriptors) {
+  MetricsRegistry reg;
+  reg.GetCounter("tw_r_total", "", "h", "1").Inc(10);
+  const std::size_t n = reg.num_metrics();
+  reg.Reset();
+  EXPECT_EQ(reg.num_metrics(), n);
+  EXPECT_EQ(reg.Snapshot().Value("tw_r_total"), 0);
+}
+
+// The exactness contract: concurrent increments from many threads are
+// never lost (each thread writes its own shard; the snapshot merges by
+// integer addition).
+TEST(MetricsRegistryTest, ConcurrentIncrementsAreExact) {
+  MetricsRegistry reg;
+  auto c = reg.GetCounter("tw_conc_total", "", "h", "1");
+  auto h = reg.GetHistogram("tw_conc_hist", "", "h", "1");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c, &h, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        c.Inc();
+        h.Observe(static_cast<std::uint64_t>(t));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const RegistrySnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.Value("tw_conc_total"),
+            static_cast<std::int64_t>(kThreads * kPerThread));
+  const auto* hist = snap.Find("tw_conc_hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->histogram.count, kThreads * kPerThread);
+  // Sum of t over threads, kPerThread times each: exact integer identity.
+  EXPECT_EQ(hist->histogram.sum, kPerThread * (kThreads * (kThreads - 1) / 2));
+}
+
+// ---------------------------------------------------------------------------
+// Histogram geometry.
+
+TEST(HistogramTest, BucketEdges) {
+  // Bucket 0 is exactly the value 0.
+  EXPECT_EQ(HistogramBucket(0), 0u);
+  EXPECT_EQ(HistogramBucketUpperBound(0), 0u);
+  // Bucket b >= 1 covers [2^(b-1), 2^b - 1].
+  EXPECT_EQ(HistogramBucket(1), 1u);
+  EXPECT_EQ(HistogramBucket(2), 2u);
+  EXPECT_EQ(HistogramBucket(3), 2u);
+  EXPECT_EQ(HistogramBucket(4), 3u);
+  for (std::size_t b = 1; b + 1 < kHistogramBuckets; ++b) {
+    const std::uint64_t lo = std::uint64_t{1} << (b - 1);
+    const std::uint64_t hi = HistogramBucketUpperBound(b);
+    EXPECT_EQ(hi, (std::uint64_t{1} << b) - 1);
+    EXPECT_EQ(HistogramBucket(lo), b) << "lower edge of bucket " << b;
+    EXPECT_EQ(HistogramBucket(hi), b) << "upper edge of bucket " << b;
+    EXPECT_EQ(HistogramBucket(hi + 1), b + 1) << "first value past " << b;
+  }
+  // Everything at or past 2^(kHistogramBuckets-2) lands in the overflow
+  // bucket, whose upper bound is unbounded.
+  const std::uint64_t overflow_lo = std::uint64_t{1} << (kHistogramBuckets - 2);
+  EXPECT_EQ(HistogramBucket(overflow_lo), kHistogramBuckets - 1);
+  EXPECT_EQ(HistogramBucket(UINT64_MAX), kHistogramBuckets - 1);
+  EXPECT_EQ(HistogramBucketUpperBound(kHistogramBuckets - 1), UINT64_MAX);
+}
+
+TEST(HistogramTest, ObserveCountSumQuantile) {
+  MetricsRegistry reg;
+  auto h = reg.GetHistogram("tw_h", "", "h", "ns");
+  for (std::uint64_t v : {0ull, 1ull, 2ull, 3ull, 100ull, 1000ull}) {
+    h.Observe(v);
+  }
+  const RegistrySnapshot snap = reg.Snapshot();
+  const auto* s = snap.Find("tw_h");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->histogram.count, 6u);
+  EXPECT_EQ(s->histogram.sum, 1106u);
+  ASSERT_EQ(s->histogram.buckets.size(), kHistogramBuckets);
+  EXPECT_EQ(s->histogram.buckets[HistogramBucket(0)], 1u);
+  EXPECT_EQ(s->histogram.buckets[HistogramBucket(2)], 2u);  // 2 and 3
+  // Quantile returns the inclusive upper edge of the covering bucket.
+  EXPECT_EQ(s->histogram.Quantile(1.0), HistogramBucketUpperBound(
+                                            HistogramBucket(1000)));
+  EXPECT_EQ(s->histogram.Quantile(0.0), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition.
+
+TEST(PrometheusTest, TextFormat) {
+  MetricsRegistry reg;
+  reg.GetCounter("tw_x_total", "stage=\"rank\"", "Things ranked.", "1").Inc(3);
+  reg.GetCounter("tw_x_total", "stage=\"solve\"", "Things ranked.", "1")
+      .Inc(4);
+  reg.GetGauge("tw_g", "", "A gauge.", "1").Set(-2);
+  auto h = reg.GetHistogram("tw_lat", "", "Latency.", "ns");
+  h.Observe(1);
+  h.Observe(5);
+
+  const std::string text = obs::PrometheusText(reg.Snapshot());
+  // One HELP/TYPE header per family, every series under it.
+  EXPECT_EQ(text.find("# HELP tw_x_total Things ranked."),
+            text.rfind("# HELP tw_x_total"));
+  EXPECT_NE(text.find("# TYPE tw_x_total counter"), std::string::npos);
+  EXPECT_NE(text.find("tw_x_total{stage=\"rank\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("tw_x_total{stage=\"solve\"} 4"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE tw_g gauge"), std::string::npos);
+  EXPECT_NE(text.find("tw_g -2"), std::string::npos);
+  // Histograms: cumulative buckets, mandatory +Inf, _sum and _count.
+  EXPECT_NE(text.find("# TYPE tw_lat histogram"), std::string::npos);
+  EXPECT_NE(text.find("tw_lat_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("tw_lat_bucket{le=\"7\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("tw_lat_bucket{le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("tw_lat_sum 6"), std::string::npos);
+  EXPECT_NE(text.find("tw_lat_count 2"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Run report.
+
+// Golden test of the empty report: pins the v1 schema, the key order and
+// the fixed stage rows. Any schema change must update this string (and
+// the schema version).
+TEST(RunReportTest, EmptyReportGoldenJson) {
+  const obs::RunReport report = obs::BuildRunReport(RegistrySnapshot{});
+  const std::string json = obs::RunReportJson(report);
+  EXPECT_EQ(json.substr(0, 40),
+            std::string("{\"schema\":\"traceweaver.run_report.v1\",\"r")
+                .substr(0, 40));
+  // Every stage row is present even at zero, in pipeline order.
+  const char* kStages[] = {"views", "setup",    "enumerate", "batch",
+                           "seed",  "allocate", "rank",      "solve",
+                           "refit", "stitch"};
+  std::size_t pos = 0;
+  for (const char* s : kStages) {
+    const std::size_t at = json.find("\"stage\":\"" + std::string(s) + "\"");
+    ASSERT_NE(at, std::string::npos) << s;
+    EXPECT_GT(at, pos) << "stage rows out of pipeline order at " << s;
+    pos = at;
+  }
+  // Top-level sections, in schema order.
+  for (const char* key :
+       {"\"run\":", "\"stages\":", "\"services\":", "\"enumeration\":",
+        "\"batching\":", "\"delay_model\":", "\"ranking\":", "\"mwis\":",
+        "\"iteration\":", "\"dynamism\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  // Deterministic: the same (empty) snapshot renders byte-identically.
+  EXPECT_EQ(json, obs::RunReportJson(obs::BuildRunReport(RegistrySnapshot{})));
+}
+
+TEST(RunReportTest, PopulatedFromPipelineNames) {
+  MetricsRegistry reg;
+  obs::PipelineMetrics pm(reg);
+  pm.runs.Inc();
+  pm.run_spans.Inc(120);
+  pm.parents.Inc(30);
+  pm.parents_mapped.Inc(28);
+  pm.batches.Inc(5);
+  pm.batch_size.Observe(6);
+  pm.mwis_solves.Inc(2);
+  pm.mwis_fallbacks.Inc(1);
+  pm.stage_wall_ns[static_cast<std::size_t>(obs::Stage::kRank)].Inc(1000);
+  pm.ServiceParents("frontend").Inc(30);
+  pm.ServiceMapped("frontend").Inc(28);
+
+  const obs::RunReport r = obs::BuildRunReport(reg.Snapshot());
+  EXPECT_EQ(r.runs, 1);
+  EXPECT_EQ(r.spans, 120);
+  EXPECT_EQ(r.enumeration.parents, 30);
+  EXPECT_EQ(r.enumeration.mapped, 28);
+  EXPECT_EQ(r.batching.batches, 5);
+  EXPECT_EQ(r.batching.size.count, 1u);
+  EXPECT_EQ(r.mwis.solves, 2);
+  EXPECT_EQ(r.mwis.fallbacks, 1);
+  EXPECT_EQ(r.stage_wall_sum_ns, 1000);
+  ASSERT_EQ(r.services.size(), 1u);
+  EXPECT_EQ(r.services[0].service, "frontend");
+  EXPECT_EQ(r.services[0].parents, 30);
+  EXPECT_EQ(r.services[0].mapped, 28);
+  // Both renderings accept the populated report.
+  EXPECT_NE(obs::RunReportJson(r).find("\"mapped\":28"), std::string::npos);
+  EXPECT_NE(obs::RunReportTable(r).find("frontend"), std::string::npos);
+  EXPECT_NE(obs::SnapshotJson(reg.Snapshot()).find("tw_batches_total"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Integration with the reconstruction pipeline.
+
+struct Pipeline {
+  std::vector<Span> spans;
+  CallGraph graph;
+};
+
+Pipeline RunPipeline(const sim::AppSpec& app, double rps, double seconds) {
+  Pipeline p;
+  sim::IsolatedReplayOptions iso;
+  iso.requests_per_root = 20;
+  p.graph = InferCallGraph(
+      collector::CaptureRoundTrip(sim::RunIsolatedReplay(app, iso).spans));
+  sim::OpenLoopOptions load;
+  load.requests_per_sec = rps;
+  load.duration = Seconds(seconds);
+  load.seed = 31;
+  p.spans = collector::CaptureRoundTrip(sim::RunOpenLoop(app, load).spans);
+  return p;
+}
+
+TraceWeaverOutput Reconstruct(const Pipeline& p, std::size_t threads,
+                              MetricsRegistry* metrics) {
+  TraceWeaverOptions opts;
+  opts.num_threads = threads;
+  opts.metrics = metrics;
+  TraceWeaver weaver(p.graph, opts);
+  return weaver.Reconstruct(p.spans);
+}
+
+// Enabling metrics must not change the reconstruction output at all --
+// same assignment, same confidence -- at any thread count.
+TEST(ObsIntegrationTest, MetricsLeaveReconstructionBitIdentical) {
+  const Pipeline p = RunPipeline(sim::MakeHotelReservationApp(), 300, 1.5);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const TraceWeaverOutput plain = Reconstruct(p, threads, nullptr);
+    MetricsRegistry reg;
+    const TraceWeaverOutput observed = Reconstruct(p, threads, &reg);
+    EXPECT_EQ(plain.assignment, observed.assignment);
+    EXPECT_EQ(plain.ConfidenceByService(), observed.ConfidenceByService());
+    EXPECT_GT(reg.Snapshot().Value("tw_runs_total"), 0);
+  }
+}
+
+/// True for metric names whose values are timing-derived and therefore
+/// legitimately vary run to run (everything else must be bit-identical
+/// across thread counts).
+bool IsTimingMetric(const std::string& name) {
+  return name.rfind("tw_stage_", 0) == 0 || name.rfind("tw_run_wall", 0) == 0;
+}
+
+// Every count-type metric -- candidates enumerated, batches formed, EM
+// iterations, MWIS nodes, margins observed -- is bit-identical across
+// thread counts, because the recorded quantities are integers and shard
+// merging is commutative addition.
+TEST(ObsIntegrationTest, CountMetricsIdenticalAcrossThreadCounts) {
+  const Pipeline p = RunPipeline(sim::MakeHotelReservationApp(), 300, 1.5);
+
+  auto collect = [&p](std::size_t threads) {
+    MetricsRegistry reg;
+    Reconstruct(p, threads, &reg);
+    std::vector<obs::MetricSnapshot> kept;
+    for (const auto& m : reg.Snapshot().metrics) {
+      if (!IsTimingMetric(m.name) && m.name != "tw_threads") {
+        kept.push_back(m);
+      }
+    }
+    return kept;
+  };
+
+  const auto serial = collect(1);
+  ASSERT_FALSE(serial.empty());
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const auto parallel = collect(threads);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      const auto& a = serial[i];
+      const auto& b = parallel[i];
+      ASSERT_EQ(a.name, b.name);
+      ASSERT_EQ(a.labels, b.labels);
+      EXPECT_EQ(a.value, b.value) << a.name << "{" << a.labels << "}";
+      EXPECT_EQ(a.histogram.count, b.histogram.count) << a.name;
+      EXPECT_EQ(a.histogram.sum, b.histogram.sum) << a.name;
+      EXPECT_EQ(a.histogram.buckets, b.histogram.buckets) << a.name;
+    }
+  }
+}
+
+// Serial stage timers nest strictly inside the run timer, so their summed
+// wall time can never exceed the run wall time, and on any real workload
+// the instrumented stages dominate it.
+TEST(ObsIntegrationTest, SerialStageCoverage) {
+  const Pipeline p = RunPipeline(sim::MakeHotelReservationApp(), 300, 1.5);
+  MetricsRegistry reg;
+  Reconstruct(p, 1, &reg);
+  const obs::RunReport r = obs::BuildRunReport(reg.Snapshot());
+  ASSERT_GT(r.wall_ns, 0);
+  EXPECT_GT(r.stage_wall_sum_ns, 0);
+  EXPECT_LE(r.stage_wall_sum_ns, r.wall_ns);
+  EXPECT_GT(r.stage_coverage, 0.5) << "stages cover too little of the run";
+}
+
+// The registry accumulates across runs: a second Reconstruct adds to the
+// same counters (ops_loop relies on this).
+TEST(ObsIntegrationTest, RegistryAccumulatesAcrossRuns) {
+  const Pipeline p = RunPipeline(sim::MakeLinearChainApp(), 200, 1.0);
+  MetricsRegistry reg;
+  Reconstruct(p, 1, &reg);
+  const std::int64_t spans1 = reg.Snapshot().Value("tw_run_spans_total");
+  Reconstruct(p, 1, &reg);
+  EXPECT_EQ(reg.Snapshot().Value("tw_runs_total"), 2);
+  EXPECT_EQ(reg.Snapshot().Value("tw_run_spans_total"), 2 * spans1);
+}
+
+}  // namespace
+}  // namespace traceweaver

@@ -10,7 +10,12 @@
 //   traceweaver export-jaeger <graph.txt> <spans.jsonl> Jaeger UI JSON
 //
 // The reconstruction commands accept --threads=N (default: all hardware
-// threads); reconstruction output is bit-identical for every N.
+// threads); reconstruction output is bit-identical for every N. They also
+// accept observability flags (docs/METRICS.md):
+//   --report              print a run report (stage times, pipeline
+//                         counters) to stderr after reconstruction
+//   --report-json=FILE    write the run report as JSON to FILE
+//   --metrics-out=FILE    write all metrics in Prometheus text format
 //
 // Apps: hotel | media | nodejs | chain | ab. Spans JSONL written by
 // `simulate`/`replay` carries ground truth so `evaluate` can score
@@ -27,6 +32,9 @@
 #include "collector/capture.h"
 #include "core/accuracy.h"
 #include "core/trace_weaver.h"
+#include "obs/metrics.h"
+#include "obs/prometheus.h"
+#include "obs/run_report.h"
 #include "trace/jaeger_export.h"
 #include "sim/apps.h"
 #include "sim/workload.h"
@@ -45,36 +53,94 @@ int Usage() {
       "  traceweaver replay <hotel|media|nodejs|chain|ab> "
       "[requests_per_root]\n"
       "  traceweaver infer-graph <spans.jsonl>\n"
-      "  traceweaver reconstruct [--threads=N] <graph.txt> <spans.jsonl>\n"
-      "  traceweaver evaluate [--threads=N] <graph.txt> <spans.jsonl>\n"
-      "  traceweaver export-jaeger [--threads=N] <graph.txt> "
-      "<spans.jsonl>\n"
+      "  traceweaver reconstruct [flags] <graph.txt> <spans.jsonl>\n"
+      "  traceweaver evaluate [flags] <graph.txt> <spans.jsonl>\n"
+      "  traceweaver export-jaeger [flags] <graph.txt> <spans.jsonl>\n"
       "\n"
-      "--threads=N   worker threads for reconstruction (default: all\n"
-      "              hardware threads); output is identical for every N\n");
+      "flags (reconstruction commands):\n"
+      "  --threads=N         worker threads (default: all hardware\n"
+      "                      threads); output is identical for every N\n"
+      "  --report            print a run report (stage times, pipeline\n"
+      "                      counters) to stderr after reconstruction\n"
+      "  --report-json=FILE  write the run report as JSON to FILE\n"
+      "  --metrics-out=FILE  write all metrics in Prometheus text format\n");
   return 2;
 }
 
-/// Consumes a leading --threads=N argument if present, shifting argv.
-/// Returns the thread count to use (hardware concurrency by default).
-std::size_t ParseThreadsFlag(int& argc, char**& argv) {
-  std::size_t threads =
-      std::max(1u, std::thread::hardware_concurrency());
-  if (argc > 1 && std::string(argv[1]).rfind("--threads=", 0) == 0) {
-    threads = static_cast<std::size_t>(
-        std::strtoull(argv[1] + 10, nullptr, 10));
-    if (threads == 0) threads = 1;
+/// Flags shared by the reconstruction commands.
+struct CliFlags {
+  std::size_t threads = std::max(1u, std::thread::hardware_concurrency());
+  bool report = false;        ///< Run-report table to stderr.
+  std::string report_json;    ///< Run-report JSON file ("" = off).
+  std::string metrics_out;    ///< Prometheus text file ("" = off).
+
+  bool WantMetrics() const {
+    return report || !report_json.empty() || !metrics_out.empty();
+  }
+};
+
+/// Consumes leading --threads=N / --report / --report-json=F /
+/// --metrics-out=F arguments (any order), shifting argv.
+CliFlags ParseFlags(int& argc, char**& argv) {
+  CliFlags flags;
+  while (argc > 1) {
+    const std::string arg = argv[1];
+    if (arg.rfind("--threads=", 0) == 0) {
+      flags.threads =
+          static_cast<std::size_t>(std::strtoull(arg.c_str() + 10,
+                                                 nullptr, 10));
+      if (flags.threads == 0) flags.threads = 1;
+    } else if (arg == "--report") {
+      flags.report = true;
+    } else if (arg.rfind("--report-json=", 0) == 0) {
+      flags.report_json = arg.substr(14);
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      flags.metrics_out = arg.substr(14);
+    } else {
+      break;
+    }
     --argc;
     ++argv;
     argv[0] = argv[-1];  // Keep argv[0] pointing at a program name.
   }
-  return threads;
+  return flags;
 }
 
-TraceWeaverOptions ThreadedOptions(std::size_t threads) {
+TraceWeaverOptions WeaverOptions(const CliFlags& flags,
+                                 obs::MetricsRegistry* registry) {
   TraceWeaverOptions opts;
-  opts.num_threads = threads;
+  opts.num_threads = flags.threads;
+  if (flags.WantMetrics()) opts.metrics = registry;
   return opts;
+}
+
+/// Emits whatever observability outputs the flags requested.
+void EmitObservability(const CliFlags& flags,
+                       const obs::MetricsRegistry& registry) {
+  if (!flags.WantMetrics()) return;
+  const obs::RegistrySnapshot snapshot = registry.Snapshot();
+  if (flags.report) {
+    const obs::RunReport report = obs::BuildRunReport(snapshot);
+    std::fputs(obs::RunReportTable(report).c_str(), stderr);
+  }
+  if (!flags.report_json.empty()) {
+    std::ofstream out(flags.report_json);
+    if (!out) {
+      std::fprintf(stderr, "cannot write report: %s\n",
+                   flags.report_json.c_str());
+    } else {
+      out << obs::RunReportJson(obs::BuildRunReport(snapshot));
+    }
+  }
+  if (!flags.metrics_out.empty()) {
+    std::ofstream out(flags.metrics_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write metrics: %s\n",
+                   flags.metrics_out.c_str());
+    } else {
+      obs::WritePrometheusText(out, snapshot);
+    }
+  }
 }
 
 std::optional<sim::AppSpec> AppByName(const std::string& name) {
@@ -159,14 +225,16 @@ int CmdInferGraph(int argc, char** argv) {
 }
 
 int CmdReconstruct(int argc, char** argv) {
-  const std::size_t threads = ParseThreadsFlag(argc, argv);
+  const CliFlags flags = ParseFlags(argc, argv);
   if (argc < 3) return Usage();
   auto graph = LoadGraph(argv[1]);
   auto spans = LoadSpans(argv[2]);
   if (!graph || !spans) return 1;
 
-  TraceWeaver weaver(*graph, ThreadedOptions(threads));
+  obs::MetricsRegistry registry;
+  TraceWeaver weaver(*graph, WeaverOptions(flags, &registry));
   const TraceWeaverOutput out = weaver.Reconstruct(*spans);
+  EmitObservability(flags, registry);
   std::size_t mapped = 0;
   for (const Span& s : *spans) {
     auto it = out.assignment.find(s.id);
@@ -183,26 +251,30 @@ int CmdReconstruct(int argc, char** argv) {
 }
 
 int CmdExportJaeger(int argc, char** argv) {
-  const std::size_t threads = ParseThreadsFlag(argc, argv);
+  const CliFlags flags = ParseFlags(argc, argv);
   if (argc < 3) return Usage();
   auto graph = LoadGraph(argv[1]);
   auto spans = LoadSpans(argv[2]);
   if (!graph || !spans) return 1;
-  TraceWeaver weaver(*graph, ThreadedOptions(threads));
+  obs::MetricsRegistry registry;
+  TraceWeaver weaver(*graph, WeaverOptions(flags, &registry));
   const TraceWeaverOutput out = weaver.Reconstruct(*spans);
+  EmitObservability(flags, registry);
   std::cout << TracesToJaegerJson(*spans, out.assignment) << '\n';
   return 0;
 }
 
 int CmdEvaluate(int argc, char** argv) {
-  const std::size_t threads = ParseThreadsFlag(argc, argv);
+  const CliFlags flags = ParseFlags(argc, argv);
   if (argc < 3) return Usage();
   auto graph = LoadGraph(argv[1]);
   auto spans = LoadSpans(argv[2]);
   if (!graph || !spans) return 1;
 
-  TraceWeaver weaver(*graph, ThreadedOptions(threads));
+  obs::MetricsRegistry registry;
+  TraceWeaver weaver(*graph, WeaverOptions(flags, &registry));
   const TraceWeaverOutput out = weaver.Reconstruct(*spans);
+  EmitObservability(flags, registry);
   const AccuracyReport report = Evaluate(*spans, out.assignment);
   std::printf("spans:   %zu considered, %zu correct (%.2f%%)\n",
               report.spans_considered, report.spans_correct,

@@ -145,7 +145,8 @@ std::vector<NetEvent> ExplodeSpans(const std::vector<Span>& spans,
 }
 
 std::vector<Span> AssembleSpans(std::vector<NetEvent> events,
-                                AssemblyStats* stats) {
+                                AssemblyStats* stats,
+                                SpanValidator* validator) {
   std::sort(events.begin(), events.end(), NetEventOrder{});
 
   // Per (connection, vantage): FIFO pairing of requests and responses.
@@ -257,13 +258,15 @@ std::vector<Span> AssembleSpans(std::vector<NetEvent> events,
     }
   }
   if (stats != nullptr) *stats = local;
+  if (validator != nullptr) out = validator->Sanitize(std::move(out));
   return out;
 }
 
 std::vector<Span> CaptureRoundTrip(const std::vector<Span>& spans,
                                    const CaptureFaults& faults,
-                                   AssemblyStats* stats) {
-  return AssembleSpans(ExplodeSpans(spans, faults), stats);
+                                   AssemblyStats* stats,
+                                   SpanValidator* validator) {
+  return AssembleSpans(ExplodeSpans(spans, faults), stats, validator);
 }
 
 }  // namespace traceweaver::collector

@@ -19,6 +19,7 @@
 
 #include "collector/net_event.h"
 #include "trace/span.h"
+#include "trace/span_validator.h"
 #include "util/rng.h"
 
 namespace traceweaver::collector {
@@ -54,13 +55,17 @@ struct AssemblyStats {
 
 /// Reassembles spans from an event stream (any order; sorted internally).
 /// Timestamps are sanitized so client_send <= server_recv <= server_send <=
-/// client_recv even under jitter.
+/// client_recv even under jitter. When a `validator` is supplied, every
+/// assembled span is additionally run through it (the wire-capture ingest
+/// path of the span validation layer); quarantined spans are excluded.
 std::vector<Span> AssembleSpans(std::vector<NetEvent> events,
-                                AssemblyStats* stats = nullptr);
+                                AssemblyStats* stats = nullptr,
+                                SpanValidator* validator = nullptr);
 
 /// Convenience: spans -> events -> spans, the full ingestion round trip.
 std::vector<Span> CaptureRoundTrip(const std::vector<Span>& spans,
                                    const CaptureFaults& faults = {},
-                                   AssemblyStats* stats = nullptr);
+                                   AssemblyStats* stats = nullptr,
+                                   SpanValidator* validator = nullptr);
 
 }  // namespace traceweaver::collector

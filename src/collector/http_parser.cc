@@ -78,13 +78,18 @@ void HttpStreamParser::ParseHeaderLine(std::string_view line) {
   const std::string_view name = Strip(line.substr(0, colon));
   const std::string_view value = Strip(line.substr(colon + 1));
   if (IEquals(name, "content-length")) {
-    std::size_t n = 0;
+    // Bounded parse: reject negatives (the '-' is not valid for an
+    // unsigned parse), overflow, trailing junk, empty values, and lengths
+    // beyond the body cap, so a garbled length header can never put the
+    // parser into a pathological state.
+    std::uint64_t n = 0;
     const auto [ptr, ec] =
         std::from_chars(value.data(), value.data() + value.size(), n);
-    if (ec == std::errc{}) {
-      body_remaining_ = n;
-    } else {
+    if (ec != std::errc{} || ptr != value.data() + value.size() ||
+        n > kMaxBodyBytes) {
       error_ = true;
+    } else {
+      body_remaining_ = static_cast<std::size_t>(n);
     }
   } else if (IEquals(name, "transfer-encoding") &&
              value.find("chunked") != std::string_view::npos) {
@@ -95,15 +100,20 @@ void HttpStreamParser::ParseHeaderLine(std::string_view line) {
 void HttpStreamParser::Process() {
   // Consume the buffer as far as possible; `cut` tracks consumed bytes.
   std::size_t cut = 0;
+  std::size_t line_bytes = 0;  ///< Wire bytes of the last taken line.
   auto remaining = [&]() {
     return std::string_view(buffer_).substr(cut);
   };
+  // Lines end in CRLF per the RFC, but real producers emit bare LF too;
+  // tolerate both (the optional '\r' is stripped from the line).
   auto take_line = [&]() -> std::optional<std::string_view> {
     const std::string_view rest = remaining();
-    const std::size_t eol = rest.find("\r\n");
+    const std::size_t eol = rest.find('\n');
     if (eol == std::string_view::npos) return std::nullopt;
-    const std::string_view line = rest.substr(0, eol);
-    cut += eol + 2;
+    std::string_view line = rest.substr(0, eol);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    line_bytes = eol + 1;
+    cut += eol + 1;
     return line;
   };
 
@@ -112,14 +122,23 @@ void HttpStreamParser::Process() {
     progress = false;
     switch (state_) {
       case State::kStartLine: {
-        // Skip stray CRLFs between pipelined messages.
-        while (remaining().rfind("\r\n", 0) == 0) cut += 2;
+        // Skip stray CRLFs (or bare LFs) between pipelined messages.
+        while (true) {
+          const std::string_view rest = remaining();
+          if (rest.rfind("\r\n", 0) == 0) {
+            cut += 2;
+          } else if (rest.rfind("\n", 0) == 0) {
+            cut += 1;
+          } else {
+            break;
+          }
+        }
         const std::size_t first_byte_index = cut;
         auto line = take_line();
         if (!line) break;
         current_ = HttpMessage{};
         current_.first_byte = byte_times_[first_byte_index];
-        current_.header_bytes = line->size() + 2;
+        current_.header_bytes = line_bytes;
         body_remaining_ = 0;
         chunked_ = false;
         if (!ParseStartLine(*line)) {
@@ -133,7 +152,7 @@ void HttpStreamParser::Process() {
       case State::kHeaders: {
         auto line = take_line();
         if (!line) break;
-        current_.header_bytes += line->size() + 2;
+        current_.header_bytes += line_bytes;
         if (line->empty()) {
           if (chunked_) {
             state_ = State::kChunkSize;
@@ -169,7 +188,7 @@ void HttpStreamParser::Process() {
         const std::string_view hex = Strip(*line);
         const auto [ptr, ec] = std::from_chars(
             hex.data(), hex.data() + hex.size(), size, 16);
-        if (ec != std::errc{}) {
+        if (ec != std::errc{} || size > kMaxBodyBytes) {
           error_ = true;
           break;
         }
@@ -179,13 +198,33 @@ void HttpStreamParser::Process() {
         break;
       }
       case State::kChunkData: {
-        // Chunk data plus its trailing CRLF.
-        const std::size_t needed = chunk_remaining_ + 2;
-        if (remaining().size() < needed) break;
-        cut += needed;
-        current_.body_bytes += chunk_remaining_;
-        state_ = State::kChunkSize;
-        progress = true;
+        // Consume chunk payload incrementally so a large chunk flows
+        // through without ever accumulating in the buffer.
+        const std::size_t consume =
+            std::min(remaining().size(), chunk_remaining_);
+        if (consume > 0) {
+          cut += consume;
+          chunk_remaining_ -= consume;
+          current_.body_bytes += consume;
+          progress = true;
+        }
+        if (chunk_remaining_ == 0) {
+          // The payload's trailing CRLF (or bare LF).
+          const std::string_view rest = remaining();
+          if (rest.rfind("\r\n", 0) == 0) {
+            cut += 2;
+            state_ = State::kChunkSize;
+            progress = true;
+          } else if (rest.rfind("\n", 0) == 0) {
+            cut += 1;
+            state_ = State::kChunkSize;
+            progress = true;
+          } else if (rest.size() >= 2 ||
+                     (rest.size() == 1 && rest.front() != '\r')) {
+            error_ = true;  // Payload not followed by a line terminator.
+          }
+          // Else: too few bytes to decide; wait for more input.
+        }
         break;
       }
       case State::kChunkTrailer: {
@@ -205,6 +244,14 @@ void HttpStreamParser::Process() {
     buffer_.erase(0, cut);
     byte_times_.erase(byte_times_.begin(),
                       byte_times_.begin() + static_cast<long>(cut));
+  }
+  // An unparseable prefix that keeps growing (e.g. a header line with no
+  // terminator, fed by a garbled stream) must not buffer unboundedly.
+  if (!error_ && buffer_.size() > kMaxPendingBytes) error_ = true;
+  if (error_) {
+    // Sticky error: no further input is accepted, so release the buffers.
+    std::string().swap(buffer_);
+    std::vector<TimeNs>().swap(byte_times_);
   }
 }
 

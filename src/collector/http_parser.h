@@ -39,6 +39,16 @@ struct HttpMessage {
 /// capture pipeline would resynchronize on a new connection).
 class HttpStreamParser {
  public:
+  /// Largest body a Content-Length header or chunk-size line may declare;
+  /// larger (or malformed) declarations put the parser in error instead of
+  /// driving it into a pathological state.
+  static constexpr std::size_t kMaxBodyBytes = std::size_t{1} << 30;
+  /// Largest unparseable prefix (e.g. a header line with no terminator)
+  /// the parser will buffer before giving up; bounds memory growth on
+  /// garbled streams. Body and chunk payloads stream through without
+  /// buffering, so this is effectively a maximum line length.
+  static constexpr std::size_t kMaxPendingBytes = std::size_t{256} << 10;
+
   void Feed(std::string_view bytes, TimeNs timestamp);
 
   /// Returns and clears the completed messages, in stream order.

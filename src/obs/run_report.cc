@@ -150,6 +150,16 @@ RunReport BuildRunReport(const RegistrySnapshot& s) {
   r.threads = s.Value("tw_threads");
   r.wall_ns = s.Value("tw_run_wall_ns_total");
 
+  r.ingest.input = s.Value("tw_ingest_spans_total");
+  r.ingest.accepted = s.Value("tw_ingest_accepted_total");
+  r.ingest.repaired = s.Value("tw_ingest_repaired_total");
+  r.ingest.quarantined = s.Value("tw_ingest_quarantined_total");
+  r.ingest.parse_errors = s.Value("tw_ingest_parse_errors_total");
+  r.ingest.timestamps_clamped =
+      s.Value("tw_ingest_timestamps_clamped_total");
+  r.ingest.duplicate_ids = s.Value("tw_ingest_duplicate_ids_total");
+  r.ingest.suggested_slack_ns = s.Value("tw_ingest_suggested_slack_ns");
+
   for (std::size_t st = 0; st < kStageCount; ++st) {
     const std::string label =
         "stage=\"" + std::string(StageName(static_cast<Stage>(st))) + "\"";
@@ -223,7 +233,7 @@ std::string RunReportJson(const RunReport& r) {
   std::string out;
   Json j(&out);
   j.Open('{');
-  j.Field("schema", std::string("traceweaver.run_report.v1"));
+  j.Field("schema", std::string("traceweaver.run_report.v2"));
 
   j.Key("run");
   j.Open('{');
@@ -232,6 +242,18 @@ std::string RunReportJson(const RunReport& r) {
   j.Field("containers", r.containers);
   j.Field("threads", r.threads);
   j.Field("wall_ns", r.wall_ns);
+  j.Close('}');
+
+  j.Key("ingest");
+  j.Open('{');
+  j.Field("input", r.ingest.input);
+  j.Field("accepted", r.ingest.accepted);
+  j.Field("repaired", r.ingest.repaired);
+  j.Field("quarantined", r.ingest.quarantined);
+  j.Field("parse_errors", r.ingest.parse_errors);
+  j.Field("timestamps_clamped", r.ingest.timestamps_clamped);
+  j.Field("duplicate_ids", r.ingest.duplicate_ids);
+  j.Field("suggested_slack_ns", r.ingest.suggested_slack_ns);
   j.Close('}');
 
   j.Key("stages");
@@ -340,7 +362,15 @@ std::string RunReportTable(const RunReport& r) {
   out << "=== TraceWeaver run report ===\n";
   out << "runs " << r.runs << "   spans " << r.spans << "   containers "
       << r.containers << "   threads " << r.threads << "   wall "
-      << FmtNs(r.wall_ns) << " ms\n\n";
+      << FmtNs(r.wall_ns) << " ms\n";
+  out << "ingest: " << r.ingest.input << " spans in, " << r.ingest.accepted
+      << " clean, " << r.ingest.repaired << " repaired, "
+      << r.ingest.quarantined << " quarantined, " << r.ingest.parse_errors
+      << " parse errors";
+  if (r.ingest.suggested_slack_ns > 0) {
+    out << "; suggested constraint_slack_ns " << r.ingest.suggested_slack_ns;
+  }
+  out << "\n\n";
 
   TextTable stages;
   stages.SetHeader({"stage", "wall ms", "cpu ms", "share"});

@@ -1,8 +1,9 @@
 // Machine- and human-readable summary of one reconstruction run, built
-// from a MetricsRegistry snapshot: where the time went per stage, how
+// from a MetricsRegistry snapshot: what ingestion sanitized or
+// quarantined, where the time went per stage, how
 // enumeration/batching/ranking/MWIS/GMM behaved, per-service outcomes,
 // and §4.2 phantom-span usage. Render as JSON (stable schema
-// `traceweaver.run_report.v1`, golden-tested) or as an aligned text
+// `traceweaver.run_report.v2`, golden-tested) or as an aligned text
 // table for terminals.
 #pragma once
 
@@ -21,6 +22,18 @@ struct RunReport {
   std::int64_t containers = 0;
   std::int64_t threads = 0;
   std::int64_t wall_ns = 0;
+
+  // --- Ingestion (span validation layer, `tw_ingest_*`). ---
+  struct {
+    std::int64_t input = 0;
+    std::int64_t accepted = 0;
+    std::int64_t repaired = 0;
+    std::int64_t quarantined = 0;
+    std::int64_t parse_errors = 0;
+    std::int64_t timestamps_clamped = 0;
+    std::int64_t duplicate_ids = 0;
+    std::int64_t suggested_slack_ns = 0;
+  } ingest;
 
   // --- Stage timing (pipeline order; zero-time stages included so rows
   // line up across runs). ---
@@ -90,7 +103,7 @@ struct RunReport {
 /// into (see PipelineMetrics for the names consumed).
 RunReport BuildRunReport(const RegistrySnapshot& snapshot);
 
-/// Stable JSON rendering (schema `traceweaver.run_report.v1`).
+/// Stable JSON rendering (schema `traceweaver.run_report.v2`).
 std::string RunReportJson(const RunReport& report);
 
 /// Aligned text-table rendering for terminals.

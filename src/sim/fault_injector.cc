@@ -1,0 +1,141 @@
+#include "sim/fault_injector.h"
+
+#include <iterator>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "util/rng.h"
+
+namespace traceweaver::sim {
+namespace {
+
+/// One capture clock per (service, replica) vantage point, drawn lazily so
+/// only vantages present in the population consume randomness.
+class VantageClocks {
+ public:
+  VantageClocks(Rng& rng, DurationNs stddev) : rng_(rng), stddev_(stddev) {}
+
+  DurationNs OffsetOf(const std::string& service, int replica) {
+    const auto key = std::make_pair(service, replica);
+    auto it = offsets_.find(key);
+    if (it == offsets_.end()) {
+      const auto offset = static_cast<DurationNs>(
+          rng_.Normal(0.0, static_cast<double>(stddev_)));
+      it = offsets_.emplace(key, offset).first;
+    }
+    return it->second;
+  }
+
+  std::size_t count() const { return offsets_.size(); }
+
+ private:
+  Rng& rng_;
+  DurationNs stddev_;
+  std::map<std::pair<std::string, int>, DurationNs> offsets_;
+};
+
+TimeNs Truncate(TimeNs t, DurationNs granularity) {
+  if (granularity <= 0) return t;
+  // Floor toward negative infinity so already-skewed (possibly negative)
+  // timestamps stay ordered under truncation.
+  TimeNs q = t / granularity;
+  if (t % granularity != 0 && t < 0) --q;
+  return q * granularity;
+}
+
+/// Scrambles a name with JSON-hostile bytes: quotes, backslashes, control
+/// characters, and an embedded `"id":` key -- exactly the payloads the
+/// serialization layer must survive.
+std::string GarbleName(Rng& rng, const std::string& name) {
+  static const char* kPayloads[] = {"\"", "\\", "\n", "\r", "\x01",
+                                    "\"id\":9", "\t{", "}"};
+  const std::size_t pick = static_cast<std::size_t>(
+      rng.UniformInt(0, static_cast<std::int64_t>(std::size(kPayloads) - 1)));
+  return name + kPayloads[pick];
+}
+
+void GarbleSpan(Rng& rng, Span& s) {
+  switch (rng.UniformInt(0, 3)) {
+    case 0:
+      // Invert the callee window: server_send before server_recv.
+      s.server_send = s.server_recv - (1 + rng.UniformInt(0, Millis(1)));
+      break;
+    case 1:
+      s.callee_replica = rng.Bernoulli(0.5)
+                             ? -1 - static_cast<int>(rng.UniformInt(0, 100))
+                             : (1 << 24) + static_cast<int>(
+                                   rng.UniformInt(0, 100));
+      break;
+    case 2:
+      s.endpoint = GarbleName(rng, s.endpoint);
+      break;
+    case 3:
+      if (rng.Bernoulli(0.5)) {
+        s.caller = GarbleName(rng, s.caller);
+      } else {
+        s.endpoint.clear();
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+std::vector<Span> InjectFaults(std::vector<Span> spans, const FaultSpec& spec,
+                               FaultStats* stats) {
+  Rng rng(spec.seed);
+  VantageClocks clocks(rng, spec.skew_stddev_ns);
+  FaultStats local;
+  local.input = spans.size();
+
+  std::vector<Span> out;
+  out.reserve(spans.size());
+  for (Span& s : spans) {
+    if (spec.drop_rate > 0.0 && rng.Bernoulli(spec.drop_rate)) {
+      ++local.dropped;
+      continue;
+    }
+    if (spec.skew_stddev_ns > 0) {
+      const DurationNs caller_off =
+          clocks.OffsetOf(s.caller, s.caller_replica);
+      const DurationNs callee_off =
+          clocks.OffsetOf(s.callee, s.callee_replica);
+      s.client_send += caller_off;
+      s.client_recv += caller_off;
+      s.server_recv += callee_off;
+      s.server_send += callee_off;
+      if (caller_off != 0 || callee_off != 0) ++local.skewed;
+    }
+    if (spec.truncate_granularity_ns > 0) {
+      const Span before = s;
+      s.client_send = Truncate(s.client_send, spec.truncate_granularity_ns);
+      s.server_recv = Truncate(s.server_recv, spec.truncate_granularity_ns);
+      s.server_send = Truncate(s.server_send, spec.truncate_granularity_ns);
+      s.client_recv = Truncate(s.client_recv, spec.truncate_granularity_ns);
+      if (before.client_send != s.client_send ||
+          before.server_recv != s.server_recv ||
+          before.server_send != s.server_send ||
+          before.client_recv != s.client_recv) {
+        ++local.truncated;
+      }
+    }
+    if (spec.garble_rate > 0.0 && rng.Bernoulli(spec.garble_rate)) {
+      GarbleSpan(rng, s);
+      ++local.garbled;
+    }
+    const bool duplicate =
+        spec.duplicate_rate > 0.0 && rng.Bernoulli(spec.duplicate_rate);
+    out.push_back(s);
+    if (duplicate) {
+      out.push_back(std::move(s));
+      ++local.duplicated;
+    }
+  }
+  local.vantage_points = clocks.count();
+  local.output = out.size();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace traceweaver::sim

@@ -1,0 +1,68 @@
+// Deterministic, seeded corruption of span streams (the fault-injection
+// harness behind the robustness experiments).
+//
+// The paper evaluates TraceWeaver against packet drops (Fig. 10); a
+// production capture layer additionally duplicates records, skews clocks
+// across vantage points, truncates timestamps, and garbles fields. This
+// injector reproduces all of those on any span population so robustness
+// curves (accuracy vs. corruption rate) are reproducible:
+//
+//   * drop_rate        -- each span record is lost independently.
+//   * duplicate_rate   -- each record is emitted twice (same span id),
+//                         modeling retransmitted/doubly-captured records.
+//   * skew_stddev_ns   -- each vantage point (service, replica) gets one
+//                         constant clock offset ~ N(0, stddev); a span's
+//                         caller-side timestamps shift by the caller
+//                         vantage's offset, callee-side by the callee's.
+//   * truncate_granularity_ns -- timestamps are floored to multiples of
+//                         the granularity (coarse capture clocks).
+//   * garble_rate      -- one field of the record is corrupted: a
+//                         timestamp inverted, a replica index made
+//                         negative/huge, or a name string scrambled with
+//                         JSON-hostile bytes (quotes, backslashes,
+//                         control characters).
+//
+// Everything draws from one explicitly seeded Rng, so a (population,
+// spec) pair always yields the same corrupted stream. Ground-truth
+// fields ride along untouched so accuracy remains measurable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/span.h"
+#include "util/time_types.h"
+
+namespace traceweaver::sim {
+
+struct FaultSpec {
+  double drop_rate = 0.0;
+  double duplicate_rate = 0.0;
+  DurationNs skew_stddev_ns = 0;
+  DurationNs truncate_granularity_ns = 0;
+  double garble_rate = 0.0;
+  std::uint64_t seed = 17;
+
+  bool Active() const {
+    return drop_rate > 0.0 || duplicate_rate > 0.0 || skew_stddev_ns > 0 ||
+           truncate_granularity_ns > 0 || garble_rate > 0.0;
+  }
+};
+
+struct FaultStats {
+  std::size_t input = 0;
+  std::size_t dropped = 0;
+  std::size_t duplicated = 0;
+  std::size_t skewed = 0;     ///< Spans with at least one shifted timestamp.
+  std::size_t truncated = 0;  ///< Spans with at least one floored timestamp.
+  std::size_t garbled = 0;
+  std::size_t vantage_points = 0;  ///< Distinct (service, replica) clocks.
+  std::size_t output = 0;
+};
+
+/// Applies `spec` to the population, preserving the order of surviving
+/// records (duplicates are emitted adjacent to their original).
+std::vector<Span> InjectFaults(std::vector<Span> spans, const FaultSpec& spec,
+                               FaultStats* stats = nullptr);
+
+}  // namespace traceweaver::sim

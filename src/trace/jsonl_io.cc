@@ -2,6 +2,7 @@
 
 #include <charconv>
 #include <cstdio>
+#include <cstring>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -24,8 +25,27 @@ void AppendEscaped(std::string& out, const std::string& s) {
       case '\t':
         out += "\\t";
         break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
       default:
-        out += c;
+        if (static_cast<unsigned char>(c) < 0x20) {
+          // Remaining control characters are invalid raw inside JSON
+          // strings; emit the \u00XX escape.
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(
+                            static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
     }
   }
 }
@@ -54,16 +74,56 @@ void AppendField(std::string& out, const char* key, std::uint64_t value) {
   out += std::to_string(value);
 }
 
-/// Finds `"key":` in `line` and returns the position just past the colon,
-/// or npos. Assumes keys are not substrings of string values containing
-/// quotes+colons, which holds for our flat writer's output.
+bool IsJsonWhitespace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+/// Finds a top-level `"key":` in `line` and returns the position of the
+/// value (just past the colon and any whitespace), or npos. The scan
+/// tracks in-string state so a key embedded inside a string *value*
+/// (e.g. a caller literally named `x"id":9`) never matches, and tolerates
+/// whitespace around the colon for interop with pretty-printing producers.
 std::size_t FindValue(const std::string& line, const char* key) {
-  std::string needle = "\"";
-  needle += key;
-  needle += "\":";
-  const std::size_t pos = line.find(needle);
-  if (pos == std::string::npos) return std::string::npos;
-  return pos + needle.size();
+  const std::size_t key_len = std::strlen(key);
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (line[i] != '"') continue;
+    // At a top-level opening quote: either our key, another key, or a
+    // string value. Check for `"key"` followed by an (optionally padded)
+    // colon.
+    if (line.compare(i + 1, key_len, key) == 0 &&
+        i + 1 + key_len < line.size() && line[i + 1 + key_len] == '"') {
+      std::size_t j = i + 2 + key_len;
+      while (j < line.size() && IsJsonWhitespace(line[j])) ++j;
+      if (j < line.size() && line[j] == ':') {
+        ++j;
+        while (j < line.size() && IsJsonWhitespace(line[j])) ++j;
+        return j;
+      }
+    }
+    // Not our key: skip the whole string (honoring escapes) so nothing
+    // inside it can be mistaken for a top-level key.
+    ++i;
+    while (i < line.size() && line[i] != '"') {
+      if (line[i] == '\\') ++i;
+      if (i < line.size()) ++i;
+    }
+    if (i >= line.size()) return std::string::npos;  // Unterminated.
+  }
+  return std::string::npos;
+}
+
+/// Appends the UTF-8 encoding of a BMP code point.
+void AppendUtf8(std::string& out, unsigned cp) {
+  if (cp < 0x80) {
+    out += static_cast<char>(cp);
+  } else if (cp < 0x800) {
+    out += static_cast<char>(0xC0 | (cp >> 6));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else {
+    out += static_cast<char>(0xE0 | (cp >> 12));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  }
 }
 
 std::optional<std::string> GetString(const std::string& line,
@@ -84,6 +144,27 @@ std::optional<std::string> GetString(const std::string& line,
         case 't':
           out += '\t';
           break;
+        case 'r':
+          out += '\r';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'u': {
+          if (pos + 4 >= line.size()) return std::nullopt;
+          unsigned cp = 0;
+          const auto [ptr, ec] = std::from_chars(
+              line.data() + pos + 1, line.data() + pos + 5, cp, 16);
+          if (ec != std::errc{} || ptr != line.data() + pos + 5) {
+            return std::nullopt;  // Malformed \uXXXX escape.
+          }
+          AppendUtf8(out, cp);
+          pos += 4;
+          break;
+        }
         default:
           out += line[pos];
       }

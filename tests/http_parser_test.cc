@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
 #include "collector/http_parser.h"
 #include "util/rng.h"
 
@@ -148,6 +153,117 @@ TEST(HttpParser, HeaderCaseInsensitivity) {
   auto msgs = p.TakeMessages();
   ASSERT_EQ(msgs.size(), 1u);
   EXPECT_EQ(msgs[0].body_bytes, 3u);
+}
+
+TEST(HttpParser, BareLfLineEndingsParse) {
+  // Regression: real capture streams (and RFC-tolerant servers) produce
+  // bare-LF line endings; the parser must not stall waiting for a CR.
+  HttpStreamParser p;
+  p.Feed("POST /x HTTP/1.1\nContent-Length: 3\n\nabc", 0);
+  auto msgs = p.TakeMessages();
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_EQ(msgs[0].method, "POST");
+  EXPECT_EQ(msgs[0].body_bytes, 3u);
+  EXPECT_FALSE(p.in_error());
+}
+
+TEST(HttpParser, MixedLineEndingsParse) {
+  HttpStreamParser p;
+  p.Feed("HTTP/1.1 200 OK\nContent-Length: 2\r\n\nhi", 0);
+  auto msgs = p.TakeMessages();
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_EQ(msgs[0].status, 200);
+  EXPECT_EQ(msgs[0].body_bytes, 2u);
+}
+
+TEST(HttpParser, ChunkedWithBareLfTerminators) {
+  HttpStreamParser p;
+  p.Feed("HTTP/1.1 200 OK\nTransfer-Encoding: chunked\n\n4\nWiki\n0\n\n", 0);
+  auto msgs = p.TakeMessages();
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_EQ(msgs[0].body_bytes, 4u);
+  EXPECT_FALSE(p.in_error());
+}
+
+TEST(HttpParser, RejectsNegativeContentLength) {
+  HttpStreamParser p;
+  p.Feed("POST /x HTTP/1.1\r\nContent-Length: -5\r\n\r\n", 0);
+  EXPECT_TRUE(p.in_error());
+  EXPECT_TRUE(p.TakeMessages().empty());
+}
+
+TEST(HttpParser, RejectsOverflowingContentLength) {
+  // Used to wrap through std::stoull / unchecked conversion and commit the
+  // parser to consuming ~2^64 body bytes.
+  HttpStreamParser p;
+  p.Feed("POST /x HTTP/1.1\r\nContent-Length: 99999999999999999999\r\n\r\n",
+         0);
+  EXPECT_TRUE(p.in_error());
+}
+
+TEST(HttpParser, RejectsJunkContentLength) {
+  for (const char* value : {"abc", "12abc", "1 2", ""}) {
+    HttpStreamParser p;
+    p.Feed(std::string("POST /x HTTP/1.1\r\nContent-Length: ") + value +
+               "\r\n\r\n",
+           0);
+    EXPECT_TRUE(p.in_error()) << "value: '" << value << "'";
+  }
+}
+
+TEST(HttpParser, RejectsAbsurdContentLength) {
+  HttpStreamParser p;
+  p.Feed("POST /x HTTP/1.1\r\nContent-Length: 4611686018427387904\r\n\r\n",
+         0);  // 4 EiB: over kMaxBodyBytes, nonsense for a capture stream.
+  EXPECT_TRUE(p.in_error());
+}
+
+TEST(HttpParser, RejectsOversizedChunkSize) {
+  HttpStreamParser p;
+  p.Feed(
+      "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "ffffffffffffff\r\n",
+      0);
+  EXPECT_TRUE(p.in_error());
+}
+
+TEST(HttpParser, UnterminatedGarbageLineIsBoundedNotUnbounded) {
+  // A stream that never produces a newline must not buffer forever: once
+  // pending bytes exceed kMaxPendingBytes the parser errors and frees.
+  HttpStreamParser p;
+  const std::string blob(64 * 1024, 'x');  // No newline anywhere.
+  for (int i = 0; i < 8; ++i) p.Feed(blob, i);
+  EXPECT_TRUE(p.in_error());
+  EXPECT_EQ(p.pending_bytes(), 0u);  // Buffer released on error.
+  // Sticky error: more input stays ignored and unbuffered.
+  p.Feed(blob, 100);
+  EXPECT_EQ(p.pending_bytes(), 0u);
+}
+
+TEST(HttpParser, LargeChunkStreamsWithoutBuffering) {
+  // A single chunk larger than kMaxPendingBytes must stream through
+  // incrementally rather than accumulate in the pending buffer.
+  constexpr std::size_t kBody = HttpStreamParser::kMaxPendingBytes + 4096;
+  HttpStreamParser p;
+  char size_line[32];
+  std::snprintf(size_line, sizeof size_line, "%zx\r\n", kBody);
+  p.Feed(std::string("HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n") +
+             size_line,
+         0);
+  const std::string piece(16 * 1024, 'y');
+  std::size_t sent = 0;
+  while (sent < kBody) {
+    const std::size_t n = std::min(piece.size(), kBody - sent);
+    p.Feed(std::string_view(piece).substr(0, n), 1);
+    sent += n;
+    EXPECT_LT(p.pending_bytes(), HttpStreamParser::kMaxPendingBytes);
+    ASSERT_FALSE(p.in_error());
+  }
+  p.Feed("\r\n0\r\n\r\n", 2);
+  auto msgs = p.TakeMessages();
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_EQ(msgs[0].body_bytes, kBody);
+  EXPECT_FALSE(p.in_error());
 }
 
 }  // namespace

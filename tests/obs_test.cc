@@ -208,7 +208,7 @@ TEST(RunReportTest, EmptyReportGoldenJson) {
   const obs::RunReport report = obs::BuildRunReport(RegistrySnapshot{});
   const std::string json = obs::RunReportJson(report);
   EXPECT_EQ(json.substr(0, 40),
-            std::string("{\"schema\":\"traceweaver.run_report.v1\",\"r")
+            std::string("{\"schema\":\"traceweaver.run_report.v2\",\"r")
                 .substr(0, 40));
   // Every stage row is present even at zero, in pipeline order.
   const char* kStages[] = {"views", "setup",    "enumerate", "batch",
@@ -223,9 +223,9 @@ TEST(RunReportTest, EmptyReportGoldenJson) {
   }
   // Top-level sections, in schema order.
   for (const char* key :
-       {"\"run\":", "\"stages\":", "\"services\":", "\"enumeration\":",
-        "\"batching\":", "\"delay_model\":", "\"ranking\":", "\"mwis\":",
-        "\"iteration\":", "\"dynamism\":"}) {
+       {"\"run\":", "\"ingest\":", "\"stages\":", "\"services\":",
+        "\"enumeration\":", "\"batching\":", "\"delay_model\":",
+        "\"ranking\":", "\"mwis\":", "\"iteration\":", "\"dynamism\":"}) {
     EXPECT_NE(json.find(key), std::string::npos) << key;
   }
   // Deterministic: the same (empty) snapshot renders byte-identically.

@@ -3,6 +3,7 @@
 //
 //   traceweaver simulate <app> <rps> <seconds> [seed]   spans JSONL -> stdout
 //   traceweaver replay <app> [requests_per_root]        isolated-replay spans
+//   traceweaver inject-faults [flags] <spans.jsonl>     corrupted JSONL
 //   traceweaver infer-graph <spans.jsonl>               call graph -> stdout
 //   traceweaver reconstruct <graph.txt> <spans.jsonl>   assignment JSONL
 //   traceweaver evaluate <graph.txt> <spans.jsonl>      accuracy vs ground
@@ -10,12 +11,22 @@
 //   traceweaver export-jaeger <graph.txt> <spans.jsonl> Jaeger UI JSON
 //
 // The reconstruction commands accept --threads=N (default: all hardware
-// threads); reconstruction output is bit-identical for every N. They also
-// accept observability flags (docs/METRICS.md):
+// threads); reconstruction output is bit-identical for every N. Every
+// span-loading command runs the ingestion validator (span_validator.h):
+//   --ingest=MODE         lenient (default: repair and keep), strict
+//                         (quarantine anything inconsistent), off
+//   --auto-slack          apply the validator's suggested
+//                         constraint_slack_ns (derived from observed
+//                         capture-clock skew) to reconstruction
+// They also accept observability flags (docs/METRICS.md):
 //   --report              print a run report (stage times, pipeline
 //                         counters) to stderr after reconstruction
 //   --report-json=FILE    write the run report as JSON to FILE
 //   --metrics-out=FILE    write all metrics in Prometheus text format
+//
+// `simulate` and `inject-faults` take fault-injection flags
+// (sim/fault_injector.h): --drop=P --dup=P --skew-ns=N --truncate-ns=N
+// --garble=P --fault-seed=S.
 //
 // Apps: hotel | media | nodejs | chain | ab. Spans JSONL written by
 // `simulate`/`replay` carries ground truth so `evaluate` can score
@@ -35,10 +46,12 @@
 #include "obs/metrics.h"
 #include "obs/prometheus.h"
 #include "obs/run_report.h"
-#include "trace/jaeger_export.h"
 #include "sim/apps.h"
+#include "sim/fault_injector.h"
 #include "sim/workload.h"
+#include "trace/jaeger_export.h"
 #include "trace/jsonl_io.h"
+#include "trace/span_validator.h"
 
 namespace {
 
@@ -48,10 +61,11 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  traceweaver simulate <hotel|media|nodejs|chain|ab> <rps> "
-      "<seconds> [seed]\n"
+      "  traceweaver simulate [fault flags] <hotel|media|nodejs|chain|ab> "
+      "<rps> <seconds> [seed]\n"
       "  traceweaver replay <hotel|media|nodejs|chain|ab> "
       "[requests_per_root]\n"
+      "  traceweaver inject-faults [fault flags] <spans.jsonl>\n"
       "  traceweaver infer-graph <spans.jsonl>\n"
       "  traceweaver reconstruct [flags] <graph.txt> <spans.jsonl>\n"
       "  traceweaver evaluate [flags] <graph.txt> <spans.jsonl>\n"
@@ -60,10 +74,21 @@ int Usage() {
       "flags (reconstruction commands):\n"
       "  --threads=N         worker threads (default: all hardware\n"
       "                      threads); output is identical for every N\n"
+      "  --ingest=MODE       span validation at load: lenient (default),\n"
+      "                      strict, off\n"
+      "  --auto-slack        apply the validator's suggested\n"
+      "                      constraint_slack_ns (observed clock skew)\n"
       "  --report            print a run report (stage times, pipeline\n"
       "                      counters) to stderr after reconstruction\n"
       "  --report-json=FILE  write the run report as JSON to FILE\n"
-      "  --metrics-out=FILE  write all metrics in Prometheus text format\n");
+      "  --metrics-out=FILE  write all metrics in Prometheus text format\n"
+      "\n"
+      "fault flags (simulate, inject-faults):\n"
+      "  --drop=P --dup=P    per-record drop / duplication probability\n"
+      "  --skew-ns=N         per-vantage clock skew stddev (ns)\n"
+      "  --truncate-ns=N     timestamp truncation granularity (ns)\n"
+      "  --garble=P          per-record field-garbling probability\n"
+      "  --fault-seed=S      corruption RNG seed (default 17)\n");
   return 2;
 }
 
@@ -73,22 +98,30 @@ struct CliFlags {
   bool report = false;        ///< Run-report table to stderr.
   std::string report_json;    ///< Run-report JSON file ("" = off).
   std::string metrics_out;    ///< Prometheus text file ("" = off).
+  IngestMode ingest = IngestMode::kLenient;
+  bool auto_slack = false;    ///< Apply suggested slack to reconstruction.
+
+  /// Fault-injection spec (simulate / inject-faults only).
+  sim::FaultSpec faults;
 
   bool WantMetrics() const {
     return report || !report_json.empty() || !metrics_out.empty();
   }
 };
 
-/// Consumes leading --threads=N / --report / --report-json=F /
-/// --metrics-out=F arguments (any order), shifting argv.
+/// Consumes leading flag arguments (any order), shifting argv.
 CliFlags ParseFlags(int& argc, char**& argv) {
   CliFlags flags;
+  const auto num = [](const std::string& arg, std::size_t prefix) {
+    return std::strtoull(arg.c_str() + prefix, nullptr, 10);
+  };
+  const auto prob = [](const std::string& arg, std::size_t prefix) {
+    return std::atof(arg.c_str() + prefix);
+  };
   while (argc > 1) {
     const std::string arg = argv[1];
     if (arg.rfind("--threads=", 0) == 0) {
-      flags.threads =
-          static_cast<std::size_t>(std::strtoull(arg.c_str() + 10,
-                                                 nullptr, 10));
+      flags.threads = static_cast<std::size_t>(num(arg, 10));
       if (flags.threads == 0) flags.threads = 1;
     } else if (arg == "--report") {
       flags.report = true;
@@ -96,6 +129,27 @@ CliFlags ParseFlags(int& argc, char**& argv) {
       flags.report_json = arg.substr(14);
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
       flags.metrics_out = arg.substr(14);
+    } else if (arg == "--ingest=lenient") {
+      flags.ingest = IngestMode::kLenient;
+    } else if (arg == "--ingest=strict") {
+      flags.ingest = IngestMode::kStrict;
+    } else if (arg == "--ingest=off") {
+      flags.ingest = IngestMode::kOff;
+    } else if (arg == "--auto-slack") {
+      flags.auto_slack = true;
+    } else if (arg.rfind("--drop=", 0) == 0) {
+      flags.faults.drop_rate = prob(arg, 7);
+    } else if (arg.rfind("--dup=", 0) == 0) {
+      flags.faults.duplicate_rate = prob(arg, 6);
+    } else if (arg.rfind("--skew-ns=", 0) == 0) {
+      flags.faults.skew_stddev_ns = static_cast<DurationNs>(num(arg, 10));
+    } else if (arg.rfind("--truncate-ns=", 0) == 0) {
+      flags.faults.truncate_granularity_ns =
+          static_cast<DurationNs>(num(arg, 14));
+    } else if (arg.rfind("--garble=", 0) == 0) {
+      flags.faults.garble_rate = prob(arg, 9);
+    } else if (arg.rfind("--fault-seed=", 0) == 0) {
+      flags.faults.seed = num(arg, 13);
     } else {
       break;
     }
@@ -107,10 +161,14 @@ CliFlags ParseFlags(int& argc, char**& argv) {
 }
 
 TraceWeaverOptions WeaverOptions(const CliFlags& flags,
-                                 obs::MetricsRegistry* registry) {
+                                 obs::MetricsRegistry* registry,
+                                 long long slack_ns = 0) {
   TraceWeaverOptions opts;
   opts.num_threads = flags.threads;
   if (flags.WantMetrics()) opts.metrics = registry;
+  if (flags.auto_slack && slack_ns > 0) {
+    opts.optimizer.params.constraint_slack_ns = slack_ns;
+  }
   return opts;
 }
 
@@ -152,7 +210,47 @@ std::optional<sim::AppSpec> AppByName(const std::string& name) {
   return std::nullopt;
 }
 
-std::optional<std::vector<Span>> LoadSpans(const std::string& path) {
+/// Prints the validator's findings to stderr (the CLI surface of the
+/// ingestion layer); silent when the input was clean.
+void WarnIngest(const IngestStats& ingest) {
+  if (ingest.parse_errors > 0) {
+    std::fprintf(stderr,
+                 "warning: %llu malformed span lines dropped at parse\n",
+                 static_cast<unsigned long long>(ingest.parse_errors));
+  }
+  if (ingest.repaired > 0 || ingest.quarantined > 0) {
+    std::fprintf(stderr,
+                 "warning: ingest sanitized %llu and quarantined %llu of "
+                 "%llu spans (%llu timestamp clamps, %llu duplicate ids, "
+                 "%llu empty names)\n",
+                 static_cast<unsigned long long>(ingest.repaired),
+                 static_cast<unsigned long long>(ingest.quarantined),
+                 static_cast<unsigned long long>(ingest.input),
+                 static_cast<unsigned long long>(ingest.timestamps_clamped),
+                 static_cast<unsigned long long>(ingest.duplicate_ids),
+                 static_cast<unsigned long long>(ingest.empty_names));
+  }
+  if (ingest.suggested_slack_ns > 0) {
+    std::fprintf(stderr,
+                 "note: observed capture-clock skew up to %lld ns; "
+                 "suggested constraint_slack_ns=%lld (--auto-slack "
+                 "applies it)\n",
+                 static_cast<long long>(ingest.max_skew_ns),
+                 static_cast<long long>(ingest.suggested_slack_ns));
+  }
+}
+
+struct LoadedSpans {
+  std::vector<Span> spans;
+  IngestStats ingest;
+};
+
+/// Reads a span population and runs it through the ingestion validator
+/// (the JSONL ingest path). Parse drops and sanitization are surfaced on
+/// stderr; `tw_ingest_*` metrics land in `registry` when non-null.
+std::optional<LoadedSpans> LoadSpans(const std::string& path,
+                                     const CliFlags& flags,
+                                     obs::MetricsRegistry* registry) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "cannot open spans file: %s\n", path.c_str());
@@ -160,11 +258,17 @@ std::optional<std::vector<Span>> LoadSpans(const std::string& path) {
   }
   std::size_t dropped = 0;
   auto spans = ReadSpansJsonl(in, &dropped);
-  if (dropped > 0) {
-    std::fprintf(stderr, "warning: %zu malformed span lines skipped\n",
-                 dropped);
-  }
-  return spans;
+
+  SpanValidatorOptions vopts;
+  vopts.mode = flags.ingest;
+  vopts.metrics = registry;
+  SpanValidator validator(vopts);
+  validator.RecordParseErrors(dropped);
+  LoadedSpans loaded;
+  loaded.spans = validator.Sanitize(std::move(spans));
+  loaded.ingest = validator.Finish();
+  WarnIngest(loaded.ingest);
+  return loaded;
 }
 
 std::optional<CallGraph> LoadGraph(const std::string& path) {
@@ -183,6 +287,7 @@ std::optional<CallGraph> LoadGraph(const std::string& path) {
 }
 
 int CmdSimulate(int argc, char** argv) {
+  const CliFlags flags = ParseFlags(argc, argv);
   if (argc < 4) return Usage();
   auto app = AppByName(argv[1]);
   if (!app) return Usage();
@@ -192,14 +297,59 @@ int CmdSimulate(int argc, char** argv) {
   load.seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 31;
   if (load.requests_per_sec <= 0 || load.duration <= 0) return Usage();
 
-  const auto spans =
-      collector::CaptureRoundTrip(sim::RunOpenLoop(*app, load).spans);
+  // Simulator-output ingest path: the validator rides along with span
+  // assembly (a no-op on a healthy capture, reported on stderr otherwise).
+  SpanValidatorOptions vopts;
+  vopts.mode = flags.ingest;
+  SpanValidator validator(vopts);
+  auto spans = collector::CaptureRoundTrip(sim::RunOpenLoop(*app, load).spans,
+                                           {}, nullptr, &validator);
+  WarnIngest(validator.Finish());
+
+  if (flags.faults.Active()) {
+    sim::FaultStats fstats;
+    spans = sim::InjectFaults(std::move(spans), flags.faults, &fstats);
+    std::fprintf(stderr,
+                 "faults: %zu in -> %zu out (%zu dropped, %zu duplicated, "
+                 "%zu garbled, %zu vantage clocks)\n",
+                 fstats.input, fstats.output, fstats.dropped,
+                 fstats.duplicated, fstats.garbled, fstats.vantage_points);
+  }
   WriteSpansJsonl(std::cout, spans, /*include_ground_truth=*/true);
   std::fprintf(stderr, "%zu spans\n", spans.size());
   return 0;
 }
 
+int CmdInjectFaults(int argc, char** argv) {
+  const CliFlags flags = ParseFlags(argc, argv);
+  if (argc < 2) return Usage();
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "cannot open spans file: %s\n", argv[1]);
+    return 1;
+  }
+  // Deliberately no validation here: the point is to produce a corrupted
+  // stream for downstream robustness runs.
+  std::size_t dropped = 0;
+  auto spans = ReadSpansJsonl(in, &dropped);
+  if (dropped > 0) {
+    std::fprintf(stderr, "warning: %zu malformed span lines dropped\n",
+                 dropped);
+  }
+  sim::FaultStats fstats;
+  spans = sim::InjectFaults(std::move(spans), flags.faults, &fstats);
+  WriteSpansJsonl(std::cout, spans, /*include_ground_truth=*/true);
+  std::fprintf(stderr,
+               "faults: %zu in -> %zu out (%zu dropped, %zu duplicated, "
+               "%zu skewed, %zu truncated, %zu garbled)\n",
+               fstats.input, fstats.output, fstats.dropped,
+               fstats.duplicated, fstats.skewed, fstats.truncated,
+               fstats.garbled);
+  return 0;
+}
+
 int CmdReplay(int argc, char** argv) {
+  const CliFlags flags = ParseFlags(argc, argv);
   if (argc < 2) return Usage();
   auto app = AppByName(argv[1]);
   if (!app) return Usage();
@@ -208,18 +358,24 @@ int CmdReplay(int argc, char** argv) {
     options.requests_per_root =
         static_cast<std::size_t>(std::strtoull(argv[2], nullptr, 10));
   }
+  SpanValidatorOptions vopts;
+  vopts.mode = flags.ingest;
+  SpanValidator validator(vopts);
   const auto spans =
-      collector::CaptureRoundTrip(sim::RunIsolatedReplay(*app, options).spans);
+      collector::CaptureRoundTrip(sim::RunIsolatedReplay(*app, options).spans,
+                                  {}, nullptr, &validator);
+  WarnIngest(validator.Finish());
   WriteSpansJsonl(std::cout, spans, /*include_ground_truth=*/true);
   std::fprintf(stderr, "%zu spans\n", spans.size());
   return 0;
 }
 
 int CmdInferGraph(int argc, char** argv) {
+  const CliFlags flags = ParseFlags(argc, argv);
   if (argc < 2) return Usage();
-  auto spans = LoadSpans(argv[1]);
-  if (!spans) return 1;
-  const CallGraph graph = InferCallGraph(*spans);
+  auto loaded = LoadSpans(argv[1], flags, nullptr);
+  if (!loaded) return 1;
+  const CallGraph graph = InferCallGraph(loaded->spans);
   WriteCallGraph(std::cout, graph);
   return 0;
 }
@@ -227,16 +383,18 @@ int CmdInferGraph(int argc, char** argv) {
 int CmdReconstruct(int argc, char** argv) {
   const CliFlags flags = ParseFlags(argc, argv);
   if (argc < 3) return Usage();
+  obs::MetricsRegistry registry;
+  obs::MetricsRegistry* reg = flags.WantMetrics() ? &registry : nullptr;
   auto graph = LoadGraph(argv[1]);
-  auto spans = LoadSpans(argv[2]);
+  auto spans = LoadSpans(argv[2], flags, reg);
   if (!graph || !spans) return 1;
 
-  obs::MetricsRegistry registry;
-  TraceWeaver weaver(*graph, WeaverOptions(flags, &registry));
-  const TraceWeaverOutput out = weaver.Reconstruct(*spans);
+  TraceWeaver weaver(
+      *graph, WeaverOptions(flags, &registry, spans->ingest.suggested_slack_ns));
+  const TraceWeaverOutput out = weaver.Reconstruct(spans->spans);
   EmitObservability(flags, registry);
   std::size_t mapped = 0;
-  for (const Span& s : *spans) {
+  for (const Span& s : spans->spans) {
     auto it = out.assignment.find(s.id);
     const SpanId parent =
         it == out.assignment.end() ? kInvalidSpanId : it->second;
@@ -246,36 +404,40 @@ int CmdReconstruct(int argc, char** argv) {
     if (parent != kInvalidSpanId) ++mapped;
   }
   std::fprintf(stderr, "%zu of %zu spans mapped to a parent\n", mapped,
-               spans->size());
+               spans->spans.size());
   return 0;
 }
 
 int CmdExportJaeger(int argc, char** argv) {
   const CliFlags flags = ParseFlags(argc, argv);
   if (argc < 3) return Usage();
-  auto graph = LoadGraph(argv[1]);
-  auto spans = LoadSpans(argv[2]);
-  if (!graph || !spans) return 1;
   obs::MetricsRegistry registry;
-  TraceWeaver weaver(*graph, WeaverOptions(flags, &registry));
-  const TraceWeaverOutput out = weaver.Reconstruct(*spans);
+  obs::MetricsRegistry* reg = flags.WantMetrics() ? &registry : nullptr;
+  auto graph = LoadGraph(argv[1]);
+  auto spans = LoadSpans(argv[2], flags, reg);
+  if (!graph || !spans) return 1;
+  TraceWeaver weaver(
+      *graph, WeaverOptions(flags, &registry, spans->ingest.suggested_slack_ns));
+  const TraceWeaverOutput out = weaver.Reconstruct(spans->spans);
   EmitObservability(flags, registry);
-  std::cout << TracesToJaegerJson(*spans, out.assignment) << '\n';
+  std::cout << TracesToJaegerJson(spans->spans, out.assignment) << '\n';
   return 0;
 }
 
 int CmdEvaluate(int argc, char** argv) {
   const CliFlags flags = ParseFlags(argc, argv);
   if (argc < 3) return Usage();
+  obs::MetricsRegistry registry;
+  obs::MetricsRegistry* reg = flags.WantMetrics() ? &registry : nullptr;
   auto graph = LoadGraph(argv[1]);
-  auto spans = LoadSpans(argv[2]);
+  auto spans = LoadSpans(argv[2], flags, reg);
   if (!graph || !spans) return 1;
 
-  obs::MetricsRegistry registry;
-  TraceWeaver weaver(*graph, WeaverOptions(flags, &registry));
-  const TraceWeaverOutput out = weaver.Reconstruct(*spans);
+  TraceWeaver weaver(
+      *graph, WeaverOptions(flags, &registry, spans->ingest.suggested_slack_ns));
+  const TraceWeaverOutput out = weaver.Reconstruct(spans->spans);
   EmitObservability(flags, registry);
-  const AccuracyReport report = Evaluate(*spans, out.assignment);
+  const AccuracyReport report = Evaluate(spans->spans, out.assignment);
   std::printf("spans:   %zu considered, %zu correct (%.2f%%)\n",
               report.spans_considered, report.spans_correct,
               report.SpanAccuracy() * 100.0);
@@ -283,7 +445,7 @@ int CmdEvaluate(int argc, char** argv) {
               report.traces_considered, report.traces_correct,
               report.TraceAccuracy() * 100.0);
   std::printf("top-5 end-to-end: %.2f%%\n",
-              TopKTraceAccuracy(*spans, out, 5) * 100.0);
+              TopKTraceAccuracy(spans->spans, out, 5) * 100.0);
   std::printf("per-service confidence:\n");
   for (const auto& [service, confidence] : out.ConfidenceByService()) {
     std::printf("  %-24s %.1f%%\n", service.c_str(), confidence * 100.0);
@@ -297,6 +459,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string cmd = argv[1];
   if (cmd == "simulate") return CmdSimulate(argc - 1, argv + 1);
+  if (cmd == "inject-faults") return CmdInjectFaults(argc - 1, argv + 1);
   if (cmd == "replay") return CmdReplay(argc - 1, argv + 1);
   if (cmd == "infer-graph") return CmdInferGraph(argc - 1, argv + 1);
   if (cmd == "reconstruct") return CmdReconstruct(argc - 1, argv + 1);

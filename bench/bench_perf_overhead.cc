@@ -227,6 +227,46 @@ void RunThreadSweep() {
     std::printf("wrote %s\n", report.c_str());
   }
   {
+    // Quality-enabled serial run, measured like the metrics run above:
+    // interleaved with a plain run, min-to-min. The quality pass is
+    // observation-only, so the assignment must stay bit-identical and the
+    // cost must stay small (target: <= 3% overhead).
+    TraceWeaverOptions qopts;
+    qopts.num_threads = 1;
+    qopts.compute_quality = true;
+    TraceWeaver quality(data.graph, qopts);
+    TraceWeaverOptions popts;
+    popts.num_threads = 1;
+    TraceWeaver plain(data.graph, popts);
+
+    double best_plain = std::numeric_limits<double>::infinity();
+    double best_quality = std::numeric_limits<double>::infinity();
+    ParentAssignment got;
+    for (int rep = 0; rep < 9; ++rep) {
+      best_plain = std::min(
+          best_plain,
+          BestOfSeconds(1, [&] {
+            benchmark::DoNotOptimize(plain.Reconstruct(data.spans));
+          }));
+      best_quality = std::min(best_quality, BestOfSeconds(1, [&] {
+        got = quality.Reconstruct(data.spans).assignment;
+      }));
+    }
+    if (got != serial) {
+      std::fprintf(stderr,
+                   "FATAL: quality-enabled assignment differs from plain\n");
+      std::exit(1);
+    }
+    record("reconstruct_quality", 1, best_quality);
+    char note[128];
+    std::snprintf(note, sizeof(note),
+                  "quality on; overhead %+.1f%% vs interleaved plain serial; "
+                  "assignment bit-identical",
+                  (best_quality / best_plain - 1.0) * 100.0);
+    records.back().note = note;
+    std::printf("  %s\n", note);
+  }
+  {
     TraceWeaverOptions opts;
     opts.optimizer.iterate = false;
     TraceWeaver weaver(data.graph, opts);

@@ -1,0 +1,151 @@
+// Quality calibration under corruption: sweeps fault-injector levels and
+// records, per level, the mean per-trace confidence, the realized trace
+// accuracy, and the calibration scores (Pearson, ECE, Brier) of the
+// confidence signal. The point of the curve: as corruption grows and
+// accuracy falls, confidence must fall with it -- a trust signal that
+// stays high while accuracy collapses is decorative, not informative.
+// Writes BENCH_quality.json next to the binary's working directory.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "collector/capture.h"
+#include "common.h"
+#include "core/accuracy.h"
+#include "obs/quality.h"
+#include "sim/apps.h"
+#include "sim/fault_injector.h"
+#include "sim/workload.h"
+#include "util/table.h"
+
+namespace traceweaver::bench {
+namespace {
+
+struct QualityPoint {
+  std::string regime;  ///< "record": injector on records; "capture": events.
+  double drop_rate = 0.0;
+  long long skew_us = 0;
+  std::size_t spans = 0;
+  std::size_t traces = 0;
+  double trace_accuracy = 0.0;
+  double mean_confidence = 0.0;
+  double pearson = 0.0;
+  double ece = 0.0;
+  double brier = 0.0;
+};
+
+std::string WriteQualityJson(const std::vector<QualityPoint>& points) {
+  const std::string path = "BENCH_quality.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return "";
+  std::fprintf(f, "{\n  \"tag\": \"quality\",\n  \"records\": [\n");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const QualityPoint& p = points[i];
+    std::fprintf(f,
+                 "    {\"regime\": \"%s\", "
+                 "\"drop_rate\": %.3f, \"skew_us\": %lld, "
+                 "\"spans\": %zu, "
+                 "\"traces\": %zu, \"trace_accuracy\": %.4f, "
+                 "\"mean_confidence\": %.4f, \"pearson\": %.4f, "
+                 "\"ece\": %.4f, \"brier\": %.4f}%s\n",
+                 p.regime.c_str(), p.drop_rate,
+                 static_cast<long long>(p.skew_us), p.spans,
+                 p.traces, p.trace_accuracy,
+                 p.mean_confidence, p.pearson, p.ece, p.brier,
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return path;
+}
+
+void Run() {
+  PrintHeader("quality calibration vs corruption",
+              "confidence must track accuracy as faults grow");
+
+  const Dataset data = Prepare(sim::MakeHotelReservationApp(), 200, 3);
+
+  // Each corruption level scales record loss and vantage clock skew
+  // together, the two faults the paper's robustness section exercises.
+  struct Level {
+    double drop;
+    DurationNs skew;
+  };
+  const Level kLevels[] = {{0.0, 0}, {0.02, Micros(100)},
+                           {0.05, Micros(250)}, {0.10, Micros(500)}};
+  std::vector<QualityPoint> points;
+  TextTable table;
+  table.SetHeader({"regime", "drop", "skew_us", "spans", "traces",
+                   "accuracy", "mean conf", "pearson", "ece", "brier"});
+
+  char buf[32];
+  auto fmt = [&buf](double v) {
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+    return std::string(buf);
+  };
+  auto measure = [&](const std::string& regime, double drop,
+                     DurationNs skew, const std::vector<Span>& spans) {
+    TraceWeaverOptions opts;
+    opts.compute_quality = true;
+    TraceWeaver weaver(data.graph, opts);
+    const TraceWeaverOutput out = weaver.Reconstruct(spans);
+    const obs::CalibrationResult cal =
+        obs::CalibrateTraces(spans, out.quality, out.assignment);
+
+    QualityPoint p;
+    p.regime = regime;
+    p.drop_rate = drop;
+    p.skew_us = skew / 1000;
+    p.spans = spans.size();
+    p.traces = out.quality.traces.size();
+    p.trace_accuracy = Evaluate(spans, out.assignment).TraceAccuracy();
+    p.mean_confidence = out.quality.MeanTraceConfidence();
+    p.pearson = cal.pearson;
+    p.ece = cal.ece;
+    p.brier = cal.brier;
+    points.push_back(p);
+    table.AddRow({regime, fmt(drop), std::to_string(p.skew_us),
+                  std::to_string(p.spans), std::to_string(p.traces),
+                  fmt(p.trace_accuracy), fmt(p.mean_confidence),
+                  fmt(p.pearson), fmt(p.ece), fmt(p.brier)});
+  };
+
+  for (const Level& level : kLevels) {
+    const double drop = level.drop;
+    sim::FaultSpec spec;
+    spec.drop_rate = drop;
+    spec.skew_stddev_ns = level.skew;
+    const std::vector<Span> spans =
+        spec.Active() ? sim::InjectFaults(data.spans, spec) : data.spans;
+    measure("record", drop, level.skew, spans);
+  }
+
+  // Event-level corruption: clock jitter plus event loss inside the
+  // capture layer itself, the regime the calibration regression test
+  // pins (Pearson >= 0.5, ECE <= 0.15).
+  {
+    sim::OpenLoopOptions load;
+    load.requests_per_sec = 200;
+    load.duration = Seconds(3);
+    load.seed = 31;
+    collector::CaptureFaults faults;
+    faults.jitter_stddev = Micros(100);
+    faults.drop_probability = 0.005;
+    const std::vector<Span> spans = collector::CaptureRoundTrip(
+        sim::RunOpenLoop(sim::MakeHotelReservationApp(), load).spans,
+        faults);
+    measure("capture", 0.005, Micros(100), spans);
+  }
+
+  std::printf("%s\n", table.Render().c_str());
+  const std::string path = WriteQualityJson(points);
+  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+}  // namespace traceweaver::bench
+
+int main() {
+  traceweaver::bench::Run();
+  return 0;
+}

@@ -23,6 +23,7 @@
 #include "core/trace_weaver.h"
 #include "obs/metrics.h"
 #include "obs/prometheus.h"
+#include "obs/quality.h"
 #include "sim/apps.h"
 #include "sim/workload.h"
 
@@ -99,12 +100,27 @@ int main() {
   weaver_opts.num_threads =
       std::max(1u, std::thread::hardware_concurrency());
   weaver_opts.metrics = &metrics;
+  // Trace-quality watchdog: every reconstruction also grades its traces,
+  // and a rolling confidence monitor KS-tests each window against the
+  // day-1 reference -- tw_quality_monitor_* lands in the same registry, so
+  // the drift alarm rides the normal Prometheus scrape.
+  weaver_opts.compute_quality = true;
   TraceWeaver weaver(graph, weaver_opts);
+  obs::QualityMetrics quality_metrics(metrics);  // Same (idempotent) slots.
+  obs::QualityMonitor::Options monitor_opts;
+  monitor_opts.window = 256;
+  monitor_opts.min_reference = 512;
+  obs::QualityMonitor quality_monitor(monitor_opts, &quality_metrics);
 
   const auto day1 = Capture(v1, 501);
   const auto rec1 = weaver.Reconstruct(day1);
+  quality_monitor.RecordReport(rec1.quality);
   std::printf("day 1: %.1f%% of traces reconstructed end-to-end\n",
               Evaluate(day1, rec1.assignment).TraceAccuracy() * 100.0);
+  std::printf("       mean trace confidence %.3f over %zu traces "
+              "(reference %s)\n",
+              rec1.quality.MeanTraceConfidence(), rec1.quality.traces.size(),
+              quality_monitor.ReferenceReady() ? "ready" : "warming up");
   DumpMetrics(metrics);
 
   // Fit a reference delay model from day-1 gaps.
@@ -120,6 +136,18 @@ int main() {
 
   const auto day2 = Capture(v2, 502);
   const auto rec2 = weaver.Reconstruct(day2);
+  quality_monitor.RecordReport(rec2.quality);
+  std::printf("day 2: mean trace confidence %.3f; quality windows: %zu "
+              "closed, drift %s\n",
+              rec2.quality.MeanTraceConfidence(),
+              quality_monitor.results().size(),
+              quality_monitor.AnyDrift() ? "DETECTED" : "none");
+  for (const auto& w : quality_monitor.results()) {
+    if (!w.drifted) continue;
+    std::printf("       confidence window drifted: KS=%.3f p=%.4f "
+                "mean=%.3f over %zu traces\n",
+                w.statistic, w.p_value, w.mean_confidence, w.n);
+  }
   DumpMetrics(metrics);
 
   const auto findings =

@@ -229,6 +229,112 @@ double ScoreMappingFlat(const Span& parent, const InvocationPlan& plan,
   return score;
 }
 
+ScoreBreakdown ExplainMapping(const Span& parent, const InvocationPlan& plan,
+                              const std::vector<const Span*>& resolved_children,
+                              const ScoringContext& ctx) {
+  // Mirrors ScoreMappingFlat term by term; `total` accumulates in the same
+  // order so the result is bitwise identical to the ranked score.
+  ScoreBreakdown out;
+  std::vector<InvocationPlan::Position> flat;
+  if (ctx.positions == nullptr) flat = plan.Positions();
+  const std::vector<InvocationPlan::Position>& positions =
+      ctx.positions != nullptr ? *ctx.positions : flat;
+  double score = 0.0;
+
+  TimeNs stage_lb = parent.server_recv;
+  TimeNs max_recv = parent.server_recv;
+  std::size_t prev_stage = 0;
+  bool any_child = false;
+
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    if (ctx.use_order_constraints && positions[i].stage != prev_stage) {
+      stage_lb = std::max(stage_lb, max_recv);
+      prev_stage = positions[i].stage;
+    }
+    double skip_lp;
+    double keep_lp;
+    const ScoringContext::PositionScore* ps = nullptr;
+    if (ctx.position_scores != nullptr) {
+      ps = &(*ctx.position_scores)[i];
+      skip_lp = ps->skip_lp;
+      keep_lp = ps->keep_lp;
+    } else {
+      skip_lp = ctx.skip_log_prob;
+      keep_lp = ctx.keep_log_prob;
+      if (ctx.skip_rates != nullptr) {
+        const BackendCall& bc = plan.At(positions[i]);
+        auto it = ctx.skip_rates->find({bc.service, bc.endpoint});
+        if (it != ctx.skip_rates->end()) {
+          const double rate = std::clamp(it->second, 1e-4, 1.0 - 1e-4);
+          skip_lp = std::log(rate);
+          keep_lp = std::log(1.0 - rate);
+        }
+      }
+    }
+    const BackendCall& call = plan.At(positions[i]);
+    ScoreBreakdown::Position row;
+    row.stage = positions[i].stage;
+    row.call = positions[i].call;
+    row.service = call.service;
+    row.endpoint = call.endpoint;
+
+    const Span* child = resolved_children[i];
+    if (child == nullptr) {
+      row.discrete_lp = skip_lp + ctx.skip_margin;
+      score += row.discrete_lp;
+      out.positions.push_back(std::move(row));
+      continue;
+    }
+    row.skipped = false;
+    row.child = child->id;
+    row.discrete_lp = keep_lp;
+    score += keep_lp;
+    if (ctx.thread_match_bonus > 0.0 &&
+        child->caller_thread == parent.handler_thread) {
+      row.thread_bonus = ctx.thread_match_bonus;
+      score += ctx.thread_match_bonus;
+    }
+    const TimeNs trigger =
+        ctx.use_order_constraints ? stage_lb : parent.server_recv;
+    const double gap = static_cast<double>(child->client_send - trigger);
+    row.gap_ns = gap;
+    if (ps != nullptr) {
+      const double lp = ps->dist != nullptr ? ps->dist->LogPdf(gap)
+                                            : DelayModel::FallbackLogPdf(gap);
+      row.timing_lp = lp - ps->max_log_pdf;
+    } else {
+      const DelayKey key{parent.callee, parent.endpoint,
+                         static_cast<int>(positions[i].stage),
+                         static_cast<int>(positions[i].call)};
+      row.timing_lp = ctx.model->LogScore(key, gap) - ctx.model->MaxLogScore(key);
+    }
+    score += row.timing_lp;
+    max_recv = std::max(max_recv, child->client_recv);
+    any_child = true;
+    out.positions.push_back(std::move(row));
+  }
+
+  if (any_child) {
+    out.has_response = true;
+    const double gap = static_cast<double>(parent.server_send - max_recv);
+    out.response_gap_ns = gap;
+    if (ctx.position_scores != nullptr) {
+      const double lp = ctx.response_dist != nullptr
+                            ? ctx.response_dist->LogPdf(gap)
+                            : DelayModel::FallbackLogPdf(gap);
+      out.response_lp = lp - ctx.response_max_log_pdf;
+    } else {
+      const DelayKey rkey =
+          DelayKey::ResponseGap(parent.callee, parent.endpoint);
+      out.response_lp =
+          ctx.model->LogScore(rkey, gap) - ctx.model->MaxLogScore(rkey);
+    }
+    score += out.response_lp;
+  }
+  out.total = score;
+  return out;
+}
+
 std::vector<GapSample> ExtractGaps(
     const Span& parent, const InvocationPlan& plan,
     const std::vector<const Span*>& resolved_children,

@@ -160,6 +160,37 @@ double ScoreMappingFlat(const Span& parent, const InvocationPlan& plan,
                         const Span* const* resolved_children,
                         const ScoringContext& ctx);
 
+/// Per-position score decomposition of one candidate mapping, for the
+/// `explain` drill-down. Each row mirrors exactly one additive term of
+/// ScoreMapping, so the row sums (plus the response term) reproduce the
+/// ranked score bit-for-bit.
+struct ScoreBreakdown {
+  struct Position {
+    std::size_t stage = 0;
+    std::size_t call = 0;
+    std::string service;   ///< Backend the plan position calls.
+    std::string endpoint;
+    SpanId child = kSkippedChild;  ///< kSkippedChild when the position skips.
+    bool skipped = true;
+    double gap_ns = 0.0;    ///< Child send - enabling event (filled only).
+    double timing_lp = 0.0; ///< Mode-normalized delay log-pdf (filled only).
+    double discrete_lp = 0.0;  ///< skip_lp + margin, or keep_lp.
+    double thread_bonus = 0.0;
+  };
+  std::vector<Position> positions;
+  bool has_response = false;  ///< At least one position was filled.
+  double response_gap_ns = 0.0;
+  double response_lp = 0.0;
+  double total = 0.0;  ///< Sum of every term; equals ScoreMapping's result.
+};
+
+/// Recomputes one candidate's score with every additive term recorded.
+/// Cold path (explain drill-down only); given the same ScoringContext the
+/// `total` is bitwise identical to ScoreMapping.
+ScoreBreakdown ExplainMapping(const Span& parent, const InvocationPlan& plan,
+                              const std::vector<const Span*>& resolved_children,
+                              const ScoringContext& ctx);
+
 /// A (delay key, observed gap) pair extracted from an accepted mapping;
 /// the refit input for the next iteration (§4.1 step 6).
 struct GapSample {

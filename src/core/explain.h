@@ -1,0 +1,69 @@
+// The `explain` drill-down: why did the optimizer pick one mapping for a
+// given parent span?
+//
+// When OptimizerOptions::explain_parent names an incoming span, the
+// pipeline fills an ExplainCapture at the end of OptimizeContainer (cold
+// path, after the final iteration, against the final delay model): the
+// candidate table with per-position score decompositions (delay log-pdfs,
+// skip terms, thread bonuses), each candidate's final rank, the winner,
+// and the MWIS conflict neighbors -- other parents in the same batch that
+// compete for at least one of this parent's candidate children.
+//
+// Renderers produce an aligned text table for terminals and a stable JSON
+// document (schema `traceweaver.explain.v1`) for tooling.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/candidates.h"
+#include "trace/span.h"
+
+namespace traceweaver {
+
+/// One candidate row of the explain table, in final rank order.
+struct ExplainCandidate {
+  std::size_t rank = 0;  ///< 0 = best score.
+  double score = 0.0;
+  bool chosen = false;    ///< The joint optimization selected this one.
+  bool in_top_k = false;  ///< Survived the top-K cut into ParentResult.
+  std::size_t skips = 0;
+  std::vector<SpanId> children;  ///< kSkippedChild where skipped.
+  ScoreBreakdown breakdown;
+};
+
+/// A parent in the same batch competing for shared candidate children.
+struct ExplainConflict {
+  SpanId parent = kInvalidSpanId;
+  std::string service;
+  std::string endpoint;
+  std::size_t shared_children = 0;  ///< Distinct contested child spans.
+};
+
+struct ExplainCapture {
+  bool found = false;  ///< Parent located among the optimizer's tasks.
+  SpanId parent = kInvalidSpanId;
+  std::string service;   ///< Handler service (span callee).
+  std::string endpoint;  ///< Handler endpoint.
+  std::size_t candidates_enumerated = 0;
+  std::size_t candidates_shown = 0;  ///< Rows below (capped).
+  std::size_t batch = 0;       ///< Batch index within the container.
+  std::size_t batch_size = 0;  ///< Parents sharing the batch.
+  int chosen_rank = -1;        ///< Rank of the winning candidate; -1 unmapped.
+  std::vector<ExplainCandidate> candidates;  ///< Best score first.
+  std::vector<ExplainConflict> conflicts;
+};
+
+/// Candidate rows captured at most (full enumeration counts are still
+/// reported in candidates_enumerated).
+inline constexpr std::size_t kExplainCandidateCap = 32;
+
+/// Aligned text-table rendering for terminals.
+std::string ExplainTable(const ExplainCapture& capture);
+
+/// Stable JSON rendering (schema `traceweaver.explain.v1`): fixed key
+/// order, %.6f floats, ids as decimal strings.
+std::string ExplainJson(const ExplainCapture& capture);
+
+}  // namespace traceweaver

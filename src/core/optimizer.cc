@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "core/batching.h"
+#include "core/explain.h"
 #include "core/mis_solver.h"
 #include "obs/pipeline_metrics.h"
 #include "obs/stage_timer.h"
@@ -634,7 +635,9 @@ struct SolveScratch {
 void SolveBatch(const Workspace& ws, const Batch& batch,
                 std::vector<ParentResult>& results,
                 std::unordered_set<SpanId>& used, SolveScratch& scratch,
-                std::size_t& mis_fallbacks) {
+                std::size_t& mis_fallbacks,
+                ContainerResult::BatchStats* qstats) {
+  if (qstats != nullptr) *qstats = ContainerResult::BatchStats{};
   std::vector<SolveVertex>& vertices = scratch.vertices;
   vertices.clear();
   scratch.task_ranges.clear();
@@ -757,6 +760,16 @@ void SolveBatch(const Workspace& ws, const Batch& batch,
     ws.pm->mwis_fallbacks.Inc();
     ++mis_fallbacks;
   }
+  if (qstats != nullptr) {
+    // Observation only: the extra greedy solve reads `problem` and never
+    // feeds back into the chosen assignment, preserving bit-identical
+    // output with quality collection on or off.
+    qstats->solved = true;
+    qstats->joint = true;
+    qstats->optimal = sol.optimal;
+    qstats->chosen_weight = sol.weight;
+    qstats->greedy_weight = SolveMwisGreedy(problem).weight;
+  }
   for (int vi : sol.chosen) {
     const SolveVertex& v = vertices[static_cast<std::size_t>(vi)];
     results[v.task].chosen = static_cast<int>(v.cand);
@@ -872,6 +885,112 @@ std::vector<DelayKey> RefitModel(
   return dirty;
 }
 
+/// Fills the explain drill-down for the task matching
+/// options.explain_parent, against the final delay model (identical to the
+/// model behind the last ranking, so recomputed scores match the ranked
+/// ones bit-for-bit). Cold path: runs once per container, after the
+/// optimization, and only when the operator asked for an explanation.
+void FillExplain(Workspace& ws, const std::vector<ParentResult>& results,
+                 const std::vector<std::size_t>& batch_of_task,
+                 const std::vector<Batch>& batches,
+                 const std::vector<BatchRates>& batch_rates,
+                 const DelayModel& model, ExplainCapture& out) {
+  std::size_t t = ws.tasks.size();
+  for (std::size_t i = 0; i < ws.tasks.size(); ++i) {
+    if (ws.tasks[i].span->id == ws.opts->explain_parent) {
+      t = i;
+      break;
+    }
+  }
+  if (t == ws.tasks.size()) return;  // Another container may own it.
+  ParentTask& task = ws.tasks[t];
+  const ParentResult& r = results[t];
+
+  out.found = true;
+  out.parent = task.span->id;
+  out.service = task.span->callee;
+  out.endpoint = task.span->endpoint;
+  out.candidates_enumerated = task.all_candidates.size();
+  out.batch = batch_of_task[t];
+  out.batch_size = batches[out.batch].size();
+  out.chosen_rank = r.chosen;
+
+  // Rebuild the exact scoring context of the final ranking iteration.
+  ScoringContext ctx;
+  ctx.model = &model;
+  ctx.use_order_constraints = ws.opts->use_order_constraints;
+  if (ws.opts->thread_affinity == OptimizerOptions::ThreadAffinity::kSoft) {
+    ctx.thread_match_bonus = ws.opts->thread_match_bonus;
+  }
+  BuildPositionScores(ws, task, batch_rates[batch_of_task[t]], model, ctx);
+  ctx.positions = &task.positions;
+  ctx.position_scores = &task.pos_scores;
+  const DelayModel::DistView response = model.View(
+      DelayKey::ResponseGap(task.span->callee, task.span->endpoint));
+  ctx.response_dist = response.mixture;
+  ctx.response_max_log_pdf = response.max_log_pdf;
+
+  // Re-rank all enumerated candidates with the ranking comparator, so the
+  // explain rows carry the same ranks the optimizer saw.
+  const std::size_t n = task.all_candidates.size();
+  const std::size_t npos = task.positions.size();
+  std::vector<std::pair<double, std::uint32_t>> order(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    order[c] = {ScoreMappingFlat(*task.span, *task.plan,
+                                 task.resolved.data() + c * npos, ctx),
+                static_cast<std::uint32_t>(c)};
+  }
+  std::sort(order.begin(), order.end(),
+            [&task](const std::pair<double, std::uint32_t>& a,
+                    const std::pair<double, std::uint32_t>& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return task.all_candidates[a.second].children <
+                     task.all_candidates[b.second].children;
+            });
+
+  const std::size_t cap = std::min(n, kExplainCandidateCap);
+  out.candidates_shown = cap;
+  for (std::size_t j = 0; j < cap; ++j) {
+    const CandidateMapping& m = task.all_candidates[order[j].second];
+    ExplainCandidate row;
+    row.rank = j;
+    row.score = order[j].first;
+    row.chosen = r.chosen >= 0 && static_cast<std::size_t>(r.chosen) == j;
+    row.in_top_k = j < r.ranked.size();
+    row.skips = m.skips;
+    row.children = m.children;
+    row.breakdown =
+        ExplainMapping(*task.span, *task.plan, Resolve(ws, m), ctx);
+    out.candidates.push_back(std::move(row));
+  }
+
+  // Conflict neighbors: parents of the same batch whose kept candidates
+  // contest at least one of this parent's kept candidate children.
+  std::set<SpanId> mine;
+  for (const CandidateMapping& m : r.ranked) {
+    for (SpanId id : m.children) {
+      if (id != kSkippedChild) mine.insert(id);
+    }
+  }
+  const Batch& batch = batches[out.batch];
+  for (std::size_t u = batch.begin; u < batch.end; ++u) {
+    if (u == t) continue;
+    std::set<SpanId> shared;
+    for (const CandidateMapping& m : results[u].ranked) {
+      for (SpanId id : m.children) {
+        if (id != kSkippedChild && mine.count(id) > 0) shared.insert(id);
+      }
+    }
+    if (shared.empty()) continue;
+    ExplainConflict c;
+    c.parent = ws.tasks[u].span->id;
+    c.service = ws.tasks[u].span->callee;
+    c.endpoint = ws.tasks[u].span->endpoint;
+    c.shared_children = shared.size();
+    out.conflicts.push_back(std::move(c));
+  }
+}
+
 }  // namespace
 
 void ContainerResult::AppendAssignment(ParentAssignment& out) const {
@@ -982,6 +1101,11 @@ ContainerResult OptimizeContainer(const ContainerView& view,
   std::vector<ParentResult> results(ws.tasks.size());
   for (std::size_t t = 0; t < ws.tasks.size(); ++t) {
     results[t].parent = ws.tasks[t].span->id;
+    results[t].batch = batch_of_task[t];
+    results[t].candidates_considered = ws.tasks[t].all_candidates.size();
+  }
+  if (options.collect_quality) {
+    result.batch_stats.assign(batches.size(), ContainerResult::BatchStats{});
   }
 
   const std::size_t iterations =
@@ -1006,12 +1130,18 @@ ContainerResult OptimizeContainer(const ContainerView& view,
           std::unordered_set<SpanId> used;
           SolveScratch scratch;
           for (std::size_t b = runs[r].first; b < runs[r].second; ++b) {
-            SolveBatch(ws, batches[b], results, used, scratch, fallbacks[r]);
+            SolveBatch(ws, batches[b], results, used, scratch, fallbacks[r],
+                       result.batch_stats.empty() ? nullptr
+                                                  : &result.batch_stats[b]);
           }
         });
         for (const std::size_t f : fallbacks) result.mis_fallbacks += f;
       } else {
         SolveGreedy(ws, results);
+        for (ContainerResult::BatchStats& bs : result.batch_stats) {
+          bs = ContainerResult::BatchStats{};
+          bs.joint = false;
+        }
       }
     }
     if (iter + 1 < iterations) {
@@ -1057,6 +1187,12 @@ ContainerResult OptimizeContainer(const ContainerView& view,
     pm.ServiceMapped(service).Inc(mapped);
     pm.ServiceTopChoice(service).Inc(top);
     pm.ServiceCandidates(service).Inc(candidates);
+  }
+
+  if (options.explain_out != nullptr &&
+      options.explain_parent != kInvalidSpanId) {
+    FillExplain(ws, results, batch_of_task, batches, batch_rates, model,
+                *options.explain_out);
   }
 
   result.parents = std::move(results);

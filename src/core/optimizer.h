@@ -33,6 +33,7 @@ struct PipelineMetrics;  // obs/pipeline_metrics.h
 namespace traceweaver {
 
 class ThreadPool;
+struct ExplainCapture;  // core/explain.h
 
 struct OptimizerOptions {
   Parameters params;
@@ -76,6 +77,20 @@ struct OptimizerOptions {
   /// optimization. Handles are thread-safe, so one bundle serves all
   /// concurrently optimized containers.
   const obs::PipelineMetrics* metrics = nullptr;
+
+  /// Collect per-batch quality statistics (ContainerResult::batch_stats):
+  /// the MWIS objective of the final solution next to the greedy
+  /// heuristic's, feeding the trace-quality subsystem (obs/quality.h).
+  /// Observation only -- the extra greedy solve never touches the chosen
+  /// assignment, so output stays bit-identical either way.
+  bool collect_quality = false;
+
+  /// When set, the container owning this incoming span fills `explain_out`
+  /// with its candidate table (per-position score decompositions against
+  /// the final delay model, ranks, MWIS conflict neighbors) at the end of
+  /// the optimization. Cold path; reconstruction output is unaffected.
+  SpanId explain_parent = kInvalidSpanId;
+  ExplainCapture* explain_out = nullptr;  ///< Not owned; may be null.
 };
 
 /// Reconstruction output for one incoming span.
@@ -86,6 +101,11 @@ struct ParentResult {
   /// Index into `ranked` of the mapping the joint optimization selected;
   /// -1 if the span could not be mapped.
   int chosen = -1;
+  /// Total feasible candidates enumerated (before the top-K cut); the
+  /// ambiguity denominator of the quality layer.
+  std::size_t candidates_considered = 0;
+  /// Index of the batch (within the container) this span was solved in.
+  std::size_t batch = 0;
 
   bool Mapped() const { return chosen >= 0; }
   /// True when the selected mapping was also the top-ranked one (input to
@@ -102,6 +122,19 @@ struct ContainerResult {
   std::size_t batches = 0;
   std::size_t imperfect_batches = 0;
   std::size_t mis_fallbacks = 0;  ///< Batches where B&B hit its budget.
+
+  /// Per-batch solve quality, filled only when
+  /// OptimizerOptions::collect_quality is on (one entry per batch, final
+  /// iteration). The greedy objective lower-bounds the exact one; their
+  /// gap signals how contested the batch's joint optimization was.
+  struct BatchStats {
+    double chosen_weight = 0.0;  ///< MWIS objective of the final solution.
+    double greedy_weight = 0.0;  ///< Greedy weight/(degree+1) + 1-swap.
+    bool optimal = true;   ///< B&B completed within its node budget.
+    bool joint = true;     ///< False on the greedy-ablation path.
+    bool solved = false;   ///< A solve ran (batch had live vertices).
+  };
+  std::vector<BatchStats> batch_stats;
 
   /// Merges the chosen mappings into `out` (child id -> parent id).
   void AppendAssignment(ParentAssignment& out) const;

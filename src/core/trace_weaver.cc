@@ -40,6 +40,10 @@ TraceWeaver::TraceWeaver(CallGraph graph, TraceWeaverOptions options)
   }
   if (options_.metrics != nullptr) {
     metrics_ = std::make_unique<obs::PipelineMetrics>(*options_.metrics);
+    if (options_.compute_quality) {
+      quality_metrics_ =
+          std::make_unique<obs::QualityMetrics>(*options_.metrics);
+    }
   }
 }
 
@@ -78,6 +82,7 @@ TraceWeaverOutput TraceWeaver::Reconstruct(
   OptimizerOptions oopts = options_.optimizer;
   oopts.pool = pool_.get();
   if (oopts.metrics == nullptr) oopts.metrics = metrics_.get();
+  if (options_.compute_quality) oopts.collect_quality = true;
   ThreadPool::Run(pool_.get(), views.size(), [&](std::size_t i) {
     out.containers[i] = OptimizeContainer(views[i], graph_, oopts);
   });
@@ -95,6 +100,13 @@ TraceWeaverOutput TraceWeaver::Reconstruct(
         if (parent != kInvalidSpanId) out.assignment[child] = parent;
       }
     }
+  }
+
+  if (options_.compute_quality) {
+    auto t = timer(obs::Stage::kQuality);
+    out.quality = obs::ComputeQuality(spans, out.containers, out.assignment,
+                                      options_.quality,
+                                      quality_metrics_.get());
   }
 
   pm.runs.Inc();

@@ -21,6 +21,7 @@ const char* StageName(Stage stage) {
     case Stage::kSolve:     return "solve";
     case Stage::kRefit:     return "refit";
     case Stage::kStitch:    return "stitch";
+    case Stage::kQuality:   return "quality";
   }
   return "unknown";
 }

@@ -28,8 +28,9 @@ enum class Stage {
   kSolve,      ///< Per-batch MWIS joint optimization (§4.1 step 5).
   kRefit,      ///< GMM refits on inferred gaps (§4.1 step 6).
   kStitch,     ///< Assignment merge + pinned-link overrides.
+  kQuality,    ///< Trace-quality report computation (obs/quality.h).
 };
-inline constexpr std::size_t kStageCount = 10;
+inline constexpr std::size_t kStageCount = 11;
 
 const char* StageName(Stage stage);
 

@@ -226,6 +226,20 @@ RunReport BuildRunReport(const RegistrySnapshot& s) {
   r.dynamism.containers = s.Value("tw_dynamism_containers_total");
   r.dynamism.skip_budget = s.Value("tw_skip_budget_total");
   r.dynamism.skips_chosen = s.Value("tw_skips_chosen_total");
+
+  r.quality.assignments = s.Value("tw_quality_assignments_total");
+  r.quality.unmapped = s.Value("tw_quality_unmapped_total");
+  r.quality.traces = s.Value("tw_quality_traces_total");
+  r.quality.grade_a = s.Value("tw_quality_grade_total", "grade=\"a\"");
+  r.quality.grade_b = s.Value("tw_quality_grade_total", "grade=\"b\"");
+  r.quality.grade_c = s.Value("tw_quality_grade_total", "grade=\"c\"");
+  r.quality.grade_d = s.Value("tw_quality_grade_total", "grade=\"d\"");
+  r.quality.monitor_windows = s.Value("tw_quality_monitor_windows_total");
+  r.quality.monitor_drift = s.Value("tw_quality_monitor_drift_total");
+  r.quality.confidence_milli = FindHistogram(s, "tw_quality_confidence_milli");
+  r.quality.entropy_milli = FindHistogram(s, "tw_quality_entropy_milli");
+  r.quality.trace_confidence_milli =
+      FindHistogram(s, "tw_quality_trace_confidence_milli");
   return r;
 }
 
@@ -233,7 +247,7 @@ std::string RunReportJson(const RunReport& r) {
   std::string out;
   Json j(&out);
   j.Open('{');
-  j.Field("schema", std::string("traceweaver.run_report.v2"));
+  j.Field("schema", std::string("traceweaver.run_report.v3"));
 
   j.Key("run");
   j.Open('{');
@@ -352,6 +366,29 @@ std::string RunReportJson(const RunReport& r) {
   j.Field("skips_chosen", r.dynamism.skips_chosen);
   j.Close('}');
 
+  j.Key("quality");
+  j.Open('{');
+  j.Field("assignments", r.quality.assignments);
+  j.Field("unmapped", r.quality.unmapped);
+  j.Field("traces", r.quality.traces);
+  j.Key("grades");
+  j.Open('{');
+  j.Field("a", r.quality.grade_a);
+  j.Field("b", r.quality.grade_b);
+  j.Field("c", r.quality.grade_c);
+  j.Field("d", r.quality.grade_d);
+  j.Close('}');
+  HistogramFields(j, "confidence_milli", r.quality.confidence_milli);
+  HistogramFields(j, "entropy_milli", r.quality.entropy_milli);
+  HistogramFields(j, "trace_confidence_milli",
+                  r.quality.trace_confidence_milli);
+  j.Key("monitor");
+  j.Open('{');
+  j.Field("windows", r.quality.monitor_windows);
+  j.Field("drift", r.quality.monitor_drift);
+  j.Close('}');
+  j.Close('}');
+
   j.Close('}');
   out += '\n';
   return out;
@@ -423,6 +460,20 @@ std::string RunReportTable(const RunReport& r) {
   out << "dynamism: " << r.dynamism.containers << " containers, skip budget "
       << r.dynamism.skip_budget << ", " << r.dynamism.skips_chosen
       << " phantom skips chosen\n";
+  if (r.quality.assignments > 0 || r.quality.traces > 0) {
+    out << "quality: " << r.quality.assignments << " assignments ("
+        << r.quality.unmapped << " unmapped), confidence (1e-3) "
+        << HistSummary(r.quality.confidence_milli) << '\n';
+    out << "quality traces: " << r.quality.traces << " graded, a/b/c/d "
+        << r.quality.grade_a << "/" << r.quality.grade_b << "/"
+        << r.quality.grade_c << "/" << r.quality.grade_d
+        << "; confidence (1e-3) "
+        << HistSummary(r.quality.trace_confidence_milli) << '\n';
+    if (r.quality.monitor_windows > 0) {
+      out << "quality monitor: " << r.quality.monitor_windows
+          << " windows, " << r.quality.monitor_drift << " drifted\n";
+    }
+  }
   return out.str();
 }
 

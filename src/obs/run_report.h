@@ -2,8 +2,9 @@
 // from a MetricsRegistry snapshot: what ingestion sanitized or
 // quarantined, where the time went per stage, how
 // enumeration/batching/ranking/MWIS/GMM behaved, per-service outcomes,
-// and §4.2 phantom-span usage. Render as JSON (stable schema
-// `traceweaver.run_report.v2`, golden-tested) or as an aligned text
+// §4.2 phantom-span usage, and the trace-quality family (`tw_quality_*`,
+// obs/quality.h). Render as JSON (stable schema
+// `traceweaver.run_report.v3`, golden-tested) or as an aligned text
 // table for terminals.
 #pragma once
 
@@ -97,13 +98,23 @@ struct RunReport {
   struct {
     std::int64_t containers = 0, skip_budget = 0, skips_chosen = 0;
   } dynamism;
+
+  // --- Trace quality (tw_quality_*, zero when the subsystem is off). ---
+  struct {
+    std::int64_t assignments = 0, unmapped = 0, traces = 0;
+    std::int64_t grade_a = 0, grade_b = 0, grade_c = 0, grade_d = 0;
+    std::int64_t monitor_windows = 0, monitor_drift = 0;
+    HistogramSnapshot confidence_milli;        ///< Per assignment, x1000.
+    HistogramSnapshot entropy_milli;           ///< Per assignment, x1000.
+    HistogramSnapshot trace_confidence_milli;  ///< Per trace, x1000.
+  } quality;
 };
 
 /// Builds the report from a snapshot of a registry the pipeline recorded
 /// into (see PipelineMetrics for the names consumed).
 RunReport BuildRunReport(const RegistrySnapshot& snapshot);
 
-/// Stable JSON rendering (schema `traceweaver.run_report.v2`).
+/// Stable JSON rendering (schema `traceweaver.run_report.v3`).
 std::string RunReportJson(const RunReport& report);
 
 /// Aligned text-table rendering for terminals.

@@ -41,4 +41,34 @@ KsResult KolmogorovSmirnovTest(std::vector<double> samples,
   return result;
 }
 
+KsResult TwoSampleKolmogorovSmirnovTest(std::vector<double> a,
+                                        std::vector<double> b) {
+  KsResult result;
+  result.n = a.size();
+  if (a.size() < 8 || b.size() < 8) return result;
+
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  double d = 0.0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    // Advance both ECDFs past the next value together, so ties step in
+    // lockstep and the distance is evaluated between jump points.
+    const double x = std::min(a[i], b[j]);
+    while (i < a.size() && a[i] <= x) ++i;
+    while (j < b.size() && b[j] <= x) ++j;
+    d = std::max(d, std::fabs(static_cast<double>(i) / na -
+                              static_cast<double>(j) / nb));
+  }
+  result.statistic = d;
+  const double ne = na * nb / (na + nb);
+  const double sqrt_ne = std::sqrt(ne);
+  const double lambda = (sqrt_ne + 0.12 + 0.11 / sqrt_ne) * d;
+  result.p_value = KolmogorovSurvival(lambda);
+  return result;
+}
+
 }  // namespace traceweaver

@@ -25,6 +25,16 @@ struct KsResult {
 KsResult KolmogorovSmirnovTest(std::vector<double> samples,
                                const std::function<double(double)>& cdf);
 
+/// Two-sample test: supremum distance between the two empirical CDFs,
+/// p-value from the Kolmogorov distribution at the effective sample size
+/// n_a*n_b/(n_a+n_b). Both ECDFs step at tied values together, so heavily
+/// tied (discrete or quantized) data is handled exactly -- unlike feeding
+/// one sample's ECDF into the one-sample test above, which degenerates to
+/// D ~ 1 on point masses. Fewer than 8 samples on either side returns
+/// p = 1. Used by the trace-quality confidence monitor (obs/quality.h).
+KsResult TwoSampleKolmogorovSmirnovTest(std::vector<double> a,
+                                        std::vector<double> b);
+
 /// Survival function of the Kolmogorov distribution, exposed for testing:
 /// Q(lambda) = 2 * sum_{k>=1} (-1)^{k-1} exp(-2 k^2 lambda^2).
 double KolmogorovSurvival(double lambda);

@@ -21,10 +21,17 @@ void AppendEscaped(std::string& out, const std::string& s) {
   }
 }
 
+std::string Num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
 /// Emits one Jaeger span object. `parent` is kInvalidSpanId for the root.
 void AppendSpan(std::string& out, const Span& s, SpanId parent,
                 const std::string& trace_id,
-                const std::map<std::string, std::string>& process_ids) {
+                const std::map<std::string, std::string>& process_ids,
+                const std::map<SpanId, JaegerSpanTags>* quality) {
   out += "{\"traceID\":\"" + trace_id + "\",";
   out += "\"spanID\":\"" + Hex(s.id) + "\",";
   out += "\"operationName\":\"";
@@ -44,13 +51,27 @@ void AppendSpan(std::string& out, const Span& s, SpanId parent,
   out += "\"tags\":[{\"key\":\"caller\",\"type\":\"string\",\"value\":\"";
   AppendEscaped(out, s.caller);
   out += "\"},{\"key\":\"replica\",\"type\":\"int64\",\"value\":" +
-         std::to_string(s.callee_replica) + "}]}";
+         std::to_string(s.callee_replica) + "}";
+  if (quality != nullptr) {
+    const auto it = quality->find(s.id);
+    if (it != quality->end()) {
+      const JaegerSpanTags& t = it->second;
+      out += ",{\"key\":\"tw.confidence\",\"type\":\"float64\",\"value\":" +
+             Num(t.confidence) + "}";
+      out += ",{\"key\":\"tw.runner_up_margin\",\"type\":\"float64\","
+             "\"value\":" + Num(t.runner_up_margin) + "}";
+      out += ",{\"key\":\"tw.candidates_considered\",\"type\":\"int64\","
+             "\"value\":" + std::to_string(t.candidates_considered) + "}";
+    }
+  }
+  out += "]}";
 }
 
 }  // namespace
 
-std::string TraceToJaegerObject(const TraceForest& forest,
-                                std::size_t root_node) {
+std::string TraceToJaegerObject(
+    const TraceForest& forest, std::size_t root_node,
+    const std::map<SpanId, JaegerSpanTags>* quality) {
   const Span& root = forest.span_of(forest.nodes()[root_node]);
   const std::string trace_id = Hex(root.id);
 
@@ -85,7 +106,7 @@ std::string TraceToJaegerObject(const TraceForest& forest,
     const auto pit = parent_of.find(id);
     AppendSpan(out, forest.span_by_id(id),
                pit == parent_of.end() ? kInvalidSpanId : pit->second,
-               trace_id, process_ids);
+               trace_id, process_ids, quality);
   }
   out += "],\"processes\":{";
   first = true;
@@ -100,15 +121,16 @@ std::string TraceToJaegerObject(const TraceForest& forest,
   return out;
 }
 
-std::string TracesToJaegerJson(const std::vector<Span>& spans,
-                               const ParentAssignment& assignment) {
+std::string TracesToJaegerJson(
+    const std::vector<Span>& spans, const ParentAssignment& assignment,
+    const std::map<SpanId, JaegerSpanTags>* quality) {
   TraceForest forest(spans, assignment);
   std::string out = "{\"data\":[";
   bool first = true;
   for (std::size_t root : forest.roots()) {
     if (!first) out += ',';
     first = false;
-    out += TraceToJaegerObject(forest, root);
+    out += TraceToJaegerObject(forest, root, quality);
   }
   out += "]}";
   return out;

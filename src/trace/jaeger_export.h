@@ -8,6 +8,8 @@
 // are CHILD_OF references.
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -15,15 +17,28 @@
 
 namespace traceweaver {
 
+/// Per-span quality annotations rendered as `tw.*` span tags so the
+/// confidence of each reconstructed link is visible in the Jaeger UI.
+/// Keyed by the span the optimizer assigned children to (the parent side
+/// of the reconstruction, obs/quality.h).
+struct JaegerSpanTags {
+  double confidence = 0.0;        ///< tw.confidence (float64).
+  double runner_up_margin = 0.0;  ///< tw.runner_up_margin (float64).
+  std::int64_t candidates_considered = 0;  ///< tw.candidates_considered.
+};
+
 /// Serializes all traces implied by `assignment` over `spans`. Orphan
 /// fragments (spans whose inferred parent is missing) become their own
 /// single-rooted traces, mirroring how Jaeger renders incomplete traces.
-std::string TracesToJaegerJson(const std::vector<Span>& spans,
-                               const ParentAssignment& assignment);
+/// `quality` (optional) adds `tw.*` tags to spans present in the map.
+std::string TracesToJaegerJson(
+    const std::vector<Span>& spans, const ParentAssignment& assignment,
+    const std::map<SpanId, JaegerSpanTags>* quality = nullptr);
 
 /// Serializes a single trace (the subtree rooted at `root_node` in
 /// `forest`) as one Jaeger trace object (no {"data": ...} wrapper).
-std::string TraceToJaegerObject(const TraceForest& forest,
-                                std::size_t root_node);
+std::string TraceToJaegerObject(
+    const TraceForest& forest, std::size_t root_node,
+    const std::map<SpanId, JaegerSpanTags>* quality = nullptr);
 
 }  // namespace traceweaver

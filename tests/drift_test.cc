@@ -45,6 +45,43 @@ TEST(KsTest, TooFewSamplesIsInconclusive) {
   EXPECT_DOUBLE_EQ(r.p_value, 1.0);
 }
 
+TEST(TwoSampleKs, IdenticalPointMassesDoNotAlarm) {
+  // Everything tied at one value: the two-sample statistic must be 0
+  // (feeding one side's ECDF into the one-sample test degenerates here).
+  const std::vector<double> a(64, 1.0);
+  const std::vector<double> b(128, 1.0);
+  const KsResult r = TwoSampleKolmogorovSmirnovTest(a, b);
+  EXPECT_DOUBLE_EQ(r.statistic, 0.0);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+TEST(TwoSampleKs, SameDistributionHasHighP) {
+  Rng rng(7);
+  std::vector<double> a, b;
+  for (int i = 0; i < 400; ++i) a.push_back(rng.Normal(5.0, 1.0));
+  for (int i = 0; i < 400; ++i) b.push_back(rng.Normal(5.0, 1.0));
+  const KsResult r = TwoSampleKolmogorovSmirnovTest(a, b);
+  EXPECT_GT(r.p_value, 0.05);
+}
+
+TEST(TwoSampleKs, DisjointSupportsGiveMaximalStatistic) {
+  std::vector<double> a, b;
+  for (int i = 0; i < 64; ++i) {
+    a.push_back(0.1 + 0.001 * i);
+    b.push_back(0.9 + 0.001 * i);
+  }
+  const KsResult r = TwoSampleKolmogorovSmirnovTest(a, b);
+  EXPECT_DOUBLE_EQ(r.statistic, 1.0);
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(TwoSampleKs, TooFewSamplesIsInconclusive) {
+  const std::vector<double> a(4, 0.5);
+  const std::vector<double> b(100, 0.9);
+  const KsResult r = TwoSampleKolmogorovSmirnovTest(a, b);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
 TEST(GmmCdf, MonotoneAndBounded) {
   GaussianMixture m({{0.5, 0.0, 1.0}, {0.5, 10.0, 2.0}});
   double prev = 0.0;

@@ -208,12 +208,12 @@ TEST(RunReportTest, EmptyReportGoldenJson) {
   const obs::RunReport report = obs::BuildRunReport(RegistrySnapshot{});
   const std::string json = obs::RunReportJson(report);
   EXPECT_EQ(json.substr(0, 40),
-            std::string("{\"schema\":\"traceweaver.run_report.v2\",\"r")
+            std::string("{\"schema\":\"traceweaver.run_report.v3\",\"r")
                 .substr(0, 40));
   // Every stage row is present even at zero, in pipeline order.
   const char* kStages[] = {"views", "setup",    "enumerate", "batch",
                            "seed",  "allocate", "rank",      "solve",
-                           "refit", "stitch"};
+                           "refit", "stitch",   "quality"};
   std::size_t pos = 0;
   for (const char* s : kStages) {
     const std::size_t at = json.find("\"stage\":\"" + std::string(s) + "\"");
@@ -225,7 +225,8 @@ TEST(RunReportTest, EmptyReportGoldenJson) {
   for (const char* key :
        {"\"run\":", "\"ingest\":", "\"stages\":", "\"services\":",
         "\"enumeration\":", "\"batching\":", "\"delay_model\":",
-        "\"ranking\":", "\"mwis\":", "\"iteration\":", "\"dynamism\":"}) {
+        "\"ranking\":", "\"mwis\":", "\"iteration\":", "\"dynamism\":",
+        "\"quality\":"}) {
     EXPECT_NE(json.find(key), std::string::npos) << key;
   }
   // Deterministic: the same (empty) snapshot renders byte-identically.

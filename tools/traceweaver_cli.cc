@@ -9,6 +9,8 @@
 //   traceweaver evaluate <graph.txt> <spans.jsonl>      accuracy vs ground
 //                                                       truth in the file
 //   traceweaver export-jaeger <graph.txt> <spans.jsonl> Jaeger UI JSON
+//   traceweaver explain <graph.txt> <spans.jsonl> <id>  candidate table for
+//                                                       one parent span
 //
 // The reconstruction commands accept --threads=N (default: all hardware
 // threads); reconstruction output is bit-identical for every N. Every
@@ -42,6 +44,7 @@
 #include "callgraph/serialization.h"
 #include "collector/capture.h"
 #include "core/accuracy.h"
+#include "core/explain.h"
 #include "core/trace_weaver.h"
 #include "obs/metrics.h"
 #include "obs/prometheus.h"
@@ -70,10 +73,20 @@ int Usage() {
       "  traceweaver reconstruct [flags] <graph.txt> <spans.jsonl>\n"
       "  traceweaver evaluate [flags] <graph.txt> <spans.jsonl>\n"
       "  traceweaver export-jaeger [flags] <graph.txt> <spans.jsonl>\n"
+      "  traceweaver explain [flags] <graph.txt> <spans.jsonl> "
+      "<parent_span_id>\n"
       "\n"
       "flags (reconstruction commands):\n"
       "  --threads=N         worker threads (default: all hardware\n"
       "                      threads); output is identical for every N\n"
+      "  --quality           compute the trace-quality report (confidence\n"
+      "                      grades, tw_quality_* metrics; adds tw.* span\n"
+      "                      tags to export-jaeger, calibration to\n"
+      "                      evaluate)\n"
+      "  --min-confidence=X  warn on stderr when the mean assignment\n"
+      "                      confidence falls below X (implies --quality)\n"
+      "  --json              explain only: emit the candidate table as\n"
+      "                      JSON (schema traceweaver.explain.v1)\n"
       "  --ingest=MODE       span validation at load: lenient (default),\n"
       "                      strict, off\n"
       "  --auto-slack        apply the validator's suggested\n"
@@ -100,6 +113,9 @@ struct CliFlags {
   std::string metrics_out;    ///< Prometheus text file ("" = off).
   IngestMode ingest = IngestMode::kLenient;
   bool auto_slack = false;    ///< Apply suggested slack to reconstruction.
+  bool quality = false;       ///< Compute the trace-quality report.
+  double min_confidence = -1.0;  ///< Warn below this mean (< 0 = off).
+  bool json = false;          ///< explain: JSON instead of a table.
 
   /// Fault-injection spec (simulate / inject-faults only).
   sim::FaultSpec faults;
@@ -137,6 +153,13 @@ CliFlags ParseFlags(int& argc, char**& argv) {
       flags.ingest = IngestMode::kOff;
     } else if (arg == "--auto-slack") {
       flags.auto_slack = true;
+    } else if (arg == "--quality") {
+      flags.quality = true;
+    } else if (arg.rfind("--min-confidence=", 0) == 0) {
+      flags.min_confidence = prob(arg, 17);
+      flags.quality = true;
+    } else if (arg == "--json") {
+      flags.json = true;
     } else if (arg.rfind("--drop=", 0) == 0) {
       flags.faults.drop_rate = prob(arg, 7);
     } else if (arg.rfind("--dup=", 0) == 0) {
@@ -169,7 +192,42 @@ TraceWeaverOptions WeaverOptions(const CliFlags& flags,
   if (flags.auto_slack && slack_ns > 0) {
     opts.optimizer.params.constraint_slack_ns = slack_ns;
   }
+  opts.compute_quality = flags.quality;
   return opts;
+}
+
+/// One-line stderr warning when the mean assignment confidence of the run
+/// falls below --min-confidence, naming the three weakest services
+/// (mirrors the --auto-slack advisory UX).
+void WarnLowConfidence(const CliFlags& flags, const TraceWeaverOutput& out) {
+  if (flags.min_confidence < 0.0) return;
+  const double mean = out.quality.MeanAssignmentConfidence();
+  if (mean >= flags.min_confidence) return;
+  std::string worst;
+  for (const auto& [service, conf] : out.quality.WorstServices(3)) {
+    if (!worst.empty()) worst += ", ";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%s %.2f", service.c_str(), conf);
+    worst += buf;
+  }
+  std::fprintf(stderr,
+               "warning: mean assignment confidence %.2f below "
+               "--min-confidence=%.2f; worst services: %s\n",
+               mean, flags.min_confidence,
+               worst.empty() ? "(none)" : worst.c_str());
+}
+
+/// tw.* Jaeger span tags from a quality report (export-jaeger --quality).
+std::map<SpanId, JaegerSpanTags> QualityTags(const TraceWeaverOutput& out) {
+  std::map<SpanId, JaegerSpanTags> tags;
+  for (const obs::AssignmentQuality& a : out.quality.assignments) {
+    JaegerSpanTags t;
+    t.confidence = a.confidence;
+    t.runner_up_margin = a.margin;
+    t.candidates_considered = static_cast<std::int64_t>(a.candidates);
+    tags[a.parent] = t;
+  }
+  return tags;
 }
 
 /// Emits whatever observability outputs the flags requested.
@@ -393,6 +451,7 @@ int CmdReconstruct(int argc, char** argv) {
       *graph, WeaverOptions(flags, &registry, spans->ingest.suggested_slack_ns));
   const TraceWeaverOutput out = weaver.Reconstruct(spans->spans);
   EmitObservability(flags, registry);
+  WarnLowConfidence(flags, out);
   std::size_t mapped = 0;
   for (const Span& s : spans->spans) {
     auto it = out.assignment.find(s.id);
@@ -420,7 +479,14 @@ int CmdExportJaeger(int argc, char** argv) {
       *graph, WeaverOptions(flags, &registry, spans->ingest.suggested_slack_ns));
   const TraceWeaverOutput out = weaver.Reconstruct(spans->spans);
   EmitObservability(flags, registry);
-  std::cout << TracesToJaegerJson(spans->spans, out.assignment) << '\n';
+  WarnLowConfidence(flags, out);
+  if (flags.quality) {
+    const auto tags = QualityTags(out);
+    std::cout << TracesToJaegerJson(spans->spans, out.assignment, &tags)
+              << '\n';
+  } else {
+    std::cout << TracesToJaegerJson(spans->spans, out.assignment) << '\n';
+  }
   return 0;
 }
 
@@ -437,6 +503,7 @@ int CmdEvaluate(int argc, char** argv) {
       *graph, WeaverOptions(flags, &registry, spans->ingest.suggested_slack_ns));
   const TraceWeaverOutput out = weaver.Reconstruct(spans->spans);
   EmitObservability(flags, registry);
+  WarnLowConfidence(flags, out);
   const AccuracyReport report = Evaluate(spans->spans, out.assignment);
   std::printf("spans:   %zu considered, %zu correct (%.2f%%)\n",
               report.spans_considered, report.spans_correct,
@@ -450,7 +517,50 @@ int CmdEvaluate(int argc, char** argv) {
   for (const auto& [service, confidence] : out.ConfidenceByService()) {
     std::printf("  %-24s %.1f%%\n", service.c_str(), confidence * 100.0);
   }
+  if (flags.quality) {
+    const obs::CalibrationResult acal =
+        obs::CalibrateAssignments(spans->spans, out.containers, out.quality);
+    std::printf(
+        "calibration (assignment confidence vs correctness, %zu "
+        "assignments):\n  pearson %.3f   ece %.4f   brier %.4f\n",
+        acal.samples, acal.pearson, acal.ece, acal.brier);
+    std::fputs(acal.ReliabilityDiagram().c_str(), stdout);
+    const obs::CalibrationResult calib =
+        obs::CalibrateTraces(spans->spans, out.quality, out.assignment);
+    std::printf(
+        "calibration (trace confidence vs correctness, %zu traces):\n"
+        "  pearson %.3f   ece %.4f   brier %.4f\n",
+        calib.samples, calib.pearson, calib.ece, calib.brier);
+    std::fputs(calib.ReliabilityDiagram().c_str(), stdout);
+  }
   return 0;
+}
+
+int CmdExplain(int argc, char** argv) {
+  const CliFlags flags = ParseFlags(argc, argv);
+  if (argc < 4) return Usage();
+  obs::MetricsRegistry registry;
+  obs::MetricsRegistry* reg = flags.WantMetrics() ? &registry : nullptr;
+  auto graph = LoadGraph(argv[1]);
+  auto spans = LoadSpans(argv[2], flags, reg);
+  if (!graph || !spans) return 1;
+  const SpanId target = std::strtoull(argv[3], nullptr, 10);
+
+  ExplainCapture capture;
+  TraceWeaverOptions opts =
+      WeaverOptions(flags, &registry, spans->ingest.suggested_slack_ns);
+  opts.optimizer.explain_parent = target;
+  opts.optimizer.explain_out = &capture;
+  TraceWeaver weaver(*graph, opts);
+  const TraceWeaverOutput out = weaver.Reconstruct(spans->spans);
+  EmitObservability(flags, registry);
+  WarnLowConfidence(flags, out);
+  if (flags.json) {
+    std::fputs(ExplainJson(capture).c_str(), stdout);
+  } else {
+    std::fputs(ExplainTable(capture).c_str(), stdout);
+  }
+  return capture.found ? 0 : 1;
 }
 
 }  // namespace
@@ -465,5 +575,6 @@ int main(int argc, char** argv) {
   if (cmd == "reconstruct") return CmdReconstruct(argc - 1, argv + 1);
   if (cmd == "evaluate") return CmdEvaluate(argc - 1, argv + 1);
   if (cmd == "export-jaeger") return CmdExportJaeger(argc - 1, argv + 1);
+  if (cmd == "explain") return CmdExplain(argc - 1, argv + 1);
   return Usage();
 }

@@ -11,8 +11,25 @@
 // a Prometheus text snapshot (ops_metrics.prom) after every reconstruction
 // pass -- the file a node_exporter textfile collector (or any scraper)
 // would pick up in a real deployment.
+//
+// The final act replays day-2 traffic through the resilient streaming mode
+// (core/online.h): bounded span buffer, overload degradation ladder and a
+// checkpoint/restore round trip, all sharing the same registry.
+//
+// Knobs (see examples/README.md):
+//   --monitor-window=N     traces per quality-monitor window (default 256)
+//   --min-reference=N      reference traces before drift checks (512)
+//   --online-window-ms=N   streaming tumbling-window width (default 500)
+//   --deadline-ms=N        per-window close deadline; drives the overload
+//                          ladder (default 0 = off)
+//   --max-buffer-spans=N   streaming span-buffer budget (default 0 = off)
+//   --checkpoint=FILE      save/restore the streaming state through FILE
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <map>
+#include <string>
 #include <thread>
 
 #include "analysis/regression.h"
@@ -20,6 +37,7 @@
 #include "callgraph/inference.h"
 #include "core/accuracy.h"
 #include "core/drift.h"
+#include "core/online.h"
 #include "core/trace_weaver.h"
 #include "obs/metrics.h"
 #include "obs/prometheus.h"
@@ -83,9 +101,47 @@ void DumpMetrics(const obs::MetricsRegistry& registry) {
   }
 }
 
+struct OpsFlags {
+  std::size_t monitor_window = 256;
+  std::size_t min_reference = 512;
+  long long online_window_ms = 500;
+  long long deadline_ms = 0;
+  std::size_t max_buffer_spans = 0;
+  std::string checkpoint_file;
+};
+
+OpsFlags ParseOpsFlags(int argc, char** argv) {
+  OpsFlags flags;
+  const auto num = [](const std::string& arg, std::size_t prefix) {
+    return std::strtoull(arg.c_str() + prefix, nullptr, 10);
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--monitor-window=", 0) == 0) {
+      flags.monitor_window = static_cast<std::size_t>(num(arg, 17));
+      if (flags.monitor_window == 0) flags.monitor_window = 1;
+    } else if (arg.rfind("--min-reference=", 0) == 0) {
+      flags.min_reference = static_cast<std::size_t>(num(arg, 16));
+    } else if (arg.rfind("--online-window-ms=", 0) == 0) {
+      flags.online_window_ms = static_cast<long long>(num(arg, 19));
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      flags.deadline_ms = static_cast<long long>(num(arg, 14));
+    } else if (arg.rfind("--max-buffer-spans=", 0) == 0) {
+      flags.max_buffer_spans = static_cast<std::size_t>(num(arg, 19));
+    } else if (arg.rfind("--checkpoint=", 0) == 0) {
+      flags.checkpoint_file = arg.substr(13);
+    } else {
+      std::fprintf(stderr, "ops_loop: unknown flag %s (ignored)\n",
+                   arg.c_str());
+    }
+  }
+  return flags;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const OpsFlags flags = ParseOpsFlags(argc, argv);
   sim::AppSpec v1 = sim::MakeLinearChainApp();
 
   // --- Day 1: learn everything from the current deployment. ---
@@ -108,8 +164,8 @@ int main() {
   TraceWeaver weaver(graph, weaver_opts);
   obs::QualityMetrics quality_metrics(metrics);  // Same (idempotent) slots.
   obs::QualityMonitor::Options monitor_opts;
-  monitor_opts.window = 256;
-  monitor_opts.min_reference = 512;
+  monitor_opts.window = flags.monitor_window;
+  monitor_opts.min_reference = flags.min_reference;
   obs::QualityMonitor quality_monitor(monitor_opts, &quality_metrics);
 
   const auto day1 = Capture(v1, 501);
@@ -175,5 +231,69 @@ int main() {
                 "regression; the delay model should be re-learned before "
                 "further reconstruction.\n");
   }
+
+  // --- Streaming: day-2 traffic replayed through the resilient online
+  // mode. Completion-ordered ingest, bounded buffer, overload ladder; the
+  // tw_online_* family lands in the same registry as everything above.
+  OnlineOptions online;
+  online.window = Millis(flags.online_window_ms);
+  online.margin = Millis(100);
+  online.window_close_deadline = Millis(flags.deadline_ms);
+  online.max_buffer_spans = flags.max_buffer_spans;
+  online.weaver = weaver_opts;
+  online.weaver.compute_quality = false;
+  online.metrics = &metrics;
+  OnlineTraceWeaver online_weaver(graph, online);
+
+  std::vector<Span> stream = day2;
+  std::sort(stream.begin(), stream.end(), [](const Span& a, const Span& b) {
+    return a.client_recv != b.client_recv ? a.client_recv < b.client_recv
+                                          : a.id < b.id;
+  });
+  TimeNs watermark = 0;
+  for (const Span& s : stream) {
+    online_weaver.Ingest(s);
+    watermark = std::max(watermark, s.client_send);
+    online_weaver.Advance(watermark);
+  }
+  online_weaver.Flush();
+  const OnlineTraceWeaver::Stats& st = online_weaver.stats();
+  std::printf(
+      "streaming: %llu spans -> %llu windows, %llu parents committed "
+      "(shed %llu windows, ladder peak level %d, %llu late / %llu "
+      "grafted); %.1f%% of traces end-to-end\n",
+      static_cast<unsigned long long>(st.ingested),
+      static_cast<unsigned long long>(st.windows_closed),
+      static_cast<unsigned long long>(st.parents_committed),
+      static_cast<unsigned long long>(st.windows_shed),
+      online_weaver.degradation_level(),
+      static_cast<unsigned long long>(st.late_spans),
+      static_cast<unsigned long long>(st.late_grafted),
+      Evaluate(day2, online_weaver.assignment()).TraceAccuracy() * 100.0);
+
+  if (!flags.checkpoint_file.empty()) {
+    // Checkpoint/restore round trip: a fresh weaver restored from the file
+    // carries the full committed state forward.
+    {
+      std::ofstream out(flags.checkpoint_file,
+                        std::ios::binary | std::ios::trunc);
+      online_weaver.SaveCheckpoint(out);
+    }
+    OnlineTraceWeaver restored(graph, online);
+    std::ifstream in(flags.checkpoint_file, std::ios::binary);
+    std::string error;
+    if (restored.LoadCheckpoint(in, &error)) {
+      std::printf("checkpoint: %s round-tripped, %zu assignments carried "
+                  "over (%s)\n",
+                  flags.checkpoint_file.c_str(),
+                  restored.assignment().size(),
+                  restored.assignment() == online_weaver.assignment()
+                      ? "identical"
+                      : "MISMATCH");
+    } else {
+      std::printf("checkpoint: restore failed: %s\n", error.c_str());
+    }
+  }
+  DumpMetrics(metrics);
   return 0;
 }

@@ -1,79 +1,428 @@
 #include "core/online.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <limits>
+#include <tuple>
 #include <unordered_set>
+#include <utility>
+
+#include "trace/checkpoint.h"
+#include "trace/jsonl_io.h"
 
 namespace traceweaver {
+namespace {
+
+/// Approximate heap footprint of one buffered span, for the byte budget.
+std::size_t ApproxSpanBytes(const Span& s) {
+  return sizeof(Span) + s.caller.size() + s.callee.size() +
+         s.endpoint.size();
+}
+
+std::string FmtDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Wraps a serialized span line with checkpoint type tags: inserts
+/// `"ckpt":"<tag>"[,extra]` right after the opening brace so the span
+/// parser still sees its own keys at top level.
+std::string WrapSpanLine(const char* tag, const Span& span,
+                         const std::string& extra_fields) {
+  std::string span_json = SpanToJson(span, /*include_ground_truth=*/true);
+  std::string out = "{\"ckpt\":\"";
+  out += tag;
+  out += '"';
+  if (!extra_fields.empty()) {
+    out += ',';
+    out += extra_fields;
+  }
+  out += ',';
+  out += span_json.substr(1);  // Drop the original '{'.
+  return out;
+}
+
+}  // namespace
 
 OnlineTraceWeaver::OnlineTraceWeaver(CallGraph graph, OnlineOptions options)
-    : graph_(std::move(graph)), options_(options) {}
+    : graph_(std::move(graph)), options_(options) {
+  if (options_.metrics != nullptr) {
+    metrics_ = obs::OnlineMetrics(*options_.metrics);
+  }
+}
+
+OnlineTraceWeaver::~OnlineTraceWeaver() = default;
+OnlineTraceWeaver::OnlineTraceWeaver(OnlineTraceWeaver&&) noexcept = default;
+OnlineTraceWeaver& OnlineTraceWeaver::operator=(OnlineTraceWeaver&&) noexcept =
+    default;
 
 void OnlineTraceWeaver::Ingest(const Span& span) {
-  if (!started_ || span.client_send < next_window_start_) {
-    // First span (or an earlier-than-expected one) anchors the window grid.
-    if (!started_) {
-      next_window_start_ = span.client_send;
-      started_ = true;
+  ++stats_.ingested;
+  metrics_.spans_ingested.Inc();
+  if (!started_) {
+    // First span anchors the window grid.
+    next_window_start_ = span.client_send;
+    started_ = true;
+  }
+  if (span.server_recv < next_window_start_) {
+    if (stats_.windows_closed == 0 && stats_.windows_shed == 0) {
+      // Nothing committed yet: slide the grid anchor back instead of
+      // misrouting early arrivals (completion-ordered streams deliver
+      // the first request's fast leaves before its root).
+      next_window_start_ = std::min(next_window_start_, span.client_send);
+    } else {
+      // Its committing window already closed (or was shed): a child's
+      // server_recv is never earlier than its parent's, so the parent
+      // can no longer be committed normally -- route to the graft path.
+      HandleLate(span);
+      return;
     }
   }
+  buffer_bytes_ += ApproxSpanBytes(span);
   buffer_.push_back(span);
+  EnforceBudget();
+  UpdateBufferGauges();
+}
+
+bool OnlineTraceWeaver::OverBudget() const {
+  return (options_.max_buffer_spans > 0 &&
+          buffer_.size() > options_.max_buffer_spans) ||
+         (options_.max_buffer_bytes > 0 &&
+          buffer_bytes_ > options_.max_buffer_bytes);
+}
+
+void OnlineTraceWeaver::EnforceBudget() {
+  while (OverBudget()) {
+    TimeNs max_recv = std::numeric_limits<TimeNs>::min();
+    for (const Span& s : buffer_) max_recv = std::max(max_recv, s.server_recv);
+    if (max_recv >= next_window_start_ + options_.window) {
+      ShedOldestWindow();
+      continue;
+    }
+    // The backlog fits a single window and is still over budget: reject
+    // the newest arrival instead of corrupting the window mid-fill.
+    buffer_bytes_ -= ApproxSpanBytes(buffer_.back());
+    pending_orphans_.push_back(buffer_.back().id);
+    buffer_.pop_back();
+    ++stats_.admission_drops;
+    metrics_.admission_drops.Inc();
+    break;
+  }
+}
+
+void OnlineTraceWeaver::ShedOldestWindow() {
+  const TimeNs shed_end = next_window_start_ + options_.window;
+  WindowResult shed;
+  shed.window_start = next_window_start_;
+  shed.window_end = shed_end;
+  shed.shed = true;
+  shed.degradation_level = level_;
+
+  // Shed the whole time-prefix up to the boundary: the oldest unclosed
+  // window plus any dead tails of already-closed windows. Children are
+  // never earlier than their parents, so surviving windows keep complete
+  // candidate sets.
+  std::vector<Span> remaining;
+  remaining.reserve(buffer_.size());
+  for (Span& s : buffer_) {
+    if (s.server_recv < shed_end) {
+      buffer_bytes_ -= ApproxSpanBytes(s);
+      shed.orphans.push_back(s.id);
+    } else {
+      remaining.push_back(std::move(s));
+    }
+  }
+  buffer_ = std::move(remaining);
+  std::sort(shed.orphans.begin(), shed.orphans.end());
+  next_window_start_ = shed_end;
+
+  stats_.windows_shed += 1;
+  stats_.spans_shed += shed.orphans.size();
+  metrics_.windows_shed.Inc();
+  metrics_.spans_shed.Inc(shed.orphans.size());
+  pending_results_.push_back(std::move(shed));
+}
+
+void OnlineTraceWeaver::HandleLate(const Span& span) {
+  ++stats_.late_spans;
+  metrics_.late_spans.Inc();
+  if (late_pool_.size() >= options_.max_late_spans && !late_pool_.empty()) {
+    // Bounded pool: the oldest entry makes room and becomes an orphan.
+    pending_orphans_.push_back(late_pool_.front().span.id);
+    late_pool_.erase(late_pool_.begin());
+    ++stats_.late_dropped;
+    metrics_.late_dropped.Inc();
+  }
+  LateSpan late;
+  late.span = span;
+  late.deadline = next_window_start_ +
+                  static_cast<DurationNs>(options_.graft_retention_windows) *
+                      options_.window;
+  late_pool_.push_back(std::move(late));
+}
+
+SpanId OnlineTraceWeaver::TryGraft(const Span& span) {
+  if (committed_.count(span.id) > 0) return kInvalidSpanId;
+  const long long slack = options_.weaver.optimizer.params.constraint_slack_ns;
+  int best = -1;
+  TimeNs best_gap = 0;
+  for (std::size_t i = 0; i < graft_slots_.size(); ++i) {
+    const GraftSlot& s = graft_slots_[i];
+    if (s.call_service != span.callee || s.call_endpoint != span.endpoint) {
+      continue;
+    }
+    if (s.parent_service != span.caller) continue;
+    if (s.callee_replica != span.caller_replica) continue;
+    if (span.client_send + slack < s.server_recv) continue;
+    if (span.client_recv > s.server_send + slack) continue;
+    const TimeNs gap = span.client_send - s.server_recv;
+    const bool better =
+        best < 0 || gap < best_gap ||
+        (gap == best_gap &&
+         std::tie(s.parent, s.stage, s.call) <
+             std::tie(graft_slots_[static_cast<std::size_t>(best)].parent,
+                      graft_slots_[static_cast<std::size_t>(best)].stage,
+                      graft_slots_[static_cast<std::size_t>(best)].call));
+    if (better) {
+      best = static_cast<int>(i);
+      best_gap = gap;
+    }
+  }
+  if (best < 0) return kInvalidSpanId;
+  const SpanId parent = graft_slots_[static_cast<std::size_t>(best)].parent;
+  graft_slots_.erase(graft_slots_.begin() + best);
+  return parent;
+}
+
+void OnlineTraceWeaver::ServiceLatePool(WindowResult& result) {
+  std::vector<LateSpan> keep;
+  keep.reserve(late_pool_.size());
+  for (LateSpan& late : late_pool_) {
+    const SpanId parent = TryGraft(late.span);
+    if (parent != kInvalidSpanId) {
+      committed_[late.span.id] = parent;
+      result.assignment[late.span.id] = parent;
+      ++result.late_grafted;
+      ++stats_.late_grafted;
+      metrics_.late_grafted.Inc();
+    } else if (next_window_start_ > late.deadline) {
+      result.orphans.push_back(late.span.id);
+      ++stats_.late_orphans;
+      metrics_.late_orphans.Inc();
+    } else {
+      keep.push_back(std::move(late));
+    }
+  }
+  late_pool_ = std::move(keep);
+
+  // Prune graft slots too old for any in-flight child to still match.
+  const TimeNs cutoff =
+      next_window_start_ -
+      static_cast<DurationNs>(options_.graft_retention_windows) *
+          options_.window;
+  graft_slots_.erase(
+      std::remove_if(graft_slots_.begin(), graft_slots_.end(),
+                     [&](const GraftSlot& s) {
+                       return s.server_send + options_.margin < cutoff;
+                     }),
+      graft_slots_.end());
+}
+
+void OnlineTraceWeaver::RecordPosterior(
+    const Span& parent, const InvocationPlan& plan,
+    const CandidateMapping& mapping,
+    const std::map<SpanId, const Span*>& by_id) {
+  const auto positions = plan.Positions();
+  // The enabling event for stage 0 is the parent's arrival; for later
+  // stages the completion of the previous stage's slowest filled child
+  // (unobservable positions keep the previous enable -- an approximation,
+  // matching the delay model's dependency-edge semantics).
+  TimeNs enable = parent.server_recv;
+  std::size_t cur_stage = 0;
+  TimeNs stage_max_end = std::numeric_limits<TimeNs>::min();
+  const std::size_t n = std::min(mapping.children.size(), positions.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (positions[i].stage != cur_stage) {
+      if (stage_max_end != std::numeric_limits<TimeNs>::min()) {
+        enable = stage_max_end;
+      }
+      cur_stage = positions[i].stage;
+      stage_max_end = std::numeric_limits<TimeNs>::min();
+    }
+    const SpanId child_id = mapping.children[i];
+    if (child_id == kSkippedChild) continue;
+    const auto it = by_id.find(child_id);
+    if (it == by_id.end()) continue;
+    const Span& child = *it->second;
+    const double gap = static_cast<double>(child.client_send - enable);
+    DelayPosterior& post =
+        posteriors_[DelayKey{parent.callee, parent.endpoint,
+                             static_cast<int>(positions[i].stage),
+                             static_cast<int>(positions[i].call)}];
+    // Welford update: numerically stable online mean/variance.
+    post.count += 1;
+    const double delta = gap - post.mean;
+    post.mean += delta / static_cast<double>(post.count);
+    post.m2 += delta * (gap - post.mean);
+    stage_max_end = std::max(stage_max_end, child.client_recv);
+  }
+}
+
+TraceWeaver& OnlineTraceWeaver::WeaverForLevel() {
+  if (weaver_cache_ == nullptr || weaver_cache_level_ != level_) {
+    TraceWeaverOptions opts = options_.weaver;
+    opts.optimizer.params = opts.optimizer.params.DegradedForOverload(level_);
+    if (level_ >= 3) {
+      // The ladder's GMM rung also caps EM work inside each refit.
+      opts.optimizer.gmm.em_iterations =
+          std::min<std::size_t>(opts.optimizer.gmm.em_iterations, 10);
+    }
+    weaver_cache_ = std::make_unique<TraceWeaver>(graph_, opts);
+    weaver_cache_level_ = level_;
+  }
+  return *weaver_cache_;
+}
+
+void OnlineTraceWeaver::UpdateBufferGauges() {
+  metrics_.buffer_spans.Set(static_cast<std::int64_t>(buffer_.size()));
+  metrics_.buffer_bytes.Set(static_cast<std::int64_t>(buffer_bytes_));
 }
 
 WindowResult OnlineTraceWeaver::CloseWindow(TimeNs window_start,
                                             TimeNs window_end) {
+  const auto t0 = std::chrono::steady_clock::now();
   WindowResult result;
   result.window_start = window_start;
   result.window_end = window_end;
+  result.degradation_level = level_;
+  result.orphans = std::move(pending_orphans_);
+  pending_orphans_.clear();
 
-  if (buffer_.empty()) return result;
+  if (!buffer_.empty()) {
+    // Reconstruct over the full buffer (children of closing parents may
+    // have been buffered in earlier windows' tails), then commit only the
+    // parents whose processing window lies within the closed window.
+    const TraceWeaverOutput out = WeaverForLevel().Reconstruct(buffer_);
 
-  // Reconstruct over the full buffer (children of closing parents may have
-  // been buffered in earlier windows' tails), then commit only the parents
-  // whose processing window lies within the closed window.
-  TraceWeaver weaver(graph_, options_.weaver);
-  const TraceWeaverOutput out = weaver.Reconstruct(buffer_);
+    std::map<SpanId, const Span*> by_id;
+    for (const Span& s : buffer_) by_id[s.id] = &s;
 
-  std::unordered_set<SpanId> closing;
-  for (const Span& s : buffer_) {
-    if (s.server_recv >= window_start && s.server_recv < window_end &&
-        s.client_recv <= window_end + options_.margin) {
-      closing.insert(s.id);
-    }
-  }
-
-  std::unordered_set<SpanId> consumed;
-  for (const ContainerResult& c : out.containers) {
-    for (const ParentResult& p : c.parents) {
-      if (closing.count(p.parent) == 0 || !p.Mapped()) continue;
-      ++result.parents_committed;
-      const CandidateMapping& m =
-          p.ranked[static_cast<std::size_t>(p.chosen)];
-      for (SpanId child : m.children) {
-        if (child == kSkippedChild) continue;
-        result.assignment[child] = p.parent;
-        committed_[child] = p.parent;
-        consumed.insert(child);
+    std::unordered_set<SpanId> closing;
+    for (const Span& s : buffer_) {
+      if (s.server_recv >= window_start && s.server_recv < window_end &&
+          s.client_recv <= window_end + options_.margin) {
+        closing.insert(s.id);
       }
     }
+
+    std::unordered_set<SpanId> consumed;
+    for (const ContainerResult& c : out.containers) {
+      for (const ParentResult& p : c.parents) {
+        if (closing.count(p.parent) == 0 || !p.Mapped()) continue;
+        ++result.parents_committed;
+        const CandidateMapping& m =
+            p.ranked[static_cast<std::size_t>(p.chosen)];
+        for (SpanId child : m.children) {
+          if (child == kSkippedChild) continue;
+          result.assignment[child] = p.parent;
+          committed_[child] = p.parent;
+          consumed.insert(child);
+        }
+        const Span* parent_span = by_id.at(p.parent);
+        const InvocationPlan* plan =
+            graph_.PlanFor({parent_span->callee, parent_span->endpoint});
+        if (plan == nullptr) continue;
+        RecordPosterior(*parent_span, *plan, m, by_id);
+        // Skipped positions stay open for late-span grafting.
+        const auto positions = plan->Positions();
+        const std::size_t n =
+            std::min(m.children.size(), positions.size());
+        for (std::size_t i = 0; i < n; ++i) {
+          if (m.children[i] != kSkippedChild) continue;
+          const BackendCall& call = plan->At(positions[i]);
+          GraftSlot slot;
+          slot.parent = p.parent;
+          slot.parent_service = parent_span->callee;
+          slot.parent_endpoint = parent_span->endpoint;
+          slot.server_recv = parent_span->server_recv;
+          slot.server_send = parent_span->server_send;
+          slot.callee_replica = parent_span->callee_replica;
+          slot.stage = static_cast<int>(positions[i].stage);
+          slot.call = static_cast<int>(positions[i].call);
+          slot.call_service = call.service;
+          slot.call_endpoint = call.endpoint;
+          graft_slots_.push_back(std::move(slot));
+        }
+      }
+    }
+
+    // Drop consumed children and fully-expired closing parents from the
+    // buffer; keep spans that may still serve later windows.
+    std::vector<Span> remaining;
+    remaining.reserve(buffer_.size());
+    for (Span& s : buffer_) {
+      const bool expired =
+          closing.count(s.id) > 0 || consumed.count(s.id) > 0 ||
+          s.client_recv + options_.margin < window_start;
+      if (expired) {
+        buffer_bytes_ -= ApproxSpanBytes(s);
+      } else {
+        remaining.push_back(std::move(s));
+      }
+    }
+    buffer_ = std::move(remaining);
   }
 
-  // Drop consumed children and fully-expired closing parents from the
-  // buffer; keep spans that may still serve later windows.
-  std::vector<Span> remaining;
-  remaining.reserve(buffer_.size());
-  for (Span& s : buffer_) {
-    const bool expired =
-        closing.count(s.id) > 0 || consumed.count(s.id) > 0 ||
-        s.client_recv + options_.margin < window_start;
-    if (!expired) remaining.push_back(std::move(s));
+  ServiceLatePool(result);
+
+  ++stats_.windows_closed;
+  stats_.parents_committed += result.parents_committed;
+  metrics_.windows_closed.Inc();
+  metrics_.parents_committed.Inc(result.parents_committed);
+  UpdateBufferGauges();
+
+  const DurationNs wall =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  result.close_wall_ns = wall;
+  metrics_.window_close_ns.Observe(static_cast<std::uint64_t>(wall));
+  if (options_.window_close_deadline > 0) {
+    if (wall > options_.window_close_deadline) {
+      ++stats_.deadline_misses;
+      metrics_.deadline_misses.Inc();
+      if (level_ < kMaxOverloadLevel) {
+        ++level_;
+        ++stats_.degrade_up_steps;
+        metrics_.degrade_steps_up.Inc();
+      }
+    } else if (wall * 2 < options_.window_close_deadline && level_ > 0) {
+      --level_;
+      ++stats_.degrade_down_steps;
+      metrics_.degrade_steps_down.Inc();
+    }
+    metrics_.degradation_level.Set(level_);
   }
-  buffer_ = std::move(remaining);
   return result;
 }
 
 std::vector<WindowResult> OnlineTraceWeaver::Advance(TimeNs watermark) {
   std::vector<WindowResult> results;
   if (!started_) return results;
+  if (watermark < high_watermark_) {
+    // Out-of-order source: never roll the grid back; clamp and count.
+    ++stats_.watermark_regressions;
+    metrics_.watermark_regressions.Inc();
+    watermark = high_watermark_;
+  } else {
+    high_watermark_ = watermark;
+  }
+  if (!pending_results_.empty()) {
+    results = std::move(pending_results_);
+    pending_results_.clear();
+  }
   while (next_window_start_ + options_.window + options_.margin <=
          watermark) {
     const TimeNs start = next_window_start_;
@@ -87,6 +436,10 @@ std::vector<WindowResult> OnlineTraceWeaver::Advance(TimeNs watermark) {
 std::vector<WindowResult> OnlineTraceWeaver::Flush() {
   std::vector<WindowResult> results;
   if (!started_) return results;
+  if (!pending_results_.empty()) {
+    results = std::move(pending_results_);
+    pending_results_.clear();
+  }
   while (!buffer_.empty()) {
     TimeNs max_recv = buffer_.front().client_recv;
     for (const Span& s : buffer_) max_recv = std::max(max_recv, s.client_recv);
@@ -100,7 +453,309 @@ std::vector<WindowResult> OnlineTraceWeaver::Flush() {
       break;
     }
   }
+
+  // End of stream: whatever is still held becomes an explicit orphan.
+  if (!buffer_.empty() || !late_pool_.empty() || !pending_orphans_.empty()) {
+    if (results.empty()) {
+      WindowResult tail;
+      tail.window_start = next_window_start_;
+      tail.window_end = next_window_start_;
+      tail.degradation_level = level_;
+      results.push_back(std::move(tail));
+    }
+    WindowResult& last = results.back();
+    for (Span& s : buffer_) last.orphans.push_back(s.id);
+    buffer_.clear();
+    buffer_bytes_ = 0;
+    for (LateSpan& late : late_pool_) {
+      const SpanId parent = TryGraft(late.span);
+      if (parent != kInvalidSpanId) {
+        committed_[late.span.id] = parent;
+        last.assignment[late.span.id] = parent;
+        ++last.late_grafted;
+        ++stats_.late_grafted;
+        metrics_.late_grafted.Inc();
+      } else {
+        last.orphans.push_back(late.span.id);
+        ++stats_.late_orphans;
+        metrics_.late_orphans.Inc();
+      }
+    }
+    late_pool_.clear();
+    for (SpanId id : pending_orphans_) last.orphans.push_back(id);
+    pending_orphans_.clear();
+    UpdateBufferGauges();
+  }
   return results;
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint/restore (schema traceweaver.checkpoint.v1; IO layer in
+// trace/checkpoint.h).
+
+void OnlineTraceWeaver::SaveCheckpoint(
+    std::ostream& out,
+    const std::map<std::string, std::uint64_t>& extra) const {
+  ChecksummedWriter w(out, kCheckpointSchema);
+
+  std::string header = "{\"schema\":\"";
+  header += kCheckpointSchema;
+  header += "\",\"started\":";
+  header += started_ ? '1' : '0';
+  header += ",\"next_window_start\":" + std::to_string(next_window_start_);
+  header += ",\"high_watermark\":" + std::to_string(high_watermark_);
+  header += ",\"level\":" + std::to_string(level_);
+  header += '}';
+  w.WriteLine(header);
+
+  {
+    const Stats& s = stats_;
+    std::string line = "{\"ckpt\":\"stats\"";
+    const std::pair<const char*, std::uint64_t> fields[] = {
+        {"ingested", s.ingested},
+        {"windows_closed", s.windows_closed},
+        {"parents_committed", s.parents_committed},
+        {"windows_shed", s.windows_shed},
+        {"spans_shed", s.spans_shed},
+        {"admission_drops", s.admission_drops},
+        {"late_spans", s.late_spans},
+        {"late_grafted", s.late_grafted},
+        {"late_orphans", s.late_orphans},
+        {"late_dropped", s.late_dropped},
+        {"watermark_regressions", s.watermark_regressions},
+        {"deadline_misses", s.deadline_misses},
+        {"degrade_up_steps", s.degrade_up_steps},
+        {"degrade_down_steps", s.degrade_down_steps},
+    };
+    for (const auto& [key, value] : fields) {
+      line += ",\"";
+      line += key;
+      line += "\":" + std::to_string(value);
+    }
+    line += '}';
+    w.WriteLine(line);
+  }
+
+  for (const Span& s : buffer_) {
+    w.WriteLine(WrapSpanLine("buffer", s, ""));
+  }
+  for (const LateSpan& late : late_pool_) {
+    w.WriteLine(WrapSpanLine(
+        "late", late.span,
+        "\"deadline\":" + std::to_string(late.deadline)));
+  }
+  {
+    // Sorted so identical state always serializes to identical bytes.
+    std::vector<std::pair<SpanId, SpanId>> commits(committed_.begin(),
+                                                   committed_.end());
+    std::sort(commits.begin(), commits.end());
+    for (const auto& [child, parent] : commits) {
+      w.WriteLine("{\"ckpt\":\"commit\",\"child\":" + std::to_string(child) +
+                  ",\"parent\":" + std::to_string(parent) + '}');
+    }
+  }
+  for (const GraftSlot& s : graft_slots_) {
+    std::string line = "{\"ckpt\":\"slot\",\"parent\":";
+    line += std::to_string(s.parent);
+    line += ',';
+    ckpt::AppendStrField(line, "parent_service", s.parent_service);
+    line += ',';
+    ckpt::AppendStrField(line, "parent_endpoint", s.parent_endpoint);
+    line += ",\"server_recv\":" + std::to_string(s.server_recv);
+    line += ",\"server_send\":" + std::to_string(s.server_send);
+    line += ",\"replica\":" + std::to_string(s.callee_replica);
+    line += ",\"stage\":" + std::to_string(s.stage);
+    line += ",\"call\":" + std::to_string(s.call);
+    line += ',';
+    ckpt::AppendStrField(line, "service", s.call_service);
+    line += ',';
+    ckpt::AppendStrField(line, "endpoint", s.call_endpoint);
+    line += '}';
+    w.WriteLine(line);
+  }
+  for (const auto& [key, post] : posteriors_) {
+    std::string line = "{\"ckpt\":\"posterior\",";
+    ckpt::AppendStrField(line, "service", key.service);
+    line += ',';
+    ckpt::AppendStrField(line, "endpoint", key.endpoint);
+    line += ",\"stage\":" + std::to_string(key.stage);
+    line += ",\"call\":" + std::to_string(key.call);
+    line += ",\"count\":" + std::to_string(post.count);
+    line += ",\"mean\":" + FmtDouble(post.mean);
+    line += ",\"m2\":" + FmtDouble(post.m2);
+    line += '}';
+    w.WriteLine(line);
+  }
+  for (const WindowResult& pending : pending_results_) {
+    std::string line = "{\"ckpt\":\"pendingw\",\"start\":";
+    line += std::to_string(pending.window_start);
+    line += ",\"end\":" + std::to_string(pending.window_end);
+    line += ",\"shed\":";
+    line += pending.shed ? '1' : '0';
+    line += ",\"level\":" + std::to_string(pending.degradation_level);
+    line += '}';
+    w.WriteLine(line);
+    for (SpanId id : pending.orphans) {
+      w.WriteLine("{\"ckpt\":\"pendingo\",\"id\":" + std::to_string(id) +
+                  '}');
+    }
+  }
+  for (SpanId id : pending_orphans_) {
+    w.WriteLine("{\"ckpt\":\"orphan\",\"id\":" + std::to_string(id) + '}');
+  }
+  for (const auto& [key, value] : extra) {
+    std::string line = "{\"ckpt\":\"extra\",";
+    ckpt::AppendStrField(line, "key", key);
+    line += ",\"value\":" + std::to_string(value);
+    line += '}';
+    w.WriteLine(line);
+  }
+  w.Finish();
+}
+
+bool OnlineTraceWeaver::LoadCheckpoint(
+    std::istream& in, std::string* error,
+    std::map<std::string, std::uint64_t>* extra) {
+  const auto lines = ReadChecksummedLines(in, kCheckpointSchema, error);
+  if (!lines) return false;
+  if (lines->empty()) {
+    if (error != nullptr) *error = "checkpoint has no header line";
+    return false;
+  }
+  const std::string& header = (*lines)[0];
+  const auto schema = ckpt::FieldStr(header, "schema");
+  if (!schema || *schema != kCheckpointSchema) {
+    if (error != nullptr) *error = "checkpoint header schema mismatch";
+    return false;
+  }
+
+  // Parse into fresh state first so a malformed record leaves this weaver
+  // untouched.
+  OnlineTraceWeaver fresh(graph_, options_);
+  fresh.started_ = ckpt::FieldU64(header, "started").value_or(0) != 0;
+  fresh.next_window_start_ =
+      ckpt::FieldI64(header, "next_window_start").value_or(0);
+  fresh.high_watermark_ = ckpt::FieldI64(header, "high_watermark").value_or(0);
+  fresh.level_ = static_cast<int>(ckpt::FieldI64(header, "level").value_or(0));
+
+  WindowResult* open_pending = nullptr;
+  for (std::size_t i = 1; i < lines->size(); ++i) {
+    const std::string& line = (*lines)[i];
+    const auto type = ckpt::FieldStr(line, "ckpt");
+    if (!type) {
+      if (error != nullptr) {
+        *error = "checkpoint record " + std::to_string(i) + " has no type";
+      }
+      return false;
+    }
+    const auto bad = [&](const char* what) {
+      if (error != nullptr) {
+        *error = "checkpoint record " + std::to_string(i) +
+                 " malformed: " + what;
+      }
+      return false;
+    };
+    if (*type == "buffer" || *type == "late") {
+      const auto span = SpanFromJson(line);
+      if (!span) return bad("unparseable span");
+      if (*type == "buffer") {
+        fresh.buffer_bytes_ += ApproxSpanBytes(*span);
+        fresh.buffer_.push_back(*span);
+      } else {
+        LateSpan late;
+        late.span = *span;
+        late.deadline = ckpt::FieldI64(line, "deadline").value_or(0);
+        fresh.late_pool_.push_back(std::move(late));
+      }
+    } else if (*type == "commit") {
+      const auto child = ckpt::FieldU64(line, "child");
+      const auto parent = ckpt::FieldU64(line, "parent");
+      if (!child || !parent) return bad("commit ids");
+      fresh.committed_[*child] = *parent;
+    } else if (*type == "slot") {
+      GraftSlot slot;
+      const auto parent = ckpt::FieldU64(line, "parent");
+      const auto pservice = ckpt::FieldStr(line, "parent_service");
+      const auto pendpoint = ckpt::FieldStr(line, "parent_endpoint");
+      const auto service = ckpt::FieldStr(line, "service");
+      const auto endpoint = ckpt::FieldStr(line, "endpoint");
+      if (!parent || !pservice || !pendpoint || !service || !endpoint) {
+        return bad("slot fields");
+      }
+      slot.parent = *parent;
+      slot.parent_service = *pservice;
+      slot.parent_endpoint = *pendpoint;
+      slot.server_recv = ckpt::FieldI64(line, "server_recv").value_or(0);
+      slot.server_send = ckpt::FieldI64(line, "server_send").value_or(0);
+      slot.callee_replica =
+          static_cast<int>(ckpt::FieldI64(line, "replica").value_or(0));
+      slot.stage = static_cast<int>(ckpt::FieldI64(line, "stage").value_or(0));
+      slot.call = static_cast<int>(ckpt::FieldI64(line, "call").value_or(0));
+      slot.call_service = *service;
+      slot.call_endpoint = *endpoint;
+      fresh.graft_slots_.push_back(std::move(slot));
+    } else if (*type == "posterior") {
+      const auto service = ckpt::FieldStr(line, "service");
+      const auto endpoint = ckpt::FieldStr(line, "endpoint");
+      if (!service || !endpoint) return bad("posterior key");
+      DelayKey key{*service, *endpoint,
+                   static_cast<int>(ckpt::FieldI64(line, "stage").value_or(0)),
+                   static_cast<int>(ckpt::FieldI64(line, "call").value_or(0))};
+      DelayPosterior post;
+      post.count = ckpt::FieldU64(line, "count").value_or(0);
+      post.mean = ckpt::FieldF64(line, "mean").value_or(0.0);
+      post.m2 = ckpt::FieldF64(line, "m2").value_or(0.0);
+      fresh.posteriors_[std::move(key)] = post;
+    } else if (*type == "stats") {
+      Stats& s = fresh.stats_;
+      s.ingested = ckpt::FieldU64(line, "ingested").value_or(0);
+      s.windows_closed = ckpt::FieldU64(line, "windows_closed").value_or(0);
+      s.parents_committed =
+          ckpt::FieldU64(line, "parents_committed").value_or(0);
+      s.windows_shed = ckpt::FieldU64(line, "windows_shed").value_or(0);
+      s.spans_shed = ckpt::FieldU64(line, "spans_shed").value_or(0);
+      s.admission_drops = ckpt::FieldU64(line, "admission_drops").value_or(0);
+      s.late_spans = ckpt::FieldU64(line, "late_spans").value_or(0);
+      s.late_grafted = ckpt::FieldU64(line, "late_grafted").value_or(0);
+      s.late_orphans = ckpt::FieldU64(line, "late_orphans").value_or(0);
+      s.late_dropped = ckpt::FieldU64(line, "late_dropped").value_or(0);
+      s.watermark_regressions =
+          ckpt::FieldU64(line, "watermark_regressions").value_or(0);
+      s.deadline_misses = ckpt::FieldU64(line, "deadline_misses").value_or(0);
+      s.degrade_up_steps =
+          ckpt::FieldU64(line, "degrade_up_steps").value_or(0);
+      s.degrade_down_steps =
+          ckpt::FieldU64(line, "degrade_down_steps").value_or(0);
+    } else if (*type == "pendingw") {
+      WindowResult pending;
+      pending.window_start = ckpt::FieldI64(line, "start").value_or(0);
+      pending.window_end = ckpt::FieldI64(line, "end").value_or(0);
+      pending.shed = ckpt::FieldU64(line, "shed").value_or(0) != 0;
+      pending.degradation_level =
+          static_cast<int>(ckpt::FieldI64(line, "level").value_or(0));
+      fresh.pending_results_.push_back(std::move(pending));
+      open_pending = &fresh.pending_results_.back();
+    } else if (*type == "pendingo") {
+      const auto id = ckpt::FieldU64(line, "id");
+      if (!id || open_pending == nullptr) return bad("stray pending orphan");
+      open_pending->orphans.push_back(*id);
+    } else if (*type == "orphan") {
+      const auto id = ckpt::FieldU64(line, "id");
+      if (!id) return bad("orphan id");
+      fresh.pending_orphans_.push_back(*id);
+    } else if (*type == "extra") {
+      const auto key = ckpt::FieldStr(line, "key");
+      const auto value = ckpt::FieldU64(line, "value");
+      if (!key || !value) return bad("extra field");
+      if (extra != nullptr) (*extra)[*key] = *value;
+    } else {
+      return bad("unknown record type");
+    }
+  }
+
+  *this = std::move(fresh);
+  UpdateBufferGauges();
+  return true;
 }
 
 }  // namespace traceweaver

@@ -1,5 +1,6 @@
 // Online deployment mode (§5.3): streaming reconstruction over tumbling
-// windows, enabling tail-based sampling.
+// windows, enabling tail-based sampling -- hardened for production
+// streams (DESIGN.md §4f, "Overload & recovery model").
 //
 // Spans are ingested as they complete. When the watermark (latest observed
 // completion time) passes a window boundary plus a safety margin, the
@@ -9,11 +10,48 @@
 // windows cannot reuse them. The margin must exceed the app's worst-case
 // response latency so every plausible candidate for a closing parent has
 // arrived (the paper's guidance for window sizing).
+//
+// Resilience features on top of the paper's model:
+//
+//   * Bounded memory. `max_buffer_spans` / `max_buffer_bytes` cap the
+//     span buffer. On breach the admission controller sheds whole
+//     *oldest* windows first: every buffered span whose committing
+//     timestamp falls at or before the oldest unclosed window boundary is
+//     removed together and recorded as an explicit orphan. Because a
+//     child's server_recv is never earlier than its parent's, a time-
+//     prefix shed can never remove a child of a parent in a surviving
+//     window -- later windows' candidate sets are untouched (the same cut
+//     argument as Theorem A.1's run decomposition).
+//
+//   * Overload degradation ladder. When a window close exceeds
+//     `window_close_deadline`, reconstruction parameters are degraded one
+//     rung (Parameters::DegradedForOverload: shrink top-K, shrink batch
+//     size, cap refinement iterations, drop exact MWIS to greedy); closes
+//     finishing under half the deadline step back up, recovering full
+//     fidelity when pressure subsides.
+//
+//   * Late / out-of-order input. Advance() watermarks may regress (they
+//     clamp to the high-water mark and count the regression); spans
+//     arriving after their window closed go to a bounded late-pool and
+//     are either grafted into a committed parent's free (skipped) slot or
+//     emitted as benign orphans.
+//
+//   * Checkpoint/restore. SaveCheckpoint()/LoadCheckpoint() serialize the
+//     full streaming state (buffer, committed assignments, late pool,
+//     graft slots, delay posteriors, watermark, ladder position) as a
+//     CRC-guarded `traceweaver.checkpoint.v1` JSONL stream
+//     (trace/checkpoint.h), so a killed serve loop resumes within one
+//     window of where it died without losing or duplicating commitments.
 #pragma once
 
+#include <iosfwd>
+#include <map>
+#include <string>
 #include <vector>
 
+#include "core/delay_model.h"
 #include "core/trace_weaver.h"
+#include "obs/pipeline_metrics.h"
 #include "trace/span.h"
 
 namespace traceweaver {
@@ -24,44 +62,197 @@ struct OnlineOptions {
   /// maximum span duration.
   DurationNs margin = Millis(500);
   TraceWeaverOptions weaver;
+
+  // --- Bounded memory / admission control (0 = unbounded). ---
+  std::size_t max_buffer_spans = 0;
+  std::size_t max_buffer_bytes = 0;
+
+  /// Wall-time budget for one window close; exceeding it escalates the
+  /// degradation ladder, finishing under half of it de-escalates. 0
+  /// disables the ladder (always full fidelity, fully deterministic).
+  DurationNs window_close_deadline = 0;
+
+  // --- Late / out-of-order handling. ---
+  /// Bounded late-pool capacity; overflow drops the oldest entries as
+  /// orphans.
+  std::size_t max_late_spans = 4096;
+  /// How many windows a late span (and a committed parent's free slots)
+  /// stay graftable before being expired.
+  int graft_retention_windows = 2;
+
+  /// Metric sink for the tw_online_* family (docs/METRICS.md). Null
+  /// disables recording; behavior is identical either way. Not owned.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct WindowResult {
   TimeNs window_start = 0;
   TimeNs window_end = 0;
-  /// Assignments committed by this window (child -> parent).
+  /// Assignments committed by this window (child -> parent), including
+  /// late-span grafts.
   ParentAssignment assignment;
   std::size_t parents_committed = 0;
+  /// Degradation-ladder rung this window was optimized at (0 = full
+  /// fidelity); meaningful only when window_close_deadline is set.
+  int degradation_level = 0;
+  /// True when the admission controller shed this window instead of
+  /// optimizing it; `orphans` then lists every shed span.
+  bool shed = false;
+  /// Spans whose links are definitively lost (shed with a window,
+  /// admission-dropped, or expired from the late pool) -- the benign
+  /// orphan feed of the quality layer's suspicious/benign split.
+  std::vector<SpanId> orphans;
+  /// Late spans grafted into committed parents at this close.
+  std::size_t late_grafted = 0;
+  /// Wall time spent closing this window (drives the ladder).
+  DurationNs close_wall_ns = 0;
 };
 
 class OnlineTraceWeaver {
  public:
-  OnlineTraceWeaver(CallGraph graph, OnlineOptions options = {});
+  /// Schema tag of the checkpoint format (see trace/checkpoint.h).
+  static constexpr const char* kCheckpointSchema =
+      "traceweaver.checkpoint.v1";
 
-  /// Adds a completed span to the buffer.
+  OnlineTraceWeaver(CallGraph graph, OnlineOptions options = {});
+  ~OnlineTraceWeaver();
+  OnlineTraceWeaver(OnlineTraceWeaver&&) noexcept;
+  OnlineTraceWeaver& operator=(OnlineTraceWeaver&&) noexcept;
+
+  /// Adds a completed span. Late spans (window already closed) are routed
+  /// to the graft path; over-budget buffers shed oldest windows first.
   void Ingest(const Span& span);
 
   /// Advances the watermark; closes and returns every window whose end +
-  /// margin is at or before `watermark`.
+  /// margin is at or before `watermark`, preceded by any windows shed
+  /// since the last call. A watermark below the high-water mark is
+  /// clamped (never rolls state back) and counted as a regression.
   std::vector<WindowResult> Advance(TimeNs watermark);
 
-  /// Closes all remaining windows regardless of watermark.
+  /// Closes all remaining windows regardless of watermark and drains the
+  /// late pool (remaining entries become orphans).
   std::vector<WindowResult> Flush();
 
-  /// Union of all assignments committed so far.
+  /// Union of all assignments committed so far (including grafts).
   const ParentAssignment& assignment() const { return committed_; }
 
   std::size_t buffered() const { return buffer_.size(); }
+  std::size_t buffered_bytes() const { return buffer_bytes_; }
+  std::size_t late_pool_size() const { return late_pool_.size(); }
+  int degradation_level() const { return level_; }
+  TimeNs high_watermark() const { return high_watermark_; }
+
+  /// Online estimate of one delay distribution, accumulated (Welford)
+  /// from the gaps implied by committed assignments. Survives
+  /// checkpoint/restore, so drift detection can span process restarts.
+  struct DelayPosterior {
+    std::uint64_t count = 0;
+    double mean = 0.0;
+    double m2 = 0.0;  ///< Sum of squared deviations.
+
+    double Variance() const {
+      return count < 2 ? 0.0 : m2 / static_cast<double>(count - 1);
+    }
+  };
+  const std::map<DelayKey, DelayPosterior>& delay_posteriors() const {
+    return posteriors_;
+  }
+
+  /// Monotone event counters, mirrored into the tw_online_* metric family
+  /// when OnlineOptions::metrics is set.
+  struct Stats {
+    std::uint64_t ingested = 0;
+    std::uint64_t windows_closed = 0;
+    std::uint64_t parents_committed = 0;
+    std::uint64_t windows_shed = 0;
+    std::uint64_t spans_shed = 0;
+    std::uint64_t admission_drops = 0;
+    std::uint64_t late_spans = 0;
+    std::uint64_t late_grafted = 0;
+    std::uint64_t late_orphans = 0;
+    std::uint64_t late_dropped = 0;
+    std::uint64_t watermark_regressions = 0;
+    std::uint64_t deadline_misses = 0;
+    std::uint64_t degrade_up_steps = 0;
+    std::uint64_t degrade_down_steps = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Serializes the full streaming state as `traceweaver.checkpoint.v1`
+  /// JSONL with a CRC-guarded footer. `extra` carries caller scalars
+  /// (e.g. the serve loop's source offset) that round-trip untouched.
+  void SaveCheckpoint(
+      std::ostream& out,
+      const std::map<std::string, std::uint64_t>& extra = {}) const;
+
+  /// Replaces this weaver's state with a checkpoint previously written by
+  /// SaveCheckpoint. The call graph and options are NOT serialized: the
+  /// caller must construct the weaver with the same graph/options as the
+  /// checkpointing process. Returns false (state untouched) on truncated,
+  /// corrupted or schema-mismatched input, with a reason in *error.
+  bool LoadCheckpoint(std::istream& in, std::string* error = nullptr,
+                      std::map<std::string, std::uint64_t>* extra = nullptr);
 
  private:
+  /// A skipped (free) position of a committed parent's chosen mapping: a
+  /// late child matching its call site can still be grafted in.
+  struct GraftSlot {
+    SpanId parent = kInvalidSpanId;
+    std::string parent_service;   ///< Callee of the parent span.
+    std::string parent_endpoint;
+    TimeNs server_recv = 0;
+    TimeNs server_send = 0;
+    int callee_replica = 0;       ///< Children must be sent from it.
+    int stage = 0;
+    int call = 0;
+    std::string call_service;     ///< The open position's call site.
+    std::string call_endpoint;
+  };
+
+  struct LateSpan {
+    Span span;
+    TimeNs deadline = 0;  ///< Orphaned once next_window_start_ passes it.
+  };
+
   WindowResult CloseWindow(TimeNs window_start, TimeNs window_end);
+  void HandleLate(const Span& span);
+  /// Grafts `span` into the best feasible free slot; returns the parent
+  /// id or kInvalidSpanId.
+  SpanId TryGraft(const Span& span);
+  /// Retries the late pool against slots opened by new commits, expires
+  /// stale entries into `result`, prunes stale graft slots.
+  void ServiceLatePool(WindowResult& result);
+  void EnforceBudget();
+  void ShedOldestWindow();
+  bool OverBudget() const;
+  void RecordPosterior(const Span& parent, const InvocationPlan& plan,
+                       const CandidateMapping& mapping,
+                       const std::map<SpanId, const Span*>& by_id);
+  void UpdateBufferGauges();
+  TraceWeaver& WeaverForLevel();
 
   CallGraph graph_;
   OnlineOptions options_;
+  obs::OnlineMetrics metrics_;
   std::vector<Span> buffer_;
+  std::size_t buffer_bytes_ = 0;
   ParentAssignment committed_;
   TimeNs next_window_start_ = 0;
   bool started_ = false;
+  TimeNs high_watermark_ = 0;
+  int level_ = 0;
+  std::vector<LateSpan> late_pool_;
+  std::vector<GraftSlot> graft_slots_;
+  /// Shed windows and admission-drop orphans awaiting delivery with the
+  /// next Advance()/Flush() output.
+  std::vector<WindowResult> pending_results_;
+  std::vector<SpanId> pending_orphans_;
+  std::map<DelayKey, DelayPosterior> posteriors_;
+  Stats stats_;
+  /// Cached weaver, rebuilt when the degradation level changes (avoids
+  /// re-copying the graph and re-spawning the pool every window).
+  std::unique_ptr<TraceWeaver> weaver_cache_;
+  int weaver_cache_level_ = -1;
 };
 
 }  // namespace traceweaver

@@ -2,6 +2,7 @@
 // knobs with conservative defaults.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 
 namespace traceweaver {
@@ -51,6 +52,36 @@ struct Parameters {
   /// between vantage points; raise to ~4x the expected jitter stddev when
   /// capture clocks are noisy.
   long long constraint_slack_ns = 0;
+
+  /// Returns a copy degraded for overload level `level` (the online
+  /// degradation ladder, DESIGN.md §4f). Steps are cumulative and ordered
+  /// by accuracy cost per CPU saved:
+  ///   level >= 1: top-K shrunk to 3 (ranking + MWIS vertices)
+  ///   level >= 2: max batch size shrunk to 15 (solve cost ~ B^2)
+  ///   level >= 3: refinement capped at 2 iterations (GMM refits)
+  ///   level >= 4: exact B&B MWIS dropped (budget 0 -> greedy + 1-swap)
+  /// Level 0 (and negative) returns *this unchanged; levels above
+  /// kMaxOverloadLevel clamp.
+  Parameters DegradedForOverload(int level) const {
+    Parameters p = *this;
+    if (level >= 1) {
+      p.max_candidates_per_span = std::min<std::size_t>(
+          p.max_candidates_per_span, 3);
+    }
+    if (level >= 2) {
+      p.max_batch_size = std::min<std::size_t>(p.max_batch_size, 15);
+    }
+    if (level >= 3) {
+      p.iterations = std::min<std::size_t>(p.iterations, 2);
+    }
+    if (level >= 4) {
+      p.mis_node_budget = 0;  // Every solve falls back to greedy.
+    }
+    return p;
+  }
 };
+
+/// Deepest rung of the overload degradation ladder.
+inline constexpr int kMaxOverloadLevel = 4;
 
 }  // namespace traceweaver

@@ -177,4 +177,65 @@ Counter PipelineMetrics::ServiceCandidates(const std::string& service) const {
                               "1");
 }
 
+OnlineMetrics::OnlineMetrics(MetricsRegistry& reg) : registry(&reg) {
+  windows_closed = reg.GetCounter("tw_online_windows_closed_total", "",
+                                  "Streaming windows closed", "1");
+  spans_ingested = reg.GetCounter("tw_online_spans_ingested_total", "",
+                                  "Spans ingested by the online weaver", "1");
+  parents_committed = reg.GetCounter(
+      "tw_online_parents_committed_total", "",
+      "Parents committed across closed windows", "1");
+  window_close_ns = reg.GetHistogram(
+      "tw_online_window_close_ns", "",
+      "Wall time to close one window (reconstruct + commit)", "ns");
+
+  windows_shed = reg.GetCounter(
+      "tw_online_windows_shed_total", "",
+      "Whole windows shed by the admission controller", "1");
+  spans_shed = reg.GetCounter(
+      "tw_online_spans_shed_total", "",
+      "Spans shed with their window (emitted as orphans)", "1");
+  admission_drops = reg.GetCounter(
+      "tw_online_admission_drops_total", "",
+      "Arriving spans rejected with a single window over budget", "1");
+  buffer_spans = reg.GetGauge("tw_online_buffer_spans", "",
+                              "Spans currently buffered", "1");
+  buffer_bytes = reg.GetGauge("tw_online_buffer_bytes", "",
+                              "Approximate bytes currently buffered", "By");
+
+  deadline_misses = reg.GetCounter(
+      "tw_online_deadline_misses_total", "",
+      "Window closes that exceeded window_close_deadline", "1");
+  degrade_steps_up = reg.GetCounter(
+      "tw_online_degrade_steps_total", "direction=\"up\"",
+      "Degradation-ladder escalations", "1");
+  degrade_steps_down = reg.GetCounter(
+      "tw_online_degrade_steps_total", "direction=\"down\"",
+      "Degradation-ladder recoveries", "1");
+  degradation_level = reg.GetGauge(
+      "tw_online_degradation_level", "",
+      "Current rung of the overload degradation ladder (0 = full)", "1");
+
+  late_spans = reg.GetCounter(
+      "tw_online_late_spans_total", "",
+      "Spans arriving after their window closed", "1");
+  late_grafted = reg.GetCounter(
+      "tw_online_late_grafted_total", "",
+      "Late spans grafted into a committed parent's free slot", "1");
+  late_orphans = reg.GetCounter(
+      "tw_online_late_orphans_total", "",
+      "Late spans emitted as benign orphans", "1");
+  late_dropped = reg.GetCounter(
+      "tw_online_late_dropped_total", "",
+      "Late spans dropped by the bounded late-pool", "1");
+  watermark_regressions = reg.GetCounter(
+      "tw_online_watermark_regressions_total", "",
+      "Advance() calls with a watermark below the high-water mark", "1");
+
+  checkpoints = reg.GetCounter("tw_online_checkpoints_total", "",
+                               "Checkpoints written by the serve loop", "1");
+  restores = reg.GetCounter("tw_online_restores_total", "",
+                            "Successful checkpoint restores", "1");
+}
+
 }  // namespace traceweaver::obs

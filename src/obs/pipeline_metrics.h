@@ -117,4 +117,45 @@ struct PipelineMetrics {
   Counter ServiceCandidates(const std::string& service) const;
 };
 
+/// The streaming (online-mode) metric bundle: everything the resilient
+/// serving loop records -- window lifecycle, load shedding, the overload
+/// degradation ladder, late-span handling, watermark sanity and
+/// checkpointing. Same inert-bundle pattern as PipelineMetrics.
+struct OnlineMetrics {
+  OnlineMetrics() = default;
+  explicit OnlineMetrics(MetricsRegistry& registry);
+
+  MetricsRegistry* registry = nullptr;
+
+  // --- Window lifecycle. ---
+  Counter windows_closed;     ///< tw_online_windows_closed_total
+  Counter spans_ingested;     ///< tw_online_spans_ingested_total
+  Counter parents_committed;  ///< tw_online_parents_committed_total
+  Histogram window_close_ns;  ///< tw_online_window_close_ns
+
+  // --- Bounded memory / admission control. ---
+  Counter windows_shed;     ///< tw_online_windows_shed_total
+  Counter spans_shed;       ///< tw_online_spans_shed_total
+  Counter admission_drops;  ///< tw_online_admission_drops_total
+  Gauge buffer_spans;       ///< tw_online_buffer_spans
+  Gauge buffer_bytes;       ///< tw_online_buffer_bytes
+
+  // --- Overload degradation ladder. ---
+  Counter deadline_misses;     ///< tw_online_deadline_misses_total
+  Counter degrade_steps_up;    ///< tw_online_degrade_steps_total{direction="up"}
+  Counter degrade_steps_down;  ///< tw_online_degrade_steps_total{direction="down"}
+  Gauge degradation_level;     ///< tw_online_degradation_level
+
+  // --- Late / out-of-order spans. ---
+  Counter late_spans;             ///< tw_online_late_spans_total
+  Counter late_grafted;           ///< tw_online_late_grafted_total
+  Counter late_orphans;           ///< tw_online_late_orphans_total
+  Counter late_dropped;           ///< tw_online_late_dropped_total
+  Counter watermark_regressions;  ///< tw_online_watermark_regressions_total
+
+  // --- Checkpoint / restore (recorded by the serve loop). ---
+  Counter checkpoints;  ///< tw_online_checkpoints_total
+  Counter restores;     ///< tw_online_restores_total
+};
+
 }  // namespace traceweaver::obs

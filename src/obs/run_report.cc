@@ -240,6 +240,30 @@ RunReport BuildRunReport(const RegistrySnapshot& s) {
   r.quality.entropy_milli = FindHistogram(s, "tw_quality_entropy_milli");
   r.quality.trace_confidence_milli =
       FindHistogram(s, "tw_quality_trace_confidence_milli");
+
+  r.online.spans_ingested = s.Value("tw_online_spans_ingested_total");
+  r.online.windows_closed = s.Value("tw_online_windows_closed_total");
+  r.online.parents_committed = s.Value("tw_online_parents_committed_total");
+  r.online.windows_shed = s.Value("tw_online_windows_shed_total");
+  r.online.spans_shed = s.Value("tw_online_spans_shed_total");
+  r.online.admission_drops = s.Value("tw_online_admission_drops_total");
+  r.online.buffer_spans = s.Value("tw_online_buffer_spans");
+  r.online.buffer_bytes = s.Value("tw_online_buffer_bytes");
+  r.online.deadline_misses = s.Value("tw_online_deadline_misses_total");
+  r.online.degrade_up =
+      s.Value("tw_online_degrade_steps_total", "direction=\"up\"");
+  r.online.degrade_down =
+      s.Value("tw_online_degrade_steps_total", "direction=\"down\"");
+  r.online.degradation_level = s.Value("tw_online_degradation_level");
+  r.online.late_spans = s.Value("tw_online_late_spans_total");
+  r.online.late_grafted = s.Value("tw_online_late_grafted_total");
+  r.online.late_orphans = s.Value("tw_online_late_orphans_total");
+  r.online.late_dropped = s.Value("tw_online_late_dropped_total");
+  r.online.watermark_regressions =
+      s.Value("tw_online_watermark_regressions_total");
+  r.online.checkpoints = s.Value("tw_online_checkpoints_total");
+  r.online.restores = s.Value("tw_online_restores_total");
+  r.online.window_close_ns = FindHistogram(s, "tw_online_window_close_ns");
   return r;
 }
 
@@ -247,7 +271,7 @@ std::string RunReportJson(const RunReport& r) {
   std::string out;
   Json j(&out);
   j.Open('{');
-  j.Field("schema", std::string("traceweaver.run_report.v3"));
+  j.Field("schema", std::string("traceweaver.run_report.v4"));
 
   j.Key("run");
   j.Open('{');
@@ -389,6 +413,42 @@ std::string RunReportJson(const RunReport& r) {
   j.Close('}');
   j.Close('}');
 
+  j.Key("online");
+  j.Open('{');
+  j.Field("spans_ingested", r.online.spans_ingested);
+  j.Field("windows_closed", r.online.windows_closed);
+  j.Field("parents_committed", r.online.parents_committed);
+  j.Key("shedding");
+  j.Open('{');
+  j.Field("windows_shed", r.online.windows_shed);
+  j.Field("spans_shed", r.online.spans_shed);
+  j.Field("admission_drops", r.online.admission_drops);
+  j.Field("buffer_spans", r.online.buffer_spans);
+  j.Field("buffer_bytes", r.online.buffer_bytes);
+  j.Close('}');
+  j.Key("degradation");
+  j.Open('{');
+  j.Field("deadline_misses", r.online.deadline_misses);
+  j.Field("steps_up", r.online.degrade_up);
+  j.Field("steps_down", r.online.degrade_down);
+  j.Field("level", r.online.degradation_level);
+  j.Close('}');
+  j.Key("late");
+  j.Open('{');
+  j.Field("spans", r.online.late_spans);
+  j.Field("grafted", r.online.late_grafted);
+  j.Field("orphans", r.online.late_orphans);
+  j.Field("dropped", r.online.late_dropped);
+  j.Field("watermark_regressions", r.online.watermark_regressions);
+  j.Close('}');
+  j.Key("checkpointing");
+  j.Open('{');
+  j.Field("checkpoints", r.online.checkpoints);
+  j.Field("restores", r.online.restores);
+  j.Close('}');
+  HistogramFields(j, "window_close_ns", r.online.window_close_ns);
+  j.Close('}');
+
   j.Close('}');
   out += '\n';
   return out;
@@ -473,6 +533,27 @@ std::string RunReportTable(const RunReport& r) {
       out << "quality monitor: " << r.quality.monitor_windows
           << " windows, " << r.quality.monitor_drift << " drifted\n";
     }
+  }
+  if (r.online.spans_ingested > 0 || r.online.windows_closed > 0) {
+    out << "online: " << r.online.spans_ingested << " ingested, "
+        << r.online.windows_closed << " windows closed, "
+        << r.online.parents_committed << " parents committed; close (ns) "
+        << HistSummary(r.online.window_close_ns) << '\n';
+    out << "online shedding: " << r.online.windows_shed << " windows / "
+        << r.online.spans_shed << " spans shed, "
+        << r.online.admission_drops << " admission drops; buffer "
+        << r.online.buffer_spans << " spans, " << r.online.buffer_bytes
+        << " bytes\n";
+    out << "online degradation: level " << r.online.degradation_level
+        << ", " << r.online.deadline_misses << " deadline misses, "
+        << r.online.degrade_up << " up / " << r.online.degrade_down
+        << " down\n";
+    out << "online late: " << r.online.late_spans << " late ("
+        << r.online.late_grafted << " grafted, " << r.online.late_orphans
+        << " orphans, " << r.online.late_dropped << " dropped), "
+        << r.online.watermark_regressions << " watermark regressions; "
+        << r.online.checkpoints << " checkpoints, " << r.online.restores
+        << " restores\n";
   }
   return out.str();
 }

@@ -2,9 +2,10 @@
 // from a MetricsRegistry snapshot: what ingestion sanitized or
 // quarantined, where the time went per stage, how
 // enumeration/batching/ranking/MWIS/GMM behaved, per-service outcomes,
-// §4.2 phantom-span usage, and the trace-quality family (`tw_quality_*`,
-// obs/quality.h). Render as JSON (stable schema
-// `traceweaver.run_report.v3`, golden-tested) or as an aligned text
+// §4.2 phantom-span usage, the trace-quality family (`tw_quality_*`,
+// obs/quality.h), and the streaming-resilience family (`tw_online_*`,
+// core/online.h). Render as JSON (stable schema
+// `traceweaver.run_report.v4`, golden-tested) or as an aligned text
 // table for terminals.
 #pragma once
 
@@ -108,13 +109,30 @@ struct RunReport {
     HistogramSnapshot entropy_milli;           ///< Per assignment, x1000.
     HistogramSnapshot trace_confidence_milli;  ///< Per trace, x1000.
   } quality;
+
+  // --- Online / streaming resilience (tw_online_*, zero when the run
+  // was batch-only). ---
+  struct {
+    std::int64_t spans_ingested = 0, windows_closed = 0;
+    std::int64_t parents_committed = 0;
+    std::int64_t windows_shed = 0, spans_shed = 0, admission_drops = 0;
+    std::int64_t buffer_spans = 0, buffer_bytes = 0;
+    std::int64_t deadline_misses = 0;
+    std::int64_t degrade_up = 0, degrade_down = 0;
+    std::int64_t degradation_level = 0;
+    std::int64_t late_spans = 0, late_grafted = 0;
+    std::int64_t late_orphans = 0, late_dropped = 0;
+    std::int64_t watermark_regressions = 0;
+    std::int64_t checkpoints = 0, restores = 0;
+    HistogramSnapshot window_close_ns;
+  } online;
 };
 
 /// Builds the report from a snapshot of a registry the pipeline recorded
 /// into (see PipelineMetrics for the names consumed).
 RunReport BuildRunReport(const RegistrySnapshot& snapshot);
 
-/// Stable JSON rendering (schema `traceweaver.run_report.v3`).
+/// Stable JSON rendering (schema `traceweaver.run_report.v4`).
 std::string RunReportJson(const RunReport& report);
 
 /// Aligned text-table rendering for terminals.

@@ -148,5 +148,75 @@ TEST(Online, TailSamplingSelectsCompleteTraces) {
   }
 }
 
+TEST(Online, WatermarkRegressionClampsAndCounts) {
+  Stream s = MakeStream(150, 2);
+  OnlineOptions opts;
+  opts.window = Millis(500);
+  OnlineTraceWeaver online(s.graph, opts);
+  for (const Span& span : s.spans) online.Ingest(span);
+
+  const TimeNs high = Seconds(1);
+  online.Advance(high);
+  EXPECT_EQ(online.high_watermark(), high);
+  EXPECT_EQ(online.stats().watermark_regressions, 0u);
+
+  // A regressing watermark is clamped: the grid never rolls back, the
+  // regression is counted, and already-closed windows stay closed.
+  const std::size_t closed_before = online.stats().windows_closed;
+  online.Advance(Millis(200));
+  EXPECT_EQ(online.high_watermark(), high);
+  EXPECT_EQ(online.stats().watermark_regressions, 1u);
+  EXPECT_EQ(online.stats().windows_closed, closed_before);
+
+  // Advancing past the old high-water mark resumes normal progress.
+  const auto results = online.Advance(Seconds(100));
+  EXPECT_EQ(online.stats().watermark_regressions, 1u);
+  EXPECT_GT(results.size(), 0u);
+}
+
+TEST(Online, SingleCoveringWindowFlushMatchesBatchBitIdentical) {
+  // A clean in-order stream with no pressure, closed as one covering
+  // window, must reproduce the batch reconstruction exactly.
+  Stream s = MakeStream(200, 2);
+  OnlineOptions opts;
+  opts.window = Seconds(60);  // Covers the whole stream.
+  OnlineTraceWeaver online(s.graph, opts);
+  for (const Span& span : s.spans) online.Ingest(span);
+  online.Flush();
+
+  // Batch assignments carry an explicit kInvalidSpanId entry for every
+  // unmapped span; the online map holds only real commitments. Compare
+  // the mapped links, which must match exactly.
+  TraceWeaver batch(s.graph);
+  ParentAssignment expected;
+  for (const auto& [id, parent] : batch.Reconstruct(s.spans).assignment) {
+    if (parent != kInvalidSpanId) expected[id] = parent;
+  }
+  EXPECT_EQ(online.assignment(), expected);
+}
+
+TEST(Online, MultiWindowBitIdenticalAcrossThreadCounts) {
+  // The online pipeline inherits the batch engine's determinism: the
+  // committed map is bit-identical for any worker-thread count (run
+  // under TSan in the verify suite).
+  Stream s = MakeStream(200, 3);
+  const auto run = [&](std::size_t threads) {
+    OnlineOptions opts;
+    opts.window = Millis(800);
+    opts.weaver.num_threads = threads;
+    OnlineTraceWeaver online(s.graph, opts);
+    for (const Span& span : s.spans) {
+      online.Ingest(span);
+      online.Advance(span.client_recv);
+    }
+    online.Flush();
+    return online.assignment();
+  };
+  const ParentAssignment serial = run(1);
+  const ParentAssignment parallel = run(4);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_GT(serial.size(), 0u);
+}
+
 }  // namespace
 }  // namespace traceweaver

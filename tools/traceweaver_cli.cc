@@ -11,6 +11,16 @@
 //   traceweaver export-jaeger <graph.txt> <spans.jsonl> Jaeger UI JSON
 //   traceweaver explain <graph.txt> <spans.jsonl> <id>  candidate table for
 //                                                       one parent span
+//   traceweaver serve <graph.txt> <spans.jsonl>         streaming online
+//                                                       mode (§5.3) with
+//                                                       bounded memory,
+//                                                       overload ladder and
+//                                                       checkpoint/restore
+//   traceweaver sort-spans <spans.jsonl>                completion-ordered
+//                                                       JSONL -> stdout (a
+//                                                       live collector's
+//                                                       arrival order; feed
+//                                                       this to serve)
 //
 // The reconstruction commands accept --threads=N (default: all hardware
 // threads); reconstruction output is bit-identical for every N. Every
@@ -33,14 +43,18 @@
 // Apps: hotel | media | nodejs | chain | ab. Spans JSONL written by
 // `simulate`/`replay` carries ground truth so `evaluate` can score
 // reconstructions; `reconstruct` never reads those fields.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <thread>
+#include <utility>
 
 #include "callgraph/inference.h"
+#include "core/online.h"
 #include "callgraph/serialization.h"
 #include "collector/capture.h"
 #include "core/accuracy.h"
@@ -75,6 +89,27 @@ int Usage() {
       "  traceweaver export-jaeger [flags] <graph.txt> <spans.jsonl>\n"
       "  traceweaver explain [flags] <graph.txt> <spans.jsonl> "
       "<parent_span_id>\n"
+      "  traceweaver serve [flags] <graph.txt> <spans.jsonl>\n"
+      "  traceweaver sort-spans <spans.jsonl>\n"
+      "\n"
+      "flags (serve):\n"
+      "  --window-ms=N        tumbling-window width (default 2000)\n"
+      "  --margin-ms=N        close margin past the window end (default "
+      "500)\n"
+      "  --deadline-ms=N      per-window close deadline driving the\n"
+      "                       overload degradation ladder (0 = off)\n"
+      "  --max-buffer-spans=N / --max-buffer-bytes=N\n"
+      "                       span-buffer budget; breach sheds oldest\n"
+      "                       windows as orphans (0 = unbounded)\n"
+      "  --checkpoint-dir=D   write CRC-guarded checkpoints to\n"
+      "                       D/checkpoint.jsonl (tmp+rename atomic)\n"
+      "  --checkpoint-every=N spans between snapshots (default 2000)\n"
+      "  --resume             restore from --checkpoint-dir and continue\n"
+      "                       at the saved source offset\n"
+      "  --retries=N          source open/read retries with exponential\n"
+      "                       backoff (default 5)\n"
+      "  --final              emit only the final assignment union at\n"
+      "                       EOF instead of per-window streaming lines\n"
       "\n"
       "flags (reconstruction commands):\n"
       "  --threads=N         worker threads (default: all hardware\n"
@@ -119,6 +154,18 @@ struct CliFlags {
 
   /// Fault-injection spec (simulate / inject-faults only).
   sim::FaultSpec faults;
+
+  // --- serve (streaming online mode) ---
+  long long window_ms = 2000;
+  long long margin_ms = 500;
+  long long deadline_ms = 0;          ///< 0 = degradation ladder off.
+  std::size_t max_buffer_spans = 0;   ///< 0 = unbounded.
+  std::size_t max_buffer_bytes = 0;   ///< 0 = unbounded.
+  std::string checkpoint_dir;         ///< "" = checkpointing off.
+  std::size_t checkpoint_every = 2000;
+  bool resume = false;
+  int retries = 5;
+  bool final_only = false;  ///< Emit only the EOF assignment union.
 
   bool WantMetrics() const {
     return report || !report_json.empty() || !metrics_out.empty();
@@ -173,6 +220,27 @@ CliFlags ParseFlags(int& argc, char**& argv) {
       flags.faults.garble_rate = prob(arg, 9);
     } else if (arg.rfind("--fault-seed=", 0) == 0) {
       flags.faults.seed = num(arg, 13);
+    } else if (arg.rfind("--window-ms=", 0) == 0) {
+      flags.window_ms = static_cast<long long>(num(arg, 12));
+    } else if (arg.rfind("--margin-ms=", 0) == 0) {
+      flags.margin_ms = static_cast<long long>(num(arg, 12));
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      flags.deadline_ms = static_cast<long long>(num(arg, 14));
+    } else if (arg.rfind("--max-buffer-spans=", 0) == 0) {
+      flags.max_buffer_spans = static_cast<std::size_t>(num(arg, 19));
+    } else if (arg.rfind("--max-buffer-bytes=", 0) == 0) {
+      flags.max_buffer_bytes = static_cast<std::size_t>(num(arg, 19));
+    } else if (arg.rfind("--checkpoint-dir=", 0) == 0) {
+      flags.checkpoint_dir = arg.substr(17);
+    } else if (arg.rfind("--checkpoint-every=", 0) == 0) {
+      flags.checkpoint_every = static_cast<std::size_t>(num(arg, 19));
+      if (flags.checkpoint_every == 0) flags.checkpoint_every = 1;
+    } else if (arg == "--resume") {
+      flags.resume = true;
+    } else if (arg.rfind("--retries=", 0) == 0) {
+      flags.retries = static_cast<int>(num(arg, 10));
+    } else if (arg == "--final") {
+      flags.final_only = true;
     } else {
       break;
     }
@@ -563,6 +631,240 @@ int CmdExplain(int argc, char** argv) {
   return capture.found ? 0 : 1;
 }
 
+/// Reorders a span file into completion (client_recv) order -- the
+/// arrival order a live collector produces and the one `serve` expects.
+int CmdSortSpans(int argc, char** argv) {
+  const CliFlags flags = ParseFlags(argc, argv);
+  (void)flags;
+  if (argc < 2) return Usage();
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "cannot open spans file: %s\n", argv[1]);
+    return 1;
+  }
+  std::size_t dropped = 0;
+  auto spans = ReadSpansJsonl(in, &dropped);
+  if (dropped > 0) {
+    std::fprintf(stderr, "warning: %zu malformed span lines dropped\n",
+                 dropped);
+  }
+  std::sort(spans.begin(), spans.end(), [](const Span& a, const Span& b) {
+    return a.client_recv != b.client_recv ? a.client_recv < b.client_recv
+                                          : a.id < b.id;
+  });
+  WriteSpansJsonl(std::cout, spans, /*include_ground_truth=*/true);
+  return 0;
+}
+
+// ---------------------------------------------------------------------
+// serve: the resilient streaming loop (core/online.h).
+
+/// Opens `path` (seeking to `offset`) with exponential-backoff retry; an
+/// unopened stream after `retries` attempts signals giving up.
+std::ifstream OpenWithRetry(const std::string& path, int retries,
+                            std::uint64_t offset) {
+  for (int attempt = 0;; ++attempt) {
+    std::ifstream in(path, std::ios::binary);
+    if (in) {
+      if (offset > 0) in.seekg(static_cast<std::streamoff>(offset));
+      if (in) return in;
+    }
+    if (attempt >= retries) return std::ifstream();
+    const long long backoff_ms = std::min(100LL << attempt, 5000LL);
+    std::fprintf(stderr,
+                 "serve: cannot read %s (attempt %d/%d), retrying in "
+                 "%lld ms\n",
+                 path.c_str(), attempt + 1, retries, backoff_ms);
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+  }
+}
+
+/// Writes a checkpoint atomically: tmp file + rename, so a crash
+/// mid-write leaves the previous snapshot intact.
+bool WriteCheckpointAtomic(const OnlineTraceWeaver& weaver,
+                           const std::string& dir, std::uint64_t offset) {
+  const std::string path = dir + "/checkpoint.jsonl";
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    weaver.SaveCheckpoint(out, {{"source_offset", offset}});
+    out.flush();
+    if (!out) return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+void EmitWindowResults(const std::vector<WindowResult>& results) {
+  for (const WindowResult& r : results) {
+    std::printf(
+        "{\"window_start\":%lld,\"window_end\":%lld,\"committed\":%zu,"
+        "\"shed\":%s,\"level\":%d,\"grafted\":%zu,\"orphans\":%zu}\n",
+        static_cast<long long>(r.window_start),
+        static_cast<long long>(r.window_end), r.parents_committed,
+        r.shed ? "true" : "false", r.degradation_level, r.late_grafted,
+        r.orphans.size());
+    std::vector<std::pair<SpanId, SpanId>> rows(r.assignment.begin(),
+                                                r.assignment.end());
+    std::sort(rows.begin(), rows.end());
+    for (const auto& [child, parent] : rows) {
+      std::printf("{\"span\":%llu,\"parent\":%llu}\n",
+                  static_cast<unsigned long long>(child),
+                  static_cast<unsigned long long>(parent));
+    }
+    for (SpanId id : r.orphans) {
+      std::printf("{\"span\":%llu,\"parent\":%llu}\n",
+                  static_cast<unsigned long long>(id),
+                  static_cast<unsigned long long>(kInvalidSpanId));
+    }
+  }
+}
+
+int CmdServe(int argc, char** argv) {
+  const CliFlags flags = ParseFlags(argc, argv);
+  if (argc < 3) return Usage();
+  obs::MetricsRegistry registry;
+  obs::MetricsRegistry* reg = flags.WantMetrics() ? &registry : nullptr;
+  auto graph = LoadGraph(argv[1]);
+  if (!graph) return 1;
+  const std::string source = argv[2];
+
+  OnlineOptions oopts;
+  oopts.window = Millis(flags.window_ms);
+  oopts.margin = Millis(flags.margin_ms);
+  oopts.window_close_deadline = Millis(flags.deadline_ms);
+  oopts.max_buffer_spans = flags.max_buffer_spans;
+  oopts.max_buffer_bytes = flags.max_buffer_bytes;
+  oopts.weaver = WeaverOptions(flags, &registry);
+  oopts.weaver.compute_quality = false;
+  oopts.metrics = reg;
+  OnlineTraceWeaver weaver(*graph, oopts);
+  obs::OnlineMetrics ometrics;
+  if (reg != nullptr) ometrics = obs::OnlineMetrics(*reg);
+
+  std::uint64_t offset = 0;
+  if (flags.resume && !flags.checkpoint_dir.empty()) {
+    const std::string path = flags.checkpoint_dir + "/checkpoint.jsonl";
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "serve: no checkpoint at %s, starting fresh\n",
+                   path.c_str());
+    } else {
+      std::string err;
+      std::map<std::string, std::uint64_t> extra;
+      if (weaver.LoadCheckpoint(in, &err, &extra)) {
+        const auto it = extra.find("source_offset");
+        offset = it != extra.end() ? it->second : 0;
+        ometrics.restores.Inc();
+        std::fprintf(stderr,
+                     "serve: resumed from %s at source offset %llu\n",
+                     path.c_str(),
+                     static_cast<unsigned long long>(offset));
+      } else {
+        std::fprintf(stderr,
+                     "serve: checkpoint rejected (%s), starting fresh\n",
+                     err.c_str());
+      }
+    }
+  }
+
+  std::ifstream in = OpenWithRetry(source, flags.retries, offset);
+  if (!in) {
+    std::fprintf(stderr, "serve: giving up on %s\n", source.c_str());
+    return 1;
+  }
+
+  std::string line;
+  std::uint64_t parse_errors = 0;
+  std::size_t since_checkpoint = 0;
+  TimeNs watermark = weaver.high_watermark();
+  while (true) {
+    if (!std::getline(in, line)) {
+      if (in.eof()) break;
+      // Transient read failure: reopen at the last consumed offset.
+      in = OpenWithRetry(source, flags.retries, offset);
+      if (!in) break;
+      continue;
+    }
+    const std::streamoff pos = in.tellg();
+    if (pos >= 0) {
+      offset = static_cast<std::uint64_t>(pos);
+    } else {
+      offset += line.size() + 1;
+    }
+    if (line.empty()) continue;
+    const auto span = SpanFromJson(line);
+    if (!span) {
+      ++parse_errors;
+      continue;
+    }
+    weaver.Ingest(*span);
+    // client_send drives the watermark: a conservative lower bound
+    // (client_send <= client_recv) on completion-ordered streams, so
+    // windows never close while their candidates are still in flight.
+    // The running max keeps Advance()'s regression counter reserved for
+    // genuine source regressions.
+    watermark = std::max(watermark, span->client_send);
+    const auto results = weaver.Advance(watermark);
+    if (!flags.final_only) EmitWindowResults(results);
+    if (!flags.checkpoint_dir.empty() &&
+        ++since_checkpoint >= flags.checkpoint_every) {
+      since_checkpoint = 0;
+      if (WriteCheckpointAtomic(weaver, flags.checkpoint_dir, offset)) {
+        ometrics.checkpoints.Inc();
+      } else {
+        std::fprintf(stderr, "serve: checkpoint write to %s failed\n",
+                     flags.checkpoint_dir.c_str());
+      }
+    }
+  }
+
+  const auto tail = weaver.Flush();
+  if (!flags.final_only) EmitWindowResults(tail);
+  if (!flags.checkpoint_dir.empty()) {
+    if (WriteCheckpointAtomic(weaver, flags.checkpoint_dir, offset)) {
+      ometrics.checkpoints.Inc();
+    }
+  }
+  if (flags.final_only) {
+    std::vector<std::pair<SpanId, SpanId>> rows(weaver.assignment().begin(),
+                                                weaver.assignment().end());
+    std::sort(rows.begin(), rows.end());
+    for (const auto& [child, parent] : rows) {
+      std::printf("{\"span\":%llu,\"parent\":%llu}\n",
+                  static_cast<unsigned long long>(child),
+                  static_cast<unsigned long long>(parent));
+    }
+  }
+  EmitObservability(flags, registry);
+
+  const OnlineTraceWeaver::Stats& st = weaver.stats();
+  std::fprintf(
+      stderr,
+      "serve: %llu ingested (%llu parse errors), %llu windows closed, "
+      "%llu parents committed; shed %llu windows / %llu spans, %llu "
+      "admission drops; late %llu (%llu grafted, %llu orphaned, %llu "
+      "dropped); %llu watermark regressions, %llu deadline misses, "
+      "ladder %llu up / %llu down (level %d)\n",
+      static_cast<unsigned long long>(st.ingested),
+      static_cast<unsigned long long>(parse_errors),
+      static_cast<unsigned long long>(st.windows_closed),
+      static_cast<unsigned long long>(st.parents_committed),
+      static_cast<unsigned long long>(st.windows_shed),
+      static_cast<unsigned long long>(st.spans_shed),
+      static_cast<unsigned long long>(st.admission_drops),
+      static_cast<unsigned long long>(st.late_spans),
+      static_cast<unsigned long long>(st.late_grafted),
+      static_cast<unsigned long long>(st.late_orphans),
+      static_cast<unsigned long long>(st.late_dropped),
+      static_cast<unsigned long long>(st.watermark_regressions),
+      static_cast<unsigned long long>(st.deadline_misses),
+      static_cast<unsigned long long>(st.degrade_up_steps),
+      static_cast<unsigned long long>(st.degrade_down_steps),
+      weaver.degradation_level());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -576,5 +878,7 @@ int main(int argc, char** argv) {
   if (cmd == "evaluate") return CmdEvaluate(argc - 1, argv + 1);
   if (cmd == "export-jaeger") return CmdExportJaeger(argc - 1, argv + 1);
   if (cmd == "explain") return CmdExplain(argc - 1, argv + 1);
+  if (cmd == "serve") return CmdServe(argc - 1, argv + 1);
+  if (cmd == "sort-spans") return CmdSortSpans(argc - 1, argv + 1);
   return Usage();
 }

@@ -24,6 +24,11 @@
 namespace traceweaver::bench {
 namespace {
 
+/// Commit sha of the interleaved baseline build, from --baseline_commit=.
+/// Empty means no seed-worktree comparison ran this invocation; the JSON
+/// is then stamped UNANCHORED and a warning goes to stderr.
+std::string g_baseline_commit;  // NOLINT(runtime/string)
+
 const Dataset& HotelDataset(double rps) {
   static std::map<double, Dataset> cache;
   auto it = cache.find(rps);
@@ -274,14 +279,45 @@ void RunThreadSweep() {
         BestOfSeconds(5, [&] { benchmark::DoNotOptimize(weaver.Reconstruct(data.spans)); });
     record("single_iteration", 1, secs);
   }
-  const std::string path = WriteBenchJson("perf", records);
-  std::printf("wrote %s\n", path.c_str());
+  if (g_baseline_commit.empty()) {
+    std::fprintf(
+        stderr,
+        "\n"
+        "********************************************************************\n"
+        "* WARNING: UNANCHORED PERF RUN                                     *\n"
+        "* No --baseline_commit=<sha> was given, so no interleaved          *\n"
+        "* seed-worktree build ran alongside this one. The numbers in       *\n"
+        "* BENCH_perf.json reflect only this machine at this moment and     *\n"
+        "* MUST NOT be compared against a previously committed record.      *\n"
+        "* To anchor: build the seed commit in a git worktree, interleave   *\n"
+        "* its runs with this binary's, and rerun with                      *\n"
+        "*   bench_perf --baseline_commit=$(git rev-parse --short HEAD~N)   *\n"
+        "********************************************************************\n"
+        "\n");
+  }
+  const std::string path = WriteBenchJson("perf", records, g_baseline_commit);
+  std::printf("wrote %s (baseline_commit=%s)\n", path.c_str(),
+              g_baseline_commit.empty() ? "UNANCHORED"
+                                        : g_baseline_commit.c_str());
 }
 
 }  // namespace
 }  // namespace traceweaver::bench
 
 int main(int argc, char** argv) {
+  // Strip --baseline_commit=<sha> before google-benchmark sees the argv;
+  // it rejects flags it does not recognise.
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string prefix = "--baseline_commit=";
+    if (arg.rfind(prefix, 0) == 0) {
+      traceweaver::bench::g_baseline_commit = arg.substr(prefix.size());
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

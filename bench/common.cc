@@ -55,11 +55,17 @@ void PrintHeader(const std::string& title, const std::string& paper_shape) {
 }
 
 std::string WriteBenchJson(const std::string& tag,
-                           const std::vector<BenchRecord>& records) {
+                           const std::vector<BenchRecord>& records,
+                           const std::string& baseline_commit) {
   const std::string path = "BENCH_" + tag + ".json";
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return "";
-  std::fprintf(f, "{\n  \"tag\": \"%s\",\n  \"records\": [\n", tag.c_str());
+  const std::string anchor =
+      baseline_commit.empty() ? "UNANCHORED" : baseline_commit;
+  std::fprintf(f,
+               "{\n  \"tag\": \"%s\",\n  \"baseline_commit\": \"%s\",\n"
+               "  \"records\": [\n",
+               tag.c_str(), anchor.c_str());
   for (std::size_t i = 0; i < records.size(); ++i) {
     const BenchRecord& r = records[i];
     std::fprintf(f,

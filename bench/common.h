@@ -51,10 +51,15 @@ struct BenchRecord {
 };
 
 /// Writes `BENCH_<tag>.json` into the working directory: a JSON object with
-/// the tag and a `records` array, one entry per BenchRecord. Returns the
+/// the tag, a `baseline_commit` field and a `records` array, one entry per
+/// BenchRecord. `baseline_commit` names the commit whose build was
+/// interleaved with this one to anchor any speedup claims; pass "" when no
+/// such comparison ran and the file records "UNANCHORED" instead, marking
+/// the numbers as not comparable against the committed record. Returns the
 /// file name.
 std::string WriteBenchJson(const std::string& tag,
-                           const std::vector<BenchRecord>& records);
+                           const std::vector<BenchRecord>& records,
+                           const std::string& baseline_commit = "");
 
 /// Writes `REPORT_<tag>.json` into the working directory: the structured
 /// run report (schema traceweaver.run_report.v4) built from `registry`'s

@@ -7,19 +7,34 @@
 namespace traceweaver {
 namespace {
 
+template <typename T>
+using ArenaVec = std::vector<T, ArenaStlAllocator<T>>;
+using ArenaIdSet =
+    std::unordered_set<SpanId, std::hash<SpanId>, std::equal_to<SpanId>,
+                       ArenaStlAllocator<SpanId>>;
+
 struct DfsState {
   const Span* parent = nullptr;
   const InvocationPlan* plan = nullptr;
   const PositionPools* pools = nullptr;
   const EnumerationOptions* options = nullptr;
-  std::vector<InvocationPlan::Position> positions;
+  const std::vector<InvocationPlan::Position>* positions = nullptr;
 
-  std::vector<SpanId> current;
-  std::vector<const Span*> current_spans;
-  std::unordered_set<SpanId> used;
+  // Per-enumeration scratch, arena-backed: these stacks live only for the
+  // DFS and are bounded by the plan depth, so they bump-allocate from the
+  // caller's (or a small local) arena instead of the heap.
+  ArenaVec<SpanId> current;
+  ArenaVec<const Span*> current_spans;
+  ArenaIdSet used;
   std::size_t skips = 0;
   std::vector<CandidateMapping>* results = nullptr;
   EnumerationStats stats;
+
+  explicit DfsState(ArenaAllocator* arena)
+      : current(ArenaStlAllocator<SpanId>(arena)),
+        current_spans(ArenaStlAllocator<const Span*>(arena)),
+        used(0, std::hash<SpanId>(), std::equal_to<SpanId>(),
+             ArenaStlAllocator<SpanId>(arena)) {}
 };
 
 /// DFS over plan positions. `stage_lb` is the earliest time a call in the
@@ -29,9 +44,9 @@ void Dfs(DfsState& state, std::size_t pos_idx, TimeNs stage_lb,
          TimeNs max_recv) {
   if (state.results->size() >= state.options->total_cap) return;
   ++state.stats.dfs_nodes;
-  if (pos_idx == state.positions.size()) {
+  if (pos_idx == state.positions->size()) {
     CandidateMapping m;
-    m.children = state.current;
+    m.children.assign(state.current.begin(), state.current.end());
     m.skips = state.skips;
     state.results->push_back(std::move(m));
     if (state.options->resolved_out != nullptr) {
@@ -42,7 +57,7 @@ void Dfs(DfsState& state, std::size_t pos_idx, TimeNs stage_lb,
     return;
   }
 
-  const auto& pos = state.positions[pos_idx];
+  const auto& pos = (*state.positions)[pos_idx];
   // Entering a new stage: with dependency order on, its calls may only
   // depart after every previous stage's call has completed.
   if (state.options->use_order_constraints && pos.call == 0 && pos_idx > 0) {
@@ -121,13 +136,20 @@ std::vector<CandidateMapping> EnumerateCandidates(
     const Span& parent, const InvocationPlan& plan,
     const PositionPools& pools, const EnumerationOptions& options) {
   std::vector<CandidateMapping> results;
-  DfsState state;
+  // Stand-alone callers (tests, cold paths) get a small local arena; the
+  // optimizer passes a per-worker arena it resets between tasks.
+  ArenaAllocator local(4 * 1024);
+  ArenaAllocator* arena =
+      options.scratch != nullptr ? options.scratch : &local;
+  std::vector<InvocationPlan::Position> own_positions;
+  if (options.positions == nullptr) own_positions = plan.Positions();
+  DfsState state(arena);
   state.parent = &parent;
   state.plan = &plan;
   state.pools = &pools;
   state.options = &options;
-  state.positions = options.positions != nullptr ? *options.positions
-                                                 : plan.Positions();
+  state.positions =
+      options.positions != nullptr ? options.positions : &own_positions;
   state.results = &results;
   Dfs(state, 0, parent.server_recv, parent.server_recv);
   if (options.stats != nullptr) {
@@ -227,6 +249,107 @@ double ScoreMappingFlat(const Span& parent, const InvocationPlan& plan,
     }
   }
   return score;
+}
+
+CandidateGapTable BuildGapTable(
+    const Span& parent,
+    const std::vector<InvocationPlan::Position>& positions,
+    const Span* const* resolved, std::size_t num_candidates,
+    bool use_order_constraints) {
+  CandidateGapTable t;
+  const std::size_t np = positions.size();
+  t.num_candidates = num_candidates;
+  t.num_positions = np;
+  t.gaps.assign(np * num_candidates, 0.0);
+  t.filled.assign(np * num_candidates, 0);
+  t.thread_match.assign(np * num_candidates, 0);
+  t.response_gap.assign(num_candidates, 0.0);
+  t.any_child.assign(num_candidates, 0);
+
+  for (std::size_t c = 0; c < num_candidates; ++c) {
+    const Span* const* children = resolved + c * np;
+    // The stage_lb / max_recv walk is ScoreMappingFlat's, on integer
+    // timestamps throughout -- the extracted gaps are exact.
+    TimeNs stage_lb = parent.server_recv;
+    TimeNs max_recv = parent.server_recv;
+    std::size_t prev_stage = 0;
+    bool any_child = false;
+    for (std::size_t i = 0; i < np; ++i) {
+      if (use_order_constraints && positions[i].stage != prev_stage) {
+        stage_lb = std::max(stage_lb, max_recv);
+        prev_stage = positions[i].stage;
+      }
+      const Span* child = children[i];
+      if (child == nullptr) continue;
+      const std::size_t slot = i * num_candidates + c;
+      t.filled[slot] = 1;
+      if (child->caller_thread == parent.handler_thread) {
+        t.thread_match[slot] = 1;
+      }
+      const TimeNs trigger =
+          use_order_constraints ? stage_lb : parent.server_recv;
+      t.gaps[slot] = static_cast<double>(child->client_send - trigger);
+      max_recv = std::max(max_recv, child->client_recv);
+      any_child = true;
+    }
+    if (any_child) {
+      t.any_child[c] = 1;
+      t.response_gap[c] =
+          static_cast<double>(parent.server_send - max_recv);
+    }
+  }
+  return t;
+}
+
+void ScoreCandidatesBatch(const CandidateGapTable& table,
+                          const ScoringContext& ctx,
+                          std::span<double> scores,
+                          std::span<double> scratch) {
+  const std::size_t nc = table.num_candidates;
+  const std::size_t np = table.num_positions;
+  double* lp = scratch.data();
+  for (std::size_t c = 0; c < nc; ++c) scores[c] = 0.0;
+
+  const bool bonus_on = ctx.thread_match_bonus > 0.0;
+  for (std::size_t i = 0; i < np; ++i) {
+    const ScoringContext::PositionScore& ps = (*ctx.position_scores)[i];
+    const double* gcol = table.gaps.data() + i * nc;
+    // One batched evaluation per position column; skipped slots carry a
+    // 0.0 gap whose density is computed but never accumulated.
+    if (ps.dist != nullptr) {
+      ps.dist->LogPdfBatch({gcol, nc}, {lp, nc});
+    } else {
+      DelayModel::FallbackLogPdfBatch({gcol, nc}, {lp, nc});
+    }
+    const std::uint8_t* fl = table.filled.data() + i * nc;
+    const std::uint8_t* tm = table.thread_match.data() + i * nc;
+    // Accumulation mirrors ScoreMappingFlat's adds term by term (skip sum,
+    // keep, bonus, normalized timing), so per-candidate totals are
+    // bitwise identical.
+    const double skip_term = ps.skip_lp + ctx.skip_margin;
+    for (std::size_t c = 0; c < nc; ++c) {
+      if (fl[c] == 0) {
+        scores[c] += skip_term;
+        continue;
+      }
+      scores[c] += ps.keep_lp;
+      if (bonus_on && tm[c] != 0) scores[c] += ctx.thread_match_bonus;
+      scores[c] += lp[c] - ps.max_log_pdf;
+    }
+  }
+
+  if (ctx.response_dist != nullptr) {
+    ctx.response_dist->LogPdfBatch({table.response_gap.data(), nc},
+                                   {lp, nc});
+  } else {
+    DelayModel::FallbackLogPdfBatch({table.response_gap.data(), nc},
+                                    {lp, nc});
+  }
+  for (std::size_t c = 0; c < nc; ++c) {
+    if (table.any_child[c] != 0) {
+      scores[c] += lp[c] - ctx.response_max_log_pdf;
+    }
+  }
 }
 
 ScoreBreakdown ExplainMapping(const Span& parent, const InvocationPlan& plan,

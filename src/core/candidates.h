@@ -17,6 +17,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -24,6 +25,7 @@
 #include "callgraph/call_graph.h"
 #include "core/delay_model.h"
 #include "trace/span.h"
+#include "util/arena.h"
 
 namespace traceweaver {
 
@@ -82,6 +84,11 @@ struct EnumerationOptions {
   std::vector<const Span*>* resolved_out = nullptr;
   /// When set, enumeration work counters are accumulated here.
   EnumerationStats* stats = nullptr;
+  /// When set, DFS scratch (the current-mapping stacks and the used-child
+  /// set) allocates from this arena instead of the heap. The caller owns
+  /// the arena and may Reset() it between enumerations; results are
+  /// bit-identical either way. Null uses a small enumeration-local arena.
+  ArenaAllocator* scratch = nullptr;
 };
 
 /// Pools of available children, one per plan position, each sorted by
@@ -159,6 +166,52 @@ double ScoreMapping(const Span& parent, const InvocationPlan& plan,
 double ScoreMappingFlat(const Span& parent, const InvocationPlan& plan,
                         const Span* const* resolved_children,
                         const ScoringContext& ctx);
+
+/// Structure-of-arrays view of one task's enumerated candidates: the
+/// timing gaps and discrete flags ScoreMapping derives from the resolved
+/// child spans, extracted once per task. Gaps depend only on the parent,
+/// the plan and the candidate's own children -- never on the delay model --
+/// so the table is built once after enumeration and reused across every
+/// ranking iteration, and ScoreCandidatesBatch can evaluate one position's
+/// gap column with a single batched LogPdf call.
+///
+/// Layout is column-major by position: slot [pos * num_candidates + cand].
+struct CandidateGapTable {
+  std::size_t num_candidates = 0;
+  std::size_t num_positions = 0;
+  /// Gap (child client_send - enabling event) per slot; 0.0 where skipped.
+  std::vector<double> gaps;
+  /// 1 where the slot holds a real child, 0 where skipped.
+  std::vector<std::uint8_t> filled;
+  /// 1 where the child's sending thread matches the parent's pickup thread.
+  std::vector<std::uint8_t> thread_match;
+  /// Response gap per candidate (last child completion -> parent response
+  /// departure); 0.0 for all-skip candidates.
+  std::vector<double> response_gap;
+  /// 1 when the candidate fills at least one position.
+  std::vector<std::uint8_t> any_child;
+};
+
+/// Builds the gap table for `num_candidates` mappings whose resolved
+/// children live in `resolved`, flat [cand * positions.size() + pos]
+/// (ParentTask layout). Gap arithmetic is integer until the final cast,
+/// identical to ScoreMapping's.
+CandidateGapTable BuildGapTable(
+    const Span& parent,
+    const std::vector<InvocationPlan::Position>& positions,
+    const Span* const* resolved, std::size_t num_candidates,
+    bool use_order_constraints);
+
+/// Scores every candidate of one task in one pass: per position, one
+/// batched LogPdf over the gap column, then per-candidate accumulation in
+/// exactly ScoreMappingFlat's term order -- scores are bitwise identical
+/// to calling ScoreMappingFlat per candidate. Requires
+/// ctx.position_scores (the optimizer's precomputed table). `scores` must
+/// hold num_candidates slots; `scratch` at least num_candidates doubles.
+void ScoreCandidatesBatch(const CandidateGapTable& table,
+                          const ScoringContext& ctx,
+                          std::span<double> scores,
+                          std::span<double> scratch);
 
 /// Per-position score decomposition of one candidate mapping, for the
 /// `explain` drill-down. Each row mirrors exactly one additive term of

@@ -74,6 +74,11 @@ double DelayModel::FallbackLogPdf(double gap) {
   return FallbackGaussian().LogPdf(gap);
 }
 
+void DelayModel::FallbackLogPdfBatch(std::span<const double> gaps,
+                                     std::span<double> out) {
+  FallbackGaussian().LogPdfBatch(gaps, out);
+}
+
 DelayModel::Summary DelayModel::Summarize() const {
   Summary s;
   s.keys = dists_.size();

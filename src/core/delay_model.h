@@ -11,6 +11,7 @@
 #pragma once
 
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -77,6 +78,12 @@ class DelayModel {
   /// (mean 0, stddev 50 ms). Exposed so precomputed scoring tables can
   /// reproduce LogScore exactly without a map lookup.
   static double FallbackLogPdf(double gap);
+
+  /// Batched flavour: out[i] = FallbackLogPdf(gaps[i]), bitwise identical
+  /// per element (routes through Gaussian::LogPdfBatch). out must be at
+  /// least gaps.size(); the two may not alias.
+  static void FallbackLogPdfBatch(std::span<const double> gaps,
+                                  std::span<double> out);
 
   /// Installs an externally fitted mixture (e.g. from a parallel refit);
   /// equivalent to Refit with a fit that produced `mixture`.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <deque>
 #include <limits>
 #include <map>
 #include <set>
@@ -16,6 +17,8 @@
 #include "obs/pipeline_metrics.h"
 #include "obs/stage_timer.h"
 #include "stats/water_filling.h"
+#include "trace/span_soa.h"
+#include "util/arena.h"
 #include "util/summary.h"
 #include "util/thread_pool.h"
 
@@ -41,10 +44,17 @@ struct ParentTask {
   /// ranking never does per-candidate id lookups.
   std::vector<const Span*> resolved;
 
+  /// Timing gaps + discrete flags of all_candidates in column-major SoA
+  /// form, extracted once after enumeration (fast data path). Model-free,
+  /// so it survives every ranking iteration unchanged.
+  CandidateGapTable gap_table;
+
   // Reusable per-task scratch (only touched by the thread ranking this
   // task, so parallel ranking stays race-free).
   std::vector<std::pair<double, std::uint32_t>> order;
   std::vector<ScoringContext::PositionScore> pos_scores;
+  std::vector<double> scores;      ///< Batch-scoring output, per candidate.
+  std::vector<double> lp_scratch;  ///< Batch-scoring scratch, per candidate.
 };
 
 const std::vector<const Span*>& EmptyPool() {
@@ -85,6 +95,13 @@ struct Workspace {
   const obs::PipelineMetrics* pm = nullptr;
 
   PoolTable pools;
+  /// Structure-of-arrays columns per pool id (timestamps, thread ids,
+  /// interned names), built once after the pools settle; the window scans
+  /// and seed-series loops walk these contiguous arrays instead of chasing
+  /// Span pointers. Only filled on the fast data path.
+  std::vector<SpanColumns> pool_columns;
+  NameInterner names;
+  bool fast_path = false;  ///< OptimizerOptions::fast_data_path.
   std::unordered_map<SpanId, const Span*> span_by_id;
   std::vector<ParentTask> tasks;       ///< Sorted by SpanStartOrder.
   std::vector<const Span*> task_spans; ///< Parallel to tasks, for batching.
@@ -227,7 +244,13 @@ void EnumerateAll(Workspace& ws) {
   // reads of the shared pools and span index are safe). Work counters go
   // to per-task slots and are folded into the registry afterwards, in
   // index order, so totals are identical for any pool size.
+  struct ArenaTaskStats {
+    std::size_t used = 0;     ///< Bytes this task drew from its arena.
+    std::uint64_t allocs = 0; ///< Allocate() calls this task issued.
+  };
   std::vector<EnumerationStats> stats(ws.tasks.size());
+  std::vector<ArenaTaskStats> arena_stats(
+      ws.fast_path ? ws.tasks.size() : 0);
   ThreadPool::Run(ws.pool, ws.tasks.size(), [&](std::size_t t) {
     ParentTask& task = ws.tasks[t];
     EnumerationOptions task_opts = eopts;
@@ -237,24 +260,50 @@ void EnumerateAll(Workspace& ws) {
     // The DFS fills the flat resolved-pointer buffer as a side product of
     // emitting each mapping, so no id -> span resolution pass is needed.
     task_opts.resolved_out = &task.resolved;
-    task.all_candidates =
-        EnumerateCandidates(*task.span, *task.plan, task.pools, task_opts);
+    if (ws.fast_path) {
+      // One warmed-up arena per worker thread, rewound between tasks: after
+      // the first few tasks the DFS scratch never touches the heap again.
+      thread_local ArenaAllocator arena;
+      arena.Reset();
+      const std::uint64_t allocs_before = arena.allocations();
+      task_opts.scratch = &arena;
+      task.all_candidates =
+          EnumerateCandidates(*task.span, *task.plan, task.pools, task_opts);
+      // The gap table is model-free, so it is built once here and reused by
+      // every ranking iteration's batched scoring pass.
+      task.gap_table = BuildGapTable(
+          *task.span, task.positions, task.resolved.data(),
+          task.all_candidates.size(), eopts.use_order_constraints);
+      arena_stats[t] = {arena.used(), arena.allocations() - allocs_before};
+    } else {
+      task.all_candidates =
+          EnumerateCandidates(*task.span, *task.plan, task.pools, task_opts);
+    }
   });
 
   const obs::PipelineMetrics& pm = *ws.pm;
   EnumerationStats total;
   std::uint64_t candidates = 0;
+  std::uint64_t arena_bytes = 0, arena_allocs = 0;
   for (std::size_t t = 0; t < ws.tasks.size(); ++t) {
     total.dfs_nodes += stats[t].dfs_nodes;
     total.branch_limited += stats[t].branch_limited;
     total.total_capped += stats[t].total_capped;
     candidates += ws.tasks[t].all_candidates.size();
     pm.candidates_per_parent.Observe(ws.tasks[t].all_candidates.size());
+    if (ws.fast_path) {
+      arena_bytes += arena_stats[t].used;
+      arena_allocs += arena_stats[t].allocs;
+    }
   }
   pm.candidates.Inc(candidates);
   pm.enum_dfs_nodes.Inc(total.dfs_nodes);
   pm.enum_branch_limited.Inc(total.branch_limited);
   pm.enum_total_capped.Inc(total.total_capped);
+  if (ws.fast_path) {
+    pm.arena_scratch_bytes.Inc(arena_bytes);
+    pm.arena_allocations.Inc(arena_allocs);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -262,10 +311,34 @@ void EnumerateAll(Workspace& ws) {
 // dynamism).
 // ---------------------------------------------------------------------------
 
+/// Widened copy of one pool timestamp column: the fast path reads the
+/// contiguous SoA column, the fallback chases the span pointers; both
+/// produce the same values in the same (client_send-sorted) order.
+std::vector<double> PoolSeries(const Workspace& ws, const ParentTask& task,
+                               std::size_t pos_idx, bool response_side) {
+  std::vector<double> out;
+  if (ws.fast_path) {
+    const auto id = static_cast<std::size_t>(task.position_pool[pos_idx]);
+    const std::vector<TimeNs>& col = response_side
+                                         ? ws.pool_columns[id].client_recv
+                                         : ws.pool_columns[id].client_send;
+    out.reserve(col.size());
+    for (const TimeNs t : col) out.push_back(static_cast<double>(t));
+    return out;
+  }
+  out.reserve(task.pools[pos_idx]->size());
+  for (const Span* c : *task.pools[pos_idx]) {
+    out.push_back(
+        static_cast<double>(response_side ? c->client_recv : c->client_send));
+  }
+  return out;
+}
+
 /// Series of enabling-event proxies per position: the parents' request
 /// arrivals for stage 0, the previous stage's first pool completions for
 /// later stages.
-std::vector<double> TriggerSeries(const ParentTask& sample_task,
+std::vector<double> TriggerSeries(const Workspace& ws,
+                                  const ParentTask& sample_task,
                                   std::size_t pos_idx,
                                   const std::vector<const Span*>& handler_parents) {
   const auto& pos = sample_task.positions[pos_idx];
@@ -281,11 +354,7 @@ std::vector<double> TriggerSeries(const ParentTask& sample_task,
   // completion times as the enabling-event proxy.
   for (std::size_t i = 0; i < sample_task.positions.size(); ++i) {
     if (sample_task.positions[i].stage == pos.stage - 1) {
-      std::vector<double> out;
-      for (const Span* c : *sample_task.pools[i]) {
-        out.push_back(static_cast<double>(c->client_recv));
-      }
-      return out;
+      return PoolSeries(ws, sample_task, i, /*response_side=*/true);
     }
   }
   return {};
@@ -308,11 +377,8 @@ void SeedFromUnmatched(const Workspace& ws, DelayModel& model) {
     const ParentTask& task = *handler_task.at(hkey);
     for (std::size_t i = 0; i < task.positions.size(); ++i) {
       const auto& pos = task.positions[i];
-      std::vector<double> a = TriggerSeries(task, i, parents);
-      std::vector<double> b;
-      for (const Span* c : *task.pools[i]) {
-        b.push_back(static_cast<double>(c->client_send));
-      }
+      std::vector<double> a = TriggerSeries(ws, task, i, parents);
+      std::vector<double> b = PoolSeries(ws, task, i, /*response_side=*/false);
       if (a.empty() || b.empty()) continue;
       const DelayKey key{hkey.first, hkey.second,
                          static_cast<int>(pos.stage),
@@ -327,10 +393,7 @@ void SeedFromUnmatched(const Workspace& ws, DelayModel& model) {
             task.positions[i].call != 0) {
           continue;
         }
-        std::vector<double> a;
-        for (const Span* c : *task.pools[i]) {
-          a.push_back(static_cast<double>(c->client_recv));
-        }
+        std::vector<double> a = PoolSeries(ws, task, i, /*response_side=*/true);
         std::vector<double> b;
         for (const Span* p : parents) {
           b.push_back(static_cast<double>(p->server_send));
@@ -386,16 +449,24 @@ void SeedFromWap5(const Workspace& ws, DelayModel& model) {
     if (pool.empty() || cs.empty()) continue;
     // Children are sorted by client_send, so the cursor over eligible
     // parents only moves forward; the backward walk finds the most recent
-    // parent whose response window still covers the child.
+    // parent whose response window still covers the child. The fast path
+    // reads the pool's SoA timestamp columns; values are identical.
+    const SpanColumns* col =
+        ws.fast_path ? &ws.pool_columns[static_cast<std::size_t>(pid)]
+                     : nullptr;
     std::size_t hi = 0;
-    for (const Span* child : pool) {
+    for (std::size_t ci = 0; ci < pool.size(); ++ci) {
+      const TimeNs child_send =
+          col != nullptr ? col->client_send[ci] : pool[ci]->client_send;
+      const TimeNs child_recv =
+          col != nullptr ? col->client_recv[ci] : pool[ci]->client_recv;
       while (hi < cs.size() &&
-             ws.tasks[cs[hi].task].span->server_recv <= child->client_send) {
+             ws.tasks[cs[hi].task].span->server_recv <= child_send) {
         ++hi;
       }
       const Caller* best = nullptr;
       for (std::size_t k = hi; k-- > 0;) {
-        if (ws.tasks[cs[k].task].span->server_send >= child->client_recv) {
+        if (ws.tasks[cs[k].task].span->server_send >= child_recv) {
           best = &cs[k];
           break;
         }
@@ -404,8 +475,7 @@ void SeedFromWap5(const Workspace& ws, DelayModel& model) {
       const Span* parent = ws.tasks[best->task].span;
       samples[DelayKey{parent->callee, parent->endpoint, best->stage,
                        best->call}]
-          .push_back(
-              static_cast<double>(child->client_send - parent->server_recv));
+          .push_back(static_cast<double>(child_send - parent->server_recv));
     }
   }
   for (const auto& [key, gaps] : samples) {
@@ -477,13 +547,26 @@ std::vector<BatchRates> AllocateSkips(const Workspace& ws,
       std::size_t y = 0;
       // Pool spans are sorted by client_send: jump to the window start and
       // stop once past its end (client_recv <= hi implies
-      // client_send <= hi).
-      const auto first = std::lower_bound(
-          pool.begin(), pool.end(), win_lo[b],
-          [](const Span* s, TimeNs t) { return s->client_send < t; });
-      for (auto it = first; it != pool.end(); ++it) {
-        if ((*it)->client_send > win_hi[b]) break;
-        if ((*it)->client_recv <= win_hi[b]) ++y;
+      // client_send <= hi). The fast path binary-searches and walks the
+      // contiguous SoA timestamp columns instead of span pointers.
+      if (ws.fast_path) {
+        const SpanColumns& col = ws.pool_columns[p];
+        const auto first = std::lower_bound(col.client_send.begin(),
+                                            col.client_send.end(), win_lo[b]);
+        for (auto i = static_cast<std::size_t>(
+                 first - col.client_send.begin());
+             i < col.client_send.size(); ++i) {
+          if (col.client_send[i] > win_hi[b]) break;
+          if (col.client_recv[i] <= win_hi[b]) ++y;
+        }
+      } else {
+        const auto first = std::lower_bound(
+            pool.begin(), pool.end(), win_lo[b],
+            [](const Span* s, TimeNs t) { return s->client_send < t; });
+        for (auto it = first; it != pool.end(); ++it) {
+          if ((*it)->client_send > win_hi[b]) break;
+          if ((*it)->client_recv <= win_hi[b]) ++y;
+        }
       }
       demand[b] = x;
       quotas[b] = x > y ? x - y : 0;
@@ -574,10 +657,24 @@ void RankCandidates(Workspace& ws, const DelayModel& model,
     const std::size_t npos = task.positions.size();
     const std::size_t n = task.all_candidates.size();
     task.order.resize(n);
-    for (std::size_t c = 0; c < n; ++c) {
-      task.order[c] = {ScoreMappingFlat(*task.span, *task.plan,
-                                        task.resolved.data() + c * npos, ctx),
-                       static_cast<std::uint32_t>(c)};
+    if (ws.fast_path) {
+      // One batched LogPdf per gap-table column instead of one per
+      // (candidate, position); scores accumulate in ScoreMappingFlat's
+      // exact floating-point order, so the ranking is bitwise unchanged.
+      task.scores.resize(n);
+      task.lp_scratch.resize(n);
+      ScoreCandidatesBatch(task.gap_table, ctx, task.scores,
+                           task.lp_scratch);
+      for (std::size_t c = 0; c < n; ++c) {
+        task.order[c] = {task.scores[c], static_cast<std::uint32_t>(c)};
+      }
+    } else {
+      for (std::size_t c = 0; c < n; ++c) {
+        task.order[c] = {
+            ScoreMappingFlat(*task.span, *task.plan,
+                             task.resolved.data() + c * npos, ctx),
+            static_cast<std::uint32_t>(c)};
+      }
     }
     const std::size_t keep = std::min(top_k, n);
     std::partial_sort(
@@ -614,18 +711,31 @@ struct SolveVertex {
   double score;
 };
 
-/// Reusable per-run buffers for SolveBatch, so consecutive batches reuse
-/// heap capacity instead of reallocating every structure per batch. One
-/// instance per run keeps parallel run solving race-free.
+template <typename T>
+using ArenaVec = std::vector<T, ArenaStlAllocator<T>>;
+
+/// Reusable per-run buffers for SolveBatch, arena-backed: consecutive
+/// batches of a run bump-allocate from one monotonic arena and reuse
+/// capacity instead of hitting the heap per structure per batch. One
+/// instance (and one arena) per run keeps parallel run solving race-free.
+/// MisProblem stays heap-backed -- it is the solver's public API type.
 struct SolveScratch {
-  std::vector<SolveVertex> vertices;
+  explicit SolveScratch(ArenaAllocator* arena)
+      : vertices(ArenaStlAllocator<SolveVertex>(arena)),
+        task_ranges(
+            ArenaStlAllocator<std::pair<std::size_t, std::size_t>>(arena)),
+        child_verts(ArenaStlAllocator<std::pair<SpanId, std::uint32_t>>(arena)),
+        edges(ArenaStlAllocator<std::uint64_t>(arena)),
+        degree(ArenaStlAllocator<std::uint32_t>(arena)) {}
+
+  ArenaVec<SolveVertex> vertices;
   /// Vertex ranges per task, for the same-task conflict cliques.
-  std::vector<std::pair<std::size_t, std::size_t>> task_ranges;
+  ArenaVec<std::pair<std::size_t, std::size_t>> task_ranges;
   /// Inverted child index: (child span, vertex) pairs, sorted.
-  std::vector<std::pair<SpanId, std::uint32_t>> child_verts;
+  ArenaVec<std::pair<SpanId, std::uint32_t>> child_verts;
   /// Conflict edges packed as (i << 32) | j with i < j.
-  std::vector<std::uint64_t> edges;
-  std::vector<std::uint32_t> degree;
+  ArenaVec<std::uint64_t> edges;
+  ArenaVec<std::uint32_t> degree;
   MisProblem problem;
 };
 
@@ -638,7 +748,7 @@ void SolveBatch(const Workspace& ws, const Batch& batch,
                 std::size_t& mis_fallbacks,
                 ContainerResult::BatchStats* qstats) {
   if (qstats != nullptr) *qstats = ContainerResult::BatchStats{};
-  std::vector<SolveVertex>& vertices = scratch.vertices;
+  ArenaVec<SolveVertex>& vertices = scratch.vertices;
   vertices.clear();
   scratch.task_ranges.clear();
   for (std::size_t t = batch.begin; t < batch.end; ++t) {
@@ -692,7 +802,7 @@ void SolveBatch(const Workspace& ws, const Batch& batch,
   // children scan (O(V^2 * |children|^2)) with O(V * |children|) index
   // construction plus output-sensitive edge generation. Edges are packed
   // (i, j) with i < j, sorted and deduped in one pass.
-  std::vector<std::uint64_t>& edges = scratch.edges;
+  ArenaVec<std::uint64_t>& edges = scratch.edges;
   edges.clear();
   const auto pack = [](std::uint32_t i, std::uint32_t j) {
     return (static_cast<std::uint64_t>(i) << 32) | j;
@@ -705,7 +815,7 @@ void SolveBatch(const Workspace& ws, const Batch& batch,
       }
     }
   }
-  std::vector<std::pair<SpanId, std::uint32_t>>& cv = scratch.child_verts;
+  ArenaVec<std::pair<SpanId, std::uint32_t>>& cv = scratch.child_verts;
   cv.clear();
   for (std::size_t i = 0; i < vertices.size(); ++i) {
     const CandidateMapping& m = results[vertices[i].task].ranked[vertices[i].cand];
@@ -1024,11 +1134,20 @@ ContainerResult OptimizeContainer(const ContainerView& view,
   ContainerResult result;
   result.instance = view.instance;
 
+  ws.fast_path = options.fast_data_path;
   {
     auto t = timer(obs::Stage::kSetup);
     BuildPools(ws);
     BuildTasks(ws);
     if (!ws.tasks.empty()) DetectDynamism(ws);
+    if (ws.fast_path && !ws.tasks.empty()) {
+      // Pool spans are final after task construction (interning done), so
+      // the SoA columns can be extracted once for the whole optimization.
+      ws.pool_columns.resize(ws.pools.size());
+      for (std::size_t p = 0; p < ws.pools.size(); ++p) {
+        ws.pool_columns[p].Build(ws.pools.spans[p], &ws.names);
+      }
+    }
   }
   result.leaf_parents = ws.leaf_parents;
   pm.parents.Inc(ws.tasks.size());
@@ -1125,17 +1244,37 @@ ContainerResult OptimizeContainer(const ContainerView& view,
     {
       auto t = timer(obs::Stage::kSolve);
       if (options.use_joint_optimization) {
+        struct RunArenaStats {
+          std::size_t high = 0;
+          std::size_t reserved = 0;
+          std::uint64_t allocs = 0;
+        };
         std::vector<std::size_t> fallbacks(runs.size(), 0);
+        std::vector<RunArenaStats> run_arena(runs.size());
         ThreadPool::Run(ws.pool, runs.size(), [&](std::size_t r) {
           std::unordered_set<SpanId> used;
-          SolveScratch scratch;
+          // Private arena per run: all conflict-graph scratch of the run's
+          // batches bump-allocates here and is released wholesale when the
+          // run ends (glibc then hands the same hot pages to the next
+          // run). Stats go to per-run slots, folded below in run order, so
+          // metric totals are identical for any pool size.
+          ArenaAllocator arena(16 * 1024);
+          SolveScratch scratch(&arena);
           for (std::size_t b = runs[r].first; b < runs[r].second; ++b) {
             SolveBatch(ws, batches[b], results, used, scratch, fallbacks[r],
                        result.batch_stats.empty() ? nullptr
                                                   : &result.batch_stats[b]);
           }
+          run_arena[r] = {arena.high_water(), arena.reserved(),
+                          arena.allocations()};
         });
         for (const std::size_t f : fallbacks) result.mis_fallbacks += f;
+        for (const RunArenaStats& s : run_arena) {
+          pm.arena_scratch_bytes.Inc(s.high);
+          pm.arena_allocations.Inc(s.allocs);
+          pm.arena_high_water.Observe(s.high);
+          pm.arena_reserved.Observe(s.reserved);
+        }
       } else {
         SolveGreedy(ws, results);
         for (ContainerResult::BatchStats& bs : result.batch_stats) {

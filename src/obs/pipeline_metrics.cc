@@ -131,6 +131,19 @@ PipelineMetrics::PipelineMetrics(MetricsRegistry& reg) : registry(&reg) {
       "tw_mwis_fallbacks_total", "",
       "Solves that exhausted the node budget (greedy fallback)", "1");
 
+  arena_scratch_bytes = reg.GetCounter(
+      "tw_arena_scratch_bytes_total", "",
+      "Bytes handed out by enumeration/solve scratch arenas", "By");
+  arena_allocations = reg.GetCounter(
+      "tw_arena_allocations_total", "",
+      "Allocations served by enumeration/solve scratch arenas", "1");
+  arena_high_water = reg.GetHistogram(
+      "tw_arena_high_water_bytes", "",
+      "Peak live bytes of one arena scope (task or solve run)", "By");
+  arena_reserved = reg.GetHistogram(
+      "tw_arena_reserved_bytes", "",
+      "Bytes reserved from the heap by one arena scope", "By");
+
   iterations = reg.GetCounter("tw_iterations_total", "",
                               "Rank/solve iterations executed", "1");
   converged = reg.GetCounter(

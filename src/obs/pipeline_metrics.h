@@ -101,6 +101,12 @@ struct PipelineMetrics {
   Counter mwis_bb_nodes;   ///< tw_mwis_bb_nodes_total
   Counter mwis_fallbacks;  ///< tw_mwis_fallbacks_total
 
+  // --- Arena scratch (enumeration / conflict-graph fast path). ---
+  Counter arena_scratch_bytes;  ///< tw_arena_scratch_bytes_total
+  Counter arena_allocations;    ///< tw_arena_allocations_total
+  Histogram arena_high_water;   ///< tw_arena_high_water_bytes (per scope).
+  Histogram arena_reserved;     ///< tw_arena_reserved_bytes (per scope).
+
   // --- Iteration (§4.1 step 6). ---
   Counter iterations;  ///< tw_iterations_total
   Counter converged;   ///< tw_converged_total: early model fixpoints.

@@ -1,0 +1,69 @@
+// Internal batched log-density kernels shared by Gaussian and
+// GaussianMixture (and by the EM loop in gmm.cc).
+//
+// Bit-identity contract: every kernel here performs exactly the same
+// floating-point operations, in the same order, as the per-call scalar code
+// it replaces. The explicit-SIMD variants use only IEEE-754
+// correctly-rounded lane operations (add/sub/mul/div), which produce
+// bit-identical results to their scalar counterparts on every input,
+// including denormals, infinities, and NaNs. No FMA contraction is possible:
+// the build targets baseline x86-64 (SSE2, no FMA) and never passes -march.
+//
+// SSE2 is part of the x86-64 baseline ABI, so the vector path needs no
+// -march flag and is enabled by default; defining TRACEWEAVER_NO_SIMD (or
+// building for a non-SSE2 target) falls back to the scalar loop, which GCC's
+// default -ftree-vectorize at -O2 can still auto-vectorize.
+#pragma once
+
+#include <cstddef>
+
+#include "stats/gaussian.h"
+
+#if defined(__SSE2__) && !defined(TRACEWEAVER_NO_SIMD)
+#include <emmintrin.h>
+#define TRACEWEAVER_BATCH_SSE2 1
+#endif
+
+namespace traceweaver::stats_internal {
+
+/// out[i] = [lw +] (-0.5 * (kLogTwoPi + z*z) - ls) with z = (xs[i]-mean)/sig.
+///
+/// With kAddWeight this is one mixture component's contribution to
+/// GaussianMixture::LogPdf (lw = log weight, ls = log stddev); without it,
+/// it is Gaussian::LogPdf with the x-independent log(s) hoisted.
+template <bool kAddWeight>
+inline void LogTermsKernel(const double* xs, std::size_t n, double mean,
+                           double sig, double lw, double ls, double* out) {
+  std::size_t i = 0;
+#ifdef TRACEWEAVER_BATCH_SSE2
+  const __m128d vmean = _mm_set1_pd(mean);
+  const __m128d vsig = _mm_set1_pd(sig);
+  const __m128d vlw = _mm_set1_pd(lw);
+  const __m128d vls = _mm_set1_pd(ls);
+  const __m128d vl2p = _mm_set1_pd(kLogTwoPi);
+  const __m128d vnh = _mm_set1_pd(-0.5);
+  for (; i + 2 <= n; i += 2) {
+    const __m128d x = _mm_loadu_pd(xs + i);
+    const __m128d z = _mm_div_pd(_mm_sub_pd(x, vmean), vsig);
+    const __m128d core = _mm_sub_pd(
+        _mm_mul_pd(vnh, _mm_add_pd(vl2p, _mm_mul_pd(z, z))), vls);
+    _mm_storeu_pd(out + i,
+                  kAddWeight ? _mm_add_pd(vlw, core) : core);
+  }
+#endif
+  for (; i < n; ++i) {
+    const double z = (xs[i] - mean) / sig;
+    const double core = -0.5 * (kLogTwoPi + z * z) - ls;
+    out[i] = kAddWeight ? lw + core : core;
+  }
+}
+
+/// True when the explicit-SIMD variant is compiled in (for tests/metrics).
+constexpr bool kSimdEnabled =
+#ifdef TRACEWEAVER_BATCH_SSE2
+    true;
+#else
+    false;
+#endif
+
+}  // namespace traceweaver::stats_internal

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "stats/batch_kernels.h"
 #include "util/summary.h"
 
 namespace traceweaver {
@@ -14,6 +15,14 @@ double Gaussian::LogPdf(double x) const {
   const double s = std::max(stddev, kMinGaussianStddev);
   const double z = (x - mean) / s;
   return -0.5 * (kLogTwoPi + z * z) - std::log(s);
+}
+
+void Gaussian::LogPdfBatch(std::span<const double> xs,
+                           std::span<double> out) const {
+  const double s = std::max(stddev, kMinGaussianStddev);
+  const double ls = std::log(s);
+  stats_internal::LogTermsKernel<false>(xs.data(), xs.size(), mean, s, 0.0,
+                                        ls, out.data());
 }
 
 double Gaussian::Pdf(double x) const { return std::exp(LogPdf(x)); }

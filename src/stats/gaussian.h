@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 namespace traceweaver {
@@ -24,6 +25,10 @@ struct Gaussian {
 
   /// Log probability density at x. stddev is floored.
   double LogPdf(double x) const;
+  /// Batched log density: out[i] = LogPdf(xs[i]), bitwise-identical to the
+  /// per-call overload, with the x-independent log(stddev) hoisted and the
+  /// inner loop vectorized (see stats/batch_kernels.h).
+  void LogPdfBatch(std::span<const double> xs, std::span<double> out) const;
   double Pdf(double x) const;
   /// Cumulative distribution at x.
   double Cdf(double x) const;

@@ -5,30 +5,61 @@
 #include <limits>
 
 #include "obs/pipeline_metrics.h"
+#include "stats/batch_kernels.h"
+#include "stats/fast_exp.h"
 #include "util/rng.h"
 
 namespace traceweaver {
 namespace {
 
+using stats_internal::ExpBatch;
+using stats_internal::LogBatch;
+using stats_internal::LogOne;
+
 constexpr double kMinWeight = 1e-9;
 
-/// Numerically stable log-sum-exp over a small fixed array.
-double LogSumExp(const double* xs, std::size_t n) {
-  double mx = -std::numeric_limits<double>::infinity();
-  for (std::size_t i = 0; i < n; ++i) mx = std::max(mx, xs[i]);
-  if (!std::isfinite(mx)) return mx;
-  double s = 0.0;
-  for (std::size_t i = 0; i < n; ++i) s += std::exp(xs[i] - mx);
-  return mx + std::log(s);
-}
-
-double LogSumExp(const std::vector<double>& xs) {
-  return LogSumExp(xs.data(), xs.size());
-}
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 
 /// Stack buffer for per-component terms in the common case (C <= 16);
 /// mixtures larger than that spill to the heap.
 constexpr std::size_t kStackComponents = 16;
+
+/// Per-thread scratch reused across LogPdfBatch / LogLikelihood / EM calls
+/// so the fitting hot path performs no steady-state heap allocation. The
+/// batch and EM buffer sets are disjoint because Bic -> LogLikelihood ->
+/// LogPdfBatch runs between FitGmm calls of the same sweep.
+struct BatchScratch {
+  std::vector<double> lt;   ///< LogPdfBatch component-term block.
+  std::vector<double> pdf;  ///< LogLikelihood per-sample densities.
+  std::vector<double> em_lt, em_ex, em_resp;      ///< [k][n] EM matrices.
+  std::vector<double> em_mx, em_s, em_lse;        ///< [n] EM row buffers.
+};
+
+BatchScratch& Tls() {
+  thread_local BatchScratch scratch;
+  return scratch;
+}
+
+/// Numerically stable log-sum-exp over a small fixed array. Exponentials
+/// and the final log go through ExpBatch / LogOne so per-call scoring and
+/// the batched paths (LogPdfBatch, the EM E step) agree bitwise.
+double LogSumExp(const double* xs, std::size_t n) {
+  double mx = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n; ++i) mx = std::max(mx, xs[i]);
+  if (!std::isfinite(mx)) return mx;
+  double stack[kStackComponents];
+  std::vector<double> heap;
+  double* buf = stack;
+  if (n > kStackComponents) {
+    heap.resize(n);
+    buf = heap.data();
+  }
+  for (std::size_t i = 0; i < n; ++i) buf[i] = xs[i] - mx;
+  ExpBatch(buf, buf, n);
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) s += buf[i];
+  return mx + LogOne(s);
+}
 
 /// k-means++-style initialization: pick means spread across the data, then
 /// set uniform weights and a shared stddev.
@@ -125,6 +156,68 @@ double GaussianMixture::LogPdf(double x) const {
   return LogSumExp(terms, k);
 }
 
+void GaussianMixture::LogPdfBatch(std::span<const double> gaps,
+                                  std::span<double> out) const {
+  const std::size_t n = gaps.size();
+  if (n == 0) return;
+  if (components_.empty()) {
+    Gaussian{}.LogPdfBatch(gaps, out);
+    return;
+  }
+  const std::size_t k = components_.size();
+  const double* xs = gaps.data();
+  if (k == 1) {
+    // One term: log-sum-exp degenerates to the term plus log(1.0) == +0.0.
+    // The std::max against -inf and the isfinite guard reproduce the
+    // per-call NaN / overflow semantics exactly, with zero libm calls.
+    stats_internal::LogTermsKernel<true>(
+        xs, n, components_[0].mean, cache_[0].stddev, cache_[0].log_weight,
+        cache_[0].log_stddev, out.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      const double mx = std::max(kNegInf, out[i]);
+      out[i] = std::isfinite(mx) ? mx + 0.0 : mx;
+    }
+    return;
+  }
+  // k >= 2: blocked over samples so the k x kBlock term matrix stays hot.
+  // Arithmetic per sample is exactly LogPdf's: term fill in component
+  // order, std::max scan, exp-sum in component order, mx + log(s). The max
+  // component's exp(0.0) == 1.0 and log(1.0) == +0.0 are materialized
+  // without libm calls; both identities are exact in IEEE-754.
+  constexpr std::size_t kBlock = 256;
+  auto& scr = Tls();
+  scr.lt.resize(k * kBlock);
+  double* lt = scr.lt.data();
+  double mx[kBlock];
+  double s[kBlock];
+  for (std::size_t base = 0; base < n; base += kBlock) {
+    const std::size_t b = std::min(kBlock, n - base);
+    for (std::size_t c = 0; c < k; ++c) {
+      stats_internal::LogTermsKernel<true>(
+          xs + base, b, components_[c].mean, cache_[c].stddev,
+          cache_[c].log_weight, cache_[c].log_stddev, lt + c * kBlock);
+    }
+    for (std::size_t i = 0; i < b; ++i) mx[i] = kNegInf;
+    for (std::size_t c = 0; c < k; ++c) {
+      const double* row = lt + c * kBlock;
+      for (std::size_t i = 0; i < b; ++i) mx[i] = std::max(mx[i], row[i]);
+    }
+    for (std::size_t i = 0; i < b; ++i) s[i] = 0.0;
+    double ebuf[kBlock];
+    for (std::size_t c = 0; c < k; ++c) {
+      const double* row = lt + c * kBlock;
+      for (std::size_t i = 0; i < b; ++i) ebuf[i] = row[i] - mx[i];
+      ExpBatch(ebuf, ebuf, b);
+      for (std::size_t i = 0; i < b; ++i) s[i] += ebuf[i];
+    }
+    LogBatch(s, s, b);  // LogBatch(1.0) == +0.0 exactly, matching LogOne
+    for (std::size_t i = 0; i < b; ++i) {
+      const double m = mx[i];
+      out[base + i] = std::isfinite(m) ? m + s[i] : m;
+    }
+  }
+}
+
 double GaussianMixture::Pdf(double x) const { return std::exp(LogPdf(x)); }
 
 double GaussianMixture::Cdf(double x) const {
@@ -138,8 +231,13 @@ double GaussianMixture::Cdf(double x) const {
 
 double GaussianMixture::LogLikelihood(
     const std::vector<double>& samples) const {
+  // Batched evaluation, summed in sample order -- bit-identical to the
+  // per-call loop because LogPdfBatch is bit-identical per element.
+  auto& scr = Tls();
+  scr.pdf.resize(samples.size());
+  LogPdfBatch(samples, scr.pdf);
   double ll = 0.0;
-  for (double s : samples) ll += LogPdf(s);
+  for (double v : scr.pdf) ll += v;
   return ll;
 }
 
@@ -164,51 +262,90 @@ GaussianMixture FitGmm(const std::vector<double>& samples,
   std::vector<GmmComponent> comps = InitComponents(samples, k, rng);
 
   const std::size_t n = samples.size();
-  // resp[i*k + c] = P(component c | sample i)
-  std::vector<double> resp(n * k);
+  const double* xs = samples.data();
+  // The E step runs transposed and batched: one dense [n] row per component
+  // for the log terms (lt), the retained exp(term - max) values (ex), and
+  // the responsibilities (resp[c*n + i]). Every per-sample arithmetic
+  // sequence -- term fill in component order, std::max scan, exp-sum in
+  // component order, lse, exp(term - lse) -- is identical to the previous
+  // row-at-a-time form, so responsibilities and the log-likelihood are
+  // bit-identical; the M step then reads each component's resp row
+  // contiguously. Scratch is per-thread and reused across fits.
+  auto& scr = Tls();
+  scr.em_lt.resize(k * n);
+  scr.em_ex.resize(k * n);
+  scr.em_resp.resize(k * n);
+  scr.em_mx.resize(n);
+  scr.em_s.resize(n);
+  scr.em_lse.resize(n);
+  double* lt = scr.em_lt.data();
+  double* ex = scr.em_ex.data();
+  double* resp = scr.em_resp.data();
+  double* mx = scr.em_mx.data();
+  double* sb = scr.em_s.data();
+  double* lse = scr.em_lse.data();
   double prev_ll = -std::numeric_limits<double>::infinity();
 
-  std::vector<double> logterms(k);
   std::vector<double> log_w(k), sigma(k), log_sigma(k);
   std::size_t iters_run = 0;
   for (std::size_t iter = 0; iter < options.em_iterations; ++iter) {
     ++iters_run;
     // E step. The sample-independent terms -- log(weight), the floored
-    // stddev and its log -- are hoisted out of the sample loop; the
-    // per-sample arithmetic is unchanged, so responsibilities and the
-    // log-likelihood are bit-identical to the unhoisted form.
+    // stddev and its log -- are hoisted out of the sample loop.
     for (std::size_t c = 0; c < k; ++c) {
       log_w[c] = std::log(std::max(comps[c].weight, kMinWeight));
       sigma[c] = std::max(comps[c].stddev, kMinGaussianStddev);
       log_sigma[c] = std::log(sigma[c]);
     }
+    for (std::size_t c = 0; c < k; ++c) {
+      stats_internal::LogTermsKernel<true>(xs, n, comps[c].mean, sigma[c],
+                                           log_w[c], log_sigma[c], lt + c * n);
+    }
+    // Per-sample max over components, in component order (std::max keeps
+    // the scalar scan's NaN semantics).
+    for (std::size_t i = 0; i < n; ++i) mx[i] = kNegInf;
+    for (std::size_t c = 0; c < k; ++c) {
+      const double* row = lt + c * n;
+      for (std::size_t i = 0; i < n; ++i) mx[i] = std::max(mx[i], row[i]);
+    }
+    // Vectorized exp(term - max), one dense row per component.
+    for (std::size_t i = 0; i < n; ++i) sb[i] = 0.0;
+    for (std::size_t c = 0; c < k; ++c) {
+      const double* row = lt + c * n;
+      double* erow = ex + c * n;
+      for (std::size_t i = 0; i < n; ++i) erow[i] = row[i] - mx[i];
+      ExpBatch(erow, erow, n);
+      for (std::size_t i = 0; i < n; ++i) sb[i] += erow[i];
+    }
+    LogBatch(sb, sb, n);  // vectorized; LogBatch(1.0) == +0.0 exactly
     double ll = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t c = 0; c < k; ++c) {
-        const double z = (samples[i] - comps[c].mean) / sigma[c];
-        logterms[c] =
-            log_w[c] + (-0.5 * (kLogTwoPi + z * z) - log_sigma[c]);
-      }
-      const double lse = LogSumExp(logterms);
-      ll += lse;
-      for (std::size_t c = 0; c < k; ++c) {
-        resp[i * k + c] = std::exp(logterms[c] - lse);
-      }
+      const double m = mx[i];
+      lse[i] = std::isfinite(m) ? m + sb[i] : m;
+      ll += lse[i];
+    }
+    // Responsibilities, again one vectorized exp row per component.
+    for (std::size_t c = 0; c < k; ++c) {
+      const double* row = lt + c * n;
+      double* rrow = resp + c * n;
+      for (std::size_t i = 0; i < n; ++i) rrow[i] = row[i] - lse[i];
+      ExpBatch(rrow, rrow, n);
     }
 
-    // M step.
+    // M step, reading contiguous responsibility rows.
     for (std::size_t c = 0; c < k; ++c) {
+      const double* rrow = resp + c * n;
       double nc = 0.0, mu = 0.0;
       for (std::size_t i = 0; i < n; ++i) {
-        nc += resp[i * k + c];
-        mu += resp[i * k + c] * samples[i];
+        nc += rrow[i];
+        mu += rrow[i] * xs[i];
       }
       nc = std::max(nc, kMinWeight);
       mu /= nc;
       double var = 0.0;
       for (std::size_t i = 0; i < n; ++i) {
-        const double d = samples[i] - mu;
-        var += resp[i * k + c] * d * d;
+        const double d = xs[i] - mu;
+        var += rrow[i] * d * d;
       }
       var /= nc;
       comps[c].weight = nc / static_cast<double>(n);

@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "stats/gaussian.h"
@@ -46,6 +47,13 @@ class GaussianMixture {
 
   /// Log density at x; -inf is never returned (weights/stddevs are floored).
   double LogPdf(double x) const;
+  /// Batched log density: out[i] = LogPdf(gaps[i]), bitwise-identical to the
+  /// per-call overload on every input (denormals, ±inf, NaN included).
+  /// Component constants are hoisted once, the per-component term loop is
+  /// vectorized (stats/batch_kernels.h), and the log-sum-exp runs blocked
+  /// over samples so component terms stay cache-resident. `out` must be at
+  /// least gaps.size(); the two may not alias.
+  void LogPdfBatch(std::span<const double> gaps, std::span<double> out) const;
   double Pdf(double x) const;
   /// Cumulative distribution at x (weight-mixed component CDFs).
   double Cdf(double x) const;

@@ -1,0 +1,87 @@
+#include "util/arena.h"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace traceweaver {
+
+namespace {
+
+inline std::size_t AlignUp(std::size_t v, std::size_t align) {
+  return (v + align - 1) & ~(align - 1);
+}
+
+/// Block-relative cursor of the next address >= `offset` aligned to
+/// `align`. Alignment must be computed on the address, not the offset:
+/// operator new[] only guarantees __STDCPP_DEFAULT_NEW_ALIGNMENT__ for the
+/// block base, so an aligned offset into an unaligned base is not enough
+/// for over-aligned requests.
+inline std::size_t AlignedStart(const std::byte* base, std::size_t offset,
+                                std::size_t align) {
+  const auto addr = reinterpret_cast<std::uintptr_t>(base) + offset;
+  return AlignUp(addr, align) - reinterpret_cast<std::uintptr_t>(base);
+}
+
+}  // namespace
+
+void* ArenaAllocator::Allocate(std::size_t bytes, std::size_t align) {
+  ++allocations_;
+  if (!blocks_.empty()) {
+    Block& b = blocks_[block_];
+    const std::size_t start = AlignedStart(b.data.get(), offset_, align);
+    if (start + bytes <= b.size) {
+      void* p = b.data.get() + start;
+      used_ += (start - offset_) + bytes;
+      offset_ = start + bytes;
+      high_water_ = std::max(high_water_, used_);
+      return p;
+    }
+  }
+  return AllocateSlow(bytes, align);
+}
+
+void* ArenaAllocator::AllocateSlow(std::size_t bytes, std::size_t align) {
+  // Count the unusable tail of the current block as used so high-water
+  // reflects the arena position, then advance to the next block that fits.
+  while (block_ + 1 < blocks_.size()) {
+    used_ += blocks_[block_].size - offset_;
+    ++block_;
+    offset_ = 0;
+    Block& b = blocks_[block_];
+    const std::size_t start = AlignedStart(b.data.get(), offset_, align);
+    if (start + bytes <= b.size) {
+      void* p = b.data.get() + start;
+      used_ += start + bytes;
+      offset_ = start + bytes;
+      high_water_ = std::max(high_water_, used_);
+      return p;
+    }
+  }
+  if (!blocks_.empty()) {
+    used_ += blocks_[block_].size - offset_;
+  }
+  // Grow geometrically from the last block, and always large enough for the
+  // request plus worst-case alignment padding.
+  std::size_t next = blocks_.empty() ? first_block_bytes_
+                                     : blocks_.back().size * 2;
+  next = std::max(next, bytes + align);
+  blocks_.push_back(Block{std::make_unique<std::byte[]>(next), next});
+  reserved_ += next;
+  block_ = blocks_.size() - 1;
+  offset_ = 0;
+  Block& b = blocks_[block_];
+  const std::size_t start = AlignedStart(b.data.get(), offset_, align);
+  void* p = b.data.get() + start;
+  used_ += start + bytes;
+  offset_ = start + bytes;
+  high_water_ = std::max(high_water_, used_);
+  return p;
+}
+
+void ArenaAllocator::Reset() {
+  block_ = 0;
+  offset_ = 0;
+  used_ = 0;
+}
+
+}  // namespace traceweaver

@@ -1,0 +1,112 @@
+// Monotonic arena allocator for per-window reconstruction scratch.
+//
+// The optimizer's inner loops (candidate enumeration, batched scoring,
+// conflict-graph / MWIS assembly) need many short-lived buffers per task or
+// per solve run. Allocating them from the general heap costs a malloc/free
+// pair per buffer and scatters them across the address space; the arena
+// hands out bump-pointer slices from a few large blocks instead, and a
+// whole generation of scratch is released with one Reset() that retains
+// the blocks for the next generation.
+//
+// Properties:
+//   * Monotonic: Allocate() only moves a cursor; nothing is freed until
+//     Reset(). Reset() keeps every block, so a warmed-up arena performs no
+//     further heap allocation.
+//   * Aligned: every allocation honours its requested alignment.
+//   * Accounted: used / reserved / high-water / allocation counters back
+//     the `tw_arena_*` metrics so the online admission controller can
+//     budget against real scratch cost (see docs/METRICS.md).
+//
+// Not thread-safe; use one arena per thread (the optimizer keeps one per
+// worker) or per solve run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace traceweaver {
+
+class ArenaAllocator {
+ public:
+  /// `first_block_bytes` sizes the initial block; later blocks grow
+  /// geometrically (x2) so total block count stays logarithmic in peak use.
+  explicit ArenaAllocator(std::size_t first_block_bytes = 64 * 1024)
+      : first_block_bytes_(first_block_bytes == 0 ? 1 : first_block_bytes) {}
+
+  ArenaAllocator(const ArenaAllocator&) = delete;
+  ArenaAllocator& operator=(const ArenaAllocator&) = delete;
+
+  /// Returns `bytes` of storage aligned to `align` (a power of two).
+  /// Never returns nullptr; zero-byte requests get a valid unique-ish
+  /// pointer into the current block.
+  void* Allocate(std::size_t bytes, std::size_t align);
+
+  /// Typed array of `n` elements, uninitialized storage.
+  template <typename T>
+  T* AllocateArray(std::size_t n) {
+    return static_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Rewinds the cursor to the start, keeping every block for reuse.
+  /// Previously returned pointers become invalid (their storage will be
+  /// handed out again).
+  void Reset();
+
+  /// Bytes handed out (including alignment padding) since the last Reset.
+  std::size_t used() const { return used_; }
+  /// Total bytes owned across all blocks.
+  std::size_t reserved() const { return reserved_; }
+  /// Maximum used() observed over the arena's lifetime.
+  std::size_t high_water() const { return high_water_; }
+  /// Allocate() calls over the arena's lifetime.
+  std::uint64_t allocations() const { return allocations_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  /// Slow path: advance to (or create) a block that fits `bytes`.
+  void* AllocateSlow(std::size_t bytes, std::size_t align);
+
+  std::vector<Block> blocks_;
+  std::size_t block_ = 0;   ///< Index of the block the cursor is in.
+  std::size_t offset_ = 0;  ///< Cursor within blocks_[block_].
+  std::size_t used_ = 0;
+  std::size_t reserved_ = 0;
+  std::size_t high_water_ = 0;
+  std::uint64_t allocations_ = 0;
+  std::size_t first_block_bytes_;
+};
+
+/// Minimal STL allocator over an ArenaAllocator, for routing container
+/// scratch (conflict-graph edge lists, vertex tables) through the arena.
+/// deallocate() is a no-op -- memory comes back only via Reset() -- so
+/// containers should clear() and reuse capacity rather than shrink.
+template <typename T>
+class ArenaStlAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaStlAllocator(ArenaAllocator* arena) : arena_(arena) {}
+  template <typename U>
+  ArenaStlAllocator(const ArenaStlAllocator<U>& o) : arena_(o.arena()) {}
+
+  T* allocate(std::size_t n) { return arena_->AllocateArray<T>(n); }
+  void deallocate(T*, std::size_t) {}
+
+  ArenaAllocator* arena() const { return arena_; }
+
+  bool operator==(const ArenaStlAllocator& o) const {
+    return arena_ == o.arena_;
+  }
+  bool operator!=(const ArenaStlAllocator& o) const { return !(*this == o); }
+
+ private:
+  ArenaAllocator* arena_;
+};
+
+}  // namespace traceweaver

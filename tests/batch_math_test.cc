@@ -1,0 +1,220 @@
+// Property tests for the batched scoring kernels: LogPdfBatch must be
+// bitwise-identical to the per-call LogPdf on every input -- the fast data
+// path's bit-identity guarantee (DESIGN.md §4g) rests on this. Inputs
+// include denormals, ±inf, NaN, zeros and huge magnitudes; mixtures range
+// from a single component to the BIC cap, with degenerate weights and
+// near-zero stddevs. The low-level ExpBatch/LogBatch kernels must also be
+// chunking-invariant: splitting one batch into arbitrary sub-batches
+// cannot change any lane.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "core/delay_model.h"
+#include "stats/fast_exp.h"
+#include "stats/gaussian.h"
+#include "stats/gmm.h"
+#include "util/rng.h"
+
+namespace traceweaver {
+namespace {
+
+/// Bitwise equality, treating any-NaN == any-NaN with the same payload.
+bool SameBits(double a, double b) {
+  std::uint64_t ba, bb;
+  std::memcpy(&ba, &a, sizeof(ba));
+  std::memcpy(&bb, &b, sizeof(bb));
+  return ba == bb;
+}
+
+/// The adversarial gap values every batch must handle: IEEE specials,
+/// denormals, and magnitudes around the exp/log over/underflow cliffs.
+std::vector<double> EdgeGaps() {
+  const double inf = std::numeric_limits<double>::infinity();
+  return {0.0,
+          -0.0,
+          inf,
+          -inf,
+          std::numeric_limits<double>::quiet_NaN(),
+          std::numeric_limits<double>::denorm_min(),
+          -std::numeric_limits<double>::denorm_min(),
+          std::numeric_limits<double>::min(),
+          std::numeric_limits<double>::max(),
+          -std::numeric_limits<double>::max(),
+          1e-300,
+          -1e-300,
+          745.0,
+          -745.0,
+          710.0,
+          -710.0,
+          1.0,
+          -1.0,
+          3.5e6,   // A typical gap in ns.
+          -3.5e6};
+}
+
+std::vector<double> RandomGaps(Rng& rng, std::size_t n) {
+  std::vector<double> gaps;
+  gaps.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (rng.UniformInt(0, 3)) {
+      case 0:  // Realistic inter-span gap in ns.
+        gaps.push_back(static_cast<double>(rng.UniformInt(0, 50'000'000)));
+        break;
+      case 1:  // Small magnitudes straddling the denormal range.
+        gaps.push_back(rng.Uniform(0.0, 1.0) * 1e-305);
+        break;
+      case 2:  // Negative gaps (skew / clock error).
+        gaps.push_back(-static_cast<double>(rng.UniformInt(0, 5'000'000)));
+        break;
+      default:  // Wide uniform.
+        gaps.push_back((rng.Uniform(0.0, 1.0) - 0.5) * 1e9);
+        break;
+    }
+  }
+  return gaps;
+}
+
+GaussianMixture RandomMixture(Rng& rng, std::size_t num_components) {
+  std::vector<GmmComponent> comps;
+  for (std::size_t c = 0; c < num_components; ++c) {
+    GmmComponent comp;
+    comp.weight = rng.Uniform(0.0, 1.0);
+    if (rng.UniformInt(0, 9) == 0) comp.weight = 0.0;  // Floored inside.
+    comp.mean = (rng.Uniform(0.0, 1.0) - 0.3) * 2e7;
+    switch (rng.UniformInt(0, 3)) {
+      case 0: comp.stddev = 0.0; break;          // Floored inside.
+      case 1: comp.stddev = 1e-12; break;        // Near-degenerate.
+      default: comp.stddev = rng.Uniform(0.0, 1.0) * 5e6 + 1.0; break;
+    }
+    comps.push_back(comp);
+  }
+  return GaussianMixture(std::move(comps));
+}
+
+void ExpectBatchMatchesPerCall(const GaussianMixture& gmm,
+                               const std::vector<double>& gaps) {
+  std::vector<double> batch(gaps.size(), 12345.0);
+  gmm.LogPdfBatch(gaps, batch);
+  for (std::size_t i = 0; i < gaps.size(); ++i) {
+    const double one = gmm.LogPdf(gaps[i]);
+    EXPECT_TRUE(SameBits(one, batch[i]))
+        << "lane " << i << " gap=" << gaps[i] << " per-call=" << one
+        << " batch=" << batch[i] << " components=" << gmm.num_components();
+  }
+}
+
+TEST(BatchMath, GaussianLogPdfBatchBitIdenticalOnEdgeCases) {
+  Rng rng(7);
+  const std::vector<double> gaps = EdgeGaps();
+  for (int trial = 0; trial < 50; ++trial) {
+    const Gaussian g{(rng.Uniform(0.0, 1.0) - 0.5) * 2e7,
+                     rng.Uniform(0.0, 1.0) * 5e6};
+    std::vector<double> batch(gaps.size(), -1.0);
+    g.LogPdfBatch(gaps, batch);
+    for (std::size_t i = 0; i < gaps.size(); ++i) {
+      EXPECT_TRUE(SameBits(g.LogPdf(gaps[i]), batch[i]))
+          << "lane " << i << " x=" << gaps[i];
+    }
+  }
+}
+
+TEST(BatchMath, MixtureLogPdfBatchBitIdenticalOnEdgeCases) {
+  Rng rng(11);
+  for (std::size_t comps = 1; comps <= 6; ++comps) {
+    for (int trial = 0; trial < 20; ++trial) {
+      ExpectBatchMatchesPerCall(RandomMixture(rng, comps), EdgeGaps());
+    }
+  }
+}
+
+TEST(BatchMath, MixtureLogPdfBatchBitIdenticalOnRandomGaps) {
+  Rng rng(13);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t comps = 1 + trial % 5;
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.UniformInt(0, 300));
+    ExpectBatchMatchesPerCall(RandomMixture(rng, comps), RandomGaps(rng, n));
+  }
+}
+
+TEST(BatchMath, SingleComponentMixtureMatchesItsGaussianPath) {
+  // FromGaussian must stay consistent between the two entry points as well.
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Gaussian g{rng.Uniform(0.0, 1.0) * 1e7, rng.Uniform(0.0, 1.0) * 1e6};
+    const GaussianMixture gmm = GaussianMixture::FromGaussian(g);
+    ASSERT_EQ(gmm.num_components(), 1u);
+    ExpectBatchMatchesPerCall(gmm, RandomGaps(rng, 64));
+  }
+}
+
+TEST(BatchMath, FittedMixturesStayBitIdentical) {
+  // Mixtures produced by the real EM/BIC fit, not just synthetic ones.
+  Rng rng(19);
+  std::vector<double> samples;
+  for (int i = 0; i < 400; ++i) {
+    samples.push_back(static_cast<double>(
+        rng.UniformInt(0, 2) == 0 ? rng.UniformInt(Millis(1), Millis(2))
+                                  : rng.UniformInt(Millis(8), Millis(12))));
+  }
+  const GaussianMixture gmm = FitGmmBicSweep(samples);
+  ExpectBatchMatchesPerCall(gmm, EdgeGaps());
+  ExpectBatchMatchesPerCall(gmm, RandomGaps(rng, 500));
+}
+
+TEST(BatchMath, FallbackLogPdfBatchMatchesFallbackGaussian) {
+  const std::vector<double> gaps = EdgeGaps();
+  std::vector<double> batch(gaps.size(), 0.0);
+  DelayModel::FallbackLogPdfBatch(gaps, batch);
+  for (std::size_t i = 0; i < gaps.size(); ++i) {
+    EXPECT_TRUE(SameBits(DelayModel::FallbackLogPdf(gaps[i]), batch[i]))
+        << "lane " << i;
+  }
+}
+
+/// Chunk-invariance: the resolved kernel may process 4 lanes at a time
+/// with a scalar tail, so results must not depend on where batch
+/// boundaries fall.
+template <typename Fn>
+void ExpectChunkInvariant(Fn&& batch_fn, const std::vector<double>& in) {
+  std::vector<double> whole(in.size());
+  batch_fn(in.data(), whole.data(), in.size());
+  Rng rng(23);
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<double> pieces(in.size(), -7.0);
+    std::size_t at = 0;
+    while (at < in.size()) {
+      const std::size_t len = std::min<std::size_t>(
+          in.size() - at, 1 + static_cast<std::size_t>(rng.UniformInt(0, 6)));
+      batch_fn(in.data() + at, pieces.data() + at, len);
+      at += len;
+    }
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      EXPECT_TRUE(SameBits(whole[i], pieces[i])) << "lane " << i;
+    }
+  }
+}
+
+TEST(BatchMath, ExpBatchChunkInvariant) {
+  Rng rng(29);
+  std::vector<double> in = EdgeGaps();
+  for (int i = 0; i < 200; ++i) in.push_back((rng.Uniform(0.0, 1.0) - 0.5) * 1500.0);
+  ExpectChunkInvariant(
+      [](const double* a, double* b, std::size_t n) { stats_internal::ExpBatch(a, b, n); },
+      in);
+}
+
+TEST(BatchMath, LogBatchChunkInvariant) {
+  Rng rng(31);
+  std::vector<double> in = EdgeGaps();
+  for (int i = 0; i < 200; ++i) in.push_back(rng.Uniform(0.0, 1.0) * 1e12);
+  ExpectChunkInvariant(
+      [](const double* a, double* b, std::size_t n) { stats_internal::LogBatch(a, b, n); },
+      in);
+}
+
+}  // namespace
+}  // namespace traceweaver

@@ -35,6 +35,8 @@
 //                         counters) to stderr after reconstruction
 //   --report-json=FILE    write the run report as JSON to FILE
 //   --metrics-out=FILE    write all metrics in Prometheus text format
+//   --profile-stages      print the pipeline stage timers, sorted by
+//                         self-CPU, to stderr after the run
 //
 // `simulate` and `inject-faults` take fault-injection flags
 // (sim/fault_injector.h): --drop=P --dup=P --skew-ns=N --truncate-ns=N
@@ -130,6 +132,8 @@ int Usage() {
       "                      counters) to stderr after reconstruction\n"
       "  --report-json=FILE  write the run report as JSON to FILE\n"
       "  --metrics-out=FILE  write all metrics in Prometheus text format\n"
+      "  --profile-stages    print the pipeline stage timers (CPU and\n"
+      "                      wall), sorted by self-CPU, to stderr\n"
       "\n"
       "fault flags (simulate, inject-faults):\n"
       "  --drop=P --dup=P    per-record drop / duplication probability\n"
@@ -144,6 +148,7 @@ int Usage() {
 struct CliFlags {
   std::size_t threads = std::max(1u, std::thread::hardware_concurrency());
   bool report = false;        ///< Run-report table to stderr.
+  bool profile_stages = false;  ///< Stage-timer table to stderr.
   std::string report_json;    ///< Run-report JSON file ("" = off).
   std::string metrics_out;    ///< Prometheus text file ("" = off).
   IngestMode ingest = IngestMode::kLenient;
@@ -168,7 +173,8 @@ struct CliFlags {
   bool final_only = false;  ///< Emit only the EOF assignment union.
 
   bool WantMetrics() const {
-    return report || !report_json.empty() || !metrics_out.empty();
+    return report || profile_stages || !report_json.empty() ||
+           !metrics_out.empty();
   }
 };
 
@@ -188,6 +194,8 @@ CliFlags ParseFlags(int& argc, char**& argv) {
       if (flags.threads == 0) flags.threads = 1;
     } else if (arg == "--report") {
       flags.report = true;
+    } else if (arg == "--profile-stages") {
+      flags.profile_stages = true;
     } else if (arg.rfind("--report-json=", 0) == 0) {
       flags.report_json = arg.substr(14);
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
@@ -298,6 +306,48 @@ std::map<SpanId, JaegerSpanTags> QualityTags(const TraceWeaverOutput& out) {
   return tags;
 }
 
+/// Stage-timer profile: one row per pipeline stage, sorted by self-CPU
+/// descending, with the share of total stage CPU. The quick first stop
+/// when a run is slower than expected -- it points at the stage to dig
+/// into before reaching for an external profiler.
+void PrintStageProfile(const obs::RegistrySnapshot& snapshot) {
+  struct Row {
+    std::string stage;
+    std::int64_t cpu_ns = 0;
+    std::int64_t wall_ns = 0;
+  };
+  std::vector<Row> rows;
+  std::int64_t total_cpu = 0;
+  for (const obs::MetricSnapshot* m : snapshot.Family("tw_stage_cpu_ns_total")) {
+    // Label body is `stage="name"`; strip down to the name.
+    std::string stage = m->labels;
+    if (const auto q1 = stage.find('"'); q1 != std::string::npos) {
+      const auto q2 = stage.rfind('"');
+      stage = stage.substr(q1 + 1, q2 - q1 - 1);
+    }
+    rows.push_back(
+        {stage, m->value,
+         snapshot.Value("tw_stage_wall_ns_total", m->labels)});
+    total_cpu += m->value;
+  }
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const Row& a, const Row& b) { return a.cpu_ns > b.cpu_ns; });
+  std::fprintf(stderr, "stage profile (self-CPU, descending):\n");
+  std::fprintf(stderr, "  %-10s %12s %12s %7s\n", "stage", "cpu_ms",
+               "wall_ms", "cpu%");
+  for (const Row& r : rows) {
+    std::fprintf(stderr, "  %-10s %12.2f %12.2f %6.1f%%\n", r.stage.c_str(),
+                 static_cast<double>(r.cpu_ns) / 1e6,
+                 static_cast<double>(r.wall_ns) / 1e6,
+                 total_cpu > 0
+                     ? 100.0 * static_cast<double>(r.cpu_ns) /
+                           static_cast<double>(total_cpu)
+                     : 0.0);
+  }
+  std::fprintf(stderr, "  %-10s %12.2f\n", "total",
+               static_cast<double>(total_cpu) / 1e6);
+}
+
 /// Emits whatever observability outputs the flags requested.
 void EmitObservability(const CliFlags& flags,
                        const obs::MetricsRegistry& registry) {
@@ -307,6 +357,7 @@ void EmitObservability(const CliFlags& flags,
     const obs::RunReport report = obs::BuildRunReport(snapshot);
     std::fputs(obs::RunReportTable(report).c_str(), stderr);
   }
+  if (flags.profile_stages) PrintStageProfile(snapshot);
   if (!flags.report_json.empty()) {
     std::ofstream out(flags.report_json);
     if (!out) {

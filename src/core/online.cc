@@ -305,6 +305,9 @@ WindowResult OnlineTraceWeaver::CloseWindow(TimeNs window_start,
     // have been buffered in earlier windows' tails), then commit only the
     // parents whose processing window lies within the closed window.
     const TraceWeaverOutput out = WeaverForLevel().Reconstruct(buffer_);
+    if (options_.weaver.compute_quality) {
+      result.trace_quality = out.quality.traces;
+    }
 
     std::map<SpanId, const Span*> by_id;
     for (const Span& s : buffer_) by_id[s.id] = &s;

@@ -106,6 +106,14 @@ struct WindowResult {
   std::size_t late_grafted = 0;
   /// Wall time spent closing this window (drives the ladder).
   DurationNs close_wall_ns = 0;
+  /// Per-trace quality rows (grade, calibrated confidence) for every
+  /// trace visible in the buffer at this close, filled iff
+  /// OnlineOptions::weaver.compute_quality. Downstream consumers (the
+  /// store commit hook) take the latest row per root: each close
+  /// re-evaluates against the spans still buffered, so the row from the
+  /// close that settles a trace is the authoritative one. Not serialized
+  /// into checkpoints (shed/pending results carry no quality).
+  std::vector<obs::TraceQuality> trace_quality;
 };
 
 class OnlineTraceWeaver {

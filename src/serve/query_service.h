@@ -1,0 +1,72 @@
+// The trace query API: HTTP routes over a TraceStore (DESIGN.md §4h,
+// docs/API.md is the authoritative endpoint reference).
+//
+//   GET /traces/{id}          one committed trace (traceweaver.trace.v1)
+//   GET /traces?service=&from=&to=&grade=&min_confidence=&limit=
+//                             matching traces, chunked JSONL streaming
+//                             (from/to in nanoseconds, span timebase)
+//   GET /traces/{id}/explain[?parent=]
+//                             candidate score breakdown
+//                             (traceweaver.explain.v1) via core/explain
+//   GET /metrics              Prometheus 0.0.4 exposition of the shared
+//                             registry (tw_online_*, tw_store_*,
+//                             tw_http_*, pipeline families)
+//   GET /healthz              liveness + store stats
+//
+// Handle() is called concurrently by the HTTP workers; the store's
+// snapshot index makes reads safe against the ingesting writer, and
+// explain runs a fresh single-threaded weaver per request (cold path by
+// design).
+#pragma once
+
+#include <string>
+
+#include "callgraph/call_graph.h"
+#include "core/trace_weaver.h"
+#include "serve/http_server.h"
+#include "store/store.h"
+
+namespace traceweaver::serve {
+
+struct QueryServiceOptions {
+  /// Hard cap on one listing response; a larger (or absent) limit= is
+  /// clamped to this. Streaming is chunked, so this bounds work, not
+  /// memory.
+  std::size_t max_results = 1000;
+  /// Explain reconstruction options (threads forced to 1 per request).
+  TraceWeaverOptions explain_weaver;
+};
+
+class QueryService {
+ public:
+  /// `store` must outlive the service. `graph` enables /explain (null ->
+  /// 404 on that route). `metrics` backs /metrics and receives the
+  /// request-level tw_http_* counters; null disables both.
+  QueryService(const store::TraceStore* store, const CallGraph* graph,
+               obs::MetricsRegistry* metrics,
+               QueryServiceOptions options = {});
+
+  /// The HttpServer handler. Thread-safe.
+  void Handle(const HttpRequest& request, HttpResponse& response);
+
+ private:
+  void HandleTraceList(const HttpRequest& request, HttpResponse& response);
+  void HandleTraceGet(SpanId id, HttpResponse& response);
+  void HandleExplain(SpanId id, const HttpRequest& request,
+                     HttpResponse& response);
+  void HandleMetrics(HttpResponse& response);
+  void HandleHealth(HttpResponse& response);
+  const store::TraceStore* store_;
+  const CallGraph* graph_;
+  obs::MetricsRegistry* metrics_;
+  QueryServiceOptions options_;
+
+  // Pre-registered handles (GetCounter locks the registry; Handle must
+  // not). Routes: 0 trace_get, 1 trace_list, 2 explain, 3 metrics,
+  // 4 healthz, 5 other. Statuses: 200/400/404/405/500.
+  obs::Counter route_requests_[6];
+  obs::Counter status_responses_[5];
+  obs::Histogram request_ns_;
+};
+
+}  // namespace traceweaver::serve

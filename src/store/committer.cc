@@ -1,0 +1,288 @@
+#include "store/committer.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "trace/checkpoint.h"
+#include "trace/jsonl_io.h"
+
+namespace traceweaver::store {
+
+TraceCommitter::TraceCommitter(CommitterOptions options, TraceStore* store)
+    : options_(options), store_(store) {}
+
+void TraceCommitter::OnSpan(const Span& span) { spans_[span.id] = span; }
+
+bool TraceCommitter::CommitTrace(SpanId root) {
+  const auto root_it = spans_.find(root);
+  if (root_it == spans_.end()) return false;
+
+  TraceRecord record;
+  record.trace_id = root;
+  record.root_service = root_it->second.callee;
+  record.root_endpoint = root_it->second.endpoint;
+  record.orphan = !root_it->second.IsRoot();
+
+  if (const auto q = quality_.find(root); q != quality_.end()) {
+    record.grade = q->second.grade;
+    record.confidence = q->second.confidence;
+    record.min_confidence = q->second.min_confidence;
+    record.suspect = q->second.suspect_orphan;
+  }
+
+  // Root-first walk; children ordered by id so the record is identical
+  // regardless of the order assignments arrived in.
+  std::vector<SpanId> stack{root};
+  while (!stack.empty()) {
+    const SpanId id = stack.back();
+    stack.pop_back();
+    const auto it = spans_.find(id);
+    if (it == spans_.end()) continue;  // Child committed or shed earlier.
+    record.spans.push_back(it->second);
+    if (id != root) {
+      record.parents.emplace_back(id, parent_of_.at(id));
+    }
+    if (const auto kids = children_.find(id); kids != children_.end()) {
+      std::vector<SpanId> ordered = kids->second;
+      std::sort(ordered.begin(), ordered.end(), std::greater<SpanId>());
+      stack.insert(stack.end(), ordered.begin(), ordered.end());
+    }
+  }
+  std::sort(record.parents.begin(), record.parents.end());
+
+  record.start = record.spans.front().client_send;
+  record.end = record.spans.front().client_recv;
+  for (const Span& s : record.spans) {
+    record.start = std::min(record.start, s.client_send);
+    record.end = std::max(record.end, s.client_recv);
+  }
+
+  for (const Span& s : record.spans) {
+    children_.erase(s.id);
+    parent_of_.erase(s.id);
+    spans_.erase(s.id);
+  }
+  quality_.erase(root);
+  return store_->Commit(std::move(record));
+}
+
+std::size_t TraceCommitter::SweepSettled() {
+  const DurationNs settle =
+      options_.window * std::max(options_.settle_windows, 0) +
+      options_.margin;
+  std::vector<SpanId> due;
+  for (const auto& [id, span] : spans_) {
+    if (!span.IsRoot()) continue;
+    if (span.client_recv + settle <= last_closed_end_) due.push_back(id);
+  }
+  // Fragment roots: spans whose parent link never materialized and whose
+  // trace window is well past (one extra window beyond the rooted-trace
+  // horizon, so a slow root commit always wins over a fragment split).
+  const DurationNs fragment_settle = settle + options_.window;
+  for (const auto& [id, span] : spans_) {
+    if (span.IsRoot() || parent_of_.count(id) > 0) continue;
+    if (span.client_recv + fragment_settle <= last_closed_end_) {
+      due.push_back(id);
+    }
+  }
+  std::sort(due.begin(), due.end());
+  std::size_t committed = 0;
+  for (SpanId id : due) {
+    if (CommitTrace(id)) ++committed;
+  }
+  return committed;
+}
+
+void TraceCommitter::PruneQuality() {
+  for (auto it = quality_.begin(); it != quality_.end();) {
+    if (spans_.count(it->first) == 0) {
+      it = quality_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::size_t TraceCommitter::OnResults(
+    const std::vector<WindowResult>& results) {
+  std::size_t committed = 0;
+  for (const WindowResult& r : results) {
+    for (const auto& [child, parent] : r.assignment) {
+      if (parent_of_.emplace(child, parent).second) {
+        children_[parent].push_back(child);
+      }
+    }
+    for (const obs::TraceQuality& tq : r.trace_quality) {
+      quality_[tq.root] = tq;
+    }
+    last_closed_end_ = std::max(last_closed_end_, r.window_end);
+    // Spans the weaver gave up on are final now: commit what is known of
+    // their subtrees as orphan fragments instead of dropping them.
+    std::vector<SpanId> lost(r.orphans);
+    std::sort(lost.begin(), lost.end());
+    for (SpanId id : lost) {
+      if (spans_.count(id) > 0 && parent_of_.count(id) == 0 &&
+          CommitTrace(id)) {
+        ++committed;
+      }
+    }
+  }
+  committed += SweepSettled();
+  PruneQuality();
+  committed_ += committed;
+  return committed;
+}
+
+std::size_t TraceCommitter::Finalize() {
+  std::size_t committed = 0;
+  // Roots first (true roots, then fragment roots), repeated until the
+  // pending set drains; ordering by id keeps the output deterministic.
+  while (!spans_.empty()) {
+    std::vector<SpanId> due;
+    for (const auto& [id, span] : spans_) {
+      const auto p = parent_of_.find(id);
+      if (span.IsRoot() || p == parent_of_.end() ||
+          spans_.count(p->second) == 0) {
+        due.push_back(id);
+      }
+    }
+    if (due.empty()) break;  // Defensive: an assignment cycle.
+    std::sort(due.begin(), due.end());
+    for (SpanId id : due) {
+      if (spans_.count(id) > 0 && CommitTrace(id)) ++committed;
+    }
+  }
+  committed_ += committed;
+  return committed;
+}
+
+void TraceCommitter::SaveState(std::ostream& out) const {
+  ChecksummedWriter writer(out, kStateSchema);
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"schema\":\"%s\",\"spans\":%zu,\"edges\":%zu,"
+                "\"quality\":%zu,\"last_closed_end\":%" PRId64
+                ",\"committed\":%zu}",
+                kStateSchema, spans_.size(), parent_of_.size(),
+                quality_.size(), static_cast<std::int64_t>(last_closed_end_),
+                committed_);
+  writer.WriteLine(buf);
+
+  // Deterministic order (sorted by id) within each positional section:
+  // `spans` span lines, then `edges` edge lines, then `quality` rows.
+  std::vector<SpanId> ids;
+  ids.reserve(spans_.size());
+  for (const auto& [id, span] : spans_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (SpanId id : ids) {
+    writer.WriteLine(SpanToJson(spans_.at(id), /*include_ground_truth=*/true));
+  }
+
+  std::vector<std::pair<SpanId, SpanId>> edges(parent_of_.begin(),
+                                               parent_of_.end());
+  std::sort(edges.begin(), edges.end());
+  for (const auto& [child, parent] : edges) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"child\":%" PRIu64 ",\"parent\":%" PRIu64 "}",
+                  static_cast<std::uint64_t>(child),
+                  static_cast<std::uint64_t>(parent));
+    writer.WriteLine(buf);
+  }
+
+  ids.clear();
+  for (const auto& [root, tq] : quality_) ids.push_back(root);
+  std::sort(ids.begin(), ids.end());
+  for (SpanId root : ids) {
+    const obs::TraceQuality& tq = quality_.at(root);
+    std::snprintf(buf, sizeof(buf),
+                  "{\"root\":%" PRIu64
+                  ",\"tspans\":%zu,\"tparents\":%zu,\"skips\":%zu,"
+                  "\"orphan\":%d,\"suspect\":%d,\"confidence\":%.17g,"
+                  "\"min_confidence\":%.17g,\"grade\":\"%c\"}",
+                  static_cast<std::uint64_t>(root), tq.spans, tq.parents,
+                  tq.skips, tq.orphan ? 1 : 0, tq.suspect_orphan ? 1 : 0,
+                  tq.confidence, tq.min_confidence, tq.grade);
+    writer.WriteLine(buf);
+  }
+  writer.Finish();
+}
+
+bool TraceCommitter::LoadState(std::istream& in, std::string* error) {
+  const auto lines = ReadChecksummedLines(in, kStateSchema, error);
+  if (!lines || lines->empty()) {
+    if (error != nullptr && lines) *error = "empty committer state";
+    return false;
+  }
+  const std::string& header = (*lines)[0];
+  const auto n_spans = ckpt::FieldU64(header, "spans");
+  const auto n_edges = ckpt::FieldU64(header, "edges");
+  const auto n_quality = ckpt::FieldU64(header, "quality");
+  const auto last_end = ckpt::FieldI64(header, "last_closed_end");
+  const auto committed = ckpt::FieldU64(header, "committed");
+  if (!n_spans || !n_edges || !n_quality || !last_end || !committed ||
+      1 + *n_spans + *n_edges + *n_quality != lines->size()) {
+    if (error != nullptr) *error = "committer state header mismatch";
+    return false;
+  }
+
+  std::unordered_map<SpanId, Span> spans;
+  std::unordered_map<SpanId, SpanId> parent_of;
+  std::unordered_map<SpanId, std::vector<SpanId>> children;
+  std::unordered_map<SpanId, obs::TraceQuality> quality;
+  std::size_t i = 1;
+  for (std::uint64_t k = 0; k < *n_spans; ++k, ++i) {
+    const auto span = SpanFromJson((*lines)[i]);
+    if (!span) {
+      if (error != nullptr) *error = "bad span line in committer state";
+      return false;
+    }
+    spans[span->id] = *span;
+  }
+  for (std::uint64_t k = 0; k < *n_edges; ++k, ++i) {
+    const auto child = ckpt::FieldU64((*lines)[i], "child");
+    const auto parent = ckpt::FieldU64((*lines)[i], "parent");
+    if (!child || !parent) {
+      if (error != nullptr) *error = "bad edge line in committer state";
+      return false;
+    }
+    if (parent_of.emplace(*child, *parent).second) {
+      children[*parent].push_back(*child);
+    }
+  }
+  for (std::uint64_t k = 0; k < *n_quality; ++k, ++i) {
+    const std::string& line = (*lines)[i];
+    const auto root = ckpt::FieldU64(line, "root");
+    const auto conf = ckpt::FieldF64(line, "confidence");
+    const auto min_conf = ckpt::FieldF64(line, "min_confidence");
+    const auto grade = ckpt::FieldStr(line, "grade");
+    if (!root || !conf || !min_conf || !grade || grade->size() != 1) {
+      if (error != nullptr) *error = "bad quality line in committer state";
+      return false;
+    }
+    obs::TraceQuality tq;
+    tq.root = *root;
+    tq.spans = static_cast<std::size_t>(
+        ckpt::FieldU64(line, "tspans").value_or(0));
+    tq.parents = static_cast<std::size_t>(
+        ckpt::FieldU64(line, "tparents").value_or(0));
+    tq.skips =
+        static_cast<std::size_t>(ckpt::FieldU64(line, "skips").value_or(0));
+    tq.orphan = ckpt::FieldU64(line, "orphan").value_or(0) != 0;
+    tq.suspect_orphan = ckpt::FieldU64(line, "suspect").value_or(0) != 0;
+    tq.confidence = *conf;
+    tq.min_confidence = *min_conf;
+    tq.grade = (*grade)[0];
+    quality[tq.root] = tq;
+  }
+
+  spans_ = std::move(spans);
+  parent_of_ = std::move(parent_of);
+  children_ = std::move(children);
+  quality_ = std::move(quality);
+  last_closed_end_ = static_cast<TimeNs>(*last_end);
+  committed_ = static_cast<std::size_t>(*committed);
+  return true;
+}
+
+}  // namespace traceweaver::store

@@ -1,0 +1,98 @@
+// The online -> store commit hook: turns the serve loop's span stream and
+// per-window reconstruction results (core/online.h WindowResult) into
+// whole TraceRecords committed to a TraceStore.
+//
+// The online weaver emits parent assignments window by window; a request
+// trace becomes final only once every span that could still join it has
+// been decided. The committer buffers spans, merges each window's
+// assignments and per-trace quality, and seals a trace when its root's
+// completion time is `settle_windows` full windows behind the latest
+// closed window -- by then the root's window has closed (so every parent
+// beneath it committed) and the late-graft retention period has passed.
+// Spans the weaver declares definitively lost (shed windows, admission
+// drops, expired late spans) are committed immediately as orphan
+// fragments so nothing silently disappears between the stream and the
+// store.
+//
+// Commit order within one process is deterministic (due roots by id);
+// TraceStore::Commit is idempotent by trace id, so replaying a stream
+// tail after checkpoint restore re-commits the same traces harmlessly.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <unordered_map>
+#include <vector>
+
+#include "core/online.h"
+#include "store/store.h"
+
+namespace traceweaver::store {
+
+struct CommitterOptions {
+  /// Must mirror the OnlineOptions the weaver runs with: they define when
+  /// a trace can no longer change.
+  DurationNs window = Seconds(2);
+  DurationNs margin = Millis(500);
+  /// Full windows a rooted trace stays pending after its root completes,
+  /// covering the late-graft retention period. 1 matches the online
+  /// default (graft_retention_windows = 2 is measured from the span's own
+  /// window, which ends before the root's).
+  int settle_windows = 1;
+};
+
+class TraceCommitter {
+ public:
+  /// Schema tag of the saved pending state (SaveState/LoadState).
+  static constexpr const char* kStateSchema = "traceweaver.committer.v1";
+
+  TraceCommitter(CommitterOptions options, TraceStore* store);
+
+  /// Every span handed to OnlineTraceWeaver::Ingest.
+  void OnSpan(const Span& span);
+
+  /// Consumes the results of one Advance()/Flush() call: merges
+  /// assignments and quality, commits orphans and settled traces.
+  /// Returns traces committed by this call.
+  std::size_t OnResults(const std::vector<WindowResult>& results);
+
+  /// End of stream: commits every pending trace regardless of settling.
+  std::size_t Finalize();
+
+  std::size_t committed() const { return committed_; }
+  std::size_t pending_spans() const { return spans_.size(); }
+
+  /// Serializes the pending state (buffered spans, merged edges, quality
+  /// rows, settle clock) as CRC-guarded `traceweaver.committer.v1` JSONL.
+  /// The serve loop saves this next to the weaver checkpoint (after
+  /// sealing the store) so a restart loses no settling trace: settled
+  /// traces are on disk, pending ones ride the state file, and anything
+  /// replayed from the source offset re-commits idempotently.
+  void SaveState(std::ostream& out) const;
+
+  /// Replaces this committer's pending state with a SaveState snapshot.
+  /// Returns false (state untouched) on truncated, corrupted or
+  /// schema-mismatched input, with a reason in *error.
+  bool LoadState(std::istream& in, std::string* error = nullptr);
+
+ private:
+  /// Commits the subtree rooted at `root` (id must be in spans_) and
+  /// erases its spans; returns true when the store accepted it.
+  bool CommitTrace(SpanId root);
+  std::size_t SweepSettled();
+  void PruneQuality();
+
+  CommitterOptions options_;
+  TraceStore* store_;  ///< Not owned.
+
+  std::unordered_map<SpanId, Span> spans_;            ///< Pending spans.
+  std::unordered_map<SpanId, SpanId> parent_of_;      ///< Committed edges.
+  std::unordered_map<SpanId, std::vector<SpanId>> children_;
+  /// Latest per-root quality row seen in a WindowResult (present only
+  /// when the weaver ran with compute_quality).
+  std::unordered_map<SpanId, obs::TraceQuality> quality_;
+  TimeNs last_closed_end_ = 0;
+  std::size_t committed_ = 0;
+};
+
+}  // namespace traceweaver::store

@@ -1,0 +1,413 @@
+#include "store/store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+#include <utility>
+
+#include "trace/checkpoint.h"
+
+namespace traceweaver::store {
+namespace fs = std::filesystem;
+
+TraceStore::TraceStore(std::string dir, StoreOptions options)
+    : dir_(std::move(dir)), options_(options) {
+  snapshot_ = std::make_shared<const Snapshot>();
+  RegisterMetrics();
+}
+
+TraceStore::~TraceStore() = default;
+
+void TraceStore::RegisterMetrics() {
+  obs::MetricsRegistry* reg = options_.metrics;
+  if (reg == nullptr) return;
+  commits_ = reg->GetCounter("tw_store_commits_total", "",
+                             "Traces committed to the store", "1");
+  duplicates_ =
+      reg->GetCounter("tw_store_duplicate_commits_total", "",
+                      "Commits dropped because the trace id was already "
+                      "stored (checkpoint replay)",
+                      "1");
+  seals_ = reg->GetCounter("tw_store_segments_sealed_total", "",
+                           "Active segments sealed to disk", "1");
+  load_failures_ =
+      reg->GetCounter("tw_store_segment_load_failures_total", "",
+                      "Segment files rejected or unreadable (CRC, schema, "
+                      "truncation, IO)",
+                      "1");
+  queries_ = reg->GetCounter("tw_store_queries_total", "",
+                             "Query calls served", "1");
+  query_results_ = reg->GetCounter("tw_store_query_results_total", "",
+                                   "Trace summaries emitted by queries", "1");
+  cache_hits_ = reg->GetCounter("tw_store_cache_hits_total", "",
+                                "Hot-trace cache hits", "1");
+  cache_misses_ = reg->GetCounter("tw_store_cache_misses_total", "",
+                                  "Hot-trace cache misses", "1");
+  cache_evictions_ = reg->GetCounter("tw_store_cache_evictions_total", "",
+                                     "Hot-trace cache evictions", "1");
+  disk_reads_ = reg->GetCounter("tw_store_segment_reads_total", "",
+                                "Sealed segment files read back for a "
+                                "record fetch",
+                                "1");
+  traces_gauge_ = reg->GetGauge("tw_store_traces", "",
+                                "Traces in the store (all segments)", "1");
+  segments_gauge_ =
+      reg->GetGauge("tw_store_segments", "", "Sealed segments", "1");
+  active_gauge_ = reg->GetGauge("tw_store_active_traces", "",
+                                "Unsealed traces in the active segment", "1");
+}
+
+void TraceStore::Publish(std::shared_ptr<const Snapshot> snapshot) {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  snapshot_ = std::move(snapshot);
+}
+
+std::shared_ptr<const TraceStore::Snapshot> TraceStore::Load() const {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return snapshot_;
+}
+
+std::string TraceStore::SegmentPath(std::uint32_t id) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "segment-%06u.jsonl", id);
+  return dir_ + "/" + name;
+}
+
+std::optional<TraceStore::OpenStats> TraceStore::Open(std::string* error) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    if (error != nullptr) *error = "cannot create " + dir_;
+    return std::nullopt;
+  }
+
+  std::vector<std::pair<std::uint32_t, std::string>> files;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    unsigned id = 0;
+    char tail = 0;
+    // Only fully-named sealed segments; .tmp files from a crashed seal
+    // are ignored (and overwritten by the next seal of that id).
+    if (std::sscanf(name.c_str(), "segment-%06u.jsonl%c", &id, &tail) == 1) {
+      files.emplace_back(id, entry.path().string());
+    }
+  }
+  if (ec) {
+    if (error != nullptr) *error = "cannot scan " + dir_;
+    return std::nullopt;
+  }
+  std::sort(files.begin(), files.end());
+
+  OpenStats stats;
+  auto snapshot = std::make_shared<Snapshot>();
+  for (const auto& [id, file] : files) {
+    next_segment_ = std::max(next_segment_, id + 1);
+    std::ifstream in(file, std::ios::binary);
+    std::string reason;
+    const auto lines =
+        in ? ReadChecksummedLines(in, kSegmentSchema, &reason)
+           : std::nullopt;
+    bool ok = lines.has_value() && !lines->empty();
+    auto part = std::make_shared<SegmentPart>();
+    if (ok) {
+      part->id = id;
+      part->file = file;
+      for (std::size_t i = 1; i < lines->size() && ok; ++i) {
+        auto record = TraceRecordFromJson((*lines)[i]);
+        if (!record || known_ids_.count(record->trace_id) > 0) {
+          ok = false;
+          break;
+        }
+        TraceSummary s;
+        s.trace_id = record->trace_id;
+        s.root_service = record->root_service;
+        s.root_endpoint = record->root_endpoint;
+        s.start = record->start;
+        s.end = record->end;
+        s.grade = record->grade;
+        s.confidence = record->confidence;
+        s.orphan = record->orphan;
+        s.span_count = record->spans.size();
+        s.segment = id;
+        s.line = static_cast<std::uint32_t>(i - 1);
+        part->by_id.emplace_back(s.trace_id, s.line);
+        part->summaries.push_back(std::move(s));
+      }
+    }
+    if (!ok) {
+      ++stats.segments_rejected;
+      load_failures_.Inc();
+      continue;
+    }
+    for (const TraceSummary& s : part->summaries) {
+      known_ids_.insert(s.trace_id);
+    }
+    std::sort(part->by_id.begin(), part->by_id.end());
+    stats.traces_loaded += part->summaries.size();
+    ++stats.segments_loaded;
+    snapshot->sealed.push_back(std::move(part));
+  }
+  Publish(std::move(snapshot));
+  traces_gauge_.Set(static_cast<std::int64_t>(known_ids_.size()));
+  segments_gauge_.Set(static_cast<std::int64_t>(stats.segments_loaded));
+  active_gauge_.Set(0);
+  return stats;
+}
+
+bool TraceStore::Commit(TraceRecord record) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  if (record.trace_id == kInvalidSpanId ||
+      !known_ids_.insert(record.trace_id).second) {
+    duplicates_.Inc();
+    return false;
+  }
+
+  TraceSummary s;
+  s.trace_id = record.trace_id;
+  s.root_service = record.root_service;
+  s.root_endpoint = record.root_endpoint;
+  s.start = record.start;
+  s.end = record.end;
+  s.grade = record.grade;
+  s.confidence = record.confidence;
+  s.orphan = record.orphan;
+  s.span_count = record.spans.size();
+  s.segment = TraceSummary::kActiveSegment;
+
+  const auto current = Load();
+  auto next = std::make_shared<Snapshot>(*current);
+  s.line = static_cast<std::uint32_t>(next->active_summaries.size());
+  next->active_summaries.push_back(std::move(s));
+  next->active_records.push_back(
+      std::make_shared<const TraceRecord>(std::move(record)));
+  const std::size_t active = next->active_summaries.size();
+  Publish(std::move(next));
+
+  commits_.Inc();
+  traces_gauge_.Set(static_cast<std::int64_t>(known_ids_.size()));
+  active_gauge_.Set(static_cast<std::int64_t>(active));
+  if (options_.segment_traces > 0 && active >= options_.segment_traces) {
+    SealLocked(nullptr);
+  }
+  return true;
+}
+
+bool TraceStore::Seal(std::string* error) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  return SealLocked(error);
+}
+
+bool TraceStore::SealLocked(std::string* error) {
+  const auto current = Load();
+  if (current->active_summaries.empty()) return true;
+
+  const std::uint32_t id = next_segment_;
+  const std::string path = SegmentPath(id);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      if (error != nullptr) *error = "cannot write " + tmp;
+      return false;
+    }
+    ChecksummedWriter writer(out, kSegmentSchema);
+    std::string header = "{\"schema\":\"";
+    header += kSegmentSchema;
+    header += "\",\"segment\":";
+    header += std::to_string(id);
+    header += ",\"traces\":";
+    header += std::to_string(current->active_records.size());
+    header += '}';
+    writer.WriteLine(header);
+    for (const auto& record : current->active_records) {
+      writer.WriteLine(TraceRecordToJson(*record));
+    }
+    writer.Finish();
+    out.flush();
+    if (!out) {
+      if (error != nullptr) *error = "write failed on " + tmp;
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error != nullptr) *error = "cannot rename " + tmp;
+    return false;
+  }
+
+  auto part = std::make_shared<SegmentPart>();
+  part->id = id;
+  part->file = path;
+  part->summaries = current->active_summaries;
+  for (TraceSummary& s : part->summaries) {
+    s.segment = id;  // line index already assigned at commit.
+    part->by_id.emplace_back(s.trace_id, s.line);
+  }
+  std::sort(part->by_id.begin(), part->by_id.end());
+
+  auto next = std::make_shared<Snapshot>();
+  next->sealed = current->sealed;
+  next->sealed.push_back(part);
+  Publish(std::move(next));
+  next_segment_ = id + 1;
+
+  // Freshly sealed records stay hot: recent commits are the likeliest
+  // fetches and their memory was already paid for.
+  for (std::size_t i = 0; i < current->active_records.size(); ++i) {
+    CacheInsert(current->active_summaries[i].trace_id,
+                current->active_records[i]);
+  }
+  seals_.Inc();
+  segments_gauge_.Set(static_cast<std::int64_t>(next_segment_));
+  active_gauge_.Set(0);
+  return true;
+}
+
+bool TraceStore::Contains(SpanId trace_id) const {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  return known_ids_.count(trace_id) > 0;
+}
+
+std::shared_ptr<const TraceRecord> TraceStore::CacheLookup(
+    SpanId id) const {
+  if (options_.cache_traces == 0) return nullptr;
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  const auto it = cache_index_.find(id);
+  if (it == cache_index_.end()) return nullptr;
+  cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+  return it->second->second;
+}
+
+void TraceStore::CacheInsert(
+    SpanId id, std::shared_ptr<const TraceRecord> rec) const {
+  if (options_.cache_traces == 0 || rec == nullptr) return;
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  const auto it = cache_index_.find(id);
+  if (it != cache_index_.end()) {
+    cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+    return;
+  }
+  cache_lru_.emplace_front(id, std::move(rec));
+  cache_index_[id] = cache_lru_.begin();
+  while (cache_lru_.size() > options_.cache_traces) {
+    cache_index_.erase(cache_lru_.back().first);
+    cache_lru_.pop_back();
+    cache_evictions_.Inc();
+  }
+}
+
+std::shared_ptr<const TraceRecord> TraceStore::FetchSealed(
+    const SegmentPart& part, std::uint32_t line) const {
+  disk_reads_.Inc();
+  std::ifstream in(part.file, std::ios::binary);
+  if (!in) {
+    load_failures_.Inc();
+    return nullptr;
+  }
+  std::string reason;
+  const auto lines = ReadChecksummedLines(in, kSegmentSchema, &reason);
+  if (!lines || lines->size() <= line + 1) {
+    load_failures_.Inc();
+    return nullptr;
+  }
+  auto record = TraceRecordFromJson((*lines)[line + 1]);
+  if (!record) {
+    load_failures_.Inc();
+    return nullptr;
+  }
+  return std::make_shared<const TraceRecord>(std::move(*record));
+}
+
+std::shared_ptr<const TraceRecord> TraceStore::Get(SpanId trace_id) const {
+  const auto snapshot = Load();
+  // Active segment: newest records, already in memory.
+  for (std::size_t i = snapshot->active_summaries.size(); i-- > 0;) {
+    if (snapshot->active_summaries[i].trace_id == trace_id) {
+      return snapshot->active_records[i];
+    }
+  }
+  for (std::size_t s = snapshot->sealed.size(); s-- > 0;) {
+    const SegmentPart& part = *snapshot->sealed[s];
+    const auto it = std::lower_bound(
+        part.by_id.begin(), part.by_id.end(),
+        std::make_pair(trace_id, std::uint32_t{0}));
+    if (it == part.by_id.end() || it->first != trace_id) continue;
+    if (auto hit = CacheLookup(trace_id)) {
+      cache_hits_.Inc();
+      return hit;
+    }
+    cache_misses_.Inc();
+    auto record = FetchSealed(part, it->second);
+    CacheInsert(trace_id, record);
+    return record;
+  }
+  return nullptr;
+}
+
+namespace {
+
+bool Matches(const TraceSummary& s, const TraceQuery& q) {
+  if (!q.service.empty() && s.root_service != q.service) return false;
+  if (s.end < q.from || s.start > q.to) return false;
+  if (s.grade > q.max_grade) return false;
+  if (s.confidence < q.min_confidence) return false;
+  return true;
+}
+
+}  // namespace
+
+std::vector<TraceSummary> TraceStore::QuerySummaries(
+    const TraceQuery& query) const {
+  const auto snapshot = Load();
+  std::vector<TraceSummary> matches;
+  for (const auto& part : snapshot->sealed) {
+    for (const TraceSummary& s : part->summaries) {
+      if (Matches(s, query)) matches.push_back(s);
+    }
+  }
+  for (const TraceSummary& s : snapshot->active_summaries) {
+    if (Matches(s, query)) matches.push_back(s);
+  }
+  std::sort(matches.begin(), matches.end(),
+            [](const TraceSummary& a, const TraceSummary& b) {
+              if (a.start != b.start) return a.start < b.start;
+              return a.trace_id < b.trace_id;
+            });
+  if (query.limit > 0 && matches.size() > query.limit) {
+    matches.resize(query.limit);
+  }
+  return matches;
+}
+
+std::size_t TraceStore::Query(
+    const TraceQuery& query,
+    const std::function<bool(const TraceSummary&,
+                             const std::shared_ptr<const TraceRecord>&)>&
+        emit) const {
+  queries_.Inc();
+  const auto summaries = QuerySummaries(query);
+  std::size_t emitted = 0;
+  for (const TraceSummary& s : summaries) {
+    ++emitted;
+    query_results_.Inc();
+    if (!emit(s, Get(s.trace_id))) break;
+  }
+  return emitted;
+}
+
+std::size_t TraceStore::size() const {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  return known_ids_.size();
+}
+
+std::size_t TraceStore::sealed_segments() const {
+  return Load()->sealed.size();
+}
+
+std::size_t TraceStore::active_traces() const {
+  return Load()->active_summaries.size();
+}
+
+}  // namespace traceweaver::store

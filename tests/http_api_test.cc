@@ -1,0 +1,458 @@
+// HTTP query API (src/serve): golden responses over a raw socket,
+// chunked round-trips, hostile query strings, and the URL/target
+// parsing helpers.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/explain.h"
+#include "core/trace_weaver.h"
+#include "serve/http_server.h"
+#include "serve/query_service.h"
+#include "store/store.h"
+#include "test_helpers.h"
+#include "trace/trace_record.h"
+
+namespace traceweaver::serve {
+namespace {
+
+namespace fs = std::filesystem;
+using ::traceweaver::testing::MakeSpan;
+using ::traceweaver::testing::SimpleGraph;
+
+/// One parsed HTTP response read raw off the socket.
+struct HttpResult {
+  bool ok = false;  ///< A complete response was framed and decoded.
+  int status = 0;
+  std::map<std::string, std::string> headers;  ///< Lower-cased names.
+  std::string body;                            ///< De-chunked when chunked.
+  bool chunked = false;
+};
+
+/// A client connection that frames responses the way the server sends
+/// them (Content-Length or chunked) so keep-alive reuse works.
+class Client {
+ public:
+  explicit Client(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool connected() const { return fd_ >= 0; }
+
+  bool SendRaw(const std::string& bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n =
+          ::send(fd_, bytes.data() + off, bytes.size() - off, 0);
+      if (n <= 0) return false;
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  HttpResult Request(const std::string& method, const std::string& target) {
+    HttpResult r;
+    if (!SendRaw(method + " " + target + " HTTP/1.1\r\nHost: t\r\n\r\n")) {
+      return r;
+    }
+    return ReadResponse();
+  }
+
+  HttpResult ReadResponse() {
+    HttpResult r;
+    // Headers.
+    std::size_t header_end;
+    while ((header_end = buf_.find("\r\n\r\n")) == std::string::npos) {
+      if (!Fill()) return r;
+    }
+    const std::string head = buf_.substr(0, header_end);
+    buf_.erase(0, header_end + 4);
+    std::size_t line_end = head.find("\r\n");
+    const std::string status_line =
+        head.substr(0, line_end == std::string::npos ? head.size() : line_end);
+    if (status_line.rfind("HTTP/1.1 ", 0) != 0) return r;
+    r.status = std::atoi(status_line.c_str() + 9);
+    std::size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
+    while (pos < head.size()) {
+      std::size_t end = head.find("\r\n", pos);
+      if (end == std::string::npos) end = head.size();
+      const std::string line = head.substr(pos, end - pos);
+      pos = end + 2;
+      const std::size_t colon = line.find(':');
+      if (colon == std::string::npos) continue;
+      std::string name = line.substr(0, colon);
+      for (char& c : name) c = static_cast<char>(std::tolower(c));
+      std::size_t v = colon + 1;
+      while (v < line.size() && line[v] == ' ') ++v;
+      r.headers[name] = line.substr(v);
+    }
+
+    // Body.
+    if (r.headers["transfer-encoding"] == "chunked") {
+      r.chunked = true;
+      if (!ReadChunkedBody(&r.body)) return r;
+    } else {
+      const std::size_t len = static_cast<std::size_t>(
+          std::atoll(r.headers["content-length"].c_str()));
+      while (buf_.size() < len) {
+        if (!Fill()) return r;
+      }
+      r.body = buf_.substr(0, len);
+      buf_.erase(0, len);
+    }
+    r.ok = true;
+    return r;
+  }
+
+ private:
+  bool Fill() {
+    char tmp[4096];
+    const ssize_t n = ::recv(fd_, tmp, sizeof(tmp), 0);
+    if (n <= 0) return false;
+    buf_.append(tmp, static_cast<std::size_t>(n));
+    return true;
+  }
+
+  bool ReadChunkedBody(std::string* out) {
+    for (;;) {
+      std::size_t eol;
+      while ((eol = buf_.find("\r\n")) == std::string::npos) {
+        if (!Fill()) return false;
+      }
+      const std::size_t size =
+          static_cast<std::size_t>(std::strtoull(buf_.c_str(), nullptr, 16));
+      buf_.erase(0, eol + 2);
+      while (buf_.size() < size + 2) {
+        if (!Fill()) return false;
+      }
+      out->append(buf_, 0, size);
+      if (buf_.compare(size, 2, "\r\n") != 0) return false;
+      buf_.erase(0, size + 2);
+      if (size == 0) return true;  // Terminal chunk.
+    }
+  }
+
+  int fd_ = -1;
+  std::string buf_;  ///< Bytes received but not yet consumed.
+};
+
+/// Store + service + server on an ephemeral port, with four known traces.
+class HttpApiTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("tw_http_test_" +
+            std::string(
+                ::testing::UnitTest::GetInstance()->current_test_info()->name()) +
+            "_" + std::to_string(::getpid()));
+    fs::remove_all(dir_);
+    store::StoreOptions sopts;
+    sopts.metrics = &registry_;
+    store_ = std::make_unique<store::TraceStore>(dir_.string(), sopts);
+    ASSERT_TRUE(store_->Open().has_value());
+
+    // Trace 1 matches SimpleGraph (A:/a -> B:/b) so /explain works on it.
+    {
+      TraceRecord r;
+      r.trace_id = 1;
+      r.root_service = "A";
+      r.root_endpoint = "/a";
+      r.grade = 'A';
+      r.confidence = 0.95;
+      r.min_confidence = 0.95;
+      r.spans = {MakeSpan(1, kClientCaller, "A", "/a", Millis(10), Millis(20)),
+                 MakeSpan(2, "A", "B", "/b", Millis(12), Millis(18))};
+      r.parents = {{2, 1}};
+      r.start = r.spans[0].client_send;
+      r.end = r.spans[0].client_recv;
+      ASSERT_TRUE(store_->Commit(r));
+    }
+    CommitSimple(2, "front", 'B', 0.8, Millis(30));
+    CommitSimple(3, "front", 'C', 0.4, Millis(50));
+    CommitSimple(4, "back", 'D', 0.1, Millis(70));
+
+    graph_ = SimpleGraph();
+    service_ = std::make_unique<QueryService>(store_.get(), &graph_,
+                                              &registry_);
+    HttpServerOptions hopts;
+    hopts.port = 0;
+    hopts.worker_threads = 2;
+    hopts.idle_timeout_ms = 2000;
+    hopts.metrics = &registry_;
+    server_ = std::make_unique<HttpServer>(
+        [this](const HttpRequest& req, HttpResponse& resp) {
+          service_->Handle(req, resp);
+        },
+        hopts);
+    std::string err;
+    ASSERT_TRUE(server_->Start(&err)) << err;
+    ASSERT_GT(server_->port(), 0);
+  }
+
+  void TearDown() override {
+    server_->Stop();
+    fs::remove_all(dir_);
+  }
+
+  void CommitSimple(SpanId id, const std::string& service, char grade,
+                    double confidence, TimeNs at) {
+    TraceRecord r;
+    r.trace_id = id;
+    r.root_service = service;
+    r.root_endpoint = "/x";
+    r.grade = grade;
+    r.confidence = confidence;
+    r.min_confidence = confidence;
+    r.spans = {MakeSpan(id, kClientCaller, service, "/x", at, at + Millis(5))};
+    r.start = r.spans[0].client_send;
+    r.end = r.spans[0].client_recv;
+    ASSERT_TRUE(store_->Commit(r));
+  }
+
+  HttpResult Get(const std::string& target) {
+    Client c(server_->port());
+    EXPECT_TRUE(c.connected());
+    return c.Request("GET", target);
+  }
+
+  /// Expected JSONL body of a listing: each id's stored record, one line
+  /// each, in the given order.
+  std::string Jsonl(std::initializer_list<SpanId> ids) {
+    std::string out;
+    for (SpanId id : ids) {
+      const auto rec = store_->Get(id);
+      EXPECT_NE(rec, nullptr);
+      if (rec != nullptr) out += TraceRecordToJson(*rec) + "\n";
+    }
+    return out;
+  }
+
+  fs::path dir_;
+  obs::MetricsRegistry registry_;
+  std::unique_ptr<store::TraceStore> store_;
+  CallGraph graph_;
+  std::unique_ptr<QueryService> service_;
+  std::unique_ptr<HttpServer> server_;
+};
+
+TEST_F(HttpApiTest, HealthzReportsStoreStats) {
+  const HttpResult r = Get("/healthz");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.body.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(r.body.find("\"traces\":4"), std::string::npos);
+}
+
+TEST_F(HttpApiTest, TraceGetGolden) {
+  const HttpResult r = Get("/traces/1");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.headers.at("content-type"), "application/json");
+  const auto rec = store_->Get(1);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(r.body, TraceRecordToJson(*rec) + "\n");
+}
+
+TEST_F(HttpApiTest, TraceGetErrors) {
+  EXPECT_EQ(Get("/traces/999").status, 404);
+  EXPECT_EQ(Get("/traces/abc").status, 400);
+  EXPECT_EQ(Get("/traces/-1").status, 400);
+  EXPECT_EQ(Get("/traces/1x").status, 400);
+  EXPECT_EQ(Get("/nope").status, 404);
+  EXPECT_EQ(Get("/").status, 404);
+}
+
+TEST_F(HttpApiTest, NonGetRejected) {
+  Client c(server_->port());
+  ASSERT_TRUE(c.connected());
+  ASSERT_TRUE(c.SendRaw("POST /traces HTTP/1.1\r\nHost: t\r\n"
+                        "Content-Length: 0\r\n\r\n"));
+  const HttpResult r = c.ReadResponse();
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.status, 405);
+}
+
+TEST_F(HttpApiTest, ListStreamsChunkedJsonl) {
+  const HttpResult r = Get("/traces?service=front");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.status, 200);
+  EXPECT_TRUE(r.chunked) << "listing must stream";
+  EXPECT_EQ(r.headers.at("content-type"), "application/x-ndjson");
+  EXPECT_EQ(r.body, Jsonl({2, 3}));  // (start, id) order.
+}
+
+TEST_F(HttpApiTest, ListFilters) {
+  EXPECT_EQ(Get("/traces").body, Jsonl({1, 2, 3, 4}));
+  EXPECT_EQ(Get("/traces?grade=A").body, Jsonl({1}));
+  EXPECT_EQ(Get("/traces?grade=b").body, Jsonl({1, 2}));  // Case folded.
+  EXPECT_EQ(Get("/traces?min_confidence=0.5").body, Jsonl({1, 2}));
+  EXPECT_EQ(Get("/traces?limit=2").body, Jsonl({1, 2}));
+  EXPECT_EQ(Get("/traces?service=back&grade=D").body, Jsonl({4}));
+  EXPECT_EQ(Get("/traces?service=nosuch").body, "");
+  // Time-range overlap against trace 2's [start, end] window.
+  const auto rec = store_->Get(2);
+  ASSERT_NE(rec, nullptr);
+  const std::string window = "/traces?from=" + std::to_string(rec->start) +
+                             "&to=" + std::to_string(rec->end);
+  EXPECT_EQ(Get(window).body, Jsonl({2}));
+  EXPECT_EQ(Get("/traces?from=" + std::to_string(rec->end + 1) +
+                "&to=" + std::to_string(rec->end + 2))
+                .body,
+            "");
+}
+
+TEST_F(HttpApiTest, HostileQueryStringsGet400) {
+  const char* bad[] = {
+      "/traces?grade=Z",          "/traces?grade=",
+      "/traces?grade=AB",         "/traces?limit=abc",
+      "/traces?limit=-1",         "/traces?limit=0",
+      "/traces?limit=1x",         "/traces?min_confidence=2",
+      "/traces?min_confidence=-0.1", "/traces?min_confidence=nope",
+      "/traces?from=abc",         "/traces?to=1.5",
+  };
+  for (const char* target : bad) {
+    const HttpResult r = Get(target);
+    ASSERT_TRUE(r.ok) << target;
+    EXPECT_EQ(r.status, 400) << target;
+  }
+  // Odd-but-legal targets must not crash or 400: unknown params are
+  // ignored, malformed escapes decode literally, empty pairs are skipped.
+  EXPECT_EQ(Get("/traces?&&&").status, 200);
+  EXPECT_EQ(Get("/traces?bogus=1&service=front").body, Jsonl({2, 3}));
+  EXPECT_EQ(Get("/traces?service=%zz").status, 200);
+  EXPECT_EQ(Get("/traces?service=front%").body, "");
+  EXPECT_EQ(Get("/traces/").status, 200);  // Trailing slash = listing.
+}
+
+TEST_F(HttpApiTest, MalformedFramingGets400) {
+  Client c(server_->port());
+  ASSERT_TRUE(c.connected());
+  ASSERT_TRUE(c.SendRaw("this is not http\r\n\r\n"));
+  const HttpResult r = c.ReadResponse();
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.status, 400);
+}
+
+TEST_F(HttpApiTest, KeepAliveServesSequentialRequests) {
+  Client c(server_->port());
+  ASSERT_TRUE(c.connected());
+  const HttpResult a = c.Request("GET", "/healthz");
+  ASSERT_TRUE(a.ok);
+  EXPECT_EQ(a.status, 200);
+  const HttpResult b = c.Request("GET", "/traces/1");
+  ASSERT_TRUE(b.ok);
+  EXPECT_EQ(b.status, 200);
+  const auto rec = store_->Get(1);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(b.body, TraceRecordToJson(*rec) + "\n");
+}
+
+TEST_F(HttpApiTest, ExplainMatchesDirectCapture) {
+  const HttpResult r = Get("/traces/1/explain");
+  ASSERT_TRUE(r.ok);
+  ASSERT_EQ(r.status, 200) << r.body;
+  EXPECT_EQ(r.headers.at("content-type"), "application/json");
+
+  // Golden: the same single-threaded reconstruction over the stored
+  // trace's own spans, explain aimed at the root.
+  const auto rec = store_->Get(1);
+  ASSERT_NE(rec, nullptr);
+  ExplainCapture capture;
+  TraceWeaverOptions opts;
+  opts.num_threads = 1;
+  opts.optimizer.explain_parent = 1;
+  opts.optimizer.explain_out = &capture;
+  TraceWeaver weaver(graph_, opts);
+  (void)weaver.Reconstruct(rec->spans);
+  ASSERT_TRUE(capture.found);
+  EXPECT_EQ(r.body, ExplainJson(capture));
+}
+
+TEST_F(HttpApiTest, ExplainErrors) {
+  EXPECT_EQ(Get("/traces/999/explain").status, 404);
+  EXPECT_EQ(Get("/traces/1/explain?parent=abc").status, 400);
+  // Span 2 is a leaf, never a parent: explain finds nothing.
+  EXPECT_EQ(Get("/traces/1/explain?parent=2").status, 404);
+}
+
+TEST_F(HttpApiTest, MetricsExposition) {
+  ASSERT_EQ(Get("/traces/1").status, 200);  // Prime the route counters.
+  const HttpResult r = Get("/metrics");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.headers.at("content-type"),
+            "text/plain; version=0.0.4; charset=utf-8");
+  EXPECT_NE(r.body.find("tw_store_commits_total 4"), std::string::npos)
+      << r.body;
+  // Counters increment just after the response bytes go out, so assert
+  // the labeled series exist rather than racing on exact counts.
+  EXPECT_NE(r.body.find("tw_http_requests_total{route=\"trace_get\"}"),
+            std::string::npos);
+  EXPECT_NE(r.body.find("tw_http_responses_total{code=\"200\"}"),
+            std::string::npos);
+  EXPECT_NE(r.body.find("tw_http_connections_total"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// URL / target parsing units (no server).
+
+TEST(UrlDecodeTest, DecodesEscapesAndPlus) {
+  EXPECT_EQ(UrlDecode("a+b"), "a b");
+  EXPECT_EQ(UrlDecode("a%20b"), "a b");
+  EXPECT_EQ(UrlDecode("%2Fetc%2fpasswd"), "/etc/passwd");
+  EXPECT_EQ(UrlDecode(""), "");
+  // Malformed escapes are kept literally, never dropped or fatal.
+  EXPECT_EQ(UrlDecode("100%"), "100%");
+  EXPECT_EQ(UrlDecode("%zz"), "%zz");
+  EXPECT_EQ(UrlDecode("%2"), "%2");
+  EXPECT_EQ(UrlDecode("%%41"), "%A");
+}
+
+TEST(ParseTargetTest, SplitsPathAndParams) {
+  HttpRequest r;
+  ParseTarget("/traces?service=front+desk&grade=A&flag", r);
+  EXPECT_EQ(r.path, "/traces");
+  EXPECT_EQ(r.target, "/traces?service=front+desk&grade=A&flag");
+  ASSERT_EQ(r.params.size(), 3u);
+  EXPECT_EQ(r.Param("service"), "front desk");
+  EXPECT_EQ(r.Param("grade"), "A");
+  EXPECT_TRUE(r.HasParam("flag"));
+  EXPECT_EQ(r.Param("flag"), "");
+  EXPECT_FALSE(r.HasParam("absent"));
+  EXPECT_EQ(r.Param("absent"), "");
+
+  HttpRequest plain;
+  ParseTarget("/metrics", plain);
+  EXPECT_EQ(plain.path, "/metrics");
+  EXPECT_TRUE(plain.params.empty());
+
+  HttpRequest weird;
+  ParseTarget("/a%20b?x=%3D&&y=1%262", weird);
+  EXPECT_EQ(weird.path, "/a b");
+  ASSERT_EQ(weird.params.size(), 2u);
+  EXPECT_EQ(weird.Param("x"), "=");
+  EXPECT_EQ(weird.Param("y"), "1&2");
+}
+
+}  // namespace
+}  // namespace traceweaver::serve

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Docs consistency checker, run as a ctest (`ctest -R check_docs`).
+
+Three audits, all against the working tree (no build needed):
+
+ 1. Relative markdown links in README.md, DESIGN.md and docs/*.md must
+    point at files that exist.
+ 2. Every `tw_*` metric name mentioned in those docs must exist as a
+    string literal somewhere under src/ (a `tw_foo_*` mention is a
+    prefix and must match at least one real name).
+ 3. Every metric registered in src/ must be catalogued in
+    docs/METRICS.md.
+
+Exit status is the number of problems found; each problem is printed as
+`file: message` so editors can jump to it.
+"""
+
+import os
+import re
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+DOC_FILES = ["README.md", "DESIGN.md"] + sorted(
+    os.path.join("docs", f)
+    for f in os.listdir(os.path.join(ROOT, "docs"))
+    if f.endswith(".md")
+)
+
+# `tw_`-prefixed names that are build targets / helpers, not metrics.
+NON_METRIC = {"tw_" + d for d in os.listdir(os.path.join(ROOT, "src"))} | {
+    "tw_add_test",
+    "tw_test_libs",
+}
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+MENTION_RE = re.compile(r"\btw_[a-z0-9_]+\*?")
+LITERAL_RE = re.compile(r'"(tw_[a-z0-9_]+)"')
+
+
+def read(relpath):
+    with open(os.path.join(ROOT, relpath), encoding="utf-8") as f:
+        return f.read()
+
+
+def check_links(problems):
+    for doc in DOC_FILES:
+        base = os.path.dirname(os.path.join(ROOT, doc))
+        for target in LINK_RE.findall(read(doc)):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            if path and not os.path.exists(os.path.join(base, path)):
+                problems.append(f"{doc}: dead link -> {target}")
+
+
+def source_metric_names():
+    names = set()
+    for dirpath, _, files in os.walk(os.path.join(ROOT, "src")):
+        for f in files:
+            if f.endswith((".cc", ".h")):
+                with open(os.path.join(dirpath, f), encoding="utf-8") as fh:
+                    names.update(LITERAL_RE.findall(fh.read()))
+    return names - NON_METRIC
+
+
+def check_doc_mentions(problems, source_names):
+    for doc in DOC_FILES:
+        seen = set()
+        for mention in MENTION_RE.findall(read(doc)):
+            name = mention.rstrip("*")
+            if name in seen:
+                continue
+            seen.add(name)
+            if name in NON_METRIC:
+                continue
+            if name.endswith("_"):  # written as a family prefix, tw_foo_*
+                if not any(s.startswith(name) for s in source_names):
+                    problems.append(
+                        f"{doc}: metric prefix {mention} matches nothing in src/"
+                    )
+            elif name not in source_names:
+                problems.append(f"{doc}: metric {name} not found in src/")
+
+
+def check_metrics_catalogue(problems, source_names):
+    catalogue = read(os.path.join("docs", "METRICS.md"))
+    for name in sorted(source_names):
+        if name not in catalogue:
+            problems.append(
+                f"docs/METRICS.md: source metric {name} is not catalogued"
+            )
+
+
+def main():
+    problems = []
+    check_links(problems)
+    names = source_metric_names()
+    check_doc_mentions(problems, names)
+    check_metrics_catalogue(problems, names)
+    for p in problems:
+        print(p)
+    if not problems:
+        print(
+            f"check_docs: OK ({len(DOC_FILES)} docs, "
+            f"{len(names)} source metric names)"
+        )
+    return min(len(problems), 100)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

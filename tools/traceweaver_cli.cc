@@ -15,7 +15,18 @@
 //                                                       mode (§5.3) with
 //                                                       bounded memory,
 //                                                       overload ladder and
-//                                                       checkpoint/restore
+//                                                       checkpoint/restore;
+//                                                       --store-dir commits
+//                                                       settled traces to a
+//                                                       queryable store and
+//                                                       --http-port serves
+//                                                       the query API
+//                                                       (docs/API.md)
+//   traceweaver query <store-dir> [trace_id]            query a trace store
+//                                                       offline: summaries
+//                                                       (filters below), a
+//                                                       full record by id,
+//                                                       or --full records
 //   traceweaver sort-spans <spans.jsonl>                completion-ordered
 //                                                       JSONL -> stdout (a
 //                                                       live collector's
@@ -46,11 +57,16 @@
 // `simulate`/`replay` carries ground truth so `evaluate` can score
 // reconstructions; `reconstruct` never reads those fields.
 #include <algorithm>
+#include <atomic>
+#include <cctype>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <limits>
+#include <memory>
 #include <string>
 #include <thread>
 #include <utility>
@@ -65,12 +81,17 @@
 #include "obs/metrics.h"
 #include "obs/prometheus.h"
 #include "obs/run_report.h"
+#include "serve/http_server.h"
+#include "serve/query_service.h"
 #include "sim/apps.h"
 #include "sim/fault_injector.h"
 #include "sim/workload.h"
+#include "store/committer.h"
+#include "store/store.h"
 #include "trace/jaeger_export.h"
 #include "trace/jsonl_io.h"
 #include "trace/span_validator.h"
+#include "trace/trace_record.h"
 
 namespace {
 
@@ -92,6 +113,7 @@ int Usage() {
       "  traceweaver explain [flags] <graph.txt> <spans.jsonl> "
       "<parent_span_id>\n"
       "  traceweaver serve [flags] <graph.txt> <spans.jsonl>\n"
+      "  traceweaver query [flags] <store-dir> [trace_id]\n"
       "  traceweaver sort-spans <spans.jsonl>\n"
       "\n"
       "flags (serve):\n"
@@ -112,6 +134,27 @@ int Usage() {
       "                       backoff (default 5)\n"
       "  --final              emit only the final assignment union at\n"
       "                       EOF instead of per-window streaming lines\n"
+      "  --store-dir=D        commit settled traces to the queryable\n"
+      "                       store at D (implies --quality; segment\n"
+      "                       files docs/OPERATIONS.md)\n"
+      "  --store-segment-traces=N\n"
+      "                       traces per sealed segment (default 256)\n"
+      "  --cache-traces=N     hot-trace LRU capacity (default 128)\n"
+      "  --http-port=P        serve the HTTP query API (docs/API.md) on\n"
+      "                       127.0.0.1:P (0 = ephemeral, printed on\n"
+      "                       stderr; requires --store-dir)\n"
+      "  --http-threads=N     HTTP worker threads (default 4)\n"
+      "  --linger             after EOF keep serving HTTP until SIGINT/\n"
+      "                       SIGTERM\n"
+      "\n"
+      "flags (query):\n"
+      "  --service=S          exact root-service match\n"
+      "  --from=NS / --to=NS  time-range overlap filter (nanoseconds)\n"
+      "  --grade=G            worst acceptable grade A..D (default D)\n"
+      "  --min-confidence=X   minimum trace confidence\n"
+      "  --limit=N            stop after N matches\n"
+      "  --full               print full trace records instead of\n"
+      "                       summaries\n"
       "\n"
       "flags (reconstruction commands):\n"
       "  --threads=N         worker threads (default: all hardware\n"
@@ -171,6 +214,20 @@ struct CliFlags {
   bool resume = false;
   int retries = 5;
   bool final_only = false;  ///< Emit only the EOF assignment union.
+
+  // --- trace store + HTTP query API (serve), query subcommand ---
+  std::string store_dir;              ///< "" = store off.
+  std::size_t store_segment_traces = 256;
+  std::size_t cache_traces = 128;
+  int http_port = -1;                 ///< < 0 = HTTP off; 0 = ephemeral.
+  std::size_t http_threads = 4;
+  bool linger = false;   ///< Keep serving HTTP after EOF until a signal.
+  std::string q_service;              ///< query: --service=.
+  long long q_from = std::numeric_limits<long long>::min();
+  long long q_to = std::numeric_limits<long long>::max();
+  char q_grade = 'D';
+  std::size_t q_limit = 0;            ///< 0 = unlimited.
+  bool q_full = false;                ///< query: full records.
 
   bool WantMetrics() const {
     return report || profile_stages || !report_json.empty() ||
@@ -249,6 +306,33 @@ CliFlags ParseFlags(int& argc, char**& argv) {
       flags.retries = static_cast<int>(num(arg, 10));
     } else if (arg == "--final") {
       flags.final_only = true;
+    } else if (arg.rfind("--store-dir=", 0) == 0) {
+      flags.store_dir = arg.substr(12);
+    } else if (arg.rfind("--store-segment-traces=", 0) == 0) {
+      flags.store_segment_traces = static_cast<std::size_t>(num(arg, 23));
+      if (flags.store_segment_traces == 0) flags.store_segment_traces = 1;
+    } else if (arg.rfind("--cache-traces=", 0) == 0) {
+      flags.cache_traces = static_cast<std::size_t>(num(arg, 15));
+    } else if (arg.rfind("--http-port=", 0) == 0) {
+      flags.http_port = static_cast<int>(num(arg, 12));
+    } else if (arg.rfind("--http-threads=", 0) == 0) {
+      flags.http_threads = static_cast<std::size_t>(num(arg, 15));
+      if (flags.http_threads == 0) flags.http_threads = 1;
+    } else if (arg == "--linger") {
+      flags.linger = true;
+    } else if (arg.rfind("--service=", 0) == 0) {
+      flags.q_service = arg.substr(10);
+    } else if (arg.rfind("--from=", 0) == 0) {
+      flags.q_from = std::strtoll(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--to=", 0) == 0) {
+      flags.q_to = std::strtoll(arg.c_str() + 5, nullptr, 10);
+    } else if (arg.rfind("--grade=", 0) == 0 && arg.size() == 9) {
+      flags.q_grade = static_cast<char>(
+          std::toupper(static_cast<unsigned char>(arg[8])));
+    } else if (arg.rfind("--limit=", 0) == 0) {
+      flags.q_limit = static_cast<std::size_t>(num(arg, 8));
+    } else if (arg == "--full") {
+      flags.q_full = true;
     } else {
       break;
     }
@@ -746,6 +830,27 @@ bool WriteCheckpointAtomic(const OnlineTraceWeaver& weaver,
   return std::rename(tmp.c_str(), path.c_str()) == 0;
 }
 
+/// Same tmp + rename discipline for the committer's pending-trace state,
+/// written next to the weaver checkpoint.
+bool WriteCommitterAtomic(const store::TraceCommitter& committer,
+                          const std::string& dir) {
+  const std::string path = dir + "/committer.jsonl";
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    committer.SaveState(out);
+    out.flush();
+    if (!out) return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+/// SIGINT/SIGTERM latch for the serve loop: first signal requests a
+/// graceful checkpoint-and-exit (and ends --linger).
+std::atomic<bool> g_stop{false};
+void HandleStopSignal(int) { g_stop.store(true); }
+
 void EmitWindowResults(const std::vector<WindowResult>& results) {
   for (const WindowResult& r : results) {
     std::printf(
@@ -774,8 +879,17 @@ void EmitWindowResults(const std::vector<WindowResult>& results) {
 int CmdServe(int argc, char** argv) {
   const CliFlags flags = ParseFlags(argc, argv);
   if (argc < 3) return Usage();
+  const bool store_enabled = !flags.store_dir.empty();
+  const bool http_enabled = flags.http_port >= 0;
+  if (http_enabled && !store_enabled) {
+    std::fprintf(stderr, "serve: --http-port requires --store-dir\n");
+    return 2;
+  }
   obs::MetricsRegistry registry;
-  obs::MetricsRegistry* reg = flags.WantMetrics() ? &registry : nullptr;
+  // The store/HTTP layers always record into the registry (the /metrics
+  // endpoint scrapes it); file/report outputs still need the flags.
+  obs::MetricsRegistry* reg =
+      flags.WantMetrics() || store_enabled ? &registry : nullptr;
   auto graph = LoadGraph(argv[1]);
   if (!graph) return 1;
   const std::string source = argv[2];
@@ -787,11 +901,43 @@ int CmdServe(int argc, char** argv) {
   oopts.max_buffer_spans = flags.max_buffer_spans;
   oopts.max_buffer_bytes = flags.max_buffer_bytes;
   oopts.weaver = WeaverOptions(flags, &registry);
-  oopts.weaver.compute_quality = false;
+  oopts.weaver.metrics = reg;
+  // The store indexes A-D grades and calibrated confidence, so committing
+  // turns the quality layer on; without a store it stays a paid opt-in.
+  oopts.weaver.compute_quality = flags.quality || store_enabled;
   oopts.metrics = reg;
   OnlineTraceWeaver weaver(*graph, oopts);
   obs::OnlineMetrics ometrics;
   if (reg != nullptr) ometrics = obs::OnlineMetrics(*reg);
+
+  std::unique_ptr<store::TraceStore> tstore;
+  std::unique_ptr<store::TraceCommitter> committer;
+  if (store_enabled) {
+    store::StoreOptions sopts;
+    sopts.segment_traces = flags.store_segment_traces;
+    sopts.cache_traces = flags.cache_traces;
+    sopts.metrics = reg;
+    tstore = std::make_unique<store::TraceStore>(flags.store_dir, sopts);
+    std::string err;
+    const auto ostats = tstore->Open(&err);
+    if (!ostats) {
+      std::fprintf(stderr, "serve: cannot open store %s: %s\n",
+                   flags.store_dir.c_str(), err.c_str());
+      return 1;
+    }
+    if (ostats->segments_rejected > 0) {
+      std::fprintf(stderr, "serve: store skipped %zu damaged segment(s)\n",
+                   ostats->segments_rejected);
+    }
+    std::fprintf(stderr, "serve: store %s: %zu traces in %zu segments\n",
+                 flags.store_dir.c_str(), ostats->traces_loaded,
+                 ostats->segments_loaded);
+    store::CommitterOptions copts;
+    copts.window = oopts.window;
+    copts.margin = oopts.margin;
+    committer =
+        std::make_unique<store::TraceCommitter>(copts, tstore.get());
+  }
 
   std::uint64_t offset = 0;
   if (flags.resume && !flags.checkpoint_dir.empty()) {
@@ -818,10 +964,84 @@ int CmdServe(int argc, char** argv) {
       }
     }
   }
+  if (flags.resume && committer != nullptr && !flags.checkpoint_dir.empty()) {
+    const std::string cpath = flags.checkpoint_dir + "/committer.jsonl";
+    std::ifstream cin(cpath, std::ios::binary);
+    if (cin) {
+      std::string err;
+      if (committer->LoadState(cin, &err)) {
+        std::fprintf(stderr,
+                     "serve: restored %zu pending spans from %s\n",
+                     committer->pending_spans(), cpath.c_str());
+      } else {
+        std::fprintf(stderr,
+                     "serve: committer state rejected (%s); settling "
+                     "traces will be recovered from replay\n",
+                     err.c_str());
+      }
+    }
+  }
+
+  std::unique_ptr<serve::QueryService> query_service;
+  std::unique_ptr<serve::HttpServer> http;
+  if (http_enabled) {
+    serve::QueryServiceOptions qopts;
+    qopts.explain_weaver = oopts.weaver;
+    query_service = std::make_unique<serve::QueryService>(
+        tstore.get(), &*graph, &registry, qopts);
+    serve::HttpServerOptions hopts;
+    hopts.port = flags.http_port;
+    hopts.worker_threads = flags.http_threads;
+    hopts.metrics = &registry;
+    http = std::make_unique<serve::HttpServer>(
+        [&query_service](const serve::HttpRequest& rq,
+                         serve::HttpResponse& rs) {
+          query_service->Handle(rq, rs);
+        },
+        hopts);
+    std::string err;
+    if (!http->Start(&err)) {
+      std::fprintf(stderr, "serve: %s\n", err.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "serve: http query api on http://%s:%d/\n",
+                 hopts.bind_address.c_str(), http->port());
+  }
+
+  g_stop.store(false);
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+
+  // Seal-before-checkpoint: everything the checkpoint's source offset
+  // considers consumed must be durable (sealed segments + pending
+  // committer state) before the offset moves, or a crash right after the
+  // checkpoint would lose traces the resume will never replay.
+  const auto checkpoint = [&]() {
+    if (flags.checkpoint_dir.empty()) return;
+    if (tstore != nullptr) {
+      std::string serr;
+      if (!tstore->Seal(&serr)) {
+        std::fprintf(stderr, "serve: store seal failed: %s\n", serr.c_str());
+        return;  // Keep the previous checkpoint; never outrun durability.
+      }
+      if (committer != nullptr &&
+          !WriteCommitterAtomic(*committer, flags.checkpoint_dir)) {
+        std::fprintf(stderr, "serve: committer state write failed\n");
+        return;
+      }
+    }
+    if (WriteCheckpointAtomic(weaver, flags.checkpoint_dir, offset)) {
+      ometrics.checkpoints.Inc();
+    } else {
+      std::fprintf(stderr, "serve: checkpoint write to %s failed\n",
+                   flags.checkpoint_dir.c_str());
+    }
+  };
 
   std::ifstream in = OpenWithRetry(source, flags.retries, offset);
   if (!in) {
     std::fprintf(stderr, "serve: giving up on %s\n", source.c_str());
+    if (http != nullptr) http->Stop();
     return 1;
   }
 
@@ -829,7 +1049,7 @@ int CmdServe(int argc, char** argv) {
   std::uint64_t parse_errors = 0;
   std::size_t since_checkpoint = 0;
   TimeNs watermark = weaver.high_watermark();
-  while (true) {
+  while (!g_stop.load()) {
     if (!std::getline(in, line)) {
       if (in.eof()) break;
       // Transient read failure: reopen at the last consumed offset.
@@ -850,6 +1070,7 @@ int CmdServe(int argc, char** argv) {
       continue;
     }
     weaver.Ingest(*span);
+    if (committer != nullptr) committer->OnSpan(*span);
     // client_send drives the watermark: a conservative lower bound
     // (client_send <= client_recv) on completion-ordered streams, so
     // windows never close while their candidates are still in flight.
@@ -857,34 +1078,46 @@ int CmdServe(int argc, char** argv) {
     // genuine source regressions.
     watermark = std::max(watermark, span->client_send);
     const auto results = weaver.Advance(watermark);
+    if (committer != nullptr) committer->OnResults(results);
     if (!flags.final_only) EmitWindowResults(results);
     if (!flags.checkpoint_dir.empty() &&
         ++since_checkpoint >= flags.checkpoint_every) {
       since_checkpoint = 0;
-      if (WriteCheckpointAtomic(weaver, flags.checkpoint_dir, offset)) {
-        ometrics.checkpoints.Inc();
-      } else {
-        std::fprintf(stderr, "serve: checkpoint write to %s failed\n",
-                     flags.checkpoint_dir.c_str());
-      }
+      checkpoint();
     }
   }
 
-  const auto tail = weaver.Flush();
-  if (!flags.final_only) EmitWindowResults(tail);
-  if (!flags.checkpoint_dir.empty()) {
-    if (WriteCheckpointAtomic(weaver, flags.checkpoint_dir, offset)) {
-      ometrics.checkpoints.Inc();
+  const bool interrupted = g_stop.load();
+  if (interrupted) {
+    // Graceful stop mid-stream: checkpoint (seal + committer state +
+    // weaver + offset) and exit without flushing, so a --resume run
+    // continues exactly where this one stopped -- flushing here would
+    // commit still-settling traces as premature fragments.
+    std::fprintf(stderr, "serve: interrupted, checkpointing and exiting\n");
+    checkpoint();
+  } else {
+    const auto tail = weaver.Flush();
+    if (committer != nullptr) {
+      committer->OnResults(tail);
+      committer->Finalize();
     }
-  }
-  if (flags.final_only) {
-    std::vector<std::pair<SpanId, SpanId>> rows(weaver.assignment().begin(),
-                                                weaver.assignment().end());
-    std::sort(rows.begin(), rows.end());
-    for (const auto& [child, parent] : rows) {
-      std::printf("{\"span\":%llu,\"parent\":%llu}\n",
-                  static_cast<unsigned long long>(child),
-                  static_cast<unsigned long long>(parent));
+    if (!flags.final_only) EmitWindowResults(tail);
+    if (tstore != nullptr) {
+      std::string serr;
+      if (!tstore->Seal(&serr)) {
+        std::fprintf(stderr, "serve: store seal failed: %s\n", serr.c_str());
+      }
+    }
+    checkpoint();
+    if (flags.final_only) {
+      std::vector<std::pair<SpanId, SpanId>> rows(weaver.assignment().begin(),
+                                                  weaver.assignment().end());
+      std::sort(rows.begin(), rows.end());
+      for (const auto& [child, parent] : rows) {
+        std::printf("{\"span\":%llu,\"parent\":%llu}\n",
+                    static_cast<unsigned long long>(child),
+                    static_cast<unsigned long long>(parent));
+      }
     }
   }
   EmitObservability(flags, registry);
@@ -913,6 +1146,102 @@ int CmdServe(int argc, char** argv) {
       static_cast<unsigned long long>(st.degrade_up_steps),
       static_cast<unsigned long long>(st.degrade_down_steps),
       weaver.degradation_level());
+  if (tstore != nullptr) {
+    std::fprintf(
+        stderr,
+        "serve: store holds %zu traces (%zu sealed segments, %zu active"
+        "%s)\n",
+        tstore->size(), tstore->sealed_segments(), tstore->active_traces(),
+        committer != nullptr && committer->pending_spans() > 0
+            ? ", settling spans pending"
+            : "");
+  }
+
+  if (http != nullptr && flags.linger && !interrupted) {
+    std::fprintf(
+        stderr,
+        "serve: source drained; serving queries until SIGINT/SIGTERM\n");
+    while (!g_stop.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  if (http != nullptr) http->Stop();
+  return 0;
+}
+
+/// query: offline access to a trace store (no server). Summaries by
+/// default, one full record with an explicit id, --full to stream records.
+int CmdQuery(int argc, char** argv) {
+  const CliFlags flags = ParseFlags(argc, argv);
+  if (argc < 2) return Usage();
+  store::StoreOptions sopts;
+  sopts.cache_traces = flags.cache_traces;
+  store::TraceStore tstore(argv[1], sopts);
+  std::string err;
+  const auto ostats = tstore.Open(&err);
+  if (!ostats) {
+    std::fprintf(stderr, "query: cannot open store %s: %s\n", argv[1],
+                 err.c_str());
+    return 1;
+  }
+  if (ostats->segments_rejected > 0) {
+    std::fprintf(stderr, "query: skipped %zu damaged segment(s)\n",
+                 ostats->segments_rejected);
+  }
+
+  if (argc > 2) {
+    const SpanId id = std::strtoull(argv[2], nullptr, 10);
+    const auto record = tstore.Get(id);
+    if (record == nullptr) {
+      std::fprintf(stderr, "query: trace %s not found\n", argv[2]);
+      return 1;
+    }
+    std::printf("%s\n", TraceRecordToJson(*record).c_str());
+    return 0;
+  }
+
+  store::TraceQuery query;
+  query.service = flags.q_service;
+  query.from = static_cast<TimeNs>(flags.q_from);
+  query.to = static_cast<TimeNs>(flags.q_to);
+  query.max_grade =
+      flags.q_grade >= 'A' && flags.q_grade <= 'D' ? flags.q_grade : 'D';
+  query.min_confidence = std::max(0.0, flags.min_confidence);
+  query.limit = flags.q_limit;
+
+  std::size_t matched = 0;
+  if (flags.q_full) {
+    matched = tstore.Query(
+        query, [](const store::TraceSummary&,
+                  const std::shared_ptr<const TraceRecord>& record) {
+          if (record != nullptr) {
+            std::printf("%s\n", TraceRecordToJson(*record).c_str());
+          }
+          return true;
+        });
+  } else {
+    const auto esc = [](const std::string& s) {
+      std::string out;
+      for (char c : s) {
+        if (c == '"' || c == '\\') out += '\\';
+        out += c;
+      }
+      return out;
+    };
+    for (const store::TraceSummary& s : tstore.QuerySummaries(query)) {
+      std::printf(
+          "{\"trace\":%llu,\"root_service\":\"%s\",\"root_endpoint\":"
+          "\"%s\",\"start\":%lld,\"end\":%lld,\"grade\":\"%c\","
+          "\"confidence\":%.6f,\"orphan\":%s,\"span_count\":%zu}\n",
+          static_cast<unsigned long long>(s.trace_id),
+          esc(s.root_service).c_str(), esc(s.root_endpoint).c_str(),
+          static_cast<long long>(s.start), static_cast<long long>(s.end),
+          s.grade, s.confidence, s.orphan ? "true" : "false", s.span_count);
+      ++matched;
+    }
+  }
+  std::fprintf(stderr, "%zu of %zu stored traces matched\n", matched,
+               tstore.size());
   return 0;
 }
 
@@ -930,6 +1259,7 @@ int main(int argc, char** argv) {
   if (cmd == "export-jaeger") return CmdExportJaeger(argc - 1, argv + 1);
   if (cmd == "explain") return CmdExplain(argc - 1, argv + 1);
   if (cmd == "serve") return CmdServe(argc - 1, argv + 1);
+  if (cmd == "query") return CmdQuery(argc - 1, argv + 1);
   if (cmd == "sort-spans") return CmdSortSpans(argc - 1, argv + 1);
   return Usage();
 }

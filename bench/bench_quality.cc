@@ -4,6 +4,11 @@
 // confidence signal. The point of the curve: as corruption grows and
 // accuracy falls, confidence must fall with it -- a trust signal that
 // stays high while accuracy collapses is decorative, not informative.
+//
+// The capture regime additionally sweeps per-vantage clock skew with the
+// estimator (DESIGN.md 4i) off and on, and gates on the corrected row:
+// trace accuracy at 100us skew must stay >= 0.60 or the process exits
+// nonzero (the regression this PR fixed took it to 0.17).
 // Writes BENCH_quality.json next to the binary's working directory.
 #include <cstdio>
 #include <string>
@@ -12,6 +17,7 @@
 #include "collector/capture.h"
 #include "common.h"
 #include "core/accuracy.h"
+#include "core/skew_estimator.h"
 #include "obs/quality.h"
 #include "sim/apps.h"
 #include "sim/fault_injector.h"
@@ -25,10 +31,12 @@ struct QualityPoint {
   std::string regime;  ///< "record": injector on records; "capture": events.
   double drop_rate = 0.0;
   long long skew_us = 0;
+  bool corrected = false;  ///< Skew estimator + per-edge slack applied.
   std::size_t spans = 0;
   std::size_t traces = 0;
   double trace_accuracy = 0.0;
   double mean_confidence = 0.0;
+  bool pearson_defined = false;  ///< False: degenerate input, JSON null.
   double pearson = 0.0;
   double ece = 0.0;
   double brier = 0.0;
@@ -41,17 +49,24 @@ std::string WriteQualityJson(const std::vector<QualityPoint>& points) {
   std::fprintf(f, "{\n  \"tag\": \"quality\",\n  \"records\": [\n");
   for (std::size_t i = 0; i < points.size(); ++i) {
     const QualityPoint& p = points[i];
+    char pearson[32];
+    if (p.pearson_defined) {
+      std::snprintf(pearson, sizeof(pearson), "%.4f", p.pearson);
+    } else {
+      std::snprintf(pearson, sizeof(pearson), "null");
+    }
     std::fprintf(f,
                  "    {\"regime\": \"%s\", "
                  "\"drop_rate\": %.3f, \"skew_us\": %lld, "
-                 "\"spans\": %zu, "
+                 "\"corrected\": %s, \"spans\": %zu, "
                  "\"traces\": %zu, \"trace_accuracy\": %.4f, "
-                 "\"mean_confidence\": %.4f, \"pearson\": %.4f, "
+                 "\"mean_confidence\": %.4f, \"pearson\": %s, "
                  "\"ece\": %.4f, \"brier\": %.4f}%s\n",
                  p.regime.c_str(), p.drop_rate,
-                 static_cast<long long>(p.skew_us), p.spans,
+                 static_cast<long long>(p.skew_us),
+                 p.corrected ? "true" : "false", p.spans,
                  p.traces, p.trace_accuracy,
-                 p.mean_confidence, p.pearson, p.ece, p.brier,
+                 p.mean_confidence, pearson, p.ece, p.brier,
                  i + 1 < points.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -59,7 +74,7 @@ std::string WriteQualityJson(const std::vector<QualityPoint>& points) {
   return path;
 }
 
-void Run() {
+int Run() {
   PrintHeader("quality calibration vs corruption",
               "confidence must track accuracy as faults grow");
 
@@ -75,8 +90,9 @@ void Run() {
                            {0.05, Micros(250)}, {0.10, Micros(500)}};
   std::vector<QualityPoint> points;
   TextTable table;
-  table.SetHeader({"regime", "drop", "skew_us", "spans", "traces",
-                   "accuracy", "mean conf", "pearson", "ece", "brier"});
+  table.SetHeader({"regime", "drop", "skew_us", "corrected", "spans",
+                   "traces", "accuracy", "mean conf", "pearson", "ece",
+                   "brier"});
 
   char buf[32];
   auto fmt = [&buf](double v) {
@@ -84,9 +100,13 @@ void Run() {
     return std::string(buf);
   };
   auto measure = [&](const std::string& regime, double drop,
-                     DurationNs skew, const std::vector<Span>& spans) {
+                     DurationNs skew, const std::vector<Span>& spans,
+                     const SkewEstimator* estimator) {
     TraceWeaverOptions opts;
     opts.compute_quality = true;
+    if (estimator != nullptr) {
+      opts.optimizer.params.edge_slack_ns = estimator->EdgeSlacks();
+    }
     TraceWeaver weaver(data.graph, opts);
     const TraceWeaverOutput out = weaver.Reconstruct(spans);
     const obs::CalibrationResult cal =
@@ -96,18 +116,23 @@ void Run() {
     p.regime = regime;
     p.drop_rate = drop;
     p.skew_us = skew / 1000;
+    p.corrected = estimator != nullptr;
     p.spans = spans.size();
     p.traces = out.quality.traces.size();
     p.trace_accuracy = Evaluate(spans, out.assignment).TraceAccuracy();
     p.mean_confidence = out.quality.MeanTraceConfidence();
+    p.pearson_defined = cal.pearson_defined;
     p.pearson = cal.pearson;
     p.ece = cal.ece;
     p.brier = cal.brier;
     points.push_back(p);
     table.AddRow({regime, fmt(drop), std::to_string(p.skew_us),
-                  std::to_string(p.spans), std::to_string(p.traces),
-                  fmt(p.trace_accuracy), fmt(p.mean_confidence),
-                  fmt(p.pearson), fmt(p.ece), fmt(p.brier)});
+                  p.corrected ? "yes" : "no", std::to_string(p.spans),
+                  std::to_string(p.traces), fmt(p.trace_accuracy),
+                  fmt(p.mean_confidence),
+                  p.pearson_defined ? fmt(p.pearson) : std::string("n/a"),
+                  fmt(p.ece), fmt(p.brier)});
+    return p.trace_accuracy;
   };
 
   for (const Level& level : kLevels) {
@@ -117,35 +142,69 @@ void Run() {
     spec.skew_stddev_ns = level.skew;
     const std::vector<Span> spans =
         spec.Active() ? sim::InjectFaults(data.spans, spec) : data.spans;
-    measure("record", drop, level.skew, spans);
+    measure("record", drop, level.skew, spans, nullptr);
   }
 
-  // Event-level corruption: clock jitter plus event loss inside the
-  // capture layer itself, the regime the calibration regression test
-  // pins (Pearson >= 0.5, ECE <= 0.15).
+  // Event-level corruption. The raw spans are regenerated (not reused
+  // from `data`) because the capture layer explodes them to NetEvents.
+  sim::OpenLoopOptions load;
+  load.requests_per_sec = 200;
+  load.duration = Seconds(3);
+  load.seed = 31;
+  const std::vector<Span> raw =
+      sim::RunOpenLoop(sim::MakeHotelReservationApp(), load).spans;
+
+  // Jitter + event loss only: the historical capture row, and the regime
+  // the calibration regression test pins (Pearson >= 0.5, ECE <= 0.15).
   {
-    sim::OpenLoopOptions load;
-    load.requests_per_sec = 200;
-    load.duration = Seconds(3);
-    load.seed = 31;
     collector::CaptureFaults faults;
     faults.jitter_stddev = Micros(100);
     faults.drop_probability = 0.005;
-    const std::vector<Span> spans = collector::CaptureRoundTrip(
-        sim::RunOpenLoop(sim::MakeHotelReservationApp(), load).spans,
-        faults);
-    measure("capture", 0.005, Micros(100), spans);
+    measure("capture", 0.005, 0,
+            collector::CaptureRoundTrip(raw, faults), nullptr);
+  }
+
+  // Per-vantage skew sweep on top of that regime, estimator off and on.
+  // The corrected rows are the fix this family regressed on: 17% trace
+  // accuracy before correction existed (see DESIGN.md 4i).
+  double corrected_at_100us = 0.0;
+  for (const DurationNs skew : {Micros(50), Micros(100), Micros(250)}) {
+    collector::CaptureFaults faults;
+    faults.jitter_stddev = Micros(100);
+    faults.drop_probability = 0.005;
+    faults.vantage_skew_stddev = skew;
+
+    measure("capture", 0.005, skew,
+            collector::CaptureRoundTrip(raw, faults), nullptr);
+
+    SkewEstimator estimator;
+    collector::AssemblyOptions options;
+    options.skew_correct = true;
+    options.estimator = &estimator;
+    const double accuracy = measure(
+        "capture", 0.005, skew,
+        collector::CaptureRoundTrip(raw, faults, nullptr, nullptr, options),
+        &estimator);
+    if (skew == Micros(100)) corrected_at_100us = accuracy;
   }
 
   std::printf("%s\n", table.Render().c_str());
   const std::string path = WriteQualityJson(points);
   if (!path.empty()) std::printf("wrote %s\n", path.c_str());
+
+  // Regression gate: skew correction must keep the capture regime usable.
+  constexpr double kCorrectedFloor = 0.60;
+  if (corrected_at_100us < kCorrectedFloor) {
+    std::fprintf(stderr,
+                 "FAIL: corrected capture accuracy %.4f < %.2f at 100us "
+                 "skew (skew correction regressed)\n",
+                 corrected_at_100us, kCorrectedFloor);
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace
 }  // namespace traceweaver::bench
 
-int main() {
-  traceweaver::bench::Run();
-  return 0;
-}
+int main() { return traceweaver::bench::Run(); }

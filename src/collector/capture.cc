@@ -1,6 +1,7 @@
 #include "collector/capture.h"
 
 #include <algorithm>
+#include <deque>
 #include <limits>
 #include <map>
 #include <tuple>
@@ -81,6 +82,22 @@ std::vector<NetEvent> ExplodeSpans(const std::vector<Span>& spans,
   const auto assignment = AssignSpanConnections(spans);
   Rng rng(faults.seed);
 
+  // Constant clock offset per capture vantage, drawn on first encounter
+  // (deterministic for a given span population and seed).
+  std::map<VantageKey, DurationNs> vantage_offsets;
+  const auto vantage_skew = [&](const NetEvent& ev) -> DurationNs {
+    if (faults.vantage_skew_stddev <= 0) return 0;
+    const VantageKey key = ev.vantage == Vantage::kCallerSide
+                               ? VantageKey{ev.src_service, ev.src_replica}
+                               : VantageKey{ev.dst_service, ev.dst_replica};
+    const auto [it, inserted] = vantage_offsets.emplace(key, 0);
+    if (inserted) {
+      it->second = static_cast<DurationNs>(rng.Normal(
+          0.0, static_cast<double>(faults.vantage_skew_stddev)));
+    }
+    return it->second;
+  };
+
   std::vector<NetEvent> events;
   std::vector<TimeNs> true_ts;  // Pre-jitter timestamps, parallel to events.
   events.reserve(spans.size() * 4);
@@ -107,6 +124,9 @@ std::vector<NetEvent> ExplodeSpans(const std::vector<Span>& spans,
         e.timestamp += static_cast<DurationNs>(
             rng.Normal(0.0, static_cast<double>(faults.jitter_stddev)));
       }
+      // A constant per-vantage shift keeps each stream's order intact, so
+      // the monotonicity clamp below is indifferent to it.
+      e.timestamp += vantage_skew(e);
       events.push_back(std::move(e));
     }
   }
@@ -146,7 +166,8 @@ std::vector<NetEvent> ExplodeSpans(const std::vector<Span>& spans,
 
 std::vector<Span> AssembleSpans(std::vector<NetEvent> events,
                                 AssemblyStats* stats,
-                                SpanValidator* validator) {
+                                SpanValidator* validator,
+                                const AssemblyOptions& options) {
   std::sort(events.begin(), events.end(), NetEventOrder{});
 
   // Per (connection, vantage): FIFO pairing of requests and responses.
@@ -155,47 +176,167 @@ std::vector<Span> AssembleSpans(std::vector<NetEvent> events,
     TimeNs response_ts = 0;
     const NetEvent* request = nullptr;
   };
-  struct ConnState {
-    std::vector<HalfSpan> caller_halves;
-    std::vector<HalfSpan> callee_halves;
+  struct VantageState {
+    std::vector<HalfSpan> halves;
     // At most one outstanding request per connection and vantage
     // (HTTP/1.1 keep-alive semantics enforced by the connection pooler).
-    const NetEvent* open_caller = nullptr;
-    const NetEvent* open_callee = nullptr;
+    const NetEvent* open = nullptr;
+    // Responses delivered (by timestamp) with no request outstanding.
+    // Historically these were written off as unmatched immediately, which
+    // mis-paired the stream whenever delivery reordering inverted a
+    // request/response pair by a few microseconds: the orphaned response
+    // was dropped AND its request later closed against the *next* RPC's
+    // response. Holding them briefly lets the true request claim them.
+    std::deque<const NetEvent*> pending;
+    // Reorder claims are sound only when the stream's request/response
+    // counts balance: an early response then *must* be an inversion. With
+    // unequal counts (event loss) the same local signature is an orphaned
+    // response, and claiming it would shift every later pairing by one.
+    bool claims_enabled = false;
+  };
+  struct ConnState {
+    VantageState caller;
+    VantageState callee;
+    VantageKey src;  ///< Caller-side capture vantage (service, replica).
+    VantageKey dst;  ///< Callee-side capture vantage.
+    bool has_meta = false;
+    bool corrected = false;  ///< Any half shifted by skew correction.
   };
   std::map<std::uint64_t, ConnState> conns;
+
+  // Per-stream request/response parity, gating the reorder claims below.
+  std::map<std::pair<std::uint64_t, int>, long long> parity;
+  for (const NetEvent& e : events) {
+    parity[{e.connection_id, static_cast<int>(e.vantage)}] +=
+        e.kind == EventKind::kRequest ? 1 : -1;
+  }
 
   AssemblyStats local;
   for (const NetEvent& e : events) {
     ConnState& st = conns[e.connection_id];
-    const NetEvent*& open = (e.vantage == Vantage::kCallerSide)
-                                ? st.open_caller
-                                : st.open_callee;
-    auto& halves = (e.vantage == Vantage::kCallerSide) ? st.caller_halves
-                                                       : st.callee_halves;
+    if (!st.has_meta) {
+      st.src = {e.src_service, e.src_replica};
+      st.dst = {e.dst_service, e.dst_replica};
+      st.has_meta = true;
+      st.caller.claims_enabled =
+          parity[{e.connection_id,
+                  static_cast<int>(Vantage::kCallerSide)}] == 0;
+      st.callee.claims_enabled =
+          parity[{e.connection_id,
+                  static_cast<int>(Vantage::kCalleeSide)}] == 0;
+    }
+    VantageState& side =
+        (e.vantage == Vantage::kCallerSide) ? st.caller : st.callee;
     if (e.kind == EventKind::kRequest) {
-      if (open != nullptr) {
+      if (side.open != nullptr) {
         // A new request while another is outstanding means the previous
         // response event was lost: close the stale request as unmatched
         // instead of letting every later pairing shift by one.
         ++local.unmatched_requests;
+        side.open = nullptr;
       }
-      open = &e;
-    } else {
-      if (open == nullptr) {
+      // Pending responses too old to belong to this request were real
+      // orphans (their request event was dropped).
+      while (!side.pending.empty() &&
+             side.pending.front()->timestamp + options.reorder_window <
+                 e.timestamp) {
+        side.pending.pop_front();
         ++local.unmatched_responses;
+      }
+      if (!side.pending.empty() && side.claims_enabled) {
+        // A response the stream delivered just before its own request
+        // (timestamps inverted within the reorder window): pair them.
+        const NetEvent* resp = side.pending.front();
+        side.pending.pop_front();
+        // The pair is only ever inverted because jitter flipped two close
+        // timestamps; restore the physical order (request before response)
+        // instead of emitting a negative-duration half.
+        side.halves.push_back(
+            HalfSpan{std::min(e.timestamp, resp->timestamp),
+                     std::max(e.timestamp, resp->timestamp), &e});
+        ++local.reordered_responses;
+      } else {
+        side.open = &e;
+      }
+    } else {
+      if (side.open == nullptr) {
+        side.pending.push_back(&e);
+        if (side.pending.size() > options.reorder_capacity) {
+          side.pending.pop_front();
+          ++local.unmatched_responses;
+        }
         continue;
       }
-      halves.push_back(HalfSpan{open->timestamp, e.timestamp, open});
-      open = nullptr;
+      side.halves.push_back(
+          HalfSpan{side.open->timestamp, e.timestamp, side.open});
+      side.open = nullptr;
+    }
+  }
+  for (auto& [conn_id, st] : conns) {
+    local.unmatched_requests += (st.caller.open != nullptr ? 1u : 0u) +
+                                (st.callee.open != nullptr ? 1u : 0u);
+    local.unmatched_responses +=
+        st.caller.pending.size() + st.callee.pending.size();
+  }
+
+  if (options.skew_correct) {
+    // Estimate per-vantage clock offsets from this batch's cross-vantage
+    // gaps, then shift every half-span into the common frame *before* the
+    // nesting alignment and timestamp sanitization below -- both compare
+    // timestamps across vantages and silently corrupt intra-vantage gaps
+    // when the frames disagree (the capture-regime accuracy collapse).
+    SkewEstimator batch_local;
+    SkewEstimator& est =
+        options.estimator != nullptr ? *options.estimator : batch_local;
+    for (const auto& [conn_id, st] : conns) {
+      // Pair the two sides by request-timestamp proximity, not by index:
+      // a naive zip mis-pairs every RPC after an event loss, and the wild
+      // cross-RPC gaps (off by whole inter-request times) hijack the
+      // quantile floors far beyond what their outlier skip absorbs. The
+      // two-pointer walk below advances the earlier side whenever the
+      // request stamps disagree by more than the match window, so one
+      // lost half skips exactly one observation and the streams re-sync.
+      std::size_t i = 0, j = 0;
+      while (i < st.caller.halves.size() && j < st.callee.halves.size()) {
+        const HalfSpan& a = st.caller.halves[i];
+        const HalfSpan& b = st.callee.halves[j];
+        const std::int64_t dreq = b.request_ts - a.request_ts;
+        if (dreq > options.skew_match_window) {
+          ++i;  // Caller half too old: its callee events were lost.
+          continue;
+        }
+        if (dreq < -options.skew_match_window) {
+          ++j;  // Callee half too old: its caller events were lost.
+          continue;
+        }
+        est.ObserveGaps(st.src, st.dst, dreq,
+                        a.response_ts - b.response_ts);
+        ++i;
+        ++j;
+      }
+    }
+    for (auto& [conn_id, st] : conns) {
+      const std::int64_t src_off = est.FrameOffsetNs(st.src);
+      const std::int64_t dst_off = est.FrameOffsetNs(st.dst);
+      st.corrected = src_off != 0 || dst_off != 0;
+      if (src_off != 0) {
+        for (HalfSpan& h : st.caller.halves) {
+          h.request_ts -= src_off;
+          h.response_ts -= src_off;
+        }
+      }
+      if (dst_off != 0) {
+        for (HalfSpan& h : st.callee.halves) {
+          h.request_ts -= dst_off;
+          h.response_ts -= dst_off;
+        }
+      }
     }
   }
 
   std::vector<Span> out;
   for (auto& [conn_id, st] : conns) {
-    local.unmatched_requests += (st.open_caller != nullptr ? 1u : 0u) +
-                                (st.open_callee != nullptr ? 1u : 0u);
-    if (st.caller_halves.size() != st.callee_halves.size()) {
+    if (st.caller.halves.size() != st.callee.halves.size()) {
       ++local.misaligned_connections;
     }
     // Align the two vantage points' half-spans by nesting, not by index:
@@ -207,11 +348,11 @@ std::vector<Span> AssembleSpans(std::vector<NetEvent> events,
       // A connection serializes its RPCs, so a caller half and a callee
       // half belong to the same RPC exactly when their windows overlap
       // (callee nested in caller, modulo vantage clock skew).
-      constexpr DurationNs kAlignSlack = Micros(500);
+      const DurationNs kAlignSlack = options.align_slack;
       std::size_t i = 0, j = 0;
-      while (i < st.caller_halves.size() && j < st.callee_halves.size()) {
-        const HalfSpan& caller = st.caller_halves[i];
-        const HalfSpan& callee = st.callee_halves[j];
+      while (i < st.caller.halves.size() && j < st.callee.halves.size()) {
+        const HalfSpan& caller = st.caller.halves[i];
+        const HalfSpan& callee = st.callee.halves[j];
         if (callee.response_ts < caller.request_ts - kAlignSlack) {
           // Callee window lies entirely before the caller window: the
           // matching caller record was lost.
@@ -255,6 +396,7 @@ std::vector<Span> AssembleSpans(std::vector<NetEvent> events,
       s.client_recv = std::max(caller.response_ts, s.server_send);
       out.push_back(std::move(s));
       ++local.spans_assembled;
+      if (st.corrected) ++local.skew_corrected_spans;
     }
   }
   if (stats != nullptr) *stats = local;
@@ -265,8 +407,10 @@ std::vector<Span> AssembleSpans(std::vector<NetEvent> events,
 std::vector<Span> CaptureRoundTrip(const std::vector<Span>& spans,
                                    const CaptureFaults& faults,
                                    AssemblyStats* stats,
-                                   SpanValidator* validator) {
-  return AssembleSpans(ExplodeSpans(spans, faults), stats, validator);
+                                   SpanValidator* validator,
+                                   const AssemblyOptions& options) {
+  return AssembleSpans(ExplodeSpans(spans, faults), stats, validator,
+                       options);
 }
 
 }  // namespace traceweaver::collector

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "collector/net_event.h"
+#include "core/skew_estimator.h"
 #include "trace/span.h"
 #include "trace/span_validator.h"
 #include "util/rng.h"
@@ -29,6 +30,12 @@ struct CaptureFaults {
   DurationNs jitter_stddev = 0;
   /// Probability an individual event is lost.
   double drop_probability = 0.0;
+  /// Constant per-vantage clock offset, drawn once per (service, replica)
+  /// capture point from N(0, stddev). This is the capture-regime skew
+  /// model: each vantage's clock is internally consistent but disagrees
+  /// with every other vantage by a fixed amount, which is exactly what
+  /// the skew estimator corrects (DESIGN.md §4i).
+  DurationNs vantage_skew_stddev = 0;
   std::uint64_t seed = 99;
 };
 
@@ -51,6 +58,41 @@ struct AssemblyStats {
   /// Connections whose caller-side and callee-side halves disagreed in
   /// length (possible under event loss).
   std::size_t misaligned_connections = 0;
+  /// Responses delivered (by timestamp) before their own request and
+  /// matched through the bounded reorder buffer.
+  std::size_t reordered_responses = 0;
+  /// Spans whose timestamps were shifted by skew correction.
+  std::size_t skew_corrected_spans = 0;
+};
+
+/// Knobs of the span-assembly step (all defaults reproduce the historical
+/// behavior bit-for-bit on in-order, skew-free input).
+struct AssemblyOptions {
+  /// Estimate per-vantage clock offsets from this batch's cross-vantage
+  /// gaps and shift every half-span into a common frame *before* the
+  /// caller/callee alignment and timestamp sanitization (DESIGN.md §4i),
+  /// so downstream candidate pruning sees skew-corrected gaps.
+  bool skew_correct = false;
+  /// Estimator accumulating the skew evidence (and carrying the learned
+  /// offsets out to per-edge slack derivation). Optional: when null and
+  /// skew_correct is set, a batch-local estimator is used. Not owned.
+  SkewEstimator* estimator = nullptr;
+  /// How far (ns) a same-stream response may precede its request before
+  /// the reorder buffer gives up on it (delivery reordering within the
+  /// jitter/skew window); older pending responses count as unmatched.
+  DurationNs reorder_window = Micros(500);
+  /// Pending reordered responses held per (connection, vantage) stream.
+  std::size_t reorder_capacity = 8;
+  /// Nesting-alignment slack between the caller and callee windows of one
+  /// RPC (tolerates cross-vantage skew during the half-span zip).
+  DurationNs align_slack = Micros(500);
+  /// Skew-evidence pairing window: a caller half and a callee half count
+  /// as the same RPC for the estimator only when their request timestamps
+  /// agree within this bound. Must exceed any plausible skew + jitter and
+  /// stay below per-connection RPC spacing; the two-pointer walk advances
+  /// the earlier side otherwise, so it re-synchronizes right after an
+  /// event loss instead of mis-pairing every later RPC on the connection.
+  DurationNs skew_match_window = Millis(1);
 };
 
 /// Reassembles spans from an event stream (any order; sorted internally).
@@ -60,12 +102,14 @@ struct AssemblyStats {
 /// path of the span validation layer); quarantined spans are excluded.
 std::vector<Span> AssembleSpans(std::vector<NetEvent> events,
                                 AssemblyStats* stats = nullptr,
-                                SpanValidator* validator = nullptr);
+                                SpanValidator* validator = nullptr,
+                                const AssemblyOptions& options = {});
 
 /// Convenience: spans -> events -> spans, the full ingestion round trip.
 std::vector<Span> CaptureRoundTrip(const std::vector<Span>& spans,
                                    const CaptureFaults& faults = {},
                                    AssemblyStats* stats = nullptr,
-                                   SpanValidator* validator = nullptr);
+                                   SpanValidator* validator = nullptr,
+                                   const AssemblyOptions& options = {});
 
 }  // namespace traceweaver::collector

@@ -82,7 +82,9 @@ void Dfs(DfsState& state, std::size_t pos_idx, TimeNs stage_lb,
   }
 
   const std::vector<const Span*>& pool = *(*state.pools)[pos_idx];
-  const DurationNs slack = state.options->slack;
+  const DurationNs slack = state.options->position_slack != nullptr
+                               ? (*state.options->position_slack)[pos_idx]
+                               : state.options->slack;
   // Children with client_send in [lb - slack, parent.server_send + slack];
   // nearest first.
   const auto first = std::lower_bound(

@@ -62,6 +62,10 @@ struct EnumerationOptions {
   /// Timing-constraint slack: tolerates capture-clock jitter between the
   /// vantage points of the parent and child records. 0 for exact clocks.
   DurationNs slack = 0;
+  /// Optional per-position slack (plan Positions() order) overriding
+  /// `slack`, from Parameters::edge_slack_ns resolved per call site. Null
+  /// applies the uniform `slack` everywhere.
+  const std::vector<DurationNs>* position_slack = nullptr;
   /// Optional per-position forced children (size == plan positions), from
   /// partial instrumentation (§2.2.6): a non-null entry pins that position
   /// to the given span -- no alternatives, no skip -- and TraceWeaver fills

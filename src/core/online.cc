@@ -59,6 +59,19 @@ OnlineTraceWeaver& OnlineTraceWeaver::operator=(OnlineTraceWeaver&&) noexcept =
     default;
 
 void OnlineTraceWeaver::Ingest(const Span& span) {
+  if (options_.skew_correct) {
+    // Observe before correcting: the estimator must see raw cross-vantage
+    // gaps, and the ordering replays identically from a checkpoint.
+    skew_estimator_.ObserveSpan(span);
+    Span corrected = span;
+    skew_estimator_.CorrectSpan(corrected);
+    IngestCorrected(corrected);
+    return;
+  }
+  IngestCorrected(span);
+}
+
+void OnlineTraceWeaver::IngestCorrected(const Span& span) {
   ++stats_.ingested;
   metrics_.spans_ingested.Inc();
   if (!started_) {
@@ -163,9 +176,24 @@ void OnlineTraceWeaver::HandleLate(const Span& span) {
   late_pool_.push_back(std::move(late));
 }
 
+long long OnlineTraceWeaver::GraftSlack(const std::string& caller,
+                                        const std::string& callee) const {
+  if (options_.skew_correct) {
+    // Query the estimator directly instead of the map cached at the last
+    // window close: the current estimator state is exactly what a
+    // checkpoint restores, so grafting stays bit-identical across a kill
+    // between two closes.
+    const auto slacks = skew_estimator_.EdgeSlacks();
+    const auto it = slacks.find({caller, callee});
+    if (it != slacks.end()) return it->second;
+    return options_.weaver.optimizer.params.constraint_slack_ns;
+  }
+  return options_.weaver.optimizer.params.SlackFor(caller, callee);
+}
+
 SpanId OnlineTraceWeaver::TryGraft(const Span& span) {
   if (committed_.count(span.id) > 0) return kInvalidSpanId;
-  const long long slack = options_.weaver.optimizer.params.constraint_slack_ns;
+  const long long slack = GraftSlack(span.caller, span.callee);
   int best = -1;
   TimeNs best_gap = 0;
   for (std::size_t i = 0; i < graft_slots_.size(); ++i) {
@@ -300,6 +328,16 @@ WindowResult OnlineTraceWeaver::CloseWindow(TimeNs window_start,
   result.orphans = std::move(pending_orphans_);
   pending_orphans_.clear();
 
+  if (options_.skew_correct) {
+    // Refresh the per-edge slack map from the estimator's current spread;
+    // the cached weaver is rebuilt only when the map actually changes.
+    auto slacks = skew_estimator_.EdgeSlacks();
+    if (slacks != options_.weaver.optimizer.params.edge_slack_ns) {
+      options_.weaver.optimizer.params.edge_slack_ns = std::move(slacks);
+      weaver_cache_.reset();
+    }
+  }
+
   if (!buffer_.empty()) {
     // Reconstruct over the full buffer (children of closing parents may
     // have been buffered in earlier windows' tails), then commit only the
@@ -385,6 +423,9 @@ WindowResult OnlineTraceWeaver::CloseWindow(TimeNs window_start,
   metrics_.windows_closed.Inc();
   metrics_.parents_committed.Inc(result.parents_committed);
   UpdateBufferGauges();
+  if (options_.skew_correct && options_.metrics != nullptr) {
+    skew_estimator_.FlushMetrics(*options_.metrics);
+  }
 
   const DurationNs wall =
       std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -576,6 +617,9 @@ void OnlineTraceWeaver::SaveCheckpoint(
     line += '}';
     w.WriteLine(line);
   }
+  for (const std::string& line : skew_estimator_.CheckpointLines()) {
+    w.WriteLine(line);
+  }
   for (const auto& [key, post] : posteriors_) {
     std::string line = "{\"ckpt\":\"posterior\",";
     ckpt::AppendStrField(line, "service", key.service);
@@ -746,6 +790,10 @@ bool OnlineTraceWeaver::LoadCheckpoint(
       const auto id = ckpt::FieldU64(line, "id");
       if (!id) return bad("orphan id");
       fresh.pending_orphans_.push_back(*id);
+    } else if (*type == "skew") {
+      if (!fresh.skew_estimator_.LoadCheckpointLine(line)) {
+        return bad("skew record");
+      }
     } else if (*type == "extra") {
       const auto key = ckpt::FieldStr(line, "key");
       const auto value = ckpt::FieldU64(line, "value");
@@ -754,6 +802,14 @@ bool OnlineTraceWeaver::LoadCheckpoint(
     } else {
       return bad("unknown record type");
     }
+  }
+
+  // Re-derive the per-edge slack map from the restored estimator state so
+  // grafting and the next window close behave exactly as they would have
+  // without the restart.
+  if (fresh.options_.skew_correct) {
+    fresh.options_.weaver.optimizer.params.edge_slack_ns =
+        fresh.skew_estimator_.EdgeSlacks();
   }
 
   *this = std::move(fresh);

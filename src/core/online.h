@@ -50,6 +50,7 @@
 #include <vector>
 
 #include "core/delay_model.h"
+#include "core/skew_estimator.h"
 #include "core/trace_weaver.h"
 #include "obs/pipeline_metrics.h"
 #include "trace/span.h"
@@ -83,6 +84,13 @@ struct OnlineOptions {
   /// Metric sink for the tw_online_* family (docs/METRICS.md). Null
   /// disables recording; behavior is identical either way. Not owned.
   obs::MetricsRegistry* metrics = nullptr;
+
+  /// Feed every ingested span to the online skew estimator and shift its
+  /// timestamps into the common clock frame before buffering (DESIGN.md
+  /// §4i). Estimates warm up over the stream, so the earliest spans of a
+  /// cold start see less correction; estimator state checkpoints with the
+  /// rest of the streaming state, so restarts resume bit-identically.
+  bool skew_correct = false;
 };
 
 struct WindowResult {
@@ -166,6 +174,10 @@ class OnlineTraceWeaver {
     return posteriors_;
   }
 
+  /// Online skew state (active when OnlineOptions::skew_correct); survives
+  /// checkpoint/restore as `"ckpt":"skew"` records.
+  const SkewEstimator& skew_estimator() const { return skew_estimator_; }
+
   /// Monotone event counters, mirrored into the tw_online_* metric family
   /// when OnlineOptions::metrics is set.
   struct Stats {
@@ -223,7 +235,15 @@ class OnlineTraceWeaver {
   };
 
   WindowResult CloseWindow(TimeNs window_start, TimeNs window_end);
+  /// Ingest() after optional skew correction (the shared buffering path).
+  void IngestCorrected(const Span& span);
   void HandleLate(const Span& span);
+  /// Feasibility slack for grafting on the (caller, callee) edge; with
+  /// skew correction on this is derived from the estimator's *current*
+  /// state (not the map cached at the last window close) so resumes stay
+  /// bit-identical.
+  long long GraftSlack(const std::string& caller,
+                       const std::string& callee) const;
   /// Grafts `span` into the best feasible free slot; returns the parent
   /// id or kInvalidSpanId.
   SpanId TryGraft(const Span& span);
@@ -256,6 +276,7 @@ class OnlineTraceWeaver {
   std::vector<WindowResult> pending_results_;
   std::vector<SpanId> pending_orphans_;
   std::map<DelayKey, DelayPosterior> posteriors_;
+  SkewEstimator skew_estimator_;
   Stats stats_;
   /// Cached weaver, rebuilt when the degradation level changes (avoids
   /// re-copying the graph and re-spawning the pool every window).

@@ -34,6 +34,9 @@ struct ParentTask {
   const InvocationPlan* plan = nullptr;
   std::vector<InvocationPlan::Position> positions;
   std::vector<int> position_pool;  ///< Interned pool id per position.
+  /// Per-position feasibility slack resolved from Parameters::
+  /// edge_slack_ns; empty when no edge overrides exist (uniform slack).
+  std::vector<DurationNs> position_slack;
   PositionPools pools;
   /// Per-position pinned children from partial instrumentation (empty when
   /// nothing is pinned for this parent).
@@ -240,6 +243,18 @@ void EnumerateAll(Workspace& ws) {
   eopts.slack = ws.opts->params.constraint_slack_ns;
   eopts.require_thread_match =
       ws.opts->thread_affinity == OptimizerOptions::ThreadAffinity::kHard;
+  // Per-edge slack: resolve each task's plan positions against the edge
+  // map once, outside the parallel region (the DFS then indexes a flat
+  // vector). Empty map keeps the uniform-slack fast path.
+  if (!ws.opts->params.edge_slack_ns.empty()) {
+    for (ParentTask& task : ws.tasks) {
+      task.position_slack.resize(task.positions.size());
+      for (std::size_t i = 0; i < task.positions.size(); ++i) {
+        task.position_slack[i] = ws.opts->params.SlackFor(
+            task.span->callee, task.plan->At(task.positions[i]).service);
+      }
+    }
+  }
   // Tasks are independent: each writes only its own slots (concurrent
   // reads of the shared pools and span index are safe). Work counters go
   // to per-task slots and are folded into the registry afterwards, in
@@ -255,6 +270,9 @@ void EnumerateAll(Workspace& ws) {
     ParentTask& task = ws.tasks[t];
     EnumerationOptions task_opts = eopts;
     if (!task.forced.empty()) task_opts.forced = &task.forced;
+    if (!task.position_slack.empty()) {
+      task_opts.position_slack = &task.position_slack;
+    }
     task_opts.positions = &task.positions;
     task_opts.stats = &stats[t];
     // The DFS fills the flat resolved-pointer buffer as a side product of

@@ -4,6 +4,9 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <map>
+#include <string>
+#include <utility>
 
 namespace traceweaver {
 
@@ -52,6 +55,22 @@ struct Parameters {
   /// between vantage points; raise to ~4x the expected jitter stddev when
   /// capture clocks are noisy.
   long long constraint_slack_ns = 0;
+
+  /// Per-edge override of constraint_slack_ns, keyed (caller service,
+  /// callee service): the slack applied when enumerating children of that
+  /// edge. Derived from observed per-pair skew spread
+  /// (SkewEstimator::EdgeSlacks), so one noisy pair no longer forces the
+  /// global slack wide open for every edge. Edges not listed fall back to
+  /// constraint_slack_ns.
+  std::map<std::pair<std::string, std::string>, long long> edge_slack_ns;
+
+  /// Effective slack for children on edge (caller service -> callee
+  /// service).
+  long long SlackFor(const std::string& caller,
+                     const std::string& callee) const {
+    const auto it = edge_slack_ns.find({caller, callee});
+    return it != edge_slack_ns.end() ? it->second : constraint_slack_ns;
+  }
 
   /// Returns a copy degraded for overload level `level` (the online
   /// degradation ladder, DESIGN.md §4f). Steps are cumulative and ordered

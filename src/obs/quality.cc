@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <set>
 #include <unordered_map>
 #include <unordered_set>
@@ -179,7 +180,29 @@ CalibrationResult Calibrate(const std::vector<double>& confidence,
     r.ece += (cnt / n) *
              std::fabs(r.bins[b].accuracy - r.bins[b].mean_confidence);
   }
-  r.pearson = PearsonCorrelation(confidence, correct);
+  // Pearson degenerates when either series is near-constant: on a clean
+  // run almost every trace is correct and confidence sits pinned high, so
+  // the coefficient is driven by a handful of outliers and is pure
+  // sampling noise (observed 0.21 at 97.4% accuracy). Require real spread
+  // on both sides before reporting a value at all.
+  constexpr double kMinStddev = 0.05;
+  double conf_var = 0.0, correct_var = 0.0;
+  const double mean_conf =
+      std::accumulate(confidence.begin(), confidence.end(), 0.0) / n;
+  const double mean_correct =
+      std::accumulate(correct.begin(), correct.end(), 0.0) / n;
+  for (std::size_t i = 0; i < confidence.size(); ++i) {
+    conf_var += (confidence[i] - mean_conf) * (confidence[i] - mean_conf);
+    correct_var +=
+        (correct[i] - mean_correct) * (correct[i] - mean_correct);
+  }
+  conf_var /= n;
+  correct_var /= n;
+  if (conf_var >= kMinStddev * kMinStddev &&
+      correct_var >= kMinStddev * kMinStddev) {
+    r.pearson = PearsonCorrelation(confidence, correct);
+    r.pearson_defined = true;
+  }
   return r;
 }
 
@@ -405,7 +428,10 @@ std::string CalibrationResult::ReliabilityDiagram() const {
                   Fmt(b.accuracy - b.mean_confidence, 3)});
   }
   table.AddRow({"ece " + Fmt(ece, 4), std::to_string(samples),
-                "brier " + Fmt(brier, 4), "pearson " + Fmt(pearson, 3), ""});
+                "brier " + Fmt(brier, 4),
+                pearson_defined ? "pearson " + Fmt(pearson, 3)
+                                : std::string("pearson n/a"),
+                ""});
   return table.Render();
 }
 

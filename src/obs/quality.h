@@ -168,7 +168,13 @@ struct CalibrationResult {
   std::vector<CalibrationBin> bins;  ///< 10 equal-width bins over [0, 1].
   double ece = 0.0;      ///< Expected calibration error (count-weighted).
   double brier = 0.0;    ///< Mean squared (confidence - correct).
-  double pearson = 0.0;  ///< Correlation confidence vs correctness.
+  /// Correlation confidence vs correctness. Meaningful only when
+  /// `pearson_defined`: with a near-constant series on either side (a
+  /// clean run where nearly every trace is correct and confidence sits
+  /// pinned high) the coefficient is sampling noise, so it is reported as
+  /// undefined instead of a misleading number (JSON consumers emit null).
+  double pearson = 0.0;
+  bool pearson_defined = false;
   std::size_t samples = 0;
 
   /// Aligned text reliability diagram (one row per non-empty bin).

@@ -241,6 +241,12 @@ RunReport BuildRunReport(const RegistrySnapshot& s) {
   r.quality.trace_confidence_milli =
       FindHistogram(s, "tw_quality_trace_confidence_milli");
 
+  r.skew.pairs = s.Value("tw_skew_pairs");
+  r.skew.samples = s.Value("tw_skew_samples");
+  r.skew.inversions = s.Value("tw_skew_inversions");
+  r.skew.max_frame_offset_ns = s.Value("tw_skew_max_frame_offset_ns");
+  r.skew.max_edge_slack_ns = s.Value("tw_skew_max_edge_slack_ns");
+
   r.online.spans_ingested = s.Value("tw_online_spans_ingested_total");
   r.online.windows_closed = s.Value("tw_online_windows_closed_total");
   r.online.parents_committed = s.Value("tw_online_parents_committed_total");
@@ -271,7 +277,7 @@ std::string RunReportJson(const RunReport& r) {
   std::string out;
   Json j(&out);
   j.Open('{');
-  j.Field("schema", std::string("traceweaver.run_report.v4"));
+  j.Field("schema", std::string("traceweaver.run_report.v5"));
 
   j.Key("run");
   j.Open('{');
@@ -411,6 +417,15 @@ std::string RunReportJson(const RunReport& r) {
   j.Field("windows", r.quality.monitor_windows);
   j.Field("drift", r.quality.monitor_drift);
   j.Close('}');
+  j.Close('}');
+
+  j.Key("skew");
+  j.Open('{');
+  j.Field("pairs", r.skew.pairs);
+  j.Field("samples", r.skew.samples);
+  j.Field("inversions", r.skew.inversions);
+  j.Field("max_frame_offset_ns", r.skew.max_frame_offset_ns);
+  j.Field("max_edge_slack_ns", r.skew.max_edge_slack_ns);
   j.Close('}');
 
   j.Key("online");

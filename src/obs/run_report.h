@@ -3,9 +3,10 @@
 // quarantined, where the time went per stage, how
 // enumeration/batching/ranking/MWIS/GMM behaved, per-service outcomes,
 // §4.2 phantom-span usage, the trace-quality family (`tw_quality_*`,
-// obs/quality.h), and the streaming-resilience family (`tw_online_*`,
-// core/online.h). Render as JSON (stable schema
-// `traceweaver.run_report.v4`, golden-tested) or as an aligned text
+// obs/quality.h), the clock-skew estimator (`tw_skew_*`,
+// core/skew_estimator.h), and the streaming-resilience family
+// (`tw_online_*`, core/online.h). Render as JSON (stable schema
+// `traceweaver.run_report.v5`, golden-tested) or as an aligned text
 // table for terminals.
 #pragma once
 
@@ -110,6 +111,16 @@ struct RunReport {
     HistogramSnapshot trace_confidence_milli;  ///< Per trace, x1000.
   } quality;
 
+  // --- Clock-skew estimation (tw_skew_*, zero when no skew evidence was
+  // accumulated; v5 addition). ---
+  struct {
+    std::int64_t pairs = 0;       ///< Vantage pairs with evidence.
+    std::int64_t samples = 0;     ///< Cross-vantage gap observations.
+    std::int64_t inversions = 0;  ///< Negative cross-vantage gaps seen.
+    std::int64_t max_frame_offset_ns = 0;
+    std::int64_t max_edge_slack_ns = 0;
+  } skew;
+
   // --- Online / streaming resilience (tw_online_*, zero when the run
   // was batch-only). ---
   struct {
@@ -132,7 +143,7 @@ struct RunReport {
 /// into (see PipelineMetrics for the names consumed).
 RunReport BuildRunReport(const RegistrySnapshot& snapshot);
 
-/// Stable JSON rendering (schema `traceweaver.run_report.v4`).
+/// Stable JSON rendering (schema `traceweaver.run_report.v5`).
 std::string RunReportJson(const RunReport& report);
 
 /// Aligned text-table rendering for terminals.

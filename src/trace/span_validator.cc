@@ -47,6 +47,7 @@ void SpanValidator::ObserveSkew(const Span& s) {
     if (gap >= 0) continue;
     const std::int64_t magnitude = -gap;
     skew_magnitudes_.push_back(magnitude);
+    pair_magnitudes_[{s.caller, s.callee}].push_back(magnitude);
     ++stats_.skew_samples;
     stats_.max_skew_ns = std::max(stats_.max_skew_ns, magnitude);
   }
@@ -168,6 +169,11 @@ SpanVerdict SpanValidator::Admit(Span& s) {
       quarantine_.push_back(s);
       break;
   }
+  if (verdict != SpanVerdict::kQuarantined &&
+      options_.skew_observer != nullptr &&
+      options_.mode != IngestMode::kOff) {
+    options_.skew_observer->ObserveSpan(s);
+  }
   return verdict;
 }
 
@@ -201,6 +207,26 @@ const IngestStats& SpanValidator::Finish() {
     const std::size_t idx = static_cast<std::size_t>(
         0.99 * static_cast<double>(skew_magnitudes_.size() - 1));
     stats_.suggested_slack_ns = 2 * skew_magnitudes_[idx];
+
+    // The same magnitudes bucketed per service pair, worst pair first, so
+    // warnings can point at the skewed edge instead of the whole
+    // deployment. Map order keeps ties deterministic.
+    for (auto& [pair, magnitudes] : pair_magnitudes_) {
+      std::sort(magnitudes.begin(), magnitudes.end());
+      IngestStats::PairSkew row;
+      row.caller = pair.first;
+      row.callee = pair.second;
+      row.samples = magnitudes.size();
+      row.max_skew_ns = magnitudes.back();
+      row.p99_skew_ns = magnitudes[static_cast<std::size_t>(
+          0.99 * static_cast<double>(magnitudes.size() - 1))];
+      stats_.skew_pairs.push_back(std::move(row));
+    }
+    std::stable_sort(stats_.skew_pairs.begin(), stats_.skew_pairs.end(),
+                     [](const IngestStats::PairSkew& a,
+                        const IngestStats::PairSkew& b) {
+                       return a.p99_skew_ns > b.p99_skew_ns;
+                     });
   }
 
   if (options_.metrics != nullptr) {
@@ -250,6 +276,10 @@ const IngestStats& SpanValidator::Finish() {
                  "the observed skew distribution.",
                  "ns")
         .Set(stats_.suggested_slack_ns);
+    reg.GetGauge("tw_ingest_skew_pairs", "",
+                 "Service pairs with observed cross-vantage inversions.",
+                 "1")
+        .Set(static_cast<std::int64_t>(stats_.skew_pairs.size()));
   }
   return stats_;
 }

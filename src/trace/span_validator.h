@@ -35,7 +35,10 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "trace/span.h"
@@ -59,12 +62,26 @@ enum class SpanVerdict {
   kQuarantined,  ///< Rejected; available via SpanValidator::quarantine().
 };
 
+/// Sink for per-span skew evidence: every span the validator keeps is
+/// offered to the observer (not just inversions -- positive cross-vantage
+/// gaps bound the feasible clock offset from the other side). Implemented
+/// by core/skew_estimator.h; declared here so the trace layer never
+/// depends on core.
+class SkewObserver {
+ public:
+  virtual ~SkewObserver() = default;
+  virtual void ObserveSpan(const Span& s) = 0;
+};
+
 struct SpanValidatorOptions {
   IngestMode mode = IngestMode::kLenient;
   /// Replica indices outside [0, max_replica] are out of range.
   int max_replica = 1 << 20;
   /// Optional registry the final stats are flushed into by Finish().
   obs::MetricsRegistry* metrics = nullptr;
+  /// Optional skew-evidence sink fed every kept span (post same-clock
+  /// repair, which never touches the cross-vantage gaps). Not owned.
+  SkewObserver* skew_observer = nullptr;
 };
 
 /// Counts of everything the validator saw and did. All counts are in
@@ -98,6 +115,19 @@ struct IngestStats {
   /// Suggested Parameters::constraint_slack_ns covering the observed skew
   /// distribution (2x its p99 magnitude); 0 when no skew was observed.
   std::int64_t suggested_slack_ns = 0;
+
+  /// Per-(caller service, callee service) inversion summary, so a warning
+  /// can name the worst pair instead of blaming the whole deployment.
+  struct PairSkew {
+    std::string caller;
+    std::string callee;
+    std::uint64_t samples = 0;
+    std::int64_t max_skew_ns = 0;
+    std::int64_t p99_skew_ns = 0;
+  };
+  /// Sorted worst-first (by p99 magnitude, then caller/callee name);
+  /// filled by Finish(). Empty when no inversions were observed.
+  std::vector<PairSkew> skew_pairs;
 
   std::uint64_t Kept() const { return accepted + repaired; }
 };
@@ -146,6 +176,9 @@ class SpanValidator {
   /// exact duplicate record (drop) vs. a distinct span (remap).
   std::unordered_map<SpanId, Span> seen_;
   std::vector<std::int64_t> skew_magnitudes_;
+  /// Inversion magnitudes bucketed per (caller service, callee service).
+  std::map<std::pair<std::string, std::string>, std::vector<std::int64_t>>
+      pair_magnitudes_;
   SpanId next_remap_id_ = 0;  ///< 0 = derive from max seen id.
   bool finished_ = false;
 };

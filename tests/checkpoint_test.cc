@@ -16,6 +16,7 @@
 #include "callgraph/inference.h"
 #include "core/online.h"
 #include "sim/apps.h"
+#include "sim/fault_injector.h"
 #include "sim/workload.h"
 #include "trace/checkpoint.h"
 
@@ -286,6 +287,68 @@ TEST(OnlineCheckpoint, TruncatedFileRejectedWithStateUntouched) {
   std::stringstream post;
   victim.SaveCheckpoint(post);
   EXPECT_EQ(post.str(), pre.str());
+}
+
+// The ISSUE acceptance for skew correction in serve: a kill -9 between
+// two window closes must resume bit-identically with the estimator's
+// state (gap buffers, Welford moments) carried through the checkpoint.
+TEST(OnlineCheckpoint, SkewEstimatorStateSurvivesResumeBitIdentically) {
+  Stream s = MakeStream(150, 2);
+  // Give the estimator real work: constant per-vantage clock offsets.
+  sim::FaultSpec spec;
+  spec.skew_stddev_ns = Micros(100);
+  s.spans = sim::InjectFaults(std::move(s.spans), spec);
+  std::sort(s.spans.begin(), s.spans.end(),
+            [](const Span& a, const Span& b) {
+              return a.client_recv != b.client_recv
+                         ? a.client_recv < b.client_recv
+                         : a.id < b.id;
+            });
+
+  OnlineOptions opts = MidStreamOptions();
+  opts.skew_correct = true;
+
+  const auto replay = [&](std::size_t from, std::size_t to,
+                          OnlineTraceWeaver& w, TimeNs watermark) {
+    for (std::size_t i = from; i < to; ++i) {
+      w.Ingest(s.spans[i]);
+      watermark = std::max(watermark, s.spans[i].client_send);
+      w.Advance(watermark);
+    }
+    return watermark;
+  };
+
+  // Reference: one uninterrupted run.
+  OnlineTraceWeaver ref(s.graph, opts);
+  replay(0, s.spans.size(), ref, 0);
+  ref.Flush();
+  ASSERT_GT(ref.assignment().size(), 0u);
+  ASSERT_GT(ref.skew_estimator().observations(), 0u);
+
+  // Kill mid-stream (not on a window boundary), checkpoint, resume.
+  const std::size_t kill = s.spans.size() / 2 + 7;
+  OnlineTraceWeaver before(s.graph, opts);
+  const TimeNs watermark = replay(0, kill, before, 0);
+  std::stringstream ck;
+  before.SaveCheckpoint(ck);
+  ASSERT_NE(ck.str().find("\"ckpt\":\"skew\""), std::string::npos)
+      << "estimator state missing from the checkpoint";
+
+  OnlineTraceWeaver resumed(s.graph, opts);
+  std::string error;
+  ASSERT_TRUE(resumed.LoadCheckpoint(ck, &error)) << error;
+  EXPECT_EQ(resumed.skew_estimator().observations(),
+            before.skew_estimator().observations());
+  replay(kill, s.spans.size(), resumed, watermark);
+  resumed.Flush();
+
+  // The resumed run converges to the uninterrupted result exactly, and
+  // the final checkpoints are byte-equal -- estimator state included.
+  EXPECT_EQ(resumed.assignment(), ref.assignment());
+  std::stringstream a, b;
+  ref.SaveCheckpoint(a);
+  resumed.SaveCheckpoint(b);
+  EXPECT_EQ(a.str(), b.str());
 }
 
 }  // namespace

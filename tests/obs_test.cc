@@ -208,7 +208,7 @@ TEST(RunReportTest, EmptyReportGoldenJson) {
   const obs::RunReport report = obs::BuildRunReport(RegistrySnapshot{});
   const std::string json = obs::RunReportJson(report);
   EXPECT_EQ(json.substr(0, 40),
-            std::string("{\"schema\":\"traceweaver.run_report.v4\",\"r")
+            std::string("{\"schema\":\"traceweaver.run_report.v5\",\"r")
                 .substr(0, 40));
   // Every stage row is present even at zero, in pipeline order.
   const char* kStages[] = {"views", "setup",    "enumerate", "batch",
@@ -226,7 +226,7 @@ TEST(RunReportTest, EmptyReportGoldenJson) {
        {"\"run\":", "\"ingest\":", "\"stages\":", "\"services\":",
         "\"enumeration\":", "\"batching\":", "\"delay_model\":",
         "\"ranking\":", "\"mwis\":", "\"iteration\":", "\"dynamism\":",
-        "\"quality\":", "\"online\":"}) {
+        "\"quality\":", "\"skew\":", "\"online\":"}) {
     EXPECT_NE(json.find(key), std::string::npos) << key;
   }
   // Deterministic: the same (empty) snapshot renders byte-identically.

@@ -82,6 +82,9 @@ TEST(QualityCalibration, TraceConfidencePredictsCorrectness) {
   const obs::CalibrationResult cal =
       obs::CalibrateTraces(p.spans, out.quality, out.assignment);
   EXPECT_GT(cal.samples, 500u);
+  // The faulted regime has real error mass on both series, so the
+  // correlation must be defined (the clean-run guard must not fire here).
+  EXPECT_TRUE(cal.pearson_defined);
   EXPECT_GE(cal.pearson, 0.5);
   EXPECT_LE(cal.ece, 0.15);
   EXPECT_LE(cal.brier, 0.15);
@@ -104,6 +107,22 @@ TEST(QualityCalibration, AssignmentConfidenceMatchesCleanAccuracy) {
   EXPECT_GT(cal.samples, 1000u);
   EXPECT_LE(cal.ece, 0.05);
   EXPECT_GT(out.quality.MeanAssignmentConfidence(), 0.9);
+}
+
+// Near-constant correctness (clean run) makes Pearson sampling noise; the
+// harness must mark it undefined instead of reporting a misleading value,
+// and the reliability diagram must say so.
+TEST(QualityCalibration, PearsonUndefinedOnDegenerateCleanRun) {
+  const Pipeline p = HotelPipeline(200, 3);
+  const TraceWeaverOutput out = Reconstruct(p, /*quality=*/true);
+  const obs::CalibrationResult cal =
+      obs::CalibrateTraces(p.spans, out.quality, out.assignment);
+  ASSERT_GT(cal.samples, 0u);
+  // The clean run reconstructs nearly everything correctly with uniformly
+  // high confidence: one of the two series is near-constant.
+  EXPECT_FALSE(cal.pearson_defined);
+  EXPECT_EQ(cal.pearson, 0.0);
+  EXPECT_NE(cal.ReliabilityDiagram().find("pearson n/a"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

@@ -126,6 +126,60 @@ TEST(WireCapture, UnknownConnectionsAreCounted) {
   EXPECT_LT(events.size(), spans.size() * 4);
 }
 
+// Regression for the FIFO-zip mis-pairing bug: a vantage that stamps
+// response chunks slightly late (then delivers everything shuffled) can
+// invert a request/response pair by a few hundred microseconds. The old
+// assembler orphaned the early response AND closed its request against
+// the *next* RPC's response, shifting every later pairing on the stream;
+// the bounded reorder buffer lets the true request claim it instead.
+TEST(WireCapture, ReorderedDeliveryIsRepairedByTheReorderBuffer) {
+  const auto spans = SimSpans(80.0);
+  WireRendering wire = RenderSpansToWire(spans);
+
+  // Chunks are rendered four per span: caller request, callee request,
+  // callee response, caller response. Re-stamp every caller-side response
+  // 450us earlier (an egress queue that timestamps at enqueue): pairs
+  // shorter than 450us invert, by less than the 500us reorder window.
+  std::size_t inverted = 0;
+  for (std::size_t k = 0; k + 3 < wire.chunks.size(); k += 4) {
+    WireChunk& resp = wire.chunks[k + 3];
+    ASSERT_EQ(resp.vantage, Vantage::kCallerSide);
+    ASSERT_FALSE(resp.client_to_server);
+    resp.timestamp -= Micros(450);
+    if (resp.timestamp < wire.chunks[k].timestamp) ++inverted;
+  }
+  ASSERT_GT(inverted, 0u);
+
+  // Shuffled delivery: arrival order carries no information.
+  Rng rng(91);
+  for (std::size_t i = wire.chunks.size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<int>(i) - 1));
+    std::swap(wire.chunks[i - 1], wire.chunks[j]);
+  }
+
+  auto events = WireToEvents(wire.chunks, wire.meta);
+
+  // With the reorder buffer (default options): every span reassembles and
+  // each inverted pair is recovered, not orphaned.
+  AssemblyStats stats;
+  const auto rebuilt = AssembleSpans(events, &stats);
+  EXPECT_EQ(rebuilt.size(), spans.size());
+  EXPECT_EQ(stats.reordered_responses, inverted);
+  EXPECT_EQ(stats.unmatched_requests, 0u);
+  EXPECT_EQ(stats.unmatched_responses, 0u);
+
+  // The historical behavior (reorder buffer disabled): inverted pairs are
+  // lost and pairings shift -- the bug this buffer exists to fix.
+  AssemblyOptions legacy;
+  legacy.reorder_capacity = 0;
+  AssemblyStats legacy_stats;
+  const auto shifted = AssembleSpans(std::move(events), &legacy_stats, nullptr,
+                                     legacy);
+  EXPECT_LT(shifted.size(), spans.size());
+  EXPECT_GT(legacy_stats.unmatched_responses, 0u);
+}
+
 TEST(WireCapture, CorruptStreamIsIsolated) {
   const auto spans = SimSpans(50.0);
   WireRendering wire = RenderSpansToWire(spans);

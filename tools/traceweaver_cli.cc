@@ -41,6 +41,11 @@
 //   --auto-slack          apply the validator's suggested
 //                         constraint_slack_ns (derived from observed
 //                         capture-clock skew) to reconstruction
+//   --skew-correct        estimate per-vantage clock offsets
+//                         (core/skew_estimator.h) and rewrite all
+//                         timestamps into one frame before running
+//   --per-edge-slack      per-edge feasibility slack from the observed
+//                         skew spread (implies --skew-correct)
 // They also accept observability flags (docs/METRICS.md):
 //   --report              print a run report (stage times, pipeline
 //                         counters) to stderr after reconstruction
@@ -73,6 +78,7 @@
 
 #include "callgraph/inference.h"
 #include "core/online.h"
+#include "core/skew_estimator.h"
 #include "callgraph/serialization.h"
 #include "collector/capture.h"
 #include "core/accuracy.h"
@@ -171,6 +177,13 @@ int Usage() {
       "                      strict, off\n"
       "  --auto-slack        apply the validator's suggested\n"
       "                      constraint_slack_ns (observed clock skew)\n"
+      "  --skew-correct      estimate per-vantage clock offsets from\n"
+      "                      cross-vantage gaps and rewrite timestamps\n"
+      "                      into a common frame before reconstruction\n"
+      "                      (serve: streaming, checkpointed)\n"
+      "  --per-edge-slack    per-(caller, callee) feasibility slack from\n"
+      "                      each pair's observed skew spread (implies\n"
+      "                      --skew-correct; serve applies it always)\n"
       "  --report            print a run report (stage times, pipeline\n"
       "                      counters) to stderr after reconstruction\n"
       "  --report-json=FILE  write the run report as JSON to FILE\n"
@@ -196,6 +209,8 @@ struct CliFlags {
   std::string metrics_out;    ///< Prometheus text file ("" = off).
   IngestMode ingest = IngestMode::kLenient;
   bool auto_slack = false;    ///< Apply suggested slack to reconstruction.
+  bool skew_correct = false;  ///< Estimate + correct per-vantage skew.
+  bool per_edge_slack = false;  ///< Per-edge slack from skew spread.
   bool quality = false;       ///< Compute the trace-quality report.
   double min_confidence = -1.0;  ///< Warn below this mean (< 0 = off).
   bool json = false;          ///< explain: JSON instead of a table.
@@ -265,6 +280,12 @@ CliFlags ParseFlags(int& argc, char**& argv) {
       flags.ingest = IngestMode::kOff;
     } else if (arg == "--auto-slack") {
       flags.auto_slack = true;
+    } else if (arg == "--skew-correct") {
+      flags.skew_correct = true;
+    } else if (arg == "--per-edge-slack") {
+      // Slack derivation needs the estimator, so this implies correction.
+      flags.per_edge_slack = true;
+      flags.skew_correct = true;
     } else if (arg == "--quality") {
       flags.quality = true;
     } else if (arg.rfind("--min-confidence=", 0) == 0) {
@@ -341,6 +362,34 @@ CliFlags ParseFlags(int& argc, char**& argv) {
     argv[0] = argv[-1];  // Keep argv[0] pointing at a program name.
   }
   return flags;
+}
+
+/// Batch-mode clock-skew handling (--skew-correct): feed the population
+/// to the estimator, rewrite every timestamp into the solved global clock
+/// frame, and (--per-edge-slack) derive per-(caller, callee) feasibility
+/// slack from the observed spread. tw_skew_* gauges land in `registry`
+/// when non-null; a one-line note on stderr reports what moved.
+void ApplySkewCorrection(const CliFlags& flags, std::vector<Span>& spans,
+                         TraceWeaverOptions& opts,
+                         obs::MetricsRegistry* registry) {
+  if (!flags.skew_correct) return;
+  SkewEstimator estimator;
+  for (const Span& s : spans) estimator.ObserveSpan(s);
+  const std::size_t corrected = estimator.CorrectSpans(spans);
+  if (flags.per_edge_slack) {
+    opts.optimizer.params.edge_slack_ns = estimator.EdgeSlacks();
+  }
+  if (registry != nullptr) estimator.FlushMetrics(*registry);
+  if (corrected > 0) {
+    std::fprintf(stderr,
+                 "note: skew correction moved %zu of %zu spans (max frame "
+                 "offset %lld ns, %zu vantage pairs, %zu per-edge slacks)\n",
+                 corrected, spans.size(),
+                 static_cast<long long>(estimator.MaxFrameOffsetNs()),
+                 estimator.pairs().size(),
+                 flags.per_edge_slack ? estimator.EdgeSlacks().size()
+                                      : std::size_t{0});
+  }
 }
 
 TraceWeaverOptions WeaverOptions(const CliFlags& flags,
@@ -498,6 +547,19 @@ void WarnIngest(const IngestStats& ingest) {
                  "applies it)\n",
                  static_cast<long long>(ingest.max_skew_ns),
                  static_cast<long long>(ingest.suggested_slack_ns));
+    if (!ingest.skew_pairs.empty()) {
+      // Name the worst service pair instead of blaming the deployment:
+      // skew is per vantage pair, and usually one pair dominates.
+      const IngestStats::PairSkew& worst = ingest.skew_pairs.front();
+      std::fprintf(stderr,
+                   "note: worst skew pair %s -> %s (%llu samples, "
+                   "p99 %lld ns, max %lld ns) of %zu pair(s)\n",
+                   worst.caller.c_str(), worst.callee.c_str(),
+                   static_cast<unsigned long long>(worst.samples),
+                   static_cast<long long>(worst.p99_skew_ns),
+                   static_cast<long long>(worst.max_skew_ns),
+                   ingest.skew_pairs.size());
+    }
   }
 }
 
@@ -650,8 +712,10 @@ int CmdReconstruct(int argc, char** argv) {
   auto spans = LoadSpans(argv[2], flags, reg);
   if (!graph || !spans) return 1;
 
-  TraceWeaver weaver(
-      *graph, WeaverOptions(flags, &registry, spans->ingest.suggested_slack_ns));
+  TraceWeaverOptions wopts =
+      WeaverOptions(flags, &registry, spans->ingest.suggested_slack_ns);
+  ApplySkewCorrection(flags, spans->spans, wopts, reg);
+  TraceWeaver weaver(*graph, wopts);
   const TraceWeaverOutput out = weaver.Reconstruct(spans->spans);
   EmitObservability(flags, registry);
   WarnLowConfidence(flags, out);
@@ -678,8 +742,10 @@ int CmdExportJaeger(int argc, char** argv) {
   auto graph = LoadGraph(argv[1]);
   auto spans = LoadSpans(argv[2], flags, reg);
   if (!graph || !spans) return 1;
-  TraceWeaver weaver(
-      *graph, WeaverOptions(flags, &registry, spans->ingest.suggested_slack_ns));
+  TraceWeaverOptions wopts =
+      WeaverOptions(flags, &registry, spans->ingest.suggested_slack_ns);
+  ApplySkewCorrection(flags, spans->spans, wopts, reg);
+  TraceWeaver weaver(*graph, wopts);
   const TraceWeaverOutput out = weaver.Reconstruct(spans->spans);
   EmitObservability(flags, registry);
   WarnLowConfidence(flags, out);
@@ -702,8 +768,10 @@ int CmdEvaluate(int argc, char** argv) {
   auto spans = LoadSpans(argv[2], flags, reg);
   if (!graph || !spans) return 1;
 
-  TraceWeaver weaver(
-      *graph, WeaverOptions(flags, &registry, spans->ingest.suggested_slack_ns));
+  TraceWeaverOptions wopts =
+      WeaverOptions(flags, &registry, spans->ingest.suggested_slack_ns);
+  ApplySkewCorrection(flags, spans->spans, wopts, reg);
+  TraceWeaver weaver(*graph, wopts);
   const TraceWeaverOutput out = weaver.Reconstruct(spans->spans);
   EmitObservability(flags, registry);
   WarnLowConfidence(flags, out);
@@ -723,17 +791,23 @@ int CmdEvaluate(int argc, char** argv) {
   if (flags.quality) {
     const obs::CalibrationResult acal =
         obs::CalibrateAssignments(spans->spans, out.containers, out.quality);
+    const auto pearson_str = [](const obs::CalibrationResult& c) {
+      if (!c.pearson_defined) return std::string("n/a");
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.3f", c.pearson);
+      return std::string(buf);
+    };
     std::printf(
         "calibration (assignment confidence vs correctness, %zu "
-        "assignments):\n  pearson %.3f   ece %.4f   brier %.4f\n",
-        acal.samples, acal.pearson, acal.ece, acal.brier);
+        "assignments):\n  pearson %s   ece %.4f   brier %.4f\n",
+        acal.samples, pearson_str(acal).c_str(), acal.ece, acal.brier);
     std::fputs(acal.ReliabilityDiagram().c_str(), stdout);
     const obs::CalibrationResult calib =
         obs::CalibrateTraces(spans->spans, out.quality, out.assignment);
     std::printf(
         "calibration (trace confidence vs correctness, %zu traces):\n"
-        "  pearson %.3f   ece %.4f   brier %.4f\n",
-        calib.samples, calib.pearson, calib.ece, calib.brier);
+        "  pearson %s   ece %.4f   brier %.4f\n",
+        calib.samples, pearson_str(calib).c_str(), calib.ece, calib.brier);
     std::fputs(calib.ReliabilityDiagram().c_str(), stdout);
   }
   return 0;
@@ -752,6 +826,7 @@ int CmdExplain(int argc, char** argv) {
   ExplainCapture capture;
   TraceWeaverOptions opts =
       WeaverOptions(flags, &registry, spans->ingest.suggested_slack_ns);
+  ApplySkewCorrection(flags, spans->spans, opts, reg);
   opts.optimizer.explain_parent = target;
   opts.optimizer.explain_out = &capture;
   TraceWeaver weaver(*graph, opts);
@@ -905,6 +980,10 @@ int CmdServe(int argc, char** argv) {
   // The store indexes A-D grades and calibrated confidence, so committing
   // turns the quality layer on; without a store it stays a paid opt-in.
   oopts.weaver.compute_quality = flags.quality || store_enabled;
+  // serve's --skew-correct runs the streaming estimator: every ingested
+  // span is observed raw, corrected into the global frame, and the
+  // per-edge slack map refreshes at each window close.
+  oopts.skew_correct = flags.skew_correct;
   oopts.metrics = reg;
   OnlineTraceWeaver weaver(*graph, oopts);
   obs::OnlineMetrics ometrics;

@@ -9,6 +9,7 @@
 // and writes the results to BENCH_perf.json (see WriteBenchJson).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <limits>
@@ -16,6 +17,8 @@
 #include "callgraph/inference.h"
 #include "common.h"
 #include "core/mis_solver.h"
+#include "core/online.h"
+#include "obs/provenance.h"
 #include "sim/apps.h"
 #include "sim/workload.h"
 #include "stats/gmm.h"
@@ -270,6 +273,65 @@ void RunThreadSweep() {
                   (best_quality / best_plain - 1.0) * 100.0);
     records.back().note = note;
     std::printf("  %s\n", note);
+  }
+  {
+    // Provenance-enabled online streaming run (DESIGN.md §4j), measured
+    // like the metrics/quality runs above: interleaved with a ledger-less
+    // run of the identical stream, min-to-min. The ledger is
+    // observation-only, so the committed assignment must stay
+    // bit-identical and the cost must stay under the 3% gate.
+    std::vector<Span> stream = data.spans;
+    std::sort(stream.begin(), stream.end(),
+              [](const Span& a, const Span& b) {
+                return a.client_recv < b.client_recv;
+              });
+    const auto run = [&](obs::ProvenanceLedger* ledger) {
+      OnlineOptions oopts;
+      oopts.window = Millis(500);
+      oopts.margin = Millis(200);
+      oopts.skew_correct = true;  // One skew_correct event per ingest.
+      oopts.provenance = ledger;
+      OnlineTraceWeaver online(data.graph, oopts);
+      for (const Span& span : stream) {
+        online.Ingest(span);
+        online.Advance(span.client_recv);
+      }
+      online.Flush();
+      return online.assignment();
+    };
+    double best_plain = std::numeric_limits<double>::infinity();
+    double best_prov = std::numeric_limits<double>::infinity();
+    ParentAssignment with_ledger;
+    ParentAssignment without_ledger;
+    for (int rep = 0; rep < 9; ++rep) {
+      best_plain = std::min(
+          best_plain, BestOfSeconds(1, [&] { without_ledger = run(nullptr); }));
+      best_prov = std::min(best_prov, BestOfSeconds(1, [&] {
+        // Fresh ledger per rep so every rep records the same event load.
+        obs::ProvenanceLedger ledger;
+        with_ledger = run(&ledger);
+      }));
+    }
+    if (with_ledger != without_ledger) {
+      std::fprintf(stderr,
+                   "FATAL: provenance-enabled assignment differs from plain\n");
+      std::exit(1);
+    }
+    record("online_provenance", 1, best_prov);
+    const double overhead_pct = (best_prov / best_plain - 1.0) * 100.0;
+    char note[128];
+    std::snprintf(note, sizeof(note),
+                  "provenance on; overhead %+.1f%% vs interleaved plain "
+                  "online (gate <= 3%%); assignment bit-identical",
+                  overhead_pct);
+    records.back().note = note;
+    std::printf("  %s\n", note);
+    if (overhead_pct > 3.0) {
+      std::fprintf(stderr,
+                   "WARNING: provenance overhead %.1f%% exceeds the 3%% "
+                   "gate (DESIGN.md §4j)\n",
+                   overhead_pct);
+    }
   }
   {
     TraceWeaverOptions opts;

@@ -7,10 +7,12 @@
 //           flags the model as stale; the operator re-learns and the
 //           regression report pins the shift on svc-b's self time.
 //
-// The loop also keeps a metrics registry plugged into the weaver and dumps
-// a Prometheus text snapshot (ops_metrics.prom) after every reconstruction
-// pass -- the file a node_exporter textfile collector (or any scraper)
-// would pick up in a real deployment.
+// The loop also keeps a metrics registry plugged into the weaver and,
+// when --metrics-out=FILE is given, dumps a Prometheus text snapshot to
+// FILE after every reconstruction pass -- the file a node_exporter
+// textfile collector (or any scraper) would pick up in a real
+// deployment. Without the flag nothing is written (so the example never
+// litters the working tree with runtime dumps).
 //
 // The final act replays day-2 traffic through the resilient streaming mode
 // (core/online.h): bounded span buffer, overload degradation ladder and a
@@ -24,6 +26,8 @@
 //                          ladder (default 0 = off)
 //   --max-buffer-spans=N   streaming span-buffer budget (default 0 = off)
 //   --checkpoint=FILE      save/restore the streaming state through FILE
+//   --metrics-out=FILE     write Prometheus text snapshots to FILE
+//                          (default: no file output)
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -89,14 +93,17 @@ std::map<DelayKey, std::vector<double>> GapsFrom(
   return gaps;
 }
 
-/// Dumps the registry as Prometheus text exposition to ops_metrics.prom,
-/// overwriting the previous snapshot (textfile-collector style).
-void DumpMetrics(const obs::MetricsRegistry& registry) {
+/// Dumps the registry as Prometheus text exposition to `path`,
+/// overwriting the previous snapshot (textfile-collector style). No-op
+/// when no --metrics-out path was given.
+void DumpMetrics(const obs::MetricsRegistry& registry,
+                 const std::string& path) {
+  if (path.empty()) return;
   const std::string text = obs::PrometheusText(registry.Snapshot());
-  if (std::FILE* f = std::fopen("ops_metrics.prom", "w")) {
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
     std::fwrite(text.data(), 1, text.size(), f);
     std::fclose(f);
-    std::printf("  [metrics snapshot -> ops_metrics.prom, %zu bytes]\n",
+    std::printf("  [metrics snapshot -> %s, %zu bytes]\n", path.c_str(),
                 text.size());
   }
 }
@@ -108,6 +115,7 @@ struct OpsFlags {
   long long deadline_ms = 0;
   std::size_t max_buffer_spans = 0;
   std::string checkpoint_file;
+  std::string metrics_out;  ///< "" = no Prometheus file output.
 };
 
 OpsFlags ParseOpsFlags(int argc, char** argv) {
@@ -130,6 +138,8 @@ OpsFlags ParseOpsFlags(int argc, char** argv) {
       flags.max_buffer_spans = static_cast<std::size_t>(num(arg, 19));
     } else if (arg.rfind("--checkpoint=", 0) == 0) {
       flags.checkpoint_file = arg.substr(13);
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      flags.metrics_out = arg.substr(14);
     } else {
       std::fprintf(stderr, "ops_loop: unknown flag %s (ignored)\n",
                    arg.c_str());
@@ -177,7 +187,7 @@ int main(int argc, char** argv) {
               "(reference %s)\n",
               rec1.quality.MeanTraceConfidence(), rec1.quality.traces.size(),
               quality_monitor.ReferenceReady() ? "ready" : "warming up");
-  DumpMetrics(metrics);
+  DumpMetrics(metrics, flags.metrics_out);
 
   // Fit a reference delay model from day-1 gaps.
   DelayModel model;
@@ -204,7 +214,7 @@ int main(int argc, char** argv) {
                 "mean=%.3f over %zu traces\n",
                 w.statistic, w.p_value, w.mean_confidence, w.n);
   }
-  DumpMetrics(metrics);
+  DumpMetrics(metrics, flags.metrics_out);
 
   const auto findings =
       DetectDrift(model, GapsFrom(graph, day2, rec2.assignment));
@@ -294,6 +304,6 @@ int main(int argc, char** argv) {
       std::printf("checkpoint: restore failed: %s\n", error.c_str());
     }
   }
-  DumpMetrics(metrics);
+  DumpMetrics(metrics, flags.metrics_out);
   return 0;
 }

@@ -47,7 +47,8 @@ std::string WrapSpanLine(const char* tag, const Span& span,
 }  // namespace
 
 OnlineTraceWeaver::OnlineTraceWeaver(CallGraph graph, OnlineOptions options)
-    : graph_(std::move(graph)), options_(options) {
+    : graph_(std::move(graph)), options_(options),
+      prov_(options.provenance) {
   if (options_.metrics != nullptr) {
     metrics_ = obs::OnlineMetrics(*options_.metrics);
   }
@@ -64,7 +65,16 @@ void OnlineTraceWeaver::Ingest(const Span& span) {
     // gaps, and the ordering replays identically from a checkpoint.
     skew_estimator_.ObserveSpan(span);
     Span corrected = span;
-    skew_estimator_.CorrectSpan(corrected);
+    if (skew_estimator_.CorrectSpan(corrected) && prov_) {
+      // The applied correction is the callee vantage's frame offset (the
+      // caller side moved by its own frame's); both are stream-derived,
+      // so a checkpoint replay re-records the identical event.
+      prov_.Record(obs::ProvEventType::kSkewCorrect, span.id,
+                   skew_estimator_.FrameOffsetNs(
+                       {span.callee, span.callee_replica}),
+                   span.callee + '@' +
+                       std::to_string(span.callee_replica));
+    }
     IngestCorrected(corrected);
     return;
   }
@@ -118,6 +128,7 @@ void OnlineTraceWeaver::EnforceBudget() {
     // the newest arrival instead of corrupting the window mid-fill.
     buffer_bytes_ -= ApproxSpanBytes(buffer_.back());
     pending_orphans_.push_back(buffer_.back().id);
+    prov_.Record(obs::ProvEventType::kAdmissionDrop, buffer_.back().id);
     buffer_.pop_back();
     ++stats_.admission_drops;
     metrics_.admission_drops.Inc();
@@ -149,6 +160,9 @@ void OnlineTraceWeaver::ShedOldestWindow() {
   }
   buffer_ = std::move(remaining);
   std::sort(shed.orphans.begin(), shed.orphans.end());
+  for (const SpanId id : shed.orphans) {
+    prov_.Record(obs::ProvEventType::kWindowShed, id, shed.window_start);
+  }
   next_window_start_ = shed_end;
 
   stats_.windows_shed += 1;
@@ -164,6 +178,7 @@ void OnlineTraceWeaver::HandleLate(const Span& span) {
   if (late_pool_.size() >= options_.max_late_spans && !late_pool_.empty()) {
     // Bounded pool: the oldest entry makes room and becomes an orphan.
     pending_orphans_.push_back(late_pool_.front().span.id);
+    prov_.Record(obs::ProvEventType::kLateDrop, late_pool_.front().span.id);
     late_pool_.erase(late_pool_.begin());
     ++stats_.late_dropped;
     metrics_.late_dropped.Inc();
@@ -232,11 +247,15 @@ void OnlineTraceWeaver::ServiceLatePool(WindowResult& result) {
     if (parent != kInvalidSpanId) {
       committed_[late.span.id] = parent;
       result.assignment[late.span.id] = parent;
+      prov_.Record(obs::ProvEventType::kLateGraft, late.span.id,
+                   static_cast<std::int64_t>(parent));
       ++result.late_grafted;
       ++stats_.late_grafted;
       metrics_.late_grafted.Inc();
     } else if (next_window_start_ > late.deadline) {
       result.orphans.push_back(late.span.id);
+      prov_.Record(obs::ProvEventType::kLateExpire, late.span.id,
+                   late.deadline);
       ++stats_.late_orphans;
       metrics_.late_orphans.Inc();
     } else {
@@ -363,6 +382,9 @@ WindowResult OnlineTraceWeaver::CloseWindow(TimeNs window_start,
       for (const ParentResult& p : c.parents) {
         if (closing.count(p.parent) == 0 || !p.Mapped()) continue;
         ++result.parents_committed;
+        if (level_ > 0) {
+          prov_.Record(obs::ProvEventType::kDegradedSolve, p.parent, level_);
+        }
         const CandidateMapping& m =
             p.ranked[static_cast<std::size_t>(p.chosen)];
         for (SpanId child : m.children) {
@@ -416,7 +438,14 @@ WindowResult OnlineTraceWeaver::CloseWindow(TimeNs window_start,
     buffer_ = std::move(remaining);
   }
 
-  ServiceLatePool(result);
+  {
+    const auto graft_t0 = std::chrono::steady_clock::now();
+    ServiceLatePool(result);
+    result.graft_wall_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - graft_t0)
+            .count();
+  }
 
   ++stats_.windows_closed;
   stats_.parents_committed += result.parents_committed;
@@ -516,11 +545,15 @@ std::vector<WindowResult> OnlineTraceWeaver::Flush() {
       if (parent != kInvalidSpanId) {
         committed_[late.span.id] = parent;
         last.assignment[late.span.id] = parent;
+        prov_.Record(obs::ProvEventType::kLateGraft, late.span.id,
+                     static_cast<std::int64_t>(parent));
         ++last.late_grafted;
         ++stats_.late_grafted;
         metrics_.late_grafted.Inc();
       } else {
         last.orphans.push_back(late.span.id);
+        prov_.Record(obs::ProvEventType::kLateExpire, late.span.id,
+                     late.deadline);
         ++stats_.late_orphans;
         metrics_.late_orphans.Inc();
       }
@@ -620,6 +653,13 @@ void OnlineTraceWeaver::SaveCheckpoint(
   for (const std::string& line : skew_estimator_.CheckpointLines()) {
     w.WriteLine(line);
   }
+  if (options_.provenance != nullptr) {
+    // Pending (uncommitted) decision-provenance events ride the same
+    // stream, so a kill -9 resume reproduces byte-identical provenance.
+    for (const std::string& line : options_.provenance->CheckpointLines()) {
+      w.WriteLine(line);
+    }
+  }
   for (const auto& [key, post] : posteriors_) {
     std::string line = "{\"ckpt\":\"posterior\",";
     ckpt::AppendStrField(line, "service", key.service);
@@ -679,6 +719,7 @@ bool OnlineTraceWeaver::LoadCheckpoint(
   // Parse into fresh state first so a malformed record leaves this weaver
   // untouched.
   OnlineTraceWeaver fresh(graph_, options_);
+  std::vector<obs::ProvEvent> prov_events;
   fresh.started_ = ckpt::FieldU64(header, "started").value_or(0) != 0;
   fresh.next_window_start_ =
       ckpt::FieldI64(header, "next_window_start").value_or(0);
@@ -794,6 +835,10 @@ bool OnlineTraceWeaver::LoadCheckpoint(
       if (!fresh.skew_estimator_.LoadCheckpointLine(line)) {
         return bad("skew record");
       }
+    } else if (*type == "prov") {
+      auto event = obs::ProvEventFromJson(line);
+      if (!event) return bad("prov record");
+      prov_events.push_back(std::move(*event));
     } else if (*type == "extra") {
       const auto key = ckpt::FieldStr(line, "key");
       const auto value = ckpt::FieldU64(line, "value");
@@ -810,6 +855,12 @@ bool OnlineTraceWeaver::LoadCheckpoint(
   if (fresh.options_.skew_correct) {
     fresh.options_.weaver.optimizer.params.edge_slack_ns =
         fresh.skew_estimator_.EdgeSlacks();
+  }
+
+  // Only mutate the shared ledger once the whole checkpoint parsed; a
+  // malformed record above leaves it (like the weaver) untouched.
+  if (options_.provenance != nullptr) {
+    options_.provenance->RestorePending(std::move(prov_events));
   }
 
   *this = std::move(fresh);

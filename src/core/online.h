@@ -53,6 +53,7 @@
 #include "core/skew_estimator.h"
 #include "core/trace_weaver.h"
 #include "obs/pipeline_metrics.h"
+#include "obs/provenance.h"
 #include "trace/span.h"
 
 namespace traceweaver {
@@ -85,6 +86,14 @@ struct OnlineOptions {
   /// disables recording; behavior is identical either way. Not owned.
   obs::MetricsRegistry* metrics = nullptr;
 
+  /// Decision-provenance sink (obs/provenance.h): every skew correction,
+  /// admission drop, window shed, degraded solve, late graft/expiry is
+  /// recorded against the span it affected. Null disables recording;
+  /// assignments are bit-identical either way. Pending events serialize
+  /// as `"ckpt":"prov"` records, and LoadCheckpoint repopulates the
+  /// attached ledger. Not owned; must outlive the weaver.
+  obs::ProvenanceLedger* provenance = nullptr;
+
   /// Feed every ingested span to the online skew estimator and shift its
   /// timestamps into the common clock frame before buffering (DESIGN.md
   /// §4i). Estimates warm up over the stream, so the earliest spans of a
@@ -114,6 +123,9 @@ struct WindowResult {
   std::size_t late_grafted = 0;
   /// Wall time spent closing this window (drives the ladder).
   DurationNs close_wall_ns = 0;
+  /// Portion of close_wall_ns spent servicing the late pool / graft
+  /// slots (feeds the serve loop's self-trace stage breakdown).
+  DurationNs graft_wall_ns = 0;
   /// Per-trace quality rows (grade, calibrated confidence) for every
   /// trace visible in the buffer at this close, filled iff
   /// OnlineOptions::weaver.compute_quality. Downstream consumers (the
@@ -262,6 +274,7 @@ class OnlineTraceWeaver {
   CallGraph graph_;
   OnlineOptions options_;
   obs::OnlineMetrics metrics_;
+  obs::ProvRecorder prov_;
   std::vector<Span> buffer_;
   std::size_t buffer_bytes_ = 0;
   ParentAssignment committed_;

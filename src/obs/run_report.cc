@@ -270,6 +270,19 @@ RunReport BuildRunReport(const RegistrySnapshot& s) {
   r.online.checkpoints = s.Value("tw_online_checkpoints_total");
   r.online.restores = s.Value("tw_online_restores_total");
   r.online.window_close_ns = FindHistogram(s, "tw_online_window_close_ns");
+
+  for (const MetricSnapshot* m : s.Family("tw_prov_events_total")) {
+    if (m->value == 0) continue;
+    // Labels are exactly `type="<name>"` (obs/provenance.cc).
+    std::string type = m->labels;
+    if (type.rfind("type=\"", 0) == 0 && type.size() > 7) {
+      type = type.substr(6, type.size() - 7);
+    }
+    r.provenance.events.push_back({std::move(type), m->value});
+    r.provenance.recorded += m->value;
+  }
+  r.provenance.dropped = s.Value("tw_prov_events_dropped_total");
+  r.provenance.pending_events = s.Value("tw_prov_pending_events");
   return r;
 }
 
@@ -277,7 +290,7 @@ std::string RunReportJson(const RunReport& r) {
   std::string out;
   Json j(&out);
   j.Open('{');
-  j.Field("schema", std::string("traceweaver.run_report.v5"));
+  j.Field("schema", std::string("traceweaver.run_report.v6"));
 
   j.Key("run");
   j.Open('{');
@@ -464,6 +477,23 @@ std::string RunReportJson(const RunReport& r) {
   HistogramFields(j, "window_close_ns", r.online.window_close_ns);
   j.Close('}');
 
+  j.Key("provenance");
+  j.Open('{');
+  j.Field("recorded", r.provenance.recorded);
+  j.Field("dropped", r.provenance.dropped);
+  j.Field("pending_events", r.provenance.pending_events);
+  j.Key("events");
+  j.Open('[');
+  for (const RunReport::ProvRow& row : r.provenance.events) {
+    j.Elem();
+    j.Open('{');
+    j.Field("type", row.type);
+    j.Field("count", row.count);
+    j.Close('}');
+  }
+  j.Close(']');
+  j.Close('}');
+
   j.Close('}');
   out += '\n';
   return out;
@@ -569,6 +599,15 @@ std::string RunReportTable(const RunReport& r) {
         << r.online.watermark_regressions << " watermark regressions; "
         << r.online.checkpoints << " checkpoints, " << r.online.restores
         << " restores\n";
+  }
+  if (r.provenance.recorded > 0 || r.provenance.dropped > 0) {
+    out << "provenance: " << r.provenance.recorded << " events recorded ("
+        << r.provenance.dropped << " dropped, "
+        << r.provenance.pending_events << " pending):";
+    for (const RunReport::ProvRow& row : r.provenance.events) {
+      out << ' ' << row.type << '=' << row.count;
+    }
+    out << '\n';
   }
   return out.str();
 }

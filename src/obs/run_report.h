@@ -4,9 +4,10 @@
 // enumeration/batching/ranking/MWIS/GMM behaved, per-service outcomes,
 // §4.2 phantom-span usage, the trace-quality family (`tw_quality_*`,
 // obs/quality.h), the clock-skew estimator (`tw_skew_*`,
-// core/skew_estimator.h), and the streaming-resilience family
-// (`tw_online_*`, core/online.h). Render as JSON (stable schema
-// `traceweaver.run_report.v5`, golden-tested) or as an aligned text
+// core/skew_estimator.h), the streaming-resilience family
+// (`tw_online_*`, core/online.h), and the decision-provenance ledger
+// (`tw_prov_*`, obs/provenance.h). Render as JSON (stable schema
+// `traceweaver.run_report.v6`, golden-tested) or as an aligned text
 // table for terminals.
 #pragma once
 
@@ -137,13 +138,26 @@ struct RunReport {
     std::int64_t checkpoints = 0, restores = 0;
     HistogramSnapshot window_close_ns;
   } online;
+
+  // --- Decision provenance (tw_prov_*, obs/provenance.h; zero when the
+  // ledger is off. v6 addition). ---
+  struct ProvRow {
+    std::string type;  ///< Event-type wire name ("skew_correct", ...).
+    std::int64_t count = 0;
+  };
+  struct {
+    std::int64_t recorded = 0;  ///< Sum over every event type.
+    std::int64_t dropped = 0;
+    std::int64_t pending_events = 0;
+    std::vector<ProvRow> events;  ///< Non-zero event types, name order.
+  } provenance;
 };
 
 /// Builds the report from a snapshot of a registry the pipeline recorded
 /// into (see PipelineMetrics for the names consumed).
 RunReport BuildRunReport(const RegistrySnapshot& snapshot);
 
-/// Stable JSON rendering (schema `traceweaver.run_report.v5`).
+/// Stable JSON rendering (schema `traceweaver.run_report.v6`).
 std::string RunReportJson(const RunReport& report);
 
 /// Aligned text-table rendering for terminals.

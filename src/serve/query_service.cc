@@ -3,17 +3,20 @@
 #include <cctype>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <string_view>
 
 #include "core/explain.h"
 #include "obs/prometheus.h"
+#include "obs/provenance.h"
 
 namespace traceweaver::serve {
 namespace {
 
-constexpr const char* kRouteNames[6] = {"trace_get", "trace_list", "explain",
-                                        "metrics",   "healthz",    "other"};
+constexpr const char* kRouteNames[7] = {"trace_get", "trace_list", "explain",
+                                        "metrics",   "healthz",    "other",
+                                        "provenance"};
 constexpr int kStatusCodes[5] = {200, 400, 404, 405, 500};
 constexpr const char* kJson = "application/json";
 constexpr const char* kText = "text/plain";
@@ -108,7 +111,68 @@ bool BuildQuery(const HttpRequest& request, std::size_t max_results,
   return true;
 }
 
+/// Appends one gauge series with HELP/TYPE headers and a %.6f value.
+void AppendRatio(std::string& out, const char* name, const char* help,
+                 double value) {
+  char buf[352];
+  std::snprintf(buf, sizeof(buf),
+                "# HELP %s %s\n# TYPE %s gauge\n%s %.6f\n", name, help, name,
+                name, value);
+  out += buf;
+}
+
 }  // namespace
+
+std::string MetricsExposition(const obs::RegistrySnapshot& snapshot) {
+  std::string out = obs::PrometheusText(snapshot);
+
+  const double hits =
+      static_cast<double>(snapshot.Value("tw_store_cache_hits_total"));
+  const double lookups =
+      hits + static_cast<double>(snapshot.Value("tw_store_cache_misses_total"));
+  AppendRatio(out, "tw_store_cache_hit_ratio",
+              "Hot-trace cache hits / lookups since start (derived at "
+              "scrape time; 0 before the first lookup)",
+              lookups > 0 ? hits / lookups : 0.0);
+
+  const double responses = static_cast<double>(
+      snapshot.SumAcrossLabels("tw_http_responses_total"));
+  const double ok = static_cast<double>(
+      snapshot.Value("tw_http_responses_total", "code=\"200\""));
+  AppendRatio(out, "tw_http_error_ratio",
+              "Non-200 responses / all responses since start (derived at "
+              "scrape time; 0 before the first response)",
+              responses > 0 ? (responses - ok) / responses : 0.0);
+
+  const auto family = snapshot.Family("tw_http_route_request_ns");
+  if (!family.empty()) {
+    out +=
+        "# HELP tw_http_route_latency_ns Per-route request latency summary "
+        "(quantiles are log2-bucket upper edges of "
+        "tw_http_route_request_ns, derived at scrape time)\n"
+        "# TYPE tw_http_route_latency_ns summary\n";
+    char buf[256];
+    for (const obs::MetricSnapshot* m : family) {
+      for (const double q : {0.5, 0.99}) {
+        std::snprintf(buf, sizeof(buf),
+                      "tw_http_route_latency_ns{%s,quantile=\"%g\"} %llu\n",
+                      m->labels.c_str(), q,
+                      static_cast<unsigned long long>(
+                          m->histogram.Quantile(q)));
+        out += buf;
+      }
+      std::snprintf(buf, sizeof(buf),
+                    "tw_http_route_latency_ns_sum{%s} %llu\n"
+                    "tw_http_route_latency_ns_count{%s} %llu\n",
+                    m->labels.c_str(),
+                    static_cast<unsigned long long>(m->histogram.sum),
+                    m->labels.c_str(),
+                    static_cast<unsigned long long>(m->histogram.count));
+      out += buf;
+    }
+  }
+  return out;
+}
 
 QueryService::QueryService(const store::TraceStore* store,
                            const CallGraph* graph,
@@ -119,11 +183,15 @@ QueryService::QueryService(const store::TraceStore* store,
   options_.explain_weaver.num_threads = 1;
   options_.explain_weaver.metrics = nullptr;
   if (metrics_ == nullptr) return;
-  for (int r = 0; r < 6; ++r) {
+  for (int r = 0; r < 7; ++r) {
     route_requests_[r] = metrics_->GetCounter(
         "tw_http_requests_total",
         "route=\"" + std::string(kRouteNames[r]) + "\"",
         "Requests dispatched, by route", "1");
+    route_ns_[r] = metrics_->GetHistogram(
+        "tw_http_route_request_ns",
+        "route=\"" + std::string(kRouteNames[r]) + "\"",
+        "Request handling latency, by route", "ns");
   }
   for (int s = 0; s < 5; ++s) {
     status_responses_[s] = metrics_->GetCounter(
@@ -153,16 +221,23 @@ void QueryService::Handle(const HttpRequest& request, HttpResponse& response) {
   } else if (path.rfind("/traces/", 0) == 0) {
     std::string_view rest = path.substr(8);
     bool explain = false;
+    bool provenance = false;
     if (rest.size() > 8 && rest.substr(rest.size() - 8) == "/explain") {
       explain = true;
       rest = rest.substr(0, rest.size() - 8);
+    } else if (rest.size() > 11 &&
+               rest.substr(rest.size() - 11) == "/provenance") {
+      provenance = true;
+      rest = rest.substr(0, rest.size() - 11);
     }
-    route = explain ? 2 : 0;
+    route = explain ? 2 : (provenance ? 6 : 0);
     std::uint64_t id = 0;
     if (!ParseU64(std::string(rest), &id)) {
       response.Send(400, kText, "bad trace id: expected a decimal span id\n");
     } else if (explain) {
       HandleExplain(static_cast<SpanId>(id), request, response);
+    } else if (provenance) {
+      HandleProvenance(static_cast<SpanId>(id), response);
     } else {
       HandleTraceGet(static_cast<SpanId>(id), response);
     }
@@ -174,10 +249,12 @@ void QueryService::Handle(const HttpRequest& request, HttpResponse& response) {
   if (response.sent()) {
     status_responses_[StatusIndex(response.status())].Inc();
   }
-  request_ns_.Observe(static_cast<std::uint64_t>(
+  const std::uint64_t elapsed_ns = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - begin)
-          .count()));
+          .count());
+  request_ns_.Observe(elapsed_ns);
+  route_ns_[route].Observe(elapsed_ns);
 }
 
 void QueryService::HandleTraceGet(SpanId id, HttpResponse& response) {
@@ -248,12 +325,33 @@ void QueryService::HandleExplain(SpanId id, const HttpRequest& request,
   response.Send(200, kJson, ExplainJson(capture));
 }
 
+std::string ProvenanceJson(const TraceRecord& record) {
+  std::string body = "{\"schema\":\"traceweaver.provenance.v1\",\"trace\":";
+  body += std::to_string(static_cast<std::uint64_t>(record.trace_id));
+  body += ",\"events\":[";
+  for (std::size_t i = 0; i < record.provenance.size(); ++i) {
+    if (i > 0) body += ',';
+    body += obs::ProvEventToJson(record.provenance[i]);
+  }
+  body += "]}";
+  return body;
+}
+
+void QueryService::HandleProvenance(SpanId id, HttpResponse& response) {
+  const std::shared_ptr<const TraceRecord> record = store_->Get(id);
+  if (record == nullptr) {
+    response.Send(404, kText, "trace not found\n");
+    return;
+  }
+  response.Send(200, kJson, ProvenanceJson(*record) + "\n");
+}
+
 void QueryService::HandleMetrics(HttpResponse& response) {
   if (metrics_ == nullptr) {
     response.Send(404, kText, "metrics are disabled\n");
     return;
   }
-  response.Send(200, kPromText, obs::PrometheusText(metrics_->Snapshot()));
+  response.Send(200, kPromText, MetricsExposition(metrics_->Snapshot()));
 }
 
 void QueryService::HandleHealth(HttpResponse& response) {

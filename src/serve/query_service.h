@@ -8,9 +8,15 @@
 //   GET /traces/{id}/explain[?parent=]
 //                             candidate score breakdown
 //                             (traceweaver.explain.v1) via core/explain
+//   GET /traces/{id}/provenance
+//                             the trace's decision-provenance ledger
+//                             (traceweaver.provenance.v1)
 //   GET /metrics              Prometheus 0.0.4 exposition of the shared
 //                             registry (tw_online_*, tw_store_*,
-//                             tw_http_*, pipeline families)
+//                             tw_http_*, tw_prov_*, pipeline families)
+//                             plus scrape-time derived series (cache hit
+//                             ratio, error ratio, per-route latency
+//                             summaries) -- see MetricsExposition below
 //   GET /healthz              liveness + store stats
 //
 // Handle() is called concurrently by the HTTP workers; the store's
@@ -27,6 +33,22 @@
 #include "store/store.h"
 
 namespace traceweaver::serve {
+
+/// The full /metrics response body: the registry's Prometheus 0.0.4
+/// exposition plus derived series computed from the same snapshot at
+/// scrape time (they are ratios/quantiles of other metrics, so storing
+/// them in the registry would race with their inputs):
+///   tw_store_cache_hit_ratio       gauge in [0,1] (0 before any lookup)
+///   tw_http_error_ratio            non-200 responses / all responses
+///   tw_http_route_latency_ns       summary: p50/p99 + _sum/_count per
+///                                  route, from tw_http_route_request_ns
+std::string MetricsExposition(const obs::RegistrySnapshot& snapshot);
+
+/// The GET /traces/{id}/provenance body (one line, no trailing newline),
+/// schema `traceweaver.provenance.v1`: the record's decision ledger as
+/// `{"schema":...,"trace":<id>,"events":[...]}`. Shared with the
+/// `traceweaver provenance` subcommand.
+std::string ProvenanceJson(const TraceRecord& record);
 
 struct QueryServiceOptions {
   /// Hard cap on one listing response; a larger (or absent) limit= is
@@ -54,6 +76,7 @@ class QueryService {
   void HandleTraceGet(SpanId id, HttpResponse& response);
   void HandleExplain(SpanId id, const HttpRequest& request,
                      HttpResponse& response);
+  void HandleProvenance(SpanId id, HttpResponse& response);
   void HandleMetrics(HttpResponse& response);
   void HandleHealth(HttpResponse& response);
   const store::TraceStore* store_;
@@ -63,10 +86,11 @@ class QueryService {
 
   // Pre-registered handles (GetCounter locks the registry; Handle must
   // not). Routes: 0 trace_get, 1 trace_list, 2 explain, 3 metrics,
-  // 4 healthz, 5 other. Statuses: 200/400/404/405/500.
-  obs::Counter route_requests_[6];
+  // 4 healthz, 5 other, 6 provenance. Statuses: 200/400/404/405/500.
+  obs::Counter route_requests_[7];
   obs::Counter status_responses_[5];
   obs::Histogram request_ns_;
+  obs::Histogram route_ns_[7];  ///< Same latency, split per route.
 };
 
 }  // namespace traceweaver::serve

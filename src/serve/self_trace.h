@@ -1,0 +1,74 @@
+// Pipeline self-tracing: the serve loop observes itself with its own
+// data model (DESIGN.md §4j). Every processed window becomes one
+// synthetic TraceWeaver-format trace -- a root span for the window under
+// the reserved root service `_tw.pipeline` plus one child span per
+// pipeline stage (ingest -> validate -> window -> enumerate -> solve ->
+// graft -> commit -> seal) -- committed into the same TraceStore as real
+// traffic, so the pipeline's own behaviour is queryable over the HTTP
+// API and Jaeger-exportable with the exact tooling operators already use
+// for application traces.
+//
+// Timestamps live on the *data* timebase: children tile the window
+// starting at window_start sequentially, each stretched to the stage's
+// measured wall time, so span durations read as real stage costs while
+// the trace sorts and filters alongside the window it describes. Stage
+// walls are wall-clock measurements and therefore non-deterministic run
+// to run; self-tracing is opt-in (`serve --self-trace`) and write-only
+// -- self traces never feed back into reconstruction or its metrics.
+#pragma once
+
+#include <cstddef>
+
+#include "store/store.h"
+
+namespace traceweaver::serve {
+
+/// Reserved root service of every self trace. The leading underscore
+/// keeps it out of any real deployment's namespace; stage children use
+/// `_tw.<stage>` callees under the same prefix.
+inline constexpr const char* kSelfTraceService = "_tw.pipeline";
+
+/// The serve-loop stages a self trace breaks a window into, in pipeline
+/// order (also the order of the child spans).
+enum class SelfStage {
+  kIngest,     ///< Reading + parsing source spans.
+  kValidate,   ///< SpanValidator admission.
+  kWindow,     ///< Weaver windowing/buffering (Advance minus the rest).
+  kEnumerate,  ///< Candidate enumeration inside CloseWindow.
+  kSolve,      ///< Score + assignment inside CloseWindow.
+  kGraft,      ///< Late-span graft servicing.
+  kCommit,     ///< Committer merge + store commit.
+  kSeal,       ///< Store seal + checkpoint write.
+};
+inline constexpr std::size_t kSelfStageCount = 8;
+
+/// Stable lower-case stage name ("ingest", ..., "seal").
+const char* SelfStageName(SelfStage stage);
+
+/// Accumulates per-stage wall time and, at each window close, commits one
+/// synthetic trace describing it. Single-threaded (the serve ingest
+/// loop); the store pointer is not owned.
+class SelfTracer {
+ public:
+  explicit SelfTracer(store::TraceStore* store) : store_(store) {}
+
+  /// Adds `wall_ns` to the current window's bucket for `stage`.
+  void Record(SelfStage stage, DurationNs wall_ns) {
+    stage_ns_[static_cast<std::size_t>(stage)] += wall_ns;
+  }
+
+  /// Builds and commits the self trace for the window starting at
+  /// `window_start` (data timebase), then resets the stage buckets for
+  /// the next window. Returns the trace id, or kInvalidSpanId when the
+  /// store rejected the commit (duplicate id).
+  SpanId CommitWindow(TimeNs window_start);
+
+  std::size_t committed() const { return committed_; }
+
+ private:
+  store::TraceStore* store_;
+  DurationNs stage_ns_[kSelfStageCount] = {};
+  std::size_t committed_ = 0;
+};
+
+}  // namespace traceweaver::serve

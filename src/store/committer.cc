@@ -14,7 +14,7 @@ TraceCommitter::TraceCommitter(CommitterOptions options, TraceStore* store)
 
 void TraceCommitter::OnSpan(const Span& span) { spans_[span.id] = span; }
 
-bool TraceCommitter::CommitTrace(SpanId root) {
+bool TraceCommitter::CommitTrace(SpanId root, obs::ProvEventType outcome) {
   const auto root_it = spans_.find(root);
   if (root_it == spans_.end()) return false;
 
@@ -64,6 +64,23 @@ bool TraceCommitter::CommitTrace(SpanId root) {
     spans_.erase(s.id);
   }
   quality_.erase(root);
+
+  if (options_.provenance != nullptr) {
+    // Drain each member span's pending events (commit-walk order), then
+    // stamp the settle outcome last -- the guarantee that every committed
+    // trace explains itself with at least one event.
+    for (const Span& s : record.spans) {
+      std::vector<obs::ProvEvent> events = options_.provenance->Take(s.id);
+      record.provenance.insert(record.provenance.end(),
+                               std::make_move_iterator(events.begin()),
+                               std::make_move_iterator(events.end()));
+    }
+    if (outcome == obs::ProvEventType::kSettled && record.orphan) {
+      outcome = obs::ProvEventType::kOrphanCommit;
+    }
+    record.provenance.push_back(options_.provenance->Emit(
+        outcome, root, static_cast<std::int64_t>(record.spans.size())));
+  }
   return store_->Commit(std::move(record));
 }
 
@@ -123,7 +140,7 @@ std::size_t TraceCommitter::OnResults(
     std::sort(lost.begin(), lost.end());
     for (SpanId id : lost) {
       if (spans_.count(id) > 0 && parent_of_.count(id) == 0 &&
-          CommitTrace(id)) {
+          CommitTrace(id, obs::ProvEventType::kOrphanCommit)) {
         ++committed;
       }
     }
@@ -150,7 +167,10 @@ std::size_t TraceCommitter::Finalize() {
     if (due.empty()) break;  // Defensive: an assignment cycle.
     std::sort(due.begin(), due.end());
     for (SpanId id : due) {
-      if (spans_.count(id) > 0 && CommitTrace(id)) ++committed;
+      if (spans_.count(id) > 0 &&
+          CommitTrace(id, obs::ProvEventType::kFinalized)) {
+        ++committed;
+      }
     }
   }
   committed_ += committed;

@@ -39,6 +39,13 @@ struct CommitterOptions {
   /// default (graft_retention_windows = 2 is measured from the span's own
   /// window, which ends before the root's).
   int settle_windows = 1;
+  /// Decision-provenance ledger shared with the online weaver
+  /// (obs/provenance.h). When set, every commit drains the pending events
+  /// of the trace's spans into the record and stamps the settle outcome
+  /// (settled / orphan_commit / finalized), so every committed trace
+  /// carries a non-empty provenance block. Null leaves records
+  /// byte-identical to the pre-provenance format. Not owned.
+  obs::ProvenanceLedger* provenance = nullptr;
 };
 
 class TraceCommitter {
@@ -78,7 +85,10 @@ class TraceCommitter {
  private:
   /// Commits the subtree rooted at `root` (id must be in spans_) and
   /// erases its spans; returns true when the store accepted it.
-  bool CommitTrace(SpanId root);
+  /// `outcome` is the settle-outcome provenance stamp (kSettled is
+  /// downgraded to kOrphanCommit automatically for fragment roots).
+  bool CommitTrace(SpanId root,
+                   obs::ProvEventType outcome = obs::ProvEventType::kSettled);
   std::size_t SweepSettled();
   void PruneQuality();
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.h"
+#include "obs/provenance.h"
 
 namespace traceweaver {
 namespace {
@@ -63,42 +64,56 @@ SpanId SpanValidator::FreshId() {
 }
 
 SpanVerdict SpanValidator::AdmitStrict(const Span& s) {
+  const obs::ProvRecorder prov(options_.provenance);
   if (NamesEmpty(s)) {
     ++stats_.empty_names;
+    prov.Record(obs::ProvEventType::kValidatorQuarantine, s.id, 0,
+                "empty_names");
     return SpanVerdict::kQuarantined;
   }
   if (ReplicasOutOfRange(s, options_.max_replica)) {
     ++stats_.replicas_rejected;
+    prov.Record(obs::ProvEventType::kValidatorQuarantine, s.id, 0,
+                "replicas");
     return SpanVerdict::kQuarantined;
   }
   if (!TimestampsConsistent(s)) {
     ObserveSkew(s);
     ++stats_.timestamps_rejected;
+    prov.Record(obs::ProvEventType::kValidatorQuarantine, s.id, 0,
+                "timestamps");
     return SpanVerdict::kQuarantined;
   }
   const auto [it, inserted] = seen_.try_emplace(s.id, s);
   if (!inserted) {
     ++stats_.duplicate_ids;
     ++stats_.duplicates_dropped;  // Keep-first: this occurrence goes.
+    prov.Record(obs::ProvEventType::kValidatorDrop, s.id);
     return SpanVerdict::kQuarantined;
   }
   return SpanVerdict::kAccepted;
 }
 
 SpanVerdict SpanValidator::AdmitLenient(Span& s) {
+  const obs::ProvRecorder prov(options_.provenance);
   if (NamesEmpty(s)) {
     // A span with no caller/callee/endpoint cannot be placed in any call
     // graph; there is nothing to repair it toward.
     ++stats_.empty_names;
+    prov.Record(obs::ProvEventType::kValidatorQuarantine, s.id, 0,
+                "empty_names");
     return SpanVerdict::kQuarantined;
   }
   bool repaired = false;
+  bool replicas_clamped = false;
+  bool timestamps_clamped = false;
   if (ReplicasOutOfRange(s, options_.max_replica)) {
     s.caller_replica =
         std::clamp(s.caller_replica, 0, options_.max_replica);
     s.callee_replica =
         std::clamp(s.callee_replica, 0, options_.max_replica);
     ++stats_.replicas_clamped;
+    replicas_clamped = true;
     repaired = true;
   }
   if (!TimestampsConsistent(s)) {
@@ -123,6 +138,7 @@ SpanVerdict SpanValidator::AdmitLenient(Span& s) {
     }
     if (corrupt) {
       ++stats_.timestamps_clamped;
+      timestamps_clamped = true;
       repaired = true;
     }
   }
@@ -133,12 +149,24 @@ SpanVerdict SpanValidator::AdmitLenient(Span& s) {
       // The same RPC captured twice: a second copy under any id would
       // fabricate a request that never happened, so keep-first.
       ++stats_.duplicates_dropped;
+      prov.Record(obs::ProvEventType::kValidatorDrop, s.id);
       return SpanVerdict::kQuarantined;
     }
+    const SpanId old_id = s.id;
     s.id = FreshId();
     seen_.emplace(s.id, s);
     ++stats_.duplicates_remapped;
+    prov.Record(obs::ProvEventType::kValidatorRemap, s.id,
+                static_cast<std::int64_t>(old_id));
     repaired = true;
+  }
+  // Clamp events keyed by the *final* id so they travel with the span the
+  // pipeline actually commits.
+  if (replicas_clamped) {
+    prov.Record(obs::ProvEventType::kValidatorClamp, s.id, 0, "replicas");
+  }
+  if (timestamps_clamped) {
+    prov.Record(obs::ProvEventType::kValidatorClamp, s.id, 0, "timestamps");
   }
   return repaired ? SpanVerdict::kRepaired : SpanVerdict::kAccepted;
 }

@@ -44,7 +44,8 @@
 #include "trace/span.h"
 
 namespace traceweaver::obs {
-class MetricsRegistry;  // obs/metrics.h
+class MetricsRegistry;    // obs/metrics.h
+class ProvenanceLedger;   // obs/provenance.h
 }
 
 namespace traceweaver {
@@ -82,6 +83,11 @@ struct SpanValidatorOptions {
   /// Optional skew-evidence sink fed every kept span (post same-clock
   /// repair, which never touches the cross-vantage gaps). Not owned.
   SkewObserver* skew_observer = nullptr;
+  /// Optional decision-provenance sink (obs/provenance.h): every repair
+  /// (clamp, id remap) and rejection (duplicate drop, quarantine) is
+  /// recorded against the span's final id. Null disables recording;
+  /// verdicts are identical either way. Not owned.
+  obs::ProvenanceLedger* provenance = nullptr;
 };
 
 /// Counts of everything the validator saw and did. All counts are in

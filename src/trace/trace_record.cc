@@ -137,7 +137,16 @@ std::string TraceRecordToJson(const TraceRecord& record) {
         std::to_string(static_cast<std::uint64_t>(record.parents[i].second));
     out += ']';
   }
-  out += "]}";
+  out += ']';
+  if (!record.provenance.empty()) {
+    out += ",\"provenance\":[";
+    for (std::size_t i = 0; i < record.provenance.size(); ++i) {
+      if (i > 0) out += ',';
+      out += obs::ProvEventToJson(record.provenance[i]);
+    }
+    out += ']';
+  }
+  out += '}';
   return out;
 }
 
@@ -207,6 +216,20 @@ std::optional<TraceRecord> TraceRecordFromJson(const std::string& line) {
     record.parents.emplace_back(child, parent);
   }
   if (pos >= line.size()) return std::nullopt;
+
+  // Optional provenance block (absent on records committed without a
+  // ledger and on every pre-provenance record).
+  const std::size_t prov_pos = TopLevelValue(line, "provenance");
+  if (prov_pos != std::string::npos) {
+    std::vector<std::string> events;
+    if (!SplitObjectArray(line, prov_pos, events)) return std::nullopt;
+    record.provenance.reserve(events.size());
+    for (const std::string& element : events) {
+      auto event = obs::ProvEventFromJson(element);
+      if (!event) return std::nullopt;
+      record.provenance.push_back(std::move(*event));
+    }
+  }
   return record;
 }
 

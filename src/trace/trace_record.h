@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/provenance.h"
 #include "trace/span.h"
 
 namespace traceweaver {
@@ -44,6 +45,14 @@ struct TraceRecord {
   /// Parent edges (child id -> parent id), sorted by child id. The root
   /// carries no edge. Skipped plan positions simply have no edge.
   std::vector<std::pair<SpanId, SpanId>> parents;
+
+  /// Decision provenance (schema `traceweaver.provenance.v1` when served
+  /// standalone): every pipeline decision recorded for this trace's
+  /// spans, in span commit-walk order, with the committer's settle
+  /// outcome last. Empty when the pipeline ran without a ledger; the
+  /// serialized block is omitted entirely then, so records are
+  /// byte-identical to the pre-provenance format.
+  std::vector<obs::ProvEvent> provenance;
 
   DurationNs Duration() const { return end - start; }
 };

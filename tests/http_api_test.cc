@@ -8,18 +8,24 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "core/explain.h"
 #include "core/trace_weaver.h"
+#include "obs/provenance.h"
 #include "serve/http_server.h"
 #include "serve/query_service.h"
+#include "serve/self_trace.h"
 #include "store/store.h"
 #include "test_helpers.h"
+#include "trace/jaeger_export.h"
 #include "trace/trace_record.h"
 
 namespace traceweaver::serve {
@@ -411,6 +417,284 @@ TEST_F(HttpApiTest, MetricsExposition) {
   EXPECT_NE(r.body.find("tw_http_responses_total{code=\"200\"}"),
             std::string::npos);
   EXPECT_NE(r.body.find("tw_http_connections_total"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Prometheus 0.0.4 conformance of the full exposition.
+
+/// Lints one text-exposition body line by line: every line must be a
+/// `# HELP`, a `# TYPE` (seen before any sample of its family, never
+/// twice), or a well-formed sample whose family has a declared TYPE.
+/// Returns human-readable violations; empty means conformant.
+std::vector<std::string> LintExposition(const std::string& text) {
+  std::vector<std::string> errors;
+  std::map<std::string, std::string> types;  // family name -> declared type.
+  std::set<std::string> sampled;             // families with samples seen.
+
+  const auto valid_name = [](const std::string& s) {
+    if (s.empty() || std::isdigit(static_cast<unsigned char>(s[0]))) {
+      return false;
+    }
+    for (const char c : s) {
+      if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+          c != ':') {
+        return false;
+      }
+    }
+    return true;
+  };
+  // _bucket/_sum/_count samples belong to their histogram/summary family.
+  const auto family_of = [&](const std::string& name) {
+    for (const char* s : {"_bucket", "_sum", "_count"}) {
+      const std::size_t n = std::strlen(s);
+      if (name.size() > n && name.compare(name.size() - n, n, s) == 0) {
+        const auto it = types.find(name.substr(0, name.size() - n));
+        if (it != types.end() &&
+            (it->second == "histogram" || it->second == "summary")) {
+          return it->first;
+        }
+      }
+    }
+    return name;
+  };
+
+  if (text.empty() || text.back() != '\n') {
+    errors.push_back("exposition must end with a newline");
+  }
+  std::size_t pos = 0;
+  int lineno = 0;
+  while (pos < text.size()) {
+    ++lineno;
+    const std::size_t eol = text.find('\n', pos);
+    const std::string line =
+        text.substr(pos, eol == std::string::npos ? eol : eol - pos);
+    pos = eol == std::string::npos ? text.size() : eol + 1;
+    const auto bad = [&](const std::string& why) {
+      errors.push_back("line " + std::to_string(lineno) + ": " + why + ": " +
+                       line);
+    };
+
+    if (line.empty()) {
+      bad("blank line");
+      continue;
+    }
+    if (line[0] == '#') {
+      std::size_t sp2 = std::string::npos;
+      if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+        sp2 = line.find(' ', 7);
+      }
+      if (sp2 == std::string::npos) {
+        bad("comment is neither # HELP nor # TYPE");
+        continue;
+      }
+      const std::string name = line.substr(7, sp2 - 7);
+      const std::string rest = line.substr(sp2 + 1);
+      if (!valid_name(name)) bad("bad metric name in comment");
+      if (rest.empty()) bad("empty HELP/TYPE payload");
+      if (line[2] == 'T') {
+        if (rest != "counter" && rest != "gauge" && rest != "histogram" &&
+            rest != "summary" && rest != "untyped") {
+          bad("unknown TYPE '" + rest + "'");
+        }
+        if (types.count(name) != 0) bad("duplicate TYPE for family");
+        if (sampled.count(name) != 0) bad("TYPE after samples of family");
+        types[name] = rest;
+      }
+      continue;
+    }
+
+    // Sample: name[{label="value",...}] value
+    std::size_t i = 0;
+    while (i < line.size() && line[i] != '{' && line[i] != ' ') ++i;
+    const std::string name = line.substr(0, i);
+    if (!valid_name(name)) {
+      bad("bad sample metric name");
+      continue;
+    }
+    if (i < line.size() && line[i] == '{') {
+      ++i;
+      while (i < line.size() && line[i] != '}') {
+        std::size_t eq = i;
+        while (eq < line.size() && line[eq] != '=') ++eq;
+        if (eq >= line.size() || !valid_name(line.substr(i, eq - i))) {
+          bad("bad label name");
+          break;
+        }
+        i = eq + 1;
+        if (i >= line.size() || line[i] != '"') {
+          bad("label value not quoted");
+          break;
+        }
+        ++i;
+        while (i < line.size() && line[i] != '"') {
+          if (line[i] == '\\') ++i;  // Escaped char consumes two.
+          ++i;
+        }
+        if (i >= line.size()) {
+          bad("unterminated label value");
+          break;
+        }
+        ++i;
+        if (i < line.size() && line[i] == ',') ++i;
+      }
+      if (i >= line.size() || line[i] != '}') {
+        bad("unterminated label set");
+        continue;
+      }
+      ++i;
+    }
+    if (i >= line.size() || line[i] != ' ') {
+      bad("missing space before value");
+      continue;
+    }
+    const std::string value = line.substr(i + 1);
+    char* end = nullptr;
+    std::strtod(value.c_str(), &end);
+    if (value.empty() || end == value.c_str() || *end != '\0') {
+      bad("unparseable sample value '" + value + "'");
+    }
+    const std::string family = family_of(name);
+    if (types.count(family) == 0) bad("sample with no TYPE for family");
+    sampled.insert(family);
+  }
+  return errors;
+}
+
+TEST_F(HttpApiTest, MetricsExpositionEveryLineConformant) {
+  // Prime several routes (including an error) so the derived series and
+  // per-route latency summaries all have data behind them.
+  ASSERT_EQ(Get("/traces/1").status, 200);
+  ASSERT_EQ(Get("/traces?grade=A").status, 200);
+  ASSERT_EQ(Get("/traces/99999").status, 404);
+  const HttpResult r = Get("/metrics");
+  ASSERT_TRUE(r.ok);
+  ASSERT_EQ(r.status, 200);
+
+  const std::vector<std::string> errors = LintExposition(r.body);
+  for (const std::string& e : errors) ADD_FAILURE() << e;
+
+  // The derived series ride the same exposition.
+  EXPECT_NE(r.body.find("# TYPE tw_store_cache_hit_ratio gauge"),
+            std::string::npos);
+  EXPECT_NE(r.body.find("# TYPE tw_http_error_ratio gauge"),
+            std::string::npos);
+  EXPECT_NE(r.body.find("# TYPE tw_http_route_latency_ns summary"),
+            std::string::npos);
+  EXPECT_NE(r.body.find("quantile=\"0.5\""), std::string::npos);
+  EXPECT_NE(r.body.find("quantile=\"0.99\""), std::string::npos);
+  EXPECT_NE(
+      r.body.find("tw_http_route_request_ns_count{route=\"trace_get\"}"),
+      std::string::npos);
+}
+
+TEST(LintExpositionTest, CatchesMalformedLines) {
+  EXPECT_TRUE(LintExposition("# TYPE a counter\na 1\n").empty());
+  EXPECT_FALSE(LintExposition("# TYPE a counter\na 1").empty());  // No \n.
+  EXPECT_FALSE(LintExposition("a 1\n").empty());           // No TYPE.
+  EXPECT_FALSE(LintExposition("# TYPE a widget\n").empty());
+  EXPECT_FALSE(LintExposition("# TYPE a counter\na{x=1} 2\n").empty());
+  EXPECT_FALSE(LintExposition("# TYPE a counter\na one\n").empty());
+  EXPECT_FALSE(LintExposition("# NOTE a counter\n").empty());
+}
+
+// ---------------------------------------------------------------------
+// Decision provenance over HTTP.
+
+TEST_F(HttpApiTest, ProvenanceRouteGolden) {
+  TraceRecord rec;
+  rec.trace_id = 9;
+  rec.root_service = "A";
+  rec.root_endpoint = "/a";
+  rec.grade = 'A';
+  rec.confidence = 0.9;
+  rec.min_confidence = 0.9;
+  rec.spans = {MakeSpan(9, kClientCaller, "A", "/a", Millis(90), Millis(95))};
+  rec.start = rec.spans[0].client_send;
+  rec.end = rec.spans[0].client_recv;
+  rec.provenance = {
+      {obs::ProvEventType::kSkewCorrect, 9, 1500, "B@0"},
+      {obs::ProvEventType::kSettled, 9, 1, ""},
+  };
+  ASSERT_TRUE(store_->Commit(rec));
+
+  const HttpResult r = Get("/traces/9/provenance");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.headers.at("content-type"), "application/json");
+  EXPECT_EQ(r.body,
+            "{\"schema\":\"traceweaver.provenance.v1\",\"trace\":9,"
+            "\"events\":["
+            "{\"t\":\"skew_correct\",\"span\":9,\"v\":1500,\"d\":\"B@0\"},"
+            "{\"t\":\"settled\",\"span\":9,\"v\":1}]}\n");
+}
+
+TEST_F(HttpApiTest, ProvenanceRouteErrors) {
+  EXPECT_EQ(Get("/traces/424242/provenance").status, 404);
+  EXPECT_EQ(Get("/traces/not-an-id/provenance").status, 400);
+  // A record committed without a ledger serves an empty event list, not
+  // an error: "nothing was recorded" is a valid answer.
+  const HttpResult r = Get("/traces/1/provenance");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.body.find("\"events\":[]"), std::string::npos);
+  // The route has its own request counter.
+  EXPECT_NE(Get("/metrics").body.find(
+                "tw_http_requests_total{route=\"provenance\"}"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Pipeline self-tracing: store -> HTTP -> Jaeger round trip.
+
+TEST_F(HttpApiTest, SelfTraceRoundTripsStoreHttpAndJaeger) {
+  SelfTracer tracer(store_.get());
+  tracer.Record(SelfStage::kIngest, Millis(2));
+  tracer.Record(SelfStage::kSolve, Millis(5));
+  tracer.Record(SelfStage::kCommit, Millis(1));
+  const SpanId id = tracer.CommitWindow(Millis(4000));
+  ASSERT_NE(id, kInvalidSpanId);
+  EXPECT_EQ(tracer.committed(), 1u);
+
+  // Store: a first-class record under the reserved root service.
+  const auto rec = store_->Get(id);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->root_service, kSelfTraceService);
+  ASSERT_EQ(rec->spans.size(), 1 + kSelfStageCount);
+  EXPECT_FALSE(rec->provenance.empty());
+
+  // HTTP: fetchable by id, listed under the service filter, and the
+  // provenance endpoint explains it like any other trace.
+  const HttpResult got = Get("/traces/" + std::to_string(id));
+  ASSERT_TRUE(got.ok);
+  EXPECT_EQ(got.status, 200);
+  EXPECT_NE(got.body.find("\"_tw.pipeline\""), std::string::npos);
+  const HttpResult list = Get("/traces?service=_tw.pipeline");
+  EXPECT_EQ(list.status, 200);
+  EXPECT_EQ(list.body, Jsonl({id}));
+  const HttpResult prov = Get("/traces/" + std::to_string(id) +
+                              "/provenance");
+  EXPECT_EQ(prov.status, 200);
+  EXPECT_NE(prov.body.find("self_trace"), std::string::npos);
+
+  // Jaeger: the standard exporter renders it as one 9-span trace.
+  ParentAssignment assignment;
+  for (const auto& [child, parent] : rec->parents) {
+    assignment[child] = parent;
+  }
+  const std::string jaeger = TracesToJaegerJson(rec->spans, assignment);
+  EXPECT_NE(jaeger.find("_tw.pipeline"), std::string::npos);
+  for (std::size_t s = 0; s < kSelfStageCount; ++s) {
+    EXPECT_NE(jaeger.find(std::string("_tw.") + SelfStageName(
+                              static_cast<SelfStage>(s))),
+              std::string::npos)
+        << SelfStageName(static_cast<SelfStage>(s));
+  }
+  // One trace object, not nine orphan fragments.
+  std::size_t traces = 0;
+  for (std::size_t at = jaeger.find("\"spans\":["); at != std::string::npos;
+       at = jaeger.find("\"spans\":[", at + 1)) {
+    ++traces;
+  }
+  EXPECT_EQ(traces, 1u);
 }
 
 // ---------------------------------------------------------------------

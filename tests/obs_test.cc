@@ -17,6 +17,7 @@
 #include "obs/metrics.h"
 #include "obs/pipeline_metrics.h"
 #include "obs/prometheus.h"
+#include "obs/provenance.h"
 #include "obs/run_report.h"
 #include "obs/stage_timer.h"
 #include "sim/apps.h"
@@ -208,7 +209,7 @@ TEST(RunReportTest, EmptyReportGoldenJson) {
   const obs::RunReport report = obs::BuildRunReport(RegistrySnapshot{});
   const std::string json = obs::RunReportJson(report);
   EXPECT_EQ(json.substr(0, 40),
-            std::string("{\"schema\":\"traceweaver.run_report.v5\",\"r")
+            std::string("{\"schema\":\"traceweaver.run_report.v6\",\"r")
                 .substr(0, 40));
   // Every stage row is present even at zero, in pipeline order.
   const char* kStages[] = {"views", "setup",    "enumerate", "batch",
@@ -226,9 +227,13 @@ TEST(RunReportTest, EmptyReportGoldenJson) {
        {"\"run\":", "\"ingest\":", "\"stages\":", "\"services\":",
         "\"enumeration\":", "\"batching\":", "\"delay_model\":",
         "\"ranking\":", "\"mwis\":", "\"iteration\":", "\"dynamism\":",
-        "\"quality\":", "\"skew\":", "\"online\":"}) {
+        "\"quality\":", "\"skew\":", "\"online\":", "\"provenance\":"}) {
     EXPECT_NE(json.find(key), std::string::npos) << key;
   }
+  // The empty provenance block renders with zero counts and no rows.
+  EXPECT_NE(json.find("\"provenance\":{\"recorded\":0,\"dropped\":0,"
+                      "\"pending_events\":0,\"events\":[]}"),
+            std::string::npos);
   // Deterministic: the same (empty) snapshot renders byte-identically.
   EXPECT_EQ(json, obs::RunReportJson(obs::BuildRunReport(RegistrySnapshot{})));
 }
@@ -266,6 +271,34 @@ TEST(RunReportTest, PopulatedFromPipelineNames) {
   EXPECT_NE(obs::RunReportJson(r).find("\"mapped\":28"), std::string::npos);
   EXPECT_NE(obs::RunReportTable(r).find("frontend"), std::string::npos);
   EXPECT_NE(obs::SnapshotJson(reg.Snapshot()).find("tw_batches_total"),
+            std::string::npos);
+}
+
+// v6: the provenance section rolls up tw_prov_* counters by event type,
+// skipping zero rows, and renders in both JSON and table form.
+TEST(RunReportTest, ProvenanceSectionFromLedgerMetrics) {
+  MetricsRegistry reg;
+  obs::ProvenanceLedger ledger(obs::ProvenanceLedgerOptions{}, &reg);
+  ledger.Record(obs::ProvEventType::kSkewCorrect, SpanId{7}, 1500);
+  ledger.Record(obs::ProvEventType::kSkewCorrect, SpanId{8}, -200);
+  ledger.Record(obs::ProvEventType::kLateGraft, SpanId{9}, 0);
+  ledger.Take(SpanId{7});  // Drained events stay counted, not pending.
+
+  const obs::RunReport r = obs::BuildRunReport(reg.Snapshot());
+  EXPECT_EQ(r.provenance.recorded, 3);
+  EXPECT_EQ(r.provenance.dropped, 0);
+  EXPECT_EQ(r.provenance.pending_events, 2);
+  ASSERT_EQ(r.provenance.events.size(), 2u);
+  // Family order is label-sorted, so late_graft precedes skew_correct.
+  EXPECT_EQ(r.provenance.events[0].type, "late_graft");
+  EXPECT_EQ(r.provenance.events[0].count, 1);
+  EXPECT_EQ(r.provenance.events[1].type, "skew_correct");
+  EXPECT_EQ(r.provenance.events[1].count, 2);
+
+  const std::string json = obs::RunReportJson(r);
+  EXPECT_NE(json.find("{\"type\":\"skew_correct\",\"count\":2}"),
+            std::string::npos);
+  EXPECT_NE(obs::RunReportTable(r).find("provenance: 3 events recorded"),
             std::string::npos);
 }
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Docs consistency checker, run as a ctest (`ctest -R check_docs`).
 
-Three audits, all against the working tree (no build needed):
+Four audits, all against the working tree (no build needed):
 
  1. Relative markdown links in README.md, DESIGN.md and docs/*.md must
     point at files that exist.
@@ -10,6 +10,8 @@ Three audits, all against the working tree (no build needed):
     prefix and must match at least one real name).
  3. Every metric registered in src/ must be catalogued in
     docs/METRICS.md.
+ 4. The provenance event-type vocabulary (src/obs/provenance.cc) and the
+    catalogue in docs/API.md must list exactly the same wire names.
 
 Exit status is the number of problems found; each problem is printed as
 `file: message` so editors can jump to it.
@@ -36,6 +38,9 @@ NON_METRIC = {"tw_" + d for d in os.listdir(os.path.join(ROOT, "src"))} | {
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 MENTION_RE = re.compile(r"\btw_[a-z0-9_]+\*?")
 LITERAL_RE = re.compile(r'"(tw_[a-z0-9_]+)"')
+# Derived series are emitted as literal exposition text ("# HELP name …")
+# rather than registered through the registry; count those names too.
+EXPOSITION_RE = re.compile(r"# (?:HELP|TYPE) (tw_[a-z0-9_]+)")
 
 
 def read(relpath):
@@ -60,7 +65,9 @@ def source_metric_names():
         for f in files:
             if f.endswith((".cc", ".h")):
                 with open(os.path.join(dirpath, f), encoding="utf-8") as fh:
-                    names.update(LITERAL_RE.findall(fh.read()))
+                    text = fh.read()
+                names.update(LITERAL_RE.findall(text))
+                names.update(EXPOSITION_RE.findall(text))
     return names - NON_METRIC
 
 
@@ -92,18 +99,63 @@ def check_metrics_catalogue(problems, source_names):
             )
 
 
+def provenance_event_names():
+    """Wire names from the kEventTypeNames table in obs/provenance.cc."""
+    source = read(os.path.join("src", "obs", "provenance.cc"))
+    match = re.search(
+        r"kEventTypeNames\[kProvEventTypeCount\]\s*=\s*\{(.*?)\};",
+        source,
+        re.DOTALL,
+    )
+    if match is None:
+        return set()
+    return set(re.findall(r'"([a-z0-9_]+)"', match.group(1)))
+
+
+def check_provenance_vocabulary(problems):
+    source_events = provenance_event_names()
+    if not source_events:
+        problems.append(
+            "src/obs/provenance.cc: kEventTypeNames table not found"
+        )
+        return
+    # docs/API.md documents each event as a `"<name>"` wire string inside
+    # its provenance-schema section table (rows look like `| `name` | ...`).
+    api = read(os.path.join("docs", "API.md"))
+    documented = set(re.findall(r"\| `([a-z0-9_]+)` \|", api))
+    for name in sorted(source_events - documented):
+        problems.append(
+            f"docs/API.md: provenance event {name} (src/obs/provenance.cc)"
+            " is not documented"
+        )
+    # Only flag documented-but-absent names that look like event types to
+    # avoid tripping on unrelated tables using the same row shape.
+    suffixes = (
+        "_clamp", "_remap", "_drop", "_quarantine", "_correct", "_shed",
+        "_solve", "_graft", "_expire", "settled", "_commit", "finalized",
+    )
+    for name in sorted(documented - source_events):
+        if name.endswith(suffixes):
+            problems.append(
+                f"docs/API.md: documented provenance event {name}"
+                " does not exist in src/obs/provenance.cc"
+            )
+
+
 def main():
     problems = []
     check_links(problems)
     names = source_metric_names()
     check_doc_mentions(problems, names)
     check_metrics_catalogue(problems, names)
+    check_provenance_vocabulary(problems)
     for p in problems:
         print(p)
     if not problems:
         print(
             f"check_docs: OK ({len(DOC_FILES)} docs, "
-            f"{len(names)} source metric names)"
+            f"{len(names)} source metric names, "
+            f"{len(provenance_event_names())} provenance event types)"
         )
     return min(len(problems), 100)
 

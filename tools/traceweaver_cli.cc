@@ -87,8 +87,10 @@
 #include "obs/metrics.h"
 #include "obs/prometheus.h"
 #include "obs/run_report.h"
+#include "obs/provenance.h"
 #include "serve/http_server.h"
 #include "serve/query_service.h"
+#include "serve/self_trace.h"
 #include "sim/apps.h"
 #include "sim/fault_injector.h"
 #include "sim/workload.h"
@@ -120,6 +122,7 @@ int Usage() {
       "<parent_span_id>\n"
       "  traceweaver serve [flags] <graph.txt> <spans.jsonl>\n"
       "  traceweaver query [flags] <store-dir> [trace_id]\n"
+      "  traceweaver provenance <store-dir> <trace_id>\n"
       "  traceweaver sort-spans <spans.jsonl>\n"
       "\n"
       "flags (serve):\n"
@@ -152,6 +155,12 @@ int Usage() {
       "  --http-threads=N     HTTP worker threads (default 4)\n"
       "  --linger             after EOF keep serving HTTP until SIGINT/\n"
       "                       SIGTERM\n"
+      "  --no-provenance      disable the decision-provenance ledger\n"
+      "                       (default on with --store-dir; committed\n"
+      "                       traces then carry no provenance block)\n"
+      "  --self-trace         commit one synthetic pipeline trace per\n"
+      "                       window under the reserved root service\n"
+      "                       _tw.pipeline (requires --store-dir)\n"
       "\n"
       "flags (query):\n"
       "  --service=S          exact root-service match\n"
@@ -237,6 +246,8 @@ struct CliFlags {
   int http_port = -1;                 ///< < 0 = HTTP off; 0 = ephemeral.
   std::size_t http_threads = 4;
   bool linger = false;   ///< Keep serving HTTP after EOF until a signal.
+  bool no_provenance = false;  ///< serve: decision ledger off.
+  bool self_trace = false;     ///< serve: per-window pipeline self traces.
   std::string q_service;              ///< query: --service=.
   long long q_from = std::numeric_limits<long long>::min();
   long long q_to = std::numeric_limits<long long>::max();
@@ -341,6 +352,10 @@ CliFlags ParseFlags(int& argc, char**& argv) {
       if (flags.http_threads == 0) flags.http_threads = 1;
     } else if (arg == "--linger") {
       flags.linger = true;
+    } else if (arg == "--no-provenance") {
+      flags.no_provenance = true;
+    } else if (arg == "--self-trace") {
+      flags.self_trace = true;
     } else if (arg.rfind("--service=", 0) == 0) {
       flags.q_service = arg.substr(10);
     } else if (arg.rfind("--from=", 0) == 0) {
@@ -965,9 +980,21 @@ int CmdServe(int argc, char** argv) {
   // endpoint scrapes it); file/report outputs still need the flags.
   obs::MetricsRegistry* reg =
       flags.WantMetrics() || store_enabled ? &registry : nullptr;
+  if (flags.self_trace && !store_enabled) {
+    std::fprintf(stderr, "serve: --self-trace requires --store-dir\n");
+    return 2;
+  }
   auto graph = LoadGraph(argv[1]);
   if (!graph) return 1;
   const std::string source = argv[2];
+
+  // Decision provenance (obs/provenance.h): on by default whenever
+  // commits happen, since only committed records can carry the ledger.
+  std::unique_ptr<obs::ProvenanceLedger> ledger;
+  if (store_enabled && !flags.no_provenance) {
+    ledger = std::make_unique<obs::ProvenanceLedger>(
+        obs::ProvenanceLedgerOptions{}, reg);
+  }
 
   OnlineOptions oopts;
   oopts.window = Millis(flags.window_ms);
@@ -985,6 +1012,7 @@ int CmdServe(int argc, char** argv) {
   // per-edge slack map refreshes at each window close.
   oopts.skew_correct = flags.skew_correct;
   oopts.metrics = reg;
+  oopts.provenance = ledger.get();
   OnlineTraceWeaver weaver(*graph, oopts);
   obs::OnlineMetrics ometrics;
   if (reg != nullptr) ometrics = obs::OnlineMetrics(*reg);
@@ -1014,8 +1042,13 @@ int CmdServe(int argc, char** argv) {
     store::CommitterOptions copts;
     copts.window = oopts.window;
     copts.margin = oopts.margin;
+    copts.provenance = ledger.get();
     committer =
         std::make_unique<store::TraceCommitter>(copts, tstore.get());
+  }
+  std::unique_ptr<serve::SelfTracer> self_tracer;
+  if (flags.self_trace) {
+    self_tracer = std::make_unique<serve::SelfTracer>(tstore.get());
   }
 
   std::uint64_t offset = 0;
@@ -1095,7 +1128,7 @@ int CmdServe(int argc, char** argv) {
   // considers consumed must be durable (sealed segments + pending
   // committer state) before the offset moves, or a crash right after the
   // checkpoint would lose traces the resume will never replay.
-  const auto checkpoint = [&]() {
+  const auto checkpoint_impl = [&]() {
     if (flags.checkpoint_dir.empty()) return;
     if (tstore != nullptr) {
       std::string serr;
@@ -1116,6 +1149,17 @@ int CmdServe(int argc, char** argv) {
                    flags.checkpoint_dir.c_str());
     }
   };
+  const auto checkpoint = [&]() {
+    const auto begin = std::chrono::steady_clock::now();
+    checkpoint_impl();
+    if (self_tracer != nullptr) {
+      self_tracer->Record(
+          serve::SelfStage::kSeal,
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - begin)
+              .count());
+    }
+  };
 
   std::ifstream in = OpenWithRetry(source, flags.retries, offset);
   if (!in) {
@@ -1128,7 +1172,46 @@ int CmdServe(int argc, char** argv) {
   std::uint64_t parse_errors = 0;
   std::size_t since_checkpoint = 0;
   TimeNs watermark = weaver.high_watermark();
+  using SteadyClock = std::chrono::steady_clock;
+  const auto wall_ns = [](SteadyClock::time_point a, SteadyClock::time_point b) {
+    return static_cast<DurationNs>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+  };
+  // Running total of tw_stage_wall_ns_total{stage="enumerate"} at the
+  // last window batch, so the self trace can attribute the enumerate
+  // share of each close from the stage-timer delta.
+  std::int64_t enum_wall_seen = 0;
+  // Splits one Advance()/Flush() call into self-trace stage buckets:
+  // windowing = the call minus its window closes; the enumerate share of
+  // a close comes from the stage-timer delta, graft from the results,
+  // and the remainder is the solve share (score + assignment + commit
+  // bookkeeping inside the weaver).
+  const auto record_advance = [&](DurationNs advance_wall,
+                                  const std::vector<WindowResult>& results) {
+    DurationNs close = 0;
+    DurationNs graft = 0;
+    for (const WindowResult& r : results) {
+      close += r.close_wall_ns;
+      graft += r.graft_wall_ns;
+    }
+    DurationNs enumerate = 0;
+    if (!results.empty() && reg != nullptr) {
+      const std::int64_t seen = registry.Snapshot().Value(
+          "tw_stage_wall_ns_total", "stage=\"enumerate\"");
+      enumerate = std::max<std::int64_t>(0, seen - enum_wall_seen);
+      enum_wall_seen = seen;
+    }
+    enumerate = std::min(enumerate, std::max<DurationNs>(0, close - graft));
+    self_tracer->Record(serve::SelfStage::kWindow,
+                        std::max<DurationNs>(0, advance_wall - close));
+    self_tracer->Record(serve::SelfStage::kEnumerate, enumerate);
+    self_tracer->Record(serve::SelfStage::kSolve,
+                        std::max<DurationNs>(0, close - graft - enumerate));
+    self_tracer->Record(serve::SelfStage::kGraft, graft);
+  };
   while (!g_stop.load()) {
+    const auto t_read = self_tracer != nullptr ? SteadyClock::now()
+                                               : SteadyClock::time_point{};
     if (!std::getline(in, line)) {
       if (in.eof()) break;
       // Transient read failure: reopen at the last consumed offset.
@@ -1148,21 +1231,47 @@ int CmdServe(int argc, char** argv) {
       ++parse_errors;
       continue;
     }
+    const auto t_parsed = self_tracer != nullptr ? SteadyClock::now()
+                                                 : SteadyClock::time_point{};
     weaver.Ingest(*span);
     if (committer != nullptr) committer->OnSpan(*span);
+    if (self_tracer != nullptr) {
+      self_tracer->Record(serve::SelfStage::kIngest,
+                          wall_ns(t_read, t_parsed));
+      self_tracer->Record(serve::SelfStage::kValidate,
+                          wall_ns(t_parsed, SteadyClock::now()));
+    }
     // client_send drives the watermark: a conservative lower bound
     // (client_send <= client_recv) on completion-ordered streams, so
     // windows never close while their candidates are still in flight.
     // The running max keeps Advance()'s regression counter reserved for
     // genuine source regressions.
     watermark = std::max(watermark, span->client_send);
+    const auto t_advance = self_tracer != nullptr ? SteadyClock::now()
+                                                  : SteadyClock::time_point{};
     const auto results = weaver.Advance(watermark);
+    if (self_tracer != nullptr) {
+      record_advance(wall_ns(t_advance, SteadyClock::now()), results);
+    }
+    const auto t_commit = self_tracer != nullptr ? SteadyClock::now()
+                                                 : SteadyClock::time_point{};
     if (committer != nullptr) committer->OnResults(results);
+    if (self_tracer != nullptr) {
+      self_tracer->Record(serve::SelfStage::kCommit,
+                          wall_ns(t_commit, SteadyClock::now()));
+    }
     if (!flags.final_only) EmitWindowResults(results);
     if (!flags.checkpoint_dir.empty() &&
         ++since_checkpoint >= flags.checkpoint_every) {
       since_checkpoint = 0;
       checkpoint();
+    }
+    if (self_tracer != nullptr) {
+      // One self trace per closed window; a multi-window batch drains the
+      // accumulated stage buckets into its first window.
+      for (const WindowResult& r : results) {
+        self_tracer->CommitWindow(r.window_start);
+      }
     }
   }
 
@@ -1175,10 +1284,25 @@ int CmdServe(int argc, char** argv) {
     std::fprintf(stderr, "serve: interrupted, checkpointing and exiting\n");
     checkpoint();
   } else {
+    const auto t_flush = self_tracer != nullptr ? SteadyClock::now()
+                                                : SteadyClock::time_point{};
     const auto tail = weaver.Flush();
+    if (self_tracer != nullptr) {
+      record_advance(wall_ns(t_flush, SteadyClock::now()), tail);
+    }
+    const auto t_commit = self_tracer != nullptr ? SteadyClock::now()
+                                                 : SteadyClock::time_point{};
     if (committer != nullptr) {
       committer->OnResults(tail);
       committer->Finalize();
+    }
+    if (self_tracer != nullptr) {
+      self_tracer->Record(serve::SelfStage::kCommit,
+                          wall_ns(t_commit, SteadyClock::now()));
+      // Before the final seal, so the self traces land durably too.
+      for (const WindowResult& r : tail) {
+        self_tracer->CommitWindow(r.window_start);
+      }
     }
     if (!flags.final_only) EmitWindowResults(tail);
     if (tstore != nullptr) {
@@ -1234,6 +1358,18 @@ int CmdServe(int argc, char** argv) {
         committer != nullptr && committer->pending_spans() > 0
             ? ", settling spans pending"
             : "");
+  }
+  if (ledger != nullptr) {
+    std::fprintf(stderr,
+                 "serve: provenance ledger recorded %llu events (%llu "
+                 "dropped, %zu spans still pending)\n",
+                 static_cast<unsigned long long>(ledger->recorded()),
+                 static_cast<unsigned long long>(ledger->dropped()),
+                 ledger->pending_spans());
+  }
+  if (self_tracer != nullptr) {
+    std::fprintf(stderr, "serve: committed %zu pipeline self traces\n",
+                 self_tracer->committed());
   }
 
   if (http != nullptr && flags.linger && !interrupted) {
@@ -1324,6 +1460,32 @@ int CmdQuery(int argc, char** argv) {
   return 0;
 }
 
+/// provenance: print one stored trace's decision ledger as the same
+/// `traceweaver.provenance.v1` document GET /traces/{id}/provenance
+/// serves (docs/API.md).
+int CmdProvenance(int argc, char** argv) {
+  const CliFlags flags = ParseFlags(argc, argv);
+  if (argc < 3) return Usage();
+  store::StoreOptions sopts;
+  sopts.cache_traces = flags.cache_traces;
+  store::TraceStore tstore(argv[1], sopts);
+  std::string err;
+  const auto ostats = tstore.Open(&err);
+  if (!ostats) {
+    std::fprintf(stderr, "provenance: cannot open store %s: %s\n", argv[1],
+                 err.c_str());
+    return 1;
+  }
+  const SpanId id = std::strtoull(argv[2], nullptr, 10);
+  const auto record = tstore.Get(id);
+  if (record == nullptr) {
+    std::fprintf(stderr, "provenance: trace %s not found\n", argv[2]);
+    return 1;
+  }
+  std::printf("%s\n", serve::ProvenanceJson(*record).c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1339,6 +1501,7 @@ int main(int argc, char** argv) {
   if (cmd == "explain") return CmdExplain(argc - 1, argv + 1);
   if (cmd == "serve") return CmdServe(argc - 1, argv + 1);
   if (cmd == "query") return CmdQuery(argc - 1, argv + 1);
+  if (cmd == "provenance") return CmdProvenance(argc - 1, argv + 1);
   if (cmd == "sort-spans") return CmdSortSpans(argc - 1, argv + 1);
   return Usage();
 }

@@ -143,6 +143,12 @@ int main() {
              " max_level=" + std::to_string(out.max_level) +
              " windows_shed=" + std::to_string(out.stats.windows_shed) +
              " deadline_misses=" + std::to_string(out.stats.deadline_misses);
+    // Whole-window admission shedding bypasses the degradation ladder, so
+    // a hard-shed run can report max_level=0 while under the heaviest
+    // pressure there is. Mark engaged hard shedding explicitly so the row
+    // cannot read as "unpressured" (tests/online_overload_test.cc pins
+    // this accounting gap).
+    if (out.stats.windows_shed > 0) r.note += " hard_shed=1";
     records.push_back(std::move(r));
 
     if (c.opts.max_buffer_spans > 0 &&
@@ -167,7 +173,9 @@ int main() {
   }
   std::printf("%s", table.Render().c_str());
 
-  const std::string file = WriteBenchJson("robustness", records);
+  // Merged write: bench_robustness owns the fault/topology/sampling rows
+  // of BENCH_robustness.json; this binary refreshes only the burst rows.
+  const std::string file = WriteBenchJsonMerged("robustness", records);
   std::printf("\nwrote %s\n", file.c_str());
   return 0;
 }

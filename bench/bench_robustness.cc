@@ -24,6 +24,19 @@ struct Row {
   sim::FaultSpec spec;
 };
 
+/// Reconstruction accuracy with explicit optimizer parameters (the
+/// hostile-topology and sampling rows tune twin adoption / the known
+/// sampling rate; everything else stays at defaults).
+double AccuracyWith(const Dataset& data, const std::vector<Span>& spans,
+                    long long twin_window_ns, double sampling_rate) {
+  TraceWeaverOptions opts;
+  opts.optimizer.params.duplicate_twin_window_ns = twin_window_ns;
+  opts.optimizer.params.sampling_rate = sampling_rate;
+  TraceWeaver weaver(data.graph, opts);
+  return Evaluate(spans, weaver.Reconstruct(spans).assignment)
+      .TraceAccuracy();
+}
+
 void RunFamily(const std::string& title, const Dataset& data,
                const std::vector<Row>& rows,
                std::vector<BenchRecord>& records) {
@@ -58,6 +71,9 @@ int main() {
   using traceweaver::sim::FaultSpec;
   using traceweaver::Fmt;
   using traceweaver::FmtPct;
+  using traceweaver::Span;
+  using traceweaver::TextTable;
+  namespace sim = traceweaver::sim;
   PrintHeader(
       "Robustness: accuracy vs corruption rate (Fig. 10 extension)",
       "Accuracy degrades gracefully with drops; duplicates/skew/garbling "
@@ -121,7 +137,114 @@ int main() {
   }
   RunFamily("mixed (acceptance scenario)", data, rows, records);
 
-  const std::string file = WriteBenchJson("robustness", records);
+  // --- Hostile topologies (ISSUE 10): each row is a permanent accuracy
+  // gate at >= 70% under nominal load. Hedged requests additionally
+  // exercise duplicate-twin adoption.
+  {
+    struct Topo {
+      std::string label;
+      traceweaver::sim::AppSpec app;
+      double rps;
+      long long twin_window_ns;
+    };
+    const std::vector<Topo> topologies = {
+        {"topo_hedged_30pct", traceweaver::sim::MakeHedgedApp(0.3), 60,
+         traceweaver::Millis(5)},
+        {"topo_fanout_50", traceweaver::sim::MakeFanoutApp(50), 60, 0},
+        {"topo_deep_async_10", traceweaver::sim::MakeDeepAsyncChainApp(10),
+         120, 0},
+        {"topo_cross_thread_handoff",
+         traceweaver::sim::MakeCrossThreadHandoffApp(), 150, 0},
+    };
+    TextTable table;
+    table.SetHeader({"topology", "accuracy", "spans", "gate"});
+    for (const Topo& t : topologies) {
+      const Dataset topo = Prepare(t.app, t.rps, 2.0);
+      const double accuracy =
+          AccuracyWith(topo, topo.spans, t.twin_window_ns, 1.0);
+      table.AddRow({t.label, FmtPct(accuracy),
+                    std::to_string(topo.spans.size()), ">=70%"});
+      BenchRecord record;
+      record.name = t.label;
+      record.spans = topo.spans.size();
+      record.note = "trace_accuracy=" + FmtPct(accuracy) + " gate=70%";
+      records.push_back(std::move(record));
+      if (accuracy < 0.70) {
+        std::printf("FAIL: %s below the 70%% trace-accuracy gate (%s)\n",
+                    t.label.c_str(), FmtPct(accuracy).c_str());
+        return 1;
+      }
+    }
+    std::printf("--- hostile topologies ---\n%s\n",
+                table.Render().c_str());
+  }
+
+  // --- Sampling sweep (ISSUE 10): span-level sampling at keep rates
+  // {1.0, 0.5, 0.1}, reconstructed blind (sampling_rate left at 1.0) and
+  // aware (the known keep rate threaded into Parameters). Per-trace
+  // head sampling rides along as the benign control: survivors are whole
+  // traces, so accuracy holds without any awareness.
+  {
+    TextTable table;
+    table.SetHeader({"sampling", "blind", "aware", "spans kept"});
+    double blind_half = 0.0;
+    double aware_half = 0.0;
+    for (const double rate : {1.0, 0.5, 0.1}) {
+      std::vector<Span> kept = data.spans;
+      if (rate < 1.0) {
+        FaultSpec s;
+        s.tail_sample_rate = rate;
+        kept = sim::InjectFaults(data.spans, s);
+      }
+      const double blind = AccuracyWith(data, kept, 0, 1.0);
+      const double aware =
+          rate < 1.0 ? AccuracyWith(data, kept, 0, rate) : blind;
+      if (rate == 0.5) {
+        blind_half = blind;
+        aware_half = aware;
+      }
+      const std::string pct = Fmt(100.0 * rate, 0);
+      table.AddRow({"span_sample_" + pct, FmtPct(blind), FmtPct(aware),
+                    std::to_string(kept.size())});
+      BenchRecord record;
+      record.name = "span_sample_" + pct + "_blind";
+      record.spans = kept.size();
+      record.note = "trace_accuracy=" + FmtPct(blind);
+      records.push_back(std::move(record));
+      record = BenchRecord();
+      record.name = "span_sample_" + pct + "_aware";
+      record.spans = kept.size();
+      record.note = "trace_accuracy=" + FmtPct(aware) +
+                    " sampling_rate=" + Fmt(rate, 2);
+      records.push_back(std::move(record));
+    }
+    {
+      FaultSpec s;
+      s.head_sample_rate = 0.5;
+      const std::vector<Span> kept = sim::InjectFaults(data.spans, s);
+      const double accuracy = AccuracyWith(data, kept, 0, 1.0);
+      table.AddRow({"head_sample_50", FmtPct(accuracy), FmtPct(accuracy),
+                    std::to_string(kept.size())});
+      BenchRecord record;
+      record.name = "head_sample_50";
+      record.spans = kept.size();
+      record.note = "trace_accuracy=" + FmtPct(accuracy) +
+                    " coherent_whole_traces";
+      records.push_back(std::move(record));
+    }
+    std::printf("--- sampling sweep ---\n%s\n", table.Render().c_str());
+    if (aware_half < blind_half + 0.10) {
+      std::printf(
+          "FAIL: at 50%% span sampling, aware reconstruction must beat "
+          "blind by >= 10 points (blind=%s aware=%s)\n",
+          FmtPct(blind_half).c_str(), FmtPct(aware_half).c_str());
+      return 1;
+    }
+  }
+
+  // Merged write: the burst rows of BENCH_robustness.json belong to
+  // bench_online_overload; this binary refreshes every other row.
+  const std::string file = WriteBenchJsonMerged("robustness", records);
   std::printf("wrote %s\n", file.c_str());
   return 0;
 }

@@ -1,6 +1,8 @@
 #include "common.h"
 
 #include <cstdio>
+#include <fstream>
+#include <utility>
 
 #include "baselines/fcfs.h"
 #include "baselines/vpath.h"
@@ -66,6 +68,64 @@ std::string WriteBenchJson(const std::string& tag,
                "{\n  \"tag\": \"%s\",\n  \"baseline_commit\": \"%s\",\n"
                "  \"records\": [\n",
                tag.c_str(), anchor.c_str());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"threads\": %zu, \"spans\": %zu, "
+                 "\"ns_per_span\": %.1f, \"spans_per_sec\": %.1f, "
+                 "\"note\": \"%s\"}%s\n",
+                 r.name.c_str(), r.threads, r.spans, r.ns_per_span,
+                 r.spans_per_sec, r.note.c_str(),
+                 i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return path;
+}
+
+std::string WriteBenchJsonMerged(const std::string& tag,
+                                 const std::vector<BenchRecord>& records,
+                                 const std::string& baseline_commit) {
+  const std::string path = "BENCH_" + tag + ".json";
+  // Record rows are written one per line as `    {"name": "<name>", ...}`
+  // by WriteBenchJson -- recover the name of each existing row and keep
+  // the raw line when no new record replaces it.
+  std::vector<std::pair<std::string, std::string>> preserved;
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (in && std::getline(in, line)) {
+      const std::string key = "{\"name\": \"";
+      const std::size_t at = line.find(key);
+      if (at == std::string::npos) continue;
+      const std::size_t start = at + key.size();
+      const std::size_t end = line.find('"', start);
+      if (end == std::string::npos) continue;
+      std::string row = line;
+      if (!row.empty() && row.back() == ',') row.pop_back();
+      preserved.emplace_back(line.substr(start, end - start),
+                             std::move(row));
+    }
+  }
+  std::erase_if(preserved, [&](const auto& p) {
+    for (const BenchRecord& r : records) {
+      if (r.name == p.first) return true;
+    }
+    return false;
+  });
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return "";
+  const std::string anchor =
+      baseline_commit.empty() ? "UNANCHORED" : baseline_commit;
+  std::fprintf(f,
+               "{\n  \"tag\": \"%s\",\n  \"baseline_commit\": \"%s\",\n"
+               "  \"records\": [\n",
+               tag.c_str(), anchor.c_str());
+  for (std::size_t i = 0; i < preserved.size(); ++i) {
+    const bool last = i + 1 == preserved.size() && records.empty();
+    std::fprintf(f, "%s%s\n", preserved[i].second.c_str(), last ? "" : ",");
+  }
   for (std::size_t i = 0; i < records.size(); ++i) {
     const BenchRecord& r = records[i];
     std::fprintf(f,

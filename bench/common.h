@@ -61,8 +61,19 @@ std::string WriteBenchJson(const std::string& tag,
                            const std::vector<BenchRecord>& records,
                            const std::string& baseline_commit = "");
 
+/// Like WriteBenchJson, but merges with an existing `BENCH_<tag>.json`
+/// instead of clobbering it: rows already in the file whose name is NOT
+/// among `records` are preserved verbatim (original order, ahead of the
+/// new rows), so two bench binaries sharing one tag (bench_robustness
+/// and bench_online_overload both feed BENCH_robustness.json) each
+/// refresh only their own rows. A missing or unparsable file degrades to
+/// a plain write.
+std::string WriteBenchJsonMerged(const std::string& tag,
+                                 const std::vector<BenchRecord>& records,
+                                 const std::string& baseline_commit = "");
+
 /// Writes `REPORT_<tag>.json` into the working directory: the structured
-/// run report (schema traceweaver.run_report.v6) built from `registry`'s
+/// run report (schema traceweaver.run_report.v7) built from `registry`'s
 /// current snapshot -- the machine-readable companion to BENCH_<tag>.json
 /// explaining where the reconstruction time went. Returns the file name.
 std::string WriteRunReportJson(const std::string& tag,

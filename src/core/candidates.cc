@@ -134,6 +134,14 @@ void Dfs(DfsState& state, std::size_t pos_idx, TimeNs stage_lb,
 
 }  // namespace
 
+void AdjustForSampling(double rate, double& skip_lp, double& keep_lp) {
+  if (rate >= 1.0) return;  // Bit-identical no-op for unsampled streams.
+  const double r = std::max(rate, 1e-4);
+  const double s = std::exp(skip_lp);
+  skip_lp = std::log(s + (1.0 - s) * (1.0 - r));
+  keep_lp += std::log(r);
+}
+
 std::vector<CandidateMapping> EnumerateCandidates(
     const Span& parent, const InvocationPlan& plan,
     const PositionPools& pools, const EnumerationOptions& options) {
@@ -197,6 +205,7 @@ double ScoreMappingFlat(const Span& parent, const InvocationPlan& plan,
     } else {
       skip_lp = ctx.skip_log_prob;
       keep_lp = ctx.keep_log_prob;
+      bool known = false;
       if (ctx.skip_rates != nullptr) {
         const BackendCall& call = plan.At(positions[i]);
         auto it = ctx.skip_rates->find({call.service, call.endpoint});
@@ -204,8 +213,12 @@ double ScoreMappingFlat(const Span& parent, const InvocationPlan& plan,
           const double rate = std::clamp(it->second, 1e-4, 1.0 - 1e-4);
           skip_lp = std::log(rate);
           keep_lp = std::log(1.0 - rate);
+          known = true;
         }
       }
+      // Known rates already absorb sampling through the observed
+      // discrepancy budget; only the defaults need re-deriving.
+      if (!known) AdjustForSampling(ctx.sampling_rate, skip_lp, keep_lp);
     }
     const Span* child = resolved_children[i];
     if (child == nullptr) {
@@ -386,6 +399,7 @@ ScoreBreakdown ExplainMapping(const Span& parent, const InvocationPlan& plan,
     } else {
       skip_lp = ctx.skip_log_prob;
       keep_lp = ctx.keep_log_prob;
+      bool known = false;
       if (ctx.skip_rates != nullptr) {
         const BackendCall& bc = plan.At(positions[i]);
         auto it = ctx.skip_rates->find({bc.service, bc.endpoint});
@@ -393,8 +407,10 @@ ScoreBreakdown ExplainMapping(const Span& parent, const InvocationPlan& plan,
           const double rate = std::clamp(it->second, 1e-4, 1.0 - 1e-4);
           skip_lp = std::log(rate);
           keep_lp = std::log(1.0 - rate);
+          known = true;
         }
       }
+      if (!known) AdjustForSampling(ctx.sampling_rate, skip_lp, keep_lp);
     }
     const BackendCall& call = plan.At(positions[i]);
     ScoreBreakdown::Position row;

@@ -129,6 +129,12 @@ struct ScoringContext {
   /// disables. Unlike the hard mode this only nudges ranking, so it stays
   /// safe when the threading model is only sometimes informative.
   double thread_match_bonus = 0.0;
+  /// Known capture-sampling keep probability (Parameters::sampling_rate).
+  /// Applied to the *fallback* skip/keep terms only (AdjustForSampling):
+  /// water-filled rates already absorb sampling through the observed
+  /// discrepancy budget, so adjusting them too would double-count. 1.0
+  /// (default) is a no-op.
+  double sampling_rate = 1.0;
 
   // ------- precomputed hot path (optimizer-internal) -------
   // Scoring one candidate is the innermost loop of the pipeline; resolving
@@ -155,6 +161,15 @@ struct ScoringContext {
   /// table.
   const std::vector<InvocationPlan::Position>* positions = nullptr;
 };
+
+/// Folds a known sampling keep-probability `rate` into discrete skip/keep
+/// log-probabilities: a position looks absent when it was truly skipped
+/// OR its span was sampled out, so with prior skip mass s = exp(skip_lp),
+///   skip_lp' = log(s + (1 - s) * (1 - rate)),
+///   keep_lp' = keep_lp + log(rate).
+/// No-op (arguments untouched) when rate >= 1.0, preserving bit-identity
+/// for unsampled streams.
+void AdjustForSampling(double rate, double& skip_lp, double& keep_lp);
 
 /// Scores one candidate mapping for `parent`: sum of per-position delay
 /// log-densities plus the response-gap term and skip penalties. Needs the

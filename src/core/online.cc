@@ -379,6 +379,13 @@ WindowResult OnlineTraceWeaver::CloseWindow(TimeNs window_start,
 
     std::unordered_set<SpanId> consumed;
     for (const ContainerResult& c : out.containers) {
+      // Twin adoptions ride their parent's commit: when the parent closes
+      // in this window, the adopted duplicate is committed and consumed
+      // with the regularly-assigned children.
+      std::unordered_map<SpanId, std::vector<SpanId>> adopted_of;
+      for (const auto& [child, parent] : c.adopted) {
+        adopted_of[parent].push_back(child);
+      }
       for (const ParentResult& p : c.parents) {
         if (closing.count(p.parent) == 0 || !p.Mapped()) continue;
         ++result.parents_committed;
@@ -392,6 +399,14 @@ WindowResult OnlineTraceWeaver::CloseWindow(TimeNs window_start,
           result.assignment[child] = p.parent;
           committed_[child] = p.parent;
           consumed.insert(child);
+        }
+        if (const auto ait = adopted_of.find(p.parent);
+            ait != adopted_of.end()) {
+          for (SpanId child : ait->second) {
+            result.assignment[child] = p.parent;
+            committed_[child] = p.parent;
+            consumed.insert(child);
+          }
         }
         const Span* parent_span = by_id.at(p.parent);
         const InvocationPlan* plan =

@@ -219,11 +219,21 @@ void DetectDynamism(Workspace& ws) {
   ws.skip_budget.assign(ws.pools.size(), 0);
   ws.skip_rate.assign(ws.pools.size(), 0.0);
   ws.has_rate.assign(ws.pools.size(), 0);
+  const double sampling = ws.opts->params.sampling_rate;
   for (std::size_t p = 0; p < ws.pools.size(); ++p) {
     const std::size_t expected = ws.expected_calls[p];
     if (expected == 0) continue;
     const std::size_t observed = ws.pools.spans[p].size();
-    const std::size_t budget = expected > observed ? expected - observed : 0;
+    std::size_t budget = expected > observed ? expected - observed : 0;
+    if (sampling < 1.0) {
+      // Under span sampling, missing parents and missing children cancel
+      // in expected-vs-observed counts, starving the budget exactly when
+      // skips are most needed. Floor it at the expected number of
+      // sampled-out children so absences stay explainable.
+      const auto floor_budget = static_cast<std::size_t>(
+          std::ceil(static_cast<double>(expected) * (1.0 - sampling)));
+      budget = std::max(budget, floor_budget);
+    }
     ws.skip_budget[p] = budget;
     ws.skip_rate[p] =
         static_cast<double>(budget) / static_cast<double>(expected);
@@ -231,6 +241,7 @@ void DetectDynamism(Workspace& ws) {
     if (budget > 0) ws.dynamism_active = true;
   }
   if (any_optional) ws.dynamism_active = true;
+  if (sampling < 1.0) ws.dynamism_active = true;
   if (!ws.opts->enable_dynamism) ws.dynamism_active = false;
 }
 
@@ -624,6 +635,10 @@ void BuildPositionScores(const Workspace& ws, ParentTask& task,
       const double rate = std::clamp(raw, 1e-4, 1.0 - 1e-4);
       ps.skip_lp = std::log(rate);
       ps.keep_lp = std::log(1.0 - rate);
+    } else {
+      // Water-filled rates already reflect sampled-out children via the
+      // floored budget (DetectDynamism); only the defaults need it.
+      AdjustForSampling(defaults.sampling_rate, ps.skip_lp, ps.keep_lp);
     }
     const DelayModel::DistView view =
         model.View(DelayKey{task.span->callee, task.span->endpoint,
@@ -648,6 +663,7 @@ void RankCandidates(Workspace& ws, const DelayModel& model,
   ScoringContext base;
   base.model = &model;
   base.use_order_constraints = ws.opts->use_order_constraints;
+  base.sampling_rate = ws.opts->params.sampling_rate;
   if (ws.opts->thread_affinity == OptimizerOptions::ThreadAffinity::kSoft) {
     base.thread_match_bonus = ws.opts->thread_match_bonus;
   }
@@ -1129,6 +1145,7 @@ void ContainerResult::AppendAssignment(ParentAssignment& out) const {
       if (child != kSkippedChild) out[child] = r.parent;
     }
   }
+  for (const auto& [child, parent] : adopted) out[child] = parent;
 }
 
 
@@ -1350,6 +1367,75 @@ ContainerResult OptimizeContainer(const ContainerView& view,
       options.explain_parent != kInvalidSpanId) {
     FillExplain(ws, results, batch_of_task, batches, batch_rates, model,
                 *options.explain_out);
+  }
+
+  // Duplicate-twin adoption: retries and hedges materialize a second span
+  // to the same (service, endpoint) under one true parent, but the plan
+  // has a single position there, so the joint solve must leave the twin
+  // unassigned. Rather than letting candidate sets explode by enumerating
+  // multi-span positions, fold each unassigned pool span onto the parent
+  // of its nearest *assigned* pool-mate when their sends lie within the
+  // twin window and the orphan fits that parent's processing window.
+  // Serial and deterministic; window 0 (the default) skips it entirely.
+  const long long twin_window = options.params.duplicate_twin_window_ns;
+  if (twin_window > 0) {
+    struct AssignedChild {
+      const Span* child;
+      const Span* parent;
+    };
+    std::vector<std::vector<AssignedChild>> assigned_by_pool(
+        ws.pools.size());
+    std::unordered_set<SpanId> assigned_ids;
+    for (std::size_t t = 0; t < results.size(); ++t) {
+      const ParentResult& r = results[t];
+      if (!r.Mapped()) continue;
+      const ParentTask& task = ws.tasks[t];
+      const CandidateMapping& m =
+          r.ranked[static_cast<std::size_t>(r.chosen)];
+      for (std::size_t i = 0; i < m.children.size(); ++i) {
+        const SpanId child = m.children[i];
+        if (child == kSkippedChild) continue;
+        const auto it = ws.span_by_id.find(child);
+        if (it == ws.span_by_id.end()) continue;
+        assigned_ids.insert(child);
+        assigned_by_pool[static_cast<std::size_t>(task.position_pool[i])]
+            .push_back({it->second, task.span});
+      }
+    }
+    // Sorted pool-key order for a deterministic adopted vector; decisions
+    // themselves are independent per orphan, so order only affects output
+    // ordering.
+    for (const auto& [key, pool_id] : ws.pools.ids) {
+      const auto p = static_cast<std::size_t>(pool_id);
+      if (assigned_by_pool[p].empty()) continue;
+      for (const Span* orphan : ws.pools.spans[p]) {
+        if (assigned_ids.count(orphan->id) > 0) continue;
+        const AssignedChild* best = nullptr;
+        long long best_gap = twin_window + 1;
+        for (const AssignedChild& a : assigned_by_pool[p]) {
+          const long long diff =
+              static_cast<long long>(orphan->client_send) -
+              static_cast<long long>(a.child->client_send);
+          const long long gap = diff < 0 ? -diff : diff;
+          if (gap > twin_window) continue;
+          const long long slack =
+              options.params.SlackFor(a.parent->callee, orphan->callee);
+          if (orphan->client_send < a.parent->server_recv - slack ||
+              orphan->client_recv > a.parent->server_send + slack) {
+            continue;  // Twin does not fit the sibling's parent window.
+          }
+          if (best == nullptr || gap < best_gap ||
+              (gap == best_gap && a.parent->id < best->parent->id)) {
+            best = &a;
+            best_gap = gap;
+          }
+        }
+        if (best != nullptr) {
+          result.adopted.emplace_back(orphan->id, best->parent->id);
+        }
+      }
+    }
+    std::sort(result.adopted.begin(), result.adopted.end());
   }
 
   result.parents = std::move(results);

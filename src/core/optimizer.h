@@ -145,7 +145,14 @@ struct ContainerResult {
   };
   std::vector<BatchStats> batch_stats;
 
-  /// Merges the chosen mappings into `out` (child id -> parent id).
+  /// Duplicate-twin adoptions (child id -> parent id), sorted by child:
+  /// unassigned spans folded onto the parent of an assigned same-pool
+  /// sibling within Parameters::duplicate_twin_window_ns (retry/hedge
+  /// duplicates racing one plan position). Empty when the window is 0.
+  std::vector<std::pair<SpanId, SpanId>> adopted;
+
+  /// Merges the chosen mappings (and twin adoptions) into `out`
+  /// (child id -> parent id).
   void AppendAssignment(ParentAssignment& out) const;
 };
 

@@ -29,6 +29,25 @@ struct Parameters {
   /// The paper reports quick convergence; 3 is enough in practice.
   std::size_t iterations = 3;
 
+  /// Known capture-sampling keep probability of the span stream (head or
+  /// span-level sampling upstream of TraceWeaver). 1.0 (the default)
+  /// means "unsampled" and leaves every code path byte-identical to a
+  /// build without the knob. Below 1.0, sampled-out children become
+  /// *expected absences*: dynamism stays engaged with a skip budget
+  /// floored at ceil(X_p * (1 - rate)) per pool, the fallback skip/keep
+  /// log-probabilities are re-derived for the thinned stream
+  /// (AdjustForSampling, core/candidates.h), and the quality layer
+  /// relaxes skip and orphan penalties accordingly.
+  double sampling_rate = 1.0;
+
+  /// Duplicate-twin adoption window (ns) for retry/hedge duplicates: after
+  /// the joint solve, an *unassigned* child whose (service, endpoint)
+  /// pool-mate was assigned to a parent, and whose client_send lies within
+  /// this window of that sibling's, is adopted by the same parent when it
+  /// fits the parent's processing window. 0 (default) disables adoption
+  /// and keeps assignments byte-identical to pre-twin builds.
+  long long duplicate_twin_window_ns = 0;
+
   // ------- implementation knobs (not in Table 1) -------
 
   /// Per-position branching cap during candidate enumeration; feasible

@@ -104,9 +104,12 @@ TraceWeaverOutput TraceWeaver::Reconstruct(
 
   if (options_.compute_quality) {
     auto t = timer(obs::Stage::kQuality);
+    // Parameters::sampling_rate is the single source of truth; the quality
+    // layer inherits it so orphan/skip downgrades match the scoring model.
+    obs::QualityOptions qopts = options_.quality;
+    qopts.sampling_rate = options_.optimizer.params.sampling_rate;
     out.quality = obs::ComputeQuality(spans, out.containers, out.assignment,
-                                      options_.quality,
-                                      quality_metrics_.get());
+                                      qopts, quality_metrics_.get());
   }
 
   pm.runs.Inc();

@@ -14,7 +14,7 @@ constexpr const char* kEventTypeNames[kProvEventTypeCount] = {
     "validator_quarantine", "skew_correct", "admission_drop",
     "window_shed",      "degraded_solve",  "late_graft",
     "late_expire",      "late_drop",       "settled",
-    "orphan_commit",    "finalized",
+    "orphan_commit",    "finalized",       "sampled_out",
 };
 
 /// Appends `"key":"value"` with minimal JSON escaping (quotes,

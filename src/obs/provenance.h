@@ -61,8 +61,10 @@ enum class ProvEventType {
   kSettled,       ///< Trace settled normally (value = span count).
   kOrphanCommit,  ///< Committed as an orphan fragment (value = span count).
   kFinalized,     ///< Committed at end-of-stream (value = span count).
+  kSampledOut,    ///< Shed by the tail sampler before store commit
+                  ///< (value = span count, detail = keep-policy verdict).
 };
-inline constexpr std::size_t kProvEventTypeCount = 14;
+inline constexpr std::size_t kProvEventTypeCount = 15;
 
 /// Stable wire name of a type, e.g. "skew_correct".
 const char* ProvEventTypeName(ProvEventType type);

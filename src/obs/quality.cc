@@ -298,6 +298,23 @@ QualityReport ComputeQuality(const std::vector<Span>& spans,
   const QualityMetrics& qm = metrics != nullptr ? *metrics : kInert;
 
   QualityReport report;
+  // Sampling-aware effective penalties. Guarded on rate < 1.0 so the
+  // default stays bit-identical (pow(x, 1.0) and 1 - (1 - x) * 1.0 are
+  // not bit-exact identities in general). With keep probability r, a skip
+  // is a reconstruction guess only with probability r (else the child was
+  // sampled out), a "suspicious" orphan's covering parent may have
+  // declined a span whose true child was sampled out, and a benign
+  // orphan's missing parent is the expected outcome.
+  double skip_penalty = options.skip_penalty;
+  double suspect_orphan_penalty = options.orphan_penalty;
+  double fragment_penalty = options.fragment_penalty;
+  if (options.sampling_rate < 1.0) {
+    const double r = std::clamp(options.sampling_rate, 0.0, 1.0);
+    skip_penalty = std::pow(options.skip_penalty, r);
+    suspect_orphan_penalty =
+        options.orphan_penalty * r + options.fragment_penalty * (1.0 - r);
+    fragment_penalty = 1.0 - (1.0 - options.fragment_penalty) * r;
+  }
   for (const ContainerResult& c : containers) {
     for (const ParentResult& r : c.parents) {
       AssignmentQuality q;
@@ -324,8 +341,7 @@ QualityReport ComputeQuality(const std::vector<Span>& spans,
       }
       if (q.mapped) {
         double conf = q.posterior;
-        conf *= std::pow(options.skip_penalty,
-                         static_cast<double>(q.skips));
+        conf *= std::pow(skip_penalty, static_cast<double>(q.skips));
         if (!q.optimal_batch) conf *= options.fallback_penalty;
         conf *= (1.0 - options.mwis_gap_weight) +
                 options.mwis_gap_weight * q.agreement;
@@ -404,8 +420,8 @@ QualityReport ComputeQuality(const std::vector<Span>& spans,
   }
   for (auto& [root, t] : by_root) {
     if (t.orphan) {
-      t.confidence *= t.suspect_orphan ? options.orphan_penalty
-                                       : options.fragment_penalty;
+      t.confidence *= t.suspect_orphan ? suspect_orphan_penalty
+                                       : fragment_penalty;
       t.min_confidence = std::min(t.min_confidence, t.confidence);
     }
     t.grade = GradeOf(t.confidence, options);

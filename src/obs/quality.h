@@ -78,6 +78,14 @@ struct QualityOptions {
   double grade_a = 0.80;
   double grade_b = 0.50;
   double grade_c = 0.20;
+  /// Known capture-sampling keep probability (Parameters::sampling_rate;
+  /// TraceWeaver::Reconstruct copies it here). Below 1.0, skips are
+  /// expected absences so the per-skip penalty softens
+  /// (skip_penalty^rate), and the orphan split loses its teeth: a
+  /// "suspicious" orphan's missing parent may simply have been sampled
+  /// out, so both orphan penalties interpolate toward lenient with
+  /// probability (1 - rate). 1.0 leaves every factor bit-identical.
+  double sampling_rate = 1.0;
 };
 
 /// Quality of one parent-span assignment.

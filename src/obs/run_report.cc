@@ -283,6 +283,12 @@ RunReport BuildRunReport(const RegistrySnapshot& s) {
   }
   r.provenance.dropped = s.Value("tw_prov_events_dropped_total");
   r.provenance.pending_events = s.Value("tw_prov_pending_events");
+
+  r.sampler.considered = s.Value("tw_sample_considered_total");
+  r.sampler.shed = s.Value("tw_sample_shed_total");
+  r.sampler.shed_spans = s.Value("tw_sample_shed_spans_total");
+  r.sampler.kept_interesting = s.Value("tw_sample_kept_interesting_total");
+  r.sampler.kept_random = s.Value("tw_sample_kept_random_total");
   return r;
 }
 
@@ -290,7 +296,7 @@ std::string RunReportJson(const RunReport& r) {
   std::string out;
   Json j(&out);
   j.Open('{');
-  j.Field("schema", std::string("traceweaver.run_report.v6"));
+  j.Field("schema", std::string("traceweaver.run_report.v7"));
 
   j.Key("run");
   j.Open('{');
@@ -494,6 +500,15 @@ std::string RunReportJson(const RunReport& r) {
   j.Close(']');
   j.Close('}');
 
+  j.Key("sampler");
+  j.Open('{');
+  j.Field("considered", r.sampler.considered);
+  j.Field("shed", r.sampler.shed);
+  j.Field("shed_spans", r.sampler.shed_spans);
+  j.Field("kept_interesting", r.sampler.kept_interesting);
+  j.Field("kept_random", r.sampler.kept_random);
+  j.Close('}');
+
   j.Close('}');
   out += '\n';
   return out;
@@ -608,6 +623,12 @@ std::string RunReportTable(const RunReport& r) {
       out << ' ' << row.type << '=' << row.count;
     }
     out << '\n';
+  }
+  if (r.sampler.considered > 0) {
+    out << "tail sampler: " << r.sampler.considered << " considered, "
+        << r.sampler.kept_interesting << " kept interesting, "
+        << r.sampler.kept_random << " kept by coin, " << r.sampler.shed
+        << " shed (" << r.sampler.shed_spans << " spans)\n";
   }
   return out.str();
 }

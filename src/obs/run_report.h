@@ -7,7 +7,7 @@
 // core/skew_estimator.h), the streaming-resilience family
 // (`tw_online_*`, core/online.h), and the decision-provenance ledger
 // (`tw_prov_*`, obs/provenance.h). Render as JSON (stable schema
-// `traceweaver.run_report.v6`, golden-tested) or as an aligned text
+// `traceweaver.run_report.v7`, golden-tested) or as an aligned text
 // table for terminals.
 #pragma once
 
@@ -151,13 +151,24 @@ struct RunReport {
     std::int64_t pending_events = 0;
     std::vector<ProvRow> events;  ///< Non-zero event types, name order.
   } provenance;
+
+  // --- Commit-time tail sampler (tw_sample_*, store/tail_sampler.h;
+  // zero when the sampler is off. v7 addition). Invariant mirrored by
+  // tools/parse_report.py: considered = shed + kept_interesting +
+  // kept_random. ---
+  struct {
+    std::int64_t considered = 0;
+    std::int64_t shed = 0, shed_spans = 0;
+    std::int64_t kept_interesting = 0;  ///< Always-keep rules 1-4.
+    std::int64_t kept_random = 0;       ///< The rule-5 coin.
+  } sampler;
 };
 
 /// Builds the report from a snapshot of a registry the pipeline recorded
 /// into (see PipelineMetrics for the names consumed).
 RunReport BuildRunReport(const RegistrySnapshot& snapshot);
 
-/// Stable JSON rendering (schema `traceweaver.run_report.v6`).
+/// Stable JSON rendering (schema `traceweaver.run_report.v7`).
 std::string RunReportJson(const RunReport& report);
 
 /// Aligned text-table rendering for terminals.

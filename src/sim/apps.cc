@@ -670,4 +670,128 @@ AppSpec MakeFanoutApp(int fanout) {
   return app;
 }
 
+AppSpec MakeHedgedApp(double hedge_prob) {
+  AppSpec app;
+  app.name = "hedged";
+
+  ServiceSpec frontend;
+  frontend.name = "frontend";
+  frontend.worker_threads = 32;
+  HandlerSpec get;
+  get.endpoint = "/get";
+  get.stages.push_back(StageOf({{"router", "/route", 0.0}},
+                               DelaySpec::LogNormal(Micros(120), 0.4)));
+  get.post_delay = DelaySpec::LogNormal(Micros(150), 0.4);
+  frontend.handlers["/get"] = std::move(get);
+  app.services["frontend"] = std::move(frontend);
+
+  // The router hedges both storage tiers: each call races a duplicate
+  // with probability hedge_prob, so a parent routinely owns two
+  // overlapping spans to the same backend. High-variance storage delays
+  // make the race worth running (and hard to disambiguate).
+  ServiceSpec router;
+  router.name = "router";
+  router.worker_threads = 32;
+  HandlerSpec route;
+  route.endpoint = "/route";
+  SimStage st = StageOf({}, DelaySpec::LogNormal(Micros(100), 0.3));
+  SimCall hot{"storage-hot", "/read", 0.0};
+  hot.hedge_probability = hedge_prob;
+  SimCall cold{"storage-cold", "/read", 0.0};
+  cold.hedge_probability = hedge_prob;
+  st.calls = {hot, cold};
+  route.stages.push_back(std::move(st));
+  route.post_delay = DelaySpec::LogNormal(Micros(120), 0.3);
+  router.handlers["/route"] = std::move(route);
+  app.services["router"] = std::move(router);
+
+  app.services["storage-hot"] =
+      Leaf("storage-hot", "/read", DelaySpec::LogNormal(Micros(250), 0.8));
+  app.services["storage-cold"] =
+      Leaf("storage-cold", "/read", DelaySpec::LogNormal(Micros(400), 0.8));
+
+  app.roots = {{"frontend", "/get", 1.0}};
+  return app;
+}
+
+AppSpec MakeDeepAsyncChainApp(int depth) {
+  AppSpec app;
+  app.name = "deep-async-chain";
+
+  // hop-0 -> hop-1 -> ... -> hop-(depth-1) -> sink, every hop a
+  // single-threaded event loop with a variable async wait before it
+  // forwards. With overlapping requests each loop multiplexes many
+  // in-flight requests on one thread, so thread ids carry no signal and
+  // responses overtake each other at every hop.
+  for (int i = 0; i < depth; ++i) {
+    const std::string name = "hop-" + std::to_string(i);
+    const std::string next =
+        i + 1 < depth ? "hop-" + std::to_string(i + 1) : "sink";
+    ServiceSpec hop;
+    hop.name = name;
+    hop.model = ExecutionModel::kAsyncEventLoop;
+    HandlerSpec h;
+    h.endpoint = "/hop";
+    h.stages.push_back(
+        StageOf({{next, i + 1 < depth ? "/hop" : "/drain", 0.0}},
+                DelaySpec::Normal(Micros(200), Micros(120))));
+    h.post_delay = DelaySpec::LogNormal(Micros(80), 0.3);
+    hop.handlers["/hop"] = std::move(h);
+    app.services[name] = std::move(hop);
+  }
+  app.services["sink"] =
+      Leaf("sink", "/drain", DelaySpec::LogNormal(Micros(200), 0.5));
+
+  app.roots = {{"hop-0", "/hop", 1.0}};
+  return app;
+}
+
+AppSpec MakeCrossThreadHandoffApp() {
+  AppSpec app;
+  app.name = "cross-thread-handoff";
+
+  // Every non-leaf service hands requests from a small I/O-thread pool to
+  // workers (kRpcHandoff): the thread observed sending a child call is an
+  // I/O thread that has since picked up other requests, so thread-based
+  // attribution goes stale under any real load.
+  ServiceSpec frontend;
+  frontend.name = "frontend";
+  frontend.model = ExecutionModel::kRpcHandoff;
+  frontend.worker_threads = 16;
+  frontend.io_threads = 2;
+  HandlerSpec page;
+  page.endpoint = "/page";
+  page.stages.push_back(StageOf({{"auth", "/verify", 0.0}},
+                                DelaySpec::LogNormal(Micros(120), 0.4)));
+  page.stages.push_back(
+      StageOf({{"content", "/fetch", 0.0}, {"ads", "/select", 0.0}},
+              DelaySpec::LogNormal(Micros(100), 0.3)));
+  page.post_delay = DelaySpec::LogNormal(Micros(150), 0.4);
+  frontend.handlers["/page"] = std::move(page);
+  app.services["frontend"] = std::move(frontend);
+
+  ServiceSpec content;
+  content.name = "content";
+  content.model = ExecutionModel::kRpcHandoff;
+  content.worker_threads = 16;
+  content.io_threads = 2;
+  HandlerSpec fetch;
+  fetch.endpoint = "/fetch";
+  fetch.stages.push_back(StageOf({{"store", "/read", 0.0}},
+                                 DelaySpec::LogNormal(Micros(110), 0.4)));
+  fetch.post_delay = DelaySpec::LogNormal(Micros(130), 0.4);
+  content.handlers["/fetch"] = std::move(fetch);
+  app.services["content"] = std::move(content);
+
+  app.services["auth"] =
+      Leaf("auth", "/verify", DelaySpec::LogNormal(Micros(180), 0.4));
+  app.services["ads"] =
+      Leaf("ads", "/select", DelaySpec::LogNormal(Micros(220), 0.5));
+  app.services["store"] =
+      Leaf("store", "/read", DelaySpec::LogNormal(Micros(260), 0.5));
+
+  app.roots = {{"frontend", "/page", 1.0}};
+  return app;
+}
+
 }  // namespace traceweaver::sim

@@ -48,4 +48,23 @@ AppSpec MakeAbTestApp(double b_fraction);
 /// microbenchmarks.
 AppSpec MakeFanoutApp(int fanout);
 
+/// Hedged-request app: frontend -> router -> two storage tiers where every
+/// storage call is hedged with probability `hedge_prob` (a duplicate
+/// request races the original, first response wins, the loser is drained).
+/// Produces overlapping duplicate same-backend children under one parent
+/// -- the adversarial input for duplicate-twin handling.
+AppSpec MakeHedgedApp(double hedge_prob);
+
+/// Deep async chain: `depth` single-threaded event-loop services in
+/// series, each doing a variable async wait before forwarding (an
+/// event-loop storm: every hop multiplexes interleaved requests on one
+/// thread, and responses routinely overtake each other).
+AppSpec MakeDeepAsyncChainApp(int depth);
+
+/// Cross-thread handoff app: every service runs the kRpcHandoff model
+/// (I/O threads pick up requests, workers send the outgoing calls), so a
+/// child's sending thread almost never matches its parent's handler
+/// thread under load -- the vPath failure mode as its own topology.
+AppSpec MakeCrossThreadHandoffApp();
+
 }  // namespace traceweaver::sim

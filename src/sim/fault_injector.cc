@@ -35,6 +35,26 @@ class VantageClocks {
   std::map<std::pair<std::string, int>, DurationNs> offsets_;
 };
 
+/// splitmix64 finalizer: one id -> one well-mixed 64-bit word. Sampling
+/// decisions hash (id ^ seed) instead of drawing Rng state so a span's
+/// fate depends only on its identity, never on stream order or on which
+/// other fault knobs consumed randomness before it.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Keep decision for `id` at keep-probability `rate` (1.0 always keeps).
+bool SampledKeep(std::uint64_t id, std::uint64_t seed, double rate) {
+  if (rate >= 1.0) return true;
+  if (rate <= 0.0) return false;
+  const double u = static_cast<double>(Mix64(id ^ seed) >> 11) *
+                   0x1.0p-53;  // 53 uniform bits in [0, 1).
+  return u < rate;
+}
+
 TimeNs Truncate(TimeNs t, DurationNs granularity) {
   if (granularity <= 0) return t;
   // Floor toward negative infinity so already-skewed (possibly negative)
@@ -92,6 +112,22 @@ std::vector<Span> InjectFaults(std::vector<Span> spans, const FaultSpec& spec,
   std::vector<Span> out;
   out.reserve(spans.size());
   for (Span& s : spans) {
+    // Sampling first: a sampled-out span never existed as far as the
+    // capture layer is concerned, so it consumes no corruption decisions.
+    // Head sampling keys on the trace id (whole-trace coherent), tail
+    // sampling on the span id; both are order-independent hashes.
+    if (!SampledKeep(static_cast<std::uint64_t>(s.true_trace),
+                     spec.seed ^ 0x68656164ULL /* "head" */,
+                     spec.head_sample_rate)) {
+      ++local.head_sampled_out;
+      continue;
+    }
+    if (!SampledKeep(static_cast<std::uint64_t>(s.id),
+                     spec.seed ^ 0x7461696cULL /* "tail" */,
+                     spec.tail_sample_rate)) {
+      ++local.tail_sampled_out;
+      continue;
+    }
     if (spec.drop_rate > 0.0 && rng.Bernoulli(spec.drop_rate)) {
       ++local.dropped;
       continue;

@@ -21,9 +21,20 @@
 //                         negative/huge, or a name string scrambled with
 //                         JSON-hostile bytes (quotes, backslashes,
 //                         control characters).
+//   * head_sample_rate -- per-trace-coherent head sampling: each trace is
+//                         kept with this probability, and a kept trace
+//                         keeps every one of its spans (a dropped trace
+//                         loses all of them). 1.0 = off.
+//   * tail_sample_rate -- per-span tail sampling: each record survives
+//                         independently with this probability, splitting
+//                         traces the way span-level samplers do. 1.0 = off.
 //
 // Everything draws from one explicitly seeded Rng, so a (population,
-// spec) pair always yields the same corrupted stream. Ground-truth
+// spec) pair always yields the same corrupted stream. The sampling modes
+// additionally hash ids (trace id for head, span id for tail) against the
+// seed instead of consuming Rng state, so a span's sampling fate is
+// independent of stream order and of the other fault knobs -- the head
+// mode's whole-trace coherence holds for any interleaving. Ground-truth
 // fields ride along untouched so accuracy remains measurable.
 #pragma once
 
@@ -41,11 +52,18 @@ struct FaultSpec {
   DurationNs skew_stddev_ns = 0;
   DurationNs truncate_granularity_ns = 0;
   double garble_rate = 0.0;
+  /// Keep probability per trace (head sampling, whole-trace coherent);
+  /// 1.0 disables.
+  double head_sample_rate = 1.0;
+  /// Keep probability per span (tail sampling, trace-splitting); 1.0
+  /// disables.
+  double tail_sample_rate = 1.0;
   std::uint64_t seed = 17;
 
   bool Active() const {
     return drop_rate > 0.0 || duplicate_rate > 0.0 || skew_stddev_ns > 0 ||
-           truncate_granularity_ns > 0 || garble_rate > 0.0;
+           truncate_granularity_ns > 0 || garble_rate > 0.0 ||
+           head_sample_rate < 1.0 || tail_sample_rate < 1.0;
   }
 };
 
@@ -56,6 +74,8 @@ struct FaultStats {
   std::size_t skewed = 0;     ///< Spans with at least one shifted timestamp.
   std::size_t truncated = 0;  ///< Spans with at least one floored timestamp.
   std::size_t garbled = 0;
+  std::size_t head_sampled_out = 0;  ///< Spans removed with their trace.
+  std::size_t tail_sampled_out = 0;  ///< Spans removed individually.
   std::size_t vantage_points = 0;  ///< Distinct (service, replica) clocks.
   std::size_t output = 0;
 };

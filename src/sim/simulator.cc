@@ -185,6 +185,19 @@ void Simulator::IssueStage(const CtxPtr& ctx) {
   DurationNs stagger = 0;
   for (const SimCall* call : issued) {
     IssueCall(ctx, *call, stagger, /*is_retry=*/false);
+    if (call->hedge_probability > 0.0 &&
+        rng_.Bernoulli(call->hedge_probability)) {
+      // Tail-latency hedge: a duplicate request races the original after
+      // a short hedging delay. The caller consumes whichever response
+      // lands first and drains the loser (keeping the connection open),
+      // so both attempts complete as full spans overlapping in time --
+      // the stage holds until the drained twin finishes too, which keeps
+      // every child window inside the parent's processing window.
+      ++ctx->outstanding;
+      IssueCall(ctx, *call,
+                stagger + rng_.UniformInt(Micros(2), Micros(12)),
+                /*is_retry=*/true);  // A hedge attempt never re-retries.
+    }
     stagger += rng_.UniformInt(Micros(1), Micros(8));
   }
 }

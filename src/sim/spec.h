@@ -59,10 +59,15 @@ struct SimCall {
   /// drives the §4.2 dynamism experiments.
   double skip_probability = 0.0;
   /// Probability the first attempt is retried once (an extra span to the
-  /// same backend). The paper defers retry-style dynamism to future work
-  /// (§7); the simulator supports it so that behavior under unexpected
-  /// extra spans can be measured.
+  /// same backend). Retries and hedges produce duplicate same-backend
+  /// children; duplicate-twin adoption (Parameters::duplicate_twin_window_ns)
+  /// folds the extra span back onto the parent.
   double retry_probability = 0.0;
+  /// Probability the call is hedged: a duplicate request races the
+  /// original (tail-latency hedging). The caller uses whichever response
+  /// arrives first and drains the other, so the capture layer sees two
+  /// overlapping spans to the same backend under one parent.
+  double hedge_probability = 0.0;
 };
 
 /// Calls within a stage are issued in parallel; stages run sequentially.

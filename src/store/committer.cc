@@ -65,6 +65,22 @@ bool TraceCommitter::CommitTrace(SpanId root, obs::ProvEventType outcome) {
   }
   quality_.erase(root);
 
+  if (options_.sampler != nullptr) {
+    const TailSampler::Decision d = options_.sampler->Decide(record);
+    if (!d.keep) {
+      if (options_.provenance != nullptr) {
+        // Free the members' pending ledger events and stamp the shed, so
+        // tw_prov_events_total{type="sampled_out"} accounts for the trace
+        // even though no stored record carries its provenance.
+        for (const Span& s : record.spans) options_.provenance->Take(s.id);
+        options_.provenance->Emit(
+            obs::ProvEventType::kSampledOut, root,
+            static_cast<std::int64_t>(record.spans.size()), d.reason);
+      }
+      return false;
+    }
+  }
+
   if (options_.provenance != nullptr) {
     // Drain each member span's pending events (commit-walk order), then
     // stamp the settle outcome last -- the guarantee that every committed
@@ -125,6 +141,9 @@ std::size_t TraceCommitter::OnResults(
     const std::vector<WindowResult>& results) {
   std::size_t committed = 0;
   for (const WindowResult& r : results) {
+    if (options_.sampler != nullptr && r.shed) {
+      options_.sampler->NoteShed(r.window_end);
+    }
     for (const auto& [child, parent] : r.assignment) {
       if (parent_of_.emplace(child, parent).second) {
         children_[parent].push_back(child);

@@ -26,6 +26,7 @@
 
 #include "core/online.h"
 #include "store/store.h"
+#include "store/tail_sampler.h"
 
 namespace traceweaver::store {
 
@@ -46,6 +47,13 @@ struct CommitterOptions {
   /// carries a non-empty provenance block. Null leaves records
   /// byte-identical to the pre-provenance format. Not owned.
   obs::ProvenanceLedger* provenance = nullptr;
+  /// Optional commit-time tail sampler (store/tail_sampler.h). When set,
+  /// every sealed trace is offered to Decide() just before store commit:
+  /// shed traces never reach the store and are accounted by a
+  /// `sampled_out` provenance emission plus the tw_sample_* counters.
+  /// Null commits everything, byte-identical to the unsampled path.
+  /// Not owned.
+  TailSampler* sampler = nullptr;
 };
 
 class TraceCommitter {

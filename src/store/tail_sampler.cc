@@ -1,0 +1,144 @@
+#include "store/tail_sampler.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "trace/checkpoint.h"
+
+namespace traceweaver::store {
+namespace {
+
+/// splitmix64 finalizer, the same order-independent construction the
+/// fault injector uses: one well-mixed word per trace id, no RNG state.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+bool HashKeep(std::uint64_t id, std::uint64_t seed, double rate) {
+  if (rate >= 1.0) return true;
+  if (rate <= 0.0) return false;
+  const double u = static_cast<double>(Mix64(id ^ seed) >> 11) *
+                   0x1.0p-53;  // 53 uniform bits in [0, 1).
+  return u < rate;
+}
+
+}  // namespace
+
+TailSampler::TailSampler(TailSamplerOptions options,
+                         obs::MetricsRegistry* metrics)
+    : options_(options) {
+  if (metrics == nullptr) return;
+  m_considered_ = metrics->GetCounter(
+      "tw_sample_considered_total", "",
+      "Traces evaluated by the tail sampler at commit time", "1");
+  m_shed_ = metrics->GetCounter(
+      "tw_sample_shed_total", "",
+      "Confident boring traces shed before store commit", "1");
+  m_shed_spans_ = metrics->GetCounter(
+      "tw_sample_shed_spans_total", "",
+      "Spans belonging to tail-sampler-shed traces", "1");
+  m_kept_interesting_ = metrics->GetCounter(
+      "tw_sample_kept_interesting_total", "",
+      "Traces kept by an always-keep rule (orphan, shed-adjacent, "
+      "low grade, high latency)",
+      "1");
+  m_kept_random_ = metrics->GetCounter(
+      "tw_sample_kept_random_total", "",
+      "Boring traces kept by the probabilistic coin", "1");
+}
+
+void TailSampler::NoteShed(TimeNs window_end) {
+  last_shed_end_ = std::max(last_shed_end_, window_end);
+}
+
+TailSampler::Decision TailSampler::Decide(const TraceRecord& record) {
+  ++considered_;
+  m_considered_.Inc();
+
+  Decision d;
+  if (record.orphan || record.suspect) {
+    d.reason = "orphan";
+  } else if (last_shed_end_ != std::numeric_limits<TimeNs>::min() &&
+             record.end + options_.window *
+                              std::max(options_.shed_adjacent_windows, 0) >=
+                 last_shed_end_) {
+    // The trace's window reaches into the shed-adjacency horizon: it
+    // documents the pressure event (sheds only move forward in stream
+    // time, so one high-water mark suffices).
+    d.reason = "shed_adjacent";
+  } else if (record.grade > options_.min_boring_grade ||
+             record.confidence < options_.min_boring_confidence) {
+    d.reason = "low_grade";
+  } else if (record.Duration() >= options_.latency_keep_ns) {
+    d.reason = "high_latency";
+  } else if (HashKeep(static_cast<std::uint64_t>(record.trace_id),
+                      options_.seed, options_.keep_rate)) {
+    d.reason = "random";
+    ++kept_random_;
+    m_kept_random_.Inc();
+    return d;
+  } else {
+    d.keep = false;
+    d.reason = "boring";
+    ++shed_;
+    m_shed_.Inc();
+    m_shed_spans_.Inc(record.spans.size());
+    return d;
+  }
+  ++kept_interesting_;
+  m_kept_interesting_.Inc();
+  return d;
+}
+
+void TailSampler::SaveState(std::ostream& out) const {
+  ChecksummedWriter writer(out, kStateSchema);
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"schema\":\"%s\",\"considered\":%zu,\"shed\":%zu,"
+                "\"kept_interesting\":%zu,\"kept_random\":%zu,"
+                "\"last_shed_end\":%" PRId64 "}",
+                kStateSchema, considered_, shed_, kept_interesting_,
+                kept_random_,
+                static_cast<std::int64_t>(
+                    last_shed_end_ == std::numeric_limits<TimeNs>::min()
+                        ? -1
+                        : last_shed_end_));
+  writer.WriteLine(buf);
+  writer.Finish();
+}
+
+bool TailSampler::LoadState(std::istream& in, std::string* error) {
+  const auto lines = ReadChecksummedLines(in, kStateSchema, error);
+  if (!lines || lines->empty()) {
+    if (error != nullptr && lines) *error = "empty sampler state";
+    return false;
+  }
+  const std::string& header = (*lines)[0];
+  const auto considered = ckpt::FieldU64(header, "considered");
+  const auto shed = ckpt::FieldU64(header, "shed");
+  const auto kept_interesting = ckpt::FieldU64(header, "kept_interesting");
+  const auto kept_random = ckpt::FieldU64(header, "kept_random");
+  const auto last_shed = ckpt::FieldI64(header, "last_shed_end");
+  if (!considered || !shed || !kept_interesting || !kept_random ||
+      !last_shed) {
+    if (error != nullptr) *error = "sampler state header mismatch";
+    return false;
+  }
+  considered_ = static_cast<std::size_t>(*considered);
+  shed_ = static_cast<std::size_t>(*shed);
+  kept_interesting_ = static_cast<std::size_t>(*kept_interesting);
+  kept_random_ = static_cast<std::size_t>(*kept_random);
+  last_shed_end_ = *last_shed < 0
+                       ? std::numeric_limits<TimeNs>::min()
+                       : static_cast<TimeNs>(*last_shed);
+  // Counters restored above are process-lifetime tallies; the metric
+  // handles re-count from zero after restart, which matches how every
+  // other tw_* counter behaves across resumes.
+  return true;
+}
+
+}  // namespace traceweaver::store

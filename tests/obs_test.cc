@@ -209,7 +209,7 @@ TEST(RunReportTest, EmptyReportGoldenJson) {
   const obs::RunReport report = obs::BuildRunReport(RegistrySnapshot{});
   const std::string json = obs::RunReportJson(report);
   EXPECT_EQ(json.substr(0, 40),
-            std::string("{\"schema\":\"traceweaver.run_report.v6\",\"r")
+            std::string("{\"schema\":\"traceweaver.run_report.v7\",\"r")
                 .substr(0, 40));
   // Every stage row is present even at zero, in pipeline order.
   const char* kStages[] = {"views", "setup",    "enumerate", "batch",

@@ -94,6 +94,35 @@ TEST(OnlineOverload, BufferBudgetShedsWholeWindowsOldestFirst) {
   }
 }
 
+TEST(OnlineOverload, HardShedCanReportZeroDegradationLevel) {
+  // Whole-window admission shedding bypasses the degradation ladder: a
+  // run can shed windows while its degradation level never leaves 0.
+  // bench_online_overload marks such rows with "hard_shed=1" precisely
+  // because max_level alone would read as "unpressured"; this pins the
+  // accounting gap so the marker can't silently rot.
+  Stream s = MakeStream(250, 2);
+  OnlineOptions opts;
+  opts.window = Millis(400);
+  opts.max_buffer_spans = 300;  // Tight enough to shed whole windows.
+  OnlineTraceWeaver online(s.graph, opts);
+  int max_level = 0;
+  for (const Span& span : s.spans) {
+    online.Ingest(span);
+    online.Advance(span.client_recv);
+    max_level = std::max(max_level, online.degradation_level());
+  }
+  online.Flush();
+  max_level = std::max(max_level, online.degradation_level());
+
+  const auto& st = online.stats();
+  ASSERT_GT(st.windows_shed, 0u) << "config no longer sheds; retune";
+  // No deadline is set, so the ladder has no signal to escalate on:
+  // shedding happened entirely at admission with the ladder at rest.
+  EXPECT_EQ(max_level, 0);
+  EXPECT_EQ(st.degrade_up_steps, 0u);
+  EXPECT_EQ(st.deadline_misses, 0u);
+}
+
 TEST(OnlineOverload, SingleWindowBacklogDropsAtAdmission) {
   Stream s = MakeStream(200, 1);
   OnlineOptions opts;

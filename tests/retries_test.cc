@@ -1,7 +1,10 @@
 // Retry-style dynamism: extra spans to the same backend from failed first
-// attempts. The paper defers this to future work (§7); these tests pin the
-// simulator's retry semantics and check that TraceWeaver degrades
-// gracefully rather than catastrophically when extra spans appear.
+// attempts. The paper defers this to future work (§7), but the optimizer's
+// duplicate-twin adoption (Parameters::duplicate_twin_window_ns) now covers
+// it: a retry is a near-in-time twin of the first attempt, so twin adoption
+// recovers whole traces instead of merely not collapsing. These tests pin
+// the simulator's retry semantics, the graceful-degradation floor without
+// twin adoption, and hard trace-accuracy floors with it.
 #include <gtest/gtest.h>
 
 #include <map>
@@ -98,6 +101,37 @@ TEST(Retries, ReconstructionDegradesGracefully) {
   // With a 10% retry rate on one hop, at least ~2/3 of spans must still
   // map correctly (an unmapped retry costs one span; it must not cascade).
   EXPECT_GT(report.SpanAccuracy(), 0.66);
+}
+
+double TraceAccuracyWithTwins(double retry_prob) {
+  sim::IsolatedReplayOptions iso;
+  iso.requests_per_root = 25;
+  CallGraph graph = InferCallGraph(
+      sim::RunIsolatedReplay(sim::MakeLinearChainApp(), iso).spans);
+
+  sim::OpenLoopOptions load;
+  load.requests_per_sec = 300;
+  load.duration = Seconds(3);
+  const auto result = sim::RunOpenLoop(ChainWithRetries(retry_prob), load);
+
+  TraceWeaverOptions opts;
+  opts.optimizer.params.duplicate_twin_window_ns = Millis(5);
+  TraceWeaver weaver(graph, opts);
+  return Evaluate(result.spans, weaver.Reconstruct(result.spans).assignment)
+      .TraceAccuracy();
+}
+
+TEST(Retries, TwinAdoptionHoldsTraceAccuracyAtModerateRetryRate) {
+  // 10% retries: twin adoption folds the retry onto its attempt's parent,
+  // so whole-trace accuracy stays near the retry-free regime.
+  EXPECT_GT(TraceAccuracyWithTwins(0.1), 0.80);
+}
+
+TEST(Retries, TwinAdoptionHoldsTraceAccuracyAtHeavyRetryRate) {
+  // 50% retries: half of all svc-b calls are out-of-model extras. Twin
+  // adoption must keep the majority of traces fully correct rather than
+  // letting every retried trace count as wrong.
+  EXPECT_GT(TraceAccuracyWithTwins(0.5), 0.50);
 }
 
 }  // namespace

@@ -1,0 +1,194 @@
+// Capture-sampling tests: the fault injector's head/tail sampling modes
+// (per-trace coherence, hash determinism, survivor nesting across rates)
+// and the sampling-aware reconstruction path (Parameters::sampling_rate):
+// accuracy degrades monotonically as the keep rate drops, a sampling-aware
+// solve beats a sampling-blind one on the same thinned stream, and rate
+// 1.0 is byte-identical to a build that never heard of sampling.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "callgraph/inference.h"
+#include "collector/capture.h"
+#include "core/accuracy.h"
+#include "core/trace_weaver.h"
+#include "sim/apps.h"
+#include "sim/fault_injector.h"
+#include "sim/workload.h"
+
+namespace traceweaver {
+namespace {
+
+struct Pipeline {
+  std::vector<Span> spans;
+  CallGraph graph;
+};
+
+Pipeline BuildPipeline(double rps = 150, double seconds = 2) {
+  Pipeline p;
+  sim::IsolatedReplayOptions iso;
+  iso.requests_per_root = 20;
+  p.graph = InferCallGraph(
+      collector::CaptureRoundTrip(sim::RunIsolatedReplay(
+          sim::MakeHotelReservationApp(), iso).spans));
+  sim::OpenLoopOptions load;
+  load.requests_per_sec = rps;
+  load.duration = Seconds(seconds);
+  load.seed = 31;
+  p.spans = collector::CaptureRoundTrip(
+      sim::RunOpenLoop(sim::MakeHotelReservationApp(), load).spans);
+  return p;
+}
+
+std::set<SpanId> Ids(const std::vector<Span>& spans) {
+  std::set<SpanId> ids;
+  for (const Span& s : spans) ids.insert(s.id);
+  return ids;
+}
+
+double AccuracyAtRate(const Pipeline& p, double span_rate,
+                      double known_rate) {
+  sim::FaultSpec spec;
+  spec.tail_sample_rate = span_rate;
+  const std::vector<Span> thinned = sim::InjectFaults(p.spans, spec);
+  TraceWeaverOptions opts;
+  opts.optimizer.params.sampling_rate = known_rate;
+  TraceWeaver weaver(p.graph, opts);
+  return Evaluate(thinned, weaver.Reconstruct(thinned).assignment)
+      .TraceAccuracy();
+}
+
+TEST(Sampling, HeadSamplingIsTraceCoherent) {
+  // A head-sampled trace keeps every span or none: the surviving stream
+  // never contains a strict subset of any trace.
+  const Pipeline p = BuildPipeline();
+  std::map<TraceId, std::size_t> full;
+  for (const Span& s : p.spans) ++full[s.true_trace];
+
+  sim::FaultSpec spec;
+  spec.head_sample_rate = 0.5;
+  sim::FaultStats stats;
+  const std::vector<Span> out = sim::InjectFaults(p.spans, spec, &stats);
+  EXPECT_GT(stats.head_sampled_out, 0u);
+  EXPECT_LT(out.size(), p.spans.size());
+
+  std::map<TraceId, std::size_t> kept;
+  for (const Span& s : out) ++kept[s.true_trace];
+  for (const auto& [trace, n] : kept) {
+    EXPECT_EQ(n, full.at(trace))
+        << "head sampling split trace " << trace;
+  }
+}
+
+TEST(Sampling, DecisionsAreDeterministicAndOrderIndependent) {
+  const Pipeline p = BuildPipeline();
+  sim::FaultSpec spec;
+  spec.head_sample_rate = 0.7;
+  spec.tail_sample_rate = 0.8;
+  spec.seed = 23;
+
+  const std::vector<Span> a = sim::InjectFaults(p.spans, spec);
+  const std::vector<Span> b = sim::InjectFaults(p.spans, spec);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].id, b[i].id);
+
+  // Sampling hashes ids rather than drawing Rng state, so reversing the
+  // input order changes which spans survive not at all.
+  std::vector<Span> reversed(p.spans.rbegin(), p.spans.rend());
+  EXPECT_EQ(Ids(a), Ids(sim::InjectFaults(reversed, spec)));
+
+  // A different seed reshuffles the survivor set.
+  spec.seed = 24;
+  EXPECT_NE(Ids(a), Ids(sim::InjectFaults(p.spans, spec)));
+}
+
+TEST(Sampling, SurvivorsNestAsRateDrops) {
+  // Keep iff hash(id) < rate means the survivors at a lower rate are a
+  // subset of the survivors at any higher rate (same seed) -- sweeps over
+  // rates thin one fixed stream instead of re-rolling it.
+  const Pipeline p = BuildPipeline();
+  std::set<SpanId> prev;
+  bool first = true;
+  for (const double rate : {0.9, 0.5, 0.1}) {
+    sim::FaultSpec spec;
+    spec.tail_sample_rate = rate;
+    const std::set<SpanId> ids = Ids(sim::InjectFaults(p.spans, spec));
+    if (!first) {
+      EXPECT_TRUE(std::includes(prev.begin(), prev.end(), ids.begin(),
+                                ids.end()))
+          << "rate " << rate << " kept a span the higher rate dropped";
+    }
+    prev = ids;
+    first = false;
+  }
+}
+
+TEST(Sampling, StatsAccountForEverySampledRecord) {
+  const Pipeline p = BuildPipeline();
+  sim::FaultSpec spec;
+  spec.head_sample_rate = 0.6;
+  spec.tail_sample_rate = 0.8;
+  sim::FaultStats stats;
+  const std::vector<Span> out = sim::InjectFaults(p.spans, spec, &stats);
+  EXPECT_GT(stats.head_sampled_out, 0u);
+  EXPECT_GT(stats.tail_sampled_out, 0u);
+  EXPECT_EQ(stats.input, p.spans.size());
+  EXPECT_EQ(stats.output, out.size());
+  EXPECT_EQ(stats.output, stats.input - stats.head_sampled_out -
+                              stats.tail_sampled_out);
+}
+
+TEST(Sampling, AccuracyDegradesMonotonicallyWithRate) {
+  // Thinner streams carry less evidence; a sampling-aware solve should
+  // degrade smoothly rather than collapse (small tolerance for the
+  // removed-hard-case effect, as in the fault-injection sweep).
+  const Pipeline p = BuildPipeline();
+  const double full = AccuracyAtRate(p, 1.0, 1.0);
+  const double half = AccuracyAtRate(p, 0.5, 0.5);
+  const double tenth = AccuracyAtRate(p, 0.1, 0.1);
+  EXPECT_GT(full, 0.85);
+  EXPECT_LE(half, full + 0.05);
+  EXPECT_LE(tenth, half + 0.05);
+}
+
+TEST(Sampling, AwareBeatsBlindOnHalfSampledStream) {
+  // The tentpole claim: telling the optimizer the keep rate (so missing
+  // children are expected absences, not anomalies) must not lose to
+  // pretending the stream is complete.
+  const Pipeline p = BuildPipeline();
+  const double aware = AccuracyAtRate(p, 0.5, 0.5);
+  const double blind = AccuracyAtRate(p, 0.5, 1.0);
+  EXPECT_GE(aware, blind);
+  EXPECT_GT(aware, 0.30) << "aware solve collapsed under 50% sampling";
+}
+
+TEST(Sampling, RateOneIsByteIdenticalToDefault) {
+  // sampling_rate = 1.0 must leave every code path untouched: identical
+  // assignments and identical confidences on a mildly faulted stream.
+  Pipeline p = BuildPipeline(100, 1.5);
+  sim::FaultSpec spec;
+  spec.drop_rate = 0.05;
+  const std::vector<Span> faulted = sim::InjectFaults(p.spans, spec);
+
+  TraceWeaverOptions defaults;
+  defaults.compute_quality = true;
+  TraceWeaverOptions explicit_one = defaults;
+  explicit_one.optimizer.params.sampling_rate = 1.0;
+
+  const TraceWeaverOutput a =
+      TraceWeaver(p.graph, defaults).Reconstruct(faulted);
+  const TraceWeaverOutput b =
+      TraceWeaver(p.graph, explicit_one).Reconstruct(faulted);
+  EXPECT_EQ(a.assignment, b.assignment);
+  ASSERT_EQ(a.quality.traces.size(), b.quality.traces.size());
+  for (std::size_t i = 0; i < a.quality.traces.size(); ++i) {
+    EXPECT_EQ(a.quality.traces[i].confidence,
+              b.quality.traces[i].confidence);
+  }
+}
+
+}  // namespace
+}  // namespace traceweaver

@@ -133,6 +133,7 @@ def check_provenance_vocabulary(problems):
     suffixes = (
         "_clamp", "_remap", "_drop", "_quarantine", "_correct", "_shed",
         "_solve", "_graft", "_expire", "settled", "_commit", "finalized",
+        "_out",
     )
     for name in sorted(documented - source_events):
         if name.endswith(suffixes):

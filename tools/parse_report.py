@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Strict parser for TraceWeaver run reports (--report-json output).
 
-Validates the stable schema ``traceweaver.run_report.v6`` produced by
+Validates the stable schema ``traceweaver.run_report.v7`` produced by
 ``src/obs/run_report.cc`` and prints a one-line digest per section.
 Unknown or missing schema strings are a hard error: downstream tooling
 must not silently accept a report whose layout it does not understand.
@@ -10,15 +10,15 @@ Usage:
     parse_report.py <report.json>     # validate + digest
     parse_report.py --self-test       # run embedded accept/reject checks
 
-Exit status: 0 on a valid v6 report (or passing self-test), 1 otherwise.
+Exit status: 0 on a valid v7 report (or passing self-test), 1 otherwise.
 """
 
 import json
 import sys
 
-SCHEMA = "traceweaver.run_report.v6"
+SCHEMA = "traceweaver.run_report.v7"
 
-# Top-level sections a v6 report always carries, in schema order.
+# Top-level sections a v7 report always carries, in schema order.
 SECTIONS = [
     "run",
     "ingest",
@@ -35,12 +35,25 @@ SECTIONS = [
     "skew",
     "online",
     "provenance",
+    "sampler",
 ]
 
 # The v6 addition: the decision-provenance rollup (docs/METRICS.md,
 # "Decision provenance"). Counts are non-negative integers; ``events``
 # rows carry the event-type wire name and its count.
 PROVENANCE_COUNTS = ["recorded", "dropped", "pending_events"]
+
+# The v7 addition: the commit-time tail-sampler rollup (docs/METRICS.md,
+# "Tail sampling"). All counts are non-negative integers and every
+# considered trace must be accounted for:
+# considered = shed + kept_interesting + kept_random.
+SAMPLER_COUNTS = [
+    "considered",
+    "shed",
+    "shed_spans",
+    "kept_interesting",
+    "kept_random",
+]
 
 
 class ReportError(Exception):
@@ -97,6 +110,25 @@ def parse_report(text):
             "provenance.recorded=%d does not match the event-row sum %d"
             % (prov["recorded"], recorded)
         )
+
+    sampler = report["sampler"]
+    if not isinstance(sampler, dict):
+        raise ReportError("'sampler' is not an object")
+    for key in SAMPLER_COUNTS:
+        value = sampler.get(key)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            raise ReportError(
+                "sampler.%s must be a non-negative integer, got %r"
+                % (key, value)
+            )
+    accounted = (
+        sampler["shed"] + sampler["kept_interesting"] + sampler["kept_random"]
+    )
+    if accounted != sampler["considered"]:
+        raise ReportError(
+            "sampler.considered=%d does not match shed+kept sum %d"
+            % (sampler["considered"], accounted)
+        )
     return report
 
 
@@ -131,12 +163,25 @@ def digest(report):
             " (%s)" % rows if rows else "",
         )
     )
+    sampler = report["sampler"]
+    if sampler["considered"]:
+        lines.append(
+            "sampler: %d considered, %d kept interesting, %d kept by coin,"
+            " %d shed (%d spans)"
+            % (
+                sampler["considered"],
+                sampler["kept_interesting"],
+                sampler["kept_random"],
+                sampler["shed"],
+                sampler["shed_spans"],
+            )
+        )
     return "\n".join(lines)
 
 
-# A minimal well-formed v6 report: every section present, provenance
-# rollup populated the way src/obs/run_report.cc renders it.
-GOOD_V6 = json.dumps(
+# A minimal well-formed v7 report: every section present, provenance and
+# sampler rollups populated the way src/obs/run_report.cc renders them.
+GOOD_V7 = json.dumps(
     {
         "schema": SCHEMA,
         "run": {"runs": 1, "spans": 12, "containers": 3, "threads": 1},
@@ -163,6 +208,13 @@ GOOD_V6 = json.dumps(
                 {"type": "skew_correct", "count": 1},
             ],
         },
+        "sampler": {
+            "considered": 4,
+            "shed": 1,
+            "shed_spans": 3,
+            "kept_interesting": 2,
+            "kept_random": 1,
+        },
     }
 )
 
@@ -187,33 +239,45 @@ def self_test():
         else:
             failures.append("%s: unexpectedly accepted" % name)
 
-    expect_ok("good_v6", GOOD_V6)
+    expect_ok("good_v7", GOOD_V7)
 
-    v5 = json.loads(GOOD_V6)
-    v5["schema"] = "traceweaver.run_report.v5"
-    expect_reject("older_schema", json.dumps(v5), "unknown schema")
+    v6 = json.loads(GOOD_V7)
+    v6["schema"] = "traceweaver.run_report.v6"
+    expect_reject("older_schema", json.dumps(v6), "unknown schema")
 
-    future = json.loads(GOOD_V6)
+    future = json.loads(GOOD_V7)
     future["schema"] = "traceweaver.run_report.v99"
     expect_reject("future_schema", json.dumps(future), "unknown schema")
 
-    unrelated = json.loads(GOOD_V6)
+    unrelated = json.loads(GOOD_V7)
     unrelated["schema"] = "traceweaver.trace.v1"
     expect_reject("wrong_kind", json.dumps(unrelated), "unknown schema")
 
-    anonymous = json.loads(GOOD_V6)
+    anonymous = json.loads(GOOD_V7)
     del anonymous["schema"]
     expect_reject("missing_schema", json.dumps(anonymous), "missing required")
 
-    truncated = json.loads(GOOD_V6)
+    truncated = json.loads(GOOD_V7)
     del truncated["provenance"]
     expect_reject(
         "missing_provenance", json.dumps(truncated), "missing required"
     )
 
-    miscount = json.loads(GOOD_V6)
+    miscount = json.loads(GOOD_V7)
     miscount["provenance"]["recorded"] = 7
     expect_reject("bad_rollup", json.dumps(miscount), "does not match")
+
+    unsampled = json.loads(GOOD_V7)
+    del unsampled["sampler"]
+    expect_reject(
+        "missing_sampler", json.dumps(unsampled), "missing required"
+    )
+
+    leaky = json.loads(GOOD_V7)
+    leaky["sampler"]["shed"] = 0
+    expect_reject(
+        "unaccounted_sampler", json.dumps(leaky), "shed+kept sum"
+    )
 
     expect_reject("not_json", "{nope", "not valid JSON")
 
@@ -221,7 +285,7 @@ def self_test():
         for f in failures:
             print("FAIL %s" % f, file=sys.stderr)
         return 1
-    print("parse_report self-test: 8 checks passed")
+    print("parse_report self-test: 10 checks passed")
     return 0
 
 

@@ -161,6 +161,13 @@ int Usage() {
       "  --self-trace         commit one synthetic pipeline trace per\n"
       "                       window under the reserved root service\n"
       "                       _tw.pipeline (requires --store-dir)\n"
+      "  --tail-sample=P      confidence-driven tail sampler (requires\n"
+      "                       --store-dir): keep anomalous / low-grade /\n"
+      "                       high-latency / shed-adjacent traces, keep\n"
+      "                       confident boring ones with probability P,\n"
+      "                       shed the rest before store commit\n"
+      "                       (tw_sample_* counters, provenance\n"
+      "                       sampled_out; state rides the checkpoint)\n"
       "\n"
       "flags (query):\n"
       "  --service=S          exact root-service match\n"
@@ -186,6 +193,15 @@ int Usage() {
       "                      strict, off\n"
       "  --auto-slack        apply the validator's suggested\n"
       "                      constraint_slack_ns (observed clock skew)\n"
+      "  --sampling-rate=R   known capture-sampling keep probability of\n"
+      "                      the input stream (0 < R <= 1, default 1):\n"
+      "                      missing children become expected absences\n"
+      "                      (skip budget floor, re-derived skip/keep\n"
+      "                      priors, softened orphan penalties)\n"
+      "  --twin-window-ns=N  duplicate-twin adoption window: an unassigned\n"
+      "                      span whose same-pool sibling was assigned\n"
+      "                      within N ns joins that sibling's parent\n"
+      "                      (retry/hedge duplicates; default 0 = off)\n"
       "  --skew-correct      estimate per-vantage clock offsets from\n"
       "                      cross-vantage gaps and rewrite timestamps\n"
       "                      into a common frame before reconstruction\n"
@@ -205,6 +221,10 @@ int Usage() {
       "  --skew-ns=N         per-vantage clock skew stddev (ns)\n"
       "  --truncate-ns=N     timestamp truncation granularity (ns)\n"
       "  --garble=P          per-record field-garbling probability\n"
+      "  --head-sample=P     per-trace keep probability (head sampling,\n"
+      "                      whole-trace coherent; default 1.0 = off)\n"
+      "  --span-sample=P     per-span keep probability (tail sampling,\n"
+      "                      trace-splitting; default 1.0 = off)\n"
       "  --fault-seed=S      corruption RNG seed (default 17)\n");
   return 2;
 }
@@ -223,6 +243,8 @@ struct CliFlags {
   bool quality = false;       ///< Compute the trace-quality report.
   double min_confidence = -1.0;  ///< Warn below this mean (< 0 = off).
   bool json = false;          ///< explain: JSON instead of a table.
+  double sampling_rate = 1.0;  ///< Known capture-sampling keep prob.
+  long long twin_window_ns = 0;  ///< Duplicate-twin adoption window.
 
   /// Fault-injection spec (simulate / inject-faults only).
   sim::FaultSpec faults;
@@ -248,6 +270,7 @@ struct CliFlags {
   bool linger = false;   ///< Keep serving HTTP after EOF until a signal.
   bool no_provenance = false;  ///< serve: decision ledger off.
   bool self_trace = false;     ///< serve: per-window pipeline self traces.
+  double tail_sample = -1.0;   ///< serve: boring-trace keep rate (< 0 = off).
   std::string q_service;              ///< query: --service=.
   long long q_from = std::numeric_limits<long long>::min();
   long long q_to = std::numeric_limits<long long>::max();
@@ -304,6 +327,13 @@ CliFlags ParseFlags(int& argc, char**& argv) {
       flags.quality = true;
     } else if (arg == "--json") {
       flags.json = true;
+    } else if (arg.rfind("--sampling-rate=", 0) == 0) {
+      flags.sampling_rate = prob(arg, 16);
+      if (flags.sampling_rate <= 0.0 || flags.sampling_rate > 1.0) {
+        flags.sampling_rate = 1.0;
+      }
+    } else if (arg.rfind("--twin-window-ns=", 0) == 0) {
+      flags.twin_window_ns = static_cast<long long>(num(arg, 17));
     } else if (arg.rfind("--drop=", 0) == 0) {
       flags.faults.drop_rate = prob(arg, 7);
     } else if (arg.rfind("--dup=", 0) == 0) {
@@ -315,6 +345,10 @@ CliFlags ParseFlags(int& argc, char**& argv) {
           static_cast<DurationNs>(num(arg, 14));
     } else if (arg.rfind("--garble=", 0) == 0) {
       flags.faults.garble_rate = prob(arg, 9);
+    } else if (arg.rfind("--head-sample=", 0) == 0) {
+      flags.faults.head_sample_rate = prob(arg, 14);
+    } else if (arg.rfind("--span-sample=", 0) == 0) {
+      flags.faults.tail_sample_rate = prob(arg, 14);
     } else if (arg.rfind("--fault-seed=", 0) == 0) {
       flags.faults.seed = num(arg, 13);
     } else if (arg.rfind("--window-ms=", 0) == 0) {
@@ -356,6 +390,11 @@ CliFlags ParseFlags(int& argc, char**& argv) {
       flags.no_provenance = true;
     } else if (arg == "--self-trace") {
       flags.self_trace = true;
+    } else if (arg.rfind("--tail-sample=", 0) == 0) {
+      flags.tail_sample = prob(arg, 14);
+      if (flags.tail_sample < 0.0 || flags.tail_sample > 1.0) {
+        flags.tail_sample = -1.0;  // Out of range: sampler stays off.
+      }
     } else if (arg.rfind("--service=", 0) == 0) {
       flags.q_service = arg.substr(10);
     } else if (arg.rfind("--from=", 0) == 0) {
@@ -416,6 +455,8 @@ TraceWeaverOptions WeaverOptions(const CliFlags& flags,
   if (flags.auto_slack && slack_ns > 0) {
     opts.optimizer.params.constraint_slack_ns = slack_ns;
   }
+  opts.optimizer.params.sampling_rate = flags.sampling_rate;
+  opts.optimizer.params.duplicate_twin_window_ns = flags.twin_window_ns;
   opts.compute_quality = flags.quality;
   return opts;
 }
@@ -679,10 +720,12 @@ int CmdInjectFaults(int argc, char** argv) {
   WriteSpansJsonl(std::cout, spans, /*include_ground_truth=*/true);
   std::fprintf(stderr,
                "faults: %zu in -> %zu out (%zu dropped, %zu duplicated, "
-               "%zu skewed, %zu truncated, %zu garbled)\n",
+               "%zu skewed, %zu truncated, %zu garbled, %zu head-sampled, "
+               "%zu span-sampled)\n",
                fstats.input, fstats.output, fstats.dropped,
                fstats.duplicated, fstats.skewed, fstats.truncated,
-               fstats.garbled);
+               fstats.garbled, fstats.head_sampled_out,
+               fstats.tail_sampled_out);
   return 0;
 }
 
@@ -936,6 +979,22 @@ bool WriteCommitterAtomic(const store::TraceCommitter& committer,
   return std::rename(tmp.c_str(), path.c_str()) == 0;
 }
 
+/// And for the tail sampler's counters + shed horizon, so a resumed run
+/// re-decides the replayed stream tail identically.
+bool WriteSamplerAtomic(const store::TailSampler& sampler,
+                        const std::string& dir) {
+  const std::string path = dir + "/sampler.jsonl";
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    sampler.SaveState(out);
+    out.flush();
+    if (!out) return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
 /// SIGINT/SIGTERM latch for the serve loop: first signal requests a
 /// graceful checkpoint-and-exit (and ends --linger).
 std::atomic<bool> g_stop{false};
@@ -984,6 +1043,10 @@ int CmdServe(int argc, char** argv) {
     std::fprintf(stderr, "serve: --self-trace requires --store-dir\n");
     return 2;
   }
+  if (flags.tail_sample >= 0.0 && !store_enabled) {
+    std::fprintf(stderr, "serve: --tail-sample requires --store-dir\n");
+    return 2;
+  }
   auto graph = LoadGraph(argv[1]);
   if (!graph) return 1;
   const std::string source = argv[2];
@@ -1019,6 +1082,7 @@ int CmdServe(int argc, char** argv) {
 
   std::unique_ptr<store::TraceStore> tstore;
   std::unique_ptr<store::TraceCommitter> committer;
+  std::unique_ptr<store::TailSampler> sampler;
   if (store_enabled) {
     store::StoreOptions sopts;
     sopts.segment_traces = flags.store_segment_traces;
@@ -1043,6 +1107,13 @@ int CmdServe(int argc, char** argv) {
     copts.window = oopts.window;
     copts.margin = oopts.margin;
     copts.provenance = ledger.get();
+    if (flags.tail_sample >= 0.0) {
+      store::TailSamplerOptions topts;
+      topts.keep_rate = flags.tail_sample;
+      topts.window = oopts.window;
+      sampler = std::make_unique<store::TailSampler>(topts, reg);
+      copts.sampler = sampler.get();
+    }
     committer =
         std::make_unique<store::TraceCommitter>(copts, tstore.get());
   }
@@ -1093,6 +1164,24 @@ int CmdServe(int argc, char** argv) {
       }
     }
   }
+  if (flags.resume && sampler != nullptr && !flags.checkpoint_dir.empty()) {
+    const std::string spath = flags.checkpoint_dir + "/sampler.jsonl";
+    std::ifstream sin(spath, std::ios::binary);
+    if (sin) {
+      std::string err;
+      if (sampler->LoadState(sin, &err)) {
+        std::fprintf(stderr,
+                     "serve: restored tail sampler state from %s "
+                     "(%zu considered, %zu shed)\n",
+                     spath.c_str(), sampler->considered(), sampler->shed());
+      } else {
+        std::fprintf(stderr,
+                     "serve: sampler state rejected (%s); decisions "
+                     "restart from a fresh horizon\n",
+                     err.c_str());
+      }
+    }
+  }
 
   std::unique_ptr<serve::QueryService> query_service;
   std::unique_ptr<serve::HttpServer> http;
@@ -1139,6 +1228,11 @@ int CmdServe(int argc, char** argv) {
       if (committer != nullptr &&
           !WriteCommitterAtomic(*committer, flags.checkpoint_dir)) {
         std::fprintf(stderr, "serve: committer state write failed\n");
+        return;
+      }
+      if (sampler != nullptr &&
+          !WriteSamplerAtomic(*sampler, flags.checkpoint_dir)) {
+        std::fprintf(stderr, "serve: sampler state write failed\n");
         return;
       }
     }
@@ -1358,6 +1452,14 @@ int CmdServe(int argc, char** argv) {
         committer != nullptr && committer->pending_spans() > 0
             ? ", settling spans pending"
             : "");
+  }
+  if (sampler != nullptr) {
+    std::fprintf(stderr,
+                 "serve: tail sampler considered %zu traces: kept %zu "
+                 "(%zu interesting, %zu by coin), shed %zu\n",
+                 sampler->considered(), sampler->kept(),
+                 sampler->kept_interesting(), sampler->kept_random(),
+                 sampler->shed());
   }
   if (ledger != nullptr) {
     std::fprintf(stderr,
